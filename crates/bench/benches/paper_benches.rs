@@ -1,0 +1,98 @@
+//! Criterion benches, one per paper table/figure: each measures the
+//! host cost of regenerating (a scaled slice of) that artifact, so
+//! `cargo bench` tracks the simulator's own performance per
+//! experiment. The scientific outputs (simulated times/rates) come
+//! from the `repro-*` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spp_core::CpuId;
+use spp_pvm::Pvm;
+use spp_runtime::{Placement, Runtime, Team};
+
+fn bench_fig2_fork_join(c: &mut Criterion) {
+    c.bench_function("fig2_fork_join_16_threads", |b| {
+        let mut rt = Runtime::spp1000(2);
+        b.iter(|| rt.fork_join(16, &Placement::Uniform, |_| {}).elapsed)
+    });
+}
+
+fn bench_fig3_barrier(c: &mut Criterion) {
+    use spp_core::{Machine, NodeId};
+    use spp_runtime::{RuntimeCostModel, SimBarrier};
+    c.bench_function("fig3_barrier_16_threads", |b| {
+        let mut m = Machine::spp1000(2);
+        let bar = SimBarrier::new(&mut m, NodeId(0));
+        let cost = RuntimeCostModel::spp1000();
+        let arrivals: Vec<(CpuId, u64)> =
+            (0..16u16).map(|i| (CpuId(i), i as u64 * 100)).collect();
+        b.iter(|| bar.simulate(&mut m, &cost, &arrivals).lilo())
+    });
+}
+
+fn bench_fig4_message(c: &mut Criterion) {
+    c.bench_function("fig4_roundtrip_8k", |b| {
+        let mut pvm = Pvm::spp1000(2, &[CpuId(0), CpuId(8)]);
+        b.iter(|| pvm.round_trip(0, 1, 8192, 1))
+    });
+}
+
+fn bench_table1_c90_pic(c: &mut Criterion) {
+    c.bench_function("table1_c90_model", |b| {
+        let p = pic::PicProblem::small();
+        b.iter(|| pic::c90::run_c90(&p, 500).total_seconds)
+    });
+}
+
+fn bench_fig6_pic_step(c: &mut Criterion) {
+    c.bench_function("fig6_pic_step_16cubed_8procs", |b| {
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), 8, &Placement::HighLocality);
+        let mut sim = pic::SharedPic::new(&mut rt, pic::PicProblem::with_mesh(16, 16, 16), &team);
+        b.iter(|| sim.step(&mut rt, &team).elapsed)
+    });
+}
+
+fn bench_fig7_fem_step(c: &mut Criterion) {
+    c.bench_function("fig7_fem_step_48x48_8procs", |b| {
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), 8, &Placement::HighLocality);
+        let mut sim =
+            fem::SharedFem::new(&mut rt, fem::structured(48, 48), fem::Coding::ScatterAdd, &team);
+        b.iter(|| sim.step(&mut rt, &team, 0.3).0)
+    });
+}
+
+fn bench_fig8_nbody_step(c: &mut Criterion) {
+    c.bench_function("fig8_nbody_step_4096_8procs", |b| {
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), 8, &Placement::HighLocality);
+        let mut sim =
+            nbody::SharedNbody::new(&mut rt, nbody::NbodyProblem::with_n(4096), &team);
+        b.iter(|| sim.step(&mut rt, &team).0)
+    });
+}
+
+fn bench_table2_ppm_step(c: &mut Criterion) {
+    c.bench_function("table2_ppm_step_tiny_4procs", |b| {
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), 4, &Placement::HighLocality);
+        let mut sim = ppm::SharedPpm::new(&mut rt, ppm::PpmProblem::tiny(), &team);
+        b.iter(|| sim.step(&mut rt, &team).0)
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = paper;
+    config = config();
+    targets = bench_fig2_fork_join, bench_fig3_barrier, bench_fig4_message,
+        bench_table1_c90_pic, bench_fig6_pic_step, bench_fig7_fem_step,
+        bench_fig8_nbody_step, bench_table2_ppm_step
+}
+criterion_main!(paper);

@@ -1,0 +1,6 @@
+//! Bus-SMP saturation analysis (the paper's introductory contrast).
+//! Usage: `repro-bus [--steps N]`.
+fn main() {
+    let opts = spp_bench::Opts::from_args();
+    spp_bench::bus::run(&opts);
+}

@@ -1,0 +1,5 @@
+//! Cache-geometry study (§7 future work). Usage: `repro-cache`.
+fn main() {
+    let opts = spp_bench::Opts::from_args();
+    spp_bench::cachestudy::run(&opts);
+}

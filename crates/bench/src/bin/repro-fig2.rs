@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig2 data. Usage: `repro-fig2 [--full] [--steps N]`.
+fn main() {
+    let opts = spp_bench::Opts::from_args();
+    spp_bench::fig2::run(&opts);
+}

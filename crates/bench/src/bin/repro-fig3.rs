@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig3 data. Usage: `repro-fig3 [--full] [--steps N]`.
+fn main() {
+    let opts = spp_bench::Opts::from_args();
+    spp_bench::fig3::run(&opts);
+}

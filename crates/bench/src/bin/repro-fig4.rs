@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig4 data. Usage: `repro-fig4 [--full] [--steps N]`.
+fn main() {
+    let opts = spp_bench::Opts::from_args();
+    spp_bench::fig4::run(&opts);
+}

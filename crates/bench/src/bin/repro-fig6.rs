@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig6 data. Usage: `repro-fig6 [--full] [--steps N]`.
+fn main() {
+    let opts = spp_bench::Opts::from_args();
+    spp_bench::fig6::run(&opts);
+}

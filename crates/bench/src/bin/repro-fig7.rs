@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig7 data. Usage: `repro-fig7 [--full] [--steps N]`.
+fn main() {
+    let opts = spp_bench::Opts::from_args();
+    spp_bench::fig7::run(&opts);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig8 data. Usage: `repro-fig8 [--full] [--steps N]`.
+fn main() {
+    let opts = spp_bench::Opts::from_args();
+    spp_bench::fig8::run(&opts);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's latency data. Usage: `repro-latency [--full] [--steps N]`.
+fn main() {
+    let opts = spp_bench::Opts::from_args();
+    spp_bench::latency::run(&opts);
+}

@@ -1,0 +1,6 @@
+//! Scale-out prediction to the full 128-processor configuration (the
+//! paper's stated next step). Usage: `repro-scale [--steps N]`.
+fn main() {
+    let opts = spp_bench::Opts::from_args();
+    spp_bench::scale::run(&opts);
+}

@@ -1,0 +1,5 @@
+//! Latency-constant sensitivity analysis. Usage: `repro-sensitivity`.
+fn main() {
+    let opts = spp_bench::Opts::from_args();
+    spp_bench::sensitivity::run(&opts);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table1 data. Usage: `repro-table1 [--full] [--steps N]`.
+fn main() {
+    let opts = spp_bench::Opts::from_args();
+    spp_bench::table1::run(&opts);
+}

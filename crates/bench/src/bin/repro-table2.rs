@@ -1,0 +1,5 @@
+//! Regenerates the paper's table2 data. Usage: `repro-table2 [--full] [--steps N]`.
+fn main() {
+    let opts = spp_bench::Opts::from_args();
+    spp_bench::table2::run(&opts);
+}

@@ -1,0 +1,174 @@
+//! Why scalable shared memory: a bus-SMP saturation analysis.
+//!
+//! The paper's introduction frames the SPP-1000 against "bus based
+//! systems of limited scaling employing snooping protocols such as
+//! MESI". This study quantifies that contrast: we measure each
+//! application's real per-step miss traffic on the simulated SPP-1000,
+//! then ask what a snooping-bus SMP built from the *same* CPUs and
+//! caches could do with it. On a bus, every miss and upgrade occupies
+//! the one shared resource for a line-transfer time; the step cannot
+//! finish faster than the bus can drain its transactions, so the bus
+//! curve flattens at `work / occupancy` while the SPP's distributed
+//! directories and rings keep scaling.
+
+use crate::{emit, f, Opts, Table};
+use pic::{PicProblem, SharedPic};
+use spp_core::Cycles;
+use spp_runtime::{Placement, Runtime, Team};
+
+/// Bus parameters for a same-technology snooping SMP.
+#[derive(Debug, Clone)]
+pub struct BusModel {
+    /// Bus occupancy of one line transfer (arbitration + 32 B at
+    /// memory speed), cycles.
+    pub transfer: Cycles,
+    /// Bus occupancy of one invalidation/upgrade transaction.
+    pub upgrade: Cycles,
+}
+
+impl BusModel {
+    /// A generous mid-90s bus: ~30 cycles per line transfer (the
+    /// SPP's own memory takes 55 from a single requester).
+    pub fn mid90s() -> Self {
+        BusModel {
+            transfer: 30,
+            upgrade: 10,
+        }
+    }
+}
+
+/// Per-step traffic profile of a workload, measured on the simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct Traffic {
+    /// Single-processor busy cycles per step.
+    pub work: f64,
+    /// Line-transfer transactions per step (all misses).
+    pub misses: f64,
+    /// Upgrade transactions per step.
+    pub upgrades: f64,
+}
+
+/// Measure the PIC small problem's per-step traffic at one processor.
+pub fn measure_pic_traffic() -> Traffic {
+    let mut rt = Runtime::spp1000(1);
+    let team = Team::place(rt.machine.config(), 1, &Placement::HighLocality);
+    let mut sim = SharedPic::new(&mut rt, PicProblem::with_mesh(32, 32, 32), &team);
+    sim.step(&mut rt, &team); // warm
+    let before = rt.machine.stats;
+    let rep = sim.step(&mut rt, &team);
+    let d = rt.machine.stats.since(&before);
+    Traffic {
+        work: rep.elapsed as f64,
+        misses: d.misses() as f64,
+        upgrades: d.upgrades as f64,
+    }
+}
+
+/// Predicted bus-SMP time per step at `p` processors: compute shrinks
+/// as 1/p, but the whole step's transactions must serialize through
+/// the one bus. We use the optimistic bound `max(compute, occupancy)`
+/// — no queueing delay charged below saturation, which is *generous*
+/// to the bus; the saturation ceiling alone makes the point.
+pub fn bus_time(t: &Traffic, bus: &BusModel, p: usize) -> f64 {
+    let occupancy = t.misses * bus.transfer as f64 + t.upgrades * bus.upgrade as f64;
+    let compute = t.work / p as f64;
+    compute.max(occupancy)
+}
+
+/// Run the comparison.
+pub fn run(o: &Opts) -> String {
+    let traffic = measure_pic_traffic();
+    let bus = BusModel::mid90s();
+    // SPP curve: measured on the simulator.
+    let spp: Vec<(usize, f64)> = [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&p| {
+            let mut rt = Runtime::spp1000(2);
+            let team = Team::place(rt.machine.config(), p, &Placement::HighLocality);
+            let mut sim = SharedPic::new(&mut rt, PicProblem::with_mesh(32, 32, 32), &team);
+            sim.step(&mut rt, &team);
+            let r = sim.run(&mut rt, &team, o.steps);
+            (p, r.elapsed as f64 / o.steps as f64)
+        })
+        .collect();
+    let base = spp[0].1;
+    let mut t = Table::new(&[
+        "procs",
+        "SPP speedup",
+        "bus-SMP speedup",
+        "bus utilization",
+    ]);
+    for &(p, spp_time) in &spp {
+        let bt = bus_time(&traffic, &bus, p);
+        let occ = traffic.misses * bus.transfer as f64 + traffic.upgrades * bus.upgrade as f64;
+        let rho = (occ / bt).min(1.0);
+        t.row(vec![
+            p.to_string(),
+            f(base / spp_time, 2),
+            f(traffic.work / bt, 2),
+            f(rho, 2),
+        ]);
+    }
+    let body = format!(
+        "{}\nPIC 32x32x32. The bus-SMP model is built from the same CPUs and caches\n\
+         with a generous 30-cycle bus line transfer; its speedup rolls over as the\n\
+         one bus saturates (utilization -> 1), while the SPP's distributed\n\
+         directories + SCI rings keep absorbing the same traffic — the paper's\n\
+         opening argument, quantified.",
+        t.render()
+    );
+    emit("Bus-SMP saturation analysis (the paper's introductory contrast)", &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_traffic() -> Traffic {
+        Traffic {
+            work: 10_000_000.0,
+            misses: 120_000.0,
+            upgrades: 30_000.0,
+        }
+    }
+
+    #[test]
+    fn bus_scales_at_low_counts_then_saturates() {
+        let t = toy_traffic();
+        let bus = BusModel::mid90s();
+        let s = |p: usize| t.work / bus_time(&t, &bus, p);
+        assert!((s(2) - 2.0).abs() < 1e-9, "2-proc bus speedup {}", s(2));
+        // Saturation: the occupancy is 3.9 M cycles; work/p falls below
+        // it past p ~ 2.5, so speedup caps at work/occupancy ~ 2.56.
+        assert!((s(16) - 10.0 / 3.9).abs() < 1e-9, "16-proc bus speedup {}", s(16));
+        assert!(s(16) <= s(8) + 1e-9, "no scaling after saturation");
+    }
+
+    #[test]
+    fn bus_time_is_monotone_in_traffic() {
+        let bus = BusModel::mid90s();
+        let light = Traffic {
+            misses: 10_000.0,
+            ..toy_traffic()
+        };
+        let heavy = Traffic {
+            misses: 500_000.0,
+            ..toy_traffic()
+        };
+        assert!(bus_time(&heavy, &bus, 8) > bus_time(&light, &bus, 8));
+    }
+
+    #[test]
+    fn spp_beats_the_bus_at_sixteen() {
+        // Integration: real measured traffic, both models.
+        let traffic = measure_pic_traffic();
+        let bus = BusModel::mid90s();
+        let bus16 = traffic.work / bus_time(&traffic, &bus, 16);
+        // The SPP's measured 16-proc speedup (from fig6) is >10;
+        // assert the bus can't reach even that ballpark.
+        assert!(
+            bus16 < 10.0,
+            "bus-SMP 16-proc speedup {bus16} should saturate below the SPP's"
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 2 — cost of fork-join vs. number of threads, for high
+//! locality and uniform distribution across two hypernodes.
+
+use crate::{emit, f, Opts, Table};
+use spp_runtime::{Placement, Runtime};
+
+/// Measured fork-join times, microseconds, indexed by thread count.
+pub struct Fig2 {
+    /// (threads, high-locality µs, uniform µs) triples.
+    pub points: Vec<(usize, f64, f64)>,
+}
+
+/// Regenerate Figure 2.
+pub fn run(_o: &Opts) -> String {
+    let data = collect();
+    let mut t = Table::new(&["threads", "high locality (us)", "uniform (us)"]);
+    for (n, hl, un) in &data.points {
+        t.row(vec![n.to_string(), f(*hl, 1), f(*un, 1)]);
+    }
+    let body = format!(
+        "{}\npaper anchors: ~10 us per extra local pair, ~20 us per uniform pair,\n\
+         ~50 us one-time penalty when a second hypernode joins.\n\
+         measured local pair slope (2->8): {:.1} us; uniform pair slope (2->16): {:.1} us;\n\
+         cross-node jump (8->10, high locality): {:.1} us",
+        t.render(),
+        pair_slope(&data, 2, 8, true),
+        pair_slope(&data, 2, 16, false),
+        jump(&data)
+    );
+    emit("Figure 2: fork-join cost", &body)
+}
+
+/// Raw data (used by tests and the ablation harness).
+pub fn collect() -> Fig2 {
+    let mut points = Vec::new();
+    for n in 1..=16usize {
+        let hl = measure(n, &Placement::HighLocality);
+        let un = measure(n, &Placement::Uniform);
+        points.push((n, hl, un));
+    }
+    Fig2 { points }
+}
+
+fn measure(n: usize, placement: &Placement) -> f64 {
+    let mut rt = Runtime::spp1000(2);
+    // Warm the barrier/coherence state once, then take the steady
+    // measurement (the paper used minima over many runs).
+    rt.fork_join(n, placement, |_| {});
+    rt.fork_join(n, placement, |_| {}).elapsed_us()
+}
+
+fn pair_slope(d: &Fig2, from: usize, to: usize, high_locality: bool) -> f64 {
+    let get = |n: usize| {
+        let p = d.points.iter().find(|p| p.0 == n).unwrap();
+        if high_locality {
+            p.1
+        } else {
+            p.2
+        }
+    };
+    (get(to) - get(from)) / ((to - from) as f64 / 2.0)
+}
+
+fn jump(d: &Fig2) -> f64 {
+    let get = |n: usize| d.points.iter().find(|p| p.0 == n).unwrap().1;
+    get(10) - get(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_shape_matches_paper() {
+        let d = collect();
+        // ~10 us per local pair.
+        let local = pair_slope(&d, 2, 8, true);
+        assert!((7.0..=15.0).contains(&local), "local slope {local}");
+        // ~20 us per uniform pair.
+        let uniform = pair_slope(&d, 2, 16, false);
+        assert!((14.0..=28.0).contains(&uniform), "uniform slope {uniform}");
+        // ~50 us activation when crossing hypernodes.
+        let j = jump(&d);
+        assert!((40.0..=80.0).contains(&j), "cross-node jump {j}");
+        // Monotone in thread count for each placement.
+        for w in d.points.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1.0);
+        }
+    }
+}

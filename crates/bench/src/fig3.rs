@@ -1,0 +1,118 @@
+//! Figure 3 — barrier synchronization cost: last-in/first-out and
+//! last-in/last-out, for high locality and uniform placement, plus the
+//! single-hypernode curve of the authors' earlier study.
+
+use crate::{emit, f, Opts, Table};
+use spp_core::{CpuId, Cycles, Machine, NodeId};
+use spp_runtime::{Placement, RuntimeCostModel, SimBarrier, Team};
+
+/// One barrier measurement.
+pub struct Point {
+    /// Thread count.
+    pub n: usize,
+    /// Last in - first out, µs.
+    pub lifo: f64,
+    /// Last in - last out, µs.
+    pub lilo: f64,
+}
+
+/// Measure the barrier for 1..=16 threads under `placement` on a
+/// machine with `nodes` hypernodes.
+pub fn collect(nodes: usize, placement: &Placement) -> Vec<Point> {
+    let mut out = Vec::new();
+    let max = 8 * nodes;
+    for n in 1..=max.min(16) {
+        let mut m = Machine::spp1000(nodes);
+        let bar = SimBarrier::new(&mut m, NodeId(0));
+        let cost = RuntimeCostModel::spp1000();
+        let team = Team::place(m.config(), n, placement);
+        // Arrivals staggered 1 us apart: the "minimum observed"
+        // protocol of §4.2 (the last thread finds the semaphore free).
+        let arrivals: Vec<(CpuId, Cycles)> = team
+            .cpus()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (*c, i as u64 * 100))
+            .collect();
+        // Warm the flag/semaphore lines, then measure.
+        bar.simulate(&mut m, &cost, &arrivals);
+        let r = bar.simulate(&mut m, &cost, &arrivals);
+        out.push(Point {
+            n,
+            lifo: spp_core::cycles_to_us(r.lifo()),
+            lilo: spp_core::cycles_to_us(r.lilo()),
+        });
+    }
+    out
+}
+
+/// Regenerate Figure 3.
+pub fn run(_o: &Opts) -> String {
+    let hl = collect(2, &Placement::HighLocality);
+    let un = collect(2, &Placement::Uniform);
+    let single = collect(1, &Placement::HighLocality);
+    let mut t = Table::new(&[
+        "threads",
+        "HL lifo",
+        "HL lilo",
+        "Uni lifo",
+        "Uni lilo",
+        "1-node lifo",
+        "1-node lilo",
+    ]);
+    for (i, p) in hl.iter().enumerate() {
+        let u = &un[i];
+        let (sl, sll) = single
+            .get(i)
+            .map(|s| (f(s.lifo, 2), f(s.lilo, 2)))
+            .unwrap_or_default();
+        t.row(vec![
+            p.n.to_string(),
+            f(p.lifo, 2),
+            f(p.lilo, 2),
+            f(u.lifo, 2),
+            f(u.lilo, 2),
+            sl,
+            sll,
+        ]);
+    }
+    let body = format!(
+        "{}\n(all times in us)\npaper anchors: lifo ~3.5 us on one hypernode (+~1 us with a second),\n\
+         release ~2 us per thread beyond the second.",
+        t.render()
+    );
+    emit("Figure 3: barrier synchronization cost", &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_shape_matches_paper() {
+        let single = collect(1, &Placement::HighLocality);
+        let hl = collect(2, &Placement::HighLocality);
+        // Single-node lifo ~3.5 us flat for n >= 2.
+        for p in single.iter().filter(|p| p.n >= 2) {
+            assert!((2.5..=4.5).contains(&p.lifo), "n={} lifo={}", p.n, p.lifo);
+        }
+        // Release slope ~2 us/thread on one node.
+        let p4 = single.iter().find(|p| p.n == 4).unwrap();
+        let p8 = single.iter().find(|p| p.n == 8).unwrap();
+        let slope = (p8.lilo - p4.lilo) / 4.0;
+        assert!((1.4..=2.6).contains(&slope), "slope {slope}");
+        // Crossing to a second node costs extra lifo.
+        let hl10 = hl.iter().find(|p| p.n == 10).unwrap();
+        let s8 = single.iter().find(|p| p.n == 8).unwrap();
+        assert!(hl10.lifo > s8.lifo, "{} vs {}", hl10.lifo, s8.lifo);
+    }
+
+    #[test]
+    fn uniform_lilo_exceeds_high_locality() {
+        let hl = collect(2, &Placement::HighLocality);
+        let un = collect(2, &Placement::Uniform);
+        let h8 = hl.iter().find(|p| p.n == 8).unwrap();
+        let u8 = un.iter().find(|p| p.n == 8).unwrap();
+        assert!(u8.lilo > h8.lilo, "{} vs {}", u8.lilo, h8.lilo);
+    }
+}

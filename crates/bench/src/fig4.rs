@@ -1,0 +1,61 @@
+//! Figure 4 — round-trip PVM message time vs. message size, within a
+//! hypernode and across the SCI interconnect.
+
+use crate::{emit, f, Opts, Table};
+use spp_core::CpuId;
+use spp_pvm::Pvm;
+
+/// Round-trip time in µs for one (bytes, intra-node?) combination.
+pub fn round_trip_us(bytes: usize, same_node: bool) -> f64 {
+    let peer = if same_node { CpuId(1) } else { CpuId(8) };
+    let mut pvm = Pvm::spp1000(2, &[CpuId(0), peer]);
+    spp_core::cycles_to_us(pvm.round_trip(0, 1, bytes, 8))
+}
+
+/// Message sizes swept (bytes).
+pub const SIZES: [usize; 9] = [8, 64, 512, 2048, 8192, 16384, 32768, 65536, 131072];
+
+/// Regenerate Figure 4.
+pub fn run(_o: &Opts) -> String {
+    let mut t = Table::new(&["bytes", "local RT (us)", "global RT (us)", "ratio"]);
+    for b in SIZES {
+        let l = round_trip_us(b, true);
+        let g = round_trip_us(b, false);
+        t.row(vec![b.to_string(), f(l, 1), f(g, 1), f(g / l, 2)]);
+    }
+    let body = format!(
+        "{}\npaper anchors: ~30 us local and ~70 us global round trip (ratio 2.3)\n\
+         below 8 KB; substantial page-granular growth beyond 8 KB.",
+        t.render()
+    );
+    emit("Figure 4: round-trip message passing", &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plateau_below_8k() {
+        let a = round_trip_us(8, true);
+        let b = round_trip_us(8192, true);
+        assert!((a - b).abs() < 2.0, "local plateau: {a} vs {b}");
+        assert!((25.0..=35.0).contains(&a), "local RT = {a}");
+        let g = round_trip_us(1024, false);
+        assert!((60.0..=80.0).contains(&g), "global RT = {g}");
+    }
+
+    #[test]
+    fn growth_beyond_8k() {
+        let r16 = round_trip_us(16384, true);
+        let r64 = round_trip_us(65536, true);
+        assert!(r16 > 45.0, "16 KB RT = {r16}");
+        assert!(r64 > 2.0 * r16, "64 KB RT = {r64}");
+    }
+
+    #[test]
+    fn global_local_ratio_near_2_3() {
+        let ratio = round_trip_us(1024, false) / round_trip_us(1024, true);
+        assert!((1.9..=2.8).contains(&ratio), "ratio = {ratio}");
+    }
+}

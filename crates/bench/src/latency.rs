@@ -1,0 +1,106 @@
+//! The §6 micro-claims: global-vs-local cache miss ratio (~8x),
+//! in-cache vs. out-of-cache application speed (~3x on one hypernode),
+//! and the local-vs-global primitive cost spectrum (2x to 10x).
+
+use crate::{emit, f, Opts, Table};
+use spp_core::{CpuId, Machine, MemClass, NodeId};
+
+/// Average cycles per access when CPU 0 streams reads over `bytes`
+/// of memory in `class`, after one warm-up sweep.
+pub fn stream_cycles(m: &mut Machine, class: MemClass, bytes: u64, sweeps: usize) -> f64 {
+    let r = m.alloc(class, bytes);
+    let n = bytes / 8;
+    let mut total = 0u64;
+    for _ in 0..sweeps.max(1) {
+        for i in 0..n {
+            total += m.read(CpuId(0), r.addr(i * 8));
+        }
+    }
+    total as f64 / (n * sweeps.max(1) as u64) as f64
+}
+
+/// Cold-miss latency of one line in `class` as seen from CPU 0.
+pub fn cold_miss(m: &mut Machine, class: MemClass) -> u64 {
+    let r = m.alloc(class, 4096);
+    m.read(CpuId(0), r.addr(0))
+}
+
+/// Regenerate the §6 latency characterization.
+pub fn run(_o: &Opts) -> String {
+    let mut m = Machine::spp1000(2);
+    let local = cold_miss(&mut m, MemClass::NearShared { node: NodeId(0) });
+    let remote = cold_miss(&mut m, MemClass::NearShared { node: NodeId(1) });
+    // GCB hit: second CPU of the same node touching the remote line.
+    let r = m.alloc(MemClass::NearShared { node: NodeId(1) }, 4096);
+    m.read(CpuId(0), r.addr(64));
+    let gcb = m.read(CpuId(1), r.addr(64));
+
+    // In-cache vs out-of-cache streaming (one hypernode).
+    let mut m1 = Machine::spp1000(1);
+    let near = MemClass::NearShared { node: NodeId(0) };
+    let in_cache = stream_cycles(&mut m1, near, 256 << 10, 4); // fits 1 MB
+    let mut m2 = Machine::spp1000(1);
+    let out_cache = stream_cycles(&mut m2, near, 8 << 20, 2); // 8x the cache
+
+    let mut t = Table::new(&["quantity", "measured", "paper"]);
+    t.row(vec![
+        "hypernode-local miss (cycles)".into(),
+        local.to_string(),
+        "50-60".into(),
+    ]);
+    t.row(vec![
+        "global (SCI) miss (cycles)".into(),
+        remote.to_string(),
+        "~8x local".into(),
+    ]);
+    t.row(vec![
+        "global:local miss ratio".into(),
+        f(remote as f64 / local as f64, 2),
+        "~8".into(),
+    ]);
+    t.row(vec![
+        "global cache buffer hit (cycles)".into(),
+        gcb.to_string(),
+        "50-60".into(),
+    ]);
+    t.row(vec![
+        "out-of-cache vs in-cache streaming".into(),
+        f(out_cache / in_cache, 2),
+        "~3 (application level)".into(),
+    ]);
+    emit("Section 6: latency characterization", &t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_ratio_is_about_8() {
+        let mut m = Machine::spp1000(2);
+        let l = cold_miss(&mut m, MemClass::NearShared { node: NodeId(0) });
+        let r = cold_miss(&mut m, MemClass::NearShared { node: NodeId(1) });
+        let ratio = r as f64 / l as f64;
+        assert!((6.0..=10.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn streaming_ratio_is_a_few_x() {
+        let near = MemClass::NearShared { node: NodeId(0) };
+        let mut m1 = Machine::spp1000(1);
+        let fast = stream_cycles(&mut m1, near, 128 << 10, 4);
+        let mut m2 = Machine::spp1000(1);
+        let slow = stream_cycles(&mut m2, near, 4 << 20, 2);
+        let ratio = slow / fast;
+        assert!((2.0..=15.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn gcb_hits_are_local_speed() {
+        let mut m = Machine::spp1000(2);
+        let r = m.alloc(MemClass::NearShared { node: NodeId(1) }, 4096);
+        m.read(CpuId(0), r.addr(0));
+        let gcb = m.read(CpuId(1), r.addr(0));
+        assert!((50..=60).contains(&gcb), "gcb hit {gcb}");
+    }
+}

@@ -1,0 +1,167 @@
+//! # spp-bench — the experiment harness
+//!
+//! One module per paper artifact; each has a `run(&Opts) -> String`
+//! that regenerates the table/figure data (printing a side-by-side
+//! "paper" column where the paper gives numbers) and returns the
+//! formatted text. The `repro-*` binaries are thin wrappers;
+//! `repro-all` chains everything and is what EXPERIMENTS.md records.
+
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod cachestudy;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod latency;
+pub mod scale;
+pub mod sensitivity;
+pub mod table1;
+pub mod table2;
+
+/// Harness options shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Run paper-size workloads even where they are expensive
+    /// (notably the 2M-particle N-body). Off by default; the default
+    /// harness substitutes documented scaled sizes.
+    pub full: bool,
+    /// Measured steps per application configuration (after one
+    /// untimed warm-up step).
+    pub steps: usize,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            full: false,
+            steps: 2,
+        }
+    }
+}
+
+impl Opts {
+    /// Parse `--full` and `--steps N` from process args.
+    pub fn from_args() -> Self {
+        let mut o = Opts::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--full" => o.full = true,
+                "--steps" => {
+                    o.steps = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--steps needs a positive integer");
+                }
+                other => panic!("unknown argument {other} (supported: --full, --steps N)"),
+            }
+        }
+        o
+    }
+}
+
+/// Minimal fixed-width table formatter (plain text, pasteable into
+/// markdown as a code block).
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut w = vec![0usize; ncol];
+        for c in 0..ncol {
+            w[c] = self.headers[c].len();
+            for r in &self.rows {
+                w[c] = w[c].max(r[c].len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], w: &[usize], out: &mut String| {
+            for (c, cell) in cells.iter().enumerate() {
+                out.push_str(&format!("{:>width$}  ", cell, width = w[c]));
+            }
+            out.push('\n');
+        };
+        line(&self.headers, &w, &mut out);
+        out.push_str(&format!(
+            "{}\n",
+            "-".repeat(w.iter().sum::<usize>() + 2 * ncol)
+        ));
+        for r in &self.rows {
+            line(r, &w, &mut out);
+        }
+        out
+    }
+}
+
+/// Format a float to a compact fixed string.
+pub fn f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Print a section header and its content (used by every repro
+/// binary).
+pub fn emit(title: &str, body: &str) -> String {
+    let bar = "=".repeat(title.len());
+    let text = format!("\n{title}\n{bar}\n{body}");
+    println!("{text}");
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "longer"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "x".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("longer"));
+        assert!(lines[2].ends_with("2  "));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(10.0, 1), "10.0");
+    }
+
+    #[test]
+    fn default_opts() {
+        let o = Opts::default();
+        assert!(!o.full);
+        assert_eq!(o.steps, 2);
+    }
+}

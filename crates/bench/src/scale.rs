@@ -1,0 +1,132 @@
+//! Extrapolation to larger configurations — the paper's stated next
+//! step ("Among the near term activities to be undertaken is running
+//! on larger configuration platforms", §7). The testbed had 2 of the
+//! architecture's 16 hypernodes; the simulator runs the full machine.
+//!
+//! Everything here is *prediction*, not reproduction: it shows what
+//! the modelled protocols do as ring transit and SCI list lengths grow
+//! toward the 128-processor limit.
+
+use crate::{emit, f, Opts, Table};
+use nbody::{NbodyProblem, SharedNbody};
+use pic::{PicProblem, SharedPic};
+use spp_core::{CpuId, Cycles, Machine, MemClass, NodeId};
+use spp_runtime::{Placement, Runtime, RuntimeCostModel, SimBarrier, Team};
+
+/// Hypernode counts swept (procs = 8x).
+pub const NODES: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Remote-miss latency as the rings grow (SCI transit scales with the
+/// station count).
+pub fn remote_miss_cycles(hypernodes: usize) -> Cycles {
+    let mut m = Machine::spp1000(hypernodes.max(2));
+    let far = m.alloc(
+        MemClass::NearShared {
+            node: NodeId((hypernodes - 1) as u8),
+        },
+        4096,
+    );
+    m.read(CpuId(0), far.addr(0))
+}
+
+/// Full-machine barrier release time (µs).
+pub fn barrier_lilo_us(hypernodes: usize) -> f64 {
+    let mut m = Machine::spp1000(hypernodes);
+    let bar = SimBarrier::new(&mut m, NodeId(0));
+    let cost = RuntimeCostModel::spp1000();
+    let n = 8 * hypernodes;
+    let arrivals: Vec<(CpuId, Cycles)> =
+        (0..n as u16).map(|i| (CpuId(i), i as u64 * 100)).collect();
+    bar.simulate(&mut m, &cost, &arrivals);
+    spp_core::cycles_to_us(bar.simulate(&mut m, &cost, &arrivals).lilo())
+}
+
+/// Full-machine empty fork-join (µs).
+pub fn fork_join_us(hypernodes: usize) -> f64 {
+    let mut rt = Runtime::spp1000(hypernodes);
+    let n = 8 * hypernodes;
+    rt.fork_join(n, &Placement::Uniform, |_| {});
+    rt.fork_join(n, &Placement::Uniform, |_| {}).elapsed_us()
+}
+
+/// PIC Mflop/s using every CPU of an `hypernodes`-node machine.
+pub fn pic_mflops(hypernodes: usize, steps: usize) -> f64 {
+    let mut rt = Runtime::spp1000(hypernodes);
+    let team = Team::place(rt.machine.config(), 8 * hypernodes, &Placement::Uniform);
+    let mut sim = SharedPic::new(&mut rt, PicProblem::small(), &team);
+    sim.step(&mut rt, &team);
+    sim.run(&mut rt, &team, steps).mflops()
+}
+
+/// N-body Mflop/s using every CPU (256K particles so 128 processors
+/// still have ~2K particles each).
+pub fn nbody_mflops(hypernodes: usize, steps: usize) -> f64 {
+    let mut rt = Runtime::spp1000(hypernodes);
+    let team = Team::place(rt.machine.config(), 8 * hypernodes, &Placement::Uniform);
+    let mut sim = SharedNbody::new(&mut rt, NbodyProblem::with_n(128 * 1024), &team);
+    sim.step(&mut rt, &team);
+    sim.run(&mut rt, &team, steps).mflops()
+}
+
+/// Run the scale-out prediction.
+pub fn run(o: &Opts) -> String {
+    let mut t = Table::new(&[
+        "hypernodes",
+        "procs",
+        "remote miss (cy)",
+        "barrier lilo (us)",
+        "fork-join (us)",
+        "PIC MF/s",
+        "N-body MF/s",
+    ]);
+    for &h in &NODES {
+        t.row(vec![
+            h.to_string(),
+            (8 * h).to_string(),
+            if h >= 2 {
+                remote_miss_cycles(h).to_string()
+            } else {
+                "-".into()
+            },
+            f(barrier_lilo_us(h), 1),
+            f(fork_join_us(h), 1),
+            f(pic_mflops(h, o.steps), 0),
+            f(nbody_mflops(h, o.steps), 0),
+        ]);
+    }
+    let body = format!(
+        "{}\nPrediction for the full 128-processor SPP-1000 (the paper measured only\n\
+         2 hypernodes). Remote misses grow with ring transit; the barrier's SCI\n\
+         list walk makes full-machine synchronization increasingly expensive;\n\
+         the applications keep scaling but at falling parallel efficiency.",
+        t.render()
+    );
+    emit("Scale-out: 1 to 16 hypernodes (8 to 128 processors)", &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_latency_grows_with_ring_length() {
+        let r2 = remote_miss_cycles(2);
+        let r16 = remote_miss_cycles(16);
+        assert!(r16 > r2 + 300, "2 nodes {r2}, 16 nodes {r16}");
+    }
+
+    #[test]
+    fn barrier_cost_grows_superlinearly_in_nodes() {
+        let b2 = barrier_lilo_us(2);
+        let b8 = barrier_lilo_us(8);
+        // 4x the threads and longer SCI walks: far more than 4x.
+        assert!(b8 > 3.0 * b2, "2 nodes {b2}, 8 nodes {b8}");
+    }
+
+    #[test]
+    fn pic_keeps_scaling_to_64_procs() {
+        let m8 = pic_mflops(1, 1);
+        let m64 = pic_mflops(8, 1);
+        assert!(m64 > 2.5 * m8, "8 procs {m8}, 64 procs {m64}");
+    }
+}

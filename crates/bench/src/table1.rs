@@ -1,0 +1,44 @@
+//! Table 1 — PIC performance on one C90 processor.
+
+use crate::{emit, f, Opts, Table};
+use pic::c90::run_c90;
+use pic::PicProblem;
+
+/// Regenerate Table 1.
+pub fn run(_o: &Opts) -> String {
+    let mut t = Table::new(&[
+        "Mesh",
+        "particles",
+        "Mflop/s",
+        "paper",
+        "CPU s (500 steps)",
+        "paper",
+    ]);
+    for (p, name, paper_mf, paper_s) in [
+        (PicProblem::small(), "32 x 32 x 32", 355.0, 112.9),
+        (PicProblem::large(), "64 x 64 x 32", 369.0, 436.4),
+    ] {
+        let r = run_c90(&p, 500);
+        t.row(vec![
+            name.to_string(),
+            p.num_particles().to_string(),
+            f(r.mflops, 0),
+            f(paper_mf, 0),
+            f(r.total_seconds, 1),
+            f(paper_s, 1),
+        ]);
+    }
+    emit("Table 1: PIC on one C90 processor", &t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_in_band() {
+        let s = run_c90(&PicProblem::small(), 500);
+        assert!((300.0..=420.0).contains(&s.mflops));
+        assert!((90.0..=140.0).contains(&s.total_seconds));
+    }
+}

@@ -1,0 +1,61 @@
+//! Table 2 — PPM (PROMETHEUS analog) Mflop/s on the paper's grid and
+//! tile configurations.
+
+use crate::{emit, f, Opts, Table};
+use ppm::{PpmProblem, SharedPpm};
+use spp_runtime::{Placement, Runtime, Team};
+
+/// Rows of Table 2: (grid, tiles, procs, paper Mflop/s).
+pub const ROWS: [((usize, usize), (usize, usize), usize, f64); 10] = [
+    ((120, 480), (4, 16), 1, 29.9),
+    ((120, 480), (4, 16), 2, 58.2),
+    ((120, 480), (4, 16), 4, 118.8),
+    ((120, 480), (4, 16), 8, 228.5),
+    ((120, 480), (12, 48), 1, 23.8),
+    ((120, 480), (12, 48), 2, 47.8),
+    ((120, 480), (12, 48), 4, 95.9),
+    ((120, 480), (12, 48), 8, 186.2),
+    ((120, 480), (4, 16), 1, 29.9),
+    ((240, 960), (4, 16), 4, 118.5),
+];
+
+/// Measure one Table 2 row.
+pub fn measure(grid: (usize, usize), tiles: (usize, usize), procs: usize, steps: usize) -> f64 {
+    let p = PpmProblem::table2(grid.0, grid.1, tiles.0, tiles.1);
+    let mut rt = Runtime::spp1000(2);
+    let team = Team::place(rt.machine.config(), procs, &Placement::HighLocality);
+    let mut sim = SharedPpm::new(&mut rt, p, &team);
+    sim.step(&mut rt, &team); // warm-up
+    sim.run(&mut rt, &team, steps).mflops()
+}
+
+/// Regenerate Table 2.
+pub fn run(o: &Opts) -> String {
+    let mut t = Table::new(&["Grid", "Tiles", "Procs", "Mflop/s", "paper"]);
+    for ((gx, gy), (tx, ty), procs, paper) in ROWS {
+        let mf = measure((gx, gy), (tx, ty), procs, o.steps);
+        t.row(vec![
+            format!("{gx}x{gy}"),
+            format!("{tx}x{ty}"),
+            procs.to_string(),
+            f(mf, 1),
+            f(paper, 1),
+        ]);
+    }
+    emit("Table 2: PPM performance", &t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_key_rows_in_band() {
+        // 4x16 tiling, 4 procs: paper 118.8.
+        let mf = measure((120, 480), (4, 16), 4, 1);
+        assert!((95.0..=145.0).contains(&mf), "4-proc = {mf}");
+        // Finer tiles cost throughput (paper: 95.9 at 4 procs).
+        let fine = measure((120, 480), (12, 48), 4, 1);
+        assert!(fine < mf, "fine {fine} vs coarse {mf}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Typed arrays in simulated memory.
+//!
+//! A [`SimArray<T>`] owns real host data (a `Vec<T>`) *and* a range of
+//! simulated addresses with a placement class. Application kernels
+//! compute on the real data while every indexed access is priced by
+//! the machine model — the simulator sees the genuine address stream
+//! of the genuine algorithm.
+
+use crate::config::CpuId;
+use crate::latency::Cycles;
+use crate::machine::Machine;
+use crate::mem::{MemClass, Region};
+
+/// A typed array living in simulated memory.
+#[derive(Debug, Clone)]
+pub struct SimArray<T> {
+    data: Vec<T>,
+    region: Region,
+    elem_bytes: u64,
+}
+
+impl<T: Copy> SimArray<T> {
+    /// Allocate simulated backing for `data` with the given placement.
+    pub fn new(m: &mut Machine, class: MemClass, data: Vec<T>) -> Self {
+        let elem_bytes = std::mem::size_of::<T>() as u64;
+        let bytes = (data.len() as u64 * elem_bytes).max(1);
+        let region = m.alloc(class, bytes);
+        SimArray {
+            data,
+            region,
+            elem_bytes,
+        }
+    }
+
+    /// Allocate a `len`-element array filled with `v`.
+    pub fn from_elem(m: &mut Machine, class: MemClass, len: usize, v: T) -> Self {
+        Self::new(m, class, vec![v; len])
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the array holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Simulated address of element `i`.
+    #[inline]
+    pub fn addr(&self, i: usize) -> u64 {
+        debug_assert!(i < self.data.len());
+        self.region.base + i as u64 * self.elem_bytes
+    }
+
+    /// The allocation this array occupies.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Priced read of element `i` as `cpu`.
+    #[inline]
+    pub fn read(&self, m: &mut Machine, cpu: CpuId, i: usize) -> (T, Cycles) {
+        let c = m.read(cpu, self.addr(i));
+        (self.data[i], c)
+    }
+
+    /// Priced write of element `i` as `cpu`.
+    #[inline]
+    pub fn write(&mut self, m: &mut Machine, cpu: CpuId, i: usize, v: T) -> Cycles {
+        let c = m.write(cpu, self.addr(i));
+        self.data[i] = v;
+        c
+    }
+
+    /// Unpriced access to the host data (initialization, verification
+    /// — *not* for simulated kernels).
+    pub fn host(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Unpriced mutable access to the host data.
+    pub fn host_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume the array, returning the host data.
+    pub fn into_host(self) -> Vec<T> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NodeId;
+
+    #[test]
+    fn addresses_are_contiguous_and_typed() {
+        let mut m = Machine::spp1000(1);
+        let a = SimArray::<f64>::from_elem(&mut m, MemClass::NearShared { node: NodeId(0) }, 16, 0.0);
+        assert_eq!(a.addr(1) - a.addr(0), 8);
+        assert_eq!(a.len(), 16);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn read_write_round_trip_with_costs() {
+        let mut m = Machine::spp1000(1);
+        let mut a =
+            SimArray::<f64>::from_elem(&mut m, MemClass::NearShared { node: NodeId(0) }, 8, 0.0);
+        let c_w = a.write(&mut m, CpuId(0), 3, 2.5);
+        assert!(c_w > 1, "first write misses");
+        let (v, c_r) = a.read(&mut m, CpuId(0), 3);
+        assert_eq!(v, 2.5);
+        assert_eq!(c_r, 1, "read after write hits in cache");
+    }
+
+    #[test]
+    fn four_f64_per_line() {
+        let mut m = Machine::spp1000(1);
+        let a = SimArray::<f64>::from_elem(&mut m, MemClass::NearShared { node: NodeId(0) }, 8, 0.0);
+        let (_, c0) = a.read(&mut m, CpuId(0), 0);
+        let (_, c1) = a.read(&mut m, CpuId(0), 1);
+        let (_, c2) = a.read(&mut m, CpuId(0), 3);
+        let (_, c4) = a.read(&mut m, CpuId(0), 4);
+        assert!(c0 > 1);
+        assert_eq!(c1, 1);
+        assert_eq!(c2, 1);
+        assert!(c4 > 1, "element 4 starts a new 32 B line");
+    }
+
+    #[test]
+    fn distinct_arrays_do_not_alias() {
+        let mut m = Machine::spp1000(1);
+        let a = SimArray::<u32>::from_elem(&mut m, MemClass::NearShared { node: NodeId(0) }, 4, 0);
+        let b = SimArray::<u32>::from_elem(&mut m, MemClass::NearShared { node: NodeId(0) }, 4, 0);
+        assert!(a.addr(3) < b.addr(0));
+    }
+
+    #[test]
+    fn host_access_bypasses_simulation() {
+        let mut m = Machine::spp1000(1);
+        let mut a =
+            SimArray::<u32>::from_elem(&mut m, MemClass::NearShared { node: NodeId(0) }, 4, 7);
+        let before = m.stats;
+        a.host_mut()[2] = 9;
+        assert_eq!(a.host()[2], 9);
+        assert_eq!(m.stats, before);
+        assert_eq!(a.into_host(), vec![7, 7, 9, 7]);
+    }
+}

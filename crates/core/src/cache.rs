@@ -1,0 +1,202 @@
+//! Per-CPU external data cache model: direct-mapped, 1 MB, 32-byte
+//! lines (paper §2.2), with MSI line states.
+//!
+//! The PA-7100's caches are physically external SRAM; the SPP-1000's
+//! CCMC keeps them coherent. We model the data cache only — the paper
+//! folds instruction fetch into its "one data access and one
+//! instruction fetch per cycle" throughput statement, which we absorb
+//! into the per-flop compute cost.
+
+/// Coherence state of a cached line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// Not present (or invalidated).
+    Invalid,
+    /// Present, read-only, possibly shared by other caches.
+    Shared,
+    /// Present, writable, this cache holds the only valid copy.
+    Modified,
+}
+
+/// What a lookup found, and which victim (if any) a fill would evict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Line address of the evicted victim.
+    pub line: u64,
+    /// Victim state at eviction (never `Invalid`).
+    pub state: LineState,
+}
+
+/// A direct-mapped cache: parallel tag/state arrays indexed by
+/// `line_addr % num_lines`.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    tags: Vec<u64>,
+    states: Vec<LineState>,
+    mask: u64,
+}
+
+const NO_TAG: u64 = u64::MAX;
+
+impl Cache {
+    /// Create a cache of `num_lines` lines (must be a power of two).
+    pub fn new(num_lines: usize) -> Self {
+        assert!(num_lines.is_power_of_two(), "cache lines must be 2^k");
+        Cache {
+            tags: vec![NO_TAG; num_lines],
+            states: vec![LineState::Invalid; num_lines],
+            mask: num_lines as u64 - 1,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, line: u64) -> usize {
+        (line & self.mask) as usize
+    }
+
+    /// State of `line` in this cache.
+    #[inline]
+    pub fn lookup(&self, line: u64) -> LineState {
+        let i = self.idx(line);
+        if self.tags[i] == line {
+            self.states[i]
+        } else {
+            LineState::Invalid
+        }
+    }
+
+    /// Install `line` with `state`, returning the victim this fill
+    /// displaced (if the slot held a different valid line).
+    #[inline]
+    pub fn fill(&mut self, line: u64, state: LineState) -> Option<Evicted> {
+        debug_assert_ne!(state, LineState::Invalid);
+        let i = self.idx(line);
+        let victim = if self.tags[i] != NO_TAG
+            && self.tags[i] != line
+            && self.states[i] != LineState::Invalid
+        {
+            Some(Evicted {
+                line: self.tags[i],
+                state: self.states[i],
+            })
+        } else {
+            None
+        };
+        self.tags[i] = line;
+        self.states[i] = state;
+        victim
+    }
+
+    /// Change the state of a resident line (e.g. Shared -> Modified on
+    /// a write upgrade, Modified -> Shared on a downgrade).
+    #[inline]
+    pub fn set_state(&mut self, line: u64, state: LineState) {
+        let i = self.idx(line);
+        debug_assert_eq!(self.tags[i], line, "set_state on non-resident line");
+        self.states[i] = state;
+    }
+
+    /// Invalidate `line` if resident; returns its prior state.
+    #[inline]
+    pub fn invalidate(&mut self, line: u64) -> LineState {
+        let i = self.idx(line);
+        if self.tags[i] == line {
+            let s = self.states[i];
+            self.states[i] = LineState::Invalid;
+            s
+        } else {
+            LineState::Invalid
+        }
+    }
+
+    /// Drop every line (used between benchmark repetitions).
+    pub fn flush(&mut self) {
+        self.tags.iter_mut().for_each(|t| *t = NO_TAG);
+        self.states.iter_mut().for_each(|s| *s = LineState::Invalid);
+    }
+
+    /// Number of currently valid lines (O(n); diagnostics only).
+    pub fn valid_lines(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| **s != LineState::Invalid)
+            .count()
+    }
+
+    /// Total line slots.
+    pub fn capacity(&self) -> usize {
+        self.tags.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_then_lookup_hits() {
+        let mut c = Cache::new(8);
+        assert_eq!(c.lookup(3), LineState::Invalid);
+        assert_eq!(c.fill(3, LineState::Shared), None);
+        assert_eq!(c.lookup(3), LineState::Shared);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut c = Cache::new(8);
+        c.fill(3, LineState::Modified);
+        // Line 11 maps to the same slot (11 % 8 == 3).
+        let ev = c.fill(11, LineState::Shared).expect("conflict eviction");
+        assert_eq!(ev.line, 3);
+        assert_eq!(ev.state, LineState::Modified);
+        assert_eq!(c.lookup(3), LineState::Invalid);
+        assert_eq!(c.lookup(11), LineState::Shared);
+    }
+
+    #[test]
+    fn refill_same_line_is_not_an_eviction() {
+        let mut c = Cache::new(8);
+        c.fill(5, LineState::Shared);
+        assert_eq!(c.fill(5, LineState::Modified), None);
+        assert_eq!(c.lookup(5), LineState::Modified);
+    }
+
+    #[test]
+    fn invalidate_reports_prior_state() {
+        let mut c = Cache::new(8);
+        c.fill(2, LineState::Modified);
+        assert_eq!(c.invalidate(2), LineState::Modified);
+        assert_eq!(c.invalidate(2), LineState::Invalid);
+        assert_eq!(c.lookup(2), LineState::Invalid);
+    }
+
+    #[test]
+    fn fill_over_invalidated_slot_is_not_an_eviction() {
+        let mut c = Cache::new(8);
+        c.fill(3, LineState::Shared);
+        c.invalidate(3);
+        assert_eq!(c.fill(11, LineState::Shared), None);
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = Cache::new(8);
+        for l in 0..8 {
+            c.fill(l, LineState::Shared);
+        }
+        assert_eq!(c.valid_lines(), 8);
+        c.flush();
+        assert_eq!(c.valid_lines(), 0);
+    }
+
+    #[test]
+    fn capacity_distinct_lines_coexist() {
+        let mut c = Cache::new(16);
+        for l in 0..16 {
+            assert!(c.fill(l, LineState::Shared).is_none());
+        }
+        for l in 0..16 {
+            assert_eq!(c.lookup(l), LineState::Shared);
+        }
+    }
+}

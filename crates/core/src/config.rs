@@ -1,0 +1,222 @@
+//! System topology: processors, functional units, hypernodes, rings.
+//!
+//! The SPP-1000 is a three-level structure (paper §2.1):
+//!
+//! * **Functional unit (FU)** — two HP PA-RISC 7100 CPUs, two memory
+//!   banks (up to 16 MB each), the CCMC coherence logic and the
+//!   communication "agent".
+//! * **Hypernode** — four FUs joined by a five-port crossbar (the fifth
+//!   port is I/O).
+//! * **System** — up to 16 hypernodes joined by four parallel SCI
+//!   rings; FU *i* of every hypernode sits on ring *i*.
+
+use crate::latency::LatencyModel;
+
+/// Identifies one CPU globally (0-based, dense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CpuId(pub u16);
+
+/// Identifies one functional unit globally (0-based, dense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuId(pub u16);
+
+/// Identifies one hypernode (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u8);
+
+/// Identifies one of the four SCI rings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RingId(pub u8);
+
+/// Static machine description. [`MachineConfig::spp1000`] builds the
+/// configuration of the paper's testbed (2 hypernodes, 16 CPUs).
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of hypernodes (1..=16).
+    pub hypernodes: usize,
+    /// Functional units per hypernode (4 on the SPP-1000).
+    pub fus_per_node: usize,
+    /// CPUs per functional unit (2 on the SPP-1000).
+    pub cpus_per_fu: usize,
+    /// Per-CPU external data cache size in bytes (1 MB).
+    pub cache_bytes: usize,
+    /// Cache line size in bytes (32).
+    pub line_bytes: usize,
+    /// Virtual-memory page size in bytes (4 KB).
+    pub page_bytes: usize,
+    /// Global cache buffer (SCI network cache) partition per FU, bytes.
+    pub gcb_bytes: usize,
+    /// Latency/cost model, in 10 ns CPU cycles.
+    pub latency: LatencyModel,
+}
+
+impl MachineConfig {
+    /// The configuration measured in the paper: two hypernodes of
+    /// 4 FUs x 2 CPUs (16 processors), 1 MB direct-mapped data caches
+    /// with 32-byte lines, and a 4 MB global cache buffer per FU.
+    pub fn spp1000(hypernodes: usize) -> Self {
+        assert!(
+            (1..=16).contains(&hypernodes),
+            "SPP-1000 supports 1..=16 hypernodes, got {hypernodes}"
+        );
+        MachineConfig {
+            hypernodes,
+            fus_per_node: 4,
+            cpus_per_fu: 2,
+            cache_bytes: 1 << 20,
+            line_bytes: 32,
+            page_bytes: 4096,
+            gcb_bytes: 4 << 20,
+            latency: LatencyModel::spp1000(),
+        }
+    }
+
+    /// A deliberately tiny configuration for unit tests: small caches
+    /// make capacity/conflict behaviour easy to provoke.
+    pub fn tiny(hypernodes: usize) -> Self {
+        MachineConfig {
+            cache_bytes: 1 << 10,
+            gcb_bytes: 2 << 10,
+            ..Self::spp1000(hypernodes)
+        }
+    }
+
+    /// Total CPUs in the system.
+    pub fn num_cpus(&self) -> usize {
+        self.hypernodes * self.fus_per_node * self.cpus_per_fu
+    }
+
+    /// Total functional units in the system.
+    pub fn num_fus(&self) -> usize {
+        self.hypernodes * self.fus_per_node
+    }
+
+    /// CPUs per hypernode.
+    pub fn cpus_per_node(&self) -> usize {
+        self.fus_per_node * self.cpus_per_fu
+    }
+
+    /// Cache lines per CPU cache.
+    pub fn cache_lines(&self) -> usize {
+        self.cache_bytes / self.line_bytes
+    }
+
+    /// Lines per FU global cache buffer.
+    pub fn gcb_lines(&self) -> usize {
+        self.gcb_bytes / self.line_bytes
+    }
+
+    /// The hypernode a CPU belongs to.
+    pub fn node_of_cpu(&self, cpu: CpuId) -> NodeId {
+        NodeId((cpu.0 as usize / self.cpus_per_node()) as u8)
+    }
+
+    /// The functional unit a CPU belongs to.
+    pub fn fu_of_cpu(&self, cpu: CpuId) -> FuId {
+        FuId(cpu.0 / self.cpus_per_fu as u16)
+    }
+
+    /// The hypernode a functional unit belongs to.
+    pub fn node_of_fu(&self, fu: FuId) -> NodeId {
+        NodeId((fu.0 as usize / self.fus_per_node) as u8)
+    }
+
+    /// The SCI ring a functional unit is attached to. FU *i* within
+    /// each hypernode connects to ring *i*, so the ring joins one
+    /// quarter of the system's memory.
+    pub fn ring_of_fu(&self, fu: FuId) -> RingId {
+        RingId((fu.0 as usize % self.fus_per_node) as u8)
+    }
+
+    /// The functional unit in `node` that sits on `ring` (the local
+    /// gateway through which that node reaches remote memory on the
+    /// ring).
+    pub fn gateway_fu(&self, node: NodeId, ring: RingId) -> FuId {
+        FuId((node.0 as usize * self.fus_per_node + ring.0 as usize) as u16)
+    }
+
+    /// CPU index within its hypernode (0..cpus_per_node).
+    pub fn cpu_index_in_node(&self, cpu: CpuId) -> usize {
+        cpu.0 as usize % self.cpus_per_node()
+    }
+
+    /// Iterator over every CPU id.
+    pub fn cpus(&self) -> impl Iterator<Item = CpuId> {
+        (0..self.num_cpus() as u16).map(CpuId)
+    }
+
+    /// Round-trip hop count for an SCI ring transaction. On a
+    /// unidirectional ring of `n` stations the request travels
+    /// `(dst - src) mod n` hops and the response `(src - dst) mod n`,
+    /// so any remote round trip traverses the full ring.
+    pub fn ring_round_trip_hops(&self, src: NodeId, dst: NodeId) -> u64 {
+        if src == dst {
+            0
+        } else {
+            self.hypernodes as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_has_16_cpus() {
+        let c = MachineConfig::spp1000(2);
+        assert_eq!(c.num_cpus(), 16);
+        assert_eq!(c.num_fus(), 8);
+        assert_eq!(c.cpus_per_node(), 8);
+    }
+
+    #[test]
+    fn full_system_has_128_cpus() {
+        let c = MachineConfig::spp1000(16);
+        assert_eq!(c.num_cpus(), 128);
+    }
+
+    #[test]
+    fn cache_geometry_matches_paper() {
+        let c = MachineConfig::spp1000(2);
+        assert_eq!(c.cache_lines(), 32768); // 1 MB / 32 B
+        assert_eq!(c.line_bytes, 32);
+    }
+
+    #[test]
+    fn cpu_fu_node_mapping() {
+        let c = MachineConfig::spp1000(2);
+        // CPUs 0..8 on node 0, 8..16 on node 1.
+        assert_eq!(c.node_of_cpu(CpuId(0)), NodeId(0));
+        assert_eq!(c.node_of_cpu(CpuId(7)), NodeId(0));
+        assert_eq!(c.node_of_cpu(CpuId(8)), NodeId(1));
+        assert_eq!(c.fu_of_cpu(CpuId(0)), FuId(0));
+        assert_eq!(c.fu_of_cpu(CpuId(1)), FuId(0));
+        assert_eq!(c.fu_of_cpu(CpuId(2)), FuId(1));
+        assert_eq!(c.fu_of_cpu(CpuId(15)), FuId(7));
+        assert_eq!(c.node_of_fu(FuId(7)), NodeId(1));
+    }
+
+    #[test]
+    fn ring_attachment() {
+        let c = MachineConfig::spp1000(2);
+        assert_eq!(c.ring_of_fu(FuId(0)), RingId(0));
+        assert_eq!(c.ring_of_fu(FuId(3)), RingId(3));
+        assert_eq!(c.ring_of_fu(FuId(4)), RingId(0)); // node 1, FU 0
+        assert_eq!(c.gateway_fu(NodeId(1), RingId(2)), FuId(6));
+    }
+
+    #[test]
+    fn ring_round_trip_is_full_ring() {
+        let c = MachineConfig::spp1000(4);
+        assert_eq!(c.ring_round_trip_hops(NodeId(0), NodeId(0)), 0);
+        assert_eq!(c.ring_round_trip_hops(NodeId(0), NodeId(3)), 4);
+        assert_eq!(c.ring_round_trip_hops(NodeId(3), NodeId(1)), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=16")]
+    fn rejects_oversize_system() {
+        MachineConfig::spp1000(17);
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 1 as code: an ASCII rendering of the machine's three-level
+//! organization (functional units -> hypernode crossbar -> SCI rings).
+
+use crate::config::MachineConfig;
+
+/// Render the system-organization diagram of this configuration
+/// (the paper's Figure 1, at terminal fidelity).
+pub fn system_diagram(cfg: &MachineConfig) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Convex SPP-1000: {} hypernode(s) x {} FU x {} CPU = {} processors\n\n",
+        cfg.hypernodes,
+        cfg.fus_per_node,
+        cfg.cpus_per_fu,
+        cfg.num_cpus()
+    ));
+    let shown = cfg.hypernodes.min(2);
+    for h in 0..shown {
+        out.push_str(&format!("  hypernode {h}\n"));
+        out.push_str("  +-----------------------------------------------------------+\n");
+        out.push_str("  |   FU0         FU1         FU2         FU3                 |\n");
+        out.push_str("  | [CPU CPU]   [CPU CPU]   [CPU CPU]   [CPU CPU]             |\n");
+        out.push_str("  | [MEM|GCB]   [MEM|GCB]   [MEM|GCB]   [MEM|GCB]             |\n");
+        out.push_str("  | [ CCMC  ]   [ CCMC  ]   [ CCMC  ]   [ CCMC  ]             |\n");
+        out.push_str("  |     |___________|___________|___________|                 |\n");
+        out.push_str("  |              5-port crossbar  --------- I/O               |\n");
+        out.push_str("  +-----|-----------|-----------|-----------|-----------------+\n");
+        out.push_str("        |           |           |           |\n");
+    }
+    out.push_str("     ring 0      ring 1      ring 2      ring 3   (SCI, one FU per ring");
+    if cfg.hypernodes > shown {
+        out.push_str(&format!(";\n      ... {} more hypernode(s) on the same four rings", cfg.hypernodes - shown));
+    }
+    out.push_str(")\n\n");
+    out.push_str(&format!(
+        "caches: {} KB direct-mapped per CPU, {} B lines; GCB {} KB per FU;\n\
+         coherence: DASH-style directory within a hypernode, SCI linked lists between\n",
+        cfg.cache_bytes >> 10,
+        cfg.line_bytes,
+        cfg.gcb_bytes >> 10
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagram_mentions_the_structure() {
+        let d = system_diagram(&MachineConfig::spp1000(2));
+        assert!(d.contains("16 processors"));
+        assert!(d.contains("5-port crossbar"));
+        assert!(d.contains("ring 3"));
+        assert!(d.contains("CCMC"));
+        assert!(d.contains("SCI linked lists"));
+    }
+
+    #[test]
+    fn big_configs_are_elided() {
+        let d = system_diagram(&MachineConfig::spp1000(16));
+        assert!(d.contains("128 processors"));
+        assert!(d.contains("14 more hypernode"));
+        // Only two hypernode boxes drawn.
+        assert_eq!(d.matches("5-port crossbar").count(), 2);
+    }
+}

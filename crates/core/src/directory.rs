@@ -1,0 +1,272 @@
+//! Intra-hypernode directory (paper §2.4): a direct-mapped,
+//! directory-based scheme "similar to the experimental DASH system".
+//!
+//! Each hypernode's CCMC logic tracks, for every line present in the
+//! node (whether homed in the node's memory or held in its global
+//! cache buffer), which of the node's eight CPUs hold copies and
+//! whether one of them holds the line modified. We model the directory
+//! as a sparse map over lines with live state.
+
+use crate::linemap::LineMap;
+
+/// Directory state for one line within one hypernode.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirEntry {
+    /// Bitmask of CPUs *within this node* holding the line
+    /// Shared/Modified (bit = CPU index in node, 0..8).
+    pub sharers: u8,
+    /// CPU index in node holding the line Modified, if any. When set,
+    /// `sharers` contains exactly that bit.
+    pub owner: Option<u8>,
+}
+
+impl DirEntry {
+    /// True if no CPU in the node holds the line.
+    pub fn is_empty(&self) -> bool {
+        self.sharers == 0 && self.owner.is_none()
+    }
+
+    /// Number of sharers excluding `cpu_in_node`.
+    pub fn other_sharers(&self, cpu_in_node: u8) -> u32 {
+        (self.sharers & !(1 << cpu_in_node)).count_ones()
+    }
+}
+
+/// Per-hypernode directory.
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    map: LineMap<DirEntry>,
+}
+
+impl Directory {
+    /// Create an empty directory.
+    pub fn new() -> Self {
+        Directory {
+            map: LineMap::with_capacity(1 << 12),
+        }
+    }
+
+    /// Current entry for `line` (copy), if any CPU in the node holds it.
+    pub fn get(&self, line: u64) -> Option<DirEntry> {
+        self.map.get(line).copied()
+    }
+
+    /// Record that `cpu_in_node` now shares `line`.
+    pub fn add_sharer(&mut self, line: u64, cpu_in_node: u8) {
+        let e = self.map.entry_or_insert_with(line, DirEntry::default);
+        e.sharers |= 1 << cpu_in_node;
+    }
+
+    /// Record that `cpu_in_node` holds `line` modified (it becomes the
+    /// sole sharer).
+    pub fn set_owner(&mut self, line: u64, cpu_in_node: u8) {
+        let e = self.map.entry_or_insert_with(line, DirEntry::default);
+        e.sharers = 1 << cpu_in_node;
+        e.owner = Some(cpu_in_node);
+    }
+
+    /// Downgrade the owner (if any) to an ordinary sharer.
+    pub fn clear_owner(&mut self, line: u64) {
+        if let Some(e) = self.map.get_mut(line) {
+            e.owner = None;
+        }
+    }
+
+    /// Remove `cpu_in_node` from the sharer set (cache eviction or
+    /// invalidation). Drops the entry when it empties.
+    pub fn remove_sharer(&mut self, line: u64, cpu_in_node: u8) {
+        let remove = if let Some(e) = self.map.get_mut(line) {
+            e.sharers &= !(1 << cpu_in_node);
+            if e.owner == Some(cpu_in_node) {
+                e.owner = None;
+            }
+            e.is_empty()
+        } else {
+            false
+        };
+        if remove {
+            self.map.remove(line);
+        }
+    }
+
+    /// Remove the whole entry (node-wide invalidation), returning the
+    /// CPUs that held copies.
+    pub fn take(&mut self, line: u64) -> Option<DirEntry> {
+        self.map.remove(line)
+    }
+
+    /// Number of lines with live directory state (diagnostics).
+    pub fn live_lines(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Inter-hypernode SCI reference-tree state (paper §2.5): for each
+/// line shared beyond its home hypernode, a distributed linked list of
+/// sharing nodes, walked serially on invalidation.
+#[derive(Debug, Clone, Default)]
+pub struct SciEntry {
+    /// Sharing hypernodes, most recent first (the SCI list head).
+    /// Never contains the home node.
+    pub list: Vec<u8>,
+    /// Node holding the line dirty (home memory stale), if any.
+    pub dirty: Option<u8>,
+}
+
+/// Global map of SCI reference trees.
+#[derive(Debug, Clone, Default)]
+pub struct SciDirectory {
+    map: LineMap<SciEntry>,
+}
+
+impl SciDirectory {
+    /// Create an empty SCI directory.
+    pub fn new() -> Self {
+        SciDirectory {
+            map: LineMap::with_capacity(1 << 12),
+        }
+    }
+
+    /// The entry for `line`, if it is shared beyond its home node.
+    pub fn get(&self, line: u64) -> Option<&SciEntry> {
+        self.map.get(line)
+    }
+
+    /// Node currently holding `line` dirty, if any.
+    pub fn dirty_node(&self, line: u64) -> Option<u8> {
+        self.map.get(line).and_then(|e| e.dirty)
+    }
+
+    /// Prepend `node` to the sharing list (SCI inserts new sharers at
+    /// the head). Idempotent.
+    pub fn add_sharer(&mut self, line: u64, node: u8) {
+        let e = self.map.entry_or_insert_with(line, SciEntry::default);
+        if !e.list.contains(&node) {
+            e.list.insert(0, node);
+        }
+    }
+
+    /// Mark `node` as holding the dirty copy.
+    pub fn set_dirty(&mut self, line: u64, node: u8) {
+        let e = self.map.entry_or_insert_with(line, SciEntry::default);
+        e.dirty = Some(node);
+        if !e.list.contains(&node) {
+            e.list.insert(0, node);
+        }
+    }
+
+    /// Clear the dirty marker (data written back / downgraded).
+    pub fn clear_dirty(&mut self, line: u64) {
+        if let Some(e) = self.map.get_mut(line) {
+            e.dirty = None;
+        }
+    }
+
+    /// Remove `node` from the list (GCB rollout or invalidation).
+    pub fn remove_sharer(&mut self, line: u64, node: u8) {
+        let remove = if let Some(e) = self.map.get_mut(line) {
+            e.list.retain(|n| *n != node);
+            if e.dirty == Some(node) {
+                e.dirty = None;
+            }
+            e.list.is_empty() && e.dirty.is_none()
+        } else {
+            false
+        };
+        if remove {
+            self.map.remove(line);
+        }
+    }
+
+    /// Remove and return the whole sharing list (write invalidation).
+    pub fn take(&mut self, line: u64) -> Option<SciEntry> {
+        self.map.remove(line)
+    }
+
+    /// Number of lines with remote-sharing state (diagnostics).
+    pub fn live_lines(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharers_accumulate_and_drain() {
+        let mut d = Directory::new();
+        d.add_sharer(10, 0);
+        d.add_sharer(10, 3);
+        let e = d.get(10).unwrap();
+        assert_eq!(e.sharers, 0b1001);
+        assert_eq!(e.other_sharers(0), 1);
+        d.remove_sharer(10, 0);
+        d.remove_sharer(10, 3);
+        assert!(d.get(10).is_none());
+        assert_eq!(d.live_lines(), 0);
+    }
+
+    #[test]
+    fn set_owner_makes_sole_sharer() {
+        let mut d = Directory::new();
+        d.add_sharer(5, 1);
+        d.add_sharer(5, 2);
+        d.set_owner(5, 7);
+        let e = d.get(5).unwrap();
+        assert_eq!(e.sharers, 1 << 7);
+        assert_eq!(e.owner, Some(7));
+        d.clear_owner(5);
+        assert_eq!(d.get(5).unwrap().owner, None);
+        assert_eq!(d.get(5).unwrap().sharers, 1 << 7);
+    }
+
+    #[test]
+    fn removing_owner_clears_ownership() {
+        let mut d = Directory::new();
+        d.set_owner(5, 3);
+        d.remove_sharer(5, 3);
+        assert!(d.get(5).is_none());
+    }
+
+    #[test]
+    fn sci_list_prepends_newest_sharer() {
+        let mut s = SciDirectory::new();
+        s.add_sharer(100, 1);
+        s.add_sharer(100, 2);
+        s.add_sharer(100, 1); // idempotent
+        assert_eq!(s.get(100).unwrap().list, vec![2, 1]);
+    }
+
+    #[test]
+    fn sci_dirty_tracking() {
+        let mut s = SciDirectory::new();
+        s.set_dirty(7, 3);
+        assert_eq!(s.dirty_node(7), Some(3));
+        assert_eq!(s.get(7).unwrap().list, vec![3]);
+        s.clear_dirty(7);
+        assert_eq!(s.dirty_node(7), None);
+        s.remove_sharer(7, 3);
+        assert!(s.get(7).is_none());
+    }
+
+    #[test]
+    fn sci_remove_dirty_sharer_clears_dirty() {
+        let mut s = SciDirectory::new();
+        s.add_sharer(9, 1);
+        s.set_dirty(9, 2);
+        s.remove_sharer(9, 2);
+        assert_eq!(s.dirty_node(9), None);
+        assert_eq!(s.get(9).unwrap().list, vec![1]);
+    }
+
+    #[test]
+    fn sci_take_returns_full_list() {
+        let mut s = SciDirectory::new();
+        s.add_sharer(1, 0);
+        s.add_sharer(1, 1);
+        let e = s.take(1).unwrap();
+        assert_eq!(e.list.len(), 2);
+        assert!(s.get(1).is_none());
+    }
+}

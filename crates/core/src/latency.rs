@@ -1,0 +1,159 @@
+//! The latency/cost model, in CPU cycles (10 ns at the PA-7100's
+//! 100 MHz clock).
+//!
+//! Constants are calibrated against the paper's own published numbers
+//! (§2.6 and §4): cache throughput of one access per cycle; a cache
+//! miss serviced anywhere within the hypernode — FU-local memory,
+//! another FU's memory through the crossbar, or a global-cache-buffer
+//! hit — costs "approximately 50 to 60 cycles"; a miss that must cross
+//! the SCI interconnect costs "about a factor of eight" more on
+//! average (§6).
+
+/// Simulated time in CPU cycles. One cycle is 10 ns.
+pub type Cycles = u64;
+
+/// Convert cycles to microseconds at the 100 MHz clock.
+pub fn cycles_to_us(c: Cycles) -> f64 {
+    c as f64 / 100.0
+}
+
+/// Convert microseconds to cycles at the 100 MHz clock.
+pub fn us_to_cycles(us: f64) -> Cycles {
+    (us * 100.0).round() as Cycles
+}
+
+/// Per-mechanism costs of the memory system, in cycles.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// A load/store that hits in the CPU's own cache (§2.6: one data
+    /// access per cycle).
+    pub cache_hit: Cycles,
+    /// A miss serviced within the hypernode: FU-local memory, remote-FU
+    /// memory through the crossbar, or a hit in the global cache
+    /// buffer. The paper gives 50-60 cycles; we use the midpoint.
+    pub local_miss: Cycles,
+    /// Extra cycles when the line must be supplied by another CPU's
+    /// dirty cache within the same hypernode (cache-to-cache via the
+    /// directory).
+    pub c2c_extra: Cycles,
+    /// Directory bookkeeping folded into each miss (tag read/update in
+    /// the CCMC).
+    pub dir_op: Cycles,
+    /// Sending one invalidation to one sharer within the hypernode.
+    /// Invalidations to distinct sharers are serialized at the
+    /// directory.
+    pub inv_local: Cycles,
+    /// Serialization delay at the directory/crossbar when several CPUs
+    /// re-fetch the same line after an invalidation (hot-spot service
+    /// rate; drives the per-thread barrier release cost of Fig. 3).
+    pub hot_line_service: Cycles,
+    /// Fixed overhead of an SCI transaction (agent processing at the
+    /// requester, home and any forwarding node).
+    pub sci_base: Cycles,
+    /// One hop on an SCI ring (GaAs link + node pass-through).
+    pub ring_hop: Cycles,
+    /// DRAM access at the home memory bank.
+    pub mem_access: Cycles,
+    /// Installing/updating one entry of an SCI distributed reference
+    /// list (prepend, detach, or invalidate-forward at one node).
+    pub sci_list_op: Cycles,
+    /// Writing back or rolling out a dirty line (local memory or GCB).
+    pub writeback: Cycles,
+    /// An uncached (semaphore) access to memory in the local hypernode.
+    pub uncached_local: Cycles,
+    /// Extra cost for an uncached access to a remote hypernode.
+    pub uncached_remote_extra: Cycles,
+}
+
+impl LatencyModel {
+    /// The calibrated SPP-1000 model.
+    pub fn spp1000() -> Self {
+        LatencyModel {
+            cache_hit: 1,
+            local_miss: 55,
+            c2c_extra: 25,
+            dir_op: 8,
+            inv_local: 30,
+            hot_line_service: 150,
+            sci_base: 180,
+            ring_hop: 40,
+            mem_access: 55,
+            sci_list_op: 30,
+            writeback: 20,
+            uncached_local: 55,
+            // Uncached semaphore ops to a remote hypernode ride the
+            // SCI request channel without caching; the paper's +1 us
+            // cross-node barrier penalty (§4.2) pins this down.
+            uncached_remote_extra: 100,
+        }
+    }
+
+    /// An idealized flat model used by ablation benches: remote costs
+    /// equal local costs (what a perfect UMA machine of the same
+    /// technology would do).
+    pub fn uma_ideal() -> Self {
+        LatencyModel {
+            sci_base: 0,
+            ring_hop: 0,
+            sci_list_op: 0,
+            uncached_remote_extra: 0,
+            ..Self::spp1000()
+        }
+    }
+
+    /// Cost of fetching a line across the SCI interconnect, given the
+    /// round-trip hop count (see
+    /// [`MachineConfig::ring_round_trip_hops`](crate::MachineConfig::ring_round_trip_hops)).
+    pub fn sci_fetch(&self, round_trip_hops: u64) -> Cycles {
+        self.sci_base + round_trip_hops * self.ring_hop + self.mem_access + self.sci_list_op
+    }
+
+    /// Cost, at the *writer*, of invalidating one remote sharing node:
+    /// the invalidation is forwarded along the distributed list, so
+    /// each sharer costs a list operation plus ring transit.
+    pub fn sci_invalidate_one(&self, round_trip_hops: u64) -> Cycles {
+        self.sci_list_op + round_trip_hops * self.ring_hop / 2
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::spp1000()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_round_trip() {
+        assert_eq!(cycles_to_us(100), 1.0);
+        assert_eq!(us_to_cycles(1.0), 100);
+        assert_eq!(us_to_cycles(cycles_to_us(5500)), 5500);
+    }
+
+    #[test]
+    fn local_miss_in_papers_range() {
+        let m = LatencyModel::spp1000();
+        assert!((50..=60).contains(&m.local_miss));
+    }
+
+    #[test]
+    fn remote_fetch_roughly_8x_local_on_2_nodes() {
+        // Paper §6: global-vs-hypernode-local miss "about a factor of
+        // eight on average" on the 2-hypernode testbed.
+        let m = LatencyModel::spp1000();
+        // A remote miss = GCB lookup miss (local_miss) + SCI fetch with
+        // a 2-hop round trip on the 2-node ring.
+        let remote = m.local_miss + m.sci_fetch(2);
+        let ratio = remote as f64 / m.local_miss as f64;
+        assert!((6.0..=10.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn uma_ideal_has_no_global_penalty() {
+        let m = LatencyModel::uma_ideal();
+        assert_eq!(m.sci_fetch(16), m.mem_access);
+    }
+}

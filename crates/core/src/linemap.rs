@@ -1,0 +1,285 @@
+//! `LineMap` — a fast open-addressing hash map keyed by cache-line
+//! addresses.
+//!
+//! Directory and SCI state only exists for lines that are actually
+//! cached somewhere, so a sparse map is the right structure. This map
+//! sits on the miss path of every simulated access; `std::HashMap`'s
+//! SipHash is needless overhead for 64-bit integer keys, so we use a
+//! Fibonacci multiply hash with linear probing and tombstone-free
+//! backshift deletion.
+
+/// Sparse map from line address to `V`.
+#[derive(Debug, Clone)]
+pub struct LineMap<V> {
+    // slots: key is line+1 (0 = empty) so line address 0 is usable.
+    keys: Vec<u64>,
+    vals: Vec<V>,
+    len: usize,
+    mask: usize,
+}
+
+const EMPTY: u64 = 0;
+
+#[inline]
+fn hash(key: u64) -> u64 {
+    // Fibonacci hashing: multiply by 2^64/phi, use high bits via mask
+    // after a xor-fold so low bits are well mixed.
+    let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^ (h >> 32)
+}
+
+impl<V: Clone> LineMap<V> {
+    /// Create an empty map.
+    pub fn new() -> Self {
+        Self::with_capacity(16)
+    }
+
+    /// Create a map pre-sized for roughly `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        let n = (cap.max(8) * 2).next_power_of_two();
+        LineMap {
+            keys: vec![EMPTY; n],
+            vals: Vec::new(),
+            len: 0,
+            mask: n - 1,
+        }
+        .init_vals()
+    }
+
+    fn init_vals(mut self) -> Self {
+        self.vals.clear();
+        self
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> Option<usize> {
+        let k = key + 1;
+        let mut i = (hash(k) as usize) & self.mask;
+        loop {
+            let s = self.keys[i];
+            if s == EMPTY {
+                return None;
+            }
+            if s == k {
+                return Some(i);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Get a reference to the value for `line`.
+    #[inline]
+    pub fn get(&self, line: u64) -> Option<&V> {
+        self.slot_of(line).map(|i| &self.vals[i])
+    }
+
+    /// Get a mutable reference to the value for `line`.
+    #[inline]
+    pub fn get_mut(&mut self, line: u64) -> Option<&mut V> {
+        match self.slot_of(line) {
+            Some(i) => Some(&mut self.vals[i]),
+            None => None,
+        }
+    }
+
+    /// Insert or overwrite; returns the previous value if present.
+    pub fn insert(&mut self, line: u64, v: V) -> Option<V> {
+        if (self.len + 1) * 10 >= self.keys.len() * 7 {
+            self.grow();
+        }
+        let k = line + 1;
+        let mut i = (hash(k) as usize) & self.mask;
+        loop {
+            let s = self.keys[i];
+            if s == EMPTY {
+                self.keys[i] = k;
+                // vals is kept dense-parallel with keys via index map:
+                // we store values in a parallel Vec the same length as
+                // keys, grown lazily.
+                if self.vals.len() < self.keys.len() {
+                    // Fill with clones of v as placeholder only up to
+                    // needed index — instead keep vals same length.
+                    self.vals.resize(self.keys.len(), v.clone());
+                }
+                self.vals[i] = v;
+                self.len += 1;
+                return None;
+            }
+            if s == k {
+                if self.vals.len() < self.keys.len() {
+                    self.vals.resize(self.keys.len(), v.clone());
+                }
+                return Some(std::mem::replace(&mut self.vals[i], v));
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Get the value for `line`, inserting `default()` if absent.
+    pub fn entry_or_insert_with(&mut self, line: u64, default: impl FnOnce() -> V) -> &mut V {
+        if self.slot_of(line).is_none() {
+            self.insert(line, default());
+        }
+        let i = self.slot_of(line).expect("just inserted");
+        &mut self.vals[i]
+    }
+
+    /// Remove the entry for `line`, returning its value.
+    pub fn remove(&mut self, line: u64) -> Option<V> {
+        let mut i = self.slot_of(line)?;
+        let out = self.vals[i].clone();
+        // Backshift deletion keeps probe chains intact without
+        // tombstones.
+        self.keys[i] = EMPTY;
+        self.len -= 1;
+        let mut j = (i + 1) & self.mask;
+        while self.keys[j] != EMPTY {
+            let k = self.keys[j];
+            let home = (hash(k) as usize) & self.mask;
+            // Can slot j's entry legally move to the hole at i?
+            let between = if i <= j {
+                home <= i || home > j
+            } else {
+                home <= i && home > j
+            };
+            if between {
+                self.keys[i] = k;
+                self.vals[i] = self.vals[j].clone();
+                self.keys[j] = EMPTY;
+                i = j;
+            }
+            j = (j + 1) & self.mask;
+        }
+        Some(out)
+    }
+
+    fn grow(&mut self) {
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; (self.mask + 1) * 2]);
+        let old_vals = std::mem::take(&mut self.vals);
+        self.mask = self.keys.len() - 1;
+        self.len = 0;
+        for (i, k) in old_keys.iter().enumerate() {
+            if *k != EMPTY {
+                self.insert(*k - 1, old_vals[i].clone());
+            }
+        }
+    }
+
+    /// Iterate over `(line, &value)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.keys
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| **k != EMPTY)
+            .map(move |(i, k)| (*k - 1, &self.vals[i]))
+    }
+
+    /// Drop all entries.
+    pub fn clear(&mut self) {
+        self.keys.iter_mut().for_each(|k| *k = EMPTY);
+        self.len = 0;
+    }
+}
+
+impl<V: Clone> Default for LineMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m = LineMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(42, "a"), None);
+        assert_eq!(m.insert(42, "b"), Some("a"));
+        assert_eq!(m.get(42), Some(&"b"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove(42), Some("b"));
+        assert_eq!(m.get(42), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn line_zero_is_a_valid_key() {
+        let mut m = LineMap::new();
+        m.insert(0, 7u32);
+        assert_eq!(m.get(0), Some(&7));
+        assert_eq!(m.remove(0), Some(7));
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut m = LineMap::with_capacity(4);
+        for i in 0..10_000u64 {
+            m.insert(i * 32, i);
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(i * 32), Some(&i), "key {i}");
+        }
+    }
+
+    #[test]
+    fn entry_or_insert_with() {
+        let mut m = LineMap::new();
+        *m.entry_or_insert_with(5, || 10) += 1;
+        *m.entry_or_insert_with(5, || 10) += 1;
+        assert_eq!(m.get(5), Some(&12));
+    }
+
+    #[test]
+    fn backshift_deletion_preserves_probe_chains() {
+        // Force collisions by using a tiny map and many keys.
+        let mut m = LineMap::with_capacity(8);
+        let keys: Vec<u64> = (0..64).map(|i| i * 1024).collect();
+        for &k in &keys {
+            m.insert(k, k);
+        }
+        // Remove every other key, then verify the rest still resolve.
+        for &k in keys.iter().step_by(2) {
+            assert_eq!(m.remove(k), Some(k));
+        }
+        for &k in keys.iter().skip(1).step_by(2) {
+            assert_eq!(m.get(k), Some(&k), "key {k} lost after deletions");
+        }
+    }
+
+    #[test]
+    fn iter_visits_every_entry_once() {
+        let mut m = LineMap::new();
+        for i in 0..100u64 {
+            m.insert(i, i * 2);
+        }
+        let mut seen: Vec<u64> = m.iter().map(|(k, _)| k).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_empties_the_map() {
+        let mut m = LineMap::new();
+        for i in 0..50u64 {
+            m.insert(i, ());
+        }
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(10), None);
+        m.insert(10, ());
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,269 @@
+//! Simulated virtual memory: the five Convex memory classes and the
+//! page-placement rules that decide which hypernode/FU is *home* for
+//! every address (paper §3.2).
+//!
+//! * **Thread private** — one copy per thread, homed at the owning
+//!   thread's FU.
+//! * **Node private** — one copy per hypernode, homed there.
+//! * **Near shared** — a single copy, all pages on one hypernode
+//!   (interleaved across its FUs).
+//! * **Far shared** — pages distributed round-robin across all
+//!   hypernodes (and interleaved across FUs within each).
+//! * **Block shared** — like far shared, but distributed in
+//!   user-specified blocks rather than pages.
+
+use crate::config::{FuId, MachineConfig, NodeId};
+
+/// Placement class for a simulated allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemClass {
+    /// Private to one thread; homed where that thread runs.
+    ThreadPrivate {
+        /// FU of the owning thread.
+        home: FuId,
+    },
+    /// Private to (one copy per) a hypernode.
+    NodePrivate {
+        /// The owning hypernode.
+        node: NodeId,
+    },
+    /// One shared copy, hosted entirely by a single hypernode.
+    NearShared {
+        /// The hosting hypernode.
+        node: NodeId,
+    },
+    /// One shared copy, pages round-robin across all hypernodes.
+    FarShared,
+    /// One shared copy, fixed-size blocks round-robin across all
+    /// hypernodes.
+    BlockShared {
+        /// Distribution unit in bytes (must be a multiple of the page
+        /// size).
+        block_bytes: usize,
+    },
+}
+
+/// A simulated allocation: a contiguous range of simulated virtual
+/// addresses with a placement rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Region {
+    /// First simulated address of the region (line-aligned).
+    pub base: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Placement class.
+    pub class: MemClass,
+}
+
+impl Region {
+    /// Address of byte `offset` within the region.
+    #[inline]
+    pub fn addr(&self, offset: u64) -> u64 {
+        debug_assert!(offset < self.len, "offset {offset} >= len {}", self.len);
+        self.base + offset
+    }
+}
+
+/// The region table: allocates address space and answers "who is home
+/// for this address".
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    regions: Vec<Region>,
+    cursor: u64,
+    page: u64,
+    fus_per_node: usize,
+    hypernodes: usize,
+}
+
+impl AddressSpace {
+    /// Create an address space for the given machine.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        AddressSpace {
+            regions: Vec::new(),
+            // Start above 0 so address 0 stays invalid, and keep
+            // allocations page-aligned.
+            cursor: cfg.page_bytes as u64,
+            page: cfg.page_bytes as u64,
+            fus_per_node: cfg.fus_per_node,
+            hypernodes: cfg.hypernodes,
+        }
+    }
+
+    /// Allocate `len` bytes with the given class. Allocations are
+    /// page-aligned so placement rules operate on whole pages.
+    pub fn alloc(&mut self, class: MemClass, len: u64) -> Region {
+        assert!(len > 0, "zero-length allocation");
+        if let MemClass::BlockShared { block_bytes } = class {
+            assert!(
+                block_bytes > 0 && block_bytes as u64 % self.page == 0,
+                "block size must be a positive multiple of the {} B page",
+                self.page
+            );
+        }
+        let base = self.cursor;
+        let padded = (len + self.page - 1) / self.page * self.page;
+        // Guard page between regions: staggers equal-sized arrays so
+        // they don't land at exact multiples of the (power-of-two)
+        // cache size and alias to the same direct-mapped slot — the
+        // padding every performance-aware allocator/code applies.
+        self.cursor += padded + self.page;
+        let r = Region { base, len, class };
+        self.regions.push(r);
+        r
+    }
+
+    /// Find the region containing `addr`.
+    pub fn region_of(&self, addr: u64) -> Option<&Region> {
+        // Regions are allocated in ascending order; binary search.
+        let i = self.regions.partition_point(|r| r.base <= addr);
+        if i == 0 {
+            return None;
+        }
+        let r = &self.regions[i - 1];
+        (addr < r.base + r.len.max(1).div_ceil(self.page) * self.page).then_some(r)
+    }
+
+    /// The home (hypernode, FU) of `addr`: the memory bank that
+    /// physically hosts the containing page.
+    pub fn home_of(&self, addr: u64) -> (NodeId, FuId) {
+        let r = self
+            .region_of(addr)
+            .unwrap_or_else(|| panic!("address {addr:#x} not in any simulated region"));
+        let page_in_region = (addr - r.base) / self.page;
+        match r.class {
+            MemClass::ThreadPrivate { home } => {
+                (NodeId((home.0 as usize / self.fus_per_node) as u8), home)
+            }
+            MemClass::NodePrivate { node } | MemClass::NearShared { node } => {
+                // Interleave pages across the node's FUs.
+                let fu_in_node = (page_in_region as usize) % self.fus_per_node;
+                (
+                    node,
+                    FuId((node.0 as usize * self.fus_per_node + fu_in_node) as u16),
+                )
+            }
+            MemClass::FarShared => self.round_robin(page_in_region),
+            MemClass::BlockShared { block_bytes } => {
+                let block = (addr - r.base) / block_bytes as u64;
+                self.round_robin(block)
+            }
+        }
+    }
+
+    /// Round-robin a distribution unit across hypernodes, interleaving
+    /// across FUs within each node as units wrap around.
+    fn round_robin(&self, unit: u64) -> (NodeId, FuId) {
+        let node = (unit as usize) % self.hypernodes;
+        let fu_in_node = (unit as usize / self.hypernodes) % self.fus_per_node;
+        (
+            NodeId(node as u8),
+            FuId((node * self.fus_per_node + fu_in_node) as u16),
+        )
+    }
+
+    /// Total bytes of simulated address space allocated so far.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.cursor - self.page
+    }
+
+    /// Number of regions allocated.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(&MachineConfig::spp1000(2))
+    }
+
+    #[test]
+    fn allocations_are_disjoint_and_page_aligned() {
+        let mut s = space();
+        let a = s.alloc(MemClass::FarShared, 100);
+        let b = s.alloc(MemClass::FarShared, 5000);
+        assert_eq!(a.base % 4096, 0);
+        assert_eq!(b.base % 4096, 0);
+        assert!(b.base >= a.base + 4096);
+        assert_eq!(s.num_regions(), 2);
+    }
+
+    #[test]
+    fn region_lookup_finds_the_right_region() {
+        let mut s = space();
+        let a = s.alloc(MemClass::FarShared, 8192);
+        let b = s.alloc(MemClass::NearShared { node: NodeId(1) }, 64);
+        assert_eq!(s.region_of(a.addr(0)).unwrap().base, a.base);
+        assert_eq!(s.region_of(a.addr(8191)).unwrap().base, a.base);
+        assert_eq!(s.region_of(b.addr(0)).unwrap().base, b.base);
+        assert!(s.region_of(0).is_none());
+    }
+
+    #[test]
+    fn near_shared_stays_on_its_node() {
+        let mut s = space();
+        let r = s.alloc(MemClass::NearShared { node: NodeId(1) }, 64 * 4096);
+        for p in 0..64u64 {
+            let (node, fu) = s.home_of(r.addr(p * 4096));
+            assert_eq!(node, NodeId(1));
+            // Interleaved over the node's four FUs (4..8 on node 1).
+            assert!((4..8).contains(&fu.0));
+        }
+    }
+
+    #[test]
+    fn far_shared_round_robins_across_nodes() {
+        let mut s = space();
+        let r = s.alloc(MemClass::FarShared, 8 * 4096);
+        let homes: Vec<u8> = (0..8)
+            .map(|p| s.home_of(r.addr(p * 4096)).0 .0)
+            .collect();
+        assert_eq!(homes, vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        // FU interleave advances once per node wrap.
+        let fus: Vec<u16> = (0..8)
+            .map(|p| s.home_of(r.addr(p * 4096)).1 .0)
+            .collect();
+        assert_eq!(fus, vec![0, 4, 1, 5, 2, 6, 3, 7]);
+    }
+
+    #[test]
+    fn block_shared_distributes_in_blocks() {
+        let mut s = space();
+        let r = s.alloc(
+            MemClass::BlockShared {
+                block_bytes: 2 * 4096,
+            },
+            8 * 4096,
+        );
+        let homes: Vec<u8> = (0..8)
+            .map(|p| s.home_of(r.addr(p * 4096)).0 .0)
+            .collect();
+        assert_eq!(homes, vec![0, 0, 1, 1, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn thread_private_homed_at_owner() {
+        let mut s = space();
+        let r = s.alloc(MemClass::ThreadPrivate { home: FuId(5) }, 4096);
+        let (node, fu) = s.home_of(r.addr(100));
+        assert_eq!(fu, FuId(5));
+        assert_eq!(node, NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of")]
+    fn block_shared_requires_page_multiple() {
+        let mut s = space();
+        s.alloc(MemClass::BlockShared { block_bytes: 100 }, 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in any simulated region")]
+    fn home_of_unmapped_address_panics() {
+        let s = space();
+        s.home_of(0x10_0000_0000);
+    }
+}

@@ -1,0 +1,181 @@
+//! Event counters, mirroring the hardware instrumentation the paper
+//! praises in §6 ("counters for cache miss enumeration and timing").
+
+/// Memory-system event counters. All counts are cumulative since the
+/// machine was created or [`MemStats::reset`] was called.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Cached read accesses issued.
+    pub reads: u64,
+    /// Cached write accesses issued.
+    pub writes: u64,
+    /// Accesses that hit in the issuing CPU's cache.
+    pub hits: u64,
+    /// Misses serviced by memory within the hypernode.
+    pub local_misses: u64,
+    /// Misses serviced by the hypernode's global cache buffer.
+    pub gcb_hits: u64,
+    /// Misses requiring an SCI ring transaction.
+    pub sci_fetches: u64,
+    /// Fetches that had to be forwarded to a dirty remote node.
+    pub remote_dirty_fetches: u64,
+    /// Cache-to-cache transfers within a hypernode.
+    pub c2c_transfers: u64,
+    /// Write upgrades (Shared -> Modified) that invalidated sharers.
+    pub upgrades: u64,
+    /// Invalidations delivered to CPU caches.
+    pub invalidations: u64,
+    /// Remote hypernodes invalidated via SCI list walks.
+    pub sci_invalidations: u64,
+    /// CPU cache evictions (capacity/conflict).
+    pub evictions: u64,
+    /// Dirty-line writebacks (CPU cache or GCB rollout).
+    pub writebacks: u64,
+    /// GCB rollouts (remote lines displaced from the network cache).
+    pub gcb_rollouts: u64,
+    /// Uncached (semaphore) operations.
+    pub uncached_ops: u64,
+}
+
+impl MemStats {
+    /// Total cached accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total misses of any kind.
+    pub fn misses(&self) -> u64 {
+        self.accesses() - self.hits
+    }
+
+    /// Fraction of accesses that hit, in [0, 1]. Returns 1.0 for an
+    /// idle machine.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Fraction of misses that left the hypernode.
+    pub fn global_miss_fraction(&self) -> f64 {
+        let m = self.misses();
+        if m == 0 {
+            0.0
+        } else {
+            self.sci_fetches as f64 / m as f64
+        }
+    }
+
+    /// Zero all counters.
+    pub fn reset(&mut self) {
+        *self = MemStats::default();
+    }
+
+    /// Per-field difference (`self - earlier`); use to bracket a
+    /// region of interest.
+    pub fn since(&self, earlier: &MemStats) -> MemStats {
+        MemStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            hits: self.hits - earlier.hits,
+            local_misses: self.local_misses - earlier.local_misses,
+            gcb_hits: self.gcb_hits - earlier.gcb_hits,
+            sci_fetches: self.sci_fetches - earlier.sci_fetches,
+            remote_dirty_fetches: self.remote_dirty_fetches - earlier.remote_dirty_fetches,
+            c2c_transfers: self.c2c_transfers - earlier.c2c_transfers,
+            upgrades: self.upgrades - earlier.upgrades,
+            invalidations: self.invalidations - earlier.invalidations,
+            sci_invalidations: self.sci_invalidations - earlier.sci_invalidations,
+            evictions: self.evictions - earlier.evictions,
+            writebacks: self.writebacks - earlier.writebacks,
+            gcb_rollouts: self.gcb_rollouts - earlier.gcb_rollouts,
+            uncached_ops: self.uncached_ops - earlier.uncached_ops,
+        }
+    }
+}
+
+impl std::fmt::Display for MemStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "accesses {} (r {} / w {})  hit rate {:.4}",
+            self.accesses(),
+            self.reads,
+            self.writes,
+            self.hit_rate()
+        )?;
+        writeln!(
+            f,
+            "misses: local {}  gcb {}  sci {} (dirty {})  c2c {}",
+            self.local_misses,
+            self.gcb_hits,
+            self.sci_fetches,
+            self.remote_dirty_fetches,
+            self.c2c_transfers
+        )?;
+        write!(
+            f,
+            "coherence: upgrades {}  inv {}  sci-inv {}  evict {}  wb {}  rollout {}  uncached {}",
+            self.upgrades,
+            self.invalidations,
+            self.sci_invalidations,
+            self.evictions,
+            self.writebacks,
+            self.gcb_rollouts,
+            self.uncached_ops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_of_idle_machine_is_one() {
+        assert_eq!(MemStats::default().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let a = MemStats {
+            reads: 10,
+            hits: 8,
+            ..Default::default()
+        };
+        let b = MemStats {
+            reads: 25,
+            hits: 20,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.reads, 15);
+        assert_eq!(d.hits, 12);
+        assert_eq!(d.misses(), 3);
+    }
+
+    #[test]
+    fn misses_partition() {
+        let s = MemStats {
+            reads: 100,
+            writes: 0,
+            hits: 90,
+            local_misses: 6,
+            gcb_hits: 2,
+            sci_fetches: 2,
+            ..Default::default()
+        };
+        assert_eq!(s.misses(), 10);
+        assert!((s.global_miss_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_reasonable() {
+        let s = MemStats::default();
+        let out = format!("{s}");
+        assert!(out.contains("hit rate"));
+        assert!(out.contains("coherence"));
+    }
+}

@@ -1,0 +1,297 @@
+//! Host-side reference FEM gas dynamics: a first-order (lumped mass
+//! matrix, forward Euler) cell-vertex scheme for the 2-D compressible
+//! Euler equations on linear triangles, stabilized with element
+//! Lax-Friedrichs dissipation — the class of scheme §5.2.1 describes
+//! ("a simple first-order in space ... and time, unstructured, 2D,
+//! FEM, gas dynamics code").
+//!
+//! The three classes of global communication the paper identifies all
+//! appear: the global max for the permissible timestep, the gather of
+//! point data to element vertices, and the scatter-add of element
+//! contributions back to points.
+
+use crate::mesh::{shape_gradients, Mesh};
+
+/// Adiabatic index.
+pub const GAMMA: f64 = 1.4;
+
+/// Conservative state at mesh points: `[rho, mu, mv, E]`.
+#[derive(Debug, Clone)]
+pub struct State {
+    /// Density.
+    pub rho: Vec<f64>,
+    /// x momentum.
+    pub mu: Vec<f64>,
+    /// y momentum.
+    pub mv: Vec<f64>,
+    /// Total energy.
+    pub e: Vec<f64>,
+}
+
+impl State {
+    /// An ambient gas (rho = 1, p = 1, at rest) with a Gaussian
+    /// pressure pulse in the domain centre.
+    pub fn pulse(mesh: &Mesh) -> Self {
+        let n = mesh.num_points();
+        let (cx, cy) = (mesh.width / 2.0, mesh.height / 2.0);
+        let r0 = mesh.width.min(mesh.height) / 8.0;
+        let mut s = State {
+            rho: vec![1.0; n],
+            mu: vec![0.0; n],
+            mv: vec![0.0; n],
+            e: vec![0.0; n],
+        };
+        for i in 0..n {
+            let dx = mesh.px[i] - cx;
+            let dy = mesh.py[i] - cy;
+            let p = 1.0 + 4.0 * (-(dx * dx + dy * dy) / (r0 * r0)).exp();
+            s.e[i] = p / (GAMMA - 1.0);
+        }
+        s
+    }
+
+    /// Pressure at point `i`.
+    pub fn pressure(&self, i: usize) -> f64 {
+        let rho = self.rho[i].max(1e-12);
+        (GAMMA - 1.0)
+            * (self.e[i] - 0.5 * (self.mu[i] * self.mu[i] + self.mv[i] * self.mv[i]) / rho)
+    }
+
+    /// Signal speed `|v| + c` at point `i`.
+    pub fn signal_speed(&self, i: usize) -> f64 {
+        let rho = self.rho[i].max(1e-12);
+        let v = (self.mu[i] * self.mu[i] + self.mv[i] * self.mv[i]).sqrt() / rho;
+        let p = self.pressure(i).max(1e-12);
+        v + (GAMMA * p / rho).sqrt()
+    }
+
+    /// Total mass `sum(m_i rho_i)`.
+    pub fn total_mass(&self, mesh: &Mesh) -> f64 {
+        (0..self.rho.len())
+            .map(|i| mesh.lumped_mass[i] * self.rho[i])
+            .sum()
+    }
+
+    /// Total energy.
+    pub fn total_energy(&self, mesh: &Mesh) -> f64 {
+        (0..self.e.len())
+            .map(|i| mesh.lumped_mass[i] * self.e[i])
+            .sum()
+    }
+}
+
+/// Physical fluxes `(F, G)` of the 2-D Euler equations for a state
+/// 4-vector.
+#[inline]
+pub fn fluxes(u: [f64; 4]) -> ([f64; 4], [f64; 4]) {
+    let rho = u[0].max(1e-12);
+    let (vx, vy) = (u[1] / rho, u[2] / rho);
+    let p = ((GAMMA - 1.0) * (u[3] - 0.5 * rho * (vx * vx + vy * vy))).max(1e-12);
+    (
+        [u[1], u[1] * vx + p, u[2] * vx, (u[3] + p) * vx],
+        [u[2], u[1] * vy, u[2] * vy + p, (u[3] + p) * vy],
+    )
+}
+
+/// CFL-safe timestep from the global max signal speed (unit edges).
+pub fn timestep(s: &State, cfl: f64) -> f64 {
+    let max = (0..s.rho.len())
+        .map(|i| s.signal_speed(i))
+        .fold(0.0, f64::max);
+    cfl / max.max(1e-12)
+}
+
+/// One forward-Euler step (scatter-add coding): element loop gathers
+/// vertex states, computes the element flux and dissipation, and
+/// scatter-adds residuals; the point loop applies the lumped-mass
+/// update. Returns the dissipation coefficient used.
+pub fn step(mesh: &Mesh, s: &mut State, dt: f64) -> f64 {
+    let n = mesh.num_points();
+    let mut r = vec![[0.0f64; 4]; n];
+    let alpha = dissipation_coefficient(s, dt);
+    for e in 0..mesh.num_elements() {
+        let contrib = element_residual(mesh, s, e, alpha);
+        for (v, c) in mesh.tri[e].iter().zip(contrib) {
+            for k in 0..4 {
+                r[*v as usize][k] += c[k];
+            }
+        }
+    }
+    apply_update(mesh, s, &r, dt);
+    alpha
+}
+
+/// Per-element residual contributions to its three vertices.
+pub fn element_residual(mesh: &Mesh, s: &State, e: usize, alpha: f64) -> [[f64; 4]; 3] {
+    let t = mesh.tri[e];
+    // Gather vertex states.
+    let u: [[f64; 4]; 3] = std::array::from_fn(|i| {
+        let v = t[i] as usize;
+        [s.rho[v], s.mu[v], s.mv[v], s.e[v]]
+    });
+    // Element-average state and its fluxes.
+    let ue: [f64; 4] = std::array::from_fn(|k| (u[0][k] + u[1][k] + u[2][k]) / 3.0);
+    let (f, g) = fluxes(ue);
+    let grads = shape_gradients(mesh, e);
+    let a2 = mesh.area2[e];
+    // Residual: -integral(grad N_i . (F, G)) plus Lax-Friedrichs
+    // dissipation toward the element mean.
+    std::array::from_fn(|i| {
+        std::array::from_fn(|k| {
+            // Weak form: m_i dU_i/dt = +integral(grad N_i . (F, G))
+            // minus the boundary term (applied point-wise in the
+            // update), plus Lax-Friedrichs dissipation.
+            let flux_part = 0.5 * (grads[i][0] * f[k] + grads[i][1] * g[k]);
+            let diss = alpha * (a2 / 6.0) * (ue[k] - u[i][k]);
+            flux_part + diss
+        })
+    })
+}
+
+/// Dissipation coefficient: proportional to the global max signal
+/// speed over the characteristic edge length (1).
+pub fn dissipation_coefficient(s: &State, _dt: f64) -> f64 {
+    let max = (0..s.rho.len())
+        .map(|i| s.signal_speed(i))
+        .fold(0.0, f64::max);
+    0.7 * max
+}
+
+/// Lumped-mass forward-Euler update from accumulated residuals,
+/// including the wall-pressure boundary integral (solid walls: zero
+/// mass/energy flux, pressure acts through the lumped boundary
+/// normal).
+pub fn apply_update(mesh: &Mesh, s: &mut State, r: &[[f64; 4]], dt: f64) {
+    for i in 0..mesh.num_points() {
+        let f = dt / mesh.lumped_mass[i];
+        let p = s.pressure(i).max(1e-12);
+        let bn = mesh.bnormal[i];
+        s.rho[i] += f * r[i][0];
+        s.mu[i] += f * (r[i][1] - p * bn[0]);
+        s.mv[i] += f * (r[i][2] - p * bn[1]);
+        s.e[i] += f * r[i][3];
+    }
+}
+
+/// FLOP accounting constants shared by all implementations.
+pub mod flops {
+    /// Per element residual (gather arithmetic, fluxes, 3 vertex
+    /// contributions).
+    pub const ELEMENT: u64 = 150;
+    /// Divide/sqrt per element (pressure + dissipation terms).
+    pub const ELEMENT_DIVSQRT: u64 = 4;
+    /// Per point update.
+    pub const POINT: u64 = 12;
+    /// Per point signal-speed evaluation (timestep reduction).
+    pub const SPEED: u64 = 12;
+    /// Divide/sqrt per signal-speed evaluation.
+    pub const SPEED_DIVSQRT: u64 = 3;
+    /// The paper's hpm-measured conversion factor: "437 floating point
+    /// operations/point update", used exactly as the paper does to
+    /// convert point-update rates to "useful Mflop/s".
+    pub const PAPER_FLOPS_PER_POINT_UPDATE: f64 = 437.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_gas_is_steady() {
+        let mesh = Mesh::tiny();
+        let n = mesh.num_points();
+        let mut s = State {
+            rho: vec![1.0; n],
+            mu: vec![0.0; n],
+            mv: vec![0.0; n],
+            e: vec![2.5; n],
+        };
+        let dt = timestep(&s, 0.3);
+        step(&mesh, &mut s, dt);
+        for i in 0..n {
+            assert!((s.rho[i] - 1.0).abs() < 1e-12);
+            assert!(s.mu[i].abs() < 1e-12);
+            assert!((s.e[i] - 2.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conservation_of_mass_and_energy() {
+        let mesh = Mesh::tiny();
+        let mut s = State::pulse(&mesh);
+        let m0 = s.total_mass(&mesh);
+        let e0 = s.total_energy(&mesh);
+        for _ in 0..5 {
+            let dt = timestep(&s, 0.3);
+            step(&mesh, &mut s, dt);
+        }
+        assert!((s.total_mass(&mesh) - m0).abs() / m0 < 1e-12);
+        assert!((s.total_energy(&mesh) - e0).abs() / e0 < 1e-12);
+    }
+
+    #[test]
+    fn pulse_drives_outflow() {
+        let mesh = Mesh::tiny();
+        let mut s = State::pulse(&mesh);
+        for _ in 0..4 {
+            let dt = timestep(&s, 0.3);
+            step(&mesh, &mut s, dt);
+        }
+        // Gas accelerates away from the centre: a point just right of
+        // centre gains +x momentum.
+        let probe = (0..mesh.num_points())
+            .find(|i| {
+                (mesh.px[*i] - (mesh.width / 2.0 + 2.0)).abs() < 0.6
+                    && (mesh.py[*i] - mesh.height / 2.0).abs() < 0.6
+            })
+            .unwrap();
+        assert!(s.mu[probe] > 0.0, "mu = {}", s.mu[probe]);
+    }
+
+    #[test]
+    fn pressure_positive_through_blast() {
+        let mesh = Mesh::tiny();
+        let mut s = State::pulse(&mesh);
+        for _ in 0..10 {
+            let dt = timestep(&s, 0.3);
+            step(&mesh, &mut s, dt);
+            for i in 0..mesh.num_points() {
+                assert!(s.rho[i] > 0.0);
+                assert!(s.pressure(i) > 0.0, "negative pressure at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn timestep_shrinks_with_stronger_pulse() {
+        let mesh = Mesh::tiny();
+        let weak = State::pulse(&mesh);
+        let mut strong = State::pulse(&mesh);
+        for e in &mut strong.e {
+            *e *= 4.0;
+        }
+        assert!(timestep(&strong, 0.3) < timestep(&weak, 0.3));
+    }
+
+    #[test]
+    fn symmetric_pulse_keeps_center_still() {
+        let mesh = crate::mesh::structured(16, 16);
+        let mut s = State::pulse(&mesh);
+        for _ in 0..5 {
+            let dt = timestep(&s, 0.3);
+            step(&mesh, &mut s, dt);
+        }
+        // The triangulation's diagonal orientation breaks exact
+        // symmetry; the centre stays still only to leading order.
+        let center = (0..mesh.num_points())
+            .find(|i| mesh.px[*i] == 8.0 && mesh.py[*i] == 8.0)
+            .unwrap();
+        let max_mu = s.mu.iter().fold(0.0f64, |a, v| a.max(v.abs()));
+        assert!(
+            s.mu[center].abs() < 0.05 * max_mu,
+            "center mu = {} (max {})",
+            s.mu[center],
+            max_mu
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! # fem — 2-D unstructured finite-element gas dynamics (paper §5.2)
+//!
+//! A first-order (lumped mass matrix) cell-vertex FEM Euler solver on
+//! Morton-ordered triangular meshes, reproducing Figure 7: point
+//! update rates on the paper's exact meshes (46 545 points / 92 160
+//! elements and 263 169 / 524 288), in two codings of the same
+//! numerics (`small1` = scatter-add, `small2` = gather), against the
+//! C90 reference of 0.57 point-updates/µs.
+//!
+//! * [`mesh`] — mesh generation and Morton reordering;
+//! * [`host`] — the unpriced reference scheme;
+//! * [`shared`] — both shared-memory codings on the simulated machine;
+//! * [`c90`] — the vector baseline.
+
+#![warn(missing_docs)]
+
+pub mod c90;
+pub mod host;
+pub mod mesh;
+pub mod shared;
+
+pub use mesh::{structured, Mesh};
+pub use shared::{Coding, RunReport, SharedFem};

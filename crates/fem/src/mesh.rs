@@ -1,0 +1,372 @@
+//! Unstructured triangular meshes.
+//!
+//! The paper's data sets are exactly structured triangulations: the
+//! small mesh has 46 545 points / 92 160 elements = a 320x144 quad
+//! grid split into triangles (321*145 = 46 545), and the large mesh
+//! 263 169 / 524 288 = 512x512 (513*513 = 263 169). We generate those
+//! meshes, then Morton-order points and elements "to enhance cache
+//! locality for the gathers and scatters" (§5.2.1) — after reordering
+//! the mesh is processed exactly like a fully unstructured one.
+
+use spp_kernels::{morton2, sort_order_by_key};
+
+/// A triangular mesh: point coordinates plus element connectivity.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    /// Point x coordinates.
+    pub px: Vec<f64>,
+    /// Point y coordinates.
+    pub py: Vec<f64>,
+    /// Element vertex indices, 3 per element.
+    pub tri: Vec<[u32; 3]>,
+    /// Twice the signed area of each element (positive = CCW).
+    pub area2: Vec<f64>,
+    /// Lumped mass (1/3 of adjacent element areas) per point.
+    pub lumped_mass: Vec<f64>,
+    /// Lumped outward boundary normal per point (`sum of L/2 * n` over
+    /// incident boundary edges; zero for interior points). Carries the
+    /// wall-pressure boundary integral of the weak form.
+    pub bnormal: Vec<[f64; 2]>,
+    /// Domain extent in x.
+    pub width: f64,
+    /// Domain extent in y.
+    pub height: f64,
+}
+
+impl Mesh {
+    /// Number of points.
+    pub fn num_points(&self) -> usize {
+        self.px.len()
+    }
+
+    /// Number of elements.
+    pub fn num_elements(&self) -> usize {
+        self.tri.len()
+    }
+
+    /// The paper's small mesh: 46 545 points, 92 160 elements.
+    pub fn small() -> Self {
+        structured(320, 144)
+    }
+
+    /// The paper's large mesh: 263 169 points, 524 288 elements.
+    pub fn large() -> Self {
+        structured(512, 512)
+    }
+
+    /// A tiny test mesh.
+    pub fn tiny() -> Self {
+        structured(16, 12)
+    }
+}
+
+/// Build a structured triangulation of an `nx x ny` quad grid (unit
+/// squares), Morton-ordered.
+pub fn structured(nx: usize, ny: usize) -> Mesh {
+    structured_with(nx, ny, true)
+}
+
+/// Row-major (non-Morton) variant, kept for the `ablation_morton`
+/// bench that quantifies §5.2.1's cache-locality claim.
+pub fn structured_raw(nx: usize, ny: usize) -> Mesh {
+    structured_with(nx, ny, false)
+}
+
+/// Randomly permuted variant: points and elements in arbitrary order,
+/// which is what a real unstructured mesh generator emits before any
+/// reordering — the honest baseline for the Morton ablation (row-major
+/// structured order is itself already cache-friendly).
+pub fn structured_shuffled(nx: usize, ny: usize, seed: u64) -> Mesh {
+    let m = structured_with(nx, ny, false);
+    let n = m.num_points();
+    let mut rng = spp_kernels::Rng64::new(seed);
+    // Fisher-Yates permutation of point labels.
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        perm.swap(i, rng.below(i + 1));
+    }
+    let mut inv = vec![0u32; n];
+    for (new, old) in perm.iter().enumerate() {
+        inv[*old as usize] = new as u32;
+    }
+    let grab = |src: &[f64]| perm.iter().map(|o| src[*o as usize]).collect::<Vec<_>>();
+    let px = grab(&m.px);
+    let py = grab(&m.py);
+    let mut tri: Vec<[u32; 3]> = m
+        .tri
+        .iter()
+        .map(|t| [inv[t[0] as usize], inv[t[1] as usize], inv[t[2] as usize]])
+        .collect();
+    // Shuffle element order too.
+    for i in (1..tri.len()).rev() {
+        tri.swap(i, rng.below(i + 1));
+    }
+    let area2: Vec<f64> = tri
+        .iter()
+        .map(|t| {
+            let (ax, ay) = (px[t[0] as usize], py[t[0] as usize]);
+            let (bx, by) = (px[t[1] as usize], py[t[1] as usize]);
+            let (cx, cy) = (px[t[2] as usize], py[t[2] as usize]);
+            (bx - ax) * (cy - ay) - (cx - ax) * (by - ay)
+        })
+        .collect();
+    let mut lumped_mass = vec![0.0; n];
+    for (t, a2) in tri.iter().zip(&area2) {
+        for v in t {
+            lumped_mass[*v as usize] += a2 / 6.0;
+        }
+    }
+    let bnormal = perm.iter().map(|o| m.bnormal[*o as usize]).collect();
+    Mesh {
+        px,
+        py,
+        tri,
+        area2,
+        lumped_mass,
+        bnormal,
+        width: m.width,
+        height: m.height,
+    }
+}
+
+fn structured_with(nx: usize, ny: usize, morton: bool) -> Mesh {
+    let npx = nx + 1;
+    let npy = ny + 1;
+    let n = npx * npy;
+    // Raw lattice points.
+    let mut px = Vec::with_capacity(n);
+    let mut py = Vec::with_capacity(n);
+    for j in 0..npy {
+        for i in 0..npx {
+            px.push(i as f64);
+            py.push(j as f64);
+        }
+    }
+    // Raw connectivity (two CCW triangles per quad).
+    let mut tri: Vec<[u32; 3]> = Vec::with_capacity(2 * nx * ny);
+    let p = |i: usize, j: usize| (i + npx * j) as u32;
+    for j in 0..ny {
+        for i in 0..nx {
+            tri.push([p(i, j), p(i + 1, j), p(i, j + 1)]);
+            tri.push([p(i + 1, j), p(i + 1, j + 1), p(i, j + 1)]);
+        }
+    }
+
+    // Morton-reorder points (skipped by the raw/ablation variant).
+    let (px, py) = if morton {
+        let keys: Vec<u64> = (0..n)
+            .map(|k| morton2(px[k] as u32, py[k] as u32))
+            .collect();
+        let order = sort_order_by_key(&keys); // order[new] = old
+        let mut inv = vec![0u32; n];
+        for (new, old) in order.iter().enumerate() {
+            inv[*old as usize] = new as u32;
+        }
+        let npx: Vec<f64> = order.iter().map(|o| px[*o as usize]).collect();
+        let npy: Vec<f64> = order.iter().map(|o| py[*o as usize]).collect();
+        for t in &mut tri {
+            for v in t.iter_mut() {
+                *v = inv[*v as usize];
+            }
+        }
+        (npx, npy)
+    } else {
+        (px, py)
+    };
+    // Morton-reorder elements by centroid.
+    let tri: Vec<[u32; 3]> = if morton {
+        let ekeys: Vec<u64> = tri
+            .iter()
+            .map(|t| {
+                let cx = (px[t[0] as usize] + px[t[1] as usize] + px[t[2] as usize]) / 3.0;
+                let cy = (py[t[0] as usize] + py[t[1] as usize] + py[t[2] as usize]) / 3.0;
+                morton2(cx as u32, cy as u32)
+            })
+            .collect();
+        let eorder = sort_order_by_key(&ekeys);
+        eorder.iter().map(|o| tri[*o as usize]).collect()
+    } else {
+        tri
+    };
+
+    // Geometry.
+    let area2: Vec<f64> = tri
+        .iter()
+        .map(|t| {
+            let (ax, ay) = (px[t[0] as usize], py[t[0] as usize]);
+            let (bx, by) = (px[t[1] as usize], py[t[1] as usize]);
+            let (cx, cy) = (px[t[2] as usize], py[t[2] as usize]);
+            (bx - ax) * (cy - ay) - (cx - ax) * (by - ay)
+        })
+        .collect();
+    let mut lumped_mass = vec![0.0; n];
+    for (t, a2) in tri.iter().zip(&area2) {
+        for v in t {
+            lumped_mass[*v as usize] += a2 / 6.0; // area/3
+        }
+    }
+    // Lumped boundary normals: walk the four domain sides (each
+    // boundary edge has unit length).
+    let mut bnormal = vec![[0.0f64; 2]; n];
+    for k in 0..n {
+        let (x, y) = (px[k], py[k]);
+        let frac = |on_corner: bool| if on_corner { 0.5 } else { 1.0 };
+        if y == 0.0 {
+            bnormal[k][1] -= frac(x == 0.0 || x == nx as f64);
+        }
+        if y == ny as f64 {
+            bnormal[k][1] += frac(x == 0.0 || x == nx as f64);
+        }
+        if x == 0.0 {
+            bnormal[k][0] -= frac(y == 0.0 || y == ny as f64);
+        }
+        if x == nx as f64 {
+            bnormal[k][0] += frac(y == 0.0 || y == ny as f64);
+        }
+    }
+    Mesh {
+        px,
+        py,
+        tri,
+        area2,
+        lumped_mass,
+        bnormal,
+        width: nx as f64,
+        height: ny as f64,
+    }
+}
+
+/// Shape-function gradient contributions for a linear triangle:
+/// `grad N_i = (b_i, c_i) / area2` with
+/// `b_i = y_{i+1} - y_{i+2}`, `c_i = x_{i+2} - x_{i+1}`.
+pub fn shape_gradients(mesh: &Mesh, e: usize) -> [[f64; 2]; 3] {
+    let t = mesh.tri[e];
+    let x = [
+        mesh.px[t[0] as usize],
+        mesh.px[t[1] as usize],
+        mesh.px[t[2] as usize],
+    ];
+    let y = [
+        mesh.py[t[0] as usize],
+        mesh.py[t[1] as usize],
+        mesh.py[t[2] as usize],
+    ];
+    let mut g = [[0.0; 2]; 3];
+    for i in 0..3 {
+        let j = (i + 1) % 3;
+        let k = (i + 2) % 3;
+        g[i][0] = y[j] - y[k];
+        g[i][1] = x[k] - x[j];
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mesh_sizes_exact() {
+        let s = Mesh::small();
+        assert_eq!(s.num_points(), 46_545);
+        assert_eq!(s.num_elements(), 92_160);
+        let l = Mesh::large();
+        assert_eq!(l.num_points(), 263_169);
+        assert_eq!(l.num_elements(), 524_288);
+    }
+
+    #[test]
+    fn about_two_elements_per_point() {
+        // Paper: "there is about two elements to every point".
+        let m = Mesh::small();
+        let ratio = m.num_elements() as f64 / m.num_points() as f64;
+        assert!((1.9..=2.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn all_elements_positively_oriented() {
+        let m = Mesh::tiny();
+        for (e, a2) in m.area2.iter().enumerate() {
+            assert!(*a2 > 0.0, "element {e} has area2 = {a2}");
+        }
+    }
+
+    #[test]
+    fn total_area_matches_domain() {
+        let m = Mesh::tiny();
+        let total: f64 = m.area2.iter().map(|a| a / 2.0).sum();
+        assert!((total - 16.0 * 12.0).abs() < 1e-9);
+        let mass: f64 = m.lumped_mass.iter().sum();
+        assert!((mass - 192.0).abs() < 1e-9, "lumped mass sums to area");
+    }
+
+    #[test]
+    fn connectivity_indices_in_range() {
+        let m = Mesh::tiny();
+        for t in &m.tri {
+            for v in t {
+                assert!((*v as usize) < m.num_points());
+            }
+        }
+    }
+
+    #[test]
+    fn shape_gradients_sum_to_zero() {
+        let m = Mesh::tiny();
+        for e in (0..m.num_elements()).step_by(17) {
+            let g = shape_gradients(&m, e);
+            for d in 0..2 {
+                let s: f64 = g.iter().map(|gi| gi[d]).sum();
+                assert!(s.abs() < 1e-12, "element {e} dim {d}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn morton_ordering_improves_vertex_locality() {
+        // Consecutive elements should reference nearby point indices.
+        let m = Mesh::small();
+        let spans: Vec<u32> = m
+            .tri
+            .iter()
+            .map(|t| t.iter().max().unwrap() - t.iter().min().unwrap())
+            .collect();
+        let avg = spans.iter().map(|s| *s as f64).sum::<f64>() / spans.len() as f64;
+        // Row-major ordering gives an average span of ~322 (the row
+        // width); Morton keeps most triangles in small neighborhoods,
+        // crossing wide index gaps only at block boundaries.
+        assert!(avg < 280.0, "average vertex index span = {avg}");
+    }
+
+    #[test]
+    fn shuffled_mesh_preserves_geometry() {
+        let a = structured(16, 12);
+        let b = structured_shuffled(16, 12, 7);
+        assert_eq!(a.num_points(), b.num_points());
+        assert_eq!(a.num_elements(), b.num_elements());
+        let area_a: f64 = a.area2.iter().sum();
+        let area_b: f64 = b.area2.iter().map(|v| v.abs()).sum();
+        assert!((area_a - area_b).abs() < 1e-9, "total area changed");
+        let mass_a: f64 = a.lumped_mass.iter().sum();
+        let mass_b: f64 = b.lumped_mass.iter().sum();
+        assert!((mass_a - mass_b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_elements_per_point_is_six_or_seven() {
+        // Paper: "an average (maximum) of 6 (7) elements communicating
+        // with every point" — for our structured triangulation the
+        // interior valence is 6.
+        let m = Mesh::tiny();
+        let mut count = vec![0u32; m.num_points()];
+        for t in &m.tri {
+            for v in t {
+                count[*v as usize] += 1;
+            }
+        }
+        let max = *count.iter().max().unwrap();
+        assert!(max <= 7, "max valence = {max}");
+        let interior_avg = count.iter().filter(|c| **c == 6).count();
+        assert!(interior_avg > m.num_points() / 2);
+    }
+}

@@ -1,0 +1,487 @@
+//! Shared-memory parallel FEM on the simulated SPP-1000 (paper §5.2),
+//! in the *two codings* Figure 7 compares ("Curve small2 was computed
+//! using a second coding of the same numerics"):
+//!
+//! * [`Coding::ScatterAdd`] — the element loop scatter-adds residuals
+//!   straight into shared point arrays (the "scatter-add problem" the
+//!   paper names as the third, critical class of global
+//!   communication);
+//! * [`Coding::Gather`] — the element loop writes its contributions to
+//!   element-local storage and a point loop gathers them through the
+//!   point-to-element adjacency (no read-modify-write sharing, more
+//!   irregular reads).
+
+use crate::host::{self, flops};
+use crate::mesh::Mesh;
+use spp_core::{Cycles, SimArray};
+use spp_runtime::{Runtime, Team};
+
+/// Extra cycles per divide/sqrt (PA-7100 FDIV/FSQRT latency beyond the
+/// counted flop).
+pub const DIVSQRT_EXTRA_CYCLES: u64 = 13;
+/// Integer/index overhead cycles per element (unstructured
+/// addressing: connectivity decode, loop control).
+pub const ELEMENT_OVERHEAD_CYCLES: u64 = 130;
+
+/// Which coding of the numerics to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coding {
+    /// Element loop scatter-adds into shared residual arrays.
+    ScatterAdd,
+    /// Element loop stores locally; point loop gathers.
+    Gather,
+}
+
+/// Cumulative result of a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunReport {
+    /// Elapsed simulated cycles.
+    pub elapsed: Cycles,
+    /// Point updates performed.
+    pub point_updates: u64,
+    /// Steps executed.
+    pub steps: usize,
+}
+
+impl RunReport {
+    /// Point updates per microsecond (the paper's §5.2.2 metric).
+    pub fn updates_per_us(&self) -> f64 {
+        if self.elapsed == 0 {
+            0.0
+        } else {
+            self.point_updates as f64 / (self.elapsed as f64 / 100.0)
+        }
+    }
+
+    /// "Useful Mflop/s" via the paper's own conversion factor of 437
+    /// flops per point update.
+    pub fn useful_mflops(&self) -> f64 {
+        self.updates_per_us() * flops::PAPER_FLOPS_PER_POINT_UPDATE
+    }
+}
+
+/// FEM state in simulated shared memory.
+pub struct SharedFem {
+    /// The (host) mesh: geometry is immutable, so coordinates and
+    /// connectivity live in shared SimArrays below.
+    pub mesh: Mesh,
+    coding: Coding,
+    // Geometry / connectivity. Following the F77 original, per-point
+    // records are interleaved so one 32-byte line holds one point's
+    // record: `xy(2, n)`, `u(4, n)`, `r(4, n)`.
+    xy: SimArray<f64>,
+    tri: SimArray<u32>,
+    area2: SimArray<f64>,
+    lmass: SimArray<f64>,
+    bn: SimArray<f64>,
+    // State `u(4, n)`: [rho, mu, mv, E] per point.
+    u: SimArray<f64>,
+    // Scatter-add coding: shared residual array `r(4, n)`.
+    res: SimArray<f64>,
+    // Gather coding: per-element contributions (3 vertices x 4 vars)
+    // plus the point-to-element adjacency (elem * 4 + slot, CSR).
+    eres: SimArray<f64>,
+    adj_off: SimArray<u32>,
+    adj: SimArray<u32>,
+    // Per-thread partial maxima for the timestep reduction.
+    partial_speed: SimArray<f64>,
+    /// Current timestep (deferred CFL: the reduction is fused into the
+    /// previous step's point-update loop, as the paper's "tightest
+    /// serial coding" does).
+    dt: f64,
+    /// Current global max signal speed.
+    max_speed: f64,
+    /// Whether the residual arrays are already zero (fused clearing).
+    res_clean: bool,
+}
+
+impl SharedFem {
+    /// Load a mesh and the pulse initial condition, placed for `team`.
+    pub fn new(rt: &mut Runtime, mesh: Mesh, coding: Coding, team: &Team) -> Self {
+        let s0 = host::State::pulse(&mesh);
+        let n = mesh.num_points();
+        let ne = mesh.num_elements();
+        let m = &mut rt.machine;
+        let pc = team.shared_class(m.config(), n as u64 * 8);
+        let ec = team.shared_class(m.config(), ne as u64 * 8);
+
+        // Point-to-element adjacency (encoded as elem * 4 + slot).
+        let mut counts = vec![0u32; n + 1];
+        for t in &mesh.tri {
+            for v in t {
+                counts[*v as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut adj = vec![0u32; 3 * ne];
+        let mut cursor = counts.clone();
+        for (e, t) in mesh.tri.iter().enumerate() {
+            for (slot, v) in t.iter().enumerate() {
+                adj[cursor[*v as usize] as usize] = (e * 4 + slot) as u32;
+                cursor[*v as usize] += 1;
+            }
+        }
+
+        let tri_flat: Vec<u32> = mesh.tri.iter().flatten().copied().collect();
+        let mut xy = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            xy.push(mesh.px[i]);
+            xy.push(mesh.py[i]);
+        }
+        let mut u = Vec::with_capacity(4 * n);
+        for i in 0..n {
+            u.extend_from_slice(&[s0.rho[i], s0.mu[i], s0.mv[i], s0.e[i]]);
+        }
+        let bn: Vec<f64> = mesh.bnormal.iter().flatten().copied().collect();
+        SharedFem {
+            xy: SimArray::new(m, pc, xy),
+            tri: SimArray::new(m, ec, tri_flat),
+            area2: SimArray::new(m, ec, mesh.area2.clone()),
+            lmass: SimArray::new(m, pc, mesh.lumped_mass.clone()),
+            bn: SimArray::new(m, pc, bn),
+            u: SimArray::new(m, pc, u),
+            res: SimArray::from_elem(m, pc, 4 * n, 0.0),
+            eres: SimArray::from_elem(m, ec, 12 * ne, 0.0),
+            adj_off: SimArray::new(m, pc, counts),
+            adj: SimArray::new(m, ec, adj),
+            partial_speed: SimArray::from_elem(
+                m,
+                spp_core::MemClass::NearShared {
+                    node: spp_core::NodeId(0),
+                },
+                team.len().max(1),
+                0.0,
+            ),
+            dt: 0.0,
+            max_speed: {
+                let s = host::State::pulse(&mesh);
+                (0..mesh.num_points())
+                    .map(|i| s.signal_speed(i))
+                    .fold(0.0, f64::max)
+            },
+            res_clean: false,
+            coding,
+            mesh,
+        }
+    }
+
+    /// Host view of the current state (validation).
+    pub fn state(&self) -> host::State {
+        let n = self.mesh.num_points();
+        let u = self.u.host();
+        host::State {
+            rho: (0..n).map(|i| u[4 * i]).collect(),
+            mu: (0..n).map(|i| u[4 * i + 1]).collect(),
+            mv: (0..n).map(|i| u[4 * i + 2]).collect(),
+            e: (0..n).map(|i| u[4 * i + 3]).collect(),
+        }
+    }
+
+    /// One forward-Euler step. Returns (elapsed cycles, point updates).
+    pub fn step(&mut self, rt: &mut Runtime, team: &Team, cfl: f64) -> (Cycles, u64) {
+        let n = self.mesh.num_points();
+        let ne = self.mesh.num_elements();
+        let nt = team.len();
+        let mut elapsed = 0u64;
+
+        // The timestep reduction is deferred: the previous step's
+        // point-update loop computed per-thread maxima over the fresh
+        // state (class-1 communication at negligible extra cost).
+        self.dt = cfl / self.max_speed.max(1e-12);
+        let dt = self.dt;
+        let alpha = 0.7 * self.max_speed;
+
+        // Residual clearing is fused into the point update (the lines
+        // are cache-hot there); only the very first step pays a
+        // dedicated clear.
+        if self.coding == Coding::ScatterAdd && !self.res_clean {
+            let res = &mut self.res;
+            let rep = rt.team_fork_join(team, |ctx| {
+                for i in ctx.chunk(n) {
+                    for k in 0..4 {
+                        ctx.write(res, 4 * i + k, 0.0);
+                    }
+                }
+            });
+            elapsed += rep.elapsed;
+        }
+
+        // Phase 3: element loop (class-2 gather + class-3 scatter-add).
+        {
+            let (xy, tri, area2) = (&self.xy, &self.tri, &self.area2);
+            let uarr = &self.u;
+            let res = &mut self.res;
+            let eres = &mut self.eres;
+            let coding = self.coding;
+            let rep = rt.team_fork_join(team, |ctx| {
+                for el in ctx.chunk(ne) {
+                    // Gather connectivity and vertex records (one line
+                    // per point for coordinates, one for state).
+                    let v: [usize; 3] =
+                        std::array::from_fn(|i| ctx.read(tri, 3 * el + i) as usize);
+                    let x: [f64; 3] = std::array::from_fn(|i| ctx.read(xy, 2 * v[i]));
+                    let y: [f64; 3] = std::array::from_fn(|i| ctx.read(xy, 2 * v[i] + 1));
+                    let u: [[f64; 4]; 3] = std::array::from_fn(|i| {
+                        std::array::from_fn(|k| ctx.read(uarr, 4 * v[i] + k))
+                    });
+                    let a2 = ctx.read(area2, el);
+                    let contrib = residual_kernel(x, y, u, a2, alpha);
+                    ctx.flops(flops::ELEMENT);
+                    ctx.cycles(
+                        flops::ELEMENT_DIVSQRT * DIVSQRT_EXTRA_CYCLES + ELEMENT_OVERHEAD_CYCLES,
+                    );
+                    match coding {
+                        Coding::ScatterAdd => {
+                            for (i, c) in contrib.iter().enumerate() {
+                                for (k, val) in c.iter().enumerate() {
+                                    ctx.update(res, 4 * v[i] + k, |old| old + val);
+                                }
+                            }
+                        }
+                        Coding::Gather => {
+                            for (i, c) in contrib.iter().enumerate() {
+                                for (k, val) in c.iter().enumerate() {
+                                    ctx.write(eres, 12 * el + 4 * i + k, *val);
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+            elapsed += rep.elapsed;
+        }
+
+        // Phase 4: point update (lumped mass + wall-pressure boundary
+        // term), fused with residual clearing and the next step's
+        // signal-speed reduction.
+        {
+            let (lmass, bn) = (&self.lmass, &self.bn);
+            let uarr = &mut self.u;
+            let res = &mut self.res;
+            let (eres, adj_off, adj) = (&self.eres, &self.adj_off, &self.adj);
+            let partial = &mut self.partial_speed;
+            let coding = self.coding;
+            let rep = rt.team_fork_join(team, |ctx| {
+                let mut local_max = 0.0f64;
+                for i in ctx.chunk(n) {
+                    let mut r = [0.0f64; 4];
+                    match coding {
+                        Coding::ScatterAdd => {
+                            for (k, rk) in r.iter_mut().enumerate() {
+                                *rk = ctx.read(res, 4 * i + k);
+                                ctx.write(res, 4 * i + k, 0.0);
+                            }
+                        }
+                        Coding::Gather => {
+                            let s = ctx.read(adj_off, i) as usize;
+                            let t = ctx.read(adj_off, i + 1) as usize;
+                            for a in s..t {
+                                let code = ctx.read(adj, a) as usize;
+                                let (el, slot) = (code / 4, code % 4);
+                                for (k, rk) in r.iter_mut().enumerate() {
+                                    *rk += ctx.read(eres, 12 * el + 4 * slot + k);
+                                    ctx.flops(1);
+                                }
+                            }
+                        }
+                    }
+                    let rho_v = ctx.read(uarr, 4 * i);
+                    let mu_v = ctx.read(uarr, 4 * i + 1);
+                    let mv_v = ctx.read(uarr, 4 * i + 2);
+                    let e_v = ctx.read(uarr, 4 * i + 3);
+                    let p = ((host::GAMMA - 1.0)
+                        * (e_v - 0.5 * (mu_v * mu_v + mv_v * mv_v) / rho_v.max(1e-12)))
+                    .max(1e-12);
+                    let f = dt / ctx.read(lmass, i);
+                    let bx = ctx.read(bn, 2 * i);
+                    let by = ctx.read(bn, 2 * i + 1);
+                    let nrho = rho_v + f * r[0];
+                    let nmu = mu_v + f * (r[1] - p * bx);
+                    let nmv = mv_v + f * (r[2] - p * by);
+                    let ne_ = e_v + f * r[3];
+                    ctx.write(uarr, 4 * i, nrho);
+                    ctx.write(uarr, 4 * i + 1, nmu);
+                    ctx.write(uarr, 4 * i + 2, nmv);
+                    ctx.write(uarr, 4 * i + 3, ne_);
+                    local_max = local_max.max(signal_speed(nrho, nmu, nmv, ne_));
+                    ctx.flops(flops::POINT + 8 + flops::SPEED);
+                    // pressure + 1/m divides, plus the speed's sqrt/div.
+                    ctx.cycles((2 + flops::SPEED_DIVSQRT) * DIVSQRT_EXTRA_CYCLES);
+                }
+                let tid = ctx.tid;
+                ctx.write(partial, tid, local_max);
+            });
+            elapsed += rep.elapsed;
+            self.res_clean = true;
+        }
+
+        // Tiny serial combine of the per-thread maxima (for the next
+        // step's dt).
+        {
+            let partial = &self.partial_speed;
+            let mut global = 0.0f64;
+            let g = &mut global;
+            let rep = rt.team_fork_join(team, |ctx| {
+                if ctx.tid == 0 {
+                    for t in 0..nt {
+                        *g = g.max(ctx.read(partial, t));
+                        ctx.flops(1);
+                    }
+                }
+            });
+            elapsed += rep.elapsed;
+            self.max_speed = global;
+        }
+
+        (elapsed, n as u64)
+    }
+
+    /// Run `steps` timesteps at CFL `cfl`.
+    pub fn run(&mut self, rt: &mut Runtime, team: &Team, cfl: f64, steps: usize) -> RunReport {
+        let mut out = RunReport {
+            steps,
+            ..Default::default()
+        };
+        for _ in 0..steps {
+            let (c, p) = self.step(rt, team, cfl);
+            out.elapsed += c;
+            out.point_updates += p;
+        }
+        out
+    }
+}
+
+#[inline]
+fn signal_speed(rho: f64, mu: f64, mv: f64, e: f64) -> f64 {
+    let rho = rho.max(1e-12);
+    let v = (mu * mu + mv * mv).sqrt() / rho;
+    let p = ((host::GAMMA - 1.0) * (e - 0.5 * (mu * mu + mv * mv) / rho)).max(1e-12);
+    v + (host::GAMMA * p / rho).sqrt()
+}
+
+/// The element residual kernel on gathered data (identical arithmetic
+/// to [`host::element_residual`]).
+#[inline]
+fn residual_kernel(
+    x: [f64; 3],
+    y: [f64; 3],
+    u: [[f64; 4]; 3],
+    a2: f64,
+    alpha: f64,
+) -> [[f64; 4]; 3] {
+    let ue: [f64; 4] = std::array::from_fn(|k| (u[0][k] + u[1][k] + u[2][k]) / 3.0);
+    let (f, g) = host::fluxes(ue);
+    let mut grads = [[0.0f64; 2]; 3];
+    for i in 0..3 {
+        let j = (i + 1) % 3;
+        let k = (i + 2) % 3;
+        grads[i][0] = y[j] - y[k];
+        grads[i][1] = x[k] - x[j];
+    }
+    std::array::from_fn(|i| {
+        std::array::from_fn(|k| {
+            let flux_part = 0.5 * (grads[i][0] * f[k] + grads[i][1] * g[k]);
+            let diss = alpha * (a2 / 6.0) * (ue[k] - u[i][k]);
+            flux_part + diss
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_runtime::Placement;
+
+    fn sim(threads: usize, coding: Coding) -> (Runtime, SharedFem, Team) {
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), threads, &Placement::HighLocality);
+        let f = SharedFem::new(&mut rt, Mesh::tiny(), coding, &team);
+        (rt, f, team)
+    }
+
+    #[test]
+    fn scatter_coding_matches_host() {
+        let (mut rt, mut f, team) = sim(1, Coding::ScatterAdd);
+        let mesh = Mesh::tiny();
+        let mut s = host::State::pulse(&mesh);
+        for _ in 0..2 {
+            f.step(&mut rt, &team, 0.3);
+            let dt = host::timestep(&s, 0.3);
+            host::step(&mesh, &mut s, dt);
+        }
+        let sim_s = f.state();
+        for i in (0..mesh.num_points()).step_by(13) {
+            assert!(
+                (sim_s.rho[i] - s.rho[i]).abs() < 1e-9,
+                "rho[{i}]: {} vs {}",
+                sim_s.rho[i],
+                s.rho[i]
+            );
+            assert!((sim_s.e[i] - s.e[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gather_coding_same_numerics() {
+        let (mut rt_a, mut a, team_a) = sim(2, Coding::ScatterAdd);
+        let (mut rt_b, mut b, team_b) = sim(2, Coding::Gather);
+        for _ in 0..2 {
+            a.step(&mut rt_a, &team_a, 0.3);
+            b.step(&mut rt_b, &team_b, 0.3);
+        }
+        let sa = a.state();
+        let sb = b.state();
+        for i in (0..sa.rho.len()).step_by(7) {
+            assert!(
+                (sa.rho[i] - sb.rho[i]).abs() < 1e-12,
+                "codings diverge at {i}"
+            );
+            assert!((sa.mu[i] - sb.mu[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multi_thread_physics_stable() {
+        let (mut rt1, mut f1, team1) = sim(1, Coding::ScatterAdd);
+        let (mut rt8, mut f8, team8) = sim(8, Coding::ScatterAdd);
+        for _ in 0..2 {
+            f1.step(&mut rt1, &team1, 0.3);
+            f8.step(&mut rt8, &team8, 0.3);
+        }
+        let a = f1.state();
+        let b = f8.state();
+        for i in (0..a.rho.len()).step_by(11) {
+            // Scatter-add ordering differs across thread counts.
+            assert!((a.rho[i] - b.rho[i]).abs() < 1e-9, "point {i}");
+        }
+    }
+
+    #[test]
+    fn speedup_with_threads() {
+        let mesh = crate::mesh::structured(48, 48);
+        let mut rt1 = Runtime::spp1000(2);
+        let team1 = Team::place(rt1.machine.config(), 1, &Placement::HighLocality);
+        let mut f1 = SharedFem::new(&mut rt1, mesh.clone(), Coding::ScatterAdd, &team1);
+        let r1 = f1.run(&mut rt1, &team1, 0.3, 1);
+        let mut rt8 = Runtime::spp1000(2);
+        let team8 = Team::place(rt8.machine.config(), 8, &Placement::HighLocality);
+        let mut f8 = SharedFem::new(&mut rt8, mesh, Coding::ScatterAdd, &team8);
+        let r8 = f8.run(&mut rt8, &team8, 0.3, 1);
+        let s = r1.elapsed as f64 / r8.elapsed as f64;
+        assert!(s > 4.0, "8-thread speedup = {s}");
+    }
+
+    #[test]
+    fn report_metrics() {
+        let (mut rt, mut f, team) = sim(2, Coding::ScatterAdd);
+        let r = f.run(&mut rt, &team, 0.3, 2);
+        assert_eq!(r.point_updates, 2 * 17 * 13);
+        assert!(r.updates_per_us() > 0.0);
+        assert!(
+            (r.useful_mflops() / r.updates_per_us() - 437.0).abs() < 1e-9,
+            "conversion factor"
+        );
+    }
+}

@@ -1,0 +1,388 @@
+//! Radix-2 complex FFT — the "fine-tuned parallel FFT library" the
+//! paper lists as a missing vendor component (§6), built here as the
+//! Poisson-solver substrate for the PIC code.
+//!
+//! Two forms are provided:
+//!
+//! * [`fft_inplace`] — a host-side transform for setup/verification;
+//! * [`sim_fft_pencil`] — the same butterflies executed through a
+//!   [`ThreadCtx`], so every element access is priced by the machine
+//!   model and every flop is counted. 3-D transforms are built from
+//!   pencils along each axis, which is also how the code parallelizes.
+
+use crate::complex::Complex;
+use spp_core::SimArray;
+use spp_runtime::ThreadCtx;
+
+/// In-place iterative radix-2 Cooley-Tukey FFT on host data.
+/// `inverse` applies the conjugate transform *and* the 1/n scaling.
+///
+/// # Panics
+/// If `data.len()` is not a power of two.
+pub fn fft_inplace(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+    bit_reverse_permute(data);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::ONE;
+            for j in 0..len / 2 {
+                let u = data[i + j];
+                let v = data[i + j + len / 2] * w;
+                data[i + j] = u + v;
+                data[i + j + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let s = 1.0 / n as f64;
+        for z in data {
+            *z = z.scale(s);
+        }
+    }
+}
+
+fn bit_reverse_permute(data: &mut [Complex]) {
+    let n = data.len();
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// FLOPs of one radix-2 transform of length `n`: n/2·log2(n)
+/// butterflies at 10 flops each (complex multiply + two adds).
+pub fn fft_flops(n: usize) -> u64 {
+    let lg = n.trailing_zeros() as u64;
+    (n as u64 / 2) * lg * 10
+}
+
+/// A strided pencil of complex values inside a [`SimArray`]: element
+/// `k` lives at array index `offset + k * stride`.
+#[derive(Debug, Clone, Copy)]
+pub struct Pencil {
+    /// First element index.
+    pub offset: usize,
+    /// Index stride between consecutive pencil elements.
+    pub stride: usize,
+    /// Pencil length (power of two).
+    pub n: usize,
+}
+
+impl Pencil {
+    #[inline]
+    fn idx(&self, k: usize) -> usize {
+        self.offset + k * self.stride
+    }
+}
+
+/// Simulated in-place FFT over one pencil of `arr`: numerically
+/// identical to [`fft_inplace`], but every access goes through the
+/// machine model and flops are charged to `ctx`.
+pub fn sim_fft_pencil(ctx: &mut ThreadCtx<'_>, arr: &mut SimArray<Complex>, p: Pencil, inverse: bool) {
+    let n = p.n;
+    assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation (priced swaps).
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            let a = ctx.read(arr, p.idx(i));
+            let b = ctx.read(arr, p.idx(j));
+            ctx.write(arr, p.idx(i), b);
+            ctx.write(arr, p.idx(j), a);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::ONE;
+            for jj in 0..len / 2 {
+                let u = ctx.read(arr, p.idx(i + jj));
+                let v = ctx.read(arr, p.idx(i + jj + len / 2)) * w;
+                ctx.write(arr, p.idx(i + jj), u + v);
+                ctx.write(arr, p.idx(i + jj + len / 2), u - v);
+                w = w * wlen;
+                ctx.flops(10);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let s = 1.0 / n as f64;
+        for k in 0..n {
+            let z = ctx.read(arr, p.idx(k));
+            ctx.write(arr, p.idx(k), z.scale(s));
+            ctx.flops(2);
+        }
+    }
+}
+
+/// Host-side 3-D FFT on a contiguous `nx*ny*nz` array in x-fastest
+/// layout (`idx = x + nx*(y + ny*z)`).
+pub fn fft3d_inplace(data: &mut [Complex], nx: usize, ny: usize, nz: usize, inverse: bool) {
+    assert_eq!(data.len(), nx * ny * nz);
+    let mut buf = vec![Complex::ZERO; nx.max(ny).max(nz)];
+    // x pencils (contiguous).
+    for zy in 0..ny * nz {
+        let base = zy * nx;
+        fft_inplace(&mut data[base..base + nx], inverse);
+    }
+    // y pencils.
+    for z in 0..nz {
+        for x in 0..nx {
+            for y in 0..ny {
+                buf[y] = data[x + nx * (y + ny * z)];
+            }
+            fft_inplace(&mut buf[..ny], inverse);
+            for y in 0..ny {
+                data[x + nx * (y + ny * z)] = buf[y];
+            }
+        }
+    }
+    // z pencils.
+    for y in 0..ny {
+        for x in 0..nx {
+            for z in 0..nz {
+                buf[z] = data[x + nx * (y + ny * z)];
+            }
+            fft_inplace(&mut buf[..nz], inverse);
+            for z in 0..nz {
+                data[x + nx * (y + ny * z)] = buf[z];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(data: &[Complex], inverse: bool) -> Vec<Complex> {
+        let n = data.len();
+        let sign = if inverse { 1.0 } else { -1.0 };
+        let mut out = vec![Complex::ZERO; n];
+        for (k, o) in out.iter_mut().enumerate() {
+            for (j, z) in data.iter().enumerate() {
+                let ang = sign * 2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                *o += *z * Complex::cis(ang);
+            }
+            if inverse {
+                *o = o.scale(1.0 / n as f64);
+            }
+        }
+        out
+    }
+
+    fn close(a: &[Complex], b: &[Complex], tol: f64) -> bool {
+        a.iter().zip(b).all(|(x, y)| (*x - *y).abs() < tol)
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [2usize, 4, 8, 32, 64] {
+            let data: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.81).cos()))
+                .collect();
+            let mut fast = data.clone();
+            fft_inplace(&mut fast, false);
+            let slow = naive_dft(&data, false);
+            assert!(close(&fast, &slow, 1e-9), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn forward_inverse_round_trip() {
+        let data: Vec<Complex> = (0..128)
+            .map(|i| Complex::new(i as f64, -(i as f64) * 0.5))
+            .collect();
+        let mut z = data.clone();
+        fft_inplace(&mut z, false);
+        fft_inplace(&mut z, true);
+        assert!(close(&z, &data, 1e-9));
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut z = vec![Complex::ZERO; 16];
+        z[0] = Complex::ONE;
+        fft_inplace(&mut z, false);
+        assert!(z.iter().all(|v| (*v - Complex::ONE).abs() < 1e-12));
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let data: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 2.0).cos()))
+            .collect();
+        let t_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum();
+        let mut f = data.clone();
+        fft_inplace(&mut f, false);
+        let f_energy: f64 = f.iter().map(|z| z.norm_sqr()).sum::<f64>() / 64.0;
+        assert!((t_energy - f_energy).abs() / t_energy < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut z = vec![Complex::ZERO; 12];
+        fft_inplace(&mut z, false);
+    }
+
+    #[test]
+    fn fft3d_round_trip() {
+        let (nx, ny, nz) = (8, 4, 2);
+        let data: Vec<Complex> = (0..nx * ny * nz)
+            .map(|i| Complex::new((i as f64 * 0.1).sin(), (i as f64 * 0.2).cos()))
+            .collect();
+        let mut z = data.clone();
+        fft3d_inplace(&mut z, nx, ny, nz, false);
+        fft3d_inplace(&mut z, nx, ny, nz, true);
+        for (a, b) in z.iter().zip(&data) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft3d_of_plane_wave_is_single_mode() {
+        let (nx, ny, nz) = (8, 8, 8);
+        let (kx, ky, kz) = (2, 3, 1);
+        let mut z: Vec<Complex> = Vec::with_capacity(nx * ny * nz);
+        for zz in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    let phase = 2.0 * std::f64::consts::PI
+                        * (kx * x) as f64 / nx as f64
+                        + 2.0 * std::f64::consts::PI * (ky * y) as f64 / ny as f64
+                        + 2.0 * std::f64::consts::PI * (kz * zz) as f64 / nz as f64;
+                    z.push(Complex::cis(phase));
+                }
+            }
+        }
+        fft3d_inplace(&mut z, nx, ny, nz, false);
+        let peak = kx + nx * (ky + ny * kz);
+        for (i, v) in z.iter().enumerate() {
+            if i == peak {
+                assert!((v.re - (nx * ny * nz) as f64).abs() < 1e-6);
+            } else {
+                assert!(v.abs() < 1e-6, "leak at {i}: {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_flops_formula() {
+        assert_eq!(fft_flops(2), 10);
+        assert_eq!(fft_flops(8), 4 * 3 * 10);
+    }
+
+    #[test]
+    fn simulated_fft_matches_host_fft() {
+        use spp_core::{Machine, MemClass, NodeId};
+        use spp_runtime::{Placement, Runtime};
+
+        let mut rt = Runtime::new(Machine::spp1000(1));
+        let n = 64;
+        let host: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.3).cos(), (i as f64 * 0.7).sin()))
+            .collect();
+        let mut arr = SimArray::new(
+            &mut rt.machine,
+            MemClass::NearShared { node: NodeId(0) },
+            host.clone(),
+        );
+        let mut expected = host;
+        fft_inplace(&mut expected, false);
+
+        let rep = rt.fork_join(1, &Placement::HighLocality, |ctx| {
+            sim_fft_pencil(
+                ctx,
+                &mut arr,
+                Pencil {
+                    offset: 0,
+                    stride: 1,
+                    n,
+                },
+                false,
+            );
+        });
+        for (a, b) in arr.host().iter().zip(&expected) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+        assert!(rep.flops >= fft_flops(n), "flops accounted");
+        assert!(rep.elapsed > 0);
+    }
+
+    #[test]
+    fn simulated_strided_fft_matches() {
+        use spp_core::{Machine, MemClass, NodeId};
+        use spp_runtime::{Placement, Runtime};
+
+        let mut rt = Runtime::new(Machine::spp1000(1));
+        // 2 interleaved pencils of length 8, stride 2.
+        let n = 8;
+        let host: Vec<Complex> = (0..2 * n)
+            .map(|i| Complex::new(i as f64, 0.0))
+            .collect();
+        let mut arr = SimArray::new(
+            &mut rt.machine,
+            MemClass::NearShared { node: NodeId(0) },
+            host.clone(),
+        );
+        // Expected: transform elements 1,3,5,... as a pencil.
+        let mut expected: Vec<Complex> = (0..n).map(|k| host[1 + 2 * k]).collect();
+        fft_inplace(&mut expected, false);
+
+        rt.fork_join(1, &Placement::HighLocality, |ctx| {
+            sim_fft_pencil(
+                ctx,
+                &mut arr,
+                Pencil {
+                    offset: 1,
+                    stride: 2,
+                    n,
+                },
+                false,
+            );
+        });
+        for (k, e) in expected.iter().enumerate() {
+            let got = arr.host()[1 + 2 * k];
+            assert!((got - *e).abs() < 1e-9, "k={k}");
+        }
+        // Even elements untouched.
+        assert_eq!(arr.host()[0], Complex::new(0.0, 0.0));
+        assert_eq!(arr.host()[2], Complex::new(2.0, 0.0));
+    }
+}

@@ -1,0 +1,26 @@
+//! # spp-kernels — numeric substrates for the SPP-1000 reproduction
+//!
+//! The paper's applications lean on vendor library routines the
+//! SPP-1000 did not yet provide well ("fine-tuned libraries for
+//! certain critical subroutines such as parallel FFT, sorting, and
+//! scatter-add", §6) plus the Cray VECLIB FFTs the PIC code calls.
+//! This crate rebuilds those substrates:
+//!
+//! * [`fft`] — radix-2 complex FFT, host-side and machine-priced;
+//! * [`morton`] — Z-order keys for cache-friendly mesh/tree layouts;
+//! * [`sorting`] — LSD radix sort with payload permutation;
+//! * [`rng`] — deterministic xoshiro256++ workload generation.
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod fft;
+pub mod morton;
+pub mod rng;
+pub mod sorting;
+
+pub use complex::Complex;
+pub use fft::{fft3d_inplace, fft_flops, fft_inplace, sim_fft_pencil, Pencil};
+pub use morton::{demorton2, demorton3, morton2, morton3, morton3_unit, sort_order_by_key};
+pub use rng::Rng64;
+pub use sorting::{radix_argsort, radix_sort_by_key};

@@ -1,0 +1,152 @@
+//! Morton (Z-order) indexing.
+//!
+//! The FEM code Morton-orders points and elements "to enhance cache
+//! locality for the gathers and scatters" (paper §5.2.1, citing Warren
+//! & Salmon); the N-body tree uses 3-D Morton keys to sort particles
+//! into an octree.
+
+/// Interleave the low 16 bits of `x` and `y` (x in even positions).
+pub fn morton2(x: u32, y: u32) -> u64 {
+    part1by1(x) | (part1by1(y) << 1)
+}
+
+/// Inverse of [`morton2`].
+pub fn demorton2(m: u64) -> (u32, u32) {
+    (compact1by1(m), compact1by1(m >> 1))
+}
+
+/// Interleave the low 21 bits of `x`, `y`, `z` (x in lowest positions).
+pub fn morton3(x: u32, y: u32, z: u32) -> u64 {
+    part1by2(x) | (part1by2(y) << 1) | (part1by2(z) << 2)
+}
+
+/// Inverse of [`morton3`].
+pub fn demorton3(m: u64) -> (u32, u32, u32) {
+    (compact1by2(m), compact1by2(m >> 1), compact1by2(m >> 2))
+}
+
+fn part1by1(x: u32) -> u64 {
+    let mut x = x as u64 & 0xffff;
+    x = (x | (x << 8)) & 0x00ff_00ff;
+    x = (x | (x << 4)) & 0x0f0f_0f0f;
+    x = (x | (x << 2)) & 0x3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555;
+    x
+}
+
+fn compact1by1(m: u64) -> u32 {
+    let mut x = m & 0x5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333;
+    x = (x | (x >> 2)) & 0x0f0f_0f0f;
+    x = (x | (x >> 4)) & 0x00ff_00ff;
+    x = (x | (x >> 8)) & 0x0000_ffff;
+    x as u32
+}
+
+fn part1by2(x: u32) -> u64 {
+    // The classic 21-bit spread.
+    let mut y = x as u64 & 0x1f_ffff;
+    y = (y | (y << 32)) & 0x001f_0000_0000_ffff;
+    y = (y | (y << 16)) & 0x001f_0000_ff00_00ff;
+    y = (y | (y << 8)) & 0x100f_00f0_0f00_f00f;
+    y = (y | (y << 4)) & 0x10c3_0c30_c30c_30c3;
+    y = (y | (y << 2)) & 0x1249_2492_4924_9249;
+    y
+}
+
+fn compact1by2(m: u64) -> u32 {
+    let mut x = m & 0x1249_2492_4924_9249;
+    x = (x | (x >> 2)) & 0x10c3_0c30_c30c_30c3;
+    x = (x | (x >> 4)) & 0x100f_00f0_0f00_f00f;
+    x = (x | (x >> 8)) & 0x001f_0000_ff00_00ff;
+    x = (x | (x >> 16)) & 0x001f_0000_0000_ffff;
+    x = (x | (x >> 32)) & 0x1f_ffff;
+    x as u32
+}
+
+/// Map a point in the unit cube to a 3-D Morton key at `bits` bits per
+/// axis (values are clamped into [0, 1)).
+pub fn morton3_unit(x: f64, y: f64, z: f64, bits: u32) -> u64 {
+    debug_assert!(bits <= 21);
+    let scale = (1u64 << bits) as f64;
+    let q = |v: f64| ((v.clamp(0.0, 0.999_999_999) * scale) as u32).min((1 << bits) - 1);
+    morton3(q(x), q(y), q(z))
+}
+
+/// A permutation that sorts `keys` ascending: `order[rank] = original
+/// index`.
+pub fn sort_order_by_key(keys: &[u64]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..keys.len() as u32).collect();
+    order.sort_by_key(|i| keys[*i as usize]);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morton2_round_trips() {
+        for x in [0u32, 1, 7, 255, 1023, 65535] {
+            for y in [0u32, 2, 31, 512, 65535] {
+                assert_eq!(demorton2(morton2(x, y)), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn morton3_round_trips() {
+        for x in [0u32, 1, 5, 100, 2_000_000] {
+            for y in [0u32, 3, 77, 1_048_575] {
+                for z in [0u32, 9, 300_000] {
+                    assert_eq!(demorton3(morton3(x, y, z)), (x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn morton2_small_values() {
+        assert_eq!(morton2(0, 0), 0);
+        assert_eq!(morton2(1, 0), 1);
+        assert_eq!(morton2(0, 1), 2);
+        assert_eq!(morton2(1, 1), 3);
+        assert_eq!(morton2(2, 2), 12);
+    }
+
+    #[test]
+    fn morton3_small_values() {
+        assert_eq!(morton3(0, 0, 0), 0);
+        assert_eq!(morton3(1, 0, 0), 1);
+        assert_eq!(morton3(0, 1, 0), 2);
+        assert_eq!(morton3(0, 0, 1), 4);
+        assert_eq!(morton3(1, 1, 1), 7);
+    }
+
+    #[test]
+    fn morton_preserves_spatial_locality() {
+        // Points in the same quadrant sort together.
+        let a = morton2(10, 10);
+        let b = morton2(11, 11);
+        let far = morton2(60_000, 60_000);
+        assert!(a.abs_diff(b) < a.abs_diff(far));
+    }
+
+    #[test]
+    fn unit_cube_keys_monotone_per_octant() {
+        let low = morton3_unit(0.1, 0.1, 0.1, 10);
+        let high = morton3_unit(0.9, 0.9, 0.9, 10);
+        assert!(low < high);
+        // Clamping keeps out-of-range inputs finite.
+        let edge = morton3_unit(1.5, -0.2, 0.999_999_999_9, 10);
+        let _ = edge;
+    }
+
+    #[test]
+    fn sort_order_sorts_keys() {
+        let keys = vec![5u64, 1, 9, 3];
+        let order = sort_order_by_key(&keys);
+        let sorted: Vec<u64> = order.iter().map(|i| keys[*i as usize]).collect();
+        assert_eq!(sorted, vec![1, 3, 5, 9]);
+    }
+}

@@ -1,0 +1,123 @@
+//! LSD radix sort for 64-bit keys with payload permutation — the
+//! "sorting" library routine the paper lists among missing vendor
+//! libraries (§6). Used by the N-body code to order particles by
+//! Morton key each rebuild.
+
+/// Sort `keys` ascending, applying the same permutation to `payload`.
+///
+/// # Panics
+/// If the slices have different lengths.
+pub fn radix_sort_by_key(keys: &mut Vec<u64>, payload: &mut Vec<u32>) {
+    assert_eq!(keys.len(), payload.len(), "payload length mismatch");
+    let n = keys.len();
+    if n <= 1 {
+        return;
+    }
+    let mut k_src = std::mem::take(keys);
+    let mut p_src = std::mem::take(payload);
+    let mut k_dst = vec![0u64; n];
+    let mut p_dst = vec![0u32; n];
+    // 8 passes of 8 bits; skip passes where all bytes are equal.
+    for pass in 0..8 {
+        let shift = pass * 8;
+        let mut hist = [0usize; 256];
+        for &k in &k_src {
+            hist[((k >> shift) & 0xff) as usize] += 1;
+        }
+        if hist.iter().any(|&h| h == n) {
+            continue; // all keys share this byte
+        }
+        let mut pos = [0usize; 256];
+        let mut acc = 0;
+        for (p, h) in pos.iter_mut().zip(&hist) {
+            *p = acc;
+            acc += h;
+        }
+        for (k, p) in k_src.iter().zip(&p_src) {
+            let b = ((k >> shift) & 0xff) as usize;
+            k_dst[pos[b]] = *k;
+            p_dst[pos[b]] = *p;
+            pos[b] += 1;
+        }
+        std::mem::swap(&mut k_src, &mut k_dst);
+        std::mem::swap(&mut p_src, &mut p_dst);
+    }
+    *keys = k_src;
+    *payload = p_src;
+}
+
+/// Convenience: sort `keys` and return the permutation as payload
+/// (`result[rank] = original index`).
+pub fn radix_argsort(keys: &[u64]) -> Vec<u32> {
+    let mut k = keys.to_vec();
+    let mut idx: Vec<u32> = (0..keys.len() as u32).collect();
+    radix_sort_by_key(&mut k, &mut idx);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    #[test]
+    fn sorts_small_case() {
+        let mut k = vec![5u64, 1, 4, 1, 9];
+        let mut p = vec![0u32, 1, 2, 3, 4];
+        radix_sort_by_key(&mut k, &mut p);
+        assert_eq!(k, vec![1, 1, 4, 5, 9]);
+        // Stable: the two 1s keep original order.
+        assert_eq!(p, vec![1, 3, 2, 0, 4]);
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let mut k: Vec<u64> = vec![];
+        let mut p: Vec<u32> = vec![];
+        radix_sort_by_key(&mut k, &mut p);
+        assert!(k.is_empty());
+        let mut k = vec![42u64];
+        let mut p = vec![0u32];
+        radix_sort_by_key(&mut k, &mut p);
+        assert_eq!(k, vec![42]);
+    }
+
+    #[test]
+    fn matches_std_sort_on_random_input() {
+        let mut rng = Rng64::new(11);
+        let keys: Vec<u64> = (0..10_000).map(|_| rng.next_u64()).collect();
+        let mut k = keys.clone();
+        let mut p: Vec<u32> = (0..keys.len() as u32).collect();
+        radix_sort_by_key(&mut k, &mut p);
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        assert_eq!(k, expected);
+        // Payload permutation is consistent with the sort.
+        for (rank, &orig) in p.iter().enumerate() {
+            assert_eq!(k[rank], keys[orig as usize]);
+        }
+    }
+
+    #[test]
+    fn full_64_bit_range() {
+        let mut k = vec![u64::MAX, 0, u64::MAX / 2, 1u64 << 63];
+        let mut p = vec![0u32, 1, 2, 3];
+        radix_sort_by_key(&mut k, &mut p);
+        assert_eq!(k, vec![0, u64::MAX / 2, 1u64 << 63, u64::MAX]);
+    }
+
+    #[test]
+    fn argsort_gives_rank_to_index_map() {
+        let keys = vec![30u64, 10, 20];
+        let order = radix_argsort(&keys);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_payload() {
+        let mut k = vec![1u64, 2];
+        let mut p = vec![0u32];
+        radix_sort_by_key(&mut k, &mut p);
+    }
+}

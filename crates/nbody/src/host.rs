@@ -1,0 +1,235 @@
+//! Host-side reference implementation: Barnes-Hut force evaluation,
+//! direct summation (the O(N^2) oracle of the paper's eq. 6), and the
+//! leapfrog integrator.
+
+use crate::problem::{Bodies, NbodyProblem};
+use crate::tree::{build, Tree};
+
+/// Gravitational acceleration on one position from a direct sum over
+/// all particles (eq. 6 with G = 1), skipping index `skip`.
+pub fn direct_accel(b: &Bodies, xi: f64, yi: f64, zi: f64, skip: usize, eps: f64) -> [f64; 3] {
+    let mut a = [0.0; 3];
+    for j in 0..b.len() {
+        if j == skip {
+            continue;
+        }
+        let dx = b.x[j] - xi;
+        let dy = b.y[j] - yi;
+        let dz = b.z[j] - zi;
+        let r2 = dx * dx + dy * dy + dz * dz + eps * eps;
+        let inv = b.m[j] / (r2 * r2.sqrt());
+        a[0] += dx * inv;
+        a[1] += dy * inv;
+        a[2] += dz * inv;
+    }
+    a
+}
+
+/// FLOPs charged per accepted cell or per direct particle interaction
+/// (3 diffs, r^2, sqrt and divide expansions, 3 accumulations).
+pub const FLOPS_PER_INTERACTION: u64 = 20;
+/// FLOPs charged per multipole-acceptance test.
+pub const FLOPS_PER_MAC: u64 = 8;
+
+/// Barnes-Hut acceleration on particle `i` (original index) using the
+/// tree; also returns the number of interactions (cells + particles)
+/// evaluated.
+pub fn tree_accel(b: &Bodies, t: &Tree, i: usize, theta: f64, eps: f64) -> ([f64; 3], u64) {
+    let (xi, yi, zi) = (b.x[i], b.y[i], b.z[i]);
+    let mut a = [0.0; 3];
+    let mut interactions = 0u64;
+    let mut stack: Vec<u32> = vec![0];
+    let th2 = theta * theta;
+    while let Some(ni) = stack.pop() {
+        let node = &t.nodes[ni as usize];
+        let dx = node.cx - xi;
+        let dy = node.cy - yi;
+        let dz = node.cz - zi;
+        let r2 = dx * dx + dy * dy + dz * dz;
+        if node.nchild == 0 {
+            // Leaf: direct sum over its particles.
+            for r in node.pstart..node.pstart + node.pcount {
+                let j = t.order[r as usize] as usize;
+                if j == i {
+                    continue;
+                }
+                let dx = b.x[j] - xi;
+                let dy = b.y[j] - yi;
+                let dz = b.z[j] - zi;
+                let r2 = dx * dx + dy * dy + dz * dz + eps * eps;
+                let inv = b.m[j] / (r2 * r2.sqrt());
+                a[0] += dx * inv;
+                a[1] += dy * inv;
+                a[2] += dz * inv;
+                interactions += 1;
+            }
+        } else if node.size * node.size < th2 * r2 {
+            // Accepted cell: monopole interaction.
+            let r2e = r2 + eps * eps;
+            let inv = node.mass / (r2e * r2e.sqrt());
+            a[0] += dx * inv;
+            a[1] += dy * inv;
+            a[2] += dz * inv;
+            interactions += 1;
+        } else {
+            for c in node.child_start..node.child_start + node.nchild {
+                stack.push(c);
+            }
+        }
+    }
+    (a, interactions)
+}
+
+/// One leapfrog (kick-drift) step on the host: rebuild the tree,
+/// evaluate all forces, advance. Returns total interactions.
+pub fn step(p: &NbodyProblem, b: &mut Bodies) -> u64 {
+    let t = build(b, p.leaf_cap);
+    let mut total = 0;
+    let n = b.len();
+    let mut acc = vec![[0.0f64; 3]; n];
+    for i in 0..n {
+        let (a, cnt) = tree_accel(b, &t, i, p.theta, p.eps);
+        acc[i] = a;
+        total += cnt;
+    }
+    for i in 0..n {
+        b.vx[i] += acc[i][0] * p.dt;
+        b.vy[i] += acc[i][1] * p.dt;
+        b.vz[i] += acc[i][2] * p.dt;
+        b.x[i] += b.vx[i] * p.dt;
+        b.y[i] += b.vy[i] * p.dt;
+        b.z[i] += b.vz[i] * p.dt;
+    }
+    total
+}
+
+/// Total energy (kinetic + pairwise potential) — O(N^2), tests only.
+pub fn total_energy(b: &Bodies, eps: f64) -> f64 {
+    let mut e = b.kinetic_energy();
+    for i in 0..b.len() {
+        for j in i + 1..b.len() {
+            let dx = b.x[j] - b.x[i];
+            let dy = b.y[j] - b.y[i];
+            let dz = b.z[j] - b.z[i];
+            let r = (dx * dx + dy * dy + dz * dz + eps * eps).sqrt();
+            e -= b.m[i] * b.m[j] / r;
+        }
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::plummer;
+
+    #[test]
+    fn tree_accel_matches_direct_sum() {
+        let p = NbodyProblem::tiny();
+        let b = plummer(&p);
+        let t = build(&b, p.leaf_cap);
+        let mut max_rel = 0.0f64;
+        for i in (0..b.len()).step_by(37) {
+            let (at, _) = tree_accel(&b, &t, i, p.theta, p.eps);
+            let ad = direct_accel(&b, b.x[i], b.y[i], b.z[i], i, p.eps);
+            let mag = (ad[0].powi(2) + ad[1].powi(2) + ad[2].powi(2)).sqrt();
+            let err = ((at[0] - ad[0]).powi(2)
+                + (at[1] - ad[1]).powi(2)
+                + (at[2] - ad[2]).powi(2))
+            .sqrt();
+            max_rel = max_rel.max(err / mag.max(1e-12));
+        }
+        assert!(max_rel < 0.05, "worst relative force error = {max_rel}");
+    }
+
+    #[test]
+    fn theta_zero_is_exact() {
+        let p = NbodyProblem {
+            theta: 0.0,
+            ..NbodyProblem::with_n(128)
+        };
+        let b = plummer(&p);
+        let t = build(&b, p.leaf_cap);
+        for i in (0..b.len()).step_by(17) {
+            let (at, _) = tree_accel(&b, &t, i, 0.0, p.eps);
+            let ad = direct_accel(&b, b.x[i], b.y[i], b.z[i], i, p.eps);
+            for k in 0..3 {
+                assert!(
+                    (at[k] - ad[k]).abs() < 1e-10,
+                    "component {k}: {} vs {}",
+                    at[k],
+                    ad[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interactions_scale_sublinearly() {
+        // N log N: interactions per particle grow slowly with N.
+        let count = |n: usize| {
+            let p = NbodyProblem::with_n(n);
+            let b = plummer(&p);
+            let t = build(&b, p.leaf_cap);
+            let total: u64 = (0..b.len())
+                .map(|i| tree_accel(&b, &t, i, p.theta, p.eps).1)
+                .sum();
+            total as f64 / n as f64
+        };
+        let per_1k = count(1024);
+        let per_8k = count(8192);
+        // Direct would be 8x; tree should be well under 3x.
+        assert!(
+            per_8k / per_1k < 3.0,
+            "per-particle interactions: {per_1k} -> {per_8k}"
+        );
+    }
+
+    #[test]
+    fn two_body_attraction() {
+        let mut b = Bodies {
+            x: vec![15.0, 17.0],
+            y: vec![16.0, 16.0],
+            z: vec![16.0, 16.0],
+            vx: vec![0.0; 2],
+            vy: vec![0.0; 2],
+            vz: vec![0.0; 2],
+            m: vec![0.5, 0.5],
+        };
+        let p = NbodyProblem {
+            dt: 0.01,
+            ..NbodyProblem::with_n(2)
+        };
+        step(&p, &mut b);
+        assert!(b.vx[0] > 0.0, "left particle pulled right");
+        assert!(b.vx[1] < 0.0, "right particle pulled left");
+    }
+
+    #[test]
+    fn energy_roughly_conserved_over_steps() {
+        let p = NbodyProblem {
+            dt: 0.002,
+            ..NbodyProblem::with_n(256)
+        };
+        let mut b = plummer(&p);
+        let e0 = total_energy(&b, p.eps);
+        for _ in 0..10 {
+            step(&p, &mut b);
+        }
+        let e1 = total_energy(&b, p.eps);
+        let rel = ((e1 - e0) / e0).abs();
+        assert!(rel < 0.05, "energy drift {e0} -> {e1} ({rel})");
+    }
+
+    #[test]
+    fn momentum_conserved() {
+        let p = NbodyProblem::with_n(512);
+        let mut b = plummer(&p);
+        let px0: f64 = (0..b.len()).map(|i| b.m[i] * b.vx[i]).sum();
+        for _ in 0..3 {
+            step(&p, &mut b);
+        }
+        let px1: f64 = (0..b.len()).map(|i| b.m[i] * b.vx[i]).sum();
+        assert!((px1 - px0).abs() < 1e-3, "momentum {px0} -> {px1}");
+    }
+}

@@ -1,0 +1,30 @@
+//! # nbody — the gravitational N-body octree code of paper §5.3
+//!
+//! A Barnes-Hut-style tree code (after Olson & Dorband) on the
+//! simulated SPP-1000, reproducing Figure 8: parallel speedup for
+//! 32 K / 256 K / 2 M particles, run on 1-8 processors of one
+//! hypernode and 2-16 across two, against a 27.5 Mflop/s
+//! single-processor rate and a 120 Mflop/s C90 reference.
+//!
+//! * [`problem`] — Plummer-sphere workloads at the paper's sizes;
+//! * [`tree`] — Morton-ordered breadth-first octree;
+//! * [`host`] — unpriced reference (tree and direct-sum forces);
+//! * [`simtree`] — the octree in simulated memory (priced build,
+//!   summarize, traversal);
+//! * [`shared`] — the shared-memory threaded implementation;
+//! * [`pvm`] — the replicated-data message-passing port;
+//! * [`c90`] — the vectorized C90 baseline.
+
+#![warn(missing_docs)]
+
+pub mod c90;
+pub mod host;
+pub mod problem;
+pub mod pvm;
+pub mod shared;
+pub mod simtree;
+pub mod tree;
+
+pub use problem::{plummer, Bodies, NbodyProblem};
+pub use shared::{RunReport, SharedNbody};
+pub use tree::{build, Tree};

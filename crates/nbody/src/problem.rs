@@ -1,0 +1,247 @@
+//! Problem definition and the Plummer-sphere workload.
+//!
+//! §5.3.2 runs "three problem sizes (32K, 256K and 2M particles)" on
+//! 1-16 processors in two configurations. The initial condition is a
+//! standard astrophysical test distribution: a Plummer sphere with
+//! virial-ish velocities, generated deterministically.
+
+use spp_kernels::Rng64;
+
+/// Static description of an N-body run.
+#[derive(Debug, Clone)]
+pub struct NbodyProblem {
+    /// Particle count.
+    pub n: usize,
+    /// Barnes-Hut opening angle.
+    pub theta: f64,
+    /// Plummer softening length (also the force resolution limit the
+    /// paper's eq. 6 describes).
+    pub eps: f64,
+    /// Leapfrog timestep.
+    pub dt: f64,
+    /// Maximum particles per leaf cell.
+    pub leaf_cap: usize,
+    /// RNG seed for the particle load.
+    pub seed: u64,
+}
+
+impl NbodyProblem {
+    /// A run with `n` particles and standard parameters.
+    pub fn with_n(n: usize) -> Self {
+        NbodyProblem {
+            n,
+            theta: 0.8,
+            eps: 0.05,
+            dt: 0.01,
+            leaf_cap: 8,
+            seed: 0x7EE5_EED5,
+        }
+    }
+
+    /// The paper's small problem: 32 K particles.
+    pub fn small() -> Self {
+        Self::with_n(32 * 1024)
+    }
+
+    /// The paper's medium problem: 256 K particles.
+    pub fn medium() -> Self {
+        Self::with_n(256 * 1024)
+    }
+
+    /// The paper's large problem: 2 M particles.
+    pub fn large() -> Self {
+        Self::with_n(2 * 1024 * 1024)
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self::with_n(512)
+    }
+}
+
+/// Particle state in structure-of-arrays form.
+#[derive(Debug, Clone, Default)]
+pub struct Bodies {
+    /// Positions.
+    pub x: Vec<f64>,
+    /// Positions.
+    pub y: Vec<f64>,
+    /// Positions.
+    pub z: Vec<f64>,
+    /// Velocities.
+    pub vx: Vec<f64>,
+    /// Velocities.
+    pub vy: Vec<f64>,
+    /// Velocities.
+    pub vz: Vec<f64>,
+    /// Masses.
+    pub m: Vec<f64>,
+}
+
+impl Bodies {
+    /// Particle count.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Total mass.
+    pub fn total_mass(&self) -> f64 {
+        self.m.iter().sum()
+    }
+
+    /// Centre of mass.
+    pub fn center_of_mass(&self) -> [f64; 3] {
+        let mt = self.total_mass();
+        let mut c = [0.0; 3];
+        for i in 0..self.len() {
+            c[0] += self.m[i] * self.x[i];
+            c[1] += self.m[i] * self.y[i];
+            c[2] += self.m[i] * self.z[i];
+        }
+        c.map(|v| v / mt)
+    }
+
+    /// Kinetic energy.
+    pub fn kinetic_energy(&self) -> f64 {
+        (0..self.len())
+            .map(|i| {
+                0.5 * self.m[i]
+                    * (self.vx[i] * self.vx[i]
+                        + self.vy[i] * self.vy[i]
+                        + self.vz[i] * self.vz[i])
+            })
+            .sum()
+    }
+}
+
+/// Physically reorder bodies into 3-D Morton order (the MasPar-derived
+/// original stores particle data in tree order; keeping the arrays
+/// near the traversal order is what makes the fine-grained indirect
+/// reads mostly node-local).
+pub fn sort_by_morton(b: &Bodies) -> Bodies {
+    use spp_kernels::{morton3_unit, sort_order_by_key};
+    let n = b.len();
+    let keys: Vec<u64> = (0..n)
+        .map(|i| morton3_unit(b.x[i] / 32.0, b.y[i] / 32.0, b.z[i] / 32.0, 16))
+        .collect();
+    let order = sort_order_by_key(&keys);
+    let grab = |src: &Vec<f64>| order.iter().map(|o| src[*o as usize]).collect();
+    Bodies {
+        x: grab(&b.x),
+        y: grab(&b.y),
+        z: grab(&b.z),
+        vx: grab(&b.vx),
+        vy: grab(&b.vy),
+        vz: grab(&b.vz),
+        m: grab(&b.m),
+    }
+}
+
+/// Generate a Plummer sphere of unit total mass with scale radius 1,
+/// truncated at radius 8, with isotropic equilibrium-ish velocities.
+/// Positions are shifted into the positive octant cube `[0, 32)^3`
+/// (centre 16) so Morton keys are straightforward.
+pub fn plummer(p: &NbodyProblem) -> Bodies {
+    let mut rng = Rng64::new(p.seed);
+    let n = p.n;
+    let mut b = Bodies {
+        x: Vec::with_capacity(n),
+        y: Vec::with_capacity(n),
+        z: Vec::with_capacity(n),
+        vx: Vec::with_capacity(n),
+        vy: Vec::with_capacity(n),
+        vz: Vec::with_capacity(n),
+        m: vec![1.0 / n as f64; n],
+    };
+    while b.x.len() < n {
+        // Radius from the Plummer cumulative mass profile.
+        let mfrac = rng.range(1e-6, 0.999);
+        let r = 1.0 / (mfrac.powf(-2.0 / 3.0) - 1.0).sqrt();
+        if r > 8.0 {
+            continue;
+        }
+        // Isotropic direction.
+        let cth = rng.range(-1.0, 1.0);
+        let sth = (1.0 - cth * cth).sqrt();
+        let phi = rng.range(0.0, 2.0 * std::f64::consts::PI);
+        let (x, y, z) = (r * sth * phi.cos(), r * sth * phi.sin(), r * cth);
+        // Velocity: fraction of local escape speed (von Neumann
+        // sampling of the Plummer distribution function, simplified
+        // to a truncated Gaussian of the local velocity dispersion).
+        let sigma = (1.0 / (6.0 * (1.0 + r * r).sqrt())).sqrt();
+        let v = rng.maxwellian3(sigma);
+        b.x.push(x + 16.0);
+        b.y.push(y + 16.0);
+        b.z.push(z + 16.0);
+        b.vx.push(v[0]);
+        b.vy.push(v[1]);
+        b.vz.push(v[2]);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sizes() {
+        assert_eq!(NbodyProblem::small().n, 32_768);
+        assert_eq!(NbodyProblem::medium().n, 262_144);
+        assert_eq!(NbodyProblem::large().n, 2_097_152);
+    }
+
+    #[test]
+    fn plummer_is_deterministic() {
+        let p = NbodyProblem::tiny();
+        let a = plummer(&p);
+        let b = plummer(&p);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.vz, b.vz);
+    }
+
+    #[test]
+    fn plummer_basic_properties() {
+        let p = NbodyProblem::tiny();
+        let b = plummer(&p);
+        assert_eq!(b.len(), p.n);
+        assert!((b.total_mass() - 1.0).abs() < 1e-12);
+        let c = b.center_of_mass();
+        for v in c {
+            assert!((v - 16.0).abs() < 0.5, "com = {c:?}");
+        }
+        // Everything inside the positive cube.
+        for i in 0..b.len() {
+            assert!(b.x[i] > 8.0 && b.x[i] < 24.0);
+            assert!(b.z[i] > 8.0 && b.z[i] < 24.0);
+        }
+    }
+
+    #[test]
+    fn plummer_is_centrally_concentrated() {
+        let b = plummer(&NbodyProblem::with_n(4096));
+        let inner = (0..b.len())
+            .filter(|&i| {
+                let (dx, dy, dz) = (b.x[i] - 16.0, b.y[i] - 16.0, b.z[i] - 16.0);
+                dx * dx + dy * dy + dz * dz < 1.0
+            })
+            .count();
+        // Plummer: ~35% of (untruncated) mass inside r = 1.
+        let frac = inner as f64 / b.len() as f64;
+        assert!((0.25..=0.45).contains(&frac), "inner fraction = {frac}");
+    }
+
+    #[test]
+    fn velocities_are_bound_ish() {
+        let b = plummer(&NbodyProblem::with_n(2048));
+        // Kinetic energy should be of order the virial value (~0.05
+        // for these units), far below unbound.
+        let ke = b.kinetic_energy();
+        assert!((0.01..=0.2).contains(&ke), "KE = {ke}");
+    }
+}

@@ -1,0 +1,390 @@
+//! PVM (message-passing) tree code: the replicated-data port (Olson &
+//! Packer style, §5.3.2).
+//!
+//! Each task owns a fixed share of the particles and keeps a private
+//! replica of *all* particle positions and masses. A timestep is: a
+//! butterfly all-gather of the position/mass arrays (whole-array
+//! pack/send/unpack traffic — the cost the paper calls "prohibitive"),
+//! a redundant tree build on every task, forces and push for the
+//! task's own share. The paper's findings reproduce directly: "The
+//! single processor performance of the code was quite good ...
+//! somewhat faster than that quoted above for the code written using
+//! the shared memory programming model", while "the overheads of
+//! packing and sending messages ... are prohibitive and overall
+//! performance is degraded relative to the shared memory version."
+
+use crate::problem::{plummer, sort_by_morton, NbodyProblem};
+use crate::shared::{RunReport, STACK_CAP};
+use crate::simtree::{PosView, SimTree};
+use crate::tree::{build, DOMAIN};
+use spp_core::{Cycles, MemClass, SimArray};
+use spp_kernels::morton3_unit;
+use spp_pvm::Pvm;
+
+const TAG_GATHER_BASE: u32 = 200;
+
+struct TaskState {
+    /// Own particle range in the global order.
+    range: std::ops::Range<usize>,
+    // Full replicas of positions and masses.
+    x: SimArray<f64>,
+    y: SimArray<f64>,
+    z: SimArray<f64>,
+    m: SimArray<f64>,
+    // Own-velocity arrays (length of the range).
+    vx: SimArray<f64>,
+    vy: SimArray<f64>,
+    vz: SimArray<f64>,
+    keys: SimArray<u64>,
+    tree: SimTree,
+    stack: SimArray<u32>,
+}
+
+/// Replicated-data PVM N-body state.
+pub struct PvmNbody {
+    /// Problem parameters.
+    pub problem: NbodyProblem,
+    ntasks: usize,
+    tasks: Vec<TaskState>,
+    useful_flops: u64,
+    interactions: u64,
+}
+
+impl PvmNbody {
+    /// Distribute a Plummer sphere across the PVM tasks.
+    ///
+    /// # Panics
+    /// If the task count is not a power of two (butterfly all-gather).
+    pub fn new(pvm: &mut Pvm, problem: NbodyProblem) -> Self {
+        let t = pvm.num_tasks();
+        assert!(t.is_power_of_two(), "task count must be a power of two");
+        let b = sort_by_morton(&plummer(&problem));
+        let n = b.len();
+        let mut tasks = Vec::with_capacity(t);
+        for task in 0..t {
+            let cpu = pvm.task_cpu(task);
+            let home = pvm.machine.config().fu_of_cpu(cpu);
+            let class = MemClass::ThreadPrivate { home };
+            let range = spp_runtime::chunk_range(n, t, task);
+            let m = &mut pvm.machine;
+            tasks.push(TaskState {
+                x: SimArray::new(m, class, b.x.clone()),
+                y: SimArray::new(m, class, b.y.clone()),
+                z: SimArray::new(m, class, b.z.clone()),
+                m: SimArray::new(m, class, b.m.clone()),
+                vx: SimArray::new(m, class, b.vx[range.clone()].to_vec()),
+                vy: SimArray::new(m, class, b.vy[range.clone()].to_vec()),
+                vz: SimArray::new(m, class, b.vz[range.clone()].to_vec()),
+                keys: SimArray::from_elem(m, class, n, 0u64),
+                tree: SimTree::new(m, class, n.max(64), n),
+                stack: SimArray::from_elem(m, class, STACK_CAP, 0u32),
+                range,
+            });
+        }
+        PvmNbody {
+            problem,
+            ntasks: t,
+            tasks,
+            useful_flops: 0,
+            interactions: 0,
+        }
+    }
+
+    /// Total particles.
+    pub fn len(&self) -> usize {
+        self.tasks.iter().map(|t| t.range.len()).sum()
+    }
+
+    /// One timestep. Returns (elapsed wall cycles, useful flops).
+    pub fn step(&mut self, pvm: &mut Pvm) -> (Cycles, u64) {
+        let t0 = pvm.elapsed();
+        let f0 = self.useful_flops;
+        self.allgather(pvm);
+        self.build_trees(pvm);
+        self.forces_and_push(pvm);
+        pvm.barrier_all();
+        (pvm.elapsed() - t0, self.useful_flops - f0)
+    }
+
+    /// Run `steps` timesteps.
+    pub fn run(&mut self, pvm: &mut Pvm, steps: usize) -> RunReport {
+        let mut out = RunReport {
+            steps,
+            ..Default::default()
+        };
+        let i0 = self.interactions;
+        for _ in 0..steps {
+            let (c, f) = self.step(pvm);
+            out.elapsed += c;
+            out.flops += f;
+        }
+        out.interactions = self.interactions - i0;
+        out
+    }
+
+    /// Butterfly all-gather of positions + masses: in round `r` each
+    /// task exchanges its accumulated `2^r` chunks with `t ^ 2^r`.
+    fn allgather(&mut self, pvm: &mut Pvm) {
+        let n = self.len();
+        let chunk_bytes = (n / self.ntasks) * 4 * 8; // x, y, z, m
+        let rounds = self.ntasks.trailing_zeros();
+        for r in 0..rounds {
+            let tag = TAG_GATHER_BASE + r;
+            let block = chunk_bytes << r;
+            for t in 0..self.ntasks {
+                pvm.pack(t, block);
+                pvm.send(t, t ^ (1 << r), block, tag);
+            }
+            for t in 0..self.ntasks {
+                let partner = t ^ (1 << r);
+                pvm.recv(t, Some(partner), Some(tag)).expect("gather msg");
+                pvm.unpack(t, block);
+                // Host data movement: copy the partner group's own
+                // chunks into our replica.
+                let group = (partner >> r) << r; // partner's group base at round r
+                for src in group..group + (1 << r) {
+                    let range = self.tasks[src].range.clone();
+                    let (xs, ys, zs) = (
+                        self.tasks[src].x.host()[range.clone()].to_vec(),
+                        self.tasks[src].y.host()[range.clone()].to_vec(),
+                        self.tasks[src].z.host()[range.clone()].to_vec(),
+                    );
+                    let dst = &mut self.tasks[t];
+                    dst.x.host_mut()[range.clone()].copy_from_slice(&xs);
+                    dst.y.host_mut()[range.clone()].copy_from_slice(&ys);
+                    dst.z.host_mut()[range.clone()].copy_from_slice(&zs);
+                }
+            }
+        }
+    }
+
+    /// Redundant tree build + summarize on every task (priced; counted
+    /// as useful work once).
+    fn build_trees(&mut self, pvm: &mut Pvm) {
+        let leaf_cap = self.problem.leaf_cap;
+        for t in 0..self.ntasks {
+            let task = &mut self.tasks[t];
+            let bodies = crate::problem::Bodies {
+                x: task.x.host().to_vec(),
+                y: task.y.host().to_vec(),
+                z: task.z.host().to_vec(),
+                vx: Vec::new(),
+                vy: Vec::new(),
+                vz: Vec::new(),
+                m: task.m.host().to_vec(),
+            };
+            let host_tree = build(&bodies, leaf_cap);
+            task.tree
+                .set_topology(host_tree.levels.clone(), host_tree.len());
+            let n = bodies.x.len();
+            let flops_before = pvm.total_flops();
+            pvm.compute(t, |ctx| {
+                // Keys.
+                for i in 0..n {
+                    let x = ctx.read(&task.x, i);
+                    let y = ctx.read(&task.y, i);
+                    let z = ctx.read(&task.z, i);
+                    ctx.write(
+                        &mut task.keys,
+                        i,
+                        morton3_unit(x / DOMAIN, y / DOMAIN, z / DOMAIN, 16),
+                    );
+                    ctx.flops(6);
+                }
+                // Scatter to sorted order.
+                let mut inv = vec![0u32; n];
+                for (rank, &orig) in host_tree.order.iter().enumerate() {
+                    inv[orig as usize] = rank as u32;
+                }
+                let snapshot: Vec<u64> = task.keys.host().to_vec();
+                for i in 0..n {
+                    let _ = ctx.read(&task.keys, i);
+                    let dest = inv[i] as usize;
+                    ctx.write(&mut task.tree.order, dest, i as u32);
+                    ctx.write(&mut task.keys, dest, snapshot[i]);
+                }
+                // Topology + bottom-up moments.
+                task.tree
+                    .fill_topology(ctx, &host_tree.nodes, &task.keys, 0..host_tree.len());
+                let pos = PosView {
+                    x: &task.x,
+                    y: &task.y,
+                    z: &task.z,
+                    m: &task.m,
+                };
+                for lvl in (0..host_tree.levels.len() - 1).rev() {
+                    let (s, e) = (host_tree.levels[lvl], host_tree.levels[lvl + 1]);
+                    task.tree.summarize(ctx, s..e, &pos);
+                }
+            });
+            if t == 0 {
+                self.useful_flops += pvm.total_flops() - flops_before;
+            }
+        }
+    }
+
+    fn forces_and_push(&mut self, pvm: &mut Pvm) {
+        let theta2 = self.problem.theta * self.problem.theta;
+        let eps2 = self.problem.eps * self.problem.eps;
+        let dt = self.problem.dt;
+        for t in 0..self.ntasks {
+            let task = &mut self.tasks[t];
+            let range = task.range.clone();
+            let flops_before = pvm.total_flops();
+            let mut inter = 0u64;
+            // Forces first (all positions frozen), then the push.
+            let mut acc = vec![[0.0f64; 3]; range.len()];
+            pvm.compute(t, |ctx| {
+                for i in range.clone() {
+                    let xi = ctx.read(&task.x, i);
+                    let yi = ctx.read(&task.y, i);
+                    let zi = ctx.read(&task.z, i);
+                    let pos = PosView {
+                        x: &task.x,
+                        y: &task.y,
+                        z: &task.z,
+                        m: &task.m,
+                    };
+                    let (a, cnt) = task.tree.accel(
+                        ctx,
+                        &mut task.stack,
+                        i,
+                        xi,
+                        yi,
+                        zi,
+                        theta2,
+                        eps2,
+                        &pos,
+                    );
+                    inter += cnt;
+                    acc[i - range.start] = a;
+                }
+                for i in range.clone() {
+                    let o = i - range.start;
+                    let a = acc[o];
+                    let vx = ctx.read(&task.vx, o) + a[0] * dt;
+                    let vy = ctx.read(&task.vy, o) + a[1] * dt;
+                    let vz = ctx.read(&task.vz, o) + a[2] * dt;
+                    ctx.write(&mut task.vx, o, vx);
+                    ctx.write(&mut task.vy, o, vy);
+                    ctx.write(&mut task.vz, o, vz);
+                    ctx.update(&mut task.x, i, |x| x + vx * dt);
+                    ctx.update(&mut task.y, i, |y| y + vy * dt);
+                    ctx.update(&mut task.z, i, |z| z + vz * dt);
+                    ctx.flops(12);
+                }
+            });
+            self.useful_flops += pvm.total_flops() - flops_before;
+            self.interactions += inter;
+        }
+    }
+
+    /// Force an all-gather so every replica reflects the latest push
+    /// (normally done at the start of the next step). Validation aid.
+    pub fn sync(&mut self, pvm: &mut Pvm) {
+        self.allgather(pvm);
+    }
+
+    /// Host view of one task's replica positions (validation).
+    pub fn replica_x(&self, t: usize) -> &[f64] {
+        self.tasks[t].x.host()
+    }
+
+    /// Kinetic energy across tasks (validation).
+    pub fn kinetic_energy(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(|t| {
+                (0..t.range.len())
+                    .map(|o| {
+                        let i = t.range.start + o;
+                        0.5 * t.m.host()[i]
+                            * (t.vx.host()[o].powi(2)
+                                + t.vy.host()[o].powi(2)
+                                + t.vz.host()[o].powi(2))
+                    })
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host;
+    use spp_core::CpuId;
+
+    fn session(tasks: usize, n: usize) -> (Pvm, PvmNbody) {
+        let cpus: Vec<CpuId> = (0..tasks as u16).map(CpuId).collect();
+        let mut pvm = Pvm::spp1000(2, &cpus);
+        let nb = PvmNbody::new(&mut pvm, NbodyProblem::with_n(n));
+        (pvm, nb)
+    }
+
+    #[test]
+    fn physics_matches_host() {
+        let p = NbodyProblem::with_n(512);
+        let (mut pvm, mut nb) = session(4, 512);
+        let mut b = crate::problem::sort_by_morton(&plummer(&p));
+        nb.step(&mut pvm);
+        host::step(&p, &mut b);
+        let rel =
+            (nb.kinetic_energy() - b.kinetic_energy()).abs() / b.kinetic_energy();
+        assert!(rel < 1e-9, "KE mismatch (rel {rel})");
+    }
+
+    #[test]
+    fn replicas_agree_after_the_gather() {
+        let (mut pvm, mut nb) = session(4, 512);
+        for _ in 0..2 {
+            nb.step(&mut pvm);
+        }
+        // Mid-cycle the replicas legitimately differ (each task has
+        // pushed only its own range); after the gather they agree.
+        nb.sync(&mut pvm);
+        for t in 1..4 {
+            assert_eq!(nb.replica_x(0), nb.replica_x(t), "replica {t} diverged");
+        }
+    }
+
+    #[test]
+    fn single_task_somewhat_faster_than_shared_single_thread() {
+        use crate::shared::SharedNbody;
+        use spp_runtime::{Placement, Runtime, Team};
+
+        let (mut pvm, mut nb) = session(1, 1024);
+        let rp = nb.run(&mut pvm, 1);
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), 1, &Placement::HighLocality);
+        let mut sh = SharedNbody::new(&mut rt, NbodyProblem::with_n(1024), &team);
+        let rs = sh.run(&mut rt, &team, 1);
+        // Paper: PVM 1-proc "somewhat faster" (no fork/join overhead,
+        // purely local data). Allow up to 25% either way.
+        let ratio = rp.elapsed as f64 / rs.elapsed as f64;
+        assert!(ratio < 1.1, "pvm/shared 1-proc ratio = {ratio}");
+    }
+
+    #[test]
+    fn scaled_pvm_is_slower_than_shared() {
+        // Replication overheads (all-gather traffic + redundant
+        // builds) only bite at realistic sizes — run the paper's small
+        // size (32 K) on 8 processors.
+        use crate::shared::SharedNbody;
+        use spp_runtime::{Placement, Runtime, Team};
+
+        let n = 32 * 1024;
+        let (mut pvm, mut nb) = session(8, n);
+        let rp = nb.run(&mut pvm, 1);
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), 8, &Placement::HighLocality);
+        let mut sh = SharedNbody::new(&mut rt, NbodyProblem::with_n(n), &team);
+        let rs = sh.run(&mut rt, &team, 1);
+        assert!(
+            rp.elapsed > rs.elapsed,
+            "pvm {} vs shared {}",
+            rp.elapsed,
+            rs.elapsed
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! The octree in *simulated* memory: SoA node arrays plus the Morton
+//! order, with machine-priced construction, summarization and
+//! traversal. Shared between the threaded ([`crate::shared`]) and PVM
+//! ([`crate::pvm`]) implementations.
+
+use crate::host::{FLOPS_PER_INTERACTION, FLOPS_PER_MAC};
+use crate::tree::Node;
+use spp_core::{Machine, MemClass, SimArray};
+use spp_runtime::ThreadCtx;
+
+/// Extra cycles per interaction for the divide + square root: the
+/// PA-7100's FDIV/FSQRT units take ~15 cycles each (not the 2
+/// cycles/flop of pipelined add/multiply), and every monopole or
+/// direct interaction performs one of each. This is what pins the
+/// single-processor rate at the paper's 27.5 Mflop/s.
+pub const DIVSQRT_EXTRA_CYCLES: u64 = 20;
+
+/// Borrowed particle position/mass arrays.
+pub struct PosView<'a> {
+    /// x coordinates.
+    pub x: &'a SimArray<f64>,
+    /// y coordinates.
+    pub y: &'a SimArray<f64>,
+    /// z coordinates.
+    pub z: &'a SimArray<f64>,
+    /// masses.
+    pub m: &'a SimArray<f64>,
+}
+
+/// Octree node arrays in simulated memory.
+pub struct SimTree {
+    /// Node masses.
+    pub nmass: SimArray<f64>,
+    /// Node centres of mass.
+    pub ncx: SimArray<f64>,
+    /// Node centres of mass.
+    pub ncy: SimArray<f64>,
+    /// Node centres of mass.
+    pub ncz: SimArray<f64>,
+    /// Cell sizes.
+    pub nsize: SimArray<f64>,
+    /// First-child indices (`u32::MAX` = leaf).
+    pub ncs: SimArray<u32>,
+    /// Child counts.
+    pub nnc: SimArray<u32>,
+    /// Particle range starts (Morton ranks).
+    pub nps: SimArray<u32>,
+    /// Particle range lengths.
+    pub npc: SimArray<u32>,
+    /// `order[rank] = original particle index`.
+    pub order: SimArray<u32>,
+    /// Level bounds of the current topology.
+    pub levels: Vec<usize>,
+    /// Live node count.
+    pub nnodes: usize,
+}
+
+impl SimTree {
+    /// Allocate node arrays of `node_cap` nodes and an order array of
+    /// `n` particles.
+    pub fn new(m: &mut Machine, node_class: MemClass, node_cap: usize, n: usize) -> Self {
+        SimTree {
+            nmass: SimArray::from_elem(m, node_class, node_cap, 0.0),
+            ncx: SimArray::from_elem(m, node_class, node_cap, 0.0),
+            ncy: SimArray::from_elem(m, node_class, node_cap, 0.0),
+            ncz: SimArray::from_elem(m, node_class, node_cap, 0.0),
+            nsize: SimArray::from_elem(m, node_class, node_cap, 0.0),
+            ncs: SimArray::from_elem(m, node_class, node_cap, 0u32),
+            nnc: SimArray::from_elem(m, node_class, node_cap, 0u32),
+            nps: SimArray::from_elem(m, node_class, node_cap, 0u32),
+            npc: SimArray::from_elem(m, node_class, node_cap, 0u32),
+            order: SimArray::from_elem(m, node_class, n, 0u32),
+            levels: Vec::new(),
+            nnodes: 0,
+        }
+    }
+
+    /// Node capacity.
+    pub fn capacity(&self) -> usize {
+        self.nmass.len()
+    }
+
+    /// Record the host-built topology bounds (call once per rebuild,
+    /// before pricing the fill).
+    pub fn set_topology(&mut self, levels: Vec<usize>, nnodes: usize) {
+        assert!(
+            nnodes <= self.capacity(),
+            "tree of {nnodes} nodes exceeds capacity {}",
+            self.capacity()
+        );
+        self.levels = levels;
+        self.nnodes = nnodes;
+    }
+
+    /// Priced write of topology fields for nodes `range` (from the
+    /// host-built `nodes`), with boundary-detection reads on `keys`.
+    pub fn fill_topology(
+        &mut self,
+        ctx: &mut ThreadCtx<'_>,
+        nodes: &[Node],
+        keys: &SimArray<u64>,
+        range: std::ops::Range<usize>,
+    ) {
+        for ni in range {
+            let node = &nodes[ni];
+            let _ = ctx.read(keys, node.pstart as usize);
+            if node.pcount > 1 {
+                let _ = ctx.read(keys, (node.pstart + node.pcount - 1) as usize);
+            }
+            ctx.write(&mut self.nsize, ni, node.size);
+            ctx.write(&mut self.ncs, ni, node.child_start);
+            ctx.write(&mut self.nnc, ni, node.nchild);
+            ctx.write(&mut self.nps, ni, node.pstart);
+            ctx.write(&mut self.npc, ni, node.pcount);
+        }
+    }
+
+    /// Priced bottom-up moment computation for nodes `range` (must be
+    /// within one level, processed deepest level first).
+    pub fn summarize(
+        &mut self,
+        ctx: &mut ThreadCtx<'_>,
+        range: std::ops::Range<usize>,
+        pos: &PosView<'_>,
+    ) {
+        for ni in range {
+            let nch = ctx.read(&self.nnc, ni);
+            let (mut mm, mut cx, mut cy, mut cz) = (0.0, 0.0, 0.0, 0.0);
+            if nch == 0 {
+                let ps = ctx.read(&self.nps, ni);
+                let pc = ctx.read(&self.npc, ni);
+                for r in ps..ps + pc {
+                    let j = ctx.read(&self.order, r as usize) as usize;
+                    let m = ctx.read(pos.m, j);
+                    mm += m;
+                    cx += m * ctx.read(pos.x, j);
+                    cy += m * ctx.read(pos.y, j);
+                    cz += m * ctx.read(pos.z, j);
+                    ctx.flops(8);
+                }
+            } else {
+                let cs = ctx.read(&self.ncs, ni);
+                for c in cs..cs + nch {
+                    let m = ctx.read(&self.nmass, c as usize);
+                    mm += m;
+                    cx += m * ctx.read(&self.ncx, c as usize);
+                    cy += m * ctx.read(&self.ncy, c as usize);
+                    cz += m * ctx.read(&self.ncz, c as usize);
+                    ctx.flops(8);
+                }
+            }
+            if mm > 0.0 {
+                cx /= mm;
+                cy /= mm;
+                cz /= mm;
+                ctx.flops(3);
+            }
+            ctx.write(&mut self.nmass, ni, mm);
+            ctx.write(&mut self.ncx, ni, cx);
+            ctx.write(&mut self.ncy, ni, cy);
+            ctx.write(&mut self.ncz, ni, cz);
+        }
+    }
+
+    /// Priced Barnes-Hut acceleration on particle `i` at `(xi, yi,
+    /// zi)` using the private traversal `stack`. Returns the
+    /// acceleration and the interaction count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn accel(
+        &self,
+        ctx: &mut ThreadCtx<'_>,
+        stack: &mut SimArray<u32>,
+        i: usize,
+        xi: f64,
+        yi: f64,
+        zi: f64,
+        theta2: f64,
+        eps2: f64,
+        pos: &PosView<'_>,
+    ) -> ([f64; 3], u64) {
+        let cap = stack.len();
+        let (mut fx, mut fy, mut fz) = (0.0, 0.0, 0.0);
+        let mut inter = 0u64;
+        let mut top = 0usize;
+        ctx.write(stack, 0, 0u32);
+        top += 1;
+        while top > 0 {
+            top -= 1;
+            let ni = ctx.read(stack, top) as usize;
+            let cx = ctx.read(&self.ncx, ni);
+            let cy = ctx.read(&self.ncy, ni);
+            let cz = ctx.read(&self.ncz, ni);
+            let dx = cx - xi;
+            let dy = cy - yi;
+            let dz = cz - zi;
+            let r2 = dx * dx + dy * dy + dz * dz;
+            let nch = ctx.read(&self.nnc, ni);
+            let size = ctx.read(&self.nsize, ni);
+            ctx.flops(FLOPS_PER_MAC);
+            if nch == 0 {
+                let ps = ctx.read(&self.nps, ni);
+                let pc = ctx.read(&self.npc, ni);
+                for r in ps..ps + pc {
+                    let j = ctx.read(&self.order, r as usize) as usize;
+                    if j == i {
+                        continue;
+                    }
+                    let dx = ctx.read(pos.x, j) - xi;
+                    let dy = ctx.read(pos.y, j) - yi;
+                    let dz = ctx.read(pos.z, j) - zi;
+                    let r2 = dx * dx + dy * dy + dz * dz + eps2;
+                    let inv = ctx.read(pos.m, j) / (r2 * r2.sqrt());
+                    fx += dx * inv;
+                    fy += dy * inv;
+                    fz += dz * inv;
+                    ctx.flops(FLOPS_PER_INTERACTION);
+                    ctx.cycles(DIVSQRT_EXTRA_CYCLES);
+                    inter += 1;
+                }
+            } else if size * size < theta2 * r2 {
+                let r2e = r2 + eps2;
+                let inv = ctx.read(&self.nmass, ni) / (r2e * r2e.sqrt());
+                fx += dx * inv;
+                fy += dy * inv;
+                fz += dz * inv;
+                ctx.flops(FLOPS_PER_INTERACTION);
+                ctx.cycles(DIVSQRT_EXTRA_CYCLES);
+                inter += 1;
+            } else {
+                let cs = ctx.read(&self.ncs, ni);
+                for c in cs..cs + nch {
+                    assert!(top < cap, "traversal stack overflow");
+                    ctx.write(stack, top, c);
+                    top += 1;
+                }
+            }
+        }
+        ([fx, fy, fz], inter)
+    }
+}

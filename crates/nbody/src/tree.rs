@@ -1,0 +1,271 @@
+//! The octree: Morton-ordered, breadth-first flattened — the
+//! unstructured, indirectly-addressed data structure whose traversal
+//! the paper singles out ("frequent use is made of indirect
+//! addressing ... relying on the ability to utilize rapid, fine
+//! grained memory accesses allowed by the shared memory programming
+//! model", §5.3).
+//!
+//! Particles are sorted by 3-D Morton key; every tree node then owns a
+//! contiguous range of the sorted order. Nodes are stored level by
+//! level (breadth-first), so bottom-up moment summarization can sweep
+//! levels in parallel.
+
+use crate::problem::Bodies;
+use spp_kernels::{morton3_unit, radix_sort_by_key};
+
+/// The domain is the cube `[0, SIZE)^3`.
+pub const DOMAIN: f64 = 32.0;
+const KEY_BITS: u32 = 16;
+
+/// One octree node.
+#[derive(Debug, Clone, Copy)]
+pub struct Node {
+    /// Total mass.
+    pub mass: f64,
+    /// Centre of mass.
+    pub cx: f64,
+    /// Centre of mass.
+    pub cy: f64,
+    /// Centre of mass.
+    pub cz: f64,
+    /// Cell edge length.
+    pub size: f64,
+    /// Index of the first child in the node array, or `u32::MAX` for a
+    /// leaf.
+    pub child_start: u32,
+    /// Number of children (0 for a leaf).
+    pub nchild: u32,
+    /// First particle (rank in Morton order) owned by this cell.
+    pub pstart: u32,
+    /// Number of particles owned.
+    pub pcount: u32,
+}
+
+/// A built octree plus the Morton ordering of the particles.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    /// Breadth-first node array; node 0 is the root.
+    pub nodes: Vec<Node>,
+    /// Node index ranges per level: `levels[d]..levels[d+1]`.
+    pub levels: Vec<usize>,
+    /// `order[rank] = original particle index`.
+    pub order: Vec<u32>,
+}
+
+impl Tree {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for an empty tree.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Tree depth (number of levels).
+    pub fn depth(&self) -> usize {
+        self.levels.len() - 1
+    }
+}
+
+/// Build an octree over `b`, splitting cells with more than
+/// `leaf_cap` particles.
+pub fn build(b: &Bodies, leaf_cap: usize) -> Tree {
+    assert!(!b.is_empty(), "cannot build a tree over zero particles");
+    let n = b.len();
+    // Morton keys and sorted order.
+    let mut keys: Vec<u64> = (0..n)
+        .map(|i| morton3_unit(b.x[i] / DOMAIN, b.y[i] / DOMAIN, b.z[i] / DOMAIN, KEY_BITS))
+        .collect();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    radix_sort_by_key(&mut keys, &mut order);
+
+    // Breadth-first subdivision. Each queue entry is a particle range
+    // plus its depth; the Morton prefix at 3*depth bits partitions the
+    // range into up to 8 contiguous children.
+    let mut nodes: Vec<Node> = Vec::with_capacity(2 * n / leaf_cap.max(1) + 16);
+    let mut levels = vec![0usize];
+    nodes.push(range_node(b, &order, 0, n as u32, DOMAIN));
+    let mut level_start = 0usize;
+    let mut depth = 0u32;
+    while level_start < nodes.len() {
+        let level_end = nodes.len();
+        levels.push(level_end);
+        for ni in level_start..level_end {
+            let (ps, pc) = (nodes[ni].pstart, nodes[ni].pcount);
+            if (pc as usize) <= leaf_cap || depth as usize >= (KEY_BITS as usize - 1) {
+                continue; // stays a leaf
+            }
+            // Split the range by the 3-bit octant digit at this depth.
+            let shift = 3 * (KEY_BITS - 1 - depth);
+            let child_size = nodes[ni].size * 0.5;
+            let first_child = nodes.len() as u32;
+            let mut start = ps;
+            while start < ps + pc {
+                let digit = (keys[start as usize] >> shift) & 7;
+                let mut end = start + 1;
+                while end < ps + pc && (keys[end as usize] >> shift) & 7 == digit {
+                    end += 1;
+                }
+                nodes.push(range_node(b, &order, start, end - start, child_size));
+                start = end;
+            }
+            nodes[ni].child_start = first_child;
+            nodes[ni].nchild = nodes.len() as u32 - first_child;
+        }
+        level_start = level_end;
+        depth += 1;
+    }
+    // `levels` currently has a trailing duplicate of len() from the
+    // last (empty) iteration; normalize to strictly increasing bounds.
+    levels.dedup();
+    if *levels.last().unwrap() != nodes.len() {
+        levels.push(nodes.len());
+    }
+    Tree {
+        nodes,
+        levels,
+        order,
+    }
+}
+
+fn range_node(b: &Bodies, order: &[u32], pstart: u32, pcount: u32, size: f64) -> Node {
+    let mut mass = 0.0;
+    let (mut cx, mut cy, mut cz) = (0.0, 0.0, 0.0);
+    for r in pstart..pstart + pcount {
+        let i = order[r as usize] as usize;
+        mass += b.m[i];
+        cx += b.m[i] * b.x[i];
+        cy += b.m[i] * b.y[i];
+        cz += b.m[i] * b.z[i];
+    }
+    if mass > 0.0 {
+        cx /= mass;
+        cy /= mass;
+        cz /= mass;
+    }
+    Node {
+        mass,
+        cx,
+        cy,
+        cz,
+        size,
+        child_start: u32::MAX,
+        nchild: 0,
+        pstart,
+        pcount,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{plummer, NbodyProblem};
+
+    fn tree_for(n: usize) -> (Bodies, Tree) {
+        let b = plummer(&NbodyProblem::with_n(n));
+        let t = build(&b, 8);
+        (b, t)
+    }
+
+    #[test]
+    fn root_owns_everything() {
+        let (b, t) = tree_for(1000);
+        assert_eq!(t.nodes[0].pcount as usize, b.len());
+        assert!((t.nodes[0].mass - b.total_mass()).abs() < 1e-12);
+        let com = b.center_of_mass();
+        assert!((t.nodes[0].cx - com[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn children_partition_parent_ranges() {
+        let (_, t) = tree_for(2000);
+        for n in &t.nodes {
+            if n.nchild > 0 {
+                let mut covered = 0;
+                let mut expect_start = n.pstart;
+                for c in n.child_start..n.child_start + n.nchild {
+                    let ch = &t.nodes[c as usize];
+                    assert_eq!(ch.pstart, expect_start, "children not contiguous");
+                    expect_start += ch.pcount;
+                    covered += ch.pcount;
+                    assert!((ch.size - n.size * 0.5).abs() < 1e-12);
+                }
+                assert_eq!(covered, n.pcount);
+            }
+        }
+    }
+
+    #[test]
+    fn mass_is_conserved_at_every_level() {
+        let (b, t) = tree_for(3000);
+        for d in 0..t.depth() {
+            // Sum of masses of "coverage set" at depth d: nodes at
+            // depth d plus leaves above it.
+            let mut total = 0.0;
+            for (ni, n) in t.nodes.iter().enumerate() {
+                let depth_of = t
+                    .levels
+                    .windows(2)
+                    .position(|w| ni >= w[0] && ni < w[1])
+                    .unwrap();
+                if depth_of == d || (depth_of < d && n.nchild == 0) {
+                    total += n.mass;
+                }
+            }
+            assert!(
+                (total - b.total_mass()).abs() < 1e-9,
+                "level {d}: {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn leaves_respect_capacity() {
+        let (_, t) = tree_for(5000);
+        for n in &t.nodes {
+            if n.nchild == 0 {
+                assert!(n.pcount <= 8, "leaf with {} particles", n.pcount);
+            }
+        }
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        let (b, t) = tree_for(1234);
+        let mut seen = vec![false; b.len()];
+        for &o in &t.order {
+            assert!(!seen[o as usize]);
+            seen[o as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn levels_are_strictly_increasing() {
+        let (_, t) = tree_for(4096);
+        for w in t.levels.windows(2) {
+            assert!(w[0] < w[1], "levels = {:?}", t.levels);
+        }
+        assert_eq!(*t.levels.last().unwrap(), t.len());
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn single_particle_tree() {
+        let b = Bodies {
+            x: vec![10.0],
+            y: vec![10.0],
+            z: vec![10.0],
+            vx: vec![0.0],
+            vy: vec![0.0],
+            vz: vec![0.0],
+            m: vec![2.5],
+        };
+        let t = build(&b, 8);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.nodes[0].nchild, 0);
+        assert_eq!(t.nodes[0].mass, 2.5);
+    }
+}

@@ -1,0 +1,368 @@
+//! Host-side reference implementation of the PIC cycle (no machine
+//! pricing): the numerics oracle for the simulated versions and the
+//! body of the C90 baseline.
+//!
+//! One timestep (paper §5.1.1, Figure 5):
+//! 1. deposit particle charge on the mesh (CIC scatter-add);
+//! 2. solve for the potential and E on the mesh (FFT Poisson solve);
+//! 3. interpolate E to particle positions (CIC gather);
+//! 4. push the particles (leapfrog).
+
+use crate::problem::{PicProblem, Particles};
+use spp_kernels::{fft3d_inplace, Complex};
+
+/// Grid state: charge density, potential and electric field.
+#[derive(Debug, Clone)]
+pub struct Fields {
+    /// Charge density at grid points.
+    pub rho: Vec<f64>,
+    /// Electric potential.
+    pub phi: Vec<f64>,
+    /// E-field components at grid points.
+    pub ex: Vec<f64>,
+    /// E-field y.
+    pub ey: Vec<f64>,
+    /// E-field z.
+    pub ez: Vec<f64>,
+}
+
+impl Fields {
+    /// Zero-initialized fields for a problem.
+    pub fn new(p: &PicProblem) -> Self {
+        let n = p.cells();
+        Fields {
+            rho: vec![0.0; n],
+            phi: vec![0.0; n],
+            ex: vec![0.0; n],
+            ey: vec![0.0; n],
+            ez: vec![0.0; n],
+        }
+    }
+
+    /// Field energy `0.5 sum |E|^2`.
+    pub fn field_energy(&self) -> f64 {
+        (0..self.rho.len())
+            .map(|i| {
+                0.5 * (self.ex[i] * self.ex[i] + self.ey[i] * self.ey[i] + self.ez[i] * self.ez[i])
+            })
+            .sum()
+    }
+}
+
+#[inline]
+pub(crate) fn idx(p: &PicProblem, x: usize, y: usize, z: usize) -> usize {
+    x + p.nx * (y + p.ny * z)
+}
+
+/// CIC (cloud-in-cell) corner indices and weights for a position.
+/// Returns `([i0, i1], [w0, w1])` per axis with periodic wrap.
+#[inline]
+pub(crate) fn cic_axis(pos: f64, n: usize) -> ([usize; 2], [f64; 2]) {
+    let i0 = pos.floor() as usize % n;
+    let f = pos - pos.floor();
+    ([i0, (i0 + 1) % n], [1.0 - f, f])
+}
+
+/// Step 1: scatter particle charge onto the mesh.
+pub fn deposit(p: &PicProblem, parts: &Particles, rho: &mut [f64]) {
+    rho.iter_mut().for_each(|r| *r = 0.0);
+    for i in 0..parts.len() {
+        let (xi, wx) = cic_axis(parts.x[i], p.nx);
+        let (yi, wy) = cic_axis(parts.y[i], p.ny);
+        let (zi, wz) = cic_axis(parts.z[i], p.nz);
+        let q = parts.q[i];
+        for (dz, wz) in wz.iter().enumerate() {
+            for (dy, wy) in wy.iter().enumerate() {
+                for (dx, wx) in wx.iter().enumerate() {
+                    rho[idx(p, xi[dx], yi[dy], zi[dz])] += q * wx * wy * wz;
+                }
+            }
+        }
+    }
+}
+
+/// Spectral eigenvalue of the (FD-consistent) Laplacian for mode `k`
+/// of `n` points: `(2 sin(pi k / n))^2`.
+#[inline]
+pub(crate) fn ksqr_axis(k: usize, n: usize) -> f64 {
+    let s = (std::f64::consts::PI * k as f64 / n as f64).sin();
+    4.0 * s * s
+}
+
+/// Step 2: solve `laplacian(phi) = -(rho - mean(rho))` with periodic
+/// boundaries via FFT, then `E = -grad(phi)` by centered differences.
+pub fn solve_fields(p: &PicProblem, f: &mut Fields) {
+    let n = p.cells();
+    let mut work: Vec<Complex> = f.rho.iter().map(|r| Complex::real(*r)).collect();
+    fft3d_inplace(&mut work, p.nx, p.ny, p.nz, false);
+    for kz in 0..p.nz {
+        for ky in 0..p.ny {
+            for kx in 0..p.nx {
+                let i = idx(p, kx, ky, kz);
+                let k2 = ksqr_axis(kx, p.nx) + ksqr_axis(ky, p.ny) + ksqr_axis(kz, p.nz);
+                if k2 == 0.0 {
+                    work[i] = Complex::ZERO; // neutralizing background
+                } else {
+                    work[i] = work[i].scale(1.0 / k2);
+                }
+            }
+        }
+    }
+    fft3d_inplace(&mut work, p.nx, p.ny, p.nz, true);
+    for i in 0..n {
+        f.phi[i] = work[i].re;
+    }
+    gradient(p, &f.phi, &mut f.ex, &mut f.ey, &mut f.ez);
+}
+
+/// `E = -grad(phi)` with periodic centered differences.
+pub fn gradient(p: &PicProblem, phi: &[f64], ex: &mut [f64], ey: &mut [f64], ez: &mut [f64]) {
+    for z in 0..p.nz {
+        let (zm, zp) = ((z + p.nz - 1) % p.nz, (z + 1) % p.nz);
+        for y in 0..p.ny {
+            let (ym, yp) = ((y + p.ny - 1) % p.ny, (y + 1) % p.ny);
+            for x in 0..p.nx {
+                let (xm, xp) = ((x + p.nx - 1) % p.nx, (x + 1) % p.nx);
+                let i = idx(p, x, y, z);
+                ex[i] = -0.5 * (phi[idx(p, xp, y, z)] - phi[idx(p, xm, y, z)]);
+                ey[i] = -0.5 * (phi[idx(p, x, yp, z)] - phi[idx(p, x, ym, z)]);
+                ez[i] = -0.5 * (phi[idx(p, x, y, zp)] - phi[idx(p, x, y, zm)]);
+            }
+        }
+    }
+}
+
+/// Steps 3+4: gather E to the particles and push them (leapfrog).
+/// All particles are electrons: charge-to-mass ratio -1 regardless of
+/// statistical weight.
+pub fn gather_push(p: &PicProblem, parts: &mut Particles, f: &Fields) {
+    let qm = -1.0;
+    for i in 0..parts.len() {
+        let (xi, wx) = cic_axis(parts.x[i], p.nx);
+        let (yi, wy) = cic_axis(parts.y[i], p.ny);
+        let (zi, wz) = cic_axis(parts.z[i], p.nz);
+        let (mut ex, mut ey, mut ez) = (0.0, 0.0, 0.0);
+        for (dz, wz) in wz.iter().enumerate() {
+            for (dy, wy) in wy.iter().enumerate() {
+                for (dx, wx) in wx.iter().enumerate() {
+                    let w = wx * wy * wz;
+                    let g = idx(p, xi[dx], yi[dy], zi[dz]);
+                    ex += w * f.ex[g];
+                    ey += w * f.ey[g];
+                    ez += w * f.ez[g];
+                }
+            }
+        }
+        parts.ex[i] = ex;
+        parts.ey[i] = ey;
+        parts.ez[i] = ez;
+        parts.vx[i] += qm * ex * p.dt;
+        parts.vy[i] += qm * ey * p.dt;
+        parts.vz[i] += qm * ez * p.dt;
+        parts.x[i] = wrap(parts.x[i] + parts.vx[i] * p.dt, p.nx as f64);
+        parts.y[i] = wrap(parts.y[i] + parts.vy[i] * p.dt, p.ny as f64);
+        parts.z[i] = wrap(parts.z[i] + parts.vz[i] * p.dt, p.nz as f64);
+    }
+}
+
+#[inline]
+pub(crate) fn wrap(x: f64, n: f64) -> f64 {
+    let mut x = x % n;
+    if x < 0.0 {
+        x += n;
+    }
+    x
+}
+
+/// One full timestep on the host.
+pub fn step(p: &PicProblem, parts: &mut Particles, f: &mut Fields) {
+    deposit(p, parts, &mut f.rho);
+    solve_fields(p, f);
+    gather_push(p, parts, f);
+}
+
+/// FLOP counts per phase (used by every implementation so Mflop/s are
+/// comparable across shared-memory, PVM and C90 versions).
+pub mod flops {
+    /// Per particle, CIC deposit (weights + 8 weighted adds).
+    pub const DEPOSIT_PER_PARTICLE: u64 = 6 + 8 * 4;
+    /// Per grid point, k-space scale.
+    pub const KSCALE_PER_POINT: u64 = 8;
+    /// Per grid point, gradient stencil.
+    pub const GRADIENT_PER_POINT: u64 = 12;
+    /// Per particle, gather + leapfrog push.
+    pub const PUSH_PER_PARTICLE: u64 = 6 + 8 * 7 + 12 + 9;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::load_particles;
+
+    #[test]
+    fn deposit_conserves_charge() {
+        let p = PicProblem::tiny();
+        let parts = load_particles(&p);
+        let mut f = Fields::new(&p);
+        deposit(&p, &parts, &mut f.rho);
+        let total: f64 = f.rho.iter().sum();
+        assert!(
+            (total - parts.total_charge()).abs() < 1e-9 * parts.len() as f64,
+            "deposited {total}, expected {}",
+            parts.total_charge()
+        );
+    }
+
+    #[test]
+    fn uniform_lattice_gives_zero_field() {
+        // One particle exactly at each grid point: rho is uniform, so
+        // after background subtraction E vanishes.
+        let p = PicProblem::tiny();
+        let n = p.cells();
+        let mut parts = Particles {
+            x: vec![0.0; n],
+            y: vec![0.0; n],
+            z: vec![0.0; n],
+            vx: vec![0.0; n],
+            vy: vec![0.0; n],
+            vz: vec![0.0; n],
+            q: vec![-1.0; n],
+            ex: vec![0.0; n],
+            ey: vec![0.0; n],
+            ez: vec![0.0; n],
+            aux: vec![0.0; n],
+        };
+        let mut i = 0;
+        for z in 0..p.nz {
+            for y in 0..p.ny {
+                for x in 0..p.nx {
+                    parts.x[i] = x as f64;
+                    parts.y[i] = y as f64;
+                    parts.z[i] = z as f64;
+                    i += 1;
+                }
+            }
+        }
+        let mut f = Fields::new(&p);
+        deposit(&p, &parts, &mut f.rho);
+        solve_fields(&p, &mut f);
+        assert!(f.field_energy() < 1e-18, "E = {}", f.field_energy());
+        gather_push(&p, &mut parts, &f);
+        assert!(parts.vx.iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn poisson_solver_recovers_plane_wave() {
+        // rho = cos(2 pi x / nx): phi should be rho / ksqr with the
+        // FD-consistent eigenvalue, and E = -grad phi.
+        let p = PicProblem::tiny();
+        let mut f = Fields::new(&p);
+        for z in 0..p.nz {
+            for y in 0..p.ny {
+                for x in 0..p.nx {
+                    f.rho[idx(&p, x, y, z)] =
+                        (2.0 * std::f64::consts::PI * x as f64 / p.nx as f64).cos();
+                }
+            }
+        }
+        solve_fields(&p, &mut f);
+        let k2 = ksqr_axis(1, p.nx);
+        for x in 0..p.nx {
+            let expect = (2.0 * std::f64::consts::PI * x as f64 / p.nx as f64).cos() / k2;
+            let got = f.phi[idx(&p, x, 3, 5)];
+            assert!((got - expect).abs() < 1e-9, "x={x}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn two_electrons_repel() {
+        let p = PicProblem::tiny();
+        let mk = |x: f64| Particles {
+            x: vec![x, 5.0],
+            y: vec![4.0, 4.0],
+            z: vec![4.0, 4.0],
+            vx: vec![0.0; 2],
+            vy: vec![0.0; 2],
+            vz: vec![0.0; 2],
+            q: vec![-1.0; 2],
+            ex: vec![0.0; 2],
+            ey: vec![0.0; 2],
+            ez: vec![0.0; 2],
+            aux: vec![0.0; 2],
+        };
+        let mut parts = mk(3.0);
+        let mut f = Fields::new(&p);
+        step(&p, &mut parts, &mut f);
+        // Particle 0 (left) pushed further left, particle 1 right.
+        assert!(parts.vx[0] < 0.0, "vx0 = {}", parts.vx[0]);
+        assert!(parts.vx[1] > 0.0, "vx1 = {}", parts.vx[1]);
+    }
+
+    #[test]
+    fn momentum_is_approximately_conserved() {
+        let p = PicProblem::tiny();
+        let mut parts = load_particles(&p);
+        let mut f = Fields::new(&p);
+        let p0 = parts.momentum_x();
+        for _ in 0..5 {
+            step(&p, &mut parts, &mut f);
+        }
+        let p1 = parts.momentum_x();
+        let scale = parts.len() as f64 * p.beam_speed;
+        assert!(
+            (p1 - p0).abs() / scale < 0.02,
+            "momentum drift {} -> {}",
+            p0,
+            p1
+        );
+    }
+
+    #[test]
+    fn particles_stay_in_the_box() {
+        let p = PicProblem::tiny();
+        let mut parts = load_particles(&p);
+        let mut f = Fields::new(&p);
+        for _ in 0..3 {
+            step(&p, &mut parts, &mut f);
+        }
+        for i in 0..parts.len() {
+            assert!(parts.x[i] >= 0.0 && parts.x[i] < p.nx as f64);
+            assert!(parts.z[i] >= 0.0 && parts.z[i] < p.nz as f64);
+        }
+    }
+
+    #[test]
+    fn beam_drives_up_field_energy() {
+        // The beam-plasma system is two-stream unstable: field energy
+        // grows from the noise floor over the first steps.
+        let p = PicProblem::tiny();
+        let mut parts = load_particles(&p);
+        let mut f = Fields::new(&p);
+        step(&p, &mut parts, &mut f);
+        let e_early = f.field_energy();
+        for _ in 0..20 {
+            step(&p, &mut parts, &mut f);
+        }
+        let e_late = f.field_energy();
+        assert!(
+            e_late > e_early,
+            "field energy should grow: {e_early} -> {e_late}"
+        );
+    }
+
+    #[test]
+    fn wrap_is_periodic() {
+        assert_eq!(wrap(8.5, 8.0), 0.5);
+        assert_eq!(wrap(-0.5, 8.0), 7.5);
+        assert_eq!(wrap(3.0, 8.0), 3.0);
+    }
+
+    #[test]
+    fn cic_weights_sum_to_one() {
+        for pos in [0.0, 0.25, 3.999, 7.5] {
+            let (_, w) = cic_axis(pos, 8);
+            assert!((w[0] + w[1] - 1.0).abs() < 1e-12);
+            assert!(w[0] >= 0.0 && w[1] >= 0.0);
+        }
+    }
+}

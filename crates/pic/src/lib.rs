@@ -1,0 +1,30 @@
+//! # pic — 3-D electrostatic particle-in-cell plasma code
+//!
+//! Reproduces the application study of paper §5.1: a beam–plasma
+//! simulation with CIC charge deposition, an FFT Poisson solve, and a
+//! leapfrog particle push, on the mesh sizes of Table 1 (32x32x32 with
+//! 294 912 particles, 64x64x32 with 1 179 648 particles).
+//!
+//! Three execution paths share the same physics:
+//!
+//! * [`host`] — the unpriced reference implementation;
+//! * [`shared`] — shared-memory threads on the simulated SPP-1000
+//!   (the winning style, Figure 6);
+//! * [`pvm`] — the 1995-style replicated-grid particle decomposition
+//!   over ConvexPVM messages (the "coarse-grained threads" style the
+//!   paper measured);
+//! * [`pvm_slab`] — a modern slab-decomposed message-passing variant,
+//!   kept as an ablation;
+//! * [`c90`] — the Cray C90 single-head baseline (Table 1).
+
+#![warn(missing_docs)]
+
+pub mod c90;
+pub mod host;
+pub mod problem;
+pub mod pvm;
+pub mod pvm_slab;
+pub mod shared;
+
+pub use problem::{load_particles, Particles, PicProblem};
+pub use shared::{RunReport, SharedPic, StepReport};

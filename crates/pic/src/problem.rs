@@ -1,0 +1,259 @@
+//! Problem definition and the beam–plasma workload of §5.1.1.
+//!
+//! "The test problem run was of a monoenergetic electron beam
+//! propagating through a population of plasma electrons with
+//! maxwellian velocity distribution. The beam was distributed
+//! throughout the physical domain and had a number density roughly
+//! 1/10th the density of the background electron population. ...
+//! Each calculation began with 8 plasma electrons and 1 beam electron
+//! in each mesh cell."
+
+use spp_kernels::Rng64;
+
+/// Static description of a PIC run.
+#[derive(Debug, Clone)]
+pub struct PicProblem {
+    /// Mesh cells in x (power of two).
+    pub nx: usize,
+    /// Mesh cells in y (power of two).
+    pub ny: usize,
+    /// Mesh cells in z (power of two).
+    pub nz: usize,
+    /// Plasma electrons per cell.
+    pub plasma_per_cell: usize,
+    /// Beam electrons per cell.
+    pub beam_per_cell: usize,
+    /// Beam/background number-density ratio (sets beam weights).
+    pub beam_density_ratio: f64,
+    /// Beam drift speed along x, in grid units per unit time.
+    pub beam_speed: f64,
+    /// Background thermal speed.
+    pub thermal_speed: f64,
+    /// Leapfrog timestep.
+    pub dt: f64,
+    /// RNG seed for the particle load.
+    pub seed: u64,
+}
+
+impl PicProblem {
+    /// The paper's small calculation: 32x32x32 mesh, 294 912 particles.
+    pub fn small() -> Self {
+        Self::with_mesh(32, 32, 32)
+    }
+
+    /// The paper's large calculation: 64x64x32 mesh, 1 179 648
+    /// particles.
+    pub fn large() -> Self {
+        Self::with_mesh(64, 64, 32)
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self::with_mesh(8, 8, 8)
+    }
+
+    /// The standard beam–plasma setup on an arbitrary mesh.
+    pub fn with_mesh(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(
+            nx.is_power_of_two() && ny.is_power_of_two() && nz.is_power_of_two(),
+            "mesh dimensions must be powers of two for the FFT solver"
+        );
+        PicProblem {
+            nx,
+            ny,
+            nz,
+            plasma_per_cell: 8,
+            beam_per_cell: 1,
+            beam_density_ratio: 0.1,
+            beam_speed: 3.0,
+            thermal_speed: 1.0,
+            dt: 0.1,
+            seed: 0x5191_1000,
+        }
+    }
+
+    /// Total mesh cells.
+    pub fn cells(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Total particles (matches Table 1: 294 912 / 1 179 648).
+    pub fn num_particles(&self) -> usize {
+        self.cells() * (self.plasma_per_cell + self.beam_per_cell)
+    }
+}
+
+/// The particle population in structure-of-arrays form. A particle
+/// carries 11 words — 3 position, 3 velocity, charge weight, and a
+/// 4-word field/scratch record — matching the paper's "each particle
+/// requires 11 data words".
+#[derive(Debug, Clone)]
+pub struct Particles {
+    /// Positions.
+    pub x: Vec<f64>,
+    /// Positions.
+    pub y: Vec<f64>,
+    /// Positions.
+    pub z: Vec<f64>,
+    /// Velocities.
+    pub vx: Vec<f64>,
+    /// Velocities.
+    pub vy: Vec<f64>,
+    /// Velocities.
+    pub vz: Vec<f64>,
+    /// Charge weight (negative for electrons).
+    pub q: Vec<f64>,
+    /// Interpolated field / scratch (4 words to round out the record).
+    pub ex: Vec<f64>,
+    /// Interpolated field.
+    pub ey: Vec<f64>,
+    /// Interpolated field.
+    pub ez: Vec<f64>,
+    /// Scratch word.
+    pub aux: Vec<f64>,
+}
+
+impl Particles {
+    /// Particle count.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Total (signed) charge.
+    pub fn total_charge(&self) -> f64 {
+        self.q.iter().sum()
+    }
+
+    /// Kinetic energy `sum(|q| v^2 / 2)` (all particles share unit
+    /// mass-to-weight ratio).
+    pub fn kinetic_energy(&self) -> f64 {
+        (0..self.len())
+            .map(|i| {
+                0.5 * self.q[i].abs()
+                    * (self.vx[i] * self.vx[i]
+                        + self.vy[i] * self.vy[i]
+                        + self.vz[i] * self.vz[i])
+            })
+            .sum()
+    }
+
+    /// Total x-momentum `sum(|q| vx)`.
+    pub fn momentum_x(&self) -> f64 {
+        (0..self.len()).map(|i| self.q[i].abs() * self.vx[i]).sum()
+    }
+}
+
+/// Build the beam–plasma particle load. Plasma electrons are placed
+/// uniformly in each cell with Maxwellian velocities; beam electrons
+/// drift along +x at `beam_speed` with reduced weight so the beam
+/// carries `beam_density_ratio` of the background density.
+pub fn load_particles(p: &PicProblem) -> Particles {
+    let n = p.num_particles();
+    let mut rng = Rng64::new(p.seed);
+    let mut parts = Particles {
+        x: Vec::with_capacity(n),
+        y: Vec::with_capacity(n),
+        z: Vec::with_capacity(n),
+        vx: Vec::with_capacity(n),
+        vy: Vec::with_capacity(n),
+        vz: Vec::with_capacity(n),
+        q: Vec::with_capacity(n),
+        ex: vec![0.0; n],
+        ey: vec![0.0; n],
+        ez: vec![0.0; n],
+        aux: vec![0.0; n],
+    };
+    // Beam particle weight: beam_per_cell particles carry
+    // beam_density_ratio * plasma_per_cell worth of charge.
+    let w_plasma = -1.0;
+    let w_beam = -(p.beam_density_ratio * p.plasma_per_cell as f64 / p.beam_per_cell as f64);
+    for cz in 0..p.nz {
+        for cy in 0..p.ny {
+            for cx in 0..p.nx {
+                for k in 0..p.plasma_per_cell + p.beam_per_cell {
+                    let beam = k >= p.plasma_per_cell;
+                    parts.x.push(cx as f64 + rng.uniform());
+                    parts.y.push(cy as f64 + rng.uniform());
+                    parts.z.push(cz as f64 + rng.uniform());
+                    if beam {
+                        parts.vx.push(p.beam_speed);
+                        parts.vy.push(0.0);
+                        parts.vz.push(0.0);
+                        parts.q.push(w_beam);
+                    } else {
+                        let v = rng.maxwellian3(p.thermal_speed);
+                        parts.vx.push(v[0]);
+                        parts.vy.push(v[1]);
+                        parts.vz.push(v[2]);
+                        parts.q.push(w_plasma);
+                    }
+                }
+            }
+        }
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_particle_counts() {
+        assert_eq!(PicProblem::small().num_particles(), 294_912);
+        assert_eq!(PicProblem::large().num_particles(), 1_179_648);
+    }
+
+    #[test]
+    fn load_is_deterministic() {
+        let p = PicProblem::tiny();
+        let a = load_particles(&p);
+        let b = load_particles(&p);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.vx, b.vx);
+    }
+
+    #[test]
+    fn particles_start_inside_the_domain() {
+        let p = PicProblem::tiny();
+        let parts = load_particles(&p);
+        assert_eq!(parts.len(), p.num_particles());
+        for i in 0..parts.len() {
+            assert!(parts.x[i] >= 0.0 && parts.x[i] < p.nx as f64);
+            assert!(parts.y[i] >= 0.0 && parts.y[i] < p.ny as f64);
+            assert!(parts.z[i] >= 0.0 && parts.z[i] < p.nz as f64);
+        }
+    }
+
+    #[test]
+    fn beam_carries_a_tenth_of_background_density() {
+        let p = PicProblem::tiny();
+        let parts = load_particles(&p);
+        let plasma: f64 = parts.q.iter().filter(|q| **q == -1.0).sum();
+        let beam: f64 = parts.q.iter().filter(|q| **q != -1.0).sum();
+        let ratio = beam / plasma;
+        assert!((ratio - 0.1).abs() < 1e-12, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn beam_particles_drift_along_x() {
+        let p = PicProblem::tiny();
+        let parts = load_particles(&p);
+        let beamers = (0..parts.len()).filter(|i| parts.q[*i] != -1.0);
+        for i in beamers {
+            assert_eq!(parts.vx[i], p.beam_speed);
+            assert_eq!(parts.vy[i], 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn non_power_of_two_mesh_rejected() {
+        PicProblem::with_mesh(10, 8, 8);
+    }
+}

@@ -1,0 +1,467 @@
+//! PVM (message-passing) PIC: the replicated-grid particle
+//! decomposition — the straightforward 1995 port of a serial PIC code
+//! to PVM, and the implementation style whose cost the paper reports
+//! ("a PVM implementation of an application can achieve almost one
+//! half the performance of a shared memory implementation", §3.1 /
+//! Figure 6).
+//!
+//! Each task owns a fixed share of the particles and a *private copy
+//! of the whole mesh*. A timestep is:
+//!
+//! 1. deposit the task's particles on its private charge grid;
+//! 2. butterfly all-reduce of the charge grid (`log2 T` rounds of
+//!    whole-grid pack / send / unpack / add — the dominant cost);
+//! 3. every task solves the FFT Poisson equation *redundantly* on its
+//!    now-global charge grid (no serial bottleneck, but no speedup
+//!    either — the classic Amdahl term of this scheme);
+//! 4. gather + push its own particles.
+//!
+//! No particle migration is needed, because every task sees the whole
+//! mesh. For the better-but-anachronistic slab decomposition, see
+//! [`crate::pvm_slab`].
+
+use crate::host::{self, flops};
+use crate::problem::{load_particles, PicProblem};
+use crate::shared::RunReport;
+use spp_core::{Cycles, FuId, MemClass, SimArray};
+use spp_kernels::{sim_fft_pencil, Complex, Pencil};
+use spp_pvm::Pvm;
+
+const TAG_REDUCE_BASE: u32 = 100;
+
+struct TaskState {
+    // Particle share (fixed).
+    x: SimArray<f64>,
+    y: SimArray<f64>,
+    z: SimArray<f64>,
+    vx: SimArray<f64>,
+    vy: SimArray<f64>,
+    vz: SimArray<f64>,
+    q: SimArray<f64>,
+    n: usize,
+    // Private full-mesh grids.
+    rho: SimArray<f64>,
+    work: SimArray<Complex>,
+    phi: SimArray<f64>,
+    ex: SimArray<f64>,
+    ey: SimArray<f64>,
+    ez: SimArray<f64>,
+}
+
+/// Replicated-grid PVM PIC state.
+pub struct PvmPic {
+    /// Problem parameters.
+    pub problem: PicProblem,
+    ntasks: usize,
+    tasks: Vec<TaskState>,
+    mean_rho: f64,
+    /// Useful flops executed (redundant solves counted once).
+    useful_flops: u64,
+}
+
+impl PvmPic {
+    /// Distribute the beam–plasma problem: particle shares per task,
+    /// one private full mesh each.
+    ///
+    /// # Panics
+    /// If the task count is not a power of two (butterfly reduce).
+    pub fn new(pvm: &mut Pvm, problem: PicProblem) -> Self {
+        let t = pvm.num_tasks();
+        assert!(t.is_power_of_two(), "task count must be a power of two");
+        let all = load_particles(&problem);
+        let mean_rho = all.total_charge() / problem.cells() as f64;
+        let cells = problem.cells();
+        let mut tasks = Vec::with_capacity(t);
+        for task in 0..t {
+            let cpu = pvm.task_cpu(task);
+            let home: FuId = pvm.machine.config().fu_of_cpu(cpu);
+            let class = MemClass::ThreadPrivate { home };
+            let r = spp_runtime::chunk_range(all.len(), t, task);
+            let n = r.len();
+            let m = &mut pvm.machine;
+            let grab = |src: &[f64]| src[r.clone()].to_vec();
+            tasks.push(TaskState {
+                x: SimArray::new(m, class, grab(&all.x)),
+                y: SimArray::new(m, class, grab(&all.y)),
+                z: SimArray::new(m, class, grab(&all.z)),
+                vx: SimArray::new(m, class, grab(&all.vx)),
+                vy: SimArray::new(m, class, grab(&all.vy)),
+                vz: SimArray::new(m, class, grab(&all.vz)),
+                q: SimArray::new(m, class, grab(&all.q)),
+                n,
+                rho: SimArray::from_elem(m, class, cells, 0.0),
+                work: SimArray::from_elem(m, class, cells, Complex::ZERO),
+                phi: SimArray::from_elem(m, class, cells, 0.0),
+                ex: SimArray::from_elem(m, class, cells, 0.0),
+                ey: SimArray::from_elem(m, class, cells, 0.0),
+                ez: SimArray::from_elem(m, class, cells, 0.0),
+            });
+        }
+        PvmPic {
+            problem,
+            ntasks: t,
+            tasks,
+            mean_rho,
+            useful_flops: 0,
+        }
+    }
+
+    /// Total particles across tasks.
+    pub fn num_particles(&self) -> usize {
+        self.tasks.iter().map(|t| t.n).sum()
+    }
+
+    /// One timestep. Returns (elapsed wall cycles, useful flops).
+    pub fn step(&mut self, pvm: &mut Pvm) -> (Cycles, u64) {
+        let t0 = pvm.elapsed();
+        let f0 = self.useful_flops;
+        self.deposit(pvm);
+        self.allreduce_rho(pvm);
+        self.solve(pvm);
+        self.gather_push(pvm);
+        pvm.barrier_all();
+        (pvm.elapsed() - t0, self.useful_flops - f0)
+    }
+
+    /// Run `steps` timesteps.
+    pub fn run(&mut self, pvm: &mut Pvm, steps: usize) -> RunReport {
+        let mut out = RunReport {
+            steps,
+            ..Default::default()
+        };
+        for _ in 0..steps {
+            let (c, f) = self.step(pvm);
+            out.elapsed += c;
+            out.flops += f;
+        }
+        out
+    }
+
+    fn deposit(&mut self, pvm: &mut Pvm) {
+        let p = self.problem.clone();
+        let cells = p.cells();
+        for t in 0..self.ntasks {
+            let task = &mut self.tasks[t];
+            let flops_before = pvm.total_flops();
+            pvm.compute(t, |ctx| {
+                for i in 0..cells {
+                    ctx.write(&mut task.rho, i, 0.0);
+                }
+                for i in 0..task.n {
+                    let x = ctx.read(&task.x, i);
+                    let y = ctx.read(&task.y, i);
+                    let z = ctx.read(&task.z, i);
+                    let q = ctx.read(&task.q, i);
+                    let (xi, wx) = host::cic_axis(x, p.nx);
+                    let (yi, wy) = host::cic_axis(y, p.ny);
+                    let (zi, wz) = host::cic_axis(z, p.nz);
+                    ctx.flops(flops::DEPOSIT_PER_PARTICLE);
+                    for dz in 0..2 {
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let g = host::idx(&p, xi[dx], yi[dy], zi[dz]);
+                                let w = q * wx[dx] * wy[dy] * wz[dz];
+                                ctx.update(&mut task.rho, g, |r| r + w);
+                            }
+                        }
+                    }
+                }
+            });
+            self.useful_flops += pvm.total_flops() - flops_before;
+        }
+    }
+
+    /// Butterfly all-reduce of the private charge grids: in round `r`,
+    /// task `t` exchanges its whole grid with `t ^ 2^r` and adds.
+    fn allreduce_rho(&mut self, pvm: &mut Pvm) {
+        let cells = self.problem.cells();
+        let bytes = cells * 8;
+        let rounds = self.ntasks.trailing_zeros();
+        for r in 0..rounds {
+            let tag = TAG_REDUCE_BASE + r;
+            for t in 0..self.ntasks {
+                pvm.pack(t, bytes);
+                pvm.send(t, t ^ (1 << r), bytes, tag);
+            }
+            // Snapshot partner grids, then receive and add.
+            let snapshot: Vec<Vec<f64>> = (0..self.ntasks)
+                .map(|t| self.tasks[t].rho.host().to_vec())
+                .collect();
+            for t in 0..self.ntasks {
+                let partner = t ^ (1 << r);
+                pvm.recv(t, Some(partner), Some(tag)).expect("reduce msg");
+                pvm.unpack(t, bytes);
+                let incoming = &snapshot[partner];
+                let task = &mut self.tasks[t];
+                let flops_before = pvm.total_flops();
+                pvm.compute(t, |ctx| {
+                    for i in 0..cells {
+                        let v = incoming[i];
+                        ctx.update(&mut task.rho, i, |x| x + v);
+                        ctx.flops(1);
+                    }
+                });
+                // Reduction adds count as useful only once across the
+                // butterfly (every task does the same total adds).
+                if t == 0 {
+                    self.useful_flops += pvm.total_flops() - flops_before;
+                }
+            }
+        }
+    }
+
+    /// Redundant FFT Poisson solve on every task's (now global) grid.
+    fn solve(&mut self, pvm: &mut Pvm) {
+        let p = self.problem.clone();
+        let cells = p.cells();
+        let mean = self.mean_rho;
+        for t in 0..self.ntasks {
+            let task = &mut self.tasks[t];
+            let flops_before = pvm.total_flops();
+            pvm.compute(t, |ctx| {
+                // Load work array.
+                for i in 0..cells {
+                    let r = ctx.read(&task.rho, i);
+                    ctx.write(&mut task.work, i, Complex::real(r - mean));
+                    ctx.flops(1);
+                }
+                // Forward FFT (x, y, z pencils).
+                fft3(ctx, &mut task.work, &p, false);
+                // k-space scale.
+                for i in 0..cells {
+                    let kx = i % p.nx;
+                    let ky = (i / p.nx) % p.ny;
+                    let kz = i / (p.nx * p.ny);
+                    let k2 = host::ksqr_axis(kx, p.nx)
+                        + host::ksqr_axis(ky, p.ny)
+                        + host::ksqr_axis(kz, p.nz);
+                    let v = ctx.read(&task.work, i);
+                    let out = if k2 == 0.0 {
+                        Complex::ZERO
+                    } else {
+                        v.scale(1.0 / k2)
+                    };
+                    ctx.write(&mut task.work, i, out);
+                    ctx.flops(flops::KSCALE_PER_POINT);
+                }
+                // Inverse FFT, extract phi, gradient.
+                fft3(ctx, &mut task.work, &p, true);
+                for i in 0..cells {
+                    let v = ctx.read(&task.work, i);
+                    ctx.write(&mut task.phi, i, v.re);
+                }
+                for i in 0..cells {
+                    let x = i % p.nx;
+                    let y = (i / p.nx) % p.ny;
+                    let z = i / (p.nx * p.ny);
+                    let (xm, xp) = ((x + p.nx - 1) % p.nx, (x + 1) % p.nx);
+                    let (ym, yp) = ((y + p.ny - 1) % p.ny, (y + 1) % p.ny);
+                    let (zm, zp) = ((z + p.nz - 1) % p.nz, (z + 1) % p.nz);
+                    let gx = ctx.read(&task.phi, host::idx(&p, xp, y, z))
+                        - ctx.read(&task.phi, host::idx(&p, xm, y, z));
+                    let gy = ctx.read(&task.phi, host::idx(&p, x, yp, z))
+                        - ctx.read(&task.phi, host::idx(&p, x, ym, z));
+                    let gz = ctx.read(&task.phi, host::idx(&p, x, y, zp))
+                        - ctx.read(&task.phi, host::idx(&p, x, y, zm));
+                    ctx.write(&mut task.ex, i, -0.5 * gx);
+                    ctx.write(&mut task.ey, i, -0.5 * gy);
+                    ctx.write(&mut task.ez, i, -0.5 * gz);
+                    ctx.flops(flops::GRADIENT_PER_POINT);
+                }
+            });
+            // The solve is replicated: only one copy is useful work.
+            if t == 0 {
+                self.useful_flops += pvm.total_flops() - flops_before;
+            }
+        }
+    }
+
+    fn gather_push(&mut self, pvm: &mut Pvm) {
+        let p = self.problem.clone();
+        let dt = p.dt;
+        for t in 0..self.ntasks {
+            let task = &mut self.tasks[t];
+            let flops_before = pvm.total_flops();
+            pvm.compute(t, |ctx| {
+                for i in 0..task.n {
+                    let x = ctx.read(&task.x, i);
+                    let y = ctx.read(&task.y, i);
+                    let z = ctx.read(&task.z, i);
+                    let (xi, wx) = host::cic_axis(x, p.nx);
+                    let (yi, wy) = host::cic_axis(y, p.ny);
+                    let (zi, wz) = host::cic_axis(z, p.nz);
+                    let (mut fx, mut fy, mut fz) = (0.0, 0.0, 0.0);
+                    for dz in 0..2 {
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let w = wx[dx] * wy[dy] * wz[dz];
+                                let g = host::idx(&p, xi[dx], yi[dy], zi[dz]);
+                                fx += w * ctx.read(&task.ex, g);
+                                fy += w * ctx.read(&task.ey, g);
+                                fz += w * ctx.read(&task.ez, g);
+                            }
+                        }
+                    }
+                    ctx.flops(flops::PUSH_PER_PARTICLE);
+                    let qm = -1.0;
+                    let vx = ctx.read(&task.vx, i) + qm * fx * dt;
+                    let vy = ctx.read(&task.vy, i) + qm * fy * dt;
+                    let vz = ctx.read(&task.vz, i) + qm * fz * dt;
+                    ctx.write(&mut task.vx, i, vx);
+                    ctx.write(&mut task.vy, i, vy);
+                    ctx.write(&mut task.vz, i, vz);
+                    ctx.write(&mut task.x, i, host::wrap(x + vx * dt, p.nx as f64));
+                    ctx.write(&mut task.y, i, host::wrap(y + vy * dt, p.ny as f64));
+                    ctx.write(&mut task.z, i, host::wrap(z + vz * dt, p.nz as f64));
+                }
+            });
+            self.useful_flops += pvm.total_flops() - flops_before;
+        }
+    }
+
+    /// Kinetic energy across all tasks (validation).
+    pub fn kinetic_energy(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(|t| {
+                (0..t.n)
+                    .map(|i| {
+                        0.5 * t.q.host()[i].abs()
+                            * (t.vx.host()[i].powi(2)
+                                + t.vy.host()[i].powi(2)
+                                + t.vz.host()[i].powi(2))
+                    })
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+}
+
+fn fft3(
+    ctx: &mut spp_runtime::ThreadCtx<'_>,
+    work: &mut SimArray<Complex>,
+    p: &PicProblem,
+    inverse: bool,
+) {
+    for pen in 0..p.ny * p.nz {
+        sim_fft_pencil(
+            ctx,
+            work,
+            Pencil {
+                offset: pen * p.nx,
+                stride: 1,
+                n: p.nx,
+            },
+            inverse,
+        );
+    }
+    for pen in 0..p.nx * p.nz {
+        let x = pen % p.nx;
+        let z = pen / p.nx;
+        sim_fft_pencil(
+            ctx,
+            work,
+            Pencil {
+                offset: x + p.nx * p.ny * z,
+                stride: p.nx,
+                n: p.ny,
+            },
+            inverse,
+        );
+    }
+    for pen in 0..p.nx * p.ny {
+        sim_fft_pencil(
+            ctx,
+            work,
+            Pencil {
+                offset: pen,
+                stride: p.nx * p.ny,
+                n: p.nz,
+            },
+            inverse,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_core::CpuId;
+
+    fn session(tasks: usize) -> (Pvm, PvmPic) {
+        let cpus: Vec<CpuId> = (0..tasks as u16).map(CpuId).collect();
+        let mut pvm = Pvm::spp1000(2, &cpus);
+        let pic = PvmPic::new(&mut pvm, PicProblem::tiny());
+        (pvm, pic)
+    }
+
+    #[test]
+    fn particles_fully_distributed() {
+        let (_, pic) = session(4);
+        assert_eq!(pic.num_particles(), PicProblem::tiny().num_particles());
+    }
+
+    #[test]
+    fn physics_matches_host_reference() {
+        use crate::host::{step as host_step, Fields};
+        use crate::problem::load_particles;
+
+        let p = PicProblem::tiny();
+        let (mut pvm, mut pic) = session(2);
+        let mut parts = load_particles(&p);
+        let mut f = Fields::new(&p);
+        for _ in 0..2 {
+            pic.step(&mut pvm);
+            host_step(&p, &mut parts, &mut f);
+        }
+        let host_ke = parts.kinetic_energy();
+        let sim_ke = pic.kinetic_energy();
+        let rel = (sim_ke - host_ke).abs() / host_ke;
+        assert!(rel < 1e-9, "KE mismatch: {sim_ke} vs {host_ke}");
+    }
+
+    #[test]
+    fn pvm_is_slower_than_shared_memory() {
+        use crate::shared::SharedPic;
+        use spp_runtime::{Placement, Runtime, Team};
+
+        let p = PicProblem::tiny();
+        let (mut pvm, mut pic) = session(8);
+        let rpvm = pic.run(&mut pvm, 1);
+
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), 8, &Placement::HighLocality);
+        let mut sh = SharedPic::new(&mut rt, p, &team);
+        let rsh = sh.run(&mut rt, &team, 1);
+        assert!(
+            rpvm.elapsed > rsh.elapsed,
+            "pvm {} vs shared {}",
+            rpvm.elapsed,
+            rsh.elapsed
+        );
+    }
+
+    #[test]
+    fn useful_flops_match_shared_version() {
+        use crate::shared::SharedPic;
+        use spp_runtime::{Placement, Runtime, Team};
+
+        let (mut pvm, mut pic) = session(4);
+        let rpvm = pic.run(&mut pvm, 1);
+        let mut rt = Runtime::spp1000(1);
+        let team = Team::place(rt.machine.config(), 2, &Placement::HighLocality);
+        let mut sh = SharedPic::new(&mut rt, PicProblem::tiny(), &team);
+        let rsh = sh.run(&mut rt, &team, 1);
+        // Replicated solves are excluded; only reduction adds differ.
+        let ratio = rpvm.flops as f64 / rsh.flops as f64;
+        assert!((0.9..=1.2).contains(&ratio), "flops ratio = {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_tasks() {
+        let cpus: Vec<CpuId> = (0..3u16).map(CpuId).collect();
+        let mut pvm = Pvm::spp1000(2, &cpus);
+        PvmPic::new(&mut pvm, PicProblem::tiny());
+    }
+}

@@ -1,0 +1,781 @@
+//! Slab-decomposed PVM PIC: the *modern* message-passing formulation,
+//! kept as an ablation against the 1995-style replicated-grid port in
+//! [`crate::pvm`].
+//!
+//! Each task owns a slab of grid planes and the particles inside it.
+//! A timestep is: local deposit (+ ghost-plane reduction), a
+//! distributed transpose FFT Poisson solve, ghost exchanges for the
+//! field, local gather/push, and particle migration between slabs.
+//! All compute is priced through the machine model from each task's
+//! CPU; all data motion pays ConvexPVM pack/send/recv/unpack costs.
+//! The ablation bench `ablation_pvm_decomposition` shows how much of
+//! the paper's PVM penalty a better decomposition would have bought
+//! back.
+
+use crate::host::{self, flops};
+use crate::problem::{load_particles, PicProblem};
+use crate::shared::RunReport;
+use spp_core::{Cycles, FuId, MemClass, SimArray};
+use spp_kernels::{sim_fft_pencil, Complex, Pencil};
+use spp_pvm::Pvm;
+
+const TAG_RHO_GHOST: u32 = 1;
+const TAG_T_FWD: u32 = 2;
+const TAG_T_BWD: u32 = 3;
+const TAG_PHI_DOWN: u32 = 4;
+const TAG_PHI_UP: u32 = 5;
+const TAG_E_GHOST: u32 = 6;
+const TAG_MIGRATE: u32 = 7;
+
+/// One task's particle storage (capacity-managed SoA SimArrays).
+struct TaskParticles {
+    x: SimArray<f64>,
+    y: SimArray<f64>,
+    z: SimArray<f64>,
+    vx: SimArray<f64>,
+    vy: SimArray<f64>,
+    vz: SimArray<f64>,
+    q: SimArray<f64>,
+    live: usize,
+}
+
+/// An 11-word particle record in flight between tasks.
+#[derive(Clone, Copy)]
+struct Record {
+    x: f64,
+    y: f64,
+    z: f64,
+    vx: f64,
+    vy: f64,
+    vz: f64,
+    q: f64,
+}
+
+/// Bytes of one migrating particle (the paper's 11 words).
+const RECORD_BYTES: usize = 11 * 8;
+
+/// Slab-decomposed PVM PIC state.
+pub struct SlabPvmPic {
+    /// Problem parameters.
+    pub problem: PicProblem,
+    ntasks: usize,
+    /// Planes per slab.
+    pz: usize,
+    /// y-rows per task after transpose.
+    nyt: usize,
+    parts: Vec<TaskParticles>,
+    /// Charge slab, `pz + 1` planes (top ghost).
+    rho: Vec<SimArray<f64>>,
+    /// Complex work slab, `pz` planes.
+    work: Vec<SimArray<Complex>>,
+    /// Transposed pencils: `nx * nyt * nz`.
+    rows: Vec<SimArray<Complex>>,
+    /// Potential slab, `pz + 2` planes (ghosts both ends; own planes
+    /// at local index `l + 1`).
+    phi: Vec<SimArray<f64>>,
+    /// E-field slabs, `pz + 1` planes (top ghost).
+    ex: Vec<SimArray<f64>>,
+    ey: Vec<SimArray<f64>>,
+    ez: Vec<SimArray<f64>>,
+    mean_rho: f64,
+}
+
+impl SlabPvmPic {
+    /// Distribute the beam–plasma problem across the PVM tasks.
+    ///
+    /// # Panics
+    /// If `nz` or `ny` is not divisible by the task count.
+    pub fn new(pvm: &mut Pvm, problem: PicProblem) -> Self {
+        let t = pvm.num_tasks();
+        assert_eq!(problem.nz % t, 0, "nz must divide by task count");
+        assert_eq!(problem.ny % t, 0, "ny must divide by task count");
+        let pz = problem.nz / t;
+        let nyt = problem.ny / t;
+        let plane = problem.nx * problem.ny;
+        let all = load_particles(&problem);
+        let mean_rho = all.total_charge() / problem.cells() as f64;
+        let cap = (all.len() / t) * 3 / 2 + 64;
+
+        let mut parts = Vec::with_capacity(t);
+        let (mut rho, mut work, mut rows) = (Vec::new(), Vec::new(), Vec::new());
+        let (mut phi, mut ex, mut ey, mut ez) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for task in 0..t {
+            let home = home_fu(pvm, task);
+            let class = MemClass::ThreadPrivate { home };
+            // Particles whose floor(z) lies in this slab.
+            let mine: Vec<usize> = (0..all.len())
+                .filter(|i| (all.z[*i].floor() as usize) / pz == task)
+                .collect();
+            assert!(mine.len() <= cap, "slab {task} overflows capacity");
+            let grab = |src: &[f64]| {
+                let mut v: Vec<f64> = mine.iter().map(|i| src[*i]).collect();
+                v.resize(cap, 0.0);
+                v
+            };
+            let m = &mut pvm.machine;
+            parts.push(TaskParticles {
+                x: SimArray::new(m, class, grab(&all.x)),
+                y: SimArray::new(m, class, grab(&all.y)),
+                z: SimArray::new(m, class, grab(&all.z)),
+                vx: SimArray::new(m, class, grab(&all.vx)),
+                vy: SimArray::new(m, class, grab(&all.vy)),
+                vz: SimArray::new(m, class, grab(&all.vz)),
+                q: SimArray::new(m, class, grab(&all.q)),
+                live: mine.len(),
+            });
+            rho.push(SimArray::from_elem(m, class, plane * (pz + 1), 0.0));
+            work.push(SimArray::from_elem(m, class, plane * pz, Complex::ZERO));
+            rows.push(SimArray::from_elem(
+                m,
+                class,
+                problem.nx * nyt * problem.nz,
+                Complex::ZERO,
+            ));
+            phi.push(SimArray::from_elem(m, class, plane * (pz + 2), 0.0));
+            ex.push(SimArray::from_elem(m, class, plane * (pz + 1), 0.0));
+            ey.push(SimArray::from_elem(m, class, plane * (pz + 1), 0.0));
+            ez.push(SimArray::from_elem(m, class, plane * (pz + 1), 0.0));
+        }
+        SlabPvmPic {
+            problem,
+            ntasks: t,
+            pz,
+            nyt,
+            parts,
+            rho,
+            work,
+            rows,
+            phi,
+            ex,
+            ey,
+            ez,
+            mean_rho,
+        }
+    }
+
+    /// Total live particles across tasks.
+    pub fn num_particles(&self) -> usize {
+        self.parts.iter().map(|p| p.live).sum()
+    }
+
+    /// Live particle count of one task (diagnostics).
+    pub fn task_particles(&self, t: usize) -> usize {
+        self.parts[t].live
+    }
+
+    /// One timestep. Returns (elapsed wall cycles, flops) for the step.
+    pub fn step(&mut self, pvm: &mut Pvm) -> (Cycles, u64) {
+        let t0 = pvm.elapsed();
+        let f0 = pvm.total_flops();
+        self.deposit(pvm);
+        self.exchange_rho_ghosts(pvm);
+        self.load_work(pvm);
+        self.fft_xy(pvm, false);
+        self.transpose(pvm, true);
+        self.fft_z(pvm, false);
+        self.kscale(pvm);
+        self.fft_z(pvm, true);
+        self.transpose(pvm, false);
+        self.fft_xy(pvm, true);
+        self.extract_phi(pvm);
+        self.exchange_phi_ghosts(pvm);
+        self.gradient(pvm);
+        self.exchange_e_ghosts(pvm);
+        self.gather_push(pvm);
+        self.migrate(pvm);
+        pvm.barrier_all();
+        (pvm.elapsed() - t0, pvm.total_flops() - f0)
+    }
+
+    /// Run `steps` timesteps.
+    pub fn run(&mut self, pvm: &mut Pvm, steps: usize) -> RunReport {
+        let mut out = RunReport {
+            steps,
+            ..Default::default()
+        };
+        for _ in 0..steps {
+            let (c, f) = self.step(pvm);
+            out.elapsed += c;
+            out.flops += f;
+        }
+        out
+    }
+
+    fn plane(&self) -> usize {
+        self.problem.nx * self.problem.ny
+    }
+
+    fn deposit(&mut self, pvm: &mut Pvm) {
+        let p = self.problem.clone();
+        let plane = self.plane();
+        let pz = self.pz;
+        for t in 0..self.ntasks {
+            let parts = &mut self.parts[t];
+            let rho = &mut self.rho[t];
+            let live = parts.live;
+            let z0 = t * pz;
+            pvm.compute(t, |ctx| {
+                for i in 0..plane * (pz + 1) {
+                    ctx.write(rho, i, 0.0);
+                }
+                for i in 0..live {
+                    let x = ctx.read(&parts.x, i);
+                    let y = ctx.read(&parts.y, i);
+                    let z = ctx.read(&parts.z, i);
+                    let q = ctx.read(&parts.q, i);
+                    let (xi, wx) = host::cic_axis(x, p.nx);
+                    let (yi, wy) = host::cic_axis(y, p.ny);
+                    let l0 = z.floor() as usize - z0;
+                    let fz = z - z.floor();
+                    let wz = [1.0 - fz, fz];
+                    ctx.flops(flops::DEPOSIT_PER_PARTICLE);
+                    for (dz, wz) in wz.iter().enumerate() {
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let g = xi[dx] + p.nx * yi[dy] + plane * (l0 + dz);
+                                let w = q * wx[dx] * wy[dy] * wz;
+                                ctx.update(rho, g, |r| r + w);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    fn exchange_rho_ghosts(&mut self, pvm: &mut Pvm) {
+        let plane = self.plane();
+        let bytes = plane * 8;
+        if self.ntasks > 1 {
+            for t in 0..self.ntasks {
+                pvm.pack(t, bytes);
+                pvm.send(t, (t + 1) % self.ntasks, bytes, TAG_RHO_GHOST);
+            }
+        }
+        for t in 0..self.ntasks {
+            let prev = (t + self.ntasks - 1) % self.ntasks;
+            if self.ntasks > 1 {
+                pvm.recv(t, Some(prev), Some(TAG_RHO_GHOST))
+                    .expect("rho ghost lost");
+                pvm.unpack(t, bytes);
+            }
+            // Add the neighbour's top ghost into our plane 0.
+            let ghost: Vec<f64> =
+                self.rho[prev].host()[self.pz * plane..(self.pz + 1) * plane].to_vec();
+            let rho = &mut self.rho[t];
+            pvm.compute(t, |ctx| {
+                for (i, g) in ghost.iter().enumerate() {
+                    ctx.update(rho, i, |r| r + g);
+                    ctx.flops(1);
+                }
+            });
+        }
+    }
+
+    fn load_work(&mut self, pvm: &mut Pvm) {
+        let plane = self.plane();
+        let n = plane * self.pz;
+        let mean = self.mean_rho;
+        for t in 0..self.ntasks {
+            let rho = &self.rho[t];
+            let work = &mut self.work[t];
+            pvm.compute(t, |ctx| {
+                for i in 0..n {
+                    let r = ctx.read(rho, i);
+                    ctx.write(work, i, Complex::real(r - mean));
+                    ctx.flops(1);
+                }
+            });
+        }
+    }
+
+    fn fft_xy(&mut self, pvm: &mut Pvm, inverse: bool) {
+        let p = self.problem.clone();
+        for t in 0..self.ntasks {
+            let work = &mut self.work[t];
+            let pz = self.pz;
+            pvm.compute(t, |ctx| {
+                for l in 0..pz {
+                    for y in 0..p.ny {
+                        sim_fft_pencil(
+                            ctx,
+                            work,
+                            Pencil {
+                                offset: p.nx * (y + p.ny * l),
+                                stride: 1,
+                                n: p.nx,
+                            },
+                            inverse,
+                        );
+                    }
+                    for x in 0..p.nx {
+                        sim_fft_pencil(
+                            ctx,
+                            work,
+                            Pencil {
+                                offset: x + p.nx * p.ny * l,
+                                stride: p.nx,
+                                n: p.ny,
+                            },
+                            inverse,
+                        );
+                    }
+                }
+            });
+        }
+    }
+
+    /// Redistribute between z-slabs (`work`) and y-row pencil sets
+    /// (`rows`). `forward`: work -> rows; else rows -> work.
+    fn transpose(&mut self, pvm: &mut Pvm, forward: bool) {
+        let p = self.problem.clone();
+        let (pz, nyt) = (self.pz, self.nyt);
+        let block_bytes = p.nx * nyt * pz * 16;
+        let tag = if forward { TAG_T_FWD } else { TAG_T_BWD };
+        // Send phase: every task packs one block per peer.
+        for t in 0..self.ntasks {
+            for j in 0..self.ntasks {
+                if j != t {
+                    pvm.pack(t, block_bytes);
+                    pvm.send(t, j, block_bytes, tag);
+                }
+            }
+        }
+        // Receive phase + data movement (the local block is a priced
+        // in-memory copy; remote blocks pay unpack).
+        for t in 0..self.ntasks {
+            for j in 0..self.ntasks {
+                if j != t {
+                    pvm.recv(t, Some(j), Some(tag)).expect("transpose block lost");
+                    pvm.unpack(t, block_bytes);
+                }
+                // Move the (j -> t) block on the host side.
+                // forward:  rows[t][(x, yr, zg)] = work[j][(x, yg, zl)]
+                //   where zg = j*pz + zl (sender's planes),
+                //         yg = t*nyt + yr (receiver's rows);
+                // backward: work[t][(x, yg, zl)] = rows[j][(x, yr, zg)]
+                //   where zg = t*pz + zl (receiver's planes),
+                //         yg = j*nyt + yr (sender's rows).
+                for zl in 0..pz {
+                    for yr in 0..nyt {
+                        for x in 0..p.nx {
+                            if forward {
+                                let zg = j * pz + zl;
+                                let yg = t * nyt + yr;
+                                let v = self.work[j].host()[x + p.nx * (yg + p.ny * zl)];
+                                self.rows[t].host_mut()[x + p.nx * (yr + nyt * zg)] = v;
+                            } else {
+                                let zg = t * pz + zl;
+                                let yg = j * nyt + yr;
+                                let v = self.rows[j].host()[x + p.nx * (yr + nyt * zg)];
+                                self.work[t].host_mut()[x + p.nx * (yg + p.ny * zl)] = v;
+                            }
+                        }
+                    }
+                }
+            }
+            // Price the local (t -> t) block copy (streaming,
+            // ~2 complex elements per cycle).
+            let n_local = p.nx * nyt * pz;
+            pvm.compute(t, |ctx| {
+                ctx.cycles((n_local as u64 / 2).max(1));
+            });
+        }
+    }
+
+    fn fft_z(&mut self, pvm: &mut Pvm, inverse: bool) {
+        let p = self.problem.clone();
+        let nyt = self.nyt;
+        for t in 0..self.ntasks {
+            let rows = &mut self.rows[t];
+            pvm.compute(t, |ctx| {
+                for yr in 0..nyt {
+                    for x in 0..p.nx {
+                        sim_fft_pencil(
+                            ctx,
+                            rows,
+                            Pencil {
+                                offset: x + p.nx * yr,
+                                stride: p.nx * nyt,
+                                n: p.nz,
+                            },
+                            inverse,
+                        );
+                    }
+                }
+            });
+        }
+    }
+
+    fn kscale(&mut self, pvm: &mut Pvm) {
+        let p = self.problem.clone();
+        let nyt = self.nyt;
+        for t in 0..self.ntasks {
+            let rows = &mut self.rows[t];
+            pvm.compute(t, |ctx| {
+                for z in 0..p.nz {
+                    for yr in 0..nyt {
+                        let ky = t * nyt + yr;
+                        for x in 0..p.nx {
+                            let i = x + p.nx * (yr + nyt * z);
+                            let k2 = host::ksqr_axis(x, p.nx)
+                                + host::ksqr_axis(ky, p.ny)
+                                + host::ksqr_axis(z, p.nz);
+                            let v = ctx.read(rows, i);
+                            let out = if k2 == 0.0 {
+                                Complex::ZERO
+                            } else {
+                                v.scale(1.0 / k2)
+                            };
+                            ctx.write(rows, i, out);
+                            ctx.flops(flops::KSCALE_PER_POINT);
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    fn extract_phi(&mut self, pvm: &mut Pvm) {
+        let plane = self.plane();
+        let pz = self.pz;
+        for t in 0..self.ntasks {
+            let work = &self.work[t];
+            let phi = &mut self.phi[t];
+            pvm.compute(t, |ctx| {
+                for l in 0..pz {
+                    for i in 0..plane {
+                        let v = ctx.read(work, i + plane * l);
+                        ctx.write(phi, i + plane * (l + 1), v.re);
+                    }
+                }
+            });
+        }
+    }
+
+    fn exchange_phi_ghosts(&mut self, pvm: &mut Pvm) {
+        let plane = self.plane();
+        let bytes = plane * 8;
+        let pz = self.pz;
+        if self.ntasks > 1 {
+            for t in 0..self.ntasks {
+                pvm.pack(t, 2 * bytes);
+                pvm.send(t, (t + self.ntasks - 1) % self.ntasks, bytes, TAG_PHI_DOWN);
+                pvm.send(t, (t + 1) % self.ntasks, bytes, TAG_PHI_UP);
+            }
+        }
+        for t in 0..self.ntasks {
+            let next = (t + 1) % self.ntasks;
+            let prev = (t + self.ntasks - 1) % self.ntasks;
+            if self.ntasks > 1 {
+                pvm.recv(t, Some(next), Some(TAG_PHI_DOWN)).expect("phi ghost");
+                pvm.recv(t, Some(prev), Some(TAG_PHI_UP)).expect("phi ghost");
+                pvm.unpack(t, 2 * bytes);
+            }
+            // Top ghost (plane pz+1) = next task's first own plane;
+            // bottom ghost (plane 0) = prev task's last own plane.
+            for i in 0..plane {
+                let top = self.phi[next].host()[i + plane];
+                let bot = self.phi[prev].host()[i + plane * pz];
+                let ph = self.phi[t].host_mut();
+                ph[i + plane * (pz + 1)] = top;
+                ph[i] = bot;
+            }
+        }
+    }
+
+    fn gradient(&mut self, pvm: &mut Pvm) {
+        let p = self.problem.clone();
+        let plane = self.plane();
+        let pz = self.pz;
+        for t in 0..self.ntasks {
+            let phi = &self.phi[t];
+            let (ex, ey, ez) = (&mut self.ex[t], &mut self.ey[t], &mut self.ez[t]);
+            pvm.compute(t, |ctx| {
+                for l in 0..pz {
+                    for y in 0..p.ny {
+                        let (ym, yp) = ((y + p.ny - 1) % p.ny, (y + 1) % p.ny);
+                        for x in 0..p.nx {
+                            let (xm, xp) = ((x + p.nx - 1) % p.nx, (x + 1) % p.nx);
+                            let at = |xx: usize, yy: usize, ll: usize| xx + p.nx * yy + plane * ll;
+                            let i = at(x, y, l);
+                            // phi plane offset: own plane l is l+1.
+                            let gx = ctx.read(phi, at(xp, y, l + 1)) - ctx.read(phi, at(xm, y, l + 1));
+                            let gy = ctx.read(phi, at(x, yp, l + 1)) - ctx.read(phi, at(x, ym, l + 1));
+                            let gz = ctx.read(phi, at(x, y, l + 2)) - ctx.read(phi, at(x, y, l));
+                            ctx.write(ex, i, -0.5 * gx);
+                            ctx.write(ey, i, -0.5 * gy);
+                            ctx.write(ez, i, -0.5 * gz);
+                            ctx.flops(flops::GRADIENT_PER_POINT);
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    fn exchange_e_ghosts(&mut self, pvm: &mut Pvm) {
+        let plane = self.plane();
+        let bytes = 3 * plane * 8;
+        let pz = self.pz;
+        if self.ntasks > 1 {
+            for t in 0..self.ntasks {
+                pvm.pack(t, bytes);
+                pvm.send(t, (t + self.ntasks - 1) % self.ntasks, bytes, TAG_E_GHOST);
+            }
+        }
+        for t in 0..self.ntasks {
+            let next = (t + 1) % self.ntasks;
+            if self.ntasks > 1 {
+                pvm.recv(t, Some(next), Some(TAG_E_GHOST)).expect("E ghost");
+                pvm.unpack(t, bytes);
+            }
+            // Our top ghost plane (pz) = next task's plane 0.
+            for i in 0..plane {
+                let gx = self.ex[next].host()[i];
+                let gy = self.ey[next].host()[i];
+                let gz = self.ez[next].host()[i];
+                self.ex[t].host_mut()[i + plane * pz] = gx;
+                self.ey[t].host_mut()[i + plane * pz] = gy;
+                self.ez[t].host_mut()[i + plane * pz] = gz;
+            }
+        }
+    }
+
+    fn gather_push(&mut self, pvm: &mut Pvm) {
+        let p = self.problem.clone();
+        let plane = self.plane();
+        let pz = self.pz;
+        let dt = p.dt;
+        for t in 0..self.ntasks {
+            let parts = &mut self.parts[t];
+            let (ex, ey, ez) = (&self.ex[t], &self.ey[t], &self.ez[t]);
+            let live = parts.live;
+            let z0 = t * pz;
+            pvm.compute(t, |ctx| {
+                for i in 0..live {
+                    let x = ctx.read(&parts.x, i);
+                    let y = ctx.read(&parts.y, i);
+                    let z = ctx.read(&parts.z, i);
+                    let (xi, wx) = host::cic_axis(x, p.nx);
+                    let (yi, wy) = host::cic_axis(y, p.ny);
+                    let l0 = z.floor() as usize - z0;
+                    let fz = z - z.floor();
+                    let wz = [1.0 - fz, fz];
+                    let (mut fx, mut fy, mut fzv) = (0.0, 0.0, 0.0);
+                    for (dz, wz) in wz.iter().enumerate() {
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let w = wx[dx] * wy[dy] * wz;
+                                let g = xi[dx] + p.nx * yi[dy] + plane * (l0 + dz);
+                                fx += w * ctx.read(ex, g);
+                                fy += w * ctx.read(ey, g);
+                                fzv += w * ctx.read(ez, g);
+                            }
+                        }
+                    }
+                    ctx.flops(flops::PUSH_PER_PARTICLE);
+                    let qm = -1.0;
+                    let vx = ctx.read(&parts.vx, i) + qm * fx * dt;
+                    let vy = ctx.read(&parts.vy, i) + qm * fy * dt;
+                    let vz = ctx.read(&parts.vz, i) + qm * fzv * dt;
+                    ctx.write(&mut parts.vx, i, vx);
+                    ctx.write(&mut parts.vy, i, vy);
+                    ctx.write(&mut parts.vz, i, vz);
+                    ctx.write(&mut parts.x, i, host::wrap(x + vx * dt, p.nx as f64));
+                    ctx.write(&mut parts.y, i, host::wrap(y + vy * dt, p.ny as f64));
+                    ctx.write(&mut parts.z, i, host::wrap(z + vz * dt, p.nz as f64));
+                }
+            });
+        }
+    }
+
+    fn migrate(&mut self, pvm: &mut Pvm) {
+        let pz = self.pz;
+        // Collect outgoing records per (src, dst).
+        let mut outgoing: Vec<Vec<Vec<Record>>> =
+            vec![vec![Vec::new(); self.ntasks]; self.ntasks];
+        for t in 0..self.ntasks {
+            let parts = &mut self.parts[t];
+            let mut i = 0;
+            while i < parts.live {
+                let dest = (parts.z.host()[i].floor() as usize) / pz;
+                if dest != t {
+                    outgoing[t][dest].push(extract(parts, i));
+                    remove_swap(parts, i);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        // Send phase.
+        for t in 0..self.ntasks {
+            for (dest, recs) in outgoing[t].iter().enumerate() {
+                if !recs.is_empty() {
+                    let bytes = recs.len() * RECORD_BYTES;
+                    pvm.pack(t, bytes);
+                    pvm.send(t, dest, bytes, TAG_MIGRATE);
+                }
+            }
+        }
+        // Receive phase: drain all migration messages addressed to us.
+        for t in 0..self.ntasks {
+            while let Some(m) = pvm.recv(t, None, Some(TAG_MIGRATE)) {
+                pvm.unpack(t, m.bytes);
+                for r in outgoing[m.from][t].drain(..) {
+                    append(&mut self.parts[t], r);
+                }
+            }
+        }
+    }
+}
+
+fn home_fu(pvm: &Pvm, t: usize) -> FuId {
+    let cpu = pvm.task_cpu(t);
+    pvm.machine.config().fu_of_cpu(cpu)
+}
+
+fn extract(p: &TaskParticles, i: usize) -> Record {
+    Record {
+        x: p.x.host()[i],
+        y: p.y.host()[i],
+        z: p.z.host()[i],
+        vx: p.vx.host()[i],
+        vy: p.vy.host()[i],
+        vz: p.vz.host()[i],
+        q: p.q.host()[i],
+    }
+}
+
+fn remove_swap(p: &mut TaskParticles, i: usize) {
+    let last = p.live - 1;
+    for arr in [
+        &mut p.x, &mut p.y, &mut p.z, &mut p.vx, &mut p.vy, &mut p.vz, &mut p.q,
+    ] {
+        let h = arr.host_mut();
+        h[i] = h[last];
+    }
+    p.live = last;
+}
+
+fn append(p: &mut TaskParticles, r: Record) {
+    assert!(
+        p.live < p.x.len(),
+        "slab particle capacity exceeded during migration"
+    );
+    let i = p.live;
+    p.x.host_mut()[i] = r.x;
+    p.y.host_mut()[i] = r.y;
+    p.z.host_mut()[i] = r.z;
+    p.vx.host_mut()[i] = r.vx;
+    p.vy.host_mut()[i] = r.vy;
+    p.vz.host_mut()[i] = r.vz;
+    p.q.host_mut()[i] = r.q;
+    p.live = i + 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_core::CpuId;
+
+    fn session(tasks: usize) -> (Pvm, SlabPvmPic) {
+        let cpus: Vec<CpuId> = (0..tasks as u16).map(CpuId).collect();
+        let mut pvm = Pvm::spp1000(2, &cpus);
+        let pic = SlabPvmPic::new(&mut pvm, PicProblem::tiny());
+        (pvm, pic)
+    }
+
+    #[test]
+    fn particles_are_fully_distributed() {
+        let (_, pic) = session(4);
+        assert_eq!(pic.num_particles(), PicProblem::tiny().num_particles());
+        for t in 0..4 {
+            assert!(pic.task_particles(t) > 0, "slab {t} empty");
+        }
+    }
+
+    #[test]
+    fn particle_count_is_conserved_across_steps() {
+        let (mut pvm, mut pic) = session(4);
+        let n0 = pic.num_particles();
+        for _ in 0..3 {
+            pic.step(&mut pvm);
+        }
+        assert_eq!(pic.num_particles(), n0);
+        // Every particle sits in the right slab after migration.
+        let pz = PicProblem::tiny().nz / 4;
+        for t in 0..4 {
+            for i in 0..pic.task_particles(t) {
+                let z = pic.parts[t].z.host()[i];
+                assert_eq!((z.floor() as usize) / pz, t, "stray particle in slab {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn physics_matches_host_reference() {
+        use crate::host::{step as host_step, Fields};
+        use crate::problem::load_particles;
+
+        let p = PicProblem::tiny();
+        let (mut pvm, mut pic) = session(2);
+        let mut parts = load_particles(&p);
+        let mut f = Fields::new(&p);
+        pic.step(&mut pvm);
+        host_step(&p, &mut parts, &mut f);
+        // Compare slab-sorted kinetic energy (ordering differs).
+        let host_ke = parts.kinetic_energy();
+        let mut sim_ke = 0.0;
+        for t in 0..2 {
+            let tp = &pic.parts[t];
+            for i in 0..tp.live {
+                let q = tp.q.host()[i].abs();
+                sim_ke += 0.5
+                    * q
+                    * (tp.vx.host()[i].powi(2) + tp.vy.host()[i].powi(2) + tp.vz.host()[i].powi(2));
+            }
+        }
+        let rel = (sim_ke - host_ke).abs() / host_ke;
+        assert!(rel < 1e-9, "KE mismatch: {sim_ke} vs {host_ke} (rel {rel})");
+    }
+
+    #[test]
+    fn slab_decomposition_beats_replicated_grid() {
+        // The ablation claim: the modern slab decomposition removes
+        // the whole-grid all-reduce and the redundant solve that make
+        // the 1995-style replicated-grid port ~2x slower.
+        use crate::pvm::PvmPic;
+
+        let p = PicProblem::tiny();
+        let (mut pvm_s, mut slab) = session(8);
+        let rslab = slab.run(&mut pvm_s, 1);
+
+        let cpus: Vec<CpuId> = (0..8u16).map(CpuId).collect();
+        let mut pvm_r = Pvm::spp1000(2, &cpus);
+        let mut rep = PvmPic::new(&mut pvm_r, p);
+        let rrep = rep.run(&mut pvm_r, 1);
+        assert!(
+            rslab.elapsed < rrep.elapsed,
+            "slab {} vs replicated {}",
+            rslab.elapsed,
+            rrep.elapsed
+        );
+    }
+
+    #[test]
+    fn flops_comparable_to_shared_version() {
+        use crate::shared::SharedPic;
+        use spp_runtime::{Placement, Runtime, Team};
+
+        let (mut pvm, mut pic) = session(2);
+        let rpvm = pic.run(&mut pvm, 1);
+        let mut rt = Runtime::spp1000(1);
+        let team = Team::place(rt.machine.config(), 2, &Placement::HighLocality);
+        let mut sh = SharedPic::new(&mut rt, PicProblem::tiny(), &team);
+        let rsh = sh.run(&mut rt, &team, 1);
+        // PVM does the same physics plus ghost adds; within 10%.
+        let ratio = rpvm.flops as f64 / rsh.flops as f64;
+        assert!((0.95..=1.15).contains(&ratio), "flops ratio = {ratio}");
+    }
+}

@@ -1,0 +1,509 @@
+//! Shared-memory (CPSlib-style) parallel PIC on the simulated
+//! SPP-1000: the paper's preferred implementation, which "consistently
+//! outperforms the pvm version" (§5.1.1).
+//!
+//! Particles and grids live in far-shared memory; each timestep is a
+//! sequence of parallel regions (zero, scatter, FFT pencils per axis,
+//! k-space scale, gradient, gather+push), exactly the structure a
+//! directive-parallelized Fortran code produces.
+
+use crate::host::{self, flops};
+use crate::problem::{load_particles, PicProblem};
+use spp_core::{Cycles, SimArray};
+use spp_kernels::{sim_fft_pencil, Complex, Pencil};
+use spp_runtime::{Runtime, Team};
+
+/// PIC state in simulated shared memory.
+pub struct SharedPic {
+    /// The problem parameters.
+    pub problem: PicProblem,
+    // Particle record: 11 words (3 pos, 3 vel, weight, 3 field, aux).
+    px: SimArray<f64>,
+    py: SimArray<f64>,
+    pz: SimArray<f64>,
+    pvx: SimArray<f64>,
+    pvy: SimArray<f64>,
+    pvz: SimArray<f64>,
+    pq: SimArray<f64>,
+    pex: SimArray<f64>,
+    pey: SimArray<f64>,
+    pez: SimArray<f64>,
+    rho: SimArray<f64>,
+    work: SimArray<Complex>,
+    phi: SimArray<f64>,
+    ex: SimArray<f64>,
+    ey: SimArray<f64>,
+    ez: SimArray<f64>,
+    mean_rho: f64,
+}
+
+/// Timing/flops of one simulated timestep.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepReport {
+    /// Elapsed simulated cycles (sum over the step's parallel regions).
+    pub elapsed: Cycles,
+    /// FLOPs executed.
+    pub flops: u64,
+}
+
+/// Cumulative result of a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunReport {
+    /// Elapsed simulated cycles.
+    pub elapsed: Cycles,
+    /// Total FLOPs.
+    pub flops: u64,
+    /// Steps executed.
+    pub steps: usize,
+}
+
+impl RunReport {
+    /// Sustained Mflop/s.
+    pub fn mflops(&self) -> f64 {
+        if self.elapsed == 0 {
+            0.0
+        } else {
+            self.flops as f64 / (self.elapsed as f64 * 1e-8) / 1e6
+        }
+    }
+
+    /// Elapsed simulated seconds.
+    pub fn seconds(&self) -> f64 {
+        self.elapsed as f64 * 1e-8
+    }
+
+    /// Projected time for `n` steps (per-step rate times `n`).
+    pub fn projected_seconds(&self, n: usize) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.seconds() * n as f64 / self.steps as f64
+        }
+    }
+}
+
+impl SharedPic {
+    /// Load the beam–plasma problem into simulated shared memory with
+    /// locality-aware placement for `team`: near-shared on one
+    /// hypernode when the team fits there, block-shared with one block
+    /// per hypernode otherwise (see [`Team::shared_class`]).
+    pub fn new(rt: &mut Runtime, problem: PicProblem, team: &Team) -> Self {
+        let parts = load_particles(&problem);
+        let m = &mut rt.machine;
+        let cells = problem.cells();
+        let n = parts.x.len();
+        let pc = team.shared_class(m.config(), n as u64 * 8);
+        let gc = team.shared_class(m.config(), cells as u64 * 8);
+        let wc = team.shared_class(m.config(), cells as u64 * 16);
+        let mean_rho = parts.total_charge() / cells as f64;
+        SharedPic {
+            px: SimArray::new(m, pc, parts.x),
+            py: SimArray::new(m, pc, parts.y),
+            pz: SimArray::new(m, pc, parts.z),
+            pvx: SimArray::new(m, pc, parts.vx),
+            pvy: SimArray::new(m, pc, parts.vy),
+            pvz: SimArray::new(m, pc, parts.vz),
+            pq: SimArray::new(m, pc, parts.q),
+            pex: SimArray::new(m, pc, parts.ex),
+            pey: SimArray::new(m, pc, parts.ey),
+            pez: SimArray::new(m, pc, parts.ez),
+            rho: SimArray::from_elem(m, gc, cells, 0.0),
+            work: SimArray::from_elem(m, wc, cells, Complex::ZERO),
+            phi: SimArray::from_elem(m, gc, cells, 0.0),
+            ex: SimArray::from_elem(m, gc, cells, 0.0),
+            ey: SimArray::from_elem(m, gc, cells, 0.0),
+            ez: SimArray::from_elem(m, gc, cells, 0.0),
+            mean_rho,
+            problem,
+        }
+    }
+
+    /// Number of particles.
+    pub fn num_particles(&self) -> usize {
+        self.px.len()
+    }
+
+    /// One timestep across `team`. Returns the step's timing.
+    pub fn step(&mut self, rt: &mut Runtime, team: &Team) -> StepReport {
+        self.step_profiled(rt, team, None)
+    }
+
+    /// One timestep, optionally recording each phase in a CXpa-style
+    /// [`spp_runtime::Profile`] (see §6 of the paper on the value of
+    /// exactly this instrumentation).
+    pub fn step_profiled(
+        &mut self,
+        rt: &mut Runtime,
+        team: &Team,
+        mut prof: Option<&mut spp_runtime::Profile>,
+    ) -> StepReport {
+        let mut rep = StepReport::default();
+        let p = self.problem.clone();
+        let cells = p.cells();
+        let npart = self.num_particles();
+
+        // Phase 1: zero the charge grid.
+        let rho = &mut self.rho;
+        let r = rt.team_fork_join(team, |ctx| {
+            for i in ctx.chunk(cells) {
+                ctx.write(rho, i, 0.0);
+            }
+        });
+        rep.track(&mut prof, "zero_rho", r);
+
+        // Phase 2: CIC charge scatter.
+        let (px, py, pz, pq) = (&self.px, &self.py, &self.pz, &self.pq);
+        let rho = &mut self.rho;
+        let r = rt.team_fork_join(team, |ctx| {
+            for i in ctx.chunk(npart) {
+                let x = ctx.read(px, i);
+                let y = ctx.read(py, i);
+                let z = ctx.read(pz, i);
+                let q = ctx.read(pq, i);
+                let (xi, wx) = host::cic_axis(x, p.nx);
+                let (yi, wy) = host::cic_axis(y, p.ny);
+                let (zi, wz) = host::cic_axis(z, p.nz);
+                ctx.flops(flops::DEPOSIT_PER_PARTICLE);
+                for dz in 0..2 {
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let g = host::idx(&p, xi[dx], yi[dy], zi[dz]);
+                            let w = q * wx[dx] * wy[dy] * wz[dz];
+                            ctx.update(rho, g, |r| r + w);
+                        }
+                    }
+                }
+            }
+        });
+        rep.track(&mut prof, "deposit", r);
+
+        // Phase 3: rho -> complex work array, background subtracted.
+        let (rho, work, mean) = (&self.rho, &mut self.work, self.mean_rho);
+        let r = rt.team_fork_join(team, |ctx| {
+            for i in ctx.chunk(cells) {
+                let r = ctx.read(rho, i);
+                ctx.write(work, i, Complex::real(r - mean));
+                ctx.flops(1);
+            }
+        });
+        rep.track(&mut prof, "load_work", r);
+
+        // Phases 4-6: forward FFT along x, y, z pencils.
+        self.fft_axes(rt, team, &mut rep, false, &mut prof);
+
+        // Phase 7: k-space scale (solve the algebraic equation).
+        let work = &mut self.work;
+        let r = rt.team_fork_join(team, |ctx| {
+            for i in ctx.chunk(cells) {
+                let kx = i % p.nx;
+                let ky = (i / p.nx) % p.ny;
+                let kz = i / (p.nx * p.ny);
+                let k2 = host::ksqr_axis(kx, p.nx)
+                    + host::ksqr_axis(ky, p.ny)
+                    + host::ksqr_axis(kz, p.nz);
+                let v = ctx.read(work, i);
+                let out = if k2 == 0.0 {
+                    Complex::ZERO
+                } else {
+                    v.scale(1.0 / k2)
+                };
+                ctx.write(work, i, out);
+                ctx.flops(flops::KSCALE_PER_POINT);
+            }
+        });
+        rep.track(&mut prof, "kscale", r);
+
+        // Phases 8-10: inverse FFT.
+        self.fft_axes(rt, team, &mut rep, true, &mut prof);
+
+        // Phase 11: extract the potential.
+        let (work, phi) = (&self.work, &mut self.phi);
+        let r = rt.team_fork_join(team, |ctx| {
+            for i in ctx.chunk(cells) {
+                let v = ctx.read(work, i);
+                ctx.write(phi, i, v.re);
+            }
+        });
+        rep.track(&mut prof, "extract_phi", r);
+
+        // Phase 12: E = -grad(phi).
+        let (phi, ex, ey, ez) = (&self.phi, &mut self.ex, &mut self.ey, &mut self.ez);
+        let r = rt.team_fork_join(team, |ctx| {
+            for i in ctx.chunk(cells) {
+                let x = i % p.nx;
+                let y = (i / p.nx) % p.ny;
+                let z = i / (p.nx * p.ny);
+                let (xm, xp) = ((x + p.nx - 1) % p.nx, (x + 1) % p.nx);
+                let (ym, yp) = ((y + p.ny - 1) % p.ny, (y + 1) % p.ny);
+                let (zm, zp) = ((z + p.nz - 1) % p.nz, (z + 1) % p.nz);
+                let gx = ctx.read(phi, host::idx(&p, xp, y, z))
+                    - ctx.read(phi, host::idx(&p, xm, y, z));
+                let gy = ctx.read(phi, host::idx(&p, x, yp, z))
+                    - ctx.read(phi, host::idx(&p, x, ym, z));
+                let gz = ctx.read(phi, host::idx(&p, x, y, zp))
+                    - ctx.read(phi, host::idx(&p, x, y, zm));
+                ctx.write(ex, i, -0.5 * gx);
+                ctx.write(ey, i, -0.5 * gy);
+                ctx.write(ez, i, -0.5 * gz);
+                ctx.flops(flops::GRADIENT_PER_POINT);
+            }
+        });
+        rep.track(&mut prof, "gradient", r);
+
+        // Phase 13: gather E and push particles.
+        let (px, py, pz) = (&mut self.px, &mut self.py, &mut self.pz);
+        let (pvx, pvy, pvz) = (&mut self.pvx, &mut self.pvy, &mut self.pvz);
+        let (pex, pey, pez) = (&mut self.pex, &mut self.pey, &mut self.pez);
+        let (ex, ey, ez) = (&self.ex, &self.ey, &self.ez);
+        let dt = p.dt;
+        let r = rt.team_fork_join(team, |ctx| {
+            for i in ctx.chunk(npart) {
+                let x = ctx.read(px, i);
+                let y = ctx.read(py, i);
+                let z = ctx.read(pz, i);
+                let (xi, wx) = host::cic_axis(x, p.nx);
+                let (yi, wy) = host::cic_axis(y, p.ny);
+                let (zi, wz) = host::cic_axis(z, p.nz);
+                let (mut fx, mut fy, mut fz) = (0.0, 0.0, 0.0);
+                for dz in 0..2 {
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let w = wx[dx] * wy[dy] * wz[dz];
+                            let g = host::idx(&p, xi[dx], yi[dy], zi[dz]);
+                            fx += w * ctx.read(ex, g);
+                            fy += w * ctx.read(ey, g);
+                            fz += w * ctx.read(ez, g);
+                        }
+                    }
+                }
+                ctx.flops(flops::PUSH_PER_PARTICLE);
+                ctx.write(pex, i, fx);
+                ctx.write(pey, i, fy);
+                ctx.write(pez, i, fz);
+                let qm = -1.0;
+                let vx = ctx.read(pvx, i) + qm * fx * dt;
+                let vy = ctx.read(pvy, i) + qm * fy * dt;
+                let vz = ctx.read(pvz, i) + qm * fz * dt;
+                ctx.write(pvx, i, vx);
+                ctx.write(pvy, i, vy);
+                ctx.write(pvz, i, vz);
+                ctx.write(px, i, host::wrap(x + vx * dt, p.nx as f64));
+                ctx.write(py, i, host::wrap(y + vy * dt, p.ny as f64));
+                ctx.write(pz, i, host::wrap(z + vz * dt, p.nz as f64));
+            }
+        });
+        rep.track(&mut prof, "gather_push", r);
+
+        rep
+    }
+
+    /// Run FFTs along all three axes (forward or inverse), one
+    /// parallel region per axis, pencils statically divided across the
+    /// team.
+    fn fft_axes(
+        &mut self,
+        rt: &mut Runtime,
+        team: &Team,
+        rep: &mut StepReport,
+        inverse: bool,
+        prof: &mut Option<&mut spp_runtime::Profile>,
+    ) {
+        let p = self.problem.clone();
+        let work = &mut self.work;
+        // x pencils: one per (y, z).
+        let n_pencils = p.ny * p.nz;
+        let r = rt.team_fork_join(team, |ctx| {
+            for pen in ctx.chunk(n_pencils) {
+                sim_fft_pencil(
+                    ctx,
+                    work,
+                    Pencil {
+                        offset: pen * p.nx,
+                        stride: 1,
+                        n: p.nx,
+                    },
+                    inverse,
+                );
+            }
+        });
+        rep.track(prof, "fft_x", r);
+        // y pencils: one per (x, z).
+        let n_pencils = p.nx * p.nz;
+        let r = rt.team_fork_join(team, |ctx| {
+            for pen in ctx.chunk(n_pencils) {
+                let x = pen % p.nx;
+                let z = pen / p.nx;
+                sim_fft_pencil(
+                    ctx,
+                    work,
+                    Pencil {
+                        offset: x + p.nx * p.ny * z,
+                        stride: p.nx,
+                        n: p.ny,
+                    },
+                    inverse,
+                );
+            }
+        });
+        rep.track(prof, "fft_y", r);
+        // z pencils: one per (x, y).
+        let n_pencils = p.nx * p.ny;
+        let r = rt.team_fork_join(team, |ctx| {
+            for pen in ctx.chunk(n_pencils) {
+                sim_fft_pencil(
+                    ctx,
+                    work,
+                    Pencil {
+                        offset: pen,
+                        stride: p.nx * p.ny,
+                        n: p.nz,
+                    },
+                    inverse,
+                );
+            }
+        });
+        rep.track(prof, "fft_z", r);
+    }
+
+    /// Run `steps` timesteps, returning cumulative timing.
+    pub fn run(&mut self, rt: &mut Runtime, team: &Team, steps: usize) -> RunReport {
+        let mut out = RunReport {
+            steps,
+            ..Default::default()
+        };
+        for _ in 0..steps {
+            let s = self.step(rt, team);
+            out.elapsed += s.elapsed;
+            out.flops += s.flops;
+        }
+        out
+    }
+
+    /// Host view of the E-field grids (validation).
+    pub fn field_energy(&self) -> f64 {
+        (0..self.problem.cells())
+            .map(|i| {
+                0.5 * (self.ex.host()[i].powi(2)
+                    + self.ey.host()[i].powi(2)
+                    + self.ez.host()[i].powi(2))
+            })
+            .sum()
+    }
+
+    /// Host views of particle positions (validation).
+    pub fn positions(&self) -> (&[f64], &[f64], &[f64]) {
+        (self.px.host(), self.py.host(), self.pz.host())
+    }
+
+    /// Host views of particle velocities (validation).
+    pub fn velocities(&self) -> (&[f64], &[f64], &[f64]) {
+        (self.pvx.host(), self.pvy.host(), self.pvz.host())
+    }
+}
+
+impl StepReport {
+    fn add(&mut self, r: spp_runtime::RegionReport) {
+        self.elapsed += r.elapsed;
+        self.flops += r.flops;
+    }
+
+    fn track(
+        &mut self,
+        prof: &mut Option<&mut spp_runtime::Profile>,
+        name: &str,
+        r: spp_runtime::RegionReport,
+    ) {
+        if let Some(p) = prof.as_deref_mut() {
+            p.record(name, &r);
+        }
+        self.add(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{Fields, step as host_step};
+    use crate::problem::load_particles;
+    use spp_runtime::Placement;
+
+    fn tiny_sim(threads: usize) -> (Runtime, SharedPic, Team) {
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), threads, &Placement::HighLocality);
+        let pic = SharedPic::new(&mut rt, PicProblem::tiny(), &team);
+        (rt, pic, team)
+    }
+
+    #[test]
+    fn single_thread_matches_host_reference() {
+        let (mut rt, mut pic, team) = tiny_sim(1);
+        let p = PicProblem::tiny();
+        let mut parts = load_particles(&p);
+        let mut f = Fields::new(&p);
+        for _ in 0..2 {
+            pic.step(&mut rt, &team);
+            host_step(&p, &mut parts, &mut f);
+        }
+        let (x, _, _) = pic.positions();
+        for i in (0..parts.len()).step_by(97) {
+            assert!(
+                (x[i] - parts.x[i]).abs() < 1e-9,
+                "particle {i}: {} vs {}",
+                x[i],
+                parts.x[i]
+            );
+        }
+    }
+
+    #[test]
+    fn multi_thread_physics_close_to_host() {
+        let (mut rt, mut pic, team) = tiny_sim(8);
+        let p = PicProblem::tiny();
+        let mut parts = load_particles(&p);
+        let mut f = Fields::new(&p);
+        for _ in 0..2 {
+            pic.step(&mut rt, &team);
+            host_step(&p, &mut parts, &mut f);
+        }
+        // Scatter-add ordering differs across threads; results agree
+        // to rounding.
+        let (x, _, _) = pic.positions();
+        for i in (0..parts.len()).step_by(211) {
+            assert!(
+                (x[i] - parts.x[i]).abs() < 1e-6,
+                "particle {i}: {} vs {}",
+                x[i],
+                parts.x[i]
+            );
+        }
+    }
+
+    #[test]
+    fn more_threads_run_faster() {
+        let (mut rt1, mut pic1, team1) = tiny_sim(1);
+        let r1 = pic1.run(&mut rt1, &team1, 1);
+        let (mut rt8, mut pic8, team8) = tiny_sim(8);
+        let r8 = pic8.run(&mut rt8, &team8, 1);
+        let speedup = r1.elapsed as f64 / r8.elapsed as f64;
+        assert!(speedup > 2.0, "8-thread speedup = {speedup}");
+    }
+
+    #[test]
+    fn flops_independent_of_thread_count() {
+        let (mut rt1, mut pic1, team1) = tiny_sim(1);
+        let r1 = pic1.run(&mut rt1, &team1, 1);
+        let (mut rt4, mut pic4, team4) = tiny_sim(4);
+        let r4 = pic4.run(&mut rt4, &team4, 1);
+        assert_eq!(r1.flops, r4.flops);
+        assert!(r1.flops > 0);
+    }
+
+    #[test]
+    fn run_report_aggregates() {
+        let (mut rt, mut pic, team) = tiny_sim(2);
+        let r = pic.run(&mut rt, &team, 2);
+        assert_eq!(r.steps, 2);
+        assert!(r.mflops() > 0.0);
+        assert!(r.projected_seconds(500) > r.seconds());
+    }
+}

@@ -1,0 +1,70 @@
+//! Cray C90 baseline for PPM. Table 2 quotes no C90 figure, but §6
+//! anchors the discussion: "a single hypernode sustained performance
+//! approached that of a single head of a CRI C-90". PPM vectorizes
+//! beautifully (long strips, dense arithmetic), so the C90 model runs
+//! it at a few hundred Mflop/s — the 8-processor SPP's ~230 Mflop/s
+//! (Table 2) indeed approaches it.
+
+use crate::problem::PpmProblem;
+use c90_model::{LoopSpec, C90};
+
+/// Flops per zone per sweep (matches the literal counts of
+/// [`crate::ppm1d`]).
+const FLOPS_PER_ZONE_SWEEP: f64 = 240.0;
+
+/// Modelled C90 execution of PPM.
+#[derive(Debug, Clone, Copy)]
+pub struct C90PpmResult {
+    /// Seconds per timestep.
+    pub seconds_per_step: f64,
+    /// Sustained Mflop/s.
+    pub mflops: f64,
+}
+
+/// Price one timestep of problem `p` on a C90 head.
+pub fn run_c90(p: &PpmProblem) -> C90PpmResult {
+    let zones = p.zones() as u64;
+    let mut c = C90::new();
+    // Two sweeps per step; the dominant loops are dense vector
+    // operations over strips, with divide/sqrt handled by the C90's
+    // vector reciprocal units (folded into efficiency).
+    for _ in 0..2 {
+        c.vloop(
+            zones,
+            &LoopSpec {
+                flops: FLOPS_PER_ZONE_SWEEP,
+                contig_refs: 40.0,
+                gathers: 0.0,
+                scatters: 0.0,
+                efficiency: 0.4,
+            },
+        );
+    }
+    C90PpmResult {
+        seconds_per_step: c.seconds(),
+        mflops: c.mflops(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c90_ppm_rate_is_a_few_hundred_mflops() {
+        let r = run_c90(&PpmProblem::base());
+        assert!(
+            (300.0..=450.0).contains(&r.mflops),
+            "C90 PPM = {} Mflop/s",
+            r.mflops
+        );
+    }
+
+    #[test]
+    fn time_scales_with_grid() {
+        let a = run_c90(&PpmProblem::base());
+        let b = run_c90(&PpmProblem::big());
+        let ratio = b.seconds_per_step / a.seconds_per_step;
+        assert!((3.8..=4.2).contains(&ratio), "ratio = {ratio}");
+    }
+}

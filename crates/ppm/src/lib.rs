@@ -1,0 +1,28 @@
+//! # ppm — Piecewise-Parabolic Method 2-D gas dynamics (paper §5.4)
+//!
+//! A PROMETHEUS-style compressible Euler solver: PPM reconstruction
+//! (Colella & Woodward 1984), a two-shock approximate Riemann solver,
+//! directional splitting, and the paper's tile domain decomposition
+//! with four-deep ghost frames exchanged once per step. Reproduces
+//! Table 2: Mflop/s on the 120x480 grid with 4x16 and 12x48 tilings
+//! on 1-8 processors, plus 240x960 with 4x16 at 4.
+//!
+//! * [`euler`] — gamma-law state algebra + the Riemann solver;
+//! * [`ppm1d`] — the 1-D PPM sweep;
+//! * [`problem`] — Table 2 configurations and the blast workload;
+//! * [`host`] — unpriced full-grid reference;
+//! * [`shared`] — the tiled implementation on the simulated SPP-1000;
+//! * [`c90`] — the C90 reference rate for the §6 comparison.
+
+#![warn(missing_docs)]
+
+pub mod c90;
+pub mod euler;
+pub mod host;
+pub mod ppm1d;
+pub mod problem;
+pub mod shared;
+
+pub use euler::{Cons, Prim, GAMMA};
+pub use problem::PpmProblem;
+pub use shared::{RunReport, SharedPpm};

@@ -1,0 +1,122 @@
+//! Problem configurations for Table 2 and the blast-wave workload.
+//!
+//! PROMETHEUS at Goddard ran supernova-style problems; our stand-in is
+//! a pressurized circular blast in a periodic box — it exercises the
+//! same code path (strong shocks, contact discontinuities, both sweep
+//! directions) on the paper's exact grid and tile configurations.
+
+/// Static description of a PPM run.
+#[derive(Debug, Clone)]
+pub struct PpmProblem {
+    /// Grid zones in x.
+    pub nx: usize,
+    /// Grid zones in y.
+    pub ny: usize,
+    /// Tiles across x.
+    pub tiles_x: usize,
+    /// Tiles across y.
+    pub tiles_y: usize,
+    /// CFL safety factor.
+    pub cfl: f64,
+    /// Blast over-pressure ratio.
+    pub blast_pressure: f64,
+    /// Blast radius in zones.
+    pub blast_radius: f64,
+}
+
+impl PpmProblem {
+    /// A Table 2 configuration: grid `nx x ny` with `tx x ty` tiles.
+    pub fn table2(nx: usize, ny: usize, tx: usize, ty: usize) -> Self {
+        assert_eq!(nx % tx, 0, "tiles must divide the grid");
+        assert_eq!(ny % ty, 0, "tiles must divide the grid");
+        PpmProblem {
+            nx,
+            ny,
+            tiles_x: tx,
+            tiles_y: ty,
+            cfl: 0.4,
+            blast_pressure: 10.0,
+            blast_radius: (nx.min(ny) as f64) / 6.0,
+        }
+    }
+
+    /// The paper's base case: 120x480 grid, 4x16 tiles.
+    pub fn base() -> Self {
+        Self::table2(120, 480, 4, 16)
+    }
+
+    /// The fine-tile case: 120x480 grid, 12x48 tiles.
+    pub fn fine_tiles() -> Self {
+        Self::table2(120, 480, 12, 48)
+    }
+
+    /// The big-grid case: 240x960, 4x16 tiles.
+    pub fn big() -> Self {
+        Self::table2(240, 960, 4, 16)
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self::table2(24, 48, 2, 4)
+    }
+
+    /// Total zones.
+    pub fn zones(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Zones per tile (width, height).
+    pub fn tile_shape(&self) -> (usize, usize) {
+        (self.nx / self.tiles_x, self.ny / self.tiles_y)
+    }
+
+    /// Total tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.tiles_x * self.tiles_y
+    }
+
+    /// Initial primitive state at zone `(x, y)`: ambient gas with a
+    /// central over-pressurized disc.
+    pub fn initial(&self, x: usize, y: usize) -> crate::euler::Prim {
+        let dx = x as f64 + 0.5 - self.nx as f64 / 2.0;
+        let dy = y as f64 + 0.5 - self.ny as f64 / 2.0;
+        let inside = dx * dx + dy * dy < self.blast_radius * self.blast_radius;
+        crate::euler::Prim {
+            rho: 1.0,
+            u: 0.0,
+            v: 0.0,
+            p: if inside { self.blast_pressure } else { 1.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_configurations() {
+        assert_eq!(PpmProblem::base().tile_shape(), (30, 30));
+        assert_eq!(PpmProblem::base().num_tiles(), 64);
+        assert_eq!(PpmProblem::fine_tiles().tile_shape(), (10, 10));
+        assert_eq!(PpmProblem::fine_tiles().num_tiles(), 576);
+        assert_eq!(PpmProblem::big().tile_shape(), (60, 60));
+        assert_eq!(PpmProblem::big().zones(), 230_400);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn tiles_must_divide_grid() {
+        PpmProblem::table2(100, 100, 7, 4);
+    }
+
+    #[test]
+    fn blast_is_centered_and_hot() {
+        let p = PpmProblem::tiny();
+        let center = p.initial(p.nx / 2, p.ny / 2);
+        assert_eq!(center.p, p.blast_pressure);
+        let corner = p.initial(0, 0);
+        assert_eq!(corner.p, 1.0);
+        assert_eq!(corner.rho, 1.0);
+    }
+}

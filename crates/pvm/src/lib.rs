@@ -1,0 +1,614 @@
+//! # spp-pvm — ConvexPVM-style message passing on the simulated SPP-1000
+//!
+//! The paper's §3.1 describes the Convex PVM port: *one* daemon for
+//! the whole machine (not one per node), and a shared-memory message
+//! buffer space — "a sending process packs data into a shared memory
+//! buffer that the receiving process accesses after the send is
+//! complete", avoiding daemon interaction and extra copies. §4.3
+//! measures the result: round-trip times of ~30 µs within a hypernode
+//! and ~70 µs across the SCI interconnect for messages under 8 KB,
+//! with substantial page-granular growth beyond 8 KB (Figure 4).
+//!
+//! This crate models that layer: PVM tasks are simulated processes
+//! pinned to CPUs with their own clocks; sends deposit descriptors in
+//! per-task inboxes with arrival timestamps; pack/unpack are priced
+//! data copies through the machine's shared buffer space.
+//!
+//! ```
+//! use spp_pvm::Pvm;
+//! use spp_core::CpuId;
+//!
+//! let mut pvm = Pvm::spp1000(2, &[CpuId(0), CpuId(8)]);
+//! pvm.send(0, 1, 1024, 7);
+//! let msg = pvm.recv(1, Some(0), Some(7)).unwrap();
+//! assert_eq!(msg.bytes, 1024);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+use spp_core::{us_to_cycles, CpuId, Cycles, Machine, MemClass, NodeId, Region};
+use spp_runtime::RuntimeCostModel;
+
+/// Software-path cost constants for the PVM layer, in cycles.
+///
+/// Calibrated so that the Figure-4 round trip (which excludes message
+/// *building*, i.e. pack) is ~30 µs intra-hypernode and ~70 µs
+/// inter-hypernode below the 8 KB page threshold.
+#[derive(Debug, Clone)]
+pub struct PvmCostModel {
+    /// Sender-side software path of `pvm_send` (buffer descriptor
+    /// management, task lookup).
+    pub send_sw: Cycles,
+    /// Receiver-side software path of `pvm_recv`.
+    pub recv_sw: Cycles,
+    /// Delivering the message-ready notification within a hypernode.
+    pub notify_local: Cycles,
+    /// Extra notification cost when sender and receiver sit on
+    /// different hypernodes (SCI semaphore traffic + remote wakeup).
+    pub notify_remote_extra: Cycles,
+    /// Message size above which buffers span multiple pages and
+    /// per-page management kicks in.
+    pub page_threshold: usize,
+    /// Page size for buffer management.
+    pub page_bytes: usize,
+    /// Per extra page, same hypernode.
+    pub page_cost_local: Cycles,
+    /// Per extra page, across hypernodes.
+    pub page_cost_remote: Cycles,
+    /// Copy cost per 32-byte line for pack/unpack (streaming through
+    /// the cache into the shared buffer).
+    pub copy_per_line: Cycles,
+}
+
+impl PvmCostModel {
+    /// The calibrated SPP-1000 ConvexPVM model.
+    pub fn spp1000() -> Self {
+        PvmCostModel {
+            send_sw: us_to_cycles(8.0),
+            recv_sw: us_to_cycles(5.0),
+            notify_local: us_to_cycles(2.0),
+            notify_remote_extra: us_to_cycles(20.0),
+            page_threshold: 8192,
+            page_bytes: 4096,
+            page_cost_local: us_to_cycles(10.0),
+            page_cost_remote: us_to_cycles(25.0),
+            copy_per_line: 55,
+        }
+    }
+
+    /// One-way transfer cost of `bytes` between `from` and `to`
+    /// hypernodes (descriptor + notification + page management; *not*
+    /// pack/unpack).
+    pub fn one_way(&self, bytes: usize, same_node: bool) -> Cycles {
+        let mut c = self.send_sw + self.notify_local;
+        if !same_node {
+            c += self.notify_remote_extra;
+        }
+        if bytes > self.page_threshold {
+            let extra_pages =
+                (bytes - self.page_threshold).div_ceil(self.page_bytes) as u64;
+            c += extra_pages
+                * if same_node {
+                    self.page_cost_local
+                } else {
+                    self.page_cost_remote
+                };
+        }
+        c
+    }
+
+    /// Pack or unpack cost for `bytes` (one full copy through the
+    /// shared buffer).
+    pub fn copy_cost(&self, bytes: usize) -> Cycles {
+        (bytes as u64).div_ceil(32) * self.copy_per_line
+    }
+}
+
+impl Default for PvmCostModel {
+    fn default() -> Self {
+        Self::spp1000()
+    }
+}
+
+/// A delivered message descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msg {
+    /// Sending task index.
+    pub from: usize,
+    /// Message length in bytes.
+    pub bytes: usize,
+    /// User tag.
+    pub tag: u32,
+    /// Simulated time at which the message became available to the
+    /// receiver.
+    pub arrival: Cycles,
+}
+
+#[derive(Debug, Clone)]
+struct TaskState {
+    cpu: CpuId,
+    clock: Cycles,
+    flops: u64,
+}
+
+/// The PVM virtual machine: tasks, inboxes, and the single daemon's
+/// shared buffer space.
+pub struct Pvm {
+    /// The underlying machine (shared with any other layer in use).
+    pub machine: Machine,
+    /// PVM software-path costs.
+    pub cost: PvmCostModel,
+    /// Compute cost model (flop pricing matches the threaded runtime).
+    pub compute: RuntimeCostModel,
+    tasks: Vec<TaskState>,
+    inboxes: Vec<VecDeque<Msg>>,
+    /// The ConvexPVM shared buffer pool (one region per hypernode).
+    buffers: Vec<Region>,
+}
+
+impl Pvm {
+    /// Create a PVM session with one task per entry of `cpus`.
+    pub fn new(mut machine: Machine, cpus: &[CpuId]) -> Self {
+        assert!(!cpus.is_empty(), "PVM needs at least one task");
+        let nodes = machine.config().hypernodes;
+        let buffers = (0..nodes)
+            .map(|n| {
+                machine.alloc(
+                    MemClass::NearShared {
+                        node: NodeId(n as u8),
+                    },
+                    1 << 20,
+                )
+            })
+            .collect();
+        Pvm {
+            machine,
+            cost: PvmCostModel::spp1000(),
+            compute: RuntimeCostModel::spp1000(),
+            tasks: cpus
+                .iter()
+                .map(|c| TaskState {
+                    cpu: *c,
+                    clock: 0,
+                    flops: 0,
+                })
+                .collect(),
+            inboxes: vec![VecDeque::new(); cpus.len()],
+            buffers,
+        }
+    }
+
+    /// A PVM session on the paper's testbed.
+    pub fn spp1000(hypernodes: usize, cpus: &[CpuId]) -> Self {
+        Self::new(Machine::spp1000(hypernodes), cpus)
+    }
+
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The CPU task `t` is pinned to.
+    pub fn task_cpu(&self, t: usize) -> CpuId {
+        self.tasks[t].cpu
+    }
+
+    /// Task `t`'s simulated clock.
+    pub fn clock(&self, t: usize) -> Cycles {
+        self.tasks[t].clock
+    }
+
+    /// Greatest task clock (the session's elapsed time).
+    pub fn elapsed(&self) -> Cycles {
+        self.tasks.iter().map(|t| t.clock).max().unwrap_or(0)
+    }
+
+    /// Elapsed time in microseconds.
+    pub fn elapsed_us(&self) -> f64 {
+        spp_core::cycles_to_us(self.elapsed())
+    }
+
+    /// Total flops across tasks.
+    pub fn total_flops(&self) -> u64 {
+        self.tasks.iter().map(|t| t.flops).sum()
+    }
+
+    /// Charge `n` flops of compute to task `t`.
+    pub fn flops(&mut self, t: usize, n: u64) {
+        self.tasks[t].flops += n;
+        self.tasks[t].clock += self.compute.flop_cycles(n);
+    }
+
+    /// Charge raw cycles to task `t` (non-FP work).
+    pub fn advance(&mut self, t: usize, c: Cycles) {
+        self.tasks[t].clock += c;
+    }
+
+    /// Run machine-priced compute as task `t`: the closure gets a
+    /// detached [`spp_runtime::ThreadCtx`] on this machine at the
+    /// task's CPU; its clock and flops are charged to the task.
+    pub fn compute<R>(
+        &mut self,
+        t: usize,
+        f: impl FnOnce(&mut spp_runtime::ThreadCtx<'_>) -> R,
+    ) -> R {
+        let cpu = self.tasks[t].cpu;
+        let mut ctx = spp_runtime::ThreadCtx::detached(&mut self.machine, &self.compute, cpu);
+        let r = f(&mut ctx);
+        let (clock, flops) = (ctx.clock(), ctx.flop_count());
+        self.tasks[t].clock += clock;
+        self.tasks[t].flops += flops;
+        r
+    }
+
+    /// Pack `bytes` into the shared buffer (a priced copy). The paper
+    /// excludes this from its Figure-4 round-trip timings; full
+    /// applications pay it.
+    pub fn pack(&mut self, t: usize, bytes: usize) {
+        let c = self.cost.copy_cost(bytes);
+        self.tasks[t].clock += c;
+    }
+
+    /// Unpack `bytes` from the shared buffer (a priced copy).
+    pub fn unpack(&mut self, t: usize, bytes: usize) {
+        let c = self.cost.copy_cost(bytes);
+        self.tasks[t].clock += c;
+    }
+
+    /// Send `bytes` from task `from` to task `to` with `tag`.
+    /// Advances the sender's clock by the send path and deposits a
+    /// descriptor with its arrival time.
+    pub fn send(&mut self, from: usize, to: usize, bytes: usize, tag: u32) {
+        assert_ne!(from, to, "task {from} sending to itself");
+        let same_node = self.machine.config().node_of_cpu(self.tasks[from].cpu)
+            == self.machine.config().node_of_cpu(self.tasks[to].cpu);
+        let c = self.cost.one_way(bytes, same_node);
+        self.tasks[from].clock += c;
+        let arrival = self.tasks[from].clock;
+        self.inboxes[to].push_back(Msg {
+            from,
+            bytes,
+            tag,
+            arrival,
+        });
+    }
+
+    /// Blocking receive on task `t`, optionally filtered by sender and
+    /// tag (like `pvm_recv(tid, tag)`); returns `None` if no matching
+    /// message has been sent. On success the receiver's clock advances
+    /// to the arrival time (if it was early) plus the receive path.
+    pub fn recv(&mut self, t: usize, from: Option<usize>, tag: Option<u32>) -> Option<Msg> {
+        let pos = self.inboxes[t].iter().position(|m| {
+            from.is_none_or(|f| m.from == f) && tag.is_none_or(|g| m.tag == g)
+        })?;
+        let msg = self.inboxes[t].remove(pos).expect("position valid");
+        let task = &mut self.tasks[t];
+        task.clock = task.clock.max(msg.arrival) + self.cost.recv_sw;
+        Some(msg)
+    }
+
+    /// True if a matching message is waiting (non-blocking probe).
+    pub fn probe(&self, t: usize, from: Option<usize>, tag: Option<u32>) -> bool {
+        self.inboxes[t]
+            .iter()
+            .any(|m| from.is_none_or(|f| m.from == f) && tag.is_none_or(|g| m.tag == g))
+    }
+
+    /// Synchronize all tasks (message-based barrier through the
+    /// daemon): every clock advances to the max plus one round of
+    /// notification costs.
+    pub fn barrier_all(&mut self) {
+        let span: Vec<NodeId> = self
+            .tasks
+            .iter()
+            .map(|t| self.machine.config().node_of_cpu(t.cpu))
+            .collect();
+        let max = self.elapsed();
+        let multi_node = span.windows(2).any(|w| w[0] != w[1]);
+        let c = self.cost.notify_local
+            + if multi_node {
+                self.cost.notify_remote_extra
+            } else {
+                0
+            };
+        for t in &mut self.tasks {
+            t.clock = max + c;
+        }
+    }
+
+    /// The shared buffer region hosted on `node` (diagnostics).
+    pub fn buffer_region(&self, node: usize) -> Region {
+        self.buffers[node]
+    }
+
+    /// Broadcast `bytes` from `root` to every other task (linear fan:
+    /// the root packs once, sends one descriptor per receiver, each
+    /// receiver unpacks — the ConvexPVM shared buffer means one copy
+    /// in, one copy out per receiver).
+    pub fn bcast(&mut self, root: usize, bytes: usize, tag: u32) {
+        self.pack(root, bytes);
+        for t in 0..self.num_tasks() {
+            if t != root {
+                self.send(root, t, bytes, tag);
+            }
+        }
+        for t in 0..self.num_tasks() {
+            if t != root {
+                self.recv(t, Some(root), Some(tag)).expect("bcast lost");
+                self.unpack(t, bytes);
+            }
+        }
+    }
+
+    /// Gather `bytes` from every task to `root` (each sender packs,
+    /// the root unpacks serially — the root is the bottleneck, as it
+    /// was in 1995).
+    pub fn gather(&mut self, root: usize, bytes: usize, tag: u32) {
+        for t in 0..self.num_tasks() {
+            if t != root {
+                self.pack(t, bytes);
+                self.send(t, root, bytes, tag);
+            }
+        }
+        for t in 0..self.num_tasks() {
+            if t != root {
+                self.recv(root, Some(t), Some(tag)).expect("gather lost");
+                self.unpack(root, bytes);
+            }
+        }
+    }
+
+    /// Butterfly all-reduce of `bytes` per task with `flops_per_elem`
+    /// combination work on 8-byte elements (requires a power-of-two
+    /// task count). This is the collective the replicated-grid
+    /// applications lean on.
+    pub fn allreduce(&mut self, bytes: usize, tag_base: u32, flops_per_elem: u64) {
+        let t = self.num_tasks();
+        assert!(t.is_power_of_two(), "butterfly needs a power-of-two task count");
+        let elems = bytes as u64 / 8;
+        for r in 0..t.trailing_zeros() {
+            let tag = tag_base + r;
+            for i in 0..t {
+                self.pack(i, bytes);
+                self.send(i, i ^ (1 << r), bytes, tag);
+            }
+            for i in 0..t {
+                let partner = i ^ (1 << r);
+                self.recv(i, Some(partner), Some(tag)).expect("reduce lost");
+                self.unpack(i, bytes);
+                self.flops(i, elems * flops_per_elem);
+            }
+        }
+    }
+
+    /// Ping-pong round trip of a `bytes` message between two tasks,
+    /// excluding pack cost — exactly the §4.3 measurement. Returns the
+    /// round-trip time in cycles.
+    pub fn round_trip(&mut self, a: usize, b: usize, bytes: usize, reps: usize) -> Cycles {
+        let start_a = self.tasks[a].clock;
+        for i in 0..reps.max(1) {
+            self.send(a, b, bytes, 1000 + i as u32);
+            let m = self.recv(b, Some(a), None).expect("ping lost");
+            self.send(b, a, bytes, m.tag);
+            self.recv(a, Some(b), None).expect("pong lost");
+        }
+        (self.tasks[a].clock - start_a) / reps.max(1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_core::cycles_to_us;
+
+    fn two_tasks_local() -> Pvm {
+        Pvm::spp1000(2, &[CpuId(0), CpuId(1)])
+    }
+
+    fn two_tasks_global() -> Pvm {
+        Pvm::spp1000(2, &[CpuId(0), CpuId(8)])
+    }
+
+    #[test]
+    fn local_round_trip_is_about_30us_under_8k() {
+        let mut pvm = two_tasks_local();
+        for bytes in [8usize, 256, 1024, 8192] {
+            let rt = cycles_to_us(pvm.round_trip(0, 1, bytes, 4));
+            assert!((25.0..=35.0).contains(&rt), "{bytes} B -> {rt} us");
+        }
+    }
+
+    #[test]
+    fn global_round_trip_is_about_70us_under_8k() {
+        let mut pvm = two_tasks_global();
+        for bytes in [8usize, 1024, 8192] {
+            let rt = cycles_to_us(pvm.round_trip(0, 1, bytes, 4));
+            assert!((60.0..=80.0).contains(&rt), "{bytes} B -> {rt} us");
+        }
+    }
+
+    #[test]
+    fn global_to_local_ratio_is_about_2_3() {
+        let mut l = two_tasks_local();
+        let mut g = two_tasks_global();
+        let rl = l.round_trip(0, 1, 1024, 8) as f64;
+        let rg = g.round_trip(0, 1, 1024, 8) as f64;
+        let ratio = rg / rl;
+        assert!((1.9..=2.8).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn cost_grows_substantially_past_8k() {
+        let mut pvm = two_tasks_local();
+        let r8k = pvm.round_trip(0, 1, 8192, 4);
+        let r16k = pvm.round_trip(0, 1, 16384, 4);
+        let r64k = pvm.round_trip(0, 1, 65536, 4);
+        assert!(r16k as f64 > r8k as f64 * 1.5, "{r8k} {r16k}");
+        assert!(r64k > r16k * 2, "{r16k} {r64k}");
+    }
+
+    #[test]
+    fn send_recv_delivers_in_order_with_tags() {
+        let mut pvm = two_tasks_local();
+        pvm.send(0, 1, 100, 1);
+        pvm.send(0, 1, 200, 2);
+        let m2 = pvm.recv(1, Some(0), Some(2)).unwrap();
+        assert_eq!(m2.bytes, 200);
+        let m1 = pvm.recv(1, Some(0), None).unwrap();
+        assert_eq!(m1.tag, 1);
+        assert!(pvm.recv(1, None, None).is_none());
+    }
+
+    #[test]
+    fn recv_waits_for_arrival() {
+        let mut pvm = two_tasks_local();
+        pvm.send(0, 1, 64, 0);
+        let sent_at = pvm.clock(0);
+        let m = pvm.recv(1, None, None).unwrap();
+        assert_eq!(m.arrival, sent_at);
+        assert!(pvm.clock(1) > sent_at);
+    }
+
+    #[test]
+    fn probe_sees_pending_messages() {
+        let mut pvm = two_tasks_local();
+        assert!(!pvm.probe(1, None, None));
+        pvm.send(0, 1, 1, 9);
+        assert!(pvm.probe(1, Some(0), Some(9)));
+        assert!(!pvm.probe(1, Some(0), Some(8)));
+    }
+
+    #[test]
+    fn pack_costs_scale_with_size() {
+        let mut pvm = two_tasks_local();
+        pvm.pack(0, 32);
+        let small = pvm.clock(0);
+        pvm.pack(0, 32 * 100);
+        assert!(pvm.clock(0) - small >= small * 50);
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let mut pvm = Pvm::spp1000(2, &[CpuId(0), CpuId(1), CpuId(8)]);
+        pvm.flops(0, 100_000);
+        pvm.barrier_all();
+        assert_eq!(pvm.clock(0), pvm.clock(1));
+        assert_eq!(pvm.clock(1), pvm.clock(2));
+        assert!(pvm.clock(0) > 0);
+    }
+
+    #[test]
+    fn flops_tracked_per_task() {
+        let mut pvm = two_tasks_local();
+        pvm.flops(0, 500);
+        pvm.flops(1, 700);
+        assert_eq!(pvm.total_flops(), 1200);
+        assert!(pvm.clock(0) < pvm.clock(1));
+    }
+
+    #[test]
+    fn messages_between_a_pair_arrive_fifo() {
+        let mut pvm = two_tasks_local();
+        for i in 0..5u32 {
+            pvm.send(0, 1, 64, 7);
+            let _ = i;
+        }
+        let mut arrivals = Vec::new();
+        while let Some(m) = pvm.recv(1, Some(0), Some(7)) {
+            arrivals.push(m.arrival);
+        }
+        assert_eq!(arrivals.len(), 5);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "{arrivals:?}");
+    }
+
+    #[test]
+    fn compute_charges_clock_and_flops() {
+        let mut pvm = two_tasks_local();
+        let c0 = pvm.clock(0);
+        pvm.compute(0, |ctx| {
+            ctx.flops(500);
+            ctx.cycles(100);
+        });
+        assert_eq!(pvm.clock(0), c0 + 1000 + 100); // 2 cy/flop + 100
+        assert_eq!(pvm.total_flops(), 500);
+        assert_eq!(pvm.clock(1), 0, "other task unaffected");
+    }
+
+    #[test]
+    fn elapsed_is_the_max_task_clock() {
+        let mut pvm = two_tasks_local();
+        pvm.flops(0, 100);
+        pvm.flops(1, 900);
+        assert_eq!(pvm.elapsed(), pvm.clock(1));
+        assert!(pvm.elapsed_us() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sending to itself")]
+    fn self_send_rejected() {
+        let mut pvm = two_tasks_local();
+        pvm.send(0, 0, 1, 0);
+    }
+
+    #[test]
+    fn bcast_reaches_everyone_and_costs_root_one_pack() {
+        let cpus: Vec<CpuId> = (0..4u16).map(CpuId).collect();
+        let mut pvm = Pvm::spp1000(2, &cpus);
+        pvm.bcast(0, 4096, 50);
+        // All inboxes drained.
+        for t in 1..4 {
+            assert!(!pvm.probe(t, None, None), "task {t} has leftover msgs");
+            assert!(pvm.clock(t) > 0, "task {t} never received");
+        }
+        // Root packed once (128 lines), sent 3 descriptors.
+        let root_clock = pvm.clock(0);
+        let expected_min = pvm.cost.copy_cost(4096) + 3 * pvm.cost.one_way(4096, true);
+        assert!(root_clock >= expected_min);
+    }
+
+    #[test]
+    fn gather_serializes_at_the_root() {
+        let cpus: Vec<CpuId> = (0..8u16).map(CpuId).collect();
+        let mut pvm = Pvm::spp1000(2, &cpus);
+        pvm.gather(0, 8192, 60);
+        // The root unpacked 7 messages: its clock dominates.
+        let root = pvm.clock(0);
+        for t in 1..8 {
+            assert!(root > pvm.clock(t), "root should be the bottleneck");
+        }
+    }
+
+    #[test]
+    fn allreduce_butterfly_runs_log2_rounds() {
+        let cpus: Vec<CpuId> = (0..8u16).map(CpuId).collect();
+        let mut pvm = Pvm::spp1000(2, &cpus);
+        pvm.allreduce(1024, 100, 1);
+        // 3 rounds x (pack + send + recv + unpack + 128 flops) per task;
+        // clocks roughly equal (symmetric butterfly).
+        let clocks: Vec<u64> = (0..8).map(|t| pvm.clock(t)).collect();
+        let min = *clocks.iter().min().unwrap();
+        let max = *clocks.iter().max().unwrap();
+        assert!(min > 0);
+        assert!(max as f64 / (min as f64) < 1.5, "butterfly unbalanced: {clocks:?}");
+        assert_eq!(pvm.total_flops(), 8 * 3 * 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn allreduce_rejects_odd_task_counts() {
+        let cpus: Vec<CpuId> = (0..3u16).map(CpuId).collect();
+        let mut pvm = Pvm::spp1000(2, &cpus);
+        pvm.allreduce(64, 0, 1);
+    }
+
+    #[test]
+    fn shared_buffers_exist_per_node() {
+        let pvm = two_tasks_global();
+        let b0 = pvm.buffer_region(0);
+        let b1 = pvm.buffer_region(1);
+        assert!(b0.len >= 1 << 20);
+        assert!(b1.base > b0.base);
+    }
+}

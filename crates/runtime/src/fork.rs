@@ -1,0 +1,626 @@
+//! Fork-join execution of simulated thread teams.
+//!
+//! A parallel region runs each simulated thread's body *sequentially*
+//! (deterministic trace interleaving, DESIGN.md §2) while per-thread
+//! clocks advance independently; the region's elapsed time is
+//!
+//! ```text
+//! fork (serial spawns) -> max over threads(start + busy) -> join barrier
+//! ```
+//!
+//! Spawn costs and the join barrier reproduce the paper's Figure 2;
+//! the join barrier is the full protocol simulation of Figure 3.
+
+use crate::barrier::{BarrierResult, SimBarrier};
+use crate::cost::RuntimeCostModel;
+use crate::noise::OsNoise;
+use crate::team::{chunk_range, Placement, Team};
+use spp_core::{CpuId, Cycles, Machine, NodeId, SimArray};
+
+/// Execution context handed to each simulated thread's body.
+pub struct ThreadCtx<'a> {
+    /// This thread's index within the team (0 = parent).
+    pub tid: usize,
+    /// Team size.
+    pub nthreads: usize,
+    /// The CPU this thread runs on.
+    pub cpu: CpuId,
+    /// Locality-aligned chunk index (see [`Team::chunk_rank`]).
+    pub rank: usize,
+    machine: &'a mut Machine,
+    cost: &'a RuntimeCostModel,
+    clock: Cycles,
+    flops: u64,
+}
+
+impl<'a> ThreadCtx<'a> {
+    /// Priced read of `a[i]`.
+    #[inline]
+    pub fn read<T: Copy>(&mut self, a: &SimArray<T>, i: usize) -> T {
+        let (v, c) = a.read(self.machine, self.cpu, i);
+        self.clock += c;
+        v
+    }
+
+    /// Priced write of `a[i] = v`.
+    #[inline]
+    pub fn write<T: Copy>(&mut self, a: &mut SimArray<T>, i: usize, v: T) {
+        let c = a.write(self.machine, self.cpu, i, v);
+        self.clock += c;
+    }
+
+    /// Priced read-modify-write: `a[i] = f(a[i])`.
+    #[inline]
+    pub fn update<T: Copy>(&mut self, a: &mut SimArray<T>, i: usize, f: impl FnOnce(T) -> T) {
+        let v = self.read(a, i);
+        self.write(a, i, f(v));
+    }
+
+    /// Account for `n` floating-point operations of register-resident
+    /// compute.
+    #[inline]
+    pub fn flops(&mut self, n: u64) {
+        self.flops += n;
+        self.clock += self.cost.flop_cycles(n);
+    }
+
+    /// Account for `n` cycles of non-FP work (integer, branches,
+    /// address arithmetic beyond what `flops` folds in).
+    #[inline]
+    pub fn cycles(&mut self, n: Cycles) {
+        self.clock += n;
+    }
+
+    /// This thread's simulated clock (cycles of busy time so far).
+    pub fn clock(&self) -> Cycles {
+        self.clock
+    }
+
+    /// FLOPs counted so far.
+    pub fn flop_count(&self) -> u64 {
+        self.flops
+    }
+
+    /// The contiguous chunk of `0..n` this thread owns under static,
+    /// locality-aligned scheduling (chunk indices follow
+    /// [`Team::chunk_rank`], so chunks line up with block-shared data
+    /// placement).
+    pub fn chunk(&self, n: usize) -> std::ops::Range<usize> {
+        chunk_range(n, self.nthreads, self.rank)
+    }
+
+    /// Escape hatch to the machine (e.g. uncached semaphore ops).
+    pub fn machine(&mut self) -> &mut Machine {
+        self.machine
+    }
+
+    /// The runtime cost model in force.
+    pub fn cost_model(&self) -> &RuntimeCostModel {
+        self.cost
+    }
+
+    /// Build a context outside any team — used by other execution
+    /// layers (PVM tasks) that price compute through the same machine.
+    /// The clock starts at zero; read it back with [`ThreadCtx::clock`].
+    pub fn detached(machine: &'a mut Machine, cost: &'a RuntimeCostModel, cpu: CpuId) -> Self {
+        ThreadCtx {
+            tid: 0,
+            nthreads: 1,
+            cpu,
+            rank: 0,
+            machine,
+            cost,
+            clock: 0,
+            flops: 0,
+        }
+    }
+}
+
+/// Timing report for one parallel region.
+#[derive(Debug, Clone)]
+pub struct RegionReport {
+    /// Total elapsed simulated cycles, fork through join.
+    pub elapsed: Cycles,
+    /// When each thread began executing its body (spawn skew).
+    pub start: Vec<Cycles>,
+    /// Pure compute/memory busy time per thread.
+    pub busy: Vec<Cycles>,
+    /// The join barrier's timing.
+    pub join: BarrierResult,
+    /// FLOPs summed over the team.
+    pub flops: u64,
+}
+
+impl RegionReport {
+    /// Elapsed time in microseconds.
+    pub fn elapsed_us(&self) -> f64 {
+        spp_core::cycles_to_us(self.elapsed)
+    }
+
+    /// Mflop/s over the region.
+    pub fn mflops(&self) -> f64 {
+        if self.elapsed == 0 {
+            0.0
+        } else {
+            // One cycle is 10 ns = 1e-8 s.
+            self.flops as f64 / (self.elapsed as f64 * 1e-8) / 1e6
+        }
+    }
+}
+
+/// Handle to a set of asynchronous threads in flight (their bodies
+/// have been replayed; the simulated completion times are recorded).
+#[derive(Debug, Clone)]
+pub struct AsyncHandle {
+    /// Completion time of each child, measured from the fork instant.
+    pub finish: Vec<Cycles>,
+    /// Busy time of each child.
+    pub busy: Vec<Cycles>,
+    /// FLOPs over all children.
+    pub flops: u64,
+}
+
+/// The threaded runtime: a machine plus thread-management costs.
+pub struct Runtime {
+    /// The simulated machine.
+    pub machine: Machine,
+    /// Thread-management cost constants.
+    pub cost: RuntimeCostModel,
+    join_barrier: SimBarrier,
+    /// Running total of simulated time across regions and serial
+    /// sections (advanced by [`Runtime::fork_join`] and
+    /// [`Runtime::serial`]).
+    pub now: Cycles,
+    /// Optional multitasking-interference model (§6 of the paper).
+    /// `None` (the default) keeps all measurements noise-free.
+    pub noise: Option<OsNoise>,
+    regions: u64,
+}
+
+impl Runtime {
+    /// Wrap a machine with the standard runtime cost model.
+    pub fn new(mut machine: Machine) -> Self {
+        let join_barrier = SimBarrier::new(&mut machine, NodeId(0));
+        Runtime {
+            machine,
+            cost: RuntimeCostModel::spp1000(),
+            join_barrier,
+            now: 0,
+            noise: None,
+            regions: 0,
+        }
+    }
+
+    /// Enable the OS-multitasking noise model for subsequent regions.
+    pub fn with_noise(mut self, noise: OsNoise) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// The paper's testbed with `hypernodes` hypernodes.
+    pub fn spp1000(hypernodes: usize) -> Self {
+        Self::new(Machine::spp1000(hypernodes))
+    }
+
+    /// Run a parallel region over a freshly placed team.
+    pub fn fork_join(
+        &mut self,
+        n: usize,
+        placement: &Placement,
+        body: impl FnMut(&mut ThreadCtx),
+    ) -> RegionReport {
+        let team = Team::place(self.machine.config(), n, placement);
+        self.team_fork_join(&team, body)
+    }
+
+    /// Run a parallel region over an existing team.
+    pub fn team_fork_join(
+        &mut self,
+        team: &Team,
+        mut body: impl FnMut(&mut ThreadCtx),
+    ) -> RegionReport {
+        let n = team.len();
+        let parent_node = self.machine.config().node_of_cpu(team.cpu(0));
+
+        // Fork: the parent issues spawns serially; the first spawn on
+        // a foreign hypernode pays the cross-kernel activation.
+        let mut t = self.cost.fork_base;
+        let mut start = vec![0u64; n];
+        let mut activated = false;
+        for tid in 1..n {
+            let node = self.machine.config().node_of_cpu(team.cpu(tid));
+            if node == parent_node {
+                t += self.cost.spawn_local;
+            } else {
+                if !activated {
+                    t += self.cost.node_activation;
+                    activated = true;
+                }
+                t += self.cost.spawn_remote;
+            }
+            start[tid] = t;
+        }
+        // The parent begins its own chunk after issuing all spawns.
+        start[0] = t;
+
+        // Execute bodies sequentially, one per simulated thread.
+        let mut busy = vec![0u64; n];
+        let mut flops = 0u64;
+        for tid in 0..n {
+            let mut ctx = ThreadCtx {
+                tid,
+                nthreads: n,
+                cpu: team.cpu(tid),
+                rank: team.chunk_rank(tid),
+                machine: &mut self.machine,
+                cost: &self.cost,
+                clock: 0,
+                flops: 0,
+            };
+            body(&mut ctx);
+            busy[tid] = ctx.clock;
+            flops += ctx.flops;
+        }
+
+        // Optional multitasking interference (§6): the OS steals
+        // quanta from every thread, plus a full timeslice from one
+        // victim when the team occupies the whole machine.
+        self.regions += 1;
+        if let Some(noise) = &self.noise {
+            let full = n == self.machine.config().num_cpus();
+            for (tid, b) in busy.iter_mut().enumerate() {
+                *b += noise.stolen(self.regions, tid, n, *b, full);
+            }
+        }
+
+        // Join: a barrier whose arrivals are the thread finish times.
+        let arrivals: Vec<(CpuId, Cycles)> = (0..n)
+            .map(|tid| (team.cpu(tid), start[tid] + busy[tid]))
+            .collect();
+        let join = if n == 1 {
+            BarrierResult {
+                release: vec![arrivals[0].1],
+                last_arrival: arrivals[0].1,
+            }
+        } else {
+            self.join_barrier
+                .simulate(&mut self.machine, &self.cost, &arrivals)
+        };
+        let elapsed = join.end() + self.cost.join_base;
+        self.now += elapsed;
+        RegionReport {
+            elapsed,
+            start,
+            busy,
+            join,
+            flops,
+        }
+    }
+
+    /// Spawn *asynchronous* threads (§3.2: "Asynchronous threads
+    /// continue execution independent of one another; the parent
+    /// thread continues to execute without waiting for its children to
+    /// terminate"). The children's bodies are replayed immediately;
+    /// the returned handle carries their completion times. The parent
+    /// resumes at the returned clock (after issuing the spawns) and
+    /// reclaims the children with [`Runtime::join_async`].
+    pub fn fork_async(
+        &mut self,
+        team: &Team,
+        mut body: impl FnMut(&mut ThreadCtx),
+    ) -> (Cycles, AsyncHandle) {
+        let n = team.len();
+        let parent_node = self.machine.config().node_of_cpu(team.cpu(0));
+        // Children are tids 0..n of the handle; the parent is not part
+        // of the team here.
+        let mut t = self.cost.fork_base;
+        let mut finish = vec![0u64; n];
+        let mut busy = vec![0u64; n];
+        let mut activated = false;
+        let mut flops = 0u64;
+        for tid in 0..n {
+            let node = self.machine.config().node_of_cpu(team.cpu(tid));
+            if node == parent_node {
+                t += self.cost.spawn_local;
+            } else {
+                if !activated {
+                    t += self.cost.node_activation;
+                    activated = true;
+                }
+                t += self.cost.spawn_remote;
+            }
+            let mut ctx = ThreadCtx {
+                tid,
+                nthreads: n,
+                cpu: team.cpu(tid),
+                rank: team.chunk_rank(tid),
+                machine: &mut self.machine,
+                cost: &self.cost,
+                clock: 0,
+                flops: 0,
+            };
+            body(&mut ctx);
+            busy[tid] = ctx.clock;
+            flops += ctx.flops;
+            finish[tid] = t + ctx.clock;
+        }
+        self.regions += 1;
+        if let Some(noise) = &self.noise {
+            let full = n == self.machine.config().num_cpus();
+            for tid in 0..n {
+                let extra = noise.stolen(self.regions, tid, n, busy[tid], full);
+                busy[tid] += extra;
+                finish[tid] += extra;
+            }
+        }
+        (
+            t,
+            AsyncHandle {
+                finish,
+                busy,
+                flops,
+            },
+        )
+    }
+
+    /// Wait for asynchronous children: given the parent's own clock
+    /// (measured from the same fork instant), returns the time at
+    /// which the join completes. Costs nothing beyond `join_base` if
+    /// the children already finished.
+    pub fn join_async(&mut self, handle: &AsyncHandle, parent_clock: Cycles) -> Cycles {
+        let children = handle.finish.iter().copied().max().unwrap_or(0);
+        let done = children.max(parent_clock) + self.cost.join_base;
+        self.now += done;
+        done
+    }
+
+    /// Run serial (single-thread) work on `cpu` with no fork/join
+    /// overhead; returns its busy time and advances [`Runtime::now`].
+    pub fn serial(&mut self, cpu: CpuId, body: impl FnOnce(&mut ThreadCtx)) -> RegionReport {
+        let mut ctx = ThreadCtx {
+            tid: 0,
+            nthreads: 1,
+            cpu,
+            rank: 0,
+            machine: &mut self.machine,
+            cost: &self.cost,
+            clock: 0,
+            flops: 0,
+        };
+        body(&mut ctx);
+        let busy = ctx.clock;
+        let flops = ctx.flops;
+        self.now += busy;
+        RegionReport {
+            elapsed: busy,
+            start: vec![0],
+            busy: vec![busy],
+            join: BarrierResult {
+                release: vec![busy],
+                last_arrival: busy,
+            },
+            flops,
+        }
+    }
+
+    /// Total simulated time so far, microseconds.
+    pub fn now_us(&self) -> f64 {
+        spp_core::cycles_to_us(self.now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_core::{cycles_to_us, MemClass};
+
+    #[test]
+    fn empty_fork_join_cost_rises_with_threads() {
+        let mut rt = Runtime::spp1000(2);
+        let us = |n: usize, rt: &mut Runtime| {
+            rt.fork_join(n, &Placement::HighLocality, |_| {}).elapsed_us()
+        };
+        let t2 = us(2, &mut rt);
+        let t4 = us(4, &mut rt);
+        let t8 = us(8, &mut rt);
+        assert!(t2 < t4 && t4 < t8, "{t2} {t4} {t8}");
+        // ~10 us per extra pair of local threads (paper Fig. 2).
+        let slope = (t8 - t2) / 3.0;
+        assert!((7.0..=18.0).contains(&slope), "local slope = {slope}");
+    }
+
+    #[test]
+    fn crossing_hypernodes_costs_about_50us_extra() {
+        let mut rt = Runtime::spp1000(2);
+        let t8 = rt
+            .fork_join(8, &Placement::HighLocality, |_| {})
+            .elapsed_us();
+        let t10 = rt
+            .fork_join(10, &Placement::HighLocality, |_| {})
+            .elapsed_us();
+        // Two more threads would cost ~10 us locally; the jump to the
+        // second hypernode adds the ~50 us activation on top.
+        let jump = t10 - t8;
+        assert!((40.0..=90.0).contains(&jump), "jump = {jump} us");
+    }
+
+    #[test]
+    fn uniform_placement_costs_more_than_local() {
+        let mut rt = Runtime::spp1000(2);
+        let local = rt
+            .fork_join(8, &Placement::HighLocality, |_| {})
+            .elapsed_us();
+        let mut rt2 = Runtime::spp1000(2);
+        let uniform = rt2.fork_join(8, &Placement::Uniform, |_| {}).elapsed_us();
+        assert!(uniform > local, "{uniform} vs {local}");
+    }
+
+    #[test]
+    fn work_splits_across_threads() {
+        let mut rt = Runtime::spp1000(1);
+        let mut hits = vec![0usize; 4];
+        rt.fork_join(4, &Placement::HighLocality, |ctx| {
+            let r = ctx.chunk(100);
+            hits[ctx.tid] = r.len();
+        });
+        assert_eq!(hits.iter().sum::<usize>(), 100);
+        assert!(hits.iter().all(|h| *h == 25));
+    }
+
+    #[test]
+    fn parallel_speedup_on_compute_bound_work() {
+        // 1 ms of pure flops per thread-share: near-linear scaling.
+        let work = 4_000_000u64; // flops
+        let elapsed = |n: usize| {
+            let mut rt = Runtime::spp1000(2);
+            rt.fork_join(n, &Placement::HighLocality, |ctx| {
+                let share = work / ctx.nthreads as u64;
+                ctx.flops(share);
+            })
+            .elapsed
+        };
+        let t1 = elapsed(1);
+        let t8 = elapsed(8);
+        let speedup = t1 as f64 / t8 as f64;
+        assert!(speedup > 6.5, "speedup = {speedup}");
+    }
+
+    #[test]
+    fn region_counts_flops_and_mflops() {
+        let mut rt = Runtime::spp1000(1);
+        let r = rt.fork_join(2, &Placement::HighLocality, |ctx| {
+            ctx.flops(1000);
+        });
+        assert_eq!(r.flops, 2000);
+        assert!(r.mflops() > 0.0);
+    }
+
+    #[test]
+    fn memory_traffic_advances_the_clock() {
+        let mut rt = Runtime::spp1000(1);
+        let mut arr = SimArray::<f64>::from_elem(
+            &mut rt.machine,
+            MemClass::NearShared { node: NodeId(0) },
+            1024,
+            0.0,
+        );
+        let r = rt.fork_join(2, &Placement::HighLocality, |ctx| {
+            for i in ctx.chunk(1024) {
+                ctx.write(&mut arr, i, i as f64);
+            }
+        });
+        assert!(r.busy[0] > 0);
+        assert_eq!(arr.host()[100], 100.0);
+    }
+
+    #[test]
+    fn serial_section_has_no_fork_overhead() {
+        let mut rt = Runtime::spp1000(1);
+        let r = rt.serial(CpuId(0), |ctx| ctx.flops(100));
+        assert_eq!(r.elapsed, rt.cost.flop_cycles(100));
+    }
+
+    #[test]
+    fn now_accumulates_across_regions() {
+        let mut rt = Runtime::spp1000(1);
+        assert_eq!(rt.now, 0);
+        let a = rt.fork_join(2, &Placement::HighLocality, |_| {}).elapsed;
+        let b = rt.serial(CpuId(0), |ctx| ctx.flops(50)).elapsed;
+        assert_eq!(rt.now, a + b);
+        assert!(cycles_to_us(rt.now) > 0.0);
+    }
+
+    #[test]
+    fn async_threads_overlap_with_the_parent() {
+        // Parent does 1 ms of its own work while 4 async children do
+        // 0.5 ms each: the join should complete at ~parent time, not
+        // parent + children.
+        let mut rt = Runtime::spp1000(1);
+        let team = Team::place(
+            rt.machine.config(),
+            4,
+            &Placement::Explicit(vec![CpuId(1), CpuId(2), CpuId(3), CpuId(4)]),
+        );
+        let (spawn_done, handle) = rt.fork_async(&team, |ctx| ctx.flops(25_000)); // 0.5 ms
+        assert_eq!(handle.flops, 100_000);
+        // The parent continues immediately after the spawns.
+        assert!(spp_core::cycles_to_us(spawn_done) < 50.0);
+        let parent_clock = spawn_done + rt.cost.flop_cycles(50_000); // 1 ms own work
+        let done = rt.join_async(&handle, parent_clock);
+        // Children finished well before the parent; join adds only its
+        // base cost.
+        assert!(done < parent_clock + rt.cost.join_base + 10);
+        // Sequential execution would exceed parent + 4 x child.
+        let sequential = parent_clock + 4 * rt.cost.flop_cycles(25_000);
+        assert!(done < sequential);
+    }
+
+    #[test]
+    fn join_async_waits_for_slow_children() {
+        let mut rt = Runtime::spp1000(1);
+        let team = Team::place(rt.machine.config(), 2, &Placement::Explicit(vec![
+            CpuId(1),
+            CpuId(2),
+        ]));
+        let (_, handle) = rt.fork_async(&team, |ctx| ctx.flops(1_000_000));
+        let slowest = *handle.finish.iter().max().unwrap();
+        let done = rt.join_async(&handle, 100);
+        assert_eq!(done, slowest + rt.cost.join_base);
+    }
+
+    #[test]
+    fn os_noise_reproduces_the_16_on_16_problem() {
+        // §6: codes needing all 16 processors shared them with the OS;
+        // with the noise model on, a 16-thread region is hurt more
+        // than a 15-thread one relative to the noise-free baseline.
+        let work = 16 * 4_000_000u64; // ~40 ms per thread at 16 threads
+        let elapsed = |threads: usize, noisy: bool| {
+            let mut rt = Runtime::spp1000(2);
+            if noisy {
+                rt = rt.with_noise(crate::noise::OsNoise::unix90s(5));
+            }
+            let mut total = 0u64;
+            for _ in 0..8 {
+                total += rt
+                    .fork_join(threads, &Placement::Uniform, |ctx| {
+                        ctx.flops(work / ctx.nthreads as u64)
+                    })
+                    .elapsed;
+            }
+            total
+        };
+        let inflate16 = elapsed(16, true) as f64 / elapsed(16, false) as f64;
+        let inflate15 = elapsed(15, true) as f64 / elapsed(15, false) as f64;
+        assert!(
+            inflate16 > inflate15 + 0.02,
+            "16-thread inflation {inflate16:.3} should exceed 15-thread {inflate15:.3}"
+        );
+        assert!(inflate16 > 1.05, "noise too weak: {inflate16:.3}");
+    }
+
+    #[test]
+    fn noise_runs_stay_deterministic() {
+        let run = || {
+            let mut rt =
+                Runtime::spp1000(1).with_noise(crate::noise::OsNoise::unix90s(9));
+            rt.fork_join(8, &Placement::HighLocality, |ctx| ctx.flops(1_000_000))
+                .elapsed
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn update_reads_then_writes() {
+        let mut rt = Runtime::spp1000(1);
+        let mut arr = SimArray::<f64>::from_elem(
+            &mut rt.machine,
+            MemClass::NearShared { node: NodeId(0) },
+            4,
+            1.0,
+        );
+        rt.serial(CpuId(0), |ctx| {
+            ctx.update(&mut arr, 2, |v| v + 2.5);
+        });
+        assert_eq!(arr.host()[2], 3.5);
+    }
+}

@@ -1,0 +1,171 @@
+//! Gates (mutual exclusion) and thread-private allocation helpers.
+//!
+//! §3.2: "Ordering of events and mutual exclusion can be managed with
+//! high level compiler directives called critical sections, gates, and
+//! barriers". A gate is a semaphore-guarded critical section; entries
+//! serialize. Because threads replay sequentially, contention is
+//! modelled with a simulated "gate free at" clock compared against
+//! each entering thread's own clock.
+
+use crate::fork::ThreadCtx;
+use spp_core::{Cycles, Machine, MemClass, NodeId, SimArray};
+
+/// A simulated gate / critical section.
+#[derive(Debug, Clone)]
+pub struct SimGate {
+    sem_addr: u64,
+    free_at: Cycles,
+}
+
+impl SimGate {
+    /// Allocate gate state in near-shared memory on `node`.
+    pub fn new(m: &mut Machine, node: NodeId) -> Self {
+        let sem = m.alloc(MemClass::NearShared { node }, 64);
+        SimGate {
+            sem_addr: sem.base,
+            free_at: 0,
+        }
+    }
+
+    /// Reset contention state (call between parallel regions when the
+    /// region clocks restart from zero).
+    pub fn reset(&mut self) {
+        self.free_at = 0;
+    }
+
+    /// Execute `body` inside the gate as `ctx`'s thread: the thread
+    /// waits for the gate, pays the semaphore costs, runs the body,
+    /// and releases.
+    pub fn critical<R>(
+        &mut self,
+        ctx: &mut ThreadCtx<'_>,
+        body: impl FnOnce(&mut ThreadCtx<'_>) -> R,
+    ) -> R {
+        let overhead = ctx_gate_overhead(ctx);
+        let cpu = ctx.cpu;
+        let acquire = ctx.machine().uncached_op(cpu, self.sem_addr);
+        // Wait until the gate is free, then pay acquisition.
+        let start = ctx.clock().max(self.free_at) + acquire + overhead / 2;
+        let wait = start - ctx.clock();
+        ctx.cycles(wait);
+        let r = body(ctx);
+        let release = ctx.machine().uncached_op(cpu, self.sem_addr);
+        ctx.cycles(release + overhead / 2);
+        self.free_at = ctx.clock();
+        r
+    }
+}
+
+fn ctx_gate_overhead(ctx: &ThreadCtx<'_>) -> Cycles {
+    ctx.cost_model().gate_overhead
+}
+
+/// One thread-private [`SimArray`] per team member, each homed at its
+/// owner's functional unit (the Convex *thread private* class).
+#[derive(Debug, Clone)]
+pub struct PrivateArrays<T> {
+    arrays: Vec<SimArray<T>>,
+}
+
+impl<T: Copy> PrivateArrays<T> {
+    /// Allocate `len` elements of `v` privately for each CPU of `team`.
+    pub fn new(m: &mut Machine, team: &crate::team::Team, len: usize, v: T) -> Self {
+        let arrays = team
+            .cpus()
+            .iter()
+            .map(|cpu| {
+                let home = m.config().fu_of_cpu(*cpu);
+                SimArray::from_elem(m, MemClass::ThreadPrivate { home }, len, v)
+            })
+            .collect();
+        PrivateArrays { arrays }
+    }
+
+    /// The calling thread's private copy.
+    pub fn mine(&self, tid: usize) -> &SimArray<T> {
+        &self.arrays[tid]
+    }
+
+    /// Mutable access to the calling thread's private copy.
+    pub fn mine_mut(&mut self, tid: usize) -> &mut SimArray<T> {
+        &mut self.arrays[tid]
+    }
+
+    /// Number of copies (team size at allocation).
+    pub fn copies(&self) -> usize {
+        self.arrays.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fork::Runtime;
+    use crate::team::{Placement, Team};
+
+    #[test]
+    fn gate_serializes_critical_sections() {
+        let mut rt = Runtime::spp1000(1);
+        let mut gate = SimGate::new(&mut rt.machine, NodeId(0));
+        let mut exits = Vec::new();
+        rt.fork_join(4, &Placement::HighLocality, |ctx| {
+            gate.critical(ctx, |ctx| ctx.flops(100));
+            exits.push(ctx.clock());
+        });
+        // Each exit strictly later than the previous: serialized.
+        for w in exits.windows(2) {
+            assert!(w[1] > w[0], "critical sections overlapped: {exits:?}");
+        }
+    }
+
+    #[test]
+    fn gate_reset_clears_contention() {
+        let mut rt = Runtime::spp1000(1);
+        let mut gate = SimGate::new(&mut rt.machine, NodeId(0));
+        rt.fork_join(4, &Placement::HighLocality, |ctx| {
+            gate.critical(ctx, |_| {});
+        });
+        let busy_contended = {
+            let mut first = 0;
+            rt.fork_join(1, &Placement::HighLocality, |ctx| {
+                gate.critical(ctx, |_| {});
+                first = ctx.clock();
+            });
+            first
+        };
+        gate.reset();
+        let mut fresh = 0;
+        rt.fork_join(1, &Placement::HighLocality, |ctx| {
+            gate.critical(ctx, |_| {});
+            fresh = ctx.clock();
+        });
+        assert!(fresh <= busy_contended);
+    }
+
+    #[test]
+    fn private_arrays_one_copy_per_thread() {
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), 4, &Placement::Uniform);
+        let mut p = PrivateArrays::<f64>::new(&mut rt.machine, &team, 8, 0.0);
+        assert_eq!(p.copies(), 4);
+        rt.team_fork_join(&team, |ctx| {
+            let tid = ctx.tid;
+            let mine = p.mine_mut(tid);
+            ctx.write(mine, 0, tid as f64);
+        });
+        for tid in 0..4 {
+            assert_eq!(p.mine(tid).host()[0], tid as f64);
+        }
+    }
+
+    #[test]
+    fn private_arrays_are_local_to_their_owner() {
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), 2, &Placement::Uniform);
+        let p = PrivateArrays::<f64>::new(&mut rt.machine, &team, 64, 0.0);
+        // Thread 1 runs on node 1; its private array must be homed there.
+        let addr = p.mine(1).addr(0);
+        let (node, _) = rt.machine.home_of(addr);
+        assert_eq!(node, NodeId(1));
+    }
+}

@@ -1,0 +1,43 @@
+//! # spp-runtime — CPSlib-style threading on the simulated SPP-1000
+//!
+//! The Convex "Compiler Parallel Support Library" gave programs thread
+//! creation, barriers, gates and placement control (paper §3.2). This
+//! crate rebuilds those primitives *on the machine model*, so that the
+//! costs the paper measures in §4 — fork-join (Fig. 2), barrier
+//! synchronization (Fig. 3) — emerge from simulated protocol activity:
+//!
+//! * [`Runtime::fork_join`] — spawn a team with [`Placement`] control
+//!   (*high locality* vs *uniform distribution*), replay each thread's
+//!   body against the machine, and join through a simulated barrier;
+//! * [`SimBarrier`] — the uncached-semaphore + cached-spin-flag
+//!   barrier the paper describes, priced event by event;
+//! * [`SimGate`] — serialized critical sections;
+//! * [`PrivateArrays`] — the *thread private* memory class.
+//!
+//! ```
+//! use spp_runtime::{Runtime, Placement};
+//!
+//! let mut rt = Runtime::spp1000(2);
+//! let report = rt.fork_join(8, &Placement::HighLocality, |ctx| {
+//!     ctx.flops(1_000); // each thread does 1k flops
+//! });
+//! assert!(report.elapsed_us() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod cost;
+pub mod fork;
+pub mod gate;
+pub mod noise;
+pub mod profile;
+pub mod team;
+
+pub use barrier::{BarrierResult, SimBarrier};
+pub use cost::RuntimeCostModel;
+pub use fork::{AsyncHandle, RegionReport, Runtime, ThreadCtx};
+pub use gate::{PrivateArrays, SimGate};
+pub use noise::OsNoise;
+pub use profile::{Profile, RegionStat};
+pub use team::{chunk_range, Placement, Team};

@@ -1,0 +1,131 @@
+//! Operating-system multitasking noise (§6 of the paper).
+//!
+//! "Most scientific applications are written with data structures and
+//! control processes based on powers of 2. Most of the test codes
+//! required 16 processors and could not easily be recast to run on 15
+//! processors. As a result, operating system functions shared
+//! execution resources with the applications ... critical path length
+//! depended on exigencies of operating system demands."
+//!
+//! The model is deterministic: each thread of a parallel region is
+//! interrupted roughly every `period` cycles for a `quantum`, with the
+//! per-thread counts drawn from a seeded hash so runs are
+//! reproducible. When a team occupies *every* CPU of the machine, the
+//! OS has nowhere else to run and one victim thread per region is
+//! additionally preempted for a full timeslice — the paper's
+//! 16-on-16 problem. The model is **off by default** so all headline
+//! experiments stay noise-free and deterministic in the simple sense.
+
+use spp_core::Cycles;
+
+/// Multitasking interference model.
+#[derive(Debug, Clone)]
+pub struct OsNoise {
+    /// Mean cycles of thread execution between OS interruptions.
+    pub period: Cycles,
+    /// Cycles stolen per interruption.
+    pub quantum: Cycles,
+    /// Extra preemption applied to one victim thread per region when
+    /// the team uses every CPU (a full OS timeslice).
+    pub full_machine_slice: Cycles,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl OsNoise {
+    /// A plausible mid-90s multitasking Unix: ~10 ms between daemon
+    /// wakeups/kernel work, ~0.3 ms stolen each time, 10 ms timeslice.
+    pub fn unix90s(seed: u64) -> Self {
+        OsNoise {
+            period: 1_000_000,      // 10 ms
+            quantum: 30_000,        // 0.3 ms
+            full_machine_slice: 1_000_000, // 10 ms
+            seed,
+        }
+    }
+
+    /// Deterministic per-(region, thread) hash in [0, 1).
+    fn jitter(&self, region: u64, tid: usize) -> f64 {
+        let mut z = self
+            .seed
+            .wrapping_add(region.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add((tid as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Cycles the OS steals from thread `tid` (of `nthreads`) during
+    /// `busy` cycles of work in region number `region`.
+    pub fn stolen(
+        &self,
+        region: u64,
+        tid: usize,
+        nthreads: usize,
+        busy: Cycles,
+        full_machine: bool,
+    ) -> Cycles {
+        if busy == 0 {
+            return 0;
+        }
+        let expected = busy as f64 / self.period as f64;
+        let u = self.jitter(region, tid);
+        let events = expected.floor() as u64 + u64::from(u < expected.fract());
+        let mut stolen = events * self.quantum;
+        if full_machine {
+            // One victim thread per region eats a full OS timeslice
+            // (chosen deterministically by the region hash).
+            let victim = (self.jitter(region, usize::MAX) * nthreads as f64) as usize;
+            if tid == victim.min(nthreads - 1) {
+                stolen += self.full_machine_slice;
+            }
+        }
+        stolen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_is_deterministic() {
+        let n = OsNoise::unix90s(42);
+        let a = n.stolen(3, 5, 16, 10_000_000, true);
+        let b = n.stolen(3, 5, 16, 10_000_000, true);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_scales_with_busy_time() {
+        let n = OsNoise::unix90s(1);
+        let short: Cycles = (0..32).map(|r| n.stolen(r, 0, 8, 100_000, false)).sum();
+        let long: Cycles = (0..32).map(|r| n.stolen(r, 0, 8, 10_000_000, false)).sum();
+        assert!(long > 10 * short.max(1), "short {short}, long {long}");
+    }
+
+    #[test]
+    fn zero_busy_steals_nothing() {
+        let n = OsNoise::unix90s(7);
+        assert_eq!(n.stolen(0, 0, 16, 0, true), 0);
+    }
+
+    #[test]
+    fn full_machine_regions_pay_a_slice() {
+        let n = OsNoise::unix90s(11);
+        // Over many regions, the full-machine total must exceed the
+        // shared-machine total by roughly a slice per region.
+        let busy = 2_000_000u64;
+        let with: Cycles = (0..64)
+            .map(|r| (0..16).map(|t| n.stolen(r, t, 16, busy, true)).max().unwrap())
+            .sum();
+        let without: Cycles = (0..64)
+            .map(|r| (0..16).map(|t| n.stolen(r, t, 16, busy, false)).max().unwrap())
+            .sum();
+        assert!(
+            with > without + 32 * n.full_machine_slice,
+            "with {with}, without {without}"
+        );
+    }
+}

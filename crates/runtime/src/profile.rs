@@ -1,0 +1,168 @@
+//! A CXpa-style profiler.
+//!
+//! §6 of the paper: "an excellent tool, CXpa provided good average
+//! behavior profiling that exposes at least coarse grained imbalances
+//! in execution across the parallel resources. With these means of
+//! observing system behaviour, code modifications were made rapidly
+//! and to good effect." This module gives the simulated applications
+//! the same view: named parallel regions accumulate elapsed time,
+//! per-thread busy times, flops and load balance.
+
+use crate::fork::RegionReport;
+use spp_core::Cycles;
+
+/// Accumulated statistics for one named region.
+#[derive(Debug, Clone, Default)]
+pub struct RegionStat {
+    /// Region name.
+    pub name: String,
+    /// Invocations.
+    pub calls: u64,
+    /// Total elapsed cycles (fork to join).
+    pub elapsed: Cycles,
+    /// Sum of per-thread busy cycles.
+    pub busy_total: Cycles,
+    /// Sum over calls of the max per-thread busy time.
+    pub busy_max: Cycles,
+    /// FLOPs executed.
+    pub flops: u64,
+}
+
+impl RegionStat {
+    /// Load balance in (0, 1]: mean busy time over max busy time.
+    /// 1.0 = perfectly balanced; low values expose the imbalances
+    /// CXpa was prized for revealing.
+    pub fn balance(&self, threads_hint: f64) -> f64 {
+        if self.busy_max == 0 {
+            1.0
+        } else {
+            (self.busy_total as f64 / threads_hint) / self.busy_max as f64
+        }
+    }
+}
+
+/// The profiler: feed it every region's [`RegionReport`].
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    regions: Vec<RegionStat>,
+    threads: f64,
+}
+
+impl Profile {
+    /// Fresh profiler.
+    pub fn new() -> Self {
+        Profile::default()
+    }
+
+    /// Record one parallel region under `name`.
+    pub fn record(&mut self, name: &str, rep: &RegionReport) {
+        self.threads = rep.busy.len() as f64;
+        let stat = match self.regions.iter_mut().find(|r| r.name == name) {
+            Some(s) => s,
+            None => {
+                self.regions.push(RegionStat {
+                    name: name.to_string(),
+                    ..Default::default()
+                });
+                self.regions.last_mut().unwrap()
+            }
+        };
+        stat.calls += 1;
+        stat.elapsed += rep.elapsed;
+        stat.busy_total += rep.busy.iter().sum::<u64>();
+        stat.busy_max += rep.busy.iter().copied().max().unwrap_or(0);
+        stat.flops += rep.flops;
+    }
+
+    /// All region stats, in first-seen order.
+    pub fn regions(&self) -> &[RegionStat] {
+        &self.regions
+    }
+
+    /// Total elapsed cycles across regions.
+    pub fn total_elapsed(&self) -> Cycles {
+        self.regions.iter().map(|r| r.elapsed).sum()
+    }
+
+    /// Render the CXpa-like table: per region, share of time, load
+    /// balance and sustained rate.
+    pub fn report(&self) -> String {
+        let total = self.total_elapsed().max(1);
+        let mut out = String::from(
+            "region                calls      time(ms)   %time  balance   MF/s\n\
+             ------------------------------------------------------------------\n",
+        );
+        for r in &self.regions {
+            let ms = r.elapsed as f64 * 1e-5;
+            let pct = 100.0 * r.elapsed as f64 / total as f64;
+            let mf = if r.elapsed > 0 {
+                r.flops as f64 / (r.elapsed as f64 * 1e-8) / 1e6
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{:<20} {:>6} {:>12.3} {:>7.1} {:>8.2} {:>6.1}\n",
+                r.name,
+                r.calls,
+                ms,
+                pct,
+                r.balance(self.threads),
+                mf
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fork::Runtime;
+    use crate::team::Placement;
+
+    #[test]
+    fn records_and_reports() {
+        let mut rt = Runtime::spp1000(1);
+        let mut prof = Profile::new();
+        for _ in 0..3 {
+            let r = rt.fork_join(4, &Placement::HighLocality, |ctx| ctx.flops(1000));
+            prof.record("compute", &r);
+        }
+        let r = rt.fork_join(4, &Placement::HighLocality, |_| {});
+        prof.record("sync", &r);
+
+        assert_eq!(prof.regions().len(), 2);
+        assert_eq!(prof.regions()[0].calls, 3);
+        assert_eq!(prof.regions()[0].flops, 3 * 4000);
+        let rep = prof.report();
+        assert!(rep.contains("compute"));
+        assert!(rep.contains("sync"));
+    }
+
+    #[test]
+    fn balance_exposes_imbalance() {
+        let mut rt = Runtime::spp1000(1);
+        let mut prof = Profile::new();
+        // Thread 0 does 4x the work of the others.
+        let r = rt.fork_join(4, &Placement::HighLocality, |ctx| {
+            ctx.flops(if ctx.tid == 0 { 40_000 } else { 10_000 });
+        });
+        prof.record("skewed", &r);
+        let b = prof.regions()[0].balance(4.0);
+        assert!((0.3..=0.6).contains(&b), "balance = {b}");
+
+        let r = rt.fork_join(4, &Placement::HighLocality, |ctx| {
+            ctx.flops(10_000);
+        });
+        prof.record("even", &r);
+        let b = prof.regions()[1].balance(4.0);
+        assert!(b > 0.95, "balance = {b}");
+    }
+
+    #[test]
+    fn empty_profile_is_harmless() {
+        let prof = Profile::new();
+        assert_eq!(prof.total_elapsed(), 0);
+        assert!(prof.report().contains("region"));
+    }
+}

@@ -1,0 +1,263 @@
+//! Thread teams and placement policies.
+//!
+//! The paper's §4 experiments use two placements: *high locality*
+//! (fill one hypernode before spilling onto the next) and *uniform
+//! distribution* (equal thread counts per hypernode). Both are
+//! provided, plus explicit placement for ad-hoc experiments.
+
+use spp_core::{CpuId, MachineConfig, NodeId};
+
+/// How a team's threads are mapped onto CPUs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Placement {
+    /// Fill hypernode 0's CPUs first, then hypernode 1, ... (the
+    /// paper's "high locality" curves).
+    HighLocality,
+    /// Round-robin threads across hypernodes so each holds an equal
+    /// share (the paper's "uniform distribution" curves).
+    Uniform,
+    /// Thread `i` runs on `cpus[i]`.
+    Explicit(Vec<CpuId>),
+}
+
+/// A set of simulated threads bound to CPUs.
+#[derive(Debug, Clone)]
+pub struct Team {
+    cpus: Vec<CpuId>,
+    nodes_used: usize,
+    /// `chunk_rank[tid]` — the static-scheduling chunk index thread
+    /// `tid` owns. Threads are ranked by (node, tid) so that chunk
+    /// ownership lines up with block-shared data placement (first
+    /// blocks homed on the first node): locality-aware loop
+    /// assignment, which every placement-conscious code does.
+    chunk_rank: Vec<usize>,
+}
+
+impl Team {
+    /// Map `n` threads onto the machine with the given placement.
+    ///
+    /// # Panics
+    /// If `n` is zero, exceeds the CPU count, or an explicit list has
+    /// the wrong length or repeats a CPU.
+    pub fn place(cfg: &MachineConfig, n: usize, placement: &Placement) -> Self {
+        assert!(n >= 1, "a team needs at least one thread");
+        assert!(
+            n <= cfg.num_cpus(),
+            "team of {n} exceeds {} CPUs",
+            cfg.num_cpus()
+        );
+        let cpus: Vec<CpuId> = match placement {
+            Placement::HighLocality => (0..n as u16).map(CpuId).collect(),
+            Placement::Uniform => {
+                let nodes = cfg.hypernodes.min(n);
+                let per_node = cfg.cpus_per_node();
+                (0..n)
+                    .map(|t| {
+                        let node = t % nodes;
+                        let slot = t / nodes;
+                        assert!(
+                            slot < per_node,
+                            "uniform placement of {n} threads overflows node {node}"
+                        );
+                        CpuId((node * per_node + slot) as u16)
+                    })
+                    .collect()
+            }
+            Placement::Explicit(list) => {
+                assert_eq!(list.len(), n, "explicit placement length mismatch");
+                let mut seen = vec![false; cfg.num_cpus()];
+                for c in list {
+                    assert!(
+                        (c.0 as usize) < cfg.num_cpus(),
+                        "cpu {} out of range",
+                        c.0
+                    );
+                    assert!(!seen[c.0 as usize], "cpu {} used twice", c.0);
+                    seen[c.0 as usize] = true;
+                }
+                list.clone()
+            }
+        };
+        let mut nodes: Vec<NodeId> = cpus.iter().map(|c| cfg.node_of_cpu(*c)).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        // Rank threads by (node, tid): thread ranks are contiguous per
+        // node, so chunk i of a block-shared array is owned by a
+        // thread on the node hosting block i.
+        let mut by_node: Vec<usize> = (0..cpus.len()).collect();
+        by_node.sort_by_key(|t| (cfg.node_of_cpu(cpus[*t]).0, *t));
+        let mut chunk_rank = vec![0usize; cpus.len()];
+        for (rank, tid) in by_node.iter().enumerate() {
+            chunk_rank[*tid] = rank;
+        }
+        Team {
+            cpus,
+            nodes_used: nodes.len(),
+            chunk_rank,
+        }
+    }
+
+    /// Number of threads.
+    pub fn len(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// True for an empty team (never constructed by [`Team::place`]).
+    pub fn is_empty(&self) -> bool {
+        self.cpus.is_empty()
+    }
+
+    /// CPU that thread `tid` runs on.
+    pub fn cpu(&self, tid: usize) -> CpuId {
+        self.cpus[tid]
+    }
+
+    /// All CPUs in thread order.
+    pub fn cpus(&self) -> &[CpuId] {
+        &self.cpus
+    }
+
+    /// Number of distinct hypernodes the team spans.
+    pub fn nodes_used(&self) -> usize {
+        self.nodes_used
+    }
+
+    /// The locality-aligned chunk index thread `tid` owns (threads
+    /// ranked by node, then tid).
+    pub fn chunk_rank(&self, tid: usize) -> usize {
+        self.chunk_rank[tid]
+    }
+
+    /// The placement class a locality-aware shared-memory code gives a
+    /// `bytes`-sized shared array for this team (§3.2/§6 of the paper:
+    /// placement control "became crucial"): near-shared on the team's
+    /// hypernode when the team fits on one, otherwise block-shared
+    /// with one contiguous block per hypernode so thread `i`'s chunk
+    /// is homed where thread `i` runs.
+    pub fn shared_class(&self, cfg: &MachineConfig, bytes: u64) -> spp_core::MemClass {
+        use spp_core::MemClass;
+        if self.nodes_used <= 1 {
+            MemClass::NearShared {
+                node: cfg.node_of_cpu(self.cpus[0]),
+            }
+        } else {
+            let page = cfg.page_bytes as u64;
+            let per_node = bytes.div_ceil(self.nodes_used as u64);
+            let block = per_node.div_ceil(page).max(1) * page;
+            MemClass::BlockShared {
+                block_bytes: block as usize,
+            }
+        }
+    }
+}
+
+/// Split `0..n` into `parts` contiguous chunks whose sizes differ by
+/// at most one (static loop scheduling).
+pub fn chunk_range(n: usize, parts: usize, part: usize) -> std::ops::Range<usize> {
+    debug_assert!(part < parts);
+    let base = n / parts;
+    let extra = n % parts;
+    let start = part * base + part.min(extra);
+    let len = base + usize::from(part < extra);
+    start..start + len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_core::MachineConfig;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::spp1000(2)
+    }
+
+    #[test]
+    fn high_locality_fills_node0_first() {
+        let t = Team::place(&cfg(), 8, &Placement::HighLocality);
+        assert!(t.cpus().iter().all(|c| c.0 < 8));
+        assert_eq!(t.nodes_used(), 1);
+        let t = Team::place(&cfg(), 9, &Placement::HighLocality);
+        assert_eq!(t.cpu(8), CpuId(8));
+        assert_eq!(t.nodes_used(), 2);
+    }
+
+    #[test]
+    fn uniform_alternates_nodes() {
+        let t = Team::place(&cfg(), 4, &Placement::Uniform);
+        let nodes: Vec<u8> = t
+            .cpus()
+            .iter()
+            .map(|c| cfg().node_of_cpu(*c).0)
+            .collect();
+        assert_eq!(nodes, vec![0, 1, 0, 1]);
+        assert_eq!(t.nodes_used(), 2);
+    }
+
+    #[test]
+    fn uniform_single_thread_uses_one_node() {
+        let t = Team::place(&cfg(), 1, &Placement::Uniform);
+        assert_eq!(t.nodes_used(), 1);
+    }
+
+    #[test]
+    fn uniform_16_threads_uses_all_cpus() {
+        let t = Team::place(&cfg(), 16, &Placement::Uniform);
+        let mut cpus: Vec<u16> = t.cpus().iter().map(|c| c.0).collect();
+        cpus.sort_unstable();
+        assert_eq!(cpus, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn explicit_placement_respected() {
+        let t = Team::place(
+            &cfg(),
+            2,
+            &Placement::Explicit(vec![CpuId(3), CpuId(12)]),
+        );
+        assert_eq!(t.cpu(0), CpuId(3));
+        assert_eq!(t.cpu(1), CpuId(12));
+        assert_eq!(t.nodes_used(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "used twice")]
+    fn explicit_rejects_duplicates() {
+        Team::place(
+            &cfg(),
+            2,
+            &Placement::Explicit(vec![CpuId(3), CpuId(3)]),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn too_many_threads_rejected() {
+        Team::place(&cfg(), 17, &Placement::HighLocality);
+    }
+
+    #[test]
+    fn chunks_cover_range_exactly() {
+        for n in [0usize, 1, 7, 16, 100] {
+            for parts in [1usize, 2, 3, 8] {
+                let mut total = 0;
+                let mut next = 0;
+                for p in 0..parts {
+                    let r = chunk_range(n, parts, p);
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                    total += r.len();
+                }
+                assert_eq!(total, n, "n={n} parts={parts}");
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_differ_by_at_most_one() {
+        let sizes: Vec<usize> = (0..8).map(|p| chunk_range(100, 8, p).len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! CXpa-style profiling of the PIC code (§6: the paper credits
+//! exactly this kind of per-region instrumentation for fast
+//! optimization turnaround — "If vendors are going to insist on
+//! gambling system performance on latency avoidance through caches,
+//! then they should make available the means to observe the
+//! consequences of cache operation").
+//!
+//! ```text
+//! cargo run --release --example cxpa_profile
+//! ```
+
+use pic::{PicProblem, SharedPic};
+use spp1000::prelude::*;
+use spp1000::spp_runtime::Profile;
+
+fn main() {
+    let problem = PicProblem::with_mesh(16, 16, 16);
+    let mut rt = Runtime::spp1000(2);
+    let team = Team::place(rt.machine.config(), 8, &Placement::HighLocality);
+    let mut sim = SharedPic::new(&mut rt, problem, &team);
+
+    let mut prof = Profile::new();
+    let before = rt.machine.stats;
+    for _ in 0..4 {
+        sim.step_profiled(&mut rt, &team, Some(&mut prof));
+    }
+    let mem = rt.machine.stats.since(&before);
+
+    println!("PIC 16x16x16, 8 processors, 4 timesteps — per-phase profile:\n");
+    println!("{}", prof.report());
+    println!("memory system over the same window:\n{mem}");
+    println!(
+        "\nreading the table: the particle phases (deposit, gather_push) dominate;\n\
+         the strided fft_z pencils have the worst cache behavior per flop; balance\n\
+         near 1.0 shows the static particle decomposition is even."
+    );
+}

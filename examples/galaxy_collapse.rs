@@ -1,0 +1,57 @@
+//! A self-gravitating Plummer sphere with the Barnes-Hut tree code
+//! (paper §5.3): energy bookkeeping plus the cross-hypernode scaling
+//! behaviour of Figure 8.
+//!
+//! ```text
+//! cargo run --release --example galaxy_collapse
+//! ```
+
+use nbody::{host, plummer, NbodyProblem, SharedNbody};
+use spp1000::prelude::*;
+
+fn main() {
+    let problem = NbodyProblem::with_n(8192);
+    println!(
+        "Plummer sphere: {} particles, theta = {}, eps = {}",
+        problem.n, problem.theta, problem.eps
+    );
+
+    // Energy check on the host reference first.
+    let mut b = plummer(&problem);
+    let e0 = host::total_energy(&b, problem.eps);
+    for _ in 0..5 {
+        host::step(&problem, &mut b);
+    }
+    let e1 = host::total_energy(&b, problem.eps);
+    println!(
+        "leapfrog energy drift over 5 steps: {:.3}% (E {:.5} -> {:.5})",
+        100.0 * ((e1 - e0) / e0).abs(),
+        e0,
+        e1
+    );
+
+    // Scaling on the simulated machine: one hypernode vs two.
+    println!("\nprocs  config   Mflop/s  speedup   (paper: 27.5 MF/s serial, 2-7% cross-node loss)");
+    let mut base = 0.0;
+    for (procs, placement, label) in [
+        (1usize, Placement::HighLocality, "1 node"),
+        (4, Placement::HighLocality, "1 node"),
+        (8, Placement::HighLocality, "1 node"),
+        (8, Placement::Uniform, "2 nodes"),
+        (16, Placement::Uniform, "2 nodes"),
+    ] {
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), procs, &placement);
+        let mut sim = SharedNbody::new(&mut rt, problem.clone(), &team);
+        sim.step(&mut rt, &team); // warm-up
+        let r = sim.run(&mut rt, &team, 1);
+        if base == 0.0 {
+            base = r.mflops();
+        }
+        println!(
+            "{procs:>5}  {label:>7}  {:>7.1}  {:>7.2}",
+            r.mflops(),
+            r.mflops() / base
+        );
+    }
+}

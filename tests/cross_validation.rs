@@ -1,0 +1,146 @@
+//! Cross-implementation validation through the `spp1000` facade:
+//! every execution style of every application must agree on the
+//! physics, whatever it costs on the simulated machine.
+
+use spp1000::prelude::*;
+
+/// PIC: host reference, shared-memory (1 and 8 threads) and
+/// replicated-grid PVM all produce the same field energy.
+#[test]
+fn pic_all_implementations_agree() {
+    use spp1000::pic::{host, load_particles, PicProblem, SharedPic};
+    let p = PicProblem::tiny();
+    let steps = 2;
+
+    // Host reference.
+    let mut parts = load_particles(&p);
+    let mut fields = host::Fields::new(&p);
+    for _ in 0..steps {
+        host::step(&p, &mut parts, &mut fields);
+    }
+    let reference = fields.field_energy();
+
+    // Shared memory at two team sizes.
+    for threads in [1usize, 8] {
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), threads, &Placement::HighLocality);
+        let mut sim = SharedPic::new(&mut rt, p.clone(), &team);
+        for _ in 0..steps {
+            sim.step(&mut rt, &team);
+        }
+        let rel = (sim.field_energy() - reference).abs() / reference;
+        assert!(rel < 1e-6, "shared({threads}) field energy off by {rel}");
+    }
+
+    // PVM.
+    let cpus: Vec<CpuId> = (0..4u16).map(CpuId).collect();
+    let mut pvm = Pvm::spp1000(2, &cpus);
+    let mut sim = spp1000::pic::pvm::PvmPic::new(&mut pvm, p.clone());
+    for _ in 0..steps {
+        sim.step(&mut pvm);
+    }
+    // Compare kinetic energy (the PVM version exposes KE).
+    let ke_ref = parts.kinetic_energy();
+    let rel = (sim.kinetic_energy() - ke_ref).abs() / ke_ref;
+    assert!(rel < 1e-9, "pvm kinetic energy off by {rel}");
+}
+
+/// PIC: the slab-decomposed PVM variant also matches.
+#[test]
+fn pic_slab_pvm_matches_host() {
+    use spp1000::pic::{host, load_particles, pvm_slab::SlabPvmPic, PicProblem};
+    let p = PicProblem::tiny();
+    let cpus: Vec<CpuId> = (0..4u16).map(CpuId).collect();
+    let mut pvm = Pvm::spp1000(2, &cpus);
+    let mut sim = SlabPvmPic::new(&mut pvm, p.clone());
+    let mut parts = load_particles(&p);
+    let mut fields = host::Fields::new(&p);
+    for _ in 0..2 {
+        sim.step(&mut pvm);
+        host::step(&p, &mut parts, &mut fields);
+    }
+    assert_eq!(sim.num_particles(), parts.len());
+}
+
+/// N-body: shared memory (different placements) and PVM agree with
+/// the host integrator.
+#[test]
+fn nbody_all_implementations_agree() {
+    use spp1000::nbody::{host, plummer, problem::sort_by_morton, NbodyProblem, SharedNbody};
+    let p = NbodyProblem::with_n(512);
+    let mut b = sort_by_morton(&plummer(&p));
+    host::step(&p, &mut b);
+    let ke_ref = b.kinetic_energy();
+
+    for placement in [Placement::HighLocality, Placement::Uniform] {
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), 6, &placement);
+        let mut sim = SharedNbody::new(&mut rt, p.clone(), &team);
+        sim.step(&mut rt, &team);
+        let ke = sim.bodies().kinetic_energy();
+        let rel = (ke - ke_ref).abs() / ke_ref;
+        assert!(rel < 1e-9, "shared {placement:?} KE off by {rel}");
+    }
+
+    let cpus: Vec<CpuId> = (0..2u16).map(CpuId).collect();
+    let mut pvm = Pvm::spp1000(2, &cpus);
+    let mut sim = spp1000::nbody::pvm::PvmNbody::new(&mut pvm, p.clone());
+    sim.step(&mut pvm);
+    let rel = (sim.kinetic_energy() - ke_ref).abs() / ke_ref;
+    assert!(rel < 1e-9, "pvm KE off by {rel}");
+}
+
+/// FEM: both codings, any team size, match the host scheme.
+#[test]
+fn fem_all_codings_agree() {
+    use spp1000::fem::{host, Coding, Mesh, SharedFem};
+    let mesh = Mesh::tiny();
+    let mut s = host::State::pulse(&mesh);
+    for _ in 0..2 {
+        let dt = host::timestep(&s, 0.3);
+        host::step(&mesh, &mut s, dt);
+    }
+    let e_ref = s.total_energy(&mesh);
+
+    for coding in [Coding::ScatterAdd, Coding::Gather] {
+        for threads in [1usize, 7] {
+            let mut rt = Runtime::spp1000(2);
+            let team = Team::place(rt.machine.config(), threads, &Placement::HighLocality);
+            let mut sim = SharedFem::new(&mut rt, Mesh::tiny(), coding, &team);
+            for _ in 0..2 {
+                sim.step(&mut rt, &team, 0.3);
+            }
+            let e = sim.state().total_energy(&mesh);
+            let rel = (e - e_ref).abs() / e_ref.abs();
+            assert!(rel < 1e-9, "{coding:?}/{threads}: energy off by {rel}");
+        }
+    }
+}
+
+/// PPM: the tiled machine version matches the host grid for several
+/// tilings.
+#[test]
+fn ppm_tilings_agree() {
+    use spp1000::ppm::{host::Grid, PpmProblem, SharedPpm};
+    let base = PpmProblem::tiny();
+    let mut g = Grid::new(&base);
+    for _ in 0..3 {
+        g.step(base.cfl);
+    }
+    let m_ref = g.total_mass();
+    let p_probe = g.prim(10, 20).p;
+
+    for (tx, ty) in [(2usize, 4usize), (4, 8), (1, 1)] {
+        let prob = PpmProblem::table2(base.nx, base.ny, tx, ty);
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), 4, &Placement::HighLocality);
+        let mut sim = SharedPpm::new(&mut rt, prob, &team);
+        for _ in 0..3 {
+            sim.step(&mut rt, &team);
+        }
+        let rel_m = (sim.total_mass() - m_ref).abs() / m_ref;
+        assert!(rel_m < 1e-11, "{tx}x{ty}: mass off by {rel_m}");
+        let rel_p = (sim.prim(10, 20).p - p_probe).abs() / p_probe;
+        assert!(rel_p < 1e-9, "{tx}x{ty}: pressure off by {rel_p}");
+    }
+}

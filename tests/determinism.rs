@@ -1,0 +1,96 @@
+//! Bit-reproducibility across the full stack: every experiment must
+//! produce identical results on repeated runs (the property the whole
+//! harness depends on).
+
+use spp1000::prelude::*;
+
+#[test]
+fn machine_accounting_is_deterministic() {
+    let run = || {
+        let mut m = Machine::spp1000(2);
+        let r = m.alloc(MemClass::FarShared, 1 << 16);
+        let mut total = 0u64;
+        for i in 0..2048u64 {
+            total += m.read(CpuId((i % 16) as u16), r.addr((i * 37) % (1 << 16)));
+            if i % 3 == 0 {
+                total += m.write(CpuId(((i + 5) % 16) as u16), r.addr((i * 53) % (1 << 16)));
+            }
+        }
+        (total, m.stats)
+    };
+    let (a, sa) = run();
+    let (b, sb) = run();
+    assert_eq!(a, b);
+    assert_eq!(sa, sb);
+}
+
+#[test]
+fn fork_join_timing_is_deterministic() {
+    let run = || {
+        let mut rt = Runtime::spp1000(2);
+        (0..4)
+            .map(|_| rt.fork_join(16, &Placement::Uniform, |ctx| ctx.flops(100)).elapsed)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn pic_run_is_bit_reproducible() {
+    let run = || {
+        let p = pic::PicProblem::tiny();
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), 4, &Placement::HighLocality);
+        let mut s = pic::SharedPic::new(&mut rt, p, &team);
+        let r = s.run(&mut rt, &team, 2);
+        (r.elapsed, r.flops, s.field_energy().to_bits())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn nbody_run_is_bit_reproducible() {
+    let run = || {
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), 8, &Placement::Uniform);
+        let mut s = nbody::SharedNbody::new(&mut rt, nbody::NbodyProblem::with_n(1024), &team);
+        let (c, f, i) = s.step(&mut rt, &team);
+        let b = s.bodies();
+        (c, f, i, b.x[17].to_bits(), b.vz[900].to_bits())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn fem_and_ppm_runs_are_bit_reproducible() {
+    let fem_run = || {
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), 4, &Placement::HighLocality);
+        let mut s =
+            fem::SharedFem::new(&mut rt, fem::Mesh::tiny(), fem::Coding::Gather, &team);
+        let (c, p) = s.step(&mut rt, &team, 0.3);
+        (c, p, s.state().e[33].to_bits())
+    };
+    assert_eq!(fem_run(), fem_run());
+
+    let ppm_run = || {
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), 4, &Placement::HighLocality);
+        let mut s = ppm::SharedPpm::new(&mut rt, ppm::PpmProblem::tiny(), &team);
+        let (c, f) = s.step(&mut rt, &team);
+        (c, f, s.prim(10, 20).rho.to_bits())
+    };
+    assert_eq!(ppm_run(), ppm_run());
+}
+
+#[test]
+fn pvm_sessions_are_deterministic() {
+    let run = || {
+        let cpus: Vec<CpuId> = (0..4u16).map(CpuId).collect();
+        let mut pvm = Pvm::spp1000(2, &cpus);
+        let mut s = nbody::pvm::PvmNbody::new(&mut pvm, nbody::NbodyProblem::with_n(512));
+        let r = s.run(&mut pvm, 2);
+        (r.elapsed, r.flops, s.kinetic_energy().to_bits())
+    };
+    assert_eq!(run(), run());
+}

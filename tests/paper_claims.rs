@@ -1,0 +1,157 @@
+//! Integration tests of the paper's headline claims, exercised through
+//! the full stack (machine + runtime + PVM + applications together).
+
+use spp1000::prelude::*;
+
+/// §6: "Cache miss penalties to global data versus hypernode local
+/// data were measured at about a factor of eight on average."
+#[test]
+fn global_vs_local_miss_factor_eight() {
+    let mut m = Machine::spp1000(2);
+    let near = m.alloc(MemClass::NearShared { node: NodeId(0) }, 1 << 16);
+    let far = m.alloc(MemClass::NearShared { node: NodeId(1) }, 1 << 16);
+    let mut local = 0u64;
+    let mut remote = 0u64;
+    for i in 0..1024u64 {
+        local += m.read(CpuId(0), near.addr(i * 64));
+        remote += m.read(CpuId(0), far.addr(i * 64));
+    }
+    let ratio = remote as f64 / local as f64;
+    assert!((6.0..=10.0).contains(&ratio), "global:local = {ratio}");
+}
+
+/// §4.3: message passing is "truly scalable" — the global:local round
+/// trip ratio is ~2.3 under 8 KB.
+#[test]
+fn message_passing_ratio() {
+    let mut local = Pvm::spp1000(2, &[CpuId(0), CpuId(1)]);
+    let mut global = Pvm::spp1000(2, &[CpuId(0), CpuId(8)]);
+    let rl = local.round_trip(0, 1, 4096, 4);
+    let rg = global.round_trip(0, 1, 4096, 4);
+    let ratio = rg as f64 / rl as f64;
+    assert!((1.9..=2.8).contains(&ratio), "ratio = {ratio}");
+    assert!((25.0..=35.0).contains(&cycles_to_us(rl)));
+}
+
+/// §4.1: ~50 us one-time penalty once threads span two hypernodes.
+#[test]
+fn fork_join_cross_node_activation() {
+    let mut rt = Runtime::spp1000(2);
+    let t8 = rt.fork_join(8, &Placement::HighLocality, |_| {}).elapsed_us();
+    let t9 = rt.fork_join(9, &Placement::HighLocality, |_| {}).elapsed_us();
+    let jump = t9 - t8;
+    assert!((40.0..=90.0).contains(&jump), "activation jump = {jump} us");
+}
+
+/// §6: "Programming a single hypernode ... returned excellent scaling
+/// across eight processors in all cases." Checked for all four
+/// applications at reduced sizes.
+#[test]
+fn all_four_applications_scale_across_one_hypernode() {
+    // PIC.
+    let pic_speedup = {
+        let p = pic::PicProblem::with_mesh(16, 16, 16);
+        let run = |procs: usize| {
+            let mut rt = Runtime::spp1000(2);
+            let team = Team::place(rt.machine.config(), procs, &Placement::HighLocality);
+            let mut s = pic::SharedPic::new(&mut rt, p.clone(), &team);
+            s.run(&mut rt, &team, 1).elapsed
+        };
+        run(1) as f64 / run(8) as f64
+    };
+    assert!(pic_speedup > 5.0, "PIC 8-proc speedup = {pic_speedup}");
+
+    // FEM.
+    let fem_speedup = {
+        let run = |procs: usize| {
+            let mut rt = Runtime::spp1000(2);
+            let team = Team::place(rt.machine.config(), procs, &Placement::HighLocality);
+            let mut s =
+                fem::SharedFem::new(&mut rt, fem::structured(48, 48), fem::Coding::ScatterAdd, &team);
+            s.run(&mut rt, &team, 0.3, 1).elapsed
+        };
+        run(1) as f64 / run(8) as f64
+    };
+    assert!(fem_speedup > 5.0, "FEM 8-proc speedup = {fem_speedup}");
+
+    // N-body.
+    let nb_speedup = {
+        let run = |procs: usize| {
+            let mut rt = Runtime::spp1000(2);
+            let team = Team::place(rt.machine.config(), procs, &Placement::HighLocality);
+            let mut s = nbody::SharedNbody::new(&mut rt, nbody::NbodyProblem::with_n(4096), &team);
+            s.run(&mut rt, &team, 1).elapsed
+        };
+        run(1) as f64 / run(8) as f64
+    };
+    assert!(nb_speedup > 5.0, "N-body 8-proc speedup = {nb_speedup}");
+
+    // PPM.
+    let ppm_speedup = {
+        let p = ppm::PpmProblem::table2(64, 64, 4, 4);
+        let run = |procs: usize| {
+            let mut rt = Runtime::spp1000(2);
+            let team = Team::place(rt.machine.config(), procs, &Placement::HighLocality);
+            let mut s = ppm::SharedPpm::new(&mut rt, p.clone(), &team);
+            s.run(&mut rt, &team, 1).elapsed
+        };
+        run(1) as f64 / run(8) as f64
+    };
+    assert!(ppm_speedup > 5.0, "PPM 8-proc speedup = {ppm_speedup}");
+}
+
+/// §3.1 / Fig. 6: "a PVM implementation of an application can achieve
+/// almost one half the performance of a shared memory implementation"
+/// — i.e. PVM is slower, by very roughly 2x at scale.
+#[test]
+fn pvm_pic_costs_roughly_twice_shared() {
+    let p = pic::PicProblem::with_mesh(16, 16, 16);
+    let mut rt = Runtime::spp1000(2);
+    let team = Team::place(rt.machine.config(), 8, &Placement::HighLocality);
+    let mut sh = pic::SharedPic::new(&mut rt, p.clone(), &team);
+    let rs = sh.run(&mut rt, &team, 1);
+
+    let cpus: Vec<CpuId> = (0..8u16).map(CpuId).collect();
+    let mut pvm = Pvm::spp1000(2, &cpus);
+    let mut pv = pic::pvm::PvmPic::new(&mut pvm, p);
+    let rp = pv.run(&mut pvm, 1);
+    let ratio = rp.elapsed as f64 / rs.elapsed as f64;
+    assert!((1.2..=3.5).contains(&ratio), "pvm/shared = {ratio}");
+}
+
+/// §5.3.2: the tree code's cross-hypernode degradation is small.
+#[test]
+fn nbody_cross_node_degradation_small() {
+    let run = |placement: Placement| {
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), 8, &placement);
+        let mut s = nbody::SharedNbody::new(&mut rt, nbody::NbodyProblem::with_n(8192), &team);
+        s.step(&mut rt, &team);
+        s.run(&mut rt, &team, 1).elapsed
+    };
+    let single = run(Placement::HighLocality);
+    let dual = run(Placement::Uniform);
+    let degradation = dual as f64 / single as f64 - 1.0;
+    assert!(
+        (-0.05..=0.25).contains(&degradation),
+        "degradation = {:.1}%",
+        degradation * 100.0
+    );
+}
+
+/// Table 2 shape: finer tiles cost throughput; the 240x960 grid at 4
+/// procs matches the 120x480 rate (both ~119 Mflop/s in the paper).
+#[test]
+fn ppm_table2_shape() {
+    let run = |nx: usize, ny: usize, tx: usize, ty: usize| {
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), 4, &Placement::HighLocality);
+        let mut s = ppm::SharedPpm::new(&mut rt, ppm::PpmProblem::table2(nx, ny, tx, ty), &team);
+        s.step(&mut rt, &team);
+        s.run(&mut rt, &team, 1).mflops()
+    };
+    let coarse = run(120, 240, 4, 8);
+    let fine = run(120, 240, 12, 24);
+    assert!(fine < coarse, "fine {fine} vs coarse {coarse}");
+    assert!(fine > 0.6 * coarse, "fine tiles lose too much: {fine} vs {coarse}");
+}

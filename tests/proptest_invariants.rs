@@ -1,0 +1,162 @@
+//! Property-based tests over the core data structures and the
+//! machine's coherence invariants.
+
+use proptest::prelude::*;
+use spp1000::prelude::*;
+use spp1000::spp_core::linemap::LineMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LineMap behaves exactly like a reference HashMap under any
+    /// sequence of inserts/removes/gets.
+    #[test]
+    fn linemap_matches_hashmap_model(ops in proptest::collection::vec(
+        (0u8..3, 0u64..64, 0u32..1000), 1..200)) {
+        let mut sut = LineMap::new();
+        let mut model = std::collections::HashMap::new();
+        for (op, key, val) in ops {
+            match op {
+                0 => {
+                    prop_assert_eq!(sut.insert(key, val), model.insert(key, val));
+                }
+                1 => {
+                    prop_assert_eq!(sut.remove(key), model.remove(&key));
+                }
+                _ => {
+                    prop_assert_eq!(sut.get(key), model.get(&key));
+                }
+            }
+            prop_assert_eq!(sut.len(), model.len());
+        }
+    }
+
+    /// Any access sequence preserves the machine's accounting
+    /// invariants: hits never exceed accesses, every miss is
+    /// classified exactly once, and repeated reads of the same address
+    /// by the same CPU eventually hit.
+    #[test]
+    fn machine_accounting_invariants(
+        accesses in proptest::collection::vec(
+            (0u16..16, 0u64..4096u64, proptest::bool::ANY), 1..300)
+    ) {
+        let mut m = Machine::spp1000(2);
+        let r = m.alloc(MemClass::FarShared, 128 << 10);
+        for (cpu, slot, is_write) in accesses {
+            let addr = r.addr((slot * 32) % (128 << 10));
+            let c = if is_write {
+                m.write(CpuId(cpu), addr)
+            } else {
+                m.read(CpuId(cpu), addr)
+            };
+            prop_assert!(c >= 1);
+        }
+        let s = m.stats;
+        prop_assert!(s.hits <= s.accesses());
+        prop_assert_eq!(
+            s.misses(),
+            s.local_misses + s.gcb_hits + s.sci_fetches + s.c2c_transfers
+        );
+        // Immediate re-read must hit.
+        let before = m.stats;
+        m.read(CpuId(3), r.addr(0));
+        let first = m.read(CpuId(3), r.addr(0));
+        prop_assert_eq!(first, 1);
+        prop_assert_eq!(m.stats.since(&before).hits >= 1, true);
+    }
+
+    /// Every address maps to exactly one home, and that home is stable.
+    #[test]
+    fn placement_is_total_and_stable(
+        len in 1u64..(1 << 20),
+        class_sel in 0u8..4,
+        offsets in proptest::collection::vec(0u64..(1 << 20), 1..32)
+    ) {
+        let mut m = Machine::spp1000(2);
+        let class = match class_sel {
+            0 => MemClass::NearShared { node: NodeId(1) },
+            1 => MemClass::FarShared,
+            2 => MemClass::BlockShared { block_bytes: 8192 },
+            _ => MemClass::NodePrivate { node: NodeId(0) },
+        };
+        let r = m.alloc(class, len);
+        for o in offsets {
+            let addr = r.addr(o % len);
+            let h1 = m.home_of(addr);
+            let h2 = m.home_of(addr);
+            prop_assert_eq!(h1, h2);
+            let (node, fu) = h1;
+            prop_assert!((node.0 as usize) < 2);
+            prop_assert_eq!(m.config().node_of_fu(fu), node);
+        }
+    }
+
+    /// chunk_range always partitions 0..n exactly, for any n and parts.
+    #[test]
+    fn chunking_partitions(n in 0usize..10_000, parts in 1usize..64) {
+        let mut next = 0;
+        for p in 0..parts {
+            let r = spp1000::spp_runtime::chunk_range(n, parts, p);
+            prop_assert_eq!(r.start, next);
+            next = r.end;
+        }
+        prop_assert_eq!(next, n);
+    }
+
+    /// Radix sort sorts any input and is a permutation.
+    #[test]
+    fn radix_sort_sorts(mut keys in proptest::collection::vec(proptest::num::u64::ANY, 0..500)) {
+        let mut payload: Vec<u32> = (0..keys.len() as u32).collect();
+        let original = keys.clone();
+        spp1000::spp_kernels::radix_sort_by_key(&mut keys, &mut payload);
+        prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        for (rank, &orig) in payload.iter().enumerate() {
+            prop_assert_eq!(keys[rank], original[orig as usize]);
+        }
+    }
+
+    /// FFT round trip is the identity for any signal.
+    #[test]
+    fn fft_round_trips(re in proptest::collection::vec(-100.0f64..100.0, 1..5)) {
+        // Use a fixed power-of-two length; fill from the generated data.
+        let n = 64;
+        let mut z: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(re[i % re.len()] + i as f64 * 0.01, -(i as f64) * 0.02))
+            .collect();
+        let orig = z.clone();
+        spp1000::spp_kernels::fft_inplace(&mut z, false);
+        spp1000::spp_kernels::fft_inplace(&mut z, true);
+        for (a, b) in z.iter().zip(&orig) {
+            prop_assert!((a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8);
+        }
+    }
+
+    /// Morton keys round-trip any coordinates.
+    #[test]
+    fn morton_round_trips(x in 0u32..(1 << 21), y in 0u32..(1 << 21), z in 0u32..(1 << 21)) {
+        let (a, b, c) = spp1000::spp_kernels::demorton3(spp1000::spp_kernels::morton3(x, y, z));
+        prop_assert_eq!((a, b, c), (x, y, z));
+    }
+
+    /// The barrier never releases a thread before the last arrival,
+    /// and lilo >= lifo, for any arrival pattern.
+    #[test]
+    fn barrier_ordering_invariants(
+        arrivals in proptest::collection::vec(0u64..10_000, 1..16)
+    ) {
+        let mut m = Machine::spp1000(2);
+        let bar = SimBarrier::new(&mut m, NodeId(0));
+        let cost = spp1000::spp_runtime::RuntimeCostModel::spp1000();
+        let parts: Vec<(CpuId, Cycles)> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (CpuId(i as u16), *t))
+            .collect();
+        let r = bar.simulate(&mut m, &cost, &parts);
+        let last = parts.iter().map(|p| p.1).max().unwrap();
+        for rel in &r.release {
+            prop_assert!(*rel > last);
+        }
+        prop_assert!(r.lilo() >= r.lifo());
+    }
+}

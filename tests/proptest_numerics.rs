@@ -1,0 +1,166 @@
+//! Property-based tests on the application numerics: the Riemann
+//! solver, PPM reconstruction, CIC interpolation and the octree.
+
+use proptest::prelude::*;
+use spp1000::ppm::euler::{flux, riemann, Prim};
+
+fn arb_state() -> impl Strategy<Value = Prim> {
+    (0.05f64..10.0, -3.0f64..3.0, -3.0f64..3.0, 0.05f64..10.0).prop_map(|(rho, u, v, p)| Prim {
+        rho,
+        u,
+        v,
+        p,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The two-shock Riemann solver always returns a physical state.
+    #[test]
+    fn riemann_states_stay_physical(l in arb_state(), r in arb_state()) {
+        let s = riemann(&l, &r);
+        prop_assert!(s.rho > 0.0, "rho = {}", s.rho);
+        prop_assert!(s.p > 0.0, "p = {}", s.p);
+        prop_assert!(s.u.is_finite() && s.v.is_finite());
+        let f = flux(&s);
+        prop_assert!(f.rho.is_finite() && f.e.is_finite());
+    }
+
+    /// Mirror symmetry: swapping sides and negating normal velocities
+    /// negates the resolved normal velocity and preserves rho/p.
+    #[test]
+    fn riemann_mirror_symmetry(l in arb_state(), r in arb_state()) {
+        let a = riemann(&l, &r);
+        let lm = Prim { u: -r.u, ..r };
+        let rm = Prim { u: -l.u, ..l };
+        let b = riemann(&lm, &rm);
+        prop_assert!((a.rho - b.rho).abs() < 1e-9 * a.rho.max(1.0));
+        prop_assert!((a.u + b.u).abs() < 1e-9 * (a.u.abs() + 1.0));
+        prop_assert!((a.p - b.p).abs() < 1e-9 * a.p.max(1.0));
+    }
+
+    /// Identical states resolve to themselves (consistency).
+    #[test]
+    fn riemann_consistency(s in arb_state()) {
+        let res = riemann(&s, &s);
+        prop_assert!((res.rho - s.rho).abs() < 1e-6 * s.rho);
+        prop_assert!((res.u - s.u).abs() < 1e-6 * (s.u.abs() + 1.0));
+        prop_assert!((res.p - s.p).abs() < 1e-6 * s.p);
+    }
+
+    /// CIC weights are a partition of unity and the deposited charge
+    /// equals the particle charge, wherever the particle sits.
+    #[test]
+    fn cic_deposit_conserves_charge(
+        x in 0.0f64..8.0, y in 0.0f64..8.0, z in 0.0f64..8.0, q in -5.0f64..5.0
+    ) {
+        use spp1000::pic::{host, PicProblem, Particles};
+        let p = PicProblem::tiny();
+        let parts = Particles {
+            x: vec![x], y: vec![y], z: vec![z],
+            vx: vec![0.0], vy: vec![0.0], vz: vec![0.0],
+            q: vec![q],
+            ex: vec![0.0], ey: vec![0.0], ez: vec![0.0], aux: vec![0.0],
+        };
+        let mut rho = vec![0.0; p.cells()];
+        host::deposit(&p, &parts, &mut rho);
+        let total: f64 = rho.iter().sum();
+        prop_assert!((total - q).abs() < 1e-12 * q.abs().max(1.0));
+        // No negative deposits for positive charge.
+        if q > 0.0 {
+            prop_assert!(rho.iter().all(|r| *r >= -1e-15));
+        }
+    }
+
+    /// Octree invariants hold for any particle cloud: the root owns
+    /// everything, children partition parents, mass is conserved.
+    #[test]
+    fn octree_invariants(
+        coords in proptest::collection::vec((8.0f64..24.0, 8.0f64..24.0, 8.0f64..24.0), 1..200)
+    ) {
+        use spp1000::nbody::{build, Bodies};
+        let n = coords.len();
+        let b = Bodies {
+            x: coords.iter().map(|c| c.0).collect(),
+            y: coords.iter().map(|c| c.1).collect(),
+            z: coords.iter().map(|c| c.2).collect(),
+            vx: vec![0.0; n], vy: vec![0.0; n], vz: vec![0.0; n],
+            m: vec![1.0 / n as f64; n],
+        };
+        let t = build(&b, 8);
+        prop_assert_eq!(t.nodes[0].pcount as usize, n);
+        prop_assert!((t.nodes[0].mass - 1.0).abs() < 1e-9);
+        for node in &t.nodes {
+            if node.nchild > 0 {
+                let covered: u32 = (node.child_start..node.child_start + node.nchild)
+                    .map(|c| t.nodes[c as usize].pcount)
+                    .sum();
+                prop_assert_eq!(covered, node.pcount);
+            } else {
+                prop_assert!(node.pcount <= 8 || node.size < 1e-3);
+            }
+        }
+        // The Morton order is a permutation.
+        let mut seen = vec![false; n];
+        for o in &t.order {
+            prop_assert!(!std::mem::replace(&mut seen[*o as usize], true));
+        }
+    }
+
+    /// Tree forces approximate direct summation for any small cloud.
+    #[test]
+    fn tree_forces_approximate_direct(
+        coords in proptest::collection::vec((10.0f64..22.0, 10.0f64..22.0, 10.0f64..22.0), 16..64)
+    ) {
+        use spp1000::nbody::{build, host, Bodies};
+        let n = coords.len();
+        let b = Bodies {
+            x: coords.iter().map(|c| c.0).collect(),
+            y: coords.iter().map(|c| c.1).collect(),
+            z: coords.iter().map(|c| c.2).collect(),
+            vx: vec![0.0; n], vy: vec![0.0; n], vz: vec![0.0; n],
+            m: vec![1.0; n],
+        };
+        let t = build(&b, 4);
+        let eps = 0.1;
+        let (at, _) = host::tree_accel(&b, &t, 0, 0.6, eps);
+        let ad = host::direct_accel(&b, b.x[0], b.y[0], b.z[0], 0, eps);
+        let mag = (ad[0].powi(2) + ad[1].powi(2) + ad[2].powi(2)).sqrt();
+        let err = ((at[0] - ad[0]).powi(2) + (at[1] - ad[1]).powi(2) + (at[2] - ad[2]).powi(2))
+            .sqrt();
+        prop_assert!(err <= 0.1 * mag.max(1e-9), "rel err = {}", err / mag.max(1e-9));
+    }
+
+    /// FEM element residuals of a uniform state are pure pressure
+    /// terms that cancel over interior points (discrete conservation).
+    #[test]
+    fn fem_uniform_residuals_cancel(rho in 0.2f64..5.0, p in 0.2f64..5.0) {
+        use spp1000::fem::{host, structured};
+        let mesh = structured(8, 8);
+        let n = mesh.num_points();
+        let s = host::State {
+            rho: vec![rho; n],
+            mu: vec![0.0; n],
+            mv: vec![0.0; n],
+            e: vec![p / (host::GAMMA - 1.0); n],
+        };
+        let mut r = vec![[0.0f64; 4]; n];
+        for e in 0..mesh.num_elements() {
+            let c = host::element_residual(&mesh, &s, e, 1.0);
+            for (v, cc) in mesh.tri[e].iter().zip(c) {
+                for k in 0..4 {
+                    r[*v as usize][k] += cc[k];
+                }
+            }
+        }
+        for i in 0..n {
+            // Interior points: flux sums cancel exactly.
+            if mesh.bnormal[i] == [0.0, 0.0] {
+                for k in 0..4 {
+                    prop_assert!(r[i][k].abs() < 1e-9, "point {i} component {k}: {}", r[i][k]);
+                }
+            }
+        }
+    }
+}
