@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints, and the full test suite with the
+# coherence-invariant checker enabled everywhere.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (SPP_CHECK=1: coherence checker on)"
+SPP_CHECK=1 cargo test --workspace -q
+
+echo "CI OK"

@@ -23,8 +23,7 @@ fn bench_fig3_barrier(c: &mut Criterion) {
         let mut m = Machine::spp1000(2);
         let bar = SimBarrier::new(&mut m, NodeId(0));
         let cost = RuntimeCostModel::spp1000();
-        let arrivals: Vec<(CpuId, u64)> =
-            (0..16u16).map(|i| (CpuId(i), i as u64 * 100)).collect();
+        let arrivals: Vec<(CpuId, u64)> = (0..16u16).map(|i| (CpuId(i), i as u64 * 100)).collect();
         b.iter(|| bar.simulate(&mut m, &cost, &arrivals).lilo())
     });
 }
@@ -56,8 +55,12 @@ fn bench_fig7_fem_step(c: &mut Criterion) {
     c.bench_function("fig7_fem_step_48x48_8procs", |b| {
         let mut rt = Runtime::spp1000(2);
         let team = Team::place(rt.machine.config(), 8, &Placement::HighLocality);
-        let mut sim =
-            fem::SharedFem::new(&mut rt, fem::structured(48, 48), fem::Coding::ScatterAdd, &team);
+        let mut sim = fem::SharedFem::new(
+            &mut rt,
+            fem::structured(48, 48),
+            fem::Coding::ScatterAdd,
+            &team,
+        );
         b.iter(|| sim.step(&mut rt, &team, 0.3).0)
     });
 }
@@ -66,8 +69,7 @@ fn bench_fig8_nbody_step(c: &mut Criterion) {
     c.bench_function("fig8_nbody_step_4096_8procs", |b| {
         let mut rt = Runtime::spp1000(2);
         let team = Team::place(rt.machine.config(), 8, &Placement::HighLocality);
-        let mut sim =
-            nbody::SharedNbody::new(&mut rt, nbody::NbodyProblem::with_n(4096), &team);
+        let mut sim = nbody::SharedNbody::new(&mut rt, nbody::NbodyProblem::with_n(4096), &team);
         b.iter(|| sim.step(&mut rt, &team).0)
     });
 }

@@ -1,20 +1,18 @@
 //! Regenerates every table and figure in sequence (the data recorded
-//! in EXPERIMENTS.md). Usage: `repro-all [--full] [--steps N]`.
+//! in EXPERIMENTS.md). Each experiment runs under `catch_unwind`: a
+//! panicking experiment is reported and the sweep continues, with a
+//! PASS/FAIL summary at the end and a nonzero exit if anything failed.
+//! Usage: `repro-all [--full] [--steps N]`.
 fn main() {
     let opts = spp_bench::Opts::from_args();
     let t0 = std::time::Instant::now();
-    spp_bench::latency::run(&opts);
-    spp_bench::fig2::run(&opts);
-    spp_bench::fig3::run(&opts);
-    spp_bench::fig4::run(&opts);
-    spp_bench::table1::run(&opts);
-    spp_bench::table2::run(&opts);
-    spp_bench::fig7::run(&opts);
-    spp_bench::fig6::run(&opts);
-    spp_bench::fig8::run(&opts);
-    spp_bench::scale::run(&opts);
-    spp_bench::cachestudy::run(&opts);
-    spp_bench::sensitivity::run(&opts);
-    spp_bench::bus::run(&opts);
-    println!("\n[repro-all completed in {:.1} s of host time]", t0.elapsed().as_secs_f64());
+    let summary = spp_bench::harness::run_all(&opts);
+    print!("{}", summary.render());
+    println!(
+        "[repro-all completed in {:.1} s of host time]",
+        t0.elapsed().as_secs_f64()
+    );
+    if !summary.all_passed() {
+        std::process::exit(1);
+    }
 }

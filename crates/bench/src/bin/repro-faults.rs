@@ -1,0 +1,7 @@
+//! Fault-injection reproducibility report: seeded fault schedules are
+//! bit-identical run to run and retry overhead scales with the fault
+//! rate. Usage: `repro-faults [--full] [--steps N]`.
+fn main() {
+    let opts = spp_bench::Opts::from_args();
+    spp_bench::faults::run(&opts);
+}

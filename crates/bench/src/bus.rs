@@ -92,12 +92,7 @@ pub fn run(o: &Opts) -> String {
         })
         .collect();
     let base = spp[0].1;
-    let mut t = Table::new(&[
-        "procs",
-        "SPP speedup",
-        "bus-SMP speedup",
-        "bus utilization",
-    ]);
+    let mut t = Table::new(&["procs", "SPP speedup", "bus-SMP speedup", "bus utilization"]);
     for &(p, spp_time) in &spp {
         let bt = bus_time(&traffic, &bus, p);
         let occ = traffic.misses * bus.transfer as f64 + traffic.upgrades * bus.upgrade as f64;
@@ -117,7 +112,10 @@ pub fn run(o: &Opts) -> String {
          opening argument, quantified.",
         t.render()
     );
-    emit("Bus-SMP saturation analysis (the paper's introductory contrast)", &body)
+    emit(
+        "Bus-SMP saturation analysis (the paper's introductory contrast)",
+        &body,
+    )
 }
 
 #[cfg(test)]
@@ -140,7 +138,11 @@ mod tests {
         assert!((s(2) - 2.0).abs() < 1e-9, "2-proc bus speedup {}", s(2));
         // Saturation: the occupancy is 3.9 M cycles; work/p falls below
         // it past p ~ 2.5, so speedup caps at work/occupancy ~ 2.56.
-        assert!((s(16) - 10.0 / 3.9).abs() < 1e-9, "16-proc bus speedup {}", s(16));
+        assert!(
+            (s(16) - 10.0 / 3.9).abs() < 1e-9,
+            "16-proc bus speedup {}",
+            s(16)
+        );
         assert!(s(16) <= s(8) + 1e-9, "no scaling after saturation");
     }
 

@@ -66,10 +66,7 @@ mod tests {
     fn bigger_caches_are_monotonically_better() {
         let small = fem_cycles_per_update(256 << 10, 32);
         let big = fem_cycles_per_update(4 << 20, 32);
-        assert!(
-            big < small,
-            "4 MB should beat 256 KB: {big} vs {small}"
-        );
+        assert!(big < small, "4 MB should beat 256 KB: {big} vs {small}");
     }
 
     #[test]

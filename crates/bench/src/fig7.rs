@@ -63,9 +63,18 @@ mod tests {
         let pts = collect(mini, Coding::ScatterAdd, 1);
         let rate = |n: usize| pts.iter().find(|p| p.0 == n).unwrap().1;
         // Good scaling to 8.
-        assert!(rate(8) / rate(1) > 5.0, "8-proc scaling {}", rate(8) / rate(1));
+        assert!(
+            rate(8) / rate(1) > 5.0,
+            "8-proc scaling {}",
+            rate(8) / rate(1)
+        );
         // The paper's non-monotonic dip between 8 and 9 processors.
-        assert!(rate(9) < rate(8), "9-proc dip absent: {} vs {}", rate(9), rate(8));
+        assert!(
+            rate(9) < rate(8),
+            "9-proc dip absent: {} vs {}",
+            rate(9),
+            rate(8)
+        );
         // Recovered by 16.
         assert!(rate(16) > rate(9));
     }

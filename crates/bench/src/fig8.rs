@@ -56,7 +56,14 @@ pub fn run(o: &Opts) -> String {
     let sizes = [
         (32 * 1024, "32K".to_string()),
         (256 * 1024, "256K".to_string()),
-        (big, if o.full { "2M".into() } else { "512K (scaled 2M)".to_string() }),
+        (
+            big,
+            if o.full {
+                "2M".into()
+            } else {
+                "512K (scaled 2M)".to_string()
+            },
+        ),
     ];
     let mut out = String::new();
     // The paper's §5.3.2 PVM paragraph, quantified at the small size.
@@ -106,7 +113,10 @@ pub fn run(o: &Opts) -> String {
             ),
         ));
     }
-    out.push_str(&emit("Figure 8 (cont.): message-passing version", &pvm_note));
+    out.push_str(&emit(
+        "Figure 8 (cont.): message-passing version",
+        &pvm_note,
+    ));
     out
 }
 
@@ -136,7 +146,11 @@ mod tests {
         // Excellent scaling across one hypernode (paper: "in all
         // cases").
         let p8 = pts.iter().find(|p| p.procs == 8 && p.single_node).unwrap();
-        assert!(p8.mflops / base > 6.0, "8-proc speedup {}", p8.mflops / base);
+        assert!(
+            p8.mflops / base > 6.0,
+            "8-proc speedup {}",
+            p8.mflops / base
+        );
         // Small cross-node degradation.
         let d = cross_node_degradation(&pts);
         assert!((-0.05..=0.3).contains(&d), "degradation {d}");

@@ -1,0 +1,228 @@
+//! Crash-proof experiment harness: `repro-all` runs every experiment
+//! under `catch_unwind`, keeps going past failures, and reports a
+//! PASS/FAIL summary so one broken experiment can't hide the rest.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use crate::Opts;
+
+/// One runnable experiment: a name plus the module `run` function.
+pub struct Experiment {
+    /// Short name (matches the `repro-*` binary).
+    pub name: &'static str,
+    /// The experiment entry point.
+    pub runner: fn(&Opts) -> String,
+}
+
+/// Every experiment `repro-all` chains, in its canonical order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            name: "latency",
+            runner: crate::latency::run,
+        },
+        Experiment {
+            name: "fig2",
+            runner: crate::fig2::run,
+        },
+        Experiment {
+            name: "fig3",
+            runner: crate::fig3::run,
+        },
+        Experiment {
+            name: "fig4",
+            runner: crate::fig4::run,
+        },
+        Experiment {
+            name: "table1",
+            runner: crate::table1::run,
+        },
+        Experiment {
+            name: "table2",
+            runner: crate::table2::run,
+        },
+        Experiment {
+            name: "fig7",
+            runner: crate::fig7::run,
+        },
+        Experiment {
+            name: "fig6",
+            runner: crate::fig6::run,
+        },
+        Experiment {
+            name: "fig8",
+            runner: crate::fig8::run,
+        },
+        Experiment {
+            name: "scale",
+            runner: crate::scale::run,
+        },
+        Experiment {
+            name: "cache",
+            runner: crate::cachestudy::run,
+        },
+        Experiment {
+            name: "sensitivity",
+            runner: crate::sensitivity::run,
+        },
+        Experiment {
+            name: "bus",
+            runner: crate::bus::run,
+        },
+        Experiment {
+            name: "faults",
+            runner: crate::faults::run,
+        },
+    ]
+}
+
+/// How one experiment ended.
+pub struct Outcome {
+    /// Experiment name.
+    pub name: &'static str,
+    /// `Err(panic message)` when the experiment panicked.
+    pub result: Result<(), String>,
+    /// Host seconds spent.
+    pub host_secs: f64,
+}
+
+/// Results of a full harness sweep.
+pub struct Summary {
+    /// Per-experiment outcomes, in run order.
+    pub outcomes: Vec<Outcome>,
+}
+
+impl Summary {
+    /// True when every experiment completed without panicking.
+    pub fn all_passed(&self) -> bool {
+        self.outcomes.iter().all(|o| o.result.is_ok())
+    }
+
+    /// The PASS/FAIL table `repro-all` prints last.
+    pub fn render(&self) -> String {
+        let mut out = String::from("\nexperiment summary\n==================\n");
+        for o in &self.outcomes {
+            match &o.result {
+                Ok(()) => {
+                    out.push_str(&format!("  PASS  {:12} {:6.1}s\n", o.name, o.host_secs));
+                }
+                Err(msg) => {
+                    out.push_str(&format!(
+                        "  FAIL  {:12} {:6.1}s  {}\n",
+                        o.name, o.host_secs, msg
+                    ));
+                }
+            }
+        }
+        let failed = self.outcomes.iter().filter(|o| o.result.is_err()).count();
+        out.push_str(&format!(
+            "{} passed, {} failed, {} total\n",
+            self.outcomes.len() - failed,
+            failed,
+            self.outcomes.len()
+        ));
+        out
+    }
+}
+
+/// Render a caught panic payload (the `&str`/`String` forms `panic!`
+/// and `assert!` produce; anything else gets a generic label).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `experiments` in order, isolating each behind `catch_unwind` so
+/// a panicking experiment cannot take the rest of the sweep down.
+pub fn run_experiments(experiments: &[Experiment], opts: &Opts) -> Summary {
+    let outcomes = experiments
+        .iter()
+        .map(|e| {
+            let t0 = Instant::now();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                (e.runner)(opts);
+            }))
+            .map_err(panic_message);
+            if let Err(msg) = &result {
+                eprintln!("[{} FAILED: {msg}]", e.name);
+            }
+            Outcome {
+                name: e.name,
+                result,
+                host_secs: t0.elapsed().as_secs_f64(),
+            }
+        })
+        .collect();
+    Summary { outcomes }
+}
+
+/// Run the full canonical sweep.
+pub fn run_all(opts: &Opts) -> Summary {
+    run_experiments(&all_experiments(), opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_run(_: &Opts) -> String {
+        "fine".to_string()
+    }
+
+    fn panicking_run(_: &Opts) -> String {
+        panic!("injected failure for the harness test");
+    }
+
+    #[test]
+    fn a_panicking_experiment_does_not_stop_the_rest() {
+        let exps = [
+            Experiment {
+                name: "first",
+                runner: ok_run,
+            },
+            Experiment {
+                name: "broken",
+                runner: panicking_run,
+            },
+            Experiment {
+                name: "last",
+                runner: ok_run,
+            },
+        ];
+        let summary = run_experiments(&exps, &Opts::default());
+        assert_eq!(summary.outcomes.len(), 3, "all three must run");
+        assert!(summary.outcomes[0].result.is_ok());
+        let err = summary.outcomes[1].result.as_ref().unwrap_err();
+        assert!(err.contains("injected failure"), "got: {err}");
+        assert!(summary.outcomes[2].result.is_ok(), "ran past the failure");
+        assert!(!summary.all_passed());
+        let rendered = summary.render();
+        assert!(rendered.contains("FAIL  broken"));
+        assert!(rendered.contains("2 passed, 1 failed, 3 total"));
+    }
+
+    #[test]
+    fn all_green_summary_passes() {
+        let exps = [Experiment {
+            name: "only",
+            runner: ok_run,
+        }];
+        let summary = run_experiments(&exps, &Opts::default());
+        assert!(summary.all_passed());
+        assert!(summary.render().contains("PASS  only"));
+    }
+
+    #[test]
+    fn the_canonical_sweep_lists_every_module() {
+        let names: Vec<&str> = all_experiments().iter().map(|e| e.name).collect();
+        for expected in ["latency", "fig6", "fig8", "faults", "bus"] {
+            assert!(names.contains(&expected), "{expected} missing");
+        }
+    }
+}

@@ -10,12 +10,14 @@
 
 pub mod bus;
 pub mod cachestudy;
+pub mod faults;
 pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod harness;
 pub mod latency;
 pub mod scale;
 pub mod sensitivity;
@@ -44,23 +46,44 @@ impl Default for Opts {
 }
 
 impl Opts {
-    /// Parse `--full` and `--steps N` from process args.
-    pub fn from_args() -> Self {
+    /// The usage text every `repro-*` binary prints on a bad command
+    /// line.
+    pub fn usage() -> &'static str {
+        "usage: repro-* [--full] [--steps N]\n\
+         \x20 --full     run paper-size workloads (expensive)\n\
+         \x20 --steps N  measured steps per configuration (positive integer)"
+    }
+
+    /// Parse `--full` and `--steps N` from an argument list.
+    pub fn try_parse(mut args: impl Iterator<Item = String>) -> Result<Self, String> {
         let mut o = Opts::default();
-        let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--full" => o.full = true,
                 "--steps" => {
-                    o.steps = args
+                    let v = args
                         .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--steps needs a positive integer");
+                        .ok_or_else(|| "--steps needs a value".to_string())?;
+                    o.steps = v
+                        .parse()
+                        .map_err(|_| format!("--steps needs a positive integer, got {v:?}"))?;
+                    if o.steps == 0 {
+                        return Err("--steps must be at least 1".to_string());
+                    }
                 }
-                other => panic!("unknown argument {other} (supported: --full, --steps N)"),
+                other => return Err(format!("unknown argument {other}")),
             }
         }
-        o
+        Ok(o)
+    }
+
+    /// Parse the process arguments; on a bad command line print the
+    /// error plus [`Opts::usage`] and exit with status 2.
+    pub fn from_args() -> Self {
+        Self::try_parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+            eprintln!("error: {e}\n{}", Self::usage());
+            std::process::exit(2);
+        })
     }
 }
 
@@ -154,7 +177,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(f(10.0, 1), "10.0");
     }
 
@@ -163,5 +186,29 @@ mod tests {
         let o = Opts::default();
         assert!(!o.full);
         assert_eq!(o.steps, 2);
+    }
+
+    fn parse(args: &[&str]) -> Result<Opts, String> {
+        Opts::try_parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn try_parse_accepts_supported_flags() {
+        let o = parse(&["--full", "--steps", "5"]).unwrap();
+        assert!(o.full);
+        assert_eq!(o.steps, 5);
+        assert!(!parse(&[]).unwrap().full);
+    }
+
+    #[test]
+    fn try_parse_rejects_bad_command_lines() {
+        assert!(parse(&["--bogus"])
+            .unwrap_err()
+            .contains("unknown argument"));
+        assert!(parse(&["--steps"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["--steps", "x"])
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(&["--steps", "0"]).unwrap_err().contains("at least 1"));
     }
 }

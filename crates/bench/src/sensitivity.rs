@@ -34,8 +34,7 @@ pub fn measure(lat: LatencyModel) -> Outcome {
     let mut m2 = Machine::new(cfg.clone());
     let bar = SimBarrier::new(&mut m2, NodeId(0));
     let cost = RuntimeCostModel::spp1000();
-    let arrivals: Vec<(CpuId, Cycles)> =
-        (0..16u16).map(|i| (CpuId(i), i as u64 * 100)).collect();
+    let arrivals: Vec<(CpuId, Cycles)> = (0..16u16).map(|i| (CpuId(i), i as u64 * 100)).collect();
     bar.simulate(&mut m2, &cost, &arrivals);
     let lilo = spp_core::cycles_to_us(bar.simulate(&mut m2, &cost, &arrivals).lilo());
     // PIC at 8 procs.

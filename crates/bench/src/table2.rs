@@ -5,8 +5,11 @@ use crate::{emit, f, Opts, Table};
 use ppm::{PpmProblem, SharedPpm};
 use spp_runtime::{Placement, Runtime, Team};
 
+/// One Table 2 row: (grid, tiles, procs, paper Mflop/s).
+pub type Row = ((usize, usize), (usize, usize), usize, f64);
+
 /// Rows of Table 2: (grid, tiles, procs, paper Mflop/s).
-pub const ROWS: [((usize, usize), (usize, usize), usize, f64); 10] = [
+pub const ROWS: [Row; 10] = [
     ((120, 480), (4, 16), 1, 29.9),
     ((120, 480), (4, 16), 2, 58.2),
     ((120, 480), (4, 16), 4, 118.8),

@@ -99,7 +99,8 @@ mod tests {
     #[test]
     fn addresses_are_contiguous_and_typed() {
         let mut m = Machine::spp1000(1);
-        let a = SimArray::<f64>::from_elem(&mut m, MemClass::NearShared { node: NodeId(0) }, 16, 0.0);
+        let a =
+            SimArray::<f64>::from_elem(&mut m, MemClass::NearShared { node: NodeId(0) }, 16, 0.0);
         assert_eq!(a.addr(1) - a.addr(0), 8);
         assert_eq!(a.len(), 16);
         assert!(!a.is_empty());
@@ -120,7 +121,8 @@ mod tests {
     #[test]
     fn four_f64_per_line() {
         let mut m = Machine::spp1000(1);
-        let a = SimArray::<f64>::from_elem(&mut m, MemClass::NearShared { node: NodeId(0) }, 8, 0.0);
+        let a =
+            SimArray::<f64>::from_elem(&mut m, MemClass::NearShared { node: NodeId(0) }, 8, 0.0);
         let (_, c0) = a.read(&mut m, CpuId(0), 0);
         let (_, c1) = a.read(&mut m, CpuId(0), 1);
         let (_, c2) = a.read(&mut m, CpuId(0), 3);

@@ -127,6 +127,16 @@ impl Cache {
     pub fn capacity(&self) -> usize {
         self.tags.len()
     }
+
+    /// Iterate over the valid `(line, state)` pairs (O(n); used by the
+    /// coherence checker's full-state sweep).
+    pub fn entries(&self) -> impl Iterator<Item = (u64, LineState)> + '_ {
+        self.tags
+            .iter()
+            .zip(self.states.iter())
+            .filter(|(t, s)| **t != NO_TAG && **s != LineState::Invalid)
+            .map(|(t, s)| (*t, *s))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,480 @@
+//! Runtime verification of the coherence protocol's invariants.
+//!
+//! Every number the repo reproduces rests on the directory/SCI state
+//! machines in [`crate::machine`]; this module checks, after each
+//! simulated access (opt-in) or on demand ([`Machine::check_all`]),
+//! that the global state still satisfies the protocol's invariants:
+//!
+//! 1. **Single writer / multiple readers** — at most one CPU holds a
+//!    line Modified, and a Modified copy coexists with no other valid
+//!    CPU copy.
+//! 2. **Directory–cache agreement** — each hypernode directory's
+//!    sharer mask equals the exact set of node CPUs caching the line;
+//!    its owner field is set iff that CPU holds the line Modified;
+//!    emptied entries are dropped.
+//! 3. **GCB inclusion** — a CPU caching a remotely-homed line implies
+//!    its node's global cache buffer (on the home FU's ring) holds it.
+//! 4. **SCI list well-formedness** — the sharing list has no
+//!    duplicates (acyclic by construction), never names the home node,
+//!    names exactly the nodes whose GCBs hold the line (consistent
+//!    head), contains the dirty node when one is marked, and a dirty
+//!    marker implies a Modified copy (GCB or CPU) on that node.
+//! 5. **Counter conservation** — hits plus every miss class equals
+//!    accesses, and every access costs at least one cycle (per-CPU
+//!    clocks strictly increase).
+//!
+//! Enable per-access checking with [`Machine::with_checker`] or the
+//! `SPP_CHECK=1` environment variable (any value but `0`); spp-core's
+//! own unit tests enable it unconditionally. A violation panics by
+//! default (the simulator's state is wrong — results downstream would
+//! be meaningless); set [`CoherenceChecker::panic_on_violation`] to
+//! `false` to collect violations instead.
+
+use crate::cache::LineState;
+use crate::config::CpuId;
+use crate::latency::Cycles;
+use crate::machine::Machine;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One detected invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant (short stable label, e.g. `"single-writer"`).
+    pub invariant: &'static str,
+    /// The line the violation concerns, if line-specific.
+    pub line: Option<u64>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(l) => write!(f, "[{}] line {:#x}: {}", self.invariant, l, self.detail),
+            None => write!(f, "[{}] {}", self.invariant, self.detail),
+        }
+    }
+}
+
+/// Per-access invariant checker state (see the module docs).
+#[derive(Debug, Clone)]
+pub struct CoherenceChecker {
+    /// Panic on the first violation (default). When `false`,
+    /// violations accumulate in [`CoherenceChecker::violations`].
+    pub panic_on_violation: bool,
+    /// Cumulative per-CPU access cost — strictly increasing by
+    /// construction; retained so tests can assert monotonic progress.
+    clocks: Vec<Cycles>,
+    violations: Vec<Violation>,
+    checks: u64,
+}
+
+impl CoherenceChecker {
+    /// A checker for a machine with `num_cpus` CPUs.
+    pub fn new(num_cpus: usize) -> Self {
+        CoherenceChecker {
+            panic_on_violation: true,
+            clocks: vec![0; num_cpus],
+            violations: Vec::new(),
+            checks: 0,
+        }
+    }
+
+    /// Violations collected so far (only populated when
+    /// `panic_on_violation` is `false`).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Number of per-access checks performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// The cumulative checked cost charged to `cpu`.
+    pub fn clock(&self, cpu: CpuId) -> Cycles {
+        self.clocks[cpu.0 as usize]
+    }
+
+    /// Verify the machine after one access by `cpu` to `line` that
+    /// cost `cost` cycles. Called by the machine's access paths; the
+    /// checker is temporarily detached from the machine, so `m` is the
+    /// post-access state.
+    pub(crate) fn after_access(&mut self, m: &Machine, cpu: CpuId, line: u64, cost: Cycles) {
+        self.checks += 1;
+        let mut found = Vec::new();
+        if cost == 0 {
+            found.push(Violation {
+                invariant: "clock-monotonicity",
+                line: Some(line),
+                detail: format!("access by cpu {} cost 0 cycles", cpu.0),
+            });
+        }
+        self.clocks[cpu.0 as usize] += cost;
+        m.check_line(line, &mut found);
+        m.check_stats(&mut found);
+        if found.is_empty() {
+            return;
+        }
+        if self.panic_on_violation {
+            let list: Vec<String> = found.iter().map(|v| v.to_string()).collect();
+            panic!(
+                "coherence invariant violated after access #{} (cpu {}):\n  {}",
+                self.checks,
+                cpu.0,
+                list.join("\n  ")
+            );
+        }
+        self.violations.extend(found);
+    }
+}
+
+impl Machine {
+    /// Check every invariant over the machine's entire state,
+    /// returning all violations (empty means the state is consistent).
+    /// Unlike the per-access hook, this never panics.
+    pub fn check_all(&self) -> Vec<Violation> {
+        let mut lines = BTreeSet::new();
+        for c in &self.caches {
+            lines.extend(c.entries().map(|(l, _)| l));
+        }
+        for g in &self.gcbs {
+            lines.extend(g.entries().map(|(l, _)| l));
+        }
+        for d in &self.dirs {
+            lines.extend(d.lines());
+        }
+        lines.extend(self.sci.lines());
+        let mut v = Vec::new();
+        for line in lines {
+            self.check_line(line, &mut v);
+        }
+        self.check_stats(&mut v);
+        v
+    }
+
+    /// Conservation of the event counters: every cached access is a
+    /// hit or exactly one class of miss.
+    fn check_stats(&self, v: &mut Vec<Violation>) {
+        let s = &self.stats;
+        let serviced = s.hits + s.local_misses + s.gcb_hits + s.sci_fetches + s.c2c_transfers;
+        if serviced != s.accesses() {
+            v.push(Violation {
+                invariant: "stats-conservation",
+                line: None,
+                detail: format!(
+                    "hits {} + local {} + gcb {} + sci {} + c2c {} = {} != accesses {}",
+                    s.hits,
+                    s.local_misses,
+                    s.gcb_hits,
+                    s.sci_fetches,
+                    s.c2c_transfers,
+                    serviced,
+                    s.accesses()
+                ),
+            });
+        }
+    }
+
+    /// Check the line-local invariants (1)–(4) for one line.
+    fn check_line(&self, line: u64, v: &mut Vec<Violation>) {
+        let cpn = self.cfg.cpus_per_node();
+        let mut modified_cpus: Vec<usize> = Vec::new();
+        let mut valid_cpus: Vec<usize> = Vec::new();
+
+        // (2) Directory-vs-cache agreement, per node.
+        for node in 0..self.cfg.hypernodes {
+            let mut mask: u8 = 0;
+            let mut cache_owner: Option<u8> = None;
+            for b in 0..cpn {
+                let cpu = node * cpn + b;
+                match self.caches[cpu].lookup(line) {
+                    LineState::Invalid => {}
+                    LineState::Shared => {
+                        mask |= 1 << b;
+                        valid_cpus.push(cpu);
+                    }
+                    LineState::Modified => {
+                        mask |= 1 << b;
+                        cache_owner = Some(b as u8);
+                        valid_cpus.push(cpu);
+                        modified_cpus.push(cpu);
+                    }
+                }
+            }
+            match self.dirs[node].get(line) {
+                None => {
+                    if mask != 0 {
+                        v.push(Violation {
+                            invariant: "dir-cache-agreement",
+                            line: Some(line),
+                            detail: format!(
+                                "node {node}: caches hold mask {mask:#010b} but no dir entry"
+                            ),
+                        });
+                    }
+                }
+                Some(e) => {
+                    if e.is_empty() {
+                        v.push(Violation {
+                            invariant: "dir-cache-agreement",
+                            line: Some(line),
+                            detail: format!("node {node}: empty dir entry retained"),
+                        });
+                    }
+                    if e.sharers != mask {
+                        v.push(Violation {
+                            invariant: "dir-cache-agreement",
+                            line: Some(line),
+                            detail: format!(
+                                "node {node}: dir sharers {:#010b} != cache mask {mask:#010b}",
+                                e.sharers
+                            ),
+                        });
+                    }
+                    if e.owner != cache_owner {
+                        v.push(Violation {
+                            invariant: "dir-cache-agreement",
+                            line: Some(line),
+                            detail: format!(
+                                "node {node}: dir owner {:?} != cache Modified holder {:?}",
+                                e.owner, cache_owner
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // (1) Single writer / multiple readers, globally.
+        if modified_cpus.len() > 1 {
+            v.push(Violation {
+                invariant: "single-writer",
+                line: Some(line),
+                detail: format!("CPUs {modified_cpus:?} all hold the line Modified"),
+            });
+        }
+        if modified_cpus.len() == 1 && valid_cpus.len() > 1 {
+            v.push(Violation {
+                invariant: "single-writer",
+                line: Some(line),
+                detail: format!(
+                    "cpu {} holds the line Modified while CPUs {valid_cpus:?} hold copies",
+                    modified_cpus[0]
+                ),
+            });
+        }
+
+        // The remaining invariants need the line's home; a line no
+        // region maps (possible only for corrupted state) is reported.
+        let addr = line << self.line_shift;
+        let (hnode, hfu) = match self.space.try_home_of(addr) {
+            Ok(h) => h,
+            Err(_) => {
+                v.push(Violation {
+                    invariant: "sci-well-formed",
+                    line: Some(line),
+                    detail: "cached line maps to no simulated region".into(),
+                });
+                return;
+            }
+        };
+        let ring = self.cfg.ring_of_fu(hfu);
+
+        // (3) GCB inclusion for remotely-homed cached lines.
+        for &cpu in &valid_cpus {
+            let node = self.cfg.node_of_cpu(CpuId(cpu as u16));
+            if node != hnode {
+                let g = self.gcb_index(node, ring);
+                if self.gcbs[g].lookup(line) == LineState::Invalid {
+                    v.push(Violation {
+                        invariant: "gcb-inclusion",
+                        line: Some(line),
+                        detail: format!(
+                            "cpu {cpu} caches remote-homed line but node {}'s GCB does not",
+                            node.0
+                        ),
+                    });
+                }
+            }
+        }
+
+        // (4) SCI sharing-list well-formedness vs. the GCBs.
+        let gcb_nodes: BTreeSet<u8> = (0..self.cfg.hypernodes as u8)
+            .filter(|n| {
+                let g = self.gcb_index(crate::config::NodeId(*n), ring);
+                self.gcbs[g].lookup(line) != LineState::Invalid
+            })
+            .collect();
+        match self.sci.get(line) {
+            None => {
+                if !gcb_nodes.is_empty() {
+                    v.push(Violation {
+                        invariant: "sci-well-formed",
+                        line: Some(line),
+                        detail: format!("GCBs of nodes {gcb_nodes:?} hold line with no SCI entry"),
+                    });
+                }
+            }
+            Some(e) => {
+                if e.list.is_empty() && e.dirty.is_none() {
+                    v.push(Violation {
+                        invariant: "sci-well-formed",
+                        line: Some(line),
+                        detail: "empty SCI entry retained".into(),
+                    });
+                }
+                let set: BTreeSet<u8> = e.list.iter().copied().collect();
+                if set.len() != e.list.len() {
+                    v.push(Violation {
+                        invariant: "sci-well-formed",
+                        line: Some(line),
+                        detail: format!("sharing list has duplicates: {:?}", e.list),
+                    });
+                }
+                if set.contains(&hnode.0) {
+                    v.push(Violation {
+                        invariant: "sci-well-formed",
+                        line: Some(line),
+                        detail: format!("home node {} appears in its own sharing list", hnode.0),
+                    });
+                }
+                if let Some(d) = e.dirty {
+                    if !set.contains(&d) {
+                        v.push(Violation {
+                            invariant: "sci-well-formed",
+                            line: Some(line),
+                            detail: format!(
+                                "dirty node {d} missing from sharing list {:?}",
+                                e.list
+                            ),
+                        });
+                    }
+                    // Dirty means home memory is stale: a Modified copy
+                    // must exist on that node (GCB or CPU cache).
+                    let g = self.gcb_index(crate::config::NodeId(d), ring);
+                    let gcb_dirty = self.gcbs[g].lookup(line) == LineState::Modified;
+                    let cpu_dirty = modified_cpus
+                        .iter()
+                        .any(|c| self.cfg.node_of_cpu(CpuId(*c as u16)).0 == d);
+                    if !gcb_dirty && !cpu_dirty {
+                        v.push(Violation {
+                            invariant: "sci-well-formed",
+                            line: Some(line),
+                            detail: format!("dirty node {d} holds no Modified copy"),
+                        });
+                    }
+                }
+                if set != gcb_nodes {
+                    v.push(Violation {
+                        invariant: "sci-well-formed",
+                        line: Some(line),
+                        detail: format!(
+                            "sharing list {set:?} disagrees with GCB holders {gcb_nodes:?}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MachineConfig, NodeId};
+    use crate::mem::MemClass;
+
+    fn exercised_machine() -> Machine {
+        // tiny(2) provokes evictions and rollouts; the mixed access
+        // pattern crosses nodes, upgrades, and invalidates.
+        let mut m = Machine::new(MachineConfig::tiny(2)).with_checker();
+        let near = m.alloc(MemClass::NearShared { node: NodeId(0) }, 64 * 32);
+        let far = m.alloc(MemClass::NearShared { node: NodeId(1) }, 64 * 32);
+        for i in 0..64u64 {
+            m.read(CpuId(0), near.addr(i * 32));
+            m.read(CpuId(1), near.addr(i * 32));
+            m.write(CpuId(2), near.addr(i * 32));
+            m.read(CpuId(8), far.addr(i * 32));
+            m.write(CpuId(0), far.addr(i * 32));
+            m.read(CpuId(9), far.addr(i * 32));
+        }
+        m
+    }
+
+    #[test]
+    fn clean_protocol_run_has_no_violations() {
+        let m = exercised_machine();
+        let v = m.check_all();
+        assert!(v.is_empty(), "violations: {v:?}");
+        assert!(m.checker().unwrap().checks() > 0);
+    }
+
+    #[test]
+    fn corrupted_cache_state_is_detected() {
+        let mut m = exercised_machine();
+        // Sabotage: grant CPU 3 a Modified copy behind the directory's
+        // back (crate-internal access; no public API can do this).
+        let r = m.alloc(MemClass::NearShared { node: NodeId(0) }, 4096);
+        m.read(CpuId(0), r.addr(0));
+        let line = r.addr(0) >> m.line_shift;
+        m.caches[3].fill(line, LineState::Modified);
+        let v = m.check_all();
+        assert!(
+            v.iter().any(|x| x.invariant == "dir-cache-agreement"),
+            "expected a dir-cache-agreement violation, got {v:?}"
+        );
+        assert!(
+            v.iter().any(|x| x.invariant == "single-writer"),
+            "expected a single-writer violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn corrupted_stats_are_detected() {
+        let mut m = exercised_machine();
+        m.stats.hits += 1;
+        let v = m.check_all();
+        assert!(v.iter().any(|x| x.invariant == "stats-conservation"));
+    }
+
+    #[test]
+    fn corrupted_sci_list_is_detected() {
+        let mut m = exercised_machine();
+        let r = m.alloc(MemClass::NearShared { node: NodeId(1) }, 4096);
+        m.read(CpuId(0), r.addr(0)); // node 0 fetches over SCI
+        let line = r.addr(0) >> m.line_shift;
+        // Sabotage: claim the home node shares its own line.
+        m.sci.add_sharer(line, 1);
+        let v = m.check_all();
+        assert!(
+            v.iter().any(|x| x.invariant == "sci-well-formed"),
+            "expected an sci-well-formed violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn per_access_hook_panics_on_violation() {
+        let mut m = exercised_machine();
+        let r = m.alloc(MemClass::NearShared { node: NodeId(0) }, 4096);
+        m.read(CpuId(0), r.addr(0));
+        let line = r.addr(0) >> m.line_shift;
+        m.caches[5].fill(line, LineState::Modified);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.read(CpuId(0), r.addr(0));
+        }));
+        assert!(err.is_err(), "checker should have panicked");
+    }
+
+    #[test]
+    fn violation_display_names_the_invariant() {
+        let v = Violation {
+            invariant: "single-writer",
+            line: Some(0x40),
+            detail: "two writers".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("single-writer") && s.contains("0x40"));
+    }
+}

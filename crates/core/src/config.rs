@@ -10,6 +10,7 @@
 //! * **System** — up to 16 hypernodes joined by four parallel SCI
 //!   rings; FU *i* of every hypernode sits on ring *i*.
 
+use crate::error::ConfigError;
 use crate::latency::LatencyModel;
 
 /// Identifies one CPU globally (0-based, dense).
@@ -55,11 +56,17 @@ impl MachineConfig {
     /// 4 FUs x 2 CPUs (16 processors), 1 MB direct-mapped data caches
     /// with 32-byte lines, and a 4 MB global cache buffer per FU.
     pub fn spp1000(hypernodes: usize) -> Self {
-        assert!(
-            (1..=16).contains(&hypernodes),
-            "SPP-1000 supports 1..=16 hypernodes, got {hypernodes}"
-        );
-        MachineConfig {
+        Self::try_spp1000(hypernodes).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`MachineConfig::spp1000`]: returns
+    /// [`ConfigError::Hypernodes`] instead of panicking on a count
+    /// outside 1..=16.
+    pub fn try_spp1000(hypernodes: usize) -> Result<Self, ConfigError> {
+        if !(1..=16).contains(&hypernodes) {
+            return Err(ConfigError::Hypernodes { got: hypernodes });
+        }
+        Ok(MachineConfig {
             hypernodes,
             fus_per_node: 4,
             cpus_per_fu: 2,
@@ -68,7 +75,56 @@ impl MachineConfig {
             page_bytes: 4096,
             gcb_bytes: 4 << 20,
             latency: LatencyModel::spp1000(),
+        })
+    }
+
+    /// Check that this configuration describes a machine the simulator
+    /// can model: 1..=16 hypernodes, nonzero power-of-two geometry, and
+    /// cache lines that fit in a page. [`crate::Machine::try_new`]
+    /// calls this before building any state.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(1..=16).contains(&self.hypernodes) {
+            return Err(ConfigError::Hypernodes {
+                got: self.hypernodes,
+            });
         }
+        for (field, got) in [
+            ("fus_per_node", self.fus_per_node),
+            ("cpus_per_fu", self.cpus_per_fu),
+        ] {
+            if got == 0 {
+                return Err(ConfigError::Zero { field });
+            }
+        }
+        for (field, got) in [
+            ("line_bytes", self.line_bytes),
+            ("page_bytes", self.page_bytes),
+        ] {
+            if got == 0 {
+                return Err(ConfigError::Zero { field });
+            }
+            if !got.is_power_of_two() {
+                return Err(ConfigError::NotPowerOfTwo { field, got });
+            }
+        }
+        for (field, got) in [
+            ("cache_lines", self.cache_bytes / self.line_bytes),
+            ("gcb_lines", self.gcb_bytes / self.line_bytes),
+        ] {
+            if got == 0 {
+                return Err(ConfigError::Zero { field });
+            }
+            if !got.is_power_of_two() {
+                return Err(ConfigError::NotPowerOfTwo { field, got });
+            }
+        }
+        if self.line_bytes > self.page_bytes {
+            return Err(ConfigError::LineExceedsPage {
+                line: self.line_bytes,
+                page: self.page_bytes,
+            });
+        }
+        Ok(())
     }
 
     /// A deliberately tiny configuration for unit tests: small caches
@@ -218,5 +274,38 @@ mod tests {
     #[should_panic(expected = "1..=16")]
     fn rejects_oversize_system() {
         MachineConfig::spp1000(17);
+    }
+
+    #[test]
+    fn validate_accepts_the_shipped_configs() {
+        assert!(MachineConfig::spp1000(2).validate().is_ok());
+        assert!(MachineConfig::spp1000(16).validate().is_ok());
+        assert!(MachineConfig::tiny(4).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_geometry() {
+        assert!(matches!(
+            MachineConfig::try_spp1000(0),
+            Err(ConfigError::Hypernodes { got: 0 })
+        ));
+        let mut c = MachineConfig::spp1000(2);
+        c.line_bytes = 48;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NotPowerOfTwo {
+                field: "line_bytes",
+                got: 48
+            })
+        ));
+        let mut c = MachineConfig::spp1000(2);
+        c.line_bytes = 8192;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::LineExceedsPage { .. })
+        ));
+        let mut c = MachineConfig::spp1000(2);
+        c.cpus_per_fu = 0;
+        assert!(matches!(c.validate(), Err(ConfigError::Zero { .. })));
     }
 }

@@ -29,7 +29,10 @@ pub fn system_diagram(cfg: &MachineConfig) -> String {
     }
     out.push_str("     ring 0      ring 1      ring 2      ring 3   (SCI, one FU per ring");
     if cfg.hypernodes > shown {
-        out.push_str(&format!(";\n      ... {} more hypernode(s) on the same four rings", cfg.hypernodes - shown));
+        out.push_str(&format!(
+            ";\n      ... {} more hypernode(s) on the same four rings",
+            cfg.hypernodes - shown
+        ));
     }
     out.push_str(")\n\n");
     out.push_str(&format!(

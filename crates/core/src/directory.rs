@@ -99,6 +99,11 @@ impl Directory {
     pub fn live_lines(&self) -> usize {
         self.map.len()
     }
+
+    /// Iterate over all lines with live state (coherence checker).
+    pub fn lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.map.iter().map(|(l, _)| l)
+    }
 }
 
 /// Inter-hypernode SCI reference-tree state (paper §2.5): for each
@@ -186,6 +191,12 @@ impl SciDirectory {
     /// Number of lines with remote-sharing state (diagnostics).
     pub fn live_lines(&self) -> usize {
         self.map.len()
+    }
+
+    /// Iterate over all lines with remote-sharing state (coherence
+    /// checker).
+    pub fn lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.map.iter().map(|(l, _)| l)
     }
 }
 

@@ -1,0 +1,229 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a seeded pseudo-random schedule of transient
+//! faults that the layers above consult at well-defined *sites*:
+//!
+//! * **SCI ring stalls** — an access whose service crossed the ring
+//!   pays an extra fixed stall (retried link-level transaction);
+//!   charged by [`crate::Machine`] and counted in
+//!   [`crate::MemStats::ring_stalls`].
+//! * **Dropped / duplicated PVM messages** — consulted by the PVM
+//!   layer's send path, which retries dropped sends on a priced
+//!   timeout and discards duplicate deliveries by sequence number.
+//! * **Failed thread spawns** — consulted by the runtime's fork paths,
+//!   which retry with exponential backoff.
+//!
+//! Each site draws from its own counter-indexed stream: whether the
+//! *n*-th event at a site faults is a pure function of `(seed, site,
+//! n)`. Streams are therefore independent of how events at different
+//! sites interleave, so a fixed seed reproduces the exact same fault
+//! schedule — and bit-identical simulation results — on every run
+//! (`repro-faults` demonstrates this for PIC and N-body). The plan
+//! never consults wall-clock time or OS randomness.
+
+use crate::latency::{us_to_cycles, Cycles};
+
+/// Fault-site indices into the per-site counters.
+const SITE_RING: usize = 0;
+const SITE_DROP: usize = 1;
+const SITE_DUP: usize = 2;
+const SITE_SPAWN: usize = 3;
+
+/// Per-site salts keep the four decision streams independent even for
+/// equal counters.
+const SALTS: [u64; 4] = [
+    0x5249_4E47_u64, // "RING"
+    0x4452_4F50_u64, // "DROP"
+    0x4455_505F_u64, // "DUP_"
+    0x5350_574E_u64, // "SPWN"
+];
+
+/// A seeded, deterministic schedule of transient faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Probability that a ring-crossing access stalls.
+    pub ring_stall_prob: f64,
+    /// Extra cycles a stalled ring transaction pays.
+    pub ring_stall_cycles: Cycles,
+    /// Probability that a PVM send is dropped (sender retries on a
+    /// priced timeout).
+    pub msg_drop_prob: f64,
+    /// Probability that a delivered PVM message is duplicated (the
+    /// receiver discards the twin by sequence number).
+    pub msg_dup_prob: f64,
+    /// Probability that a thread spawn fails (runtime retries with
+    /// backoff).
+    pub spawn_fail_prob: f64,
+    counters: [u64; 4],
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults enabled. Chain the
+    /// `with_*` builders to switch fault classes on.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ring_stall_prob: 0.0,
+            ring_stall_cycles: us_to_cycles(5.0),
+            msg_drop_prob: 0.0,
+            msg_dup_prob: 0.0,
+            spawn_fail_prob: 0.0,
+            counters: [0; 4],
+        }
+    }
+
+    /// A plan exercising every fault class at modest rates — the
+    /// default schedule `repro-faults` and the robustness tests use.
+    pub fn standard(seed: u64) -> Self {
+        Self::new(seed)
+            .with_ring_stalls(0.02, us_to_cycles(5.0))
+            .with_message_faults(0.05, 0.02)
+            .with_spawn_failures(0.05)
+    }
+
+    /// Enable SCI ring stalls: each ring-crossing access stalls with
+    /// probability `prob`, paying `stall` extra cycles.
+    pub fn with_ring_stalls(mut self, prob: f64, stall: Cycles) -> Self {
+        self.ring_stall_prob = prob;
+        self.ring_stall_cycles = stall;
+        self
+    }
+
+    /// Enable message faults: drop each send with probability `drop`,
+    /// duplicate each delivery with probability `dup`.
+    pub fn with_message_faults(mut self, drop: f64, dup: f64) -> Self {
+        self.msg_drop_prob = drop;
+        self.msg_dup_prob = dup;
+        self
+    }
+
+    /// Enable spawn failures with probability `prob` per spawn attempt.
+    pub fn with_spawn_failures(mut self, prob: f64) -> Self {
+        self.spawn_fail_prob = prob;
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True if any fault class is enabled.
+    pub fn is_active(&self) -> bool {
+        self.ring_stall_prob > 0.0
+            || self.msg_drop_prob > 0.0
+            || self.msg_dup_prob > 0.0
+            || self.spawn_fail_prob > 0.0
+    }
+
+    /// Events drawn so far at each site (ring, drop, dup, spawn) —
+    /// diagnostics for determinism tests.
+    pub fn draws(&self) -> [u64; 4] {
+        self.counters
+    }
+
+    /// splitmix64-style finalizer over (seed, site salt, event index):
+    /// a uniform `[0, 1)` value that is a pure function of its inputs.
+    fn unit(&self, site: usize, n: u64) -> f64 {
+        let mut z = self
+            .seed
+            .wrapping_add(SALTS[site].wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(n.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn decide(&mut self, site: usize, prob: f64) -> bool {
+        if prob <= 0.0 {
+            return false;
+        }
+        let n = self.counters[site];
+        self.counters[site] += 1;
+        self.unit(site, n) < prob
+    }
+
+    /// Does the next ring-crossing access stall? Returns the stall
+    /// cycles if so.
+    pub fn ring_stall(&mut self) -> Option<Cycles> {
+        self.decide(SITE_RING, self.ring_stall_prob)
+            .then_some(self.ring_stall_cycles)
+    }
+
+    /// Is the next message send dropped?
+    pub fn drops_message(&mut self) -> bool {
+        self.decide(SITE_DROP, self.msg_drop_prob)
+    }
+
+    /// Is the next delivered message duplicated?
+    pub fn duplicates_message(&mut self) -> bool {
+        self.decide(SITE_DUP, self.msg_dup_prob)
+    }
+
+    /// Does the next thread spawn attempt fail?
+    pub fn spawn_fails(&mut self) -> bool {
+        self.decide(SITE_SPAWN, self.spawn_fail_prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_gives_identical_decision_streams() {
+        let stream = |seed| {
+            let mut p = FaultPlan::standard(seed);
+            (0..200)
+                .map(|_| {
+                    (
+                        p.ring_stall().is_some(),
+                        p.drops_message(),
+                        p.duplicates_message(),
+                        p.spawn_fails(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(stream(42), stream(42));
+        assert_ne!(stream(42), stream(43), "different seeds should differ");
+    }
+
+    #[test]
+    fn sites_are_interleaving_independent() {
+        // Drawing message decisions between ring decisions must not
+        // perturb the ring stream.
+        let mut a = FaultPlan::standard(7);
+        let mut b = FaultPlan::standard(7);
+        let ring_a: Vec<bool> = (0..50).map(|_| a.ring_stall().is_some()).collect();
+        let ring_b: Vec<bool> = (0..50)
+            .map(|_| {
+                b.drops_message();
+                b.duplicates_message();
+                b.ring_stall().is_some()
+            })
+            .collect();
+        assert_eq!(ring_a, ring_b);
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let mut p = FaultPlan::new(1).with_message_faults(0.25, 0.0);
+        let drops = (0..4000).filter(|_| p.drops_message()).count();
+        assert!((800..=1200).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    fn disabled_sites_never_fire_and_draw_nothing() {
+        let mut p = FaultPlan::new(9);
+        assert!(!p.is_active());
+        for _ in 0..100 {
+            assert!(p.ring_stall().is_none());
+            assert!(!p.drops_message());
+            assert!(!p.spawn_fails());
+        }
+        assert_eq!(p.draws(), [0; 4]);
+    }
+}

@@ -38,9 +38,12 @@
 
 pub mod array;
 pub mod cache;
+pub mod check;
 pub mod config;
 pub mod diagram;
 pub mod directory;
+pub mod error;
+pub mod fault;
 pub mod latency;
 pub mod linemap;
 pub mod machine;
@@ -49,8 +52,11 @@ pub mod stats;
 
 pub use array::SimArray;
 pub use cache::{Cache, LineState};
+pub use check::{CoherenceChecker, Violation};
 pub use config::{CpuId, FuId, MachineConfig, NodeId, RingId};
 pub use diagram::system_diagram;
+pub use error::{ConfigError, SimError};
+pub use fault::FaultPlan;
 pub use latency::{cycles_to_us, us_to_cycles, Cycles, LatencyModel};
 pub use machine::Machine;
 pub use mem::{AddressSpace, MemClass, Region};

@@ -13,6 +13,7 @@
 //!   user-specified blocks rather than pages.
 
 use crate::config::{FuId, MachineConfig, NodeId};
+use crate::error::SimError;
 
 /// Placement class for a simulated allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,17 +92,28 @@ impl AddressSpace {
 
     /// Allocate `len` bytes with the given class. Allocations are
     /// page-aligned so placement rules operate on whole pages.
+    ///
+    /// Panics on a zero-length or malformed block-shared request; use
+    /// [`AddressSpace::try_alloc`] to get the typed error instead.
     pub fn alloc(&mut self, class: MemClass, len: u64) -> Region {
-        assert!(len > 0, "zero-length allocation");
+        self.try_alloc(class, len).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`AddressSpace::alloc`].
+    pub fn try_alloc(&mut self, class: MemClass, len: u64) -> Result<Region, SimError> {
+        if len == 0 {
+            return Err(SimError::ZeroLengthAlloc);
+        }
         if let MemClass::BlockShared { block_bytes } = class {
-            assert!(
-                block_bytes > 0 && block_bytes as u64 % self.page == 0,
-                "block size must be a positive multiple of the {} B page",
-                self.page
-            );
+            if block_bytes == 0 || !(block_bytes as u64).is_multiple_of(self.page) {
+                return Err(SimError::BadBlockSize {
+                    page: self.page,
+                    got: block_bytes,
+                });
+            }
         }
         let base = self.cursor;
-        let padded = (len + self.page - 1) / self.page * self.page;
+        let padded = len.div_ceil(self.page) * self.page;
         // Guard page between regions: staggers equal-sized arrays so
         // they don't land at exact multiples of the (power-of-two)
         // cache size and alias to the same direct-mapped slot — the
@@ -109,7 +121,7 @@ impl AddressSpace {
         self.cursor += padded + self.page;
         let r = Region { base, len, class };
         self.regions.push(r);
-        r
+        Ok(r)
     }
 
     /// Find the region containing `addr`.
@@ -125,12 +137,20 @@ impl AddressSpace {
 
     /// The home (hypernode, FU) of `addr`: the memory bank that
     /// physically hosts the containing page.
+    ///
+    /// Panics on an unmapped address; use
+    /// [`AddressSpace::try_home_of`] to get the typed error instead.
     pub fn home_of(&self, addr: u64) -> (NodeId, FuId) {
+        self.try_home_of(addr).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`AddressSpace::home_of`].
+    pub fn try_home_of(&self, addr: u64) -> Result<(NodeId, FuId), SimError> {
         let r = self
             .region_of(addr)
-            .unwrap_or_else(|| panic!("address {addr:#x} not in any simulated region"));
+            .ok_or(SimError::UnmappedAddress { addr })?;
         let page_in_region = (addr - r.base) / self.page;
-        match r.class {
+        Ok(match r.class {
             MemClass::ThreadPrivate { home } => {
                 (NodeId((home.0 as usize / self.fus_per_node) as u8), home)
             }
@@ -147,7 +167,7 @@ impl AddressSpace {
                 let block = (addr - r.base) / block_bytes as u64;
                 self.round_robin(block)
             }
-        }
+        })
     }
 
     /// Round-robin a distribution unit across hypernodes, interleaving
@@ -218,14 +238,10 @@ mod tests {
     fn far_shared_round_robins_across_nodes() {
         let mut s = space();
         let r = s.alloc(MemClass::FarShared, 8 * 4096);
-        let homes: Vec<u8> = (0..8)
-            .map(|p| s.home_of(r.addr(p * 4096)).0 .0)
-            .collect();
+        let homes: Vec<u8> = (0..8).map(|p| s.home_of(r.addr(p * 4096)).0 .0).collect();
         assert_eq!(homes, vec![0, 1, 0, 1, 0, 1, 0, 1]);
         // FU interleave advances once per node wrap.
-        let fus: Vec<u16> = (0..8)
-            .map(|p| s.home_of(r.addr(p * 4096)).1 .0)
-            .collect();
+        let fus: Vec<u16> = (0..8).map(|p| s.home_of(r.addr(p * 4096)).1 .0).collect();
         assert_eq!(fus, vec![0, 4, 1, 5, 2, 6, 3, 7]);
     }
 
@@ -238,9 +254,7 @@ mod tests {
             },
             8 * 4096,
         );
-        let homes: Vec<u8> = (0..8)
-            .map(|p| s.home_of(r.addr(p * 4096)).0 .0)
-            .collect();
+        let homes: Vec<u8> = (0..8).map(|p| s.home_of(r.addr(p * 4096)).0 .0).collect();
         assert_eq!(homes, vec![0, 0, 1, 1, 0, 0, 1, 1]);
     }
 
@@ -265,5 +279,25 @@ mod tests {
     fn home_of_unmapped_address_panics() {
         let s = space();
         s.home_of(0x10_0000_0000);
+    }
+
+    #[test]
+    fn try_variants_return_typed_errors() {
+        let mut s = space();
+        assert!(matches!(
+            s.try_alloc(MemClass::FarShared, 0),
+            Err(SimError::ZeroLengthAlloc)
+        ));
+        assert!(matches!(
+            s.try_alloc(MemClass::BlockShared { block_bytes: 100 }, 4096),
+            Err(SimError::BadBlockSize {
+                page: 4096,
+                got: 100
+            })
+        ));
+        assert!(matches!(
+            s.try_home_of(0x10_0000_0000),
+            Err(SimError::UnmappedAddress { .. })
+        ));
     }
 }

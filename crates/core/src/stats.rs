@@ -35,6 +35,9 @@ pub struct MemStats {
     pub gcb_rollouts: u64,
     /// Uncached (semaphore) operations.
     pub uncached_ops: u64,
+    /// Injected SCI ring stalls (fault injection; see
+    /// [`crate::FaultPlan`]). Zero unless a fault plan is installed.
+    pub ring_stalls: u64,
 }
 
 impl MemStats {
@@ -92,6 +95,7 @@ impl MemStats {
             writebacks: self.writebacks - earlier.writebacks,
             gcb_rollouts: self.gcb_rollouts - earlier.gcb_rollouts,
             uncached_ops: self.uncached_ops - earlier.uncached_ops,
+            ring_stalls: self.ring_stalls - earlier.ring_stalls,
         }
     }
 }
@@ -125,7 +129,11 @@ impl std::fmt::Display for MemStats {
             self.writebacks,
             self.gcb_rollouts,
             self.uncached_ops
-        )
+        )?;
+        if self.ring_stalls > 0 {
+            write!(f, "\nfaults: ring stalls {}", self.ring_stalls)?;
+        }
+        Ok(())
     }
 }
 

@@ -162,14 +162,14 @@ pub fn dissipation_coefficient(s: &State, _dt: f64) -> f64 {
 /// mass/energy flux, pressure acts through the lumped boundary
 /// normal).
 pub fn apply_update(mesh: &Mesh, s: &mut State, r: &[[f64; 4]], dt: f64) {
-    for i in 0..mesh.num_points() {
+    for (i, ri) in r.iter().enumerate().take(mesh.num_points()) {
         let f = dt / mesh.lumped_mass[i];
         let p = s.pressure(i).max(1e-12);
         let bn = mesh.bnormal[i];
-        s.rho[i] += f * r[i][0];
-        s.mu[i] += f * (r[i][1] - p * bn[0]);
-        s.mv[i] += f * (r[i][2] - p * bn[1]);
-        s.e[i] += f * r[i][3];
+        s.rho[i] += f * ri[0];
+        s.mu[i] += f * (ri[1] - p * bn[0]);
+        s.mv[i] += f * (ri[2] - p * bn[1]);
+        s.e[i] += f * ri[3];
     }
 }
 

@@ -252,11 +252,11 @@ pub fn shape_gradients(mesh: &Mesh, e: usize) -> [[f64; 2]; 3] {
         mesh.py[t[2] as usize],
     ];
     let mut g = [[0.0; 2]; 3];
-    for i in 0..3 {
+    for (i, gi) in g.iter_mut().enumerate() {
         let j = (i + 1) % 3;
         let k = (i + 2) % 3;
-        g[i][0] = y[j] - y[k];
-        g[i][1] = x[k] - x[j];
+        gi[0] = y[j] - y[k];
+        gi[1] = x[k] - x[j];
     }
     g
 }

@@ -219,8 +219,7 @@ impl SharedFem {
                 for el in ctx.chunk(ne) {
                     // Gather connectivity and vertex records (one line
                     // per point for coordinates, one for state).
-                    let v: [usize; 3] =
-                        std::array::from_fn(|i| ctx.read(tri, 3 * el + i) as usize);
+                    let v: [usize; 3] = std::array::from_fn(|i| ctx.read(tri, 3 * el + i) as usize);
                     let x: [f64; 3] = std::array::from_fn(|i| ctx.read(xy, 2 * v[i]));
                     let y: [f64; 3] = std::array::from_fn(|i| ctx.read(xy, 2 * v[i] + 1));
                     let u: [[f64; 4]; 3] = std::array::from_fn(|i| {
@@ -374,11 +373,11 @@ fn residual_kernel(
     let ue: [f64; 4] = std::array::from_fn(|k| (u[0][k] + u[1][k] + u[2][k]) / 3.0);
     let (f, g) = host::fluxes(ue);
     let mut grads = [[0.0f64; 2]; 3];
-    for i in 0..3 {
+    for (i, gi) in grads.iter_mut().enumerate() {
         let j = (i + 1) % 3;
         let k = (i + 2) % 3;
-        grads[i][0] = y[j] - y[k];
-        grads[i][1] = x[k] - x[j];
+        gi[0] = y[j] - y[k];
+        gi[1] = x[k] - x[j];
     }
     std::array::from_fn(|i| {
         std::array::from_fn(|k| {

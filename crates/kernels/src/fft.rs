@@ -98,7 +98,12 @@ impl Pencil {
 /// Simulated in-place FFT over one pencil of `arr`: numerically
 /// identical to [`fft_inplace`], but every access goes through the
 /// machine model and flops are charged to `ctx`.
-pub fn sim_fft_pencil(ctx: &mut ThreadCtx<'_>, arr: &mut SimArray<Complex>, p: Pencil, inverse: bool) {
+pub fn sim_fft_pencil(
+    ctx: &mut ThreadCtx<'_>,
+    arr: &mut SimArray<Complex>,
+    p: Pencil,
+    inverse: bool,
+) {
     let n = p.n;
     assert!(n.is_power_of_two(), "FFT length {n} is not a power of two");
     if n <= 1 {
@@ -283,8 +288,7 @@ mod tests {
         for zz in 0..nz {
             for y in 0..ny {
                 for x in 0..nx {
-                    let phase = 2.0 * std::f64::consts::PI
-                        * (kx * x) as f64 / nx as f64
+                    let phase = 2.0 * std::f64::consts::PI * (kx * x) as f64 / nx as f64
                         + 2.0 * std::f64::consts::PI * (ky * y) as f64 / ny as f64
                         + 2.0 * std::f64::consts::PI * (kz * zz) as f64 / nz as f64;
                     z.push(Complex::cis(phase));
@@ -353,9 +357,7 @@ mod tests {
         let mut rt = Runtime::new(Machine::spp1000(1));
         // 2 interleaved pencils of length 8, stride 2.
         let n = 8;
-        let host: Vec<Complex> = (0..2 * n)
-            .map(|i| Complex::new(i as f64, 0.0))
-            .collect();
+        let host: Vec<Complex> = (0..2 * n).map(|i| Complex::new(i as f64, 0.0)).collect();
         let mut arr = SimArray::new(
             &mut rt.machine,
             MemClass::NearShared { node: NodeId(0) },

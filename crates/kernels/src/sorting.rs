@@ -24,7 +24,7 @@ pub fn radix_sort_by_key(keys: &mut Vec<u64>, payload: &mut Vec<u32>) {
         for &k in &k_src {
             hist[((k >> shift) & 0xff) as usize] += 1;
         }
-        if hist.iter().any(|&h| h == n) {
+        if hist.contains(&n) {
             continue; // all keys share this byte
         }
         let mut pos = [0usize; 256];

@@ -87,15 +87,15 @@ pub fn step(p: &NbodyProblem, b: &mut Bodies) -> u64 {
     let mut total = 0;
     let n = b.len();
     let mut acc = vec![[0.0f64; 3]; n];
-    for i in 0..n {
-        let (a, cnt) = tree_accel(b, &t, i, p.theta, p.eps);
-        acc[i] = a;
+    for (i, a) in acc.iter_mut().enumerate() {
+        let (v, cnt) = tree_accel(b, &t, i, p.theta, p.eps);
+        *a = v;
         total += cnt;
     }
-    for i in 0..n {
-        b.vx[i] += acc[i][0] * p.dt;
-        b.vy[i] += acc[i][1] * p.dt;
-        b.vz[i] += acc[i][2] * p.dt;
+    for (i, a) in acc.iter().enumerate().take(n) {
+        b.vx[i] += a[0] * p.dt;
+        b.vy[i] += a[1] * p.dt;
+        b.vz[i] += a[2] * p.dt;
         b.x[i] += b.vx[i] * p.dt;
         b.y[i] += b.vy[i] * p.dt;
         b.z[i] += b.vz[i] * p.dt;
@@ -133,10 +133,8 @@ mod tests {
             let (at, _) = tree_accel(&b, &t, i, p.theta, p.eps);
             let ad = direct_accel(&b, b.x[i], b.y[i], b.z[i], i, p.eps);
             let mag = (ad[0].powi(2) + ad[1].powi(2) + ad[2].powi(2)).sqrt();
-            let err = ((at[0] - ad[0]).powi(2)
-                + (at[1] - ad[1]).powi(2)
-                + (at[2] - ad[2]).powi(2))
-            .sqrt();
+            let err = ((at[0] - ad[0]).powi(2) + (at[1] - ad[1]).powi(2) + (at[2] - ad[2]).powi(2))
+                .sqrt();
             max_rel = max_rel.max(err / mag.max(1e-12));
         }
         assert!(max_rel < 0.05, "worst relative force error = {max_rel}");

@@ -111,9 +111,7 @@ impl Bodies {
         (0..self.len())
             .map(|i| {
                 0.5 * self.m[i]
-                    * (self.vx[i] * self.vx[i]
-                        + self.vy[i] * self.vy[i]
-                        + self.vz[i] * self.vz[i])
+                    * (self.vx[i] * self.vx[i] + self.vy[i] * self.vy[i] + self.vz[i] * self.vz[i])
             })
             .sum()
     }

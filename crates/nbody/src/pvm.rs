@@ -95,6 +95,11 @@ impl PvmNbody {
         self.tasks.iter().map(|t| t.range.len()).sum()
     }
 
+    /// True for an empty simulation (never constructed normally).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// One timestep. Returns (elapsed wall cycles, useful flops).
     pub fn step(&mut self, pvm: &mut Pvm) -> (Cycles, u64) {
         let t0 = pvm.elapsed();
@@ -245,17 +250,9 @@ impl PvmNbody {
                         z: &task.z,
                         m: &task.m,
                     };
-                    let (a, cnt) = task.tree.accel(
-                        ctx,
-                        &mut task.stack,
-                        i,
-                        xi,
-                        yi,
-                        zi,
-                        theta2,
-                        eps2,
-                        &pos,
-                    );
+                    let (a, cnt) =
+                        task.tree
+                            .accel(ctx, &mut task.stack, i, xi, yi, zi, theta2, eps2, &pos);
                     inter += cnt;
                     acc[i - range.start] = a;
                 }
@@ -329,8 +326,7 @@ mod tests {
         let mut b = crate::problem::sort_by_morton(&plummer(&p));
         nb.step(&mut pvm);
         host::step(&p, &mut b);
-        let rel =
-            (nb.kinetic_energy() - b.kinetic_energy()).abs() / b.kinetic_energy();
+        let rel = (nb.kinetic_energy() - b.kinetic_energy()).abs() / b.kinetic_energy();
         assert!(rel < 1e-9, "KE mismatch (rel {rel})");
     }
 

@@ -109,6 +109,11 @@ impl SharedNbody {
         self.bx.len()
     }
 
+    /// True for an empty simulation (never constructed normally).
+    pub fn is_empty(&self) -> bool {
+        self.bx.len() == 0
+    }
+
     /// Host view of the current state (validation).
     pub fn bodies(&self) -> Bodies {
         Bodies {
@@ -142,7 +147,11 @@ impl SharedNbody {
                 let x = ctx.read(bx, i);
                 let y = ctx.read(by, i);
                 let z = ctx.read(bz, i);
-                ctx.write(keys, i, morton3_unit(x / DOMAIN, y / DOMAIN, z / DOMAIN, 16));
+                ctx.write(
+                    keys,
+                    i,
+                    morton3_unit(x / DOMAIN, y / DOMAIN, z / DOMAIN, 16),
+                );
                 ctx.flops(6);
             }
         });
@@ -227,17 +236,8 @@ impl SharedNbody {
                     let xi = ctx.read(pos.x, i);
                     let yi = ctx.read(pos.y, i);
                     let zi = ctx.read(pos.z, i);
-                    let (a, cnt) = tree.accel(
-                        ctx,
-                        stacks.mine_mut(tid),
-                        i,
-                        xi,
-                        yi,
-                        zi,
-                        theta2,
-                        eps2,
-                        &pos,
-                    );
+                    let (a, cnt) =
+                        tree.accel(ctx, stacks.mine_mut(tid), i, xi, yi, zi, theta2, eps2, &pos);
                     *inter += cnt;
                     ctx.write(ax, i, a[0]);
                     ctx.write(ay, i, a[1]);

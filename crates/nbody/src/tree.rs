@@ -214,10 +214,7 @@ mod tests {
                     total += n.mass;
                 }
             }
-            assert!(
-                (total - b.total_mass()).abs() < 1e-9,
-                "level {d}: {total}"
-            );
+            assert!((total - b.total_mass()).abs() < 1e-9, "level {d}: {total}");
         }
     }
 

@@ -8,7 +8,7 @@
 //! 3. interpolate E to particle positions (CIC gather);
 //! 4. push the particles (leapfrog).
 
-use crate::problem::{PicProblem, Particles};
+use crate::problem::{Particles, PicProblem};
 use spp_kernels::{fft3d_inplace, Complex};
 
 /// Grid state: charge density, potential and electric field.
@@ -109,8 +109,8 @@ pub fn solve_fields(p: &PicProblem, f: &mut Fields) {
         }
     }
     fft3d_inplace(&mut work, p.nx, p.ny, p.nz, true);
-    for i in 0..n {
-        f.phi[i] = work[i].re;
+    for (phi, w) in f.phi.iter_mut().zip(&work[..n]) {
+        *phi = w.re;
     }
     gradient(p, &f.phi, &mut f.ex, &mut f.ey, &mut f.ez);
 }

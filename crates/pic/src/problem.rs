@@ -135,9 +135,7 @@ impl Particles {
         (0..self.len())
             .map(|i| {
                 0.5 * self.q[i].abs()
-                    * (self.vx[i] * self.vx[i]
-                        + self.vy[i] * self.vy[i]
-                        + self.vz[i] * self.vz[i])
+                    * (self.vx[i] * self.vx[i] + self.vy[i] * self.vy[i] + self.vz[i] * self.vz[i])
             })
             .sum()
     }

@@ -195,8 +195,7 @@ impl PvmPic {
                 let task = &mut self.tasks[t];
                 let flops_before = pvm.total_flops();
                 pvm.compute(t, |ctx| {
-                    for i in 0..cells {
-                        let v = incoming[i];
+                    for (i, &v) in incoming.iter().enumerate().take(cells) {
                         ctx.update(&mut task.rho, i, |x| x + v);
                         ctx.flops(1);
                     }

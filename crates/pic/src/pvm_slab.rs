@@ -346,7 +346,8 @@ impl SlabPvmPic {
         for t in 0..self.ntasks {
             for j in 0..self.ntasks {
                 if j != t {
-                    pvm.recv(t, Some(j), Some(tag)).expect("transpose block lost");
+                    pvm.recv(t, Some(j), Some(tag))
+                        .expect("transpose block lost");
                     pvm.unpack(t, block_bytes);
                 }
                 // Move the (j -> t) block on the host side.
@@ -468,8 +469,10 @@ impl SlabPvmPic {
             let next = (t + 1) % self.ntasks;
             let prev = (t + self.ntasks - 1) % self.ntasks;
             if self.ntasks > 1 {
-                pvm.recv(t, Some(next), Some(TAG_PHI_DOWN)).expect("phi ghost");
-                pvm.recv(t, Some(prev), Some(TAG_PHI_UP)).expect("phi ghost");
+                pvm.recv(t, Some(next), Some(TAG_PHI_DOWN))
+                    .expect("phi ghost");
+                pvm.recv(t, Some(prev), Some(TAG_PHI_UP))
+                    .expect("phi ghost");
                 pvm.unpack(t, 2 * bytes);
             }
             // Top ghost (plane pz+1) = next task's first own plane;
@@ -500,8 +503,10 @@ impl SlabPvmPic {
                             let at = |xx: usize, yy: usize, ll: usize| xx + p.nx * yy + plane * ll;
                             let i = at(x, y, l);
                             // phi plane offset: own plane l is l+1.
-                            let gx = ctx.read(phi, at(xp, y, l + 1)) - ctx.read(phi, at(xm, y, l + 1));
-                            let gy = ctx.read(phi, at(x, yp, l + 1)) - ctx.read(phi, at(x, ym, l + 1));
+                            let gx =
+                                ctx.read(phi, at(xp, y, l + 1)) - ctx.read(phi, at(xm, y, l + 1));
+                            let gy =
+                                ctx.read(phi, at(x, yp, l + 1)) - ctx.read(phi, at(x, ym, l + 1));
                             let gz = ctx.read(phi, at(x, y, l + 2)) - ctx.read(phi, at(x, y, l));
                             ctx.write(ex, i, -0.5 * gx);
                             ctx.write(ey, i, -0.5 * gy);
@@ -593,15 +598,14 @@ impl SlabPvmPic {
     fn migrate(&mut self, pvm: &mut Pvm) {
         let pz = self.pz;
         // Collect outgoing records per (src, dst).
-        let mut outgoing: Vec<Vec<Vec<Record>>> =
-            vec![vec![Vec::new(); self.ntasks]; self.ntasks];
-        for t in 0..self.ntasks {
+        let mut outgoing: Vec<Vec<Vec<Record>>> = vec![vec![Vec::new(); self.ntasks]; self.ntasks];
+        for (t, out) in outgoing.iter_mut().enumerate() {
             let parts = &mut self.parts[t];
             let mut i = 0;
             while i < parts.live {
                 let dest = (parts.z.host()[i].floor() as usize) / pz;
                 if dest != t {
-                    outgoing[t][dest].push(extract(parts, i));
+                    out[dest].push(extract(parts, i));
                     remove_swap(parts, i);
                 } else {
                     i += 1;
@@ -609,8 +613,8 @@ impl SlabPvmPic {
             }
         }
         // Send phase.
-        for t in 0..self.ntasks {
-            for (dest, recs) in outgoing[t].iter().enumerate() {
+        for (t, out) in outgoing.iter().enumerate() {
+            for (dest, recs) in out.iter().enumerate() {
                 if !recs.is_empty() {
                     let bytes = recs.len() * RECORD_BYTES;
                     pvm.pack(t, bytes);
@@ -619,6 +623,9 @@ impl SlabPvmPic {
             }
         }
         // Receive phase: drain all migration messages addressed to us.
+        // `t` indexes three structures at once; a range loop is the
+        // clearest form here.
+        #[allow(clippy::needless_range_loop)]
         for t in 0..self.ntasks {
             while let Some(m) = pvm.recv(t, None, Some(TAG_MIGRATE)) {
                 pvm.unpack(t, m.bytes);

@@ -236,12 +236,12 @@ impl SharedPic {
                 let (xm, xp) = ((x + p.nx - 1) % p.nx, (x + 1) % p.nx);
                 let (ym, yp) = ((y + p.ny - 1) % p.ny, (y + 1) % p.ny);
                 let (zm, zp) = ((z + p.nz - 1) % p.nz, (z + 1) % p.nz);
-                let gx = ctx.read(phi, host::idx(&p, xp, y, z))
-                    - ctx.read(phi, host::idx(&p, xm, y, z));
-                let gy = ctx.read(phi, host::idx(&p, x, yp, z))
-                    - ctx.read(phi, host::idx(&p, x, ym, z));
-                let gz = ctx.read(phi, host::idx(&p, x, y, zp))
-                    - ctx.read(phi, host::idx(&p, x, y, zm));
+                let gx =
+                    ctx.read(phi, host::idx(&p, xp, y, z)) - ctx.read(phi, host::idx(&p, xm, y, z));
+                let gy =
+                    ctx.read(phi, host::idx(&p, x, yp, z)) - ctx.read(phi, host::idx(&p, x, ym, z));
+                let gz =
+                    ctx.read(phi, host::idx(&p, x, y, zp)) - ctx.read(phi, host::idx(&p, x, y, zm));
                 ctx.write(ex, i, -0.5 * gx);
                 ctx.write(ey, i, -0.5 * gy);
                 ctx.write(ez, i, -0.5 * gz);
@@ -423,7 +423,7 @@ impl StepReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::host::{Fields, step as host_step};
+    use crate::host::{step as host_step, Fields};
     use crate::problem::load_particles;
     use spp_runtime::Placement;
 

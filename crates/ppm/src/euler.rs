@@ -90,9 +90,8 @@ pub fn riemann(left: &Prim, right: &Prim) -> Prim {
     // Initial guess: PVRS (linearized) pressure.
     let cl = left.sound_speed() * left.rho;
     let cr = right.sound_speed() * right.rho;
-    let mut pstar = ((cr * left.p + cl * right.p + cl * cr * (left.u - right.u))
-        / (cl + cr))
-        .max(SMALL);
+    let mut pstar =
+        ((cr * left.p + cl * right.p + cl * cr * (left.u - right.u)) / (cl + cr)).max(SMALL);
     // Newton-ish secant iterations on u*_L(p) = u*_R(p).
     let mut ustar = 0.0;
     for _ in 0..4 {

@@ -77,9 +77,9 @@ impl Grid {
         let nx = self.nx;
         let mut strip = vec![Cons::default(); nx + 2 * NG];
         for y in 0..self.ny {
-            for i in 0..nx + 2 * NG {
+            for (i, s) in strip.iter_mut().enumerate() {
                 let x = (i + nx - NG) % nx;
-                strip[i] = self.cells[x + nx * y];
+                *s = self.cells[x + nx * y];
             }
             let (ms, _) = sweep_strip(&mut strip, NG..NG + nx, dt);
             max_speed = max_speed.max(ms);
@@ -92,9 +92,9 @@ impl Grid {
         let ny = self.ny;
         let mut strip = vec![Cons::default(); ny + 2 * NG];
         for x in 0..nx {
-            for i in 0..ny + 2 * NG {
+            for (i, s) in strip.iter_mut().enumerate() {
                 let y = (i + ny - NG) % ny;
-                strip[i] = swap_uv(self.cells[x + nx * y]);
+                *s = swap_uv(self.cells[x + nx * y]);
             }
             let (ms, _) = sweep_strip(&mut strip, NG..NG + ny, dt);
             max_speed = max_speed.max(ms);
@@ -124,10 +124,10 @@ pub fn swap_uv(c: Cons) -> Cons {
 /// `(x, density)` pairs in smooth regions.
 pub fn sod_reference() -> [(f64, f64); 4] {
     [
-        (0.1, 1.0),     // undisturbed left state
+        (0.1, 1.0),      // undisturbed left state
         (0.55, 0.42632), // between contact and shock... (post-contact)
         (0.75, 0.26557), // post-shock density
-        (0.95, 0.125),  // undisturbed right state
+        (0.95, 0.125),   // undisturbed right state
     ]
 }
 

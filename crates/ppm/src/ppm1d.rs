@@ -86,7 +86,10 @@ fn avg_left(al: f64, ar: f64, a6: f64, x: f64) -> f64 {
 /// cost tally.
 pub fn sweep_strip(strip: &mut [Cons], upd: std::ops::Range<usize>, dtdx: f64) -> (f64, SweepCost) {
     let n = strip.len();
-    assert!(upd.start >= STENCIL && upd.end + STENCIL <= n, "stencil out of bounds");
+    assert!(
+        upd.start >= STENCIL && upd.end + STENCIL <= n,
+        "stencil out of bounds"
+    );
     if upd.is_empty() {
         return (0.0, SweepCost::default());
     }
@@ -107,12 +110,7 @@ pub fn sweep_strip(strip: &mut [Cons], upd: std::ops::Range<usize>, dtdx: f64) -
     let mut coef = vec![[(0.0f64, 0.0f64, 0.0f64); 4]; phi - plo];
     for j in plo..phi {
         let g = |f: fn(&Prim) -> f64, j: usize| f(&at(j));
-        let fields: [fn(&Prim) -> f64; 4] = [
-            |s| s.rho,
-            |s| s.u,
-            |s| s.v,
-            |s| s.p,
-        ];
+        let fields: [fn(&Prim) -> f64; 4] = [|s| s.rho, |s| s.u, |s| s.v, |s| s.p];
         for (v, f) in fields.iter().enumerate() {
             coef[j - plo][v] = parabola(
                 g(*f, j - 2),
@@ -155,9 +153,7 @@ pub fn sweep_strip(strip: &mut [Cons], upd: std::ops::Range<usize>, dtdx: f64) -
         };
         let resolved = riemann(&left, &right);
         fluxes[i - upd.start] = flux(&resolved);
-        max_speed = max_speed
-            .max(sl.u.abs() + cl)
-            .max(sr.u.abs() + cr);
+        max_speed = max_speed.max(sl.u.abs() + cl).max(sr.u.abs() + cr);
         cost.flops += TRACE_FLOPS + RIEMANN_FLOPS;
         cost.divsqrt += RIEMANN_DIVSQRT;
     }
@@ -220,8 +216,8 @@ mod tests {
         };
         let mut strip = uniform(40, s);
         // Central density bump at rest.
-        for j in 18..22 {
-            strip[j] = Prim {
+        for c in strip.iter_mut().take(22).skip(18) {
+            *c = Prim {
                 rho: 2.0,
                 u: 0.0,
                 v: 0.0,
@@ -278,8 +274,16 @@ mod tests {
         // Gas starts moving rightward on both sides of the interface
         // (rarefaction accelerates the left zone, the shock the right
         // one); more distant zones are untouched after one sweep.
-        assert!(strip[19].mu > 0.0, "left-of-interface momentum {}", strip[19].mu);
-        assert!(strip[20].mu > 0.0, "right-of-interface momentum {}", strip[20].mu);
+        assert!(
+            strip[19].mu > 0.0,
+            "left-of-interface momentum {}",
+            strip[19].mu
+        );
+        assert!(
+            strip[20].mu > 0.0,
+            "right-of-interface momentum {}",
+            strip[20].mu
+        );
         assert!(strip[30].mu.abs() < 1e-12, "distant zone disturbed");
     }
 

@@ -262,8 +262,8 @@ impl SharedPpm {
         let speeds = &mut self.speeds;
         let rep = rt.team_fork_join(team, |ctx| {
             let mut strip: Vec<Cons> = Vec::new();
-            for t in 0..tiles {
-                if owner[t] != ctx.tid {
+            for (t, &own) in owner.iter().enumerate().take(tiles) {
+                if own != ctx.tid {
                     continue;
                 }
                 let mut tile_speed = 0.0f64;
@@ -287,11 +287,11 @@ impl SharedPpm {
                         // rows are redundant (time only).
                         let useful = (NG..NG + h).contains(&r);
                         charge(ctx, &cost, useful);
-                        for i in NG..NG + w {
-                            ctx.write(rho, base + i, strip[i].rho);
-                            ctx.write(mu, base + i, strip[i].mu);
-                            ctx.write(mv, base + i, strip[i].mv);
-                            ctx.write(e, base + i, strip[i].e);
+                        for (i, s) in strip.iter().enumerate().take(NG + w).skip(NG) {
+                            ctx.write(rho, base + i, s.rho);
+                            ctx.write(mu, base + i, s.mu);
+                            ctx.write(mv, base + i, s.mv);
+                            ctx.write(e, base + i, s.e);
                         }
                     }
                 } else {
@@ -310,12 +310,12 @@ impl SharedPpm {
                         let (ms, cost) = sweep_strip(&mut strip, NG..NG + h, dtdx);
                         tile_speed = tile_speed.max(ms);
                         charge(ctx, &cost, true);
-                        for r in NG..NG + h {
+                        for (r, s) in strip.iter().enumerate().take(NG + h).skip(NG) {
                             let idx = t * stride + cx + gw * r;
-                            ctx.write(rho, idx, strip[r].rho);
-                            ctx.write(mu, idx, strip[r].mv);
-                            ctx.write(mv, idx, strip[r].mu);
-                            ctx.write(e, idx, strip[r].e);
+                            ctx.write(rho, idx, s.rho);
+                            ctx.write(mu, idx, s.mv);
+                            ctx.write(mv, idx, s.mu);
+                            ctx.write(e, idx, s.e);
                         }
                     }
                 }

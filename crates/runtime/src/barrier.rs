@@ -112,10 +112,7 @@ impl SimBarrier {
         }
 
         // The thread whose decrement completes last releases the rest.
-        let writer = *order
-            .iter()
-            .max_by_key(|i| (dec_done[**i], **i))
-            .unwrap();
+        let writer = *order.iter().max_by_key(|i| (dec_done[**i], **i)).unwrap();
         let (wcpu, _) = arrivals[writer];
         let wnode = m.config().node_of_cpu(wcpu);
 
@@ -218,11 +215,7 @@ mod tests {
         let (mut m1, b1, cost) = setup(1);
         let r_local = b1.simulate(&mut m1, &cost, &spaced(&[0, 1, 2, 3, 4, 5, 6, 7]));
         let (mut m2, b2, cost) = setup(2);
-        let r_cross = b2.simulate(
-            &mut m2,
-            &cost,
-            &spaced(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]),
-        );
+        let r_cross = b2.simulate(&mut m2, &cost, &spaced(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]));
         let delta = cycles_to_us(r_cross.lifo()) - cycles_to_us(r_local.lifo());
         assert!(
             (0.3..=3.0).contains(&delta),

@@ -38,6 +38,12 @@ pub struct RuntimeCostModel {
     /// issues one FLOP and one memory reference per cycle at best;
     /// real scalar code sustains roughly one FLOP every two cycles.
     pub cycles_per_flop: f64,
+    /// Initial backoff after a failed thread spawn under fault
+    /// injection (doubles per retry).
+    pub spawn_retry_backoff: Cycles,
+    /// Spawn attempts (including the first) before the runtime gives
+    /// up and panics with [`spp_core::SimError::SpawnFailed`].
+    pub spawn_max_attempts: u32,
 }
 
 impl RuntimeCostModel {
@@ -52,6 +58,8 @@ impl RuntimeCostModel {
             hot_line_service: 150,
             gate_overhead: us_to_cycles(1.0),
             cycles_per_flop: 2.0,
+            spawn_retry_backoff: us_to_cycles(25.0),
+            spawn_max_attempts: 8,
         }
     }
 

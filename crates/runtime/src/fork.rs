@@ -15,7 +15,7 @@ use crate::barrier::{BarrierResult, SimBarrier};
 use crate::cost::RuntimeCostModel;
 use crate::noise::OsNoise;
 use crate::team::{chunk_range, Placement, Team};
-use spp_core::{CpuId, Cycles, Machine, NodeId, SimArray};
+use spp_core::{CpuId, Cycles, Machine, NodeId, SimArray, SimError};
 
 /// Execution context handed to each simulated thread's body.
 pub struct ThreadCtx<'a> {
@@ -129,6 +129,9 @@ pub struct RegionReport {
     pub join: BarrierResult,
     /// FLOPs summed over the team.
     pub flops: u64,
+    /// Spawn retries paid during the fork (fault injection; zero
+    /// without an active fault plan).
+    pub spawn_retries: u64,
 }
 
 impl RegionReport {
@@ -158,6 +161,9 @@ pub struct AsyncHandle {
     pub busy: Vec<Cycles>,
     /// FLOPs over all children.
     pub flops: u64,
+    /// Spawn retries paid during the fork (fault injection; zero
+    /// without an active fault plan).
+    pub spawn_retries: u64,
 }
 
 /// The threaded runtime: a machine plus thread-management costs.
@@ -202,6 +208,56 @@ impl Runtime {
         Self::new(Machine::spp1000(hypernodes))
     }
 
+    /// Price one thread spawn, retrying with exponential backoff when
+    /// the machine's fault plan fails it. Panics with
+    /// [`SimError::SpawnFailed`] once `spawn_max_attempts` is
+    /// exhausted (consecutive failures signal a broken node, not a
+    /// transient).
+    fn priced_spawn(
+        &mut self,
+        cpu: CpuId,
+        same_node: bool,
+        activated: &mut bool,
+        retries: &mut u64,
+    ) -> Cycles {
+        let mut t = 0;
+        if !same_node && !*activated {
+            t += self.cost.node_activation;
+            *activated = true;
+        }
+        let spawn = if same_node {
+            self.cost.spawn_local
+        } else {
+            self.cost.spawn_remote
+        };
+        let mut backoff = self.cost.spawn_retry_backoff;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            t += spawn;
+            let failed = self
+                .machine
+                .faults_mut()
+                .map(|f| f.spawn_fails())
+                .unwrap_or(false);
+            if !failed {
+                return t;
+            }
+            *retries += 1;
+            if attempts >= self.cost.spawn_max_attempts {
+                panic!(
+                    "{}",
+                    SimError::SpawnFailed {
+                        cpu: cpu.0,
+                        attempts
+                    }
+                );
+            }
+            t += backoff;
+            backoff *= 2;
+        }
+    }
+
     /// Run a parallel region over a freshly placed team.
     pub fn fork_join(
         &mut self,
@@ -227,18 +283,16 @@ impl Runtime {
         let mut t = self.cost.fork_base;
         let mut start = vec![0u64; n];
         let mut activated = false;
-        for tid in 1..n {
+        let mut spawn_retries = 0u64;
+        for (tid, s) in start.iter_mut().enumerate().skip(1) {
             let node = self.machine.config().node_of_cpu(team.cpu(tid));
-            if node == parent_node {
-                t += self.cost.spawn_local;
-            } else {
-                if !activated {
-                    t += self.cost.node_activation;
-                    activated = true;
-                }
-                t += self.cost.spawn_remote;
-            }
-            start[tid] = t;
+            t += self.priced_spawn(
+                team.cpu(tid),
+                node == parent_node,
+                &mut activated,
+                &mut spawn_retries,
+            );
+            *s = t;
         }
         // The parent begins its own chunk after issuing all spawns.
         start[0] = t;
@@ -246,7 +300,7 @@ impl Runtime {
         // Execute bodies sequentially, one per simulated thread.
         let mut busy = vec![0u64; n];
         let mut flops = 0u64;
-        for tid in 0..n {
+        for (tid, b) in busy.iter_mut().enumerate() {
             let mut ctx = ThreadCtx {
                 tid,
                 nthreads: n,
@@ -258,7 +312,7 @@ impl Runtime {
                 flops: 0,
             };
             body(&mut ctx);
-            busy[tid] = ctx.clock;
+            *b = ctx.clock;
             flops += ctx.flops;
         }
 
@@ -294,6 +348,7 @@ impl Runtime {
             busy,
             join,
             flops,
+            spawn_retries,
         }
     }
 
@@ -318,17 +373,15 @@ impl Runtime {
         let mut busy = vec![0u64; n];
         let mut activated = false;
         let mut flops = 0u64;
+        let mut spawn_retries = 0u64;
         for tid in 0..n {
             let node = self.machine.config().node_of_cpu(team.cpu(tid));
-            if node == parent_node {
-                t += self.cost.spawn_local;
-            } else {
-                if !activated {
-                    t += self.cost.node_activation;
-                    activated = true;
-                }
-                t += self.cost.spawn_remote;
-            }
+            t += self.priced_spawn(
+                team.cpu(tid),
+                node == parent_node,
+                &mut activated,
+                &mut spawn_retries,
+            );
             let mut ctx = ThreadCtx {
                 tid,
                 nthreads: n,
@@ -359,6 +412,7 @@ impl Runtime {
                 finish,
                 busy,
                 flops,
+                spawn_retries,
             },
         )
     }
@@ -400,6 +454,7 @@ impl Runtime {
                 last_arrival: busy,
             },
             flops,
+            spawn_retries: 0,
         }
     }
 
@@ -418,13 +473,17 @@ mod tests {
     fn empty_fork_join_cost_rises_with_threads() {
         let mut rt = Runtime::spp1000(2);
         let us = |n: usize, rt: &mut Runtime| {
-            rt.fork_join(n, &Placement::HighLocality, |_| {}).elapsed_us()
+            rt.fork_join(n, &Placement::HighLocality, |_| {})
+                .elapsed_us()
         };
         let t2 = us(2, &mut rt);
         let t4 = us(4, &mut rt);
         let t8 = us(8, &mut rt);
         assert!(t2 < t4 && t4 < t8, "{t2} {t4} {t8}");
-        // ~10 us per extra pair of local threads (paper Fig. 2).
+        // Paper anchor (§4.1, Fig. 2): ~10 µs per extra pair of local
+        // threads. The 7..=18 window is intentionally tight around that
+        // slope (the join barrier adds a sublinear term on top); loosen
+        // only with a deliberate recalibration.
         let slope = (t8 - t2) / 3.0;
         assert!((7.0..=18.0).contains(&slope), "local slope = {slope}");
     }
@@ -438,8 +497,10 @@ mod tests {
         let t10 = rt
             .fork_join(10, &Placement::HighLocality, |_| {})
             .elapsed_us();
-        // Two more threads would cost ~10 us locally; the jump to the
-        // second hypernode adds the ~50 us activation on top.
+        // Paper anchor (§4.1): "once threads start to be spawned on
+        // two hypernodes" a one-time ~50 µs activation appears. Two
+        // more threads cost ~20 µs remotely, so the observed jump is
+        // activation + spawns; 40..=90 µs pins it intentionally tight.
         let jump = t10 - t8;
         assert!((40.0..=90.0).contains(&jump), "jump = {jump} us");
     }
@@ -458,7 +519,7 @@ mod tests {
     #[test]
     fn work_splits_across_threads() {
         let mut rt = Runtime::spp1000(1);
-        let mut hits = vec![0usize; 4];
+        let mut hits = [0usize; 4];
         rt.fork_join(4, &Placement::HighLocality, |ctx| {
             let r = ctx.chunk(100);
             hits[ctx.tid] = r.len();
@@ -558,10 +619,11 @@ mod tests {
     #[test]
     fn join_async_waits_for_slow_children() {
         let mut rt = Runtime::spp1000(1);
-        let team = Team::place(rt.machine.config(), 2, &Placement::Explicit(vec![
-            CpuId(1),
-            CpuId(2),
-        ]));
+        let team = Team::place(
+            rt.machine.config(),
+            2,
+            &Placement::Explicit(vec![CpuId(1), CpuId(2)]),
+        );
         let (_, handle) = rt.fork_async(&team, |ctx| ctx.flops(1_000_000));
         let slowest = *handle.finish.iter().max().unwrap();
         let done = rt.join_async(&handle, 100);
@@ -601,12 +663,52 @@ mod tests {
     #[test]
     fn noise_runs_stay_deterministic() {
         let run = || {
-            let mut rt =
-                Runtime::spp1000(1).with_noise(crate::noise::OsNoise::unix90s(9));
+            let mut rt = Runtime::spp1000(1).with_noise(crate::noise::OsNoise::unix90s(9));
             rt.fork_join(8, &Placement::HighLocality, |ctx| ctx.flops(1_000_000))
                 .elapsed
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn spawn_retries_add_deterministic_overhead() {
+        use spp_core::{FaultPlan, Machine};
+        let run = |prob: f64| {
+            let m = Machine::spp1000(2).with_faults(FaultPlan::new(4).with_spawn_failures(prob));
+            let mut rt = Runtime::new(m);
+            let r = rt.fork_join(16, &Placement::HighLocality, |_| {});
+            (r.elapsed, r.spawn_retries)
+        };
+        let (clean, retries0) = run(0.0);
+        assert_eq!(retries0, 0);
+        let (a, ra) = run(0.35);
+        let (b, rb) = run(0.35);
+        assert_eq!((a, ra), (b, rb), "same seed must reproduce exactly");
+        assert!(ra > 0, "35% failure over 15 spawns should retry");
+        assert!(a > clean, "retries must cost time: {a} vs {clean}");
+    }
+
+    #[test]
+    fn async_fork_counts_spawn_retries() {
+        use spp_core::{FaultPlan, Machine};
+        let m = Machine::spp1000(1).with_faults(FaultPlan::new(2).with_spawn_failures(0.5));
+        let mut rt = Runtime::new(m);
+        let team = Team::place(
+            rt.machine.config(),
+            4,
+            &Placement::Explicit(vec![CpuId(1), CpuId(2), CpuId(3), CpuId(4)]),
+        );
+        let (_, handle) = rt.fork_async(&team, |_| {});
+        assert!(handle.spawn_retries > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn certain_spawn_failure_exhausts_retry_budget() {
+        use spp_core::{FaultPlan, Machine};
+        let m = Machine::spp1000(2).with_faults(FaultPlan::new(1).with_spawn_failures(1.0));
+        let mut rt = Runtime::new(m);
+        rt.fork_join(2, &Placement::HighLocality, |_| {});
     }
 
     #[test]

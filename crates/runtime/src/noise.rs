@@ -37,8 +37,8 @@ impl OsNoise {
     /// wakeups/kernel work, ~0.3 ms stolen each time, 10 ms timeslice.
     pub fn unix90s(seed: u64) -> Self {
         OsNoise {
-            period: 1_000_000,      // 10 ms
-            quantum: 30_000,        // 0.3 ms
+            period: 1_000_000,             // 10 ms
+            quantum: 30_000,               // 0.3 ms
             full_machine_slice: 1_000_000, // 10 ms
             seed,
         }
@@ -118,10 +118,20 @@ mod tests {
         // shared-machine total by roughly a slice per region.
         let busy = 2_000_000u64;
         let with: Cycles = (0..64)
-            .map(|r| (0..16).map(|t| n.stolen(r, t, 16, busy, true)).max().unwrap())
+            .map(|r| {
+                (0..16)
+                    .map(|t| n.stolen(r, t, 16, busy, true))
+                    .max()
+                    .unwrap()
+            })
             .sum();
         let without: Cycles = (0..64)
-            .map(|r| (0..16).map(|t| n.stolen(r, t, 16, busy, false)).max().unwrap())
+            .map(|r| {
+                (0..16)
+                    .map(|t| n.stolen(r, t, 16, busy, false))
+                    .max()
+                    .unwrap()
+            })
             .sum();
         assert!(
             with > without + 32 * n.full_machine_slice,

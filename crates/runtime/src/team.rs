@@ -5,7 +5,7 @@
 //! distribution* (equal thread counts per hypernode). Both are
 //! provided, plus explicit placement for ad-hoc experiments.
 
-use spp_core::{CpuId, MachineConfig, NodeId};
+use spp_core::{CpuId, MachineConfig, NodeId, SimError};
 
 /// How a team's threads are mapped onto CPUs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,41 +38,61 @@ impl Team {
     ///
     /// # Panics
     /// If `n` is zero, exceeds the CPU count, or an explicit list has
-    /// the wrong length or repeats a CPU.
+    /// the wrong length or repeats a CPU. Use [`Team::try_place`] to
+    /// get the typed [`SimError`] instead.
     pub fn place(cfg: &MachineConfig, n: usize, placement: &Placement) -> Self {
-        assert!(n >= 1, "a team needs at least one thread");
-        assert!(
-            n <= cfg.num_cpus(),
-            "team of {n} exceeds {} CPUs",
-            cfg.num_cpus()
-        );
+        Self::try_place(cfg, n, placement).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Team::place`].
+    pub fn try_place(
+        cfg: &MachineConfig,
+        n: usize,
+        placement: &Placement,
+    ) -> Result<Self, SimError> {
+        if n == 0 {
+            return Err(SimError::EmptyTeam);
+        }
+        if n > cfg.num_cpus() {
+            return Err(SimError::TeamTooLarge {
+                threads: n,
+                cpus: cfg.num_cpus(),
+            });
+        }
         let cpus: Vec<CpuId> = match placement {
             Placement::HighLocality => (0..n as u16).map(CpuId).collect(),
             Placement::Uniform => {
                 let nodes = cfg.hypernodes.min(n);
                 let per_node = cfg.cpus_per_node();
-                (0..n)
-                    .map(|t| {
-                        let node = t % nodes;
-                        let slot = t / nodes;
-                        assert!(
-                            slot < per_node,
-                            "uniform placement of {n} threads overflows node {node}"
-                        );
-                        CpuId((node * per_node + slot) as u16)
-                    })
-                    .collect()
+                let mut cpus = Vec::with_capacity(n);
+                for t in 0..n {
+                    let node = t % nodes;
+                    let slot = t / nodes;
+                    if slot >= per_node {
+                        return Err(SimError::PlacementOverflow { threads: n, node });
+                    }
+                    cpus.push(CpuId((node * per_node + slot) as u16));
+                }
+                cpus
             }
             Placement::Explicit(list) => {
-                assert_eq!(list.len(), n, "explicit placement length mismatch");
+                if list.len() != n {
+                    return Err(SimError::PlacementLengthMismatch {
+                        threads: n,
+                        cpus: list.len(),
+                    });
+                }
                 let mut seen = vec![false; cfg.num_cpus()];
                 for c in list {
-                    assert!(
-                        (c.0 as usize) < cfg.num_cpus(),
-                        "cpu {} out of range",
-                        c.0
-                    );
-                    assert!(!seen[c.0 as usize], "cpu {} used twice", c.0);
+                    if c.0 as usize >= cfg.num_cpus() {
+                        return Err(SimError::CpuOutOfRange {
+                            cpu: c.0,
+                            cpus: cfg.num_cpus(),
+                        });
+                    }
+                    if seen[c.0 as usize] {
+                        return Err(SimError::CpuReused { cpu: c.0 });
+                    }
                     seen[c.0 as usize] = true;
                 }
                 list.clone()
@@ -90,11 +110,11 @@ impl Team {
         for (rank, tid) in by_node.iter().enumerate() {
             chunk_rank[*tid] = rank;
         }
-        Team {
+        Ok(Team {
             cpus,
             nodes_used: nodes.len(),
             chunk_rank,
-        }
+        })
     }
 
     /// Number of threads.
@@ -184,11 +204,7 @@ mod tests {
     #[test]
     fn uniform_alternates_nodes() {
         let t = Team::place(&cfg(), 4, &Placement::Uniform);
-        let nodes: Vec<u8> = t
-            .cpus()
-            .iter()
-            .map(|c| cfg().node_of_cpu(*c).0)
-            .collect();
+        let nodes: Vec<u8> = t.cpus().iter().map(|c| cfg().node_of_cpu(*c).0).collect();
         assert_eq!(nodes, vec![0, 1, 0, 1]);
         assert_eq!(t.nodes_used(), 2);
     }
@@ -209,11 +225,7 @@ mod tests {
 
     #[test]
     fn explicit_placement_respected() {
-        let t = Team::place(
-            &cfg(),
-            2,
-            &Placement::Explicit(vec![CpuId(3), CpuId(12)]),
-        );
+        let t = Team::place(&cfg(), 2, &Placement::Explicit(vec![CpuId(3), CpuId(12)]));
         assert_eq!(t.cpu(0), CpuId(3));
         assert_eq!(t.cpu(1), CpuId(12));
         assert_eq!(t.nodes_used(), 2);
@@ -222,17 +234,43 @@ mod tests {
     #[test]
     #[should_panic(expected = "used twice")]
     fn explicit_rejects_duplicates() {
-        Team::place(
-            &cfg(),
-            2,
-            &Placement::Explicit(vec![CpuId(3), CpuId(3)]),
-        );
+        Team::place(&cfg(), 2, &Placement::Explicit(vec![CpuId(3), CpuId(3)]));
     }
 
     #[test]
     #[should_panic(expected = "exceeds")]
     fn too_many_threads_rejected() {
         Team::place(&cfg(), 17, &Placement::HighLocality);
+    }
+
+    #[test]
+    fn try_place_returns_typed_errors() {
+        assert!(matches!(
+            Team::try_place(&cfg(), 0, &Placement::HighLocality),
+            Err(SimError::EmptyTeam)
+        ));
+        assert!(matches!(
+            Team::try_place(&cfg(), 17, &Placement::Uniform),
+            Err(SimError::TeamTooLarge {
+                threads: 17,
+                cpus: 16
+            })
+        ));
+        assert!(matches!(
+            Team::try_place(&cfg(), 2, &Placement::Explicit(vec![CpuId(1)])),
+            Err(SimError::PlacementLengthMismatch {
+                threads: 2,
+                cpus: 1
+            })
+        ));
+        assert!(matches!(
+            Team::try_place(&cfg(), 1, &Placement::Explicit(vec![CpuId(99)])),
+            Err(SimError::CpuOutOfRange { cpu: 99, .. })
+        ));
+        assert!(matches!(
+            Team::try_place(&cfg(), 2, &Placement::Explicit(vec![CpuId(3), CpuId(3)])),
+            Err(SimError::CpuReused { cpu: 3 })
+        ));
     }
 
     #[test]

@@ -28,7 +28,10 @@ fn main() {
             elapsed += c;
             flops += f;
         }
-        println!("after {} steps (density, 48x48 downsampled 2x):", (frame + 1) * 8);
+        println!(
+            "after {} steps (density, 48x48 downsampled 2x):",
+            (frame + 1) * 8
+        );
         for y in (0..problem.ny).step_by(2) {
             let mut line = String::new();
             for x in (0..problem.nx).step_by(2) {

@@ -31,7 +31,9 @@ fn main() {
     );
 
     // Scaling on the simulated machine: one hypernode vs two.
-    println!("\nprocs  config   Mflop/s  speedup   (paper: 27.5 MF/s serial, 2-7% cross-node loss)");
+    println!(
+        "\nprocs  config   Mflop/s  speedup   (paper: 27.5 MF/s serial, 2-7% cross-node loss)"
+    );
     let mut base = 0.0;
     for (procs, placement, label) in [
         (1usize, Placement::HighLocality, "1 node"),

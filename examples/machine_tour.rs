@@ -26,40 +26,56 @@ fn main() {
         m.write(CpuId(0), a.addr(0)); // producer again: invalidate
     });
 
-    scene(&mut m, "one writer, seven spinning readers (barrier flag)", |m| {
-        let a = m.alloc(MemClass::NearShared { node: NodeId(0) }, 4096);
-        for c in 1..8u16 {
-            m.read(CpuId(c), a.addr(0));
-        }
-        m.write(CpuId(0), a.addr(0)); // seven invalidations
-        for c in 1..8u16 {
-            m.read(CpuId(c), a.addr(0)); // seven re-fetches
-        }
-    });
-
-    scene(&mut m, "cross-hypernode sharing via SCI + global cache buffer", |m| {
-        let a = m.alloc(MemClass::NearShared { node: NodeId(0) }, 4096);
-        m.read(CpuId(8), a.addr(0)); // node 1 fetches over the ring
-        m.read(CpuId(9), a.addr(0)); // node-mate hits the GCB
-        m.write(CpuId(0), a.addr(0)); // home write walks the SCI list
-        m.read(CpuId(8), a.addr(0)); // must re-fetch over the ring
-    });
-
-    scene(&mut m, "remote ownership: node 1 dirties a node-0 line", |m| {
-        let a = m.alloc(MemClass::NearShared { node: NodeId(0) }, 4096);
-        m.write(CpuId(8), a.addr(64));
-        m.read(CpuId(0), a.addr(64)); // home reads the dirty copy back
-    });
-
-    scene(&mut m, "capacity sweep through the 1 MB direct-mapped cache", |m| {
-        let a = m.alloc(MemClass::NearShared { node: NodeId(0) }, 2 << 20);
-        for sweep in 0..2 {
-            for i in 0..(2 << 20) / 32 {
-                m.read(CpuId(0), a.addr(i * 32));
+    scene(
+        &mut m,
+        "one writer, seven spinning readers (barrier flag)",
+        |m| {
+            let a = m.alloc(MemClass::NearShared { node: NodeId(0) }, 4096);
+            for c in 1..8u16 {
+                m.read(CpuId(c), a.addr(0));
             }
-            let _ = sweep;
-        }
-    });
+            m.write(CpuId(0), a.addr(0)); // seven invalidations
+            for c in 1..8u16 {
+                m.read(CpuId(c), a.addr(0)); // seven re-fetches
+            }
+        },
+    );
+
+    scene(
+        &mut m,
+        "cross-hypernode sharing via SCI + global cache buffer",
+        |m| {
+            let a = m.alloc(MemClass::NearShared { node: NodeId(0) }, 4096);
+            m.read(CpuId(8), a.addr(0)); // node 1 fetches over the ring
+            m.read(CpuId(9), a.addr(0)); // node-mate hits the GCB
+            m.write(CpuId(0), a.addr(0)); // home write walks the SCI list
+            m.read(CpuId(8), a.addr(0)); // must re-fetch over the ring
+        },
+    );
+
+    scene(
+        &mut m,
+        "remote ownership: node 1 dirties a node-0 line",
+        |m| {
+            let a = m.alloc(MemClass::NearShared { node: NodeId(0) }, 4096);
+            m.write(CpuId(8), a.addr(64));
+            m.read(CpuId(0), a.addr(64)); // home reads the dirty copy back
+        },
+    );
+
+    scene(
+        &mut m,
+        "capacity sweep through the 1 MB direct-mapped cache",
+        |m| {
+            let a = m.alloc(MemClass::NearShared { node: NodeId(0) }, 2 << 20);
+            for sweep in 0..2 {
+                for i in 0..(2 << 20) / 32 {
+                    m.read(CpuId(0), a.addr(i * 32));
+                }
+                let _ = sweep;
+            }
+        },
+    );
 
     println!("cumulative:\n{}", m.stats);
 }

@@ -14,8 +14,7 @@ use spp1000::prelude::*;
 fn main() {
     let problem = PicProblem::with_mesh(16, 16, 16);
     println!(
-        "beam-plasma: {} mesh, {} particles (8 plasma + 1 beam per cell, beam at {}x thermal speed)",
-        "16x16x16",
+        "beam-plasma: 16x16x16 mesh, {} particles (8 plasma + 1 beam per cell, beam at {}x thermal speed)",
         problem.num_particles(),
         problem.beam_speed
     );
@@ -51,5 +50,7 @@ fn main() {
         r.seconds() * 1e3 / 12.0,
         (r.elapsed as f64 / 12.0) / (total as f64 / 12.0)
     );
-    println!("\n(the paper: \"The shared memory version consistently outperforms the pvm version\")");
+    println!(
+        "\n(the paper: \"The shared memory version consistently outperforms the pvm version\")"
+    );
 }

@@ -36,7 +36,9 @@ fn main() {
     println!("\nfork-join of an empty body (us):");
     for n in [2usize, 8, 16] {
         rt.fork_join(n, &Placement::HighLocality, |_| {});
-        let t = rt.fork_join(n, &Placement::HighLocality, |_| {}).elapsed_us();
+        let t = rt
+            .fork_join(n, &Placement::HighLocality, |_| {})
+            .elapsed_us();
         println!("  {n:>2} threads, high locality: {t:>6.1}");
     }
 

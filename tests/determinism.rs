@@ -29,7 +29,10 @@ fn fork_join_timing_is_deterministic() {
     let run = || {
         let mut rt = Runtime::spp1000(2);
         (0..4)
-            .map(|_| rt.fork_join(16, &Placement::Uniform, |ctx| ctx.flops(100)).elapsed)
+            .map(|_| {
+                rt.fork_join(16, &Placement::Uniform, |ctx| ctx.flops(100))
+                    .elapsed
+            })
             .collect::<Vec<_>>()
     };
     assert_eq!(run(), run());
@@ -66,8 +69,7 @@ fn fem_and_ppm_runs_are_bit_reproducible() {
     let fem_run = || {
         let mut rt = Runtime::spp1000(2);
         let team = Team::place(rt.machine.config(), 4, &Placement::HighLocality);
-        let mut s =
-            fem::SharedFem::new(&mut rt, fem::Mesh::tiny(), fem::Coding::Gather, &team);
+        let mut s = fem::SharedFem::new(&mut rt, fem::Mesh::tiny(), fem::Coding::Gather, &team);
         let (c, p) = s.step(&mut rt, &team, 0.3);
         (c, p, s.state().e[33].to_bits())
     };

@@ -37,8 +37,12 @@ fn message_passing_ratio() {
 #[test]
 fn fork_join_cross_node_activation() {
     let mut rt = Runtime::spp1000(2);
-    let t8 = rt.fork_join(8, &Placement::HighLocality, |_| {}).elapsed_us();
-    let t9 = rt.fork_join(9, &Placement::HighLocality, |_| {}).elapsed_us();
+    let t8 = rt
+        .fork_join(8, &Placement::HighLocality, |_| {})
+        .elapsed_us();
+    let t9 = rt
+        .fork_join(9, &Placement::HighLocality, |_| {})
+        .elapsed_us();
     let jump = t9 - t8;
     assert!((40.0..=90.0).contains(&jump), "activation jump = {jump} us");
 }
@@ -66,8 +70,12 @@ fn all_four_applications_scale_across_one_hypernode() {
         let run = |procs: usize| {
             let mut rt = Runtime::spp1000(2);
             let team = Team::place(rt.machine.config(), procs, &Placement::HighLocality);
-            let mut s =
-                fem::SharedFem::new(&mut rt, fem::structured(48, 48), fem::Coding::ScatterAdd, &team);
+            let mut s = fem::SharedFem::new(
+                &mut rt,
+                fem::structured(48, 48),
+                fem::Coding::ScatterAdd,
+                &team,
+            );
             s.run(&mut rt, &team, 0.3, 1).elapsed
         };
         run(1) as f64 / run(8) as f64
@@ -153,5 +161,8 @@ fn ppm_table2_shape() {
     let coarse = run(120, 240, 4, 8);
     let fine = run(120, 240, 12, 24);
     assert!(fine < coarse, "fine {fine} vs coarse {coarse}");
-    assert!(fine > 0.6 * coarse, "fine tiles lose too much: {fine} vs {coarse}");
+    assert!(
+        fine > 0.6 * coarse,
+        "fine tiles lose too much: {fine} vs {coarse}"
+    );
 }

@@ -154,11 +154,11 @@ proptest! {
                 }
             }
         }
-        for i in 0..n {
+        for (i, ri) in r.iter().enumerate().take(n) {
             // Interior points: flux sums cancel exactly.
             if mesh.bnormal[i] == [0.0, 0.0] {
-                for k in 0..4 {
-                    prop_assert!(r[i][k].abs() < 1e-9, "point {i} component {k}: {}", r[i][k]);
+                for (k, rk) in ri.iter().enumerate() {
+                    prop_assert!(rk.abs() < 1e-9, "point {i} component {k}: {rk}");
                 }
             }
         }
