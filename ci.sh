@@ -10,7 +10,16 @@ cargo fmt --all -- --check
 echo "== cargo clippy (warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo test (SPP_CHECK=1: coherence checker on)"
 SPP_CHECK=1 cargo test --workspace -q
+
+echo "== repro-all smoke run (1 step, machine-readable report)"
+cargo run --release -q -p spp-bench --bin repro-all -- --steps 1 >/dev/null
+test -s target/repro/BENCH_repro.json
+grep -q '"passed": true' target/repro/BENCH_repro.json
+echo "   target/repro/BENCH_repro.json OK"
 
 echo "CI OK"

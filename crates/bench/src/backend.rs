@@ -1,0 +1,294 @@
+//! Backend validation — the port-layer counterpart of the figure
+//! experiments. Three parts:
+//!
+//! 1. an application sweep priced on the backend selected with
+//!    `--backend` (cycle-accurate machine or analytic [`FastPort`]),
+//!    with host wall-clock per configuration;
+//! 2. a fast-vs-cycle comparison asserting the analytic backend's
+//!    hit/miss counts stay within the tolerance documented in
+//!    [`spp_core::fastport`] (10%) on the swept workloads;
+//! 3. the E11 trace cross-validation: record a full application step
+//!    through [`TracePort`], replay the trace into a fresh machine,
+//!    and assert cycles and [`spp_core::MemStats`] are bit-identical.
+//!
+//! The figure/table experiments always run on the cycle-accurate
+//! backend — the paper anchors are cycle-model properties — so this
+//! experiment is where `--backend fast` gets its semantics.
+
+use std::time::Instant;
+
+use crate::{emit, f, Backend, Opts, Table};
+use pic::{PicProblem, SharedPic};
+use spp_core::{FastPort, Machine, MemPort, MemStats, TracePort};
+use spp_runtime::{Placement, Runtime, Team};
+
+/// Thread counts of the validation sweep.
+pub const PROCS: [usize; 4] = [1, 2, 4, 8];
+
+/// Relative tolerance on total hit and miss counts between the
+/// analytic and cycle-accurate backends (the contract documented in
+/// `spp_core::fastport`).
+pub const HIT_MISS_TOLERANCE: f64 = 0.10;
+
+/// One swept configuration on one backend.
+pub struct Point {
+    /// Threads.
+    pub procs: usize,
+    /// Simulated cycles for the measured steps.
+    pub cycles: u64,
+    /// Memory-system counters at the end of the run.
+    pub stats: MemStats,
+    /// Host seconds spent simulating.
+    pub host_secs: f64,
+}
+
+/// Run the shared-memory PIC workload on an arbitrary port backend.
+pub fn collect_on<P: MemPort>(make: impl Fn() -> P, p: &PicProblem, steps: usize) -> Vec<Point> {
+    PROCS
+        .iter()
+        .map(|&procs| {
+            let t0 = Instant::now();
+            let mut rt = Runtime::new(make());
+            let team = Team::place(rt.machine.config(), procs, &Placement::HighLocality);
+            let mut sim = SharedPic::new(&mut rt, p.clone(), &team);
+            let r = sim.run(&mut rt, &team, steps);
+            Point {
+                procs,
+                cycles: r.elapsed,
+                stats: *rt.machine.stats(),
+                host_secs: t0.elapsed().as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Total misses as the analytic backend groups them: the fast model
+/// has no GCB, so cycle-side GCB hits fold into the miss count.
+fn misses(s: &MemStats) -> u64 {
+    s.local_misses + s.sci_fetches + s.gcb_hits
+}
+
+fn rel_dev(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        if a == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (a as f64 - b as f64).abs() / b as f64
+    }
+}
+
+/// Regenerate the backend-validation experiment.
+pub fn run(o: &Opts) -> String {
+    let mut out = String::new();
+    let prob = PicProblem::tiny();
+
+    // Part 1: the sweep on the selected backend.
+    let sweep = match o.backend {
+        Backend::Cycle => collect_on(|| Machine::spp1000(2), &prob, o.steps),
+        Backend::Fast => collect_on(|| FastPort::spp1000(2), &prob, o.steps),
+    };
+    let mut t = Table::new(&["procs", "Mcycles", "hits", "misses", "host ms"]);
+    for p in &sweep {
+        t.row(vec![
+            p.procs.to_string(),
+            f(p.cycles as f64 / 1e6, 2),
+            p.stats.hits.to_string(),
+            misses(&p.stats).to_string(),
+            f(p.host_secs * 1e3, 1),
+        ]);
+    }
+    out.push_str(&emit(
+        &format!(
+            "Backend sweep: PIC 8x8x8 on the `{}` backend",
+            o.backend.name()
+        ),
+        &t.render(),
+    ));
+
+    // Part 1b: the batched-run fast path. The run APIs collapse
+    // consecutive same-line accesses into one coherence transaction
+    // plus constant-cost hit accounting; cycles and stats must not
+    // move while host time drops on streaming traffic.
+    {
+        // One cold fill, then repeated read sweeps by CPUs on both
+        // hypernodes. After the first sweep the lines are shared and
+        // every access hits — the streaming case the run APIs target,
+        // where batching replaces one priced port call per element by
+        // one per 32-byte line.
+        const N: u64 = 1 << 16;
+        const SWEEPS: usize = 48;
+        let stream = |batched: bool| {
+            let t0 = Instant::now();
+            let mut m = Machine::spp1000(2);
+            let r = m.alloc(spp_core::MemClass::FarShared, 8 * N);
+            let mut cycles = 0u64;
+            if batched {
+                cycles += m.write_run(spp_core::CpuId(0), r.addr(0), 8, N as usize);
+            } else {
+                for i in 0..N {
+                    cycles += m.write(spp_core::CpuId(0), r.addr(8 * i));
+                }
+            }
+            for _ in 0..SWEEPS {
+                for cpu in [0u16, 8] {
+                    if batched {
+                        cycles += m.read_run(spp_core::CpuId(cpu), r.addr(0), 8, N as usize);
+                    } else {
+                        for i in 0..N {
+                            cycles += m.read(spp_core::CpuId(cpu), r.addr(8 * i));
+                        }
+                    }
+                }
+            }
+            (cycles, *m.stats(), t0.elapsed().as_secs_f64())
+        };
+        // Interleaved best-of-3 trials: host timings on a shared box
+        // are noisy, the minimum is the honest cost of each path.
+        let (mut bt, mut st) = (f64::INFINITY, f64::INFINITY);
+        let (mut bc, mut bs, mut sc, mut ss) = (0, MemStats::default(), 0, MemStats::default());
+        for _ in 0..3 {
+            let (c, s, t) = stream(true);
+            (bc, bs) = (c, s);
+            bt = bt.min(t);
+            let (c, s, t) = stream(false);
+            (sc, ss) = (c, s);
+            st = st.min(t);
+        }
+        assert_eq!(bc, sc, "batched runs must not move the cycle total");
+        assert_eq!(bs, ss, "batched runs must not move MemStats");
+
+        // And end-to-end through an application: the runtime batching
+        // toggle replays the identical access stream both ways.
+        use ppm::{PpmProblem, SharedPpm};
+        let app = |batching: bool| {
+            let mut rt = Runtime::new(Machine::spp1000(2)).with_batching(batching);
+            let team = Team::place(rt.machine.config(), 4, &Placement::HighLocality);
+            let mut sim = SharedPpm::new(&mut rt, PpmProblem::tiny(), &team);
+            let r = sim.run(&mut rt, &team, o.steps);
+            (r.elapsed, *rt.machine.stats())
+        };
+        assert_eq!(app(true), app(false), "PPM batched vs scalar");
+        out.push_str(&emit(
+            "Backend fast path: batched vs scalar access (cycle backend)",
+            &format!(
+                "one fill plus 48 two-CPU read sweeps over a 64K-element region\n\
+                 (best of 3 interleaved trials): scalar {:.1} ms host, batched\n\
+                 {:.1} ms host ({:.2}x) — identical {} simulated cycles and\n\
+                 bit-identical MemStats either way; PPM end-to-end agrees\n\
+                 batched vs scalar.",
+                st * 1e3,
+                bt * 1e3,
+                st / bt.max(1e-9),
+                sc,
+            ),
+        ));
+    }
+
+    // Part 2: fast-vs-cycle hit/miss tolerance.
+    let cycle = collect_on(|| Machine::spp1000(2), &prob, o.steps);
+    let fast = collect_on(|| FastPort::spp1000(2), &prob, o.steps);
+    let mut t = Table::new(&[
+        "procs",
+        "cycle hits",
+        "fast hits",
+        "dev",
+        "cycle misses",
+        "fast misses",
+        "dev",
+        "fast host speedup",
+    ]);
+    let mut worst = 0.0f64;
+    for (c, q) in cycle.iter().zip(&fast) {
+        let dh = rel_dev(q.stats.hits, c.stats.hits);
+        let dm = rel_dev(misses(&q.stats), misses(&c.stats));
+        worst = worst.max(dh).max(dm);
+        t.row(vec![
+            c.procs.to_string(),
+            c.stats.hits.to_string(),
+            q.stats.hits.to_string(),
+            f(dh * 100.0, 2) + "%",
+            misses(&c.stats).to_string(),
+            misses(&q.stats).to_string(),
+            f(dm * 100.0, 2) + "%",
+            f(c.host_secs / q.host_secs.max(1e-9), 1) + "x",
+        ]);
+        assert_eq!(q.stats.reads, c.stats.reads, "access streams must match");
+        assert_eq!(q.stats.writes, c.stats.writes, "access streams must match");
+        assert!(
+            dh <= HIT_MISS_TOLERANCE && dm <= HIT_MISS_TOLERANCE,
+            "fast backend outside tolerance at {} threads: hits dev {:.3}, misses dev {:.3}",
+            c.procs,
+            dh,
+            dm
+        );
+    }
+    out.push_str(&emit(
+        "Backend validation: analytic vs cycle-accurate hit/miss counts",
+        &format!(
+            "{}\nworst deviation {:.2}% (tolerance {:.0}%); identical read/write streams.",
+            t.render(),
+            worst * 100.0,
+            HIT_MISS_TOLERANCE * 100.0
+        ),
+    ));
+
+    // Part 3: E11 — trace record then replay, bit-identical.
+    let mut rt = Runtime::new(TracePort::new(Machine::spp1000(2)));
+    let team = Team::place(rt.machine.config(), 4, &Placement::HighLocality);
+    let mut sim = SharedPic::new(&mut rt, prob.clone(), &team);
+    let rep = sim.run(&mut rt, &team, 1);
+    let recorded = rt.machine.total_cycles();
+    let (machine, trace) = rt.machine.into_parts();
+    let mut fresh = Machine::spp1000(2);
+    let replayed = trace.replay(&mut fresh);
+    assert_eq!(replayed, recorded, "trace replay must reproduce cycles");
+    assert_eq!(
+        fresh.stats, machine.stats,
+        "trace replay must reproduce MemStats bit-identically"
+    );
+    out.push_str(&emit(
+        "Backend validation: trace record/replay (E11)",
+        &format!(
+            "recorded {} port records ({} bytes) over one 4-thread PIC step\n\
+             ({:.2} simulated Mcycles); replay into a fresh machine reproduced\n\
+             {} port cycles and all MemStats counters bit-identically.",
+            trace.records(),
+            trace.len_bytes(),
+            rep.elapsed as f64 / 1e6,
+            replayed,
+        ),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_experiment_passes_on_both_backends() {
+        let o = Opts {
+            steps: 1,
+            ..Opts::default()
+        };
+        let cycle_out = run(&o);
+        assert!(cycle_out.contains("`cycle` backend"));
+        let o = Opts {
+            backend: Backend::Fast,
+            ..o
+        };
+        let fast_out = run(&o);
+        assert!(fast_out.contains("`fast` backend"));
+        assert!(fast_out.contains("bit-identically"));
+    }
+
+    #[test]
+    fn deviation_helper_handles_zero() {
+        assert_eq!(rel_dev(0, 0), 0.0);
+        assert!(rel_dev(1, 0).is_infinite());
+        assert!((rel_dev(11, 10) - 0.1).abs() < 1e-12);
+    }
+}

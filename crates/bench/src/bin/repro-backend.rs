@@ -1,0 +1,7 @@
+//! Regenerates the backend-validation experiment (analytic vs
+//! cycle-accurate tolerance plus the E11 trace replay). Usage:
+//! `repro-backend [--steps N] [--backend cycle|fast]`.
+fn main() {
+    let opts = spp_bench::Opts::from_args();
+    spp_bench::backend::run(&opts);
+}

@@ -74,6 +74,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             name: "faults",
             runner: crate::faults::run,
         },
+        Experiment {
+            name: "backend",
+            runner: crate::backend::run,
+        },
     ]
 }
 
@@ -123,6 +127,55 @@ impl Summary {
             self.outcomes.len()
         ));
         out
+    }
+}
+
+impl Summary {
+    /// Machine-readable form of the sweep: the harness options plus
+    /// host wall-clock and PASS/FAIL per experiment (the
+    /// `BENCH_repro.json` that ci.sh archives to track the perf
+    /// trajectory). Experiment names are static identifiers and panic
+    /// messages are sanitized, so no JSON escaping is needed beyond
+    /// quoting.
+    pub fn to_json(&self, opts: &Opts) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"backend\": \"{}\",\n  \"full\": {},\n  \"steps\": {},\n",
+            opts.backend.name(),
+            opts.full,
+            opts.steps
+        ));
+        out.push_str(&format!(
+            "  \"total_host_secs\": {:.3},\n  \"passed\": {},\n  \"experiments\": [\n",
+            self.outcomes.iter().map(|o| o.host_secs).sum::<f64>(),
+            self.all_passed()
+        ));
+        for (i, o) in self.outcomes.iter().enumerate() {
+            let comma = if i + 1 < self.outcomes.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"host_secs\": {:.3}, \"pass\": {}}}{comma}\n",
+                o.name,
+                o.host_secs,
+                o.result.is_ok()
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write the text summary and the machine-readable JSON under
+    /// `dir` (created if needed): `summary.txt` and
+    /// `BENCH_repro.json`. Returns the JSON path.
+    pub fn write_reports(
+        &self,
+        opts: &Opts,
+        dir: &std::path::Path,
+    ) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("summary.txt"), self.render())?;
+        let json = dir.join("BENCH_repro.json");
+        std::fs::write(&json, self.to_json(opts))?;
+        Ok(json)
     }
 }
 
@@ -219,9 +272,44 @@ mod tests {
     }
 
     #[test]
+    fn json_report_lists_every_experiment_with_wall_clock() {
+        let exps = [
+            Experiment {
+                name: "only",
+                runner: ok_run,
+            },
+            Experiment {
+                name: "broken",
+                runner: panicking_run,
+            },
+        ];
+        let summary = run_experiments(&exps, &Opts::default());
+        let j = summary.to_json(&Opts::default());
+        assert!(j.contains("\"backend\": \"cycle\""));
+        assert!(j.contains("\"name\": \"only\", \"host_secs\""));
+        assert!(j.contains("\"pass\": false"));
+        assert!(j.contains("\"passed\": false"));
+        assert!(j.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn reports_land_under_the_requested_directory() {
+        let exps = [Experiment {
+            name: "only",
+            runner: ok_run,
+        }];
+        let summary = run_experiments(&exps, &Opts::default());
+        let dir = std::env::temp_dir().join("spp-repro-report-test");
+        let json = summary.write_reports(&Opts::default(), &dir).unwrap();
+        assert!(json.ends_with("BENCH_repro.json"));
+        assert!(dir.join("summary.txt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn the_canonical_sweep_lists_every_module() {
         let names: Vec<&str> = all_experiments().iter().map(|e| e.name).collect();
-        for expected in ["latency", "fig6", "fig8", "faults", "bus"] {
+        for expected in ["latency", "fig6", "fig8", "faults", "bus", "backend"] {
             assert!(names.contains(&expected), "{expected} missing");
         }
     }

@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod bus;
 pub mod cachestudy;
 pub mod faults;
@@ -24,6 +25,30 @@ pub mod sensitivity;
 pub mod table1;
 pub mod table2;
 
+/// Which memory-port backend prices the backend-sensitive sweeps
+/// (see [`backend`]). The figure/table experiments always use the
+/// cycle-accurate machine: the paper anchors are properties of the
+/// cycle model, not of any analytic approximation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The cycle-accurate [`spp_core::Machine`] (default).
+    Cycle,
+    /// The analytic [`spp_core::FastPort`] hit/miss model; the
+    /// backend experiment asserts its counts stay within the
+    /// documented tolerance of the cycle-accurate run.
+    Fast,
+}
+
+impl Backend {
+    /// The command-line spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Cycle => "cycle",
+            Backend::Fast => "fast",
+        }
+    }
+}
+
 /// Harness options shared by all experiments.
 #[derive(Debug, Clone)]
 pub struct Opts {
@@ -34,6 +59,8 @@ pub struct Opts {
     /// Measured steps per application configuration (after one
     /// untimed warm-up step).
     pub steps: usize,
+    /// Memory-port backend for the backend-sensitive sweeps.
+    pub backend: Backend,
 }
 
 impl Default for Opts {
@@ -41,6 +68,7 @@ impl Default for Opts {
         Opts {
             full: false,
             steps: 2,
+            backend: Backend::Cycle,
         }
     }
 }
@@ -49,9 +77,12 @@ impl Opts {
     /// The usage text every `repro-*` binary prints on a bad command
     /// line.
     pub fn usage() -> &'static str {
-        "usage: repro-* [--full] [--steps N]\n\
-         \x20 --full     run paper-size workloads (expensive)\n\
-         \x20 --steps N  measured steps per configuration (positive integer)"
+        "usage: repro-* [--full] [--steps N] [--backend cycle|fast]\n\
+         \x20 --full         run paper-size workloads (expensive)\n\
+         \x20 --steps N      measured steps per configuration (positive integer)\n\
+         \x20 --backend B    port backend for backend-sensitive sweeps:\n\
+         \x20                cycle (cycle-accurate, default) or fast (analytic\n\
+         \x20                hit/miss model, validated against cycle)"
     }
 
     /// Parse `--full` and `--steps N` from an argument list.
@@ -70,6 +101,18 @@ impl Opts {
                     if o.steps == 0 {
                         return Err("--steps must be at least 1".to_string());
                     }
+                }
+                "--backend" => {
+                    let v = args
+                        .next()
+                        .ok_or_else(|| "--backend needs a value".to_string())?;
+                    o.backend = match v.as_str() {
+                        "cycle" => Backend::Cycle,
+                        "fast" => Backend::Fast,
+                        other => {
+                            return Err(format!("--backend must be cycle or fast, got {other:?}"))
+                        }
+                    };
                 }
                 other => return Err(format!("unknown argument {other}")),
             }
@@ -186,6 +229,7 @@ mod tests {
         let o = Opts::default();
         assert!(!o.full);
         assert_eq!(o.steps, 2);
+        assert_eq!(o.backend, Backend::Cycle);
     }
 
     fn parse(args: &[&str]) -> Result<Opts, String> {
@@ -198,6 +242,14 @@ mod tests {
         assert!(o.full);
         assert_eq!(o.steps, 5);
         assert!(!parse(&[]).unwrap().full);
+        assert_eq!(
+            parse(&["--backend", "fast"]).unwrap().backend,
+            Backend::Fast
+        );
+        assert_eq!(
+            parse(&["--backend", "cycle"]).unwrap().backend,
+            Backend::Cycle
+        );
     }
 
     #[test]
@@ -210,5 +262,9 @@ mod tests {
             .unwrap_err()
             .contains("positive integer"));
         assert!(parse(&["--steps", "0"]).unwrap_err().contains("at least 1"));
+        assert!(parse(&["--backend"]).unwrap_err().contains("needs a value"));
+        assert!(parse(&["--backend", "slow"])
+            .unwrap_err()
+            .contains("cycle or fast"));
     }
 }

@@ -4,12 +4,14 @@
 //! simulated addresses with a placement class. Application kernels
 //! compute on the real data while every indexed access is priced by
 //! the machine model — the simulator sees the genuine address stream
-//! of the genuine algorithm.
+//! of the genuine algorithm. All pricing goes through the pluggable
+//! [`MemPort`], so the same kernel can run against the cycle-accurate
+//! machine, the analytic fast model, or a trace recorder.
 
 use crate::config::CpuId;
 use crate::latency::Cycles;
-use crate::machine::Machine;
 use crate::mem::{MemClass, Region};
+use crate::port::MemPort;
 
 /// A typed array living in simulated memory.
 #[derive(Debug, Clone)]
@@ -21,7 +23,7 @@ pub struct SimArray<T> {
 
 impl<T: Copy> SimArray<T> {
     /// Allocate simulated backing for `data` with the given placement.
-    pub fn new(m: &mut Machine, class: MemClass, data: Vec<T>) -> Self {
+    pub fn new<P: MemPort>(m: &mut P, class: MemClass, data: Vec<T>) -> Self {
         let elem_bytes = std::mem::size_of::<T>() as u64;
         let bytes = (data.len() as u64 * elem_bytes).max(1);
         let region = m.alloc(class, bytes);
@@ -33,7 +35,7 @@ impl<T: Copy> SimArray<T> {
     }
 
     /// Allocate a `len`-element array filled with `v`.
-    pub fn from_elem(m: &mut Machine, class: MemClass, len: usize, v: T) -> Self {
+    pub fn from_elem<P: MemPort>(m: &mut P, class: MemClass, len: usize, v: T) -> Self {
         Self::new(m, class, vec![v; len])
     }
 
@@ -61,16 +63,73 @@ impl<T: Copy> SimArray<T> {
 
     /// Priced read of element `i` as `cpu`.
     #[inline]
-    pub fn read(&self, m: &mut Machine, cpu: CpuId, i: usize) -> (T, Cycles) {
+    pub fn read<P: MemPort>(&self, m: &mut P, cpu: CpuId, i: usize) -> (T, Cycles) {
         let c = m.read(cpu, self.addr(i));
         (self.data[i], c)
     }
 
     /// Priced write of element `i` as `cpu`.
     #[inline]
-    pub fn write(&mut self, m: &mut Machine, cpu: CpuId, i: usize, v: T) -> Cycles {
+    pub fn write<P: MemPort>(&mut self, m: &mut P, cpu: CpuId, i: usize, v: T) -> Cycles {
         let c = m.write(cpu, self.addr(i));
         self.data[i] = v;
+        c
+    }
+
+    /// Priced streaming read of `range`, appended to `out`. One
+    /// batched port run; cycle- and stats-equivalent to elementwise
+    /// [`SimArray::read`]s (the run-equivalence invariant of
+    /// [`crate::port`]).
+    pub fn read_run<P: MemPort>(
+        &self,
+        m: &mut P,
+        cpu: CpuId,
+        range: std::ops::Range<usize>,
+        out: &mut Vec<T>,
+    ) -> Cycles {
+        if range.is_empty() {
+            return 0;
+        }
+        debug_assert!(range.end <= self.data.len());
+        let c = m.read_run(cpu, self.addr(range.start), self.elem_bytes, range.len());
+        out.extend_from_slice(&self.data[range]);
+        c
+    }
+
+    /// Priced streaming write of `vals` into `start..start + vals.len()`.
+    /// One batched port run; same equivalence contract as
+    /// [`SimArray::read_run`].
+    pub fn write_run<P: MemPort>(
+        &mut self,
+        m: &mut P,
+        cpu: CpuId,
+        start: usize,
+        vals: &[T],
+    ) -> Cycles {
+        if vals.is_empty() {
+            return 0;
+        }
+        debug_assert!(start + vals.len() <= self.data.len());
+        let c = m.write_run(cpu, self.addr(start), self.elem_bytes, vals.len());
+        self.data[start..start + vals.len()].copy_from_slice(vals);
+        c
+    }
+
+    /// Priced streaming fill of `range` with `v`; the constant-value
+    /// form of [`SimArray::write_run`].
+    pub fn fill_run<P: MemPort>(
+        &mut self,
+        m: &mut P,
+        cpu: CpuId,
+        range: std::ops::Range<usize>,
+        v: T,
+    ) -> Cycles {
+        if range.is_empty() {
+            return 0;
+        }
+        debug_assert!(range.end <= self.data.len());
+        let c = m.write_run(cpu, self.addr(range.start), self.elem_bytes, range.len());
+        self.data[range].fill(v);
         c
     }
 
@@ -95,6 +154,8 @@ impl<T: Copy> SimArray<T> {
 mod tests {
     use super::*;
     use crate::config::NodeId;
+    use crate::fastport::FastPort;
+    use crate::machine::Machine;
 
     #[test]
     fn addresses_are_contiguous_and_typed() {
@@ -151,5 +212,62 @@ mod tests {
         assert_eq!(a.host()[2], 9);
         assert_eq!(m.stats, before);
         assert_eq!(a.into_host(), vec![7, 7, 9, 7]);
+    }
+
+    #[test]
+    fn run_helpers_move_data_and_match_scalar_costs() {
+        let run = |batched: bool| {
+            let mut m = Machine::spp1000(2);
+            let mut a = SimArray::<f64>::from_elem(&mut m, MemClass::FarShared, 4096, 0.0);
+            let vals: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+            let mut total;
+            let mut out = Vec::new();
+            if batched {
+                total = a.write_run(&mut m, CpuId(0), 10, &vals);
+                total += a.fill_run(&mut m, CpuId(1), 2000..3000, 7.0);
+                total += a.read_run(&mut m, CpuId(2), 10..1010, &mut out);
+            } else {
+                total = 0;
+                for (k, v) in vals.iter().enumerate() {
+                    total += a.write(&mut m, CpuId(0), 10 + k, *v);
+                }
+                for i in 2000..3000 {
+                    total += a.write(&mut m, CpuId(1), i, 7.0);
+                }
+                for i in 10..1010 {
+                    let (v, c) = a.read(&mut m, CpuId(2), i);
+                    out.push(v);
+                    total += c;
+                }
+            }
+            assert_eq!(out.len(), 1000);
+            assert_eq!(out[5], 5.0);
+            assert_eq!(a.host()[2500], 7.0);
+            (total, m.stats)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn empty_runs_cost_nothing() {
+        let mut m = Machine::spp1000(1);
+        let mut a =
+            SimArray::<f64>::from_elem(&mut m, MemClass::NearShared { node: NodeId(0) }, 8, 0.0);
+        let before = m.stats;
+        let mut out = Vec::new();
+        assert_eq!(a.read_run(&mut m, CpuId(0), 3..3, &mut out), 0);
+        assert_eq!(a.write_run(&mut m, CpuId(0), 0, &[]), 0);
+        assert_eq!(a.fill_run(&mut m, CpuId(0), 0..0, 1.0), 0);
+        assert_eq!(m.stats, before);
+    }
+
+    #[test]
+    fn arrays_work_on_the_analytic_backend() {
+        let mut p = FastPort::spp1000(2);
+        let mut a = SimArray::<f64>::from_elem(&mut p, MemClass::FarShared, 64, 0.0);
+        let c_w = a.write(&mut p, CpuId(0), 0, 3.0);
+        let (v, c_r) = a.read(&mut p, CpuId(0), 0);
+        assert_eq!(v, 3.0);
+        assert!(c_w > c_r);
     }
 }

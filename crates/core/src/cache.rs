@@ -87,6 +87,21 @@ impl Cache {
         victim
     }
 
+    /// The victim a [`Cache::fill`] of `line` would displace, without
+    /// changing any state (used by cost peeking).
+    #[inline]
+    pub fn peek_victim(&self, line: u64) -> Option<Evicted> {
+        let i = self.idx(line);
+        if self.tags[i] != NO_TAG && self.tags[i] != line && self.states[i] != LineState::Invalid {
+            Some(Evicted {
+                line: self.tags[i],
+                state: self.states[i],
+            })
+        } else {
+            None
+        }
+    }
+
     /// Change the state of a resident line (e.g. Shared -> Modified on
     /// a write upgrade, Modified -> Shared on a downgrade).
     #[inline]

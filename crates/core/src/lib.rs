@@ -43,12 +43,15 @@ pub mod config;
 pub mod diagram;
 pub mod directory;
 pub mod error;
+pub mod fastport;
 pub mod fault;
 pub mod latency;
 pub mod linemap;
 pub mod machine;
 pub mod mem;
+pub mod port;
 pub mod stats;
+pub mod traceport;
 
 pub use array::SimArray;
 pub use cache::{Cache, LineState};
@@ -56,8 +59,11 @@ pub use check::{CoherenceChecker, Violation};
 pub use config::{CpuId, FuId, MachineConfig, NodeId, RingId};
 pub use diagram::system_diagram;
 pub use error::{ConfigError, SimError};
+pub use fastport::FastPort;
 pub use fault::FaultPlan;
 pub use latency::{cycles_to_us, us_to_cycles, Cycles, LatencyModel};
 pub use machine::Machine;
 pub use mem::{AddressSpace, MemClass, Region};
+pub use port::MemPort;
 pub use stats::MemStats;
+pub use traceport::{Trace, TracePort};

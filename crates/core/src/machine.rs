@@ -287,6 +287,75 @@ impl Machine {
         }
     }
 
+    /// Batched fast path for `n` consecutive reads at `addr`,
+    /// `addr + elem_bytes`, ...: one full coherence transaction per
+    /// cache line touched, with the remaining elements of each line
+    /// priced as the cache hits the scalar loop would see.
+    ///
+    /// Bit-identical in cycles and [`MemStats`] to calling
+    /// [`Machine::read`] once per element (the run-equivalence
+    /// invariant of [`crate::port`]): the model is single-threaded, so
+    /// after the first access of a line nothing can displace it until
+    /// the run moves past that line; and hits never change SCI
+    /// counters, so no fault-plan draw is burned for them — exactly as
+    /// in the scalar path.
+    pub fn read_run(&mut self, cpu: CpuId, addr: u64, elem_bytes: u64, n: usize) -> Cycles {
+        debug_assert!(elem_bytes > 0, "read_run with zero stride");
+        let hit = self.cfg.latency.cache_hit;
+        let mut total = 0;
+        let mut i = 0usize;
+        while i < n {
+            let a = addr + i as u64 * elem_bytes;
+            total += self.read(cpu, a);
+            // Elements after `a` that stay within its line all hit.
+            let line = self.line_of(a);
+            let line_end = (line + 1) << self.line_shift;
+            let rem = (((line_end - a - 1) / elem_bytes) as usize).min(n - i - 1);
+            if rem > 0 {
+                self.stats.reads += rem as u64;
+                self.stats.hits += rem as u64;
+                total += rem as u64 * hit;
+                if self.checker.is_some() {
+                    for _ in 0..rem {
+                        self.after_access(cpu, line, hit);
+                    }
+                }
+            }
+            i += 1 + rem;
+        }
+        total
+    }
+
+    /// Batched fast path for `n` consecutive writes; the write twin of
+    /// [`Machine::read_run`] (after the first write of a run to a line
+    /// the writer holds it Modified, so the rest are scalar-equivalent
+    /// write hits).
+    pub fn write_run(&mut self, cpu: CpuId, addr: u64, elem_bytes: u64, n: usize) -> Cycles {
+        debug_assert!(elem_bytes > 0, "write_run with zero stride");
+        let hit = self.cfg.latency.cache_hit;
+        let mut total = 0;
+        let mut i = 0usize;
+        while i < n {
+            let a = addr + i as u64 * elem_bytes;
+            total += self.write(cpu, a);
+            let line = self.line_of(a);
+            let line_end = (line + 1) << self.line_shift;
+            let rem = (((line_end - a - 1) / elem_bytes) as usize).min(n - i - 1);
+            if rem > 0 {
+                self.stats.writes += rem as u64;
+                self.stats.hits += rem as u64;
+                total += rem as u64 * hit;
+                if self.checker.is_some() {
+                    for _ in 0..rem {
+                        self.after_access(cpu, line, hit);
+                    }
+                }
+            }
+            i += 1 + rem;
+        }
+        total
+    }
+
     /// Service a read miss: find the data, maintain coherence state,
     /// fill the cache. Installs the line Shared.
     fn read_miss(&mut self, cpu: CpuId, addr: u64, line: u64) -> Cycles {
@@ -568,29 +637,90 @@ impl Machine {
     /// Read latency for the *line state as it stands* without changing
     /// any state — used by protocol-level simulations (barrier) that
     /// need "what would this cost" before committing.
+    ///
+    /// Mirrors [`Machine::read`]'s pricing exactly (every branch of
+    /// the private `read_miss`, including cache-to-cache supplies,
+    /// remote-dirty fetches, victim writebacks and GCB rollouts), with
+    /// one documented exception: fault-injected ring stalls are draws
+    /// from the [`FaultPlan`], which a non-mutating peek cannot
+    /// consume, so they are excluded.
     pub fn peek_read_cost(&self, cpu: CpuId, addr: u64) -> Cycles {
         let line = self.line_of(addr);
         let lat = &self.cfg.latency;
         match self.caches[cpu.0 as usize].lookup(line) {
-            LineState::Shared | LineState::Modified => lat.cache_hit,
-            LineState::Invalid => {
-                let my_node = self.cfg.node_of_cpu(cpu);
-                let (hnode, hfu) = self.space.home_of(addr);
-                if hnode == my_node {
-                    lat.local_miss
-                } else {
-                    let ring = self.cfg.ring_of_fu(hfu);
-                    let g = self.gcb_index(my_node, ring);
-                    match self.gcbs[g].lookup(line) {
-                        LineState::Invalid => {
-                            lat.local_miss
-                                + lat.sci_fetch(self.cfg.ring_round_trip_hops(my_node, hnode))
-                        }
-                        _ => lat.local_miss,
+            LineState::Shared | LineState::Modified => return lat.cache_hit,
+            LineState::Invalid => {}
+        }
+        let my_node = self.cfg.node_of_cpu(cpu);
+        let in_node = self.cfg.cpu_index_in_node(cpu) as u8;
+        let (hnode, hfu) = self.space.home_of(addr);
+        let mut cost;
+
+        let local_owner = self.dirs[my_node.0 as usize]
+            .get(line)
+            .and_then(|e| e.owner)
+            .filter(|o| *o != in_node);
+
+        if local_owner.is_some() {
+            cost = lat.local_miss + lat.c2c_extra;
+        } else if hnode == my_node {
+            if let Some(d) = self.sci.dirty_node(line).filter(|d| *d != my_node.0) {
+                let hops = self.cfg.ring_round_trip_hops(my_node, NodeId(d));
+                cost = lat.local_miss + lat.sci_fetch(hops);
+            } else {
+                cost = lat.local_miss;
+            }
+        } else {
+            let ring = self.cfg.ring_of_fu(hfu);
+            let g = self.gcb_index(my_node, ring);
+            match self.gcbs[g].lookup(line) {
+                LineState::Shared | LineState::Modified => {
+                    cost = lat.local_miss;
+                }
+                LineState::Invalid => {
+                    let hops = self.cfg.ring_round_trip_hops(my_node, hnode);
+                    cost = lat.local_miss + lat.sci_fetch(hops);
+                    if let Some(d) = self
+                        .sci
+                        .dirty_node(line)
+                        .filter(|d| *d != my_node.0 && *d != hnode.0)
+                    {
+                        cost += lat.sci_list_op
+                            + self.cfg.ring_round_trip_hops(hnode, NodeId(d)) * lat.ring_hop / 2;
+                    }
+                    if self.dirs[hnode.0 as usize]
+                        .get(line)
+                        .and_then(|e| e.owner)
+                        .is_some()
+                    {
+                        cost += lat.c2c_extra;
+                    }
+                    if let Some(victim) = self.gcbs[g].peek_victim(line) {
+                        cost += self.peek_gcb_rollout_cost(my_node, victim);
                     }
                 }
             }
         }
+
+        if let Some(victim) = self.caches[cpu.0 as usize].peek_victim(line) {
+            if victim.state == LineState::Modified {
+                cost += lat.writeback;
+            }
+        }
+        cost
+    }
+
+    /// Non-mutating twin of [`Machine::gcb_rollout`]'s cost accounting.
+    fn peek_gcb_rollout_cost(&self, node: NodeId, victim: Evicted) -> Cycles {
+        let lat = &self.cfg.latency;
+        let mut cost = lat.sci_list_op;
+        if let Some(e) = self.dirs[node.0 as usize].get(victim.line) {
+            cost += lat.inv_local * e.sharers.count_ones() as u64;
+        }
+        if victim.state == LineState::Modified {
+            cost += lat.writeback;
+        }
+        cost
     }
 
     /// Direct access to the address space (diagnostics, tests).
@@ -864,6 +994,157 @@ mod tests {
         assert_eq!(peek, real);
         // After the read it's cached: peek sees a hit.
         assert_eq!(m.peek_read_cost(CpuId(0), r.addr(0)), 1);
+    }
+
+    /// Exhaustive peek-vs-read drift guard: every placement class
+    /// crossed with every reachable cache/coherence state of the
+    /// probed line (cold, own copy, local peer owner, remote sharer,
+    /// remote dirty, home-node owner seen from a remote reader).
+    #[test]
+    fn peek_read_cost_matches_read_across_classes_and_states() {
+        type Setup = (&'static str, fn(&mut Machine, u64));
+        let classes: Vec<(&'static str, MemClass)> = vec![
+            ("thread-private", MemClass::ThreadPrivate { home: FuId(0) }),
+            ("node-private", MemClass::NodePrivate { node: NodeId(0) }),
+            ("near-home", MemClass::NearShared { node: NodeId(0) }),
+            ("near-remote", MemClass::NearShared { node: NodeId(1) }),
+            ("far-shared", MemClass::FarShared),
+            ("block-shared", MemClass::BlockShared { block_bytes: 4096 }),
+        ];
+        let setups: Vec<Setup> = vec![
+            ("cold", |_, _| {}),
+            ("own-shared", |m, a| {
+                m.read(CpuId(0), a);
+            }),
+            ("own-modified", |m, a| {
+                m.write(CpuId(0), a);
+            }),
+            ("peer-owns-modified", |m, a| {
+                m.write(CpuId(1), a);
+            }),
+            ("remote-node-shares", |m, a| {
+                m.read(CpuId(8), a);
+            }),
+            ("remote-node-dirty", |m, a| {
+                m.write(CpuId(8), a);
+            }),
+            ("remote-reads-then-home-owns", |m, a| {
+                m.read(CpuId(8), a);
+                m.write(CpuId(1), a);
+            }),
+        ];
+        for (cname, class) in &classes {
+            for (sname, setup) in &setups {
+                let mut m = m2();
+                let r = m.alloc(*class, 4096);
+                let a = r.addr(64);
+                setup(&mut m, a);
+                let peek = m.peek_read_cost(CpuId(0), a);
+                let real = m.read(CpuId(0), a);
+                assert_eq!(peek, real, "peek drift: class {cname}, state {sname}");
+            }
+        }
+    }
+
+    #[test]
+    fn peek_read_cost_matches_read_under_evictions_and_rollouts() {
+        // March far past the tiny cache and GCB capacities so peeks
+        // must price victim writebacks and GCB rollouts too.
+        let mut m = Machine::new(MachineConfig::tiny(2));
+        let lines = m.config().cache_lines() as u64;
+        let r = m.alloc(MemClass::NearShared { node: NodeId(1) }, lines * 4 * 32);
+        for i in 0..lines * 4 {
+            let a = r.addr(i * 32);
+            let peek = m.peek_read_cost(CpuId(0), a);
+            let real = m.read(CpuId(0), a);
+            assert_eq!(peek, real, "line {i}");
+            if i % 3 == 0 {
+                m.write(CpuId(0), a); // leave Modified victims behind
+            }
+        }
+        assert!(m.stats.gcb_rollouts > 0, "sweep must roll the GCB");
+        assert!(m.stats.writebacks > 0, "sweep must write back victims");
+    }
+
+    #[test]
+    fn peek_read_cost_covers_third_node_dirty_forwarding() {
+        let mut m = Machine::spp1000(4);
+        let r = m.alloc(MemClass::NearShared { node: NodeId(1) }, 4096);
+        m.write(CpuId(16), r.addr(0)); // node 2 dirties a node-1 line
+        let peek = m.peek_read_cost(CpuId(0), r.addr(0));
+        let real = m.read(CpuId(0), r.addr(0));
+        assert_eq!(peek, real, "home-forwarded dirty fetch");
+    }
+
+    /// A mixed streaming workload shared by the scalar/batched
+    /// equivalence tests: several CPUs, line-unaligned bases, read
+    /// and write runs, and a degenerate wide-stride run (one element
+    /// per line).
+    fn run_workload(m: &mut Machine, batched: bool) -> Cycles {
+        let far = m.alloc(MemClass::FarShared, 1 << 16);
+        let near = m.alloc(MemClass::NearShared { node: NodeId(0) }, 1 << 14);
+        let mut total = 0;
+        for row in 0..8u64 {
+            let cpu = CpuId((row * 3 % 16) as u16);
+            let base = far.addr(row * 8192 + 4); // unaligned in its line
+            if batched {
+                total += m.read_run(cpu, base, 8, 600);
+                total += m.write_run(cpu, base, 8, 600);
+            } else {
+                for i in 0..600u64 {
+                    total += m.read(cpu, base + i * 8);
+                }
+                for i in 0..600u64 {
+                    total += m.write(cpu, base + i * 8);
+                }
+            }
+        }
+        // Wide stride: every element its own line (runs degenerate).
+        if batched {
+            total += m.read_run(CpuId(0), near.addr(0), 64, 200);
+        } else {
+            for i in 0..200u64 {
+                total += m.read(CpuId(0), near.addr(i * 64));
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn batched_runs_are_bit_identical_to_scalar_loops() {
+        let scalar = {
+            let mut m = m2();
+            let t = run_workload(&mut m, false);
+            (t, m.stats)
+        };
+        let batched = {
+            let mut m = m2();
+            let t = run_workload(&mut m, true);
+            (t, m.stats)
+        };
+        assert_eq!(scalar, batched, "run-equivalence invariant violated");
+    }
+
+    #[test]
+    fn batched_runs_preserve_fault_draw_streams() {
+        let run = |batched: bool| {
+            let plan = FaultPlan::new(13).with_ring_stalls(0.4, 333);
+            let mut m = Machine::spp1000(2).with_faults(plan);
+            let t = run_workload(&mut m, batched);
+            (t, m.stats, m.fault_plan().unwrap().draws())
+        };
+        assert_eq!(run(false), run(true), "hits must not burn fault draws");
+    }
+
+    #[test]
+    fn batched_runs_feed_the_checker_per_element() {
+        let checks = |batched: bool| {
+            let mut m = Machine::spp1000(2).with_checker();
+            run_workload(&mut m, batched);
+            assert!(m.check_all().is_empty());
+            m.checker().unwrap().checks()
+        };
+        assert_eq!(checks(false), checks(true));
     }
 
     #[test]

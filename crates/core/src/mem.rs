@@ -282,6 +282,95 @@ mod tests {
     }
 
     #[test]
+    fn block_shared_with_block_equal_to_page_matches_far_shared() {
+        // A one-page block degenerates to page-granular round-robin:
+        // the placement must agree with FarShared page for page.
+        let mut s = space();
+        let blk = s.alloc(MemClass::BlockShared { block_bytes: 4096 }, 8 * 4096);
+        let far = s.alloc(MemClass::FarShared, 8 * 4096);
+        for p in 0..8u64 {
+            assert_eq!(
+                s.home_of(blk.addr(p * 4096)),
+                s.home_of(far.addr(p * 4096)),
+                "page {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_shared_accepts_any_page_multiple() {
+        let mut s = space();
+        for mult in [1usize, 2, 3, 8] {
+            let block_bytes = mult * 4096;
+            let r = s.alloc(MemClass::BlockShared { block_bytes }, 16 * 4096);
+            // Every page of one block is homed identically, and
+            // consecutive blocks alternate nodes.
+            for b in 0..(16 / mult as u64) {
+                let first = s.home_of(r.addr(b * block_bytes as u64));
+                for p in 1..mult as u64 {
+                    assert_eq!(
+                        first,
+                        s.home_of(r.addr(b * block_bytes as u64 + p * 4096)),
+                        "block {b} page {p} (mult {mult})"
+                    );
+                }
+                assert_eq!(first.0, NodeId((b % 2) as u8), "block {b} (mult {mult})");
+            }
+        }
+    }
+
+    #[test]
+    fn region_boundaries_resolve_at_line_granularity() {
+        // Lines at the very start, the last line before a page break,
+        // and the first line after it must resolve inside the region;
+        // one line past the padded end must not leak into a neighbour.
+        let mut s = space();
+        let a = s.alloc(MemClass::FarShared, 2 * 4096);
+        let b = s.alloc(MemClass::NearShared { node: NodeId(1) }, 32);
+        for off in [0u64, 32, 4096 - 32, 4096, 2 * 4096 - 32] {
+            assert_eq!(
+                s.region_of(a.addr(off)).unwrap().base,
+                a.base,
+                "offset {off}"
+            );
+        }
+        // Page straddle: last line of page 0 and first line of page 1
+        // have different homes under FarShared.
+        assert_ne!(s.home_of(a.addr(4096 - 32)), s.home_of(a.addr(4096)));
+        // A short region still owns its whole padded page, but not the
+        // guard page after it.
+        assert_eq!(s.region_of(b.base + 4095).unwrap().base, b.base);
+        assert!(
+            s.region_of(b.base + 4096).is_none(),
+            "guard page is unmapped"
+        );
+        assert!(s.try_home_of(b.base + 4096).is_err());
+    }
+
+    #[test]
+    fn try_alloc_error_paths_leave_the_space_usable() {
+        let mut s = space();
+        assert!(matches!(
+            s.try_alloc(MemClass::BlockShared { block_bytes: 0 }, 4096),
+            Err(SimError::BadBlockSize { page: 4096, got: 0 })
+        ));
+        assert!(matches!(
+            s.try_alloc(MemClass::BlockShared { block_bytes: 4095 }, 4096),
+            Err(SimError::BadBlockSize { .. })
+        ));
+        assert!(matches!(
+            s.try_alloc(MemClass::NearShared { node: NodeId(0) }, 0),
+            Err(SimError::ZeroLengthAlloc)
+        ));
+        // Failed attempts must not consume address space or regions.
+        assert_eq!(s.num_regions(), 0);
+        assert_eq!(s.allocated_bytes(), 0);
+        let ok = s.try_alloc(MemClass::FarShared, 4096).unwrap();
+        assert_eq!(s.home_of(ok.addr(0)).0, NodeId(0));
+        assert_eq!(s.num_regions(), 1);
+    }
+
+    #[test]
     fn try_variants_return_typed_errors() {
         let mut s = space();
         assert!(matches!(

@@ -13,7 +13,7 @@
 
 use crate::host::{self, flops};
 use crate::mesh::Mesh;
-use spp_core::{Cycles, SimArray};
+use spp_core::{Cycles, MemPort, SimArray};
 use spp_runtime::{Runtime, Team};
 
 /// Extra cycles per divide/sqrt (PA-7100 FDIV/FSQRT latency beyond the
@@ -97,7 +97,7 @@ pub struct SharedFem {
 
 impl SharedFem {
     /// Load a mesh and the pulse initial condition, placed for `team`.
-    pub fn new(rt: &mut Runtime, mesh: Mesh, coding: Coding, team: &Team) -> Self {
+    pub fn new<P: MemPort>(rt: &mut Runtime<P>, mesh: Mesh, coding: Coding, team: &Team) -> Self {
         let s0 = host::State::pulse(&mesh);
         let n = mesh.num_points();
         let ne = mesh.num_elements();
@@ -180,7 +180,12 @@ impl SharedFem {
     }
 
     /// One forward-Euler step. Returns (elapsed cycles, point updates).
-    pub fn step(&mut self, rt: &mut Runtime, team: &Team, cfl: f64) -> (Cycles, u64) {
+    pub fn step<P: MemPort>(
+        &mut self,
+        rt: &mut Runtime<P>,
+        team: &Team,
+        cfl: f64,
+    ) -> (Cycles, u64) {
         let n = self.mesh.num_points();
         let ne = self.mesh.num_elements();
         let nt = team.len();
@@ -199,11 +204,8 @@ impl SharedFem {
         if self.coding == Coding::ScatterAdd && !self.res_clean {
             let res = &mut self.res;
             let rep = rt.team_fork_join(team, |ctx| {
-                for i in ctx.chunk(n) {
-                    for k in 0..4 {
-                        ctx.write(res, 4 * i + k, 0.0);
-                    }
-                }
+                let r = ctx.chunk(n);
+                ctx.fill_run(res, 4 * r.start..4 * r.end, 0.0);
             });
             elapsed += rep.elapsed;
         }
@@ -264,6 +266,7 @@ impl SharedFem {
             let coding = self.coding;
             let rep = rt.team_fork_join(team, |ctx| {
                 let mut local_max = 0.0f64;
+                let mut ubuf: Vec<f64> = Vec::with_capacity(4);
                 for i in ctx.chunk(n) {
                     let mut r = [0.0f64; 4];
                     match coding {
@@ -286,10 +289,9 @@ impl SharedFem {
                             }
                         }
                     }
-                    let rho_v = ctx.read(uarr, 4 * i);
-                    let mu_v = ctx.read(uarr, 4 * i + 1);
-                    let mv_v = ctx.read(uarr, 4 * i + 2);
-                    let e_v = ctx.read(uarr, 4 * i + 3);
+                    ubuf.clear();
+                    ctx.read_run(uarr, 4 * i..4 * i + 4, &mut ubuf);
+                    let (rho_v, mu_v, mv_v, e_v) = (ubuf[0], ubuf[1], ubuf[2], ubuf[3]);
                     let p = ((host::GAMMA - 1.0)
                         * (e_v - 0.5 * (mu_v * mu_v + mv_v * mv_v) / rho_v.max(1e-12)))
                     .max(1e-12);
@@ -300,10 +302,7 @@ impl SharedFem {
                     let nmu = mu_v + f * (r[1] - p * bx);
                     let nmv = mv_v + f * (r[2] - p * by);
                     let ne_ = e_v + f * r[3];
-                    ctx.write(uarr, 4 * i, nrho);
-                    ctx.write(uarr, 4 * i + 1, nmu);
-                    ctx.write(uarr, 4 * i + 2, nmv);
-                    ctx.write(uarr, 4 * i + 3, ne_);
+                    ctx.write_run(uarr, 4 * i, &[nrho, nmu, nmv, ne_]);
                     local_max = local_max.max(signal_speed(nrho, nmu, nmv, ne_));
                     ctx.flops(flops::POINT + 8 + flops::SPEED);
                     // pressure + 1/m divides, plus the speed's sqrt/div.
@@ -338,7 +337,13 @@ impl SharedFem {
     }
 
     /// Run `steps` timesteps at CFL `cfl`.
-    pub fn run(&mut self, rt: &mut Runtime, team: &Team, cfl: f64, steps: usize) -> RunReport {
+    pub fn run<P: MemPort>(
+        &mut self,
+        rt: &mut Runtime<P>,
+        team: &Team,
+        cfl: f64,
+        steps: usize,
+    ) -> RunReport {
         let mut out = RunReport {
             steps,
             ..Default::default()

@@ -11,7 +11,7 @@
 //!   pencils along each axis, which is also how the code parallelizes.
 
 use crate::complex::Complex;
-use spp_core::SimArray;
+use spp_core::{MemPort, SimArray};
 use spp_runtime::ThreadCtx;
 
 /// In-place iterative radix-2 Cooley-Tukey FFT on host data.
@@ -98,8 +98,8 @@ impl Pencil {
 /// Simulated in-place FFT over one pencil of `arr`: numerically
 /// identical to [`fft_inplace`], but every access goes through the
 /// machine model and flops are charged to `ctx`.
-pub fn sim_fft_pencil(
-    ctx: &mut ThreadCtx<'_>,
+pub fn sim_fft_pencil<P: MemPort>(
+    ctx: &mut ThreadCtx<'_, P>,
     arr: &mut SimArray<Complex>,
     p: Pencil,
     inverse: bool,

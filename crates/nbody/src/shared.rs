@@ -11,7 +11,7 @@
 use crate::problem::{plummer, sort_by_morton, Bodies, NbodyProblem};
 use crate::simtree::{PosView, SimTree};
 use crate::tree::{build, DOMAIN};
-use spp_core::{Cycles, SimArray};
+use spp_core::{Cycles, MemPort, SimArray};
 use spp_kernels::morton3_unit;
 use spp_runtime::{PrivateArrays, Runtime, Team};
 
@@ -71,7 +71,7 @@ impl SharedNbody {
     /// `team`. Bodies are stored in Morton order (as the original
     /// MasPar-derived code does), so traversal-order indirect reads
     /// stay node-local under block-shared placement.
-    pub fn new(rt: &mut Runtime, problem: NbodyProblem, team: &Team) -> Self {
+    pub fn new<P: MemPort>(rt: &mut Runtime<P>, problem: NbodyProblem, team: &Team) -> Self {
         let b = sort_by_morton(&plummer(&problem));
         let n = b.len();
         let m = &mut rt.machine;
@@ -129,7 +129,7 @@ impl SharedNbody {
 
     /// One leapfrog timestep: rebuild, summarize, forces, push.
     /// Returns (elapsed cycles, flops, interactions).
-    pub fn step(&mut self, rt: &mut Runtime, team: &Team) -> (Cycles, u64, u64) {
+    pub fn step<P: MemPort>(&mut self, rt: &mut Runtime<P>, team: &Team) -> (Cycles, u64, u64) {
         let mut elapsed = 0u64;
         let mut flops = 0u64;
         let n = self.len();
@@ -274,7 +274,7 @@ impl SharedNbody {
     }
 
     /// Run `steps` timesteps.
-    pub fn run(&mut self, rt: &mut Runtime, team: &Team, steps: usize) -> RunReport {
+    pub fn run<P: MemPort>(&mut self, rt: &mut Runtime<P>, team: &Team, steps: usize) -> RunReport {
         let mut out = RunReport {
             steps,
             ..Default::default()

@@ -5,7 +5,7 @@
 
 use crate::host::{FLOPS_PER_INTERACTION, FLOPS_PER_MAC};
 use crate::tree::Node;
-use spp_core::{Machine, MemClass, SimArray};
+use spp_core::{MemClass, MemPort, SimArray};
 use spp_runtime::ThreadCtx;
 
 /// Extra cycles per interaction for the divide + square root: the
@@ -58,7 +58,7 @@ pub struct SimTree {
 impl SimTree {
     /// Allocate node arrays of `node_cap` nodes and an order array of
     /// `n` particles.
-    pub fn new(m: &mut Machine, node_class: MemClass, node_cap: usize, n: usize) -> Self {
+    pub fn new<P: MemPort>(m: &mut P, node_class: MemClass, node_cap: usize, n: usize) -> Self {
         SimTree {
             nmass: SimArray::from_elem(m, node_class, node_cap, 0.0),
             ncx: SimArray::from_elem(m, node_class, node_cap, 0.0),
@@ -94,9 +94,9 @@ impl SimTree {
 
     /// Priced write of topology fields for nodes `range` (from the
     /// host-built `nodes`), with boundary-detection reads on `keys`.
-    pub fn fill_topology(
+    pub fn fill_topology<P: MemPort>(
         &mut self,
-        ctx: &mut ThreadCtx<'_>,
+        ctx: &mut ThreadCtx<'_, P>,
         nodes: &[Node],
         keys: &SimArray<u64>,
         range: std::ops::Range<usize>,
@@ -117,9 +117,9 @@ impl SimTree {
 
     /// Priced bottom-up moment computation for nodes `range` (must be
     /// within one level, processed deepest level first).
-    pub fn summarize(
+    pub fn summarize<P: MemPort>(
         &mut self,
-        ctx: &mut ThreadCtx<'_>,
+        ctx: &mut ThreadCtx<'_, P>,
         range: std::ops::Range<usize>,
         pos: &PosView<'_>,
     ) {
@@ -166,9 +166,9 @@ impl SimTree {
     /// zi)` using the private traversal `stack`. Returns the
     /// acceleration and the interaction count.
     #[allow(clippy::too_many_arguments)]
-    pub fn accel(
+    pub fn accel<P: MemPort>(
         &self,
-        ctx: &mut ThreadCtx<'_>,
+        ctx: &mut ThreadCtx<'_, P>,
         stack: &mut SimArray<u32>,
         i: usize,
         xi: f64,

@@ -336,8 +336,8 @@ impl PvmPic {
     }
 }
 
-fn fft3(
-    ctx: &mut spp_runtime::ThreadCtx<'_>,
+fn fft3<P: spp_core::MemPort>(
+    ctx: &mut spp_runtime::ThreadCtx<'_, P>,
     work: &mut SimArray<Complex>,
     p: &PicProblem,
     inverse: bool,

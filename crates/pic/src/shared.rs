@@ -9,7 +9,7 @@
 
 use crate::host::{self, flops};
 use crate::problem::{load_particles, PicProblem};
-use spp_core::{Cycles, SimArray};
+use spp_core::{Cycles, MemPort, SimArray};
 use spp_kernels::{sim_fft_pencil, Complex, Pencil};
 use spp_runtime::{Runtime, Team};
 
@@ -87,7 +87,7 @@ impl SharedPic {
     /// locality-aware placement for `team`: near-shared on one
     /// hypernode when the team fits there, block-shared with one block
     /// per hypernode otherwise (see [`Team::shared_class`]).
-    pub fn new(rt: &mut Runtime, problem: PicProblem, team: &Team) -> Self {
+    pub fn new<P: MemPort>(rt: &mut Runtime<P>, problem: PicProblem, team: &Team) -> Self {
         let parts = load_particles(&problem);
         let m = &mut rt.machine;
         let cells = problem.cells();
@@ -124,16 +124,16 @@ impl SharedPic {
     }
 
     /// One timestep across `team`. Returns the step's timing.
-    pub fn step(&mut self, rt: &mut Runtime, team: &Team) -> StepReport {
+    pub fn step<P: MemPort>(&mut self, rt: &mut Runtime<P>, team: &Team) -> StepReport {
         self.step_profiled(rt, team, None)
     }
 
     /// One timestep, optionally recording each phase in a CXpa-style
     /// [`spp_runtime::Profile`] (see §6 of the paper on the value of
     /// exactly this instrumentation).
-    pub fn step_profiled(
+    pub fn step_profiled<P: MemPort>(
         &mut self,
-        rt: &mut Runtime,
+        rt: &mut Runtime<P>,
         team: &Team,
         mut prof: Option<&mut spp_runtime::Profile>,
     ) -> StepReport {
@@ -145,9 +145,8 @@ impl SharedPic {
         // Phase 1: zero the charge grid.
         let rho = &mut self.rho;
         let r = rt.team_fork_join(team, |ctx| {
-            for i in ctx.chunk(cells) {
-                ctx.write(rho, i, 0.0);
-            }
+            let rng = ctx.chunk(cells);
+            ctx.fill_run(rho, rng, 0.0);
         });
         rep.track(&mut prof, "zero_rho", r);
 
@@ -180,11 +179,12 @@ impl SharedPic {
         // Phase 3: rho -> complex work array, background subtracted.
         let (rho, work, mean) = (&self.rho, &mut self.work, self.mean_rho);
         let r = rt.team_fork_join(team, |ctx| {
-            for i in ctx.chunk(cells) {
-                let r = ctx.read(rho, i);
-                ctx.write(work, i, Complex::real(r - mean));
-                ctx.flops(1);
-            }
+            let rng = ctx.chunk(cells);
+            let mut buf: Vec<f64> = Vec::with_capacity(rng.len());
+            ctx.read_run(rho, rng.clone(), &mut buf);
+            let vals: Vec<Complex> = buf.iter().map(|&v| Complex::real(v - mean)).collect();
+            ctx.write_run(work, rng.start, &vals);
+            ctx.flops(rng.len() as u64);
         });
         rep.track(&mut prof, "load_work", r);
 
@@ -219,10 +219,11 @@ impl SharedPic {
         // Phase 11: extract the potential.
         let (work, phi) = (&self.work, &mut self.phi);
         let r = rt.team_fork_join(team, |ctx| {
-            for i in ctx.chunk(cells) {
-                let v = ctx.read(work, i);
-                ctx.write(phi, i, v.re);
-            }
+            let rng = ctx.chunk(cells);
+            let mut buf: Vec<Complex> = Vec::with_capacity(rng.len());
+            ctx.read_run(work, rng.clone(), &mut buf);
+            let vals: Vec<f64> = buf.iter().map(|v| v.re).collect();
+            ctx.write_run(phi, rng.start, &vals);
         });
         rep.track(&mut prof, "extract_phi", r);
 
@@ -300,9 +301,9 @@ impl SharedPic {
     /// Run FFTs along all three axes (forward or inverse), one
     /// parallel region per axis, pencils statically divided across the
     /// team.
-    fn fft_axes(
+    fn fft_axes<P: MemPort>(
         &mut self,
-        rt: &mut Runtime,
+        rt: &mut Runtime<P>,
         team: &Team,
         rep: &mut StepReport,
         inverse: bool,
@@ -366,7 +367,7 @@ impl SharedPic {
     }
 
     /// Run `steps` timesteps, returning cumulative timing.
-    pub fn run(&mut self, rt: &mut Runtime, team: &Team, steps: usize) -> RunReport {
+    pub fn run<P: MemPort>(&mut self, rt: &mut Runtime<P>, team: &Team, steps: usize) -> RunReport {
         let mut out = RunReport {
             steps,
             ..Default::default()

@@ -15,7 +15,7 @@ use crate::euler::Cons;
 use crate::host::NG;
 use crate::ppm1d::{sweep_strip, SweepCost};
 use crate::problem::PpmProblem;
-use spp_core::{Cycles, MemClass, SimArray};
+use spp_core::{Cycles, MemClass, MemPort, SimArray};
 use spp_runtime::{Runtime, Team, ThreadCtx};
 
 /// Extra cycles per divide/sqrt beyond its counted flop (PA-7100
@@ -75,7 +75,7 @@ pub struct SharedPpm {
 
 impl SharedPpm {
     /// Initialize the blast problem on tiles placed for `team`.
-    pub fn new(rt: &mut Runtime, problem: PpmProblem, team: &Team) -> Self {
+    pub fn new<P: MemPort>(rt: &mut Runtime<P>, problem: PpmProblem, team: &Team) -> Self {
         let (w, h) = problem.tile_shape();
         let (gw, gh) = (w + 2 * NG, h + 2 * NG);
         // Page-aligned tile stride so BlockShared maps one tile per
@@ -149,7 +149,7 @@ impl SharedPpm {
     }
 
     /// One directionally split timestep. Returns (elapsed, flops).
-    pub fn step(&mut self, rt: &mut Runtime, team: &Team) -> (Cycles, u64) {
+    pub fn step<P: MemPort>(&mut self, rt: &mut Runtime<P>, team: &Team) -> (Cycles, u64) {
         let mut elapsed = 0u64;
         let mut flops = 0u64;
         let tiles = self.problem.num_tiles();
@@ -246,9 +246,9 @@ impl SharedPpm {
     }
 
     /// One sweep direction across all owned tiles.
-    fn sweep_phase(
+    fn sweep_phase<P: MemPort>(
         &mut self,
-        rt: &mut Runtime,
+        rt: &mut Runtime<P>,
         team: &Team,
         xdir: bool,
         dtdx: f64,
@@ -262,6 +262,8 @@ impl SharedPpm {
         let speeds = &mut self.speeds;
         let rep = rt.team_fork_join(team, |ctx| {
             let mut strip: Vec<Cons> = Vec::new();
+            let (mut rbuf, mut mubuf, mut mvbuf, mut ebuf) =
+                (Vec::new(), Vec::new(), Vec::new(), Vec::new());
             for (t, &own) in owner.iter().enumerate().take(tiles) {
                 if own != ctx.tid {
                     continue;
@@ -273,12 +275,20 @@ impl SharedPpm {
                     for r in 1..gh - 1 {
                         strip.clear();
                         let base = t * stride + gw * r;
+                        rbuf.clear();
+                        mubuf.clear();
+                        mvbuf.clear();
+                        ebuf.clear();
+                        ctx.read_run(rho, base..base + gw, &mut rbuf);
+                        ctx.read_run(mu, base..base + gw, &mut mubuf);
+                        ctx.read_run(mv, base..base + gw, &mut mvbuf);
+                        ctx.read_run(e, base..base + gw, &mut ebuf);
                         for i in 0..gw {
                             strip.push(Cons {
-                                rho: ctx.read(rho, base + i),
-                                mu: ctx.read(mu, base + i),
-                                mv: ctx.read(mv, base + i),
-                                e: ctx.read(e, base + i),
+                                rho: rbuf[i],
+                                mu: mubuf[i],
+                                mv: mvbuf[i],
+                                e: ebuf[i],
                             });
                         }
                         let (ms, cost) = sweep_strip(&mut strip, NG..NG + w, dtdx);
@@ -287,12 +297,20 @@ impl SharedPpm {
                         // rows are redundant (time only).
                         let useful = (NG..NG + h).contains(&r);
                         charge(ctx, &cost, useful);
-                        for (i, s) in strip.iter().enumerate().take(NG + w).skip(NG) {
-                            ctx.write(rho, base + i, s.rho);
-                            ctx.write(mu, base + i, s.mu);
-                            ctx.write(mv, base + i, s.mv);
-                            ctx.write(e, base + i, s.e);
+                        rbuf.clear();
+                        mubuf.clear();
+                        mvbuf.clear();
+                        ebuf.clear();
+                        for s in strip.iter().take(NG + w).skip(NG) {
+                            rbuf.push(s.rho);
+                            mubuf.push(s.mu);
+                            mvbuf.push(s.mv);
+                            ebuf.push(s.e);
                         }
+                        ctx.write_run(rho, base + NG, &rbuf);
+                        ctx.write_run(mu, base + NG, &mubuf);
+                        ctx.write_run(mv, base + NG, &mvbuf);
+                        ctx.write_run(e, base + NG, &ebuf);
                     }
                 } else {
                     // Interior columns; swap u/v roles for the y sweep.
@@ -332,7 +350,7 @@ impl SharedPpm {
     }
 
     /// Run `steps` timesteps.
-    pub fn run(&mut self, rt: &mut Runtime, team: &Team, steps: usize) -> RunReport {
+    pub fn run<P: MemPort>(&mut self, rt: &mut Runtime<P>, team: &Team, steps: usize) -> RunReport {
         let mut out = RunReport {
             steps,
             ..Default::default()
@@ -376,7 +394,7 @@ impl SharedPpm {
 
 /// Credit a sweep's cost to the thread: flops (useful or redundant)
 /// plus the multi-cycle divide/sqrt and work-array traffic.
-fn charge(ctx: &mut ThreadCtx<'_>, cost: &SweepCost, useful: bool) {
+fn charge<P: MemPort>(ctx: &mut ThreadCtx<'_, P>, cost: &SweepCost, useful: bool) {
     if useful {
         ctx.flops(cost.flops);
     } else {

@@ -28,7 +28,7 @@
 
 use std::collections::VecDeque;
 
-use spp_core::{us_to_cycles, CpuId, Cycles, Machine, MemClass, NodeId, Region, SimError};
+use spp_core::{us_to_cycles, CpuId, Cycles, Machine, MemClass, MemPort, NodeId, Region, SimError};
 use spp_runtime::RuntimeCostModel;
 
 /// Software-path cost constants for the PVM layer, in cycles.
@@ -160,9 +160,12 @@ struct TaskState {
 
 /// The PVM virtual machine: tasks, inboxes, and the single daemon's
 /// shared buffer space.
-pub struct Pvm {
+///
+/// Generic over the memory backend; defaults to the cycle-accurate
+/// [`Machine`] so plain `Pvm` keeps meaning what it always did.
+pub struct Pvm<P: MemPort = Machine> {
     /// The underlying machine (shared with any other layer in use).
-    pub machine: Machine,
+    pub machine: P,
     /// PVM software-path costs.
     pub cost: PvmCostModel,
     /// Compute cost model (flop pricing matches the threaded runtime).
@@ -175,18 +178,25 @@ pub struct Pvm {
 }
 
 impl Pvm {
+    /// A PVM session on the paper's testbed.
+    pub fn spp1000(hypernodes: usize, cpus: &[CpuId]) -> Self {
+        Self::new(Machine::spp1000(hypernodes), cpus)
+    }
+}
+
+impl<P: MemPort> Pvm<P> {
     /// Create a PVM session with one task per entry of `cpus`.
     ///
     /// # Panics
     /// If `cpus` is empty ("PVM needs at least one task") or names a
     /// CPU the machine does not have. Use [`Pvm::try_new`] for the
     /// typed [`SimError`] instead.
-    pub fn new(machine: Machine, cpus: &[CpuId]) -> Self {
+    pub fn new(machine: P, cpus: &[CpuId]) -> Self {
         Self::try_new(machine, cpus).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Fallible variant of [`Pvm::new`].
-    pub fn try_new(mut machine: Machine, cpus: &[CpuId]) -> Result<Self, SimError> {
+    pub fn try_new(mut machine: P, cpus: &[CpuId]) -> Result<Self, SimError> {
         if cpus.is_empty() {
             return Err(SimError::NoTasks);
         }
@@ -225,11 +235,6 @@ impl Pvm {
             faults: PvmFaultStats::default(),
             buffers,
         })
-    }
-
-    /// A PVM session on the paper's testbed.
-    pub fn spp1000(hypernodes: usize, cpus: &[CpuId]) -> Self {
-        Self::new(Machine::spp1000(hypernodes), cpus)
     }
 
     /// Number of tasks.
@@ -279,7 +284,7 @@ impl Pvm {
     pub fn compute<R>(
         &mut self,
         t: usize,
-        f: impl FnOnce(&mut spp_runtime::ThreadCtx<'_>) -> R,
+        f: impl FnOnce(&mut spp_runtime::ThreadCtx<'_, P>) -> R,
     ) -> R {
         let cpu = self.tasks[t].cpu;
         let mut ctx = spp_runtime::ThreadCtx::detached(&mut self.machine, &self.compute, cpu);

@@ -10,7 +10,7 @@
 //! event by event against the machine model.
 
 use crate::cost::RuntimeCostModel;
-use spp_core::{CpuId, Cycles, Machine, MemClass, NodeId};
+use spp_core::{CpuId, Cycles, MemClass, MemPort, NodeId};
 
 /// A barrier with its simulated memory (semaphore + release flag).
 #[derive(Debug, Clone)]
@@ -65,7 +65,7 @@ impl SimBarrier {
     /// Allocate barrier state. The semaphore and flag live in
     /// near-shared memory on `node`, like the CPSlib structures the
     /// paper measured.
-    pub fn new(m: &mut Machine, node: NodeId) -> Self {
+    pub fn new<P: MemPort>(m: &mut P, node: NodeId) -> Self {
         let sem = m.alloc(MemClass::NearShared { node }, 64);
         let flag = m.alloc(MemClass::NearShared { node }, 64);
         SimBarrier {
@@ -79,9 +79,9 @@ impl SimBarrier {
     /// Simulate one barrier episode: `arrivals[i] = (cpu, time)` is
     /// when thread `i` reaches the barrier. Returns per-thread
     /// resumption times.
-    pub fn simulate(
+    pub fn simulate<P: MemPort>(
         &self,
-        m: &mut Machine,
+        m: &mut P,
         cost: &RuntimeCostModel,
         arrivals: &[(CpuId, Cycles)],
     ) -> BarrierResult {
@@ -176,7 +176,7 @@ impl SimBarrier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spp_core::cycles_to_us;
+    use spp_core::{cycles_to_us, Machine};
 
     fn setup(nodes: usize) -> (Machine, SimBarrier, RuntimeCostModel) {
         let mut m = Machine::spp1000(nodes);

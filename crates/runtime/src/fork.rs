@@ -15,10 +15,13 @@ use crate::barrier::{BarrierResult, SimBarrier};
 use crate::cost::RuntimeCostModel;
 use crate::noise::OsNoise;
 use crate::team::{chunk_range, Placement, Team};
-use spp_core::{CpuId, Cycles, Machine, NodeId, SimArray, SimError};
+use spp_core::{CpuId, Cycles, Machine, MemPort, NodeId, SimArray, SimError};
 
 /// Execution context handed to each simulated thread's body.
-pub struct ThreadCtx<'a> {
+///
+/// Generic over the memory backend; defaults to the cycle-accurate
+/// [`Machine`] so existing `ThreadCtx<'_>` call sites are unchanged.
+pub struct ThreadCtx<'a, P: MemPort = Machine> {
     /// This thread's index within the team (0 = parent).
     pub tid: usize,
     /// Team size.
@@ -27,13 +30,14 @@ pub struct ThreadCtx<'a> {
     pub cpu: CpuId,
     /// Locality-aligned chunk index (see [`Team::chunk_rank`]).
     pub rank: usize,
-    machine: &'a mut Machine,
+    machine: &'a mut P,
     cost: &'a RuntimeCostModel,
     clock: Cycles,
     flops: u64,
+    batching: bool,
 }
 
-impl<'a> ThreadCtx<'a> {
+impl<'a, P: MemPort> ThreadCtx<'a, P> {
     /// Priced read of `a[i]`.
     #[inline]
     pub fn read<T: Copy>(&mut self, a: &SimArray<T>, i: usize) -> T {
@@ -54,6 +58,53 @@ impl<'a> ThreadCtx<'a> {
     pub fn update<T: Copy>(&mut self, a: &mut SimArray<T>, i: usize, f: impl FnOnce(T) -> T) {
         let v = self.read(a, i);
         self.write(a, i, f(v));
+    }
+
+    /// Priced streaming read of `a[range]`, appended to `out`. With
+    /// batching enabled (the default) this is one port run; otherwise
+    /// it degrades to elementwise [`ThreadCtx::read`]s. Both paths are
+    /// cycle- and stats-identical by the port run-equivalence
+    /// invariant — the cross-validation tests hold them to it.
+    pub fn read_run<T: Copy>(
+        &mut self,
+        a: &SimArray<T>,
+        range: std::ops::Range<usize>,
+        out: &mut Vec<T>,
+    ) {
+        if self.batching {
+            let c = a.read_run(self.machine, self.cpu, range, out);
+            self.clock += c;
+        } else {
+            for i in range {
+                out.push(self.read(a, i));
+            }
+        }
+    }
+
+    /// Priced streaming write of `vals` into `a[start..]`. Batched to
+    /// one port run when batching is enabled; elementwise otherwise.
+    pub fn write_run<T: Copy>(&mut self, a: &mut SimArray<T>, start: usize, vals: &[T]) {
+        if self.batching {
+            let c = a.write_run(self.machine, self.cpu, start, vals);
+            self.clock += c;
+        } else {
+            for (k, v) in vals.iter().enumerate() {
+                self.write(a, start + k, *v);
+            }
+        }
+    }
+
+    /// Priced streaming fill of `a[range]` with `v`. Batched to one
+    /// port run when batching is enabled; elementwise otherwise.
+    pub fn fill_run<T: Copy>(&mut self, a: &mut SimArray<T>, range: std::ops::Range<usize>, v: T) {
+        if self.batching {
+            let c = a.fill_run(self.machine, self.cpu, range, v);
+            self.clock += c;
+        } else {
+            for i in range {
+                self.write(a, i, v);
+            }
+        }
     }
 
     /// Account for `n` floating-point operations of register-resident
@@ -89,8 +140,8 @@ impl<'a> ThreadCtx<'a> {
         chunk_range(n, self.nthreads, self.rank)
     }
 
-    /// Escape hatch to the machine (e.g. uncached semaphore ops).
-    pub fn machine(&mut self) -> &mut Machine {
+    /// Escape hatch to the memory port (e.g. uncached semaphore ops).
+    pub fn machine(&mut self) -> &mut P {
         self.machine
     }
 
@@ -102,7 +153,7 @@ impl<'a> ThreadCtx<'a> {
     /// Build a context outside any team — used by other execution
     /// layers (PVM tasks) that price compute through the same machine.
     /// The clock starts at zero; read it back with [`ThreadCtx::clock`].
-    pub fn detached(machine: &'a mut Machine, cost: &'a RuntimeCostModel, cpu: CpuId) -> Self {
+    pub fn detached(machine: &'a mut P, cost: &'a RuntimeCostModel, cpu: CpuId) -> Self {
         ThreadCtx {
             tid: 0,
             nthreads: 1,
@@ -112,6 +163,7 @@ impl<'a> ThreadCtx<'a> {
             cost,
             clock: 0,
             flops: 0,
+            batching: true,
         }
     }
 }
@@ -167,9 +219,12 @@ pub struct AsyncHandle {
 }
 
 /// The threaded runtime: a machine plus thread-management costs.
-pub struct Runtime {
-    /// The simulated machine.
-    pub machine: Machine,
+///
+/// Generic over the memory backend; defaults to the cycle-accurate
+/// [`Machine`] so plain `Runtime` keeps meaning what it always did.
+pub struct Runtime<P: MemPort = Machine> {
+    /// The simulated machine (any [`MemPort`] backend).
+    pub machine: P,
     /// Thread-management cost constants.
     pub cost: RuntimeCostModel,
     join_barrier: SimBarrier,
@@ -180,12 +235,24 @@ pub struct Runtime {
     /// Optional multitasking-interference model (§6 of the paper).
     /// `None` (the default) keeps all measurements noise-free.
     pub noise: Option<OsNoise>,
+    /// Whether [`ThreadCtx`] run helpers use the batched port fast
+    /// path (`true`, the default) or expand to scalar accesses.
+    /// Cycle totals are identical either way; the scalar mode exists
+    /// so cross-validation tests can prove it.
+    pub batching: bool,
     regions: u64,
 }
 
 impl Runtime {
-    /// Wrap a machine with the standard runtime cost model.
-    pub fn new(mut machine: Machine) -> Self {
+    /// The paper's testbed with `hypernodes` hypernodes.
+    pub fn spp1000(hypernodes: usize) -> Self {
+        Self::new(Machine::spp1000(hypernodes))
+    }
+}
+
+impl<P: MemPort> Runtime<P> {
+    /// Wrap a memory backend with the standard runtime cost model.
+    pub fn new(mut machine: P) -> Self {
         let join_barrier = SimBarrier::new(&mut machine, NodeId(0));
         Runtime {
             machine,
@@ -193,6 +260,7 @@ impl Runtime {
             join_barrier,
             now: 0,
             noise: None,
+            batching: true,
             regions: 0,
         }
     }
@@ -203,9 +271,11 @@ impl Runtime {
         self
     }
 
-    /// The paper's testbed with `hypernodes` hypernodes.
-    pub fn spp1000(hypernodes: usize) -> Self {
-        Self::new(Machine::spp1000(hypernodes))
+    /// Disable (or re-enable) the batched run fast path in thread
+    /// contexts; used by cross-validation tests.
+    pub fn with_batching(mut self, on: bool) -> Self {
+        self.batching = on;
+        self
     }
 
     /// Price one thread spawn, retrying with exponential backoff when
@@ -263,7 +333,7 @@ impl Runtime {
         &mut self,
         n: usize,
         placement: &Placement,
-        body: impl FnMut(&mut ThreadCtx),
+        body: impl FnMut(&mut ThreadCtx<P>),
     ) -> RegionReport {
         let team = Team::place(self.machine.config(), n, placement);
         self.team_fork_join(&team, body)
@@ -273,7 +343,7 @@ impl Runtime {
     pub fn team_fork_join(
         &mut self,
         team: &Team,
-        mut body: impl FnMut(&mut ThreadCtx),
+        mut body: impl FnMut(&mut ThreadCtx<P>),
     ) -> RegionReport {
         let n = team.len();
         let parent_node = self.machine.config().node_of_cpu(team.cpu(0));
@@ -310,6 +380,7 @@ impl Runtime {
                 cost: &self.cost,
                 clock: 0,
                 flops: 0,
+                batching: self.batching,
             };
             body(&mut ctx);
             *b = ctx.clock;
@@ -362,7 +433,7 @@ impl Runtime {
     pub fn fork_async(
         &mut self,
         team: &Team,
-        mut body: impl FnMut(&mut ThreadCtx),
+        mut body: impl FnMut(&mut ThreadCtx<P>),
     ) -> (Cycles, AsyncHandle) {
         let n = team.len();
         let parent_node = self.machine.config().node_of_cpu(team.cpu(0));
@@ -391,6 +462,7 @@ impl Runtime {
                 cost: &self.cost,
                 clock: 0,
                 flops: 0,
+                batching: self.batching,
             };
             body(&mut ctx);
             busy[tid] = ctx.clock;
@@ -430,7 +502,7 @@ impl Runtime {
 
     /// Run serial (single-thread) work on `cpu` with no fork/join
     /// overhead; returns its busy time and advances [`Runtime::now`].
-    pub fn serial(&mut self, cpu: CpuId, body: impl FnOnce(&mut ThreadCtx)) -> RegionReport {
+    pub fn serial(&mut self, cpu: CpuId, body: impl FnOnce(&mut ThreadCtx<P>)) -> RegionReport {
         let mut ctx = ThreadCtx {
             tid: 0,
             nthreads: 1,
@@ -440,6 +512,7 @@ impl Runtime {
             cost: &self.cost,
             clock: 0,
             flops: 0,
+            batching: self.batching,
         };
         body(&mut ctx);
         let busy = ctx.clock;

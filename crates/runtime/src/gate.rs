@@ -8,7 +8,7 @@
 //! each entering thread's own clock.
 
 use crate::fork::ThreadCtx;
-use spp_core::{Cycles, Machine, MemClass, NodeId, SimArray};
+use spp_core::{Cycles, MemClass, MemPort, NodeId, SimArray};
 
 /// A simulated gate / critical section.
 #[derive(Debug, Clone)]
@@ -19,7 +19,7 @@ pub struct SimGate {
 
 impl SimGate {
     /// Allocate gate state in near-shared memory on `node`.
-    pub fn new(m: &mut Machine, node: NodeId) -> Self {
+    pub fn new<P: MemPort>(m: &mut P, node: NodeId) -> Self {
         let sem = m.alloc(MemClass::NearShared { node }, 64);
         SimGate {
             sem_addr: sem.base,
@@ -36,10 +36,10 @@ impl SimGate {
     /// Execute `body` inside the gate as `ctx`'s thread: the thread
     /// waits for the gate, pays the semaphore costs, runs the body,
     /// and releases.
-    pub fn critical<R>(
+    pub fn critical<P: MemPort, R>(
         &mut self,
-        ctx: &mut ThreadCtx<'_>,
-        body: impl FnOnce(&mut ThreadCtx<'_>) -> R,
+        ctx: &mut ThreadCtx<'_, P>,
+        body: impl FnOnce(&mut ThreadCtx<'_, P>) -> R,
     ) -> R {
         let overhead = ctx_gate_overhead(ctx);
         let cpu = ctx.cpu;
@@ -56,7 +56,7 @@ impl SimGate {
     }
 }
 
-fn ctx_gate_overhead(ctx: &ThreadCtx<'_>) -> Cycles {
+fn ctx_gate_overhead<P: MemPort>(ctx: &ThreadCtx<'_, P>) -> Cycles {
     ctx.cost_model().gate_overhead
 }
 
@@ -69,7 +69,7 @@ pub struct PrivateArrays<T> {
 
 impl<T: Copy> PrivateArrays<T> {
     /// Allocate `len` elements of `v` privately for each CPU of `team`.
-    pub fn new(m: &mut Machine, team: &crate::team::Team, len: usize, v: T) -> Self {
+    pub fn new<P: MemPort>(m: &mut P, team: &crate::team::Team, len: usize, v: T) -> Self {
         let arrays = team
             .cpus()
             .iter()

@@ -144,3 +144,132 @@ fn ppm_tilings_agree() {
         assert!(rel_p < 1e-9, "{tx}x{ty}: pressure off by {rel_p}");
     }
 }
+
+/// The tentpole invariant of the port layer: batched run accesses
+/// (`read_run`/`write_run`/`fill_run`) must be *bit-identical* in
+/// cycles and every `MemStats` counter to elementwise access, on the
+/// cycle-accurate backend. Checked end-to-end on a figure benchmark
+/// workload (Figure 6's PIC, which batches its field loops) and two
+/// application kernels (PPM's 1-D sweep strips, FEM's point update),
+/// by running the same simulation with the runtime's batching toggle
+/// on and off.
+#[test]
+fn batched_runs_bit_identical_to_scalar_on_cycle_backend() {
+    use spp1000::fem::{structured, Coding, SharedFem};
+    use spp1000::pic::{PicProblem, SharedPic};
+    use spp1000::ppm::{PpmProblem, SharedPpm};
+
+    fn pic_fig6(batching: bool) -> (Cycles, MemStats) {
+        let mut rt = Runtime::spp1000(2).with_batching(batching);
+        let team = Team::place(rt.machine.config(), 8, &Placement::HighLocality);
+        let mut sim = SharedPic::new(&mut rt, PicProblem::tiny(), &team);
+        let r = sim.run(&mut rt, &team, 2);
+        (r.elapsed, rt.machine.stats)
+    }
+    fn ppm_sweep(batching: bool) -> (Cycles, MemStats) {
+        let mut rt = Runtime::spp1000(2).with_batching(batching);
+        let team = Team::place(rt.machine.config(), 4, &Placement::HighLocality);
+        let mut sim = SharedPpm::new(&mut rt, PpmProblem::tiny(), &team);
+        let r = sim.run(&mut rt, &team, 2);
+        (r.elapsed, rt.machine.stats)
+    }
+    fn fem_update(batching: bool) -> (Cycles, MemStats) {
+        let mut rt = Runtime::spp1000(2).with_batching(batching);
+        let team = Team::place(rt.machine.config(), 4, &Placement::HighLocality);
+        let mut sim = SharedFem::new(&mut rt, structured(24, 24), Coding::ScatterAdd, &team);
+        let r = sim.run(&mut rt, &team, 0.3, 2);
+        (r.elapsed, rt.machine.stats)
+    }
+
+    for (name, f) in [
+        ("pic/fig6", pic_fig6 as fn(bool) -> (Cycles, MemStats)),
+        ("ppm/sweep", ppm_sweep),
+        ("fem/update", fem_update),
+    ] {
+        let (batched_cycles, batched_stats) = f(true);
+        let (scalar_cycles, scalar_stats) = f(false);
+        assert_eq!(batched_cycles, scalar_cycles, "{name}: cycle totals moved");
+        assert_eq!(batched_stats, scalar_stats, "{name}: MemStats moved");
+        assert!(batched_cycles > 0, "{name}: nothing simulated");
+    }
+}
+
+/// E11: recording a run through `TracePort` and replaying the trace
+/// into a fresh machine reproduces the port cycle total and every
+/// `MemStats` counter bit-identically — for a figure benchmark
+/// workload (Figure 2's fork-join over shared arrays) and an
+/// application kernel (FEM).
+#[test]
+fn trace_replay_bit_identical_for_figure_and_app_workloads() {
+    use spp1000::fem::{structured, Coding, SharedFem};
+
+    // Figure-2-style fork-join workload: spawn costs, barrier
+    // traffic, and a strided shared-array sweep all flow through the
+    // recording port.
+    {
+        let mut rt = Runtime::new(TracePort::new(Machine::spp1000(2)));
+        let mut arr = SimArray::from_elem(&mut rt.machine, MemClass::FarShared, 4096, 1.0f64);
+        for threads in [1usize, 8, 16] {
+            rt.fork_join(threads, &Placement::Uniform, |ctx| {
+                let r = ctx.chunk(4096);
+                for i in r.clone() {
+                    let v = ctx.read(&arr, i);
+                    ctx.write(&mut arr, i, v + 1.0);
+                }
+                ctx.flops(r.len() as u64);
+            });
+        }
+        let recorded = rt.machine.total_cycles();
+        let (machine, trace) = rt.machine.into_parts();
+        assert!(trace.records() > 0);
+        let mut fresh = Machine::spp1000(2);
+        assert_eq!(trace.replay(&mut fresh), recorded, "fig2 replay cycles");
+        assert_eq!(fresh.stats, machine.stats, "fig2 replay stats");
+    }
+
+    // Application kernel: one FEM step, batched runs included.
+    {
+        let mut rt = Runtime::new(TracePort::new(Machine::spp1000(2)));
+        let team = Team::place(rt.machine.config(), 4, &Placement::HighLocality);
+        let mut sim = SharedFem::new(&mut rt, structured(16, 16), Coding::ScatterAdd, &team);
+        sim.step(&mut rt, &team, 0.3);
+        let recorded = rt.machine.total_cycles();
+        let (machine, trace) = rt.machine.into_parts();
+        let mut fresh = Machine::spp1000(2);
+        assert_eq!(trace.replay(&mut fresh), recorded, "fem replay cycles");
+        assert_eq!(fresh.stats, machine.stats, "fem replay stats");
+    }
+}
+
+/// The analytic backend drives the same generic stack: an application
+/// runs unmodified on `FastPort`, sees the same access stream (read
+/// and write counts match the cycle backend exactly), and produces
+/// the same physics.
+#[test]
+fn apps_run_unmodified_on_the_analytic_backend() {
+    use spp1000::pic::{PicProblem, SharedPic};
+
+    let p = PicProblem::tiny();
+    let run = |mut rtf: Runtime<FastPort>| {
+        let team = Team::place(rtf.machine.config(), 4, &Placement::HighLocality);
+        let mut sim = SharedPic::new(&mut rtf, p.clone(), &team);
+        let r = sim.run(&mut rtf, &team, 1);
+        (r.elapsed, rtf.machine.stats, sim.field_energy())
+    };
+    let (fast_cycles, fast_stats, fast_energy) = run(Runtime::new(FastPort::spp1000(2)));
+
+    let mut rt = Runtime::spp1000(2);
+    let team = Team::place(rt.machine.config(), 4, &Placement::HighLocality);
+    let mut sim = SharedPic::new(&mut rt, p.clone(), &team);
+    let r = sim.run(&mut rt, &team, 1);
+
+    assert!(fast_cycles > 0);
+    assert_eq!(fast_stats.reads, rt.machine.stats.reads, "same read stream");
+    assert_eq!(
+        fast_stats.writes, rt.machine.stats.writes,
+        "same write stream"
+    );
+    let rel = (fast_energy - sim.field_energy()).abs() / sim.field_energy().max(1e-30);
+    assert!(rel < 1e-12, "physics must not depend on the backend");
+    assert!(r.elapsed > 0);
+}
