@@ -22,4 +22,10 @@ test -s target/repro/BENCH_repro.json
 grep -q '"passed": true' target/repro/BENCH_repro.json
 echo "   target/repro/BENCH_repro.json OK"
 
+echo "== repro-chaos smoke run (1 step, fixed-seed grid, checker on)"
+SPP_CHECK=1 cargo run --release -q -p spp-bench --bin repro-chaos -- --steps 1 >/dev/null
+test -s target/repro/BENCH_chaos.json
+grep -q '"passed": true' target/repro/BENCH_chaos.json
+echo "   target/repro/BENCH_chaos.json OK"
+
 echo "CI OK"

@@ -1,7 +1,20 @@
 //! Fault-injection reproducibility report: seeded fault schedules are
 //! bit-identical run to run and retry overhead scales with the fault
-//! rate. Usage: `repro-faults [--full] [--steps N]`.
+//! rate. Writes `BENCH_faults.json` under `target/repro/` (override
+//! with `SPP_REPRO_DIR`); exits nonzero if any case was not
+//! bit-identical. Usage: `repro-faults [--full] [--steps N]`.
 fn main() {
     let opts = spp_bench::Opts::from_args();
-    spp_bench::faults::run(&opts);
+    let cases = spp_bench::faults::determinism_sweep(opts.steps);
+    spp_bench::faults::report(&opts, &cases);
+    let dir = std::env::var_os("SPP_REPRO_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/repro"));
+    match spp_bench::faults::write_report(&cases, opts.steps, &dir) {
+        Ok(json) => println!("[report written to {}]", json.display()),
+        Err(e) => eprintln!("[could not write report under {}: {e}]", dir.display()),
+    }
+    if !cases.iter().all(|c| c.identical()) {
+        std::process::exit(1);
+    }
 }

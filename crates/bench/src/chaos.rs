@@ -1,0 +1,726 @@
+//! Chaos campaign (`repro-chaos`): sweep seeds × fault intensities ×
+//! failure sites over the PIC, N-body, and FEM applications, running
+//! every cell under the coherence-invariant checker and a
+//! simulated-cycle watchdog. A failing cell's fault-event list is
+//! *shrunk* by greedy delta debugging to a minimal reproducer, so a
+//! degraded-mode bug arrives as "these ≤N events break invariant X on
+//! workload Y at seed Z" instead of a 40-cell wall of red.
+//!
+//! The campaign's machine-readable summary is `BENCH_chaos.json`
+//! (written by the `repro-chaos` binary under `target/repro`, or
+//! `SPP_REPRO_DIR`), following the `BENCH_repro.json` convention.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::harness::panic_message;
+use crate::{emit, Opts, Table};
+use fem::{Coding, SharedFem};
+use nbody::{NbodyProblem, SharedNbody};
+use pic::{PicProblem, SharedPic};
+use spp_core::{Cycles, FaultPlan, Machine, StallKind, Watchdog};
+use spp_runtime::{Placement, Runtime, Team};
+
+/// One injectable fault event of the campaign grid — the unit the
+/// shrinker removes when minimizing a failing plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChaosEvent {
+    /// Transient SCI ring stalls at `prob`, `stall` cycles each.
+    RingStalls {
+        /// Per-crossing stall probability.
+        prob: f64,
+        /// Extra cycles per stalled transaction.
+        stall: Cycles,
+    },
+    /// Transient PVM message faults (drops retried, dups discarded).
+    MsgFaults {
+        /// Per-send drop probability.
+        drop: f64,
+        /// Per-delivery duplication probability.
+        dup: f64,
+    },
+    /// Transient thread-spawn failures (retried with backoff).
+    SpawnFail {
+        /// Per-attempt failure probability.
+        prob: f64,
+    },
+    /// Hard failure: CPU `cpu` dies at machine clock `at_cycle`.
+    CpuFail {
+        /// Global CPU id.
+        cpu: u16,
+        /// Trigger clock in cumulative access cycles.
+        at_cycle: Cycles,
+    },
+    /// Hard failure: SCI ring `ring` loses a segment at `at_cycle`.
+    LinkFail {
+        /// The ring (0..fus_per_node).
+        ring: u8,
+        /// Trigger clock.
+        at_cycle: Cycles,
+        /// Extra cycles per rerouted transaction.
+        reroute_cycles: Cycles,
+    },
+    /// Hard failure: node `node`'s GCBs halve in capacity at
+    /// `at_cycle`.
+    GcbDegrade {
+        /// The hypernode.
+        node: u8,
+        /// Trigger clock.
+        at_cycle: Cycles,
+    },
+}
+
+impl ChaosEvent {
+    /// Short stable label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChaosEvent::RingStalls { .. } => "ring-stalls",
+            ChaosEvent::MsgFaults { .. } => "msg-faults",
+            ChaosEvent::SpawnFail { .. } => "spawn-fail",
+            ChaosEvent::CpuFail { .. } => "cpu-fail",
+            ChaosEvent::LinkFail { .. } => "link-fail",
+            ChaosEvent::GcbDegrade { .. } => "gcb-degrade",
+        }
+    }
+
+    /// Full description with parameters (JSON-safe: no quotes or
+    /// backslashes).
+    pub fn desc(&self) -> String {
+        match self {
+            ChaosEvent::RingStalls { prob, stall } => format!("ring-stalls(p={prob}, {stall}cy)"),
+            ChaosEvent::MsgFaults { drop, dup } => format!("msg-faults(drop={drop}, dup={dup})"),
+            ChaosEvent::SpawnFail { prob } => format!("spawn-fail(p={prob})"),
+            ChaosEvent::CpuFail { cpu, at_cycle } => format!("cpu-fail(cpu={cpu}@{at_cycle})"),
+            ChaosEvent::LinkFail {
+                ring,
+                at_cycle,
+                reroute_cycles,
+            } => format!("link-fail(ring={ring}@{at_cycle}, +{reroute_cycles}cy)"),
+            ChaosEvent::GcbDegrade { node, at_cycle } => {
+                format!("gcb-degrade(node={node}@{at_cycle})")
+            }
+        }
+    }
+
+    /// Fold this event into a fault plan.
+    pub fn apply(&self, plan: FaultPlan) -> FaultPlan {
+        match *self {
+            ChaosEvent::RingStalls { prob, stall } => plan.with_ring_stalls(prob, stall),
+            ChaosEvent::MsgFaults { drop, dup } => plan.with_message_faults(drop, dup),
+            ChaosEvent::SpawnFail { prob } => plan.with_spawn_failures(prob),
+            ChaosEvent::CpuFail { cpu, at_cycle } => plan.with_cpu_failure(cpu, at_cycle),
+            ChaosEvent::LinkFail {
+                ring,
+                at_cycle,
+                reroute_cycles,
+            } => plan.with_link_failure(ring, at_cycle, reroute_cycles),
+            ChaosEvent::GcbDegrade { node, at_cycle } => plan.with_gcb_degrade(node, at_cycle),
+        }
+    }
+}
+
+/// Assemble a seeded fault plan from an event list (the campaign's
+/// plan constructor, also what the shrinker re-runs subsets through).
+pub fn build_plan(seed: u64, events: &[ChaosEvent]) -> FaultPlan {
+    events.iter().fold(FaultPlan::new(seed), |p, e| e.apply(p))
+}
+
+/// The applications the campaign sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Shared-memory particle-in-cell (8x8x8 mesh, 8 CPUs, 2 nodes).
+    Pic,
+    /// Shared-memory N-body tree code (1024 bodies, 8 CPUs, 2 nodes).
+    Nbody,
+    /// Shared-memory FEM (32x32 structured mesh, 8 CPUs, 2 nodes).
+    Fem,
+}
+
+impl Workload {
+    /// Short stable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Workload::Pic => "pic",
+            Workload::Nbody => "nbody",
+            Workload::Fem => "fem",
+        }
+    }
+}
+
+/// Simulated-state observations from one completed cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellStats {
+    /// Elapsed simulated cycles of the measured steps.
+    pub elapsed: Cycles,
+    /// SCI ring stalls injected.
+    pub ring_stalls: u64,
+    /// Transactions rerouted around a failed link.
+    pub link_reroutes: u64,
+    /// CPUs dead at the end of the run.
+    pub dead_cpus: usize,
+    /// Bitmask of severed rings at the end of the run.
+    pub failed_rings: u8,
+    /// Bitmask of GCB-degraded nodes at the end of the run.
+    pub degraded_nodes: u16,
+}
+
+fn workload_run(w: Workload, plan: FaultPlan, steps: usize) -> CellStats {
+    let mut rt = Runtime::new(Machine::spp1000(2).with_faults(plan));
+    let elapsed = match w {
+        Workload::Pic => {
+            let team = Team::place(rt.machine.config(), 8, &Placement::Uniform);
+            let mut sim = SharedPic::new(&mut rt, PicProblem::with_mesh(8, 8, 8), &team);
+            sim.step(&mut rt, &team); // warm-up
+            sim.run(&mut rt, &team, steps).elapsed
+        }
+        Workload::Nbody => {
+            let team = Team::place(rt.machine.config(), 8, &Placement::Uniform);
+            let mut sim = SharedNbody::new(&mut rt, NbodyProblem::with_n(1024), &team);
+            sim.step(&mut rt, &team);
+            sim.run(&mut rt, &team, steps).elapsed
+        }
+        Workload::Fem => {
+            let team = Team::place(rt.machine.config(), 8, &Placement::HighLocality);
+            let mut sim =
+                SharedFem::new(&mut rt, fem::structured(32, 32), Coding::ScatterAdd, &team);
+            sim.step(&mut rt, &team, 0.3);
+            sim.run(&mut rt, &team, 0.3, steps).elapsed
+        }
+    };
+    let m = &rt.machine;
+    CellStats {
+        elapsed,
+        ring_stalls: m.stats.ring_stalls,
+        link_reroutes: m.stats.link_reroutes,
+        dead_cpus: m.dead_cpu_list().len(),
+        failed_rings: m.failed_rings(),
+        degraded_nodes: m.degraded_nodes(),
+    }
+}
+
+/// Run one campaign cell: `workload` under `build_plan(seed, events)`,
+/// inside `catch_unwind` (the coherence checker's violations and any
+/// other panic become the error string) and under a simulated-cycle
+/// budget (a run blowing past it is reported as a watchdog trip, not
+/// left to crawl forever).
+pub fn run_cell(
+    w: Workload,
+    seed: u64,
+    events: &[ChaosEvent],
+    steps: usize,
+    budget: &Watchdog,
+) -> Result<CellStats, String> {
+    let plan = build_plan(seed, events);
+    let out = catch_unwind(AssertUnwindSafe(|| workload_run(w, plan, steps)));
+    match out {
+        Err(p) => Err(panic_message(p)),
+        Ok(stats) => {
+            if budget.expired(stats.elapsed) {
+                Err(budget
+                    .trip(
+                        StallKind::RetryLoop,
+                        stats.elapsed,
+                        format!("{} cell exceeded its simulated-cycle budget", w.label()),
+                    )
+                    .to_string())
+            } else {
+                Ok(stats)
+            }
+        }
+    }
+}
+
+/// Greedy delta-debugging shrinker: drop one event at a time, keeping
+/// each removal that preserves the failure, until no single removal
+/// does. `fails` must be deterministic (the campaign's cells are).
+/// The input must itself fail; the result is a locally-minimal failing
+/// subset in the original order.
+pub fn shrink_events(
+    events: &[ChaosEvent],
+    mut fails: impl FnMut(&[ChaosEvent]) -> bool,
+) -> Vec<ChaosEvent> {
+    let mut cur = events.to_vec();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut i = 0;
+        while i < cur.len() {
+            let mut candidate = cur.clone();
+            candidate.remove(i);
+            if fails(&candidate) {
+                cur = candidate;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    cur
+}
+
+/// One grid cell (what to run).
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// The application.
+    pub workload: Workload,
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// Fault events layered onto the plan.
+    pub events: Vec<ChaosEvent>,
+}
+
+/// One grid cell's outcome (what happened).
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell that ran.
+    pub cell: Cell,
+    /// Observations on success.
+    pub stats: Option<CellStats>,
+    /// Panic / watchdog message on failure.
+    pub failure: Option<String>,
+    /// Minimal failing event subset (present only on failure).
+    pub shrunk: Option<Vec<ChaosEvent>>,
+}
+
+impl CellResult {
+    /// Did the cell pass?
+    pub fn pass(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// A completed campaign.
+pub struct Campaign {
+    /// Per-cell outcomes, in grid order.
+    pub results: Vec<CellResult>,
+    /// Measured steps per cell.
+    pub steps: usize,
+    /// Whether the full grid ran.
+    pub full: bool,
+}
+
+impl Campaign {
+    /// True when every cell passed.
+    pub fn passed(&self) -> bool {
+        self.results.iter().all(|r| r.pass())
+    }
+
+    /// The human-readable campaign table.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&[
+            "workload", "seed", "events", "result", "cycles", "stalls", "reroutes", "dead",
+            "rings", "gcb",
+        ]);
+        for r in &self.results {
+            let events = r
+                .cell
+                .events
+                .iter()
+                .map(|e| e.label())
+                .collect::<Vec<_>>()
+                .join("+");
+            match (&r.stats, &r.failure) {
+                (Some(s), None) => t.row(vec![
+                    r.cell.workload.label().to_string(),
+                    r.cell.seed.to_string(),
+                    events,
+                    "pass".to_string(),
+                    s.elapsed.to_string(),
+                    s.ring_stalls.to_string(),
+                    s.link_reroutes.to_string(),
+                    s.dead_cpus.to_string(),
+                    format!("{:04b}", s.failed_rings),
+                    format!("{:02b}", s.degraded_nodes),
+                ]),
+                (_, Some(msg)) => {
+                    let shrunk = r
+                        .shrunk
+                        .as_ref()
+                        .map(|ev| ev.iter().map(|e| e.desc()).collect::<Vec<_>>().join(" + "))
+                        .unwrap_or_default();
+                    t.row(vec![
+                        r.cell.workload.label().to_string(),
+                        r.cell.seed.to_string(),
+                        events,
+                        format!("FAIL [{shrunk}] {msg}"),
+                        "-".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                        "-".to_string(),
+                    ]);
+                }
+                (None, None) => unreachable!("cell with neither stats nor failure"),
+            }
+        }
+        t.render()
+    }
+
+    /// Machine-readable form (the `BENCH_chaos.json` ci.sh asserts on,
+    /// following the `BENCH_repro.json` convention). Event
+    /// descriptions contain no characters needing JSON escaping.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"full\": {},\n  \"steps\": {},\n  \"cells\": {},\n  \"passed\": {},\n",
+            self.full,
+            self.steps,
+            self.results.len(),
+            self.passed()
+        ));
+        out.push_str("  \"grid\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            let events = r
+                .cell
+                .events
+                .iter()
+                .map(|e| format!("\"{}\"", e.desc()))
+                .collect::<Vec<_>>()
+                .join(", ");
+            match &r.stats {
+                Some(s) => out.push_str(&format!(
+                    "    {{\"workload\": \"{}\", \"seed\": {}, \"events\": [{events}], \
+                     \"pass\": true, \"elapsed\": {}, \"ring_stalls\": {}, \
+                     \"link_reroutes\": {}, \"dead_cpus\": {}, \"failed_rings\": {}, \
+                     \"degraded_nodes\": {}}}{comma}\n",
+                    r.cell.workload.label(),
+                    r.cell.seed,
+                    s.elapsed,
+                    s.ring_stalls,
+                    s.link_reroutes,
+                    s.dead_cpus,
+                    s.failed_rings,
+                    s.degraded_nodes
+                )),
+                None => {
+                    let msg = r
+                        .failure
+                        .as_deref()
+                        .unwrap_or("")
+                        .replace('\\', "\\\\")
+                        .replace('"', "\\\"")
+                        .replace('\n', " ");
+                    let shrunk = r
+                        .shrunk
+                        .as_ref()
+                        .map(|ev| {
+                            ev.iter()
+                                .map(|e| format!("\"{}\"", e.desc()))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        })
+                        .unwrap_or_default();
+                    out.push_str(&format!(
+                        "    {{\"workload\": \"{}\", \"seed\": {}, \"events\": [{events}], \
+                         \"pass\": false, \"failure\": \"{msg}\", \
+                         \"reproducer\": [{shrunk}]}}{comma}\n",
+                        r.cell.workload.label(),
+                        r.cell.seed,
+                    ));
+                }
+            }
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write `BENCH_chaos.json` under `dir` (created if needed).
+    /// Returns the JSON path.
+    pub fn write_report(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let json = dir.join("BENCH_chaos.json");
+        std::fs::write(&json, self.to_json())?;
+        Ok(json)
+    }
+}
+
+/// The event lists the grid layers onto each (workload, seed) pair.
+/// Low intensity: transient stalls plus one mid-run CPU death. High
+/// intensity: every failure site at once.
+fn intensities() -> Vec<Vec<ChaosEvent>> {
+    vec![
+        vec![
+            ChaosEvent::RingStalls {
+                prob: 0.01,
+                stall: 500,
+            },
+            ChaosEvent::CpuFail {
+                cpu: 2,
+                at_cycle: 400_000,
+            },
+        ],
+        vec![
+            ChaosEvent::RingStalls {
+                prob: 0.05,
+                stall: 1_000,
+            },
+            ChaosEvent::MsgFaults {
+                drop: 0.05,
+                dup: 0.02,
+            },
+            ChaosEvent::SpawnFail { prob: 0.05 },
+            ChaosEvent::CpuFail {
+                cpu: 2,
+                at_cycle: 500_000,
+            },
+            ChaosEvent::LinkFail {
+                ring: 0,
+                at_cycle: 300_000,
+                reroute_cycles: 600,
+            },
+            ChaosEvent::GcbDegrade {
+                node: 1,
+                at_cycle: 1_200_000,
+            },
+        ],
+    ]
+}
+
+/// The campaign grid: workloads × seeds × fault intensities. The
+/// default grid keeps ci.sh's smoke run under half a minute; `full`
+/// doubles the seed set.
+pub fn default_grid(full: bool) -> Vec<Cell> {
+    let seeds: &[u64] = if full { &[11, 23, 47, 61] } else { &[11, 23] };
+    let mut cells = Vec::new();
+    for w in [Workload::Pic, Workload::Nbody, Workload::Fem] {
+        for &seed in seeds {
+            for events in intensities() {
+                cells.push(Cell {
+                    workload: w,
+                    seed,
+                    events,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Run a campaign over `cells`. Each workload's clean (fault-free)
+/// elapsed time seeds a per-cell simulated-cycle budget — a faulty run
+/// taking over `BUDGET_FACTOR`× the clean run is livelocked, not slow.
+/// Failing cells are shrunk to minimal reproducers before returning.
+pub fn run_campaign(cells: &[Cell], steps: usize, full: bool) -> Campaign {
+    const BUDGET_FACTOR: u64 = 50;
+    let mut clean: Vec<(Workload, Cycles)> = Vec::new();
+    let budget_for = |w: Workload, clean: &mut Vec<(Workload, Cycles)>| -> Watchdog {
+        let base = match clean.iter().find(|(cw, _)| *cw == w) {
+            Some((_, c)) => *c,
+            None => {
+                let c = workload_run(w, FaultPlan::new(0), steps).elapsed;
+                clean.push((w, c));
+                c
+            }
+        };
+        Watchdog::new(base.saturating_mul(BUDGET_FACTOR))
+    };
+    let results = cells
+        .iter()
+        .map(|cell| {
+            let budget = budget_for(cell.workload, &mut clean);
+            match run_cell(cell.workload, cell.seed, &cell.events, steps, &budget) {
+                Ok(stats) => CellResult {
+                    cell: cell.clone(),
+                    stats: Some(stats),
+                    failure: None,
+                    shrunk: None,
+                },
+                Err(msg) => {
+                    let shrunk = shrink_events(&cell.events, |ev| {
+                        run_cell(cell.workload, cell.seed, ev, steps, &budget).is_err()
+                    });
+                    CellResult {
+                        cell: cell.clone(),
+                        stats: None,
+                        failure: Some(msg),
+                        shrunk: Some(shrunk),
+                    }
+                }
+            }
+        })
+        .collect();
+    Campaign {
+        results,
+        steps,
+        full,
+    }
+}
+
+/// Run the default campaign for `o` (used by the `repro-chaos` binary
+/// and tests).
+pub fn campaign(o: &Opts) -> Campaign {
+    run_campaign(&default_grid(o.full), o.steps, o.full)
+}
+
+/// Regenerate the chaos-campaign report.
+pub fn run(o: &Opts) -> String {
+    let c = campaign(o);
+    emit(
+        "repro-chaos: degraded-mode chaos campaign",
+        &format!(
+            "{}\nEvery cell runs a real application under transient + hard faults\n\
+             with the coherence checker armed and a {}x-clean cycle budget; a\n\
+             failing cell's event list is delta-debugged to a minimal reproducer.\n\
+             campaign passed: {}",
+            c.render(),
+            50,
+            c.passed()
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_events() -> Vec<ChaosEvent> {
+        vec![
+            ChaosEvent::RingStalls {
+                prob: 0.02,
+                stall: 500,
+            },
+            ChaosEvent::CpuFail {
+                cpu: 2,
+                at_cycle: 100_000,
+            },
+            ChaosEvent::LinkFail {
+                ring: 1,
+                at_cycle: 200_000,
+                reroute_cycles: 600,
+            },
+            ChaosEvent::GcbDegrade {
+                node: 1,
+                at_cycle: 300_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn healthy_cells_pass_under_checker_and_budget() {
+        let wd = Watchdog::new(u64::MAX - 1);
+        for w in [Workload::Pic, Workload::Fem] {
+            let s = run_cell(w, 11, &short_events(), 1, &wd)
+                .unwrap_or_else(|e| panic!("{} cell failed: {e}", w.label()));
+            assert!(s.elapsed > 0);
+            assert_eq!(s.dead_cpus, 1, "{}: cpu 2 must have died", w.label());
+            assert_eq!(s.failed_rings, 0b10, "{}", w.label());
+            assert_eq!(s.degraded_nodes, 0b10, "{}", w.label());
+        }
+    }
+
+    #[test]
+    fn cells_are_deterministic() {
+        let wd = Watchdog::new(u64::MAX - 1);
+        let a = run_cell(Workload::Nbody, 23, &short_events(), 1, &wd).unwrap();
+        let b = run_cell(Workload::Nbody, 23, &short_events(), 1, &wd).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budget_overrun_is_reported_as_a_watchdog_trip() {
+        // A 1-cycle budget: any real run exceeds it.
+        let err = run_cell(Workload::Pic, 11, &[], 1, &Watchdog::new(1))
+            .expect_err("1-cycle budget must trip");
+        assert!(err.contains("watchdog trip [retry-loop]"), "{err}");
+        assert!(err.contains("simulated-cycle budget"), "{err}");
+    }
+
+    #[test]
+    fn shrinker_finds_the_minimal_failing_subset() {
+        // Failure predicate: the "bug" triggers whenever a CPU failure
+        // and a GCB degrade are both present (a planted two-event
+        // interaction inside a six-event plan).
+        let events = intensities().remove(1);
+        assert_eq!(events.len(), 6);
+        let fails = |ev: &[ChaosEvent]| {
+            ev.iter().any(|e| matches!(e, ChaosEvent::CpuFail { .. }))
+                && ev
+                    .iter()
+                    .any(|e| matches!(e, ChaosEvent::GcbDegrade { .. }))
+        };
+        assert!(fails(&events));
+        let min = shrink_events(&events, fails);
+        assert_eq!(min.len(), 2, "minimal reproducer: {min:?}");
+        assert!(matches!(min[0], ChaosEvent::CpuFail { .. }));
+        assert!(matches!(min[1], ChaosEvent::GcbDegrade { .. }));
+    }
+
+    #[test]
+    fn an_injected_invariant_bug_is_caught_and_shrunk_small() {
+        // End-to-end through the campaign machinery: a cell runner
+        // stand-in panics (as the coherence checker would) whenever the
+        // planted event pair is present. The campaign-side predicate —
+        // catch_unwind + shrink — must catch it and reduce the
+        // six-event plan to the ≤3-event reproducer.
+        let events = intensities().remove(1);
+        let buggy = |ev: &[ChaosEvent]| -> Result<(), String> {
+            let trips = ev.iter().any(|e| matches!(e, ChaosEvent::LinkFail { .. }))
+                && ev.iter().any(|e| matches!(e, ChaosEvent::SpawnFail { .. }));
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                if trips {
+                    panic!("coherence violation: sci-well-formed (injected test bug)");
+                }
+            }));
+            out.map_err(panic_message)
+        };
+        let msg = buggy(&events).expect_err("the planted bug must fire on the full plan");
+        assert!(msg.contains("coherence violation"), "{msg}");
+        let min = shrink_events(&events, |ev| buggy(ev).is_err());
+        assert!(min.len() <= 3, "reproducer too large: {min:?}");
+        assert!(buggy(&min).is_err(), "shrunk plan must still fail");
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let cells = vec![Cell {
+            workload: Workload::Pic,
+            seed: 11,
+            events: short_events(),
+        }];
+        let c = run_campaign(&cells, 1, false);
+        assert!(c.passed());
+        let j = c.to_json();
+        assert!(j.contains("\"passed\": true"), "{j}");
+        assert!(j.contains("\"workload\": \"pic\""), "{j}");
+        assert!(j.contains("cpu-fail(cpu=2@100000)"), "{j}");
+        assert!(j.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn failing_cells_carry_a_reproducer_in_the_json() {
+        // Force a failure with an absurd budget by running the
+        // campaign plumbing against a cell whose budget the clean
+        // baseline cannot satisfy: a zero-event cell is its own clean
+        // baseline, so instead exercise the failure path through
+        // run_cell directly and assemble the result by hand.
+        let cell = Cell {
+            workload: Workload::Pic,
+            seed: 11,
+            events: short_events(),
+        };
+        let failure = run_cell(cell.workload, cell.seed, &cell.events, 1, &Watchdog::new(1))
+            .expect_err("must trip");
+        let shrunk = shrink_events(&cell.events, |ev| {
+            run_cell(cell.workload, cell.seed, ev, 1, &Watchdog::new(1)).is_err()
+        });
+        // Every subset trips a 1-cycle budget, so the greedy pass
+        // shrinks all the way to the empty list.
+        assert!(shrunk.is_empty());
+        let c = Campaign {
+            results: vec![CellResult {
+                cell,
+                stats: None,
+                failure: Some(failure),
+                shrunk: Some(shrunk),
+            }],
+            steps: 1,
+            full: false,
+        };
+        assert!(!c.passed());
+        let j = c.to_json();
+        assert!(j.contains("\"pass\": false"), "{j}");
+        assert!(j.contains("\"reproducer\": []"), "{j}");
+        assert!(c.render().contains("FAIL"));
+    }
+}

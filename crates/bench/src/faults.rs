@@ -83,25 +83,32 @@ pub fn pic_pvm(plan: FaultPlan, steps: usize) -> FaultRun {
     }
 }
 
-/// Regenerate the fault-injection reproducibility report.
-pub fn run(o: &Opts) -> String {
-    let mut out = String::new();
+/// One determinism case: a workload under `FaultPlan::standard(seed)`,
+/// run twice.
+pub struct CaseResult {
+    /// Workload label.
+    pub workload: &'static str,
+    /// Fault-plan seed.
+    pub seed: u64,
+    /// First run.
+    pub a: FaultRun,
+    /// Second run (must be bit-identical to the first).
+    pub b: FaultRun,
+}
 
-    // Determinism: the same seed reproduces the exact same schedule
-    // and therefore bit-identical results; different seeds differ.
-    let mut t = Table::new(&[
-        "workload",
-        "seed",
-        "run A cycles",
-        "run B cycles",
-        "identical",
-        "ring stalls",
-        "retries",
-    ]);
-    let steps = o.steps;
+impl CaseResult {
+    /// Did the two runs match bit for bit?
+    pub fn identical(&self) -> bool {
+        self.a.bit_identical(&self.b)
+    }
+}
+
+/// Run the determinism sweep: each workload twice under each seed.
+pub fn determinism_sweep(steps: usize) -> Vec<CaseResult> {
+    let mut cases = Vec::new();
     for seed in [42u64, 43] {
         type Case = (&'static str, Box<dyn Fn() -> FaultRun>);
-        let cases: [Case; 3] = [
+        let runners: [Case; 3] = [
             (
                 "PIC shared",
                 Box::new(move || pic_shared(FaultPlan::standard(seed), steps)),
@@ -115,19 +122,90 @@ pub fn run(o: &Opts) -> String {
                 Box::new(move || pic_pvm(FaultPlan::standard(seed), steps)),
             ),
         ];
-        for (name, runner) in cases {
-            let a = runner();
-            let b = runner();
-            t.row(vec![
-                name.to_string(),
-                seed.to_string(),
-                a.elapsed.to_string(),
-                b.elapsed.to_string(),
-                if a.bit_identical(&b) { "yes" } else { "NO" }.to_string(),
-                a.ring_stalls.to_string(),
-                a.retries.to_string(),
-            ]);
+        for (workload, runner) in runners {
+            cases.push(CaseResult {
+                workload,
+                seed,
+                a: runner(),
+                b: runner(),
+            });
         }
+    }
+    cases
+}
+
+/// Machine-readable form of the determinism sweep (the
+/// `BENCH_faults.json` the `repro-faults` binary writes under
+/// `target/repro`, following the `BENCH_repro.json` convention).
+pub fn to_json(cases: &[CaseResult], steps: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"steps\": {},\n  \"passed\": {},\n  \"cases\": [\n",
+        steps,
+        cases.iter().all(|c| c.identical())
+    ));
+    for (i, c) in cases.iter().enumerate() {
+        let comma = if i + 1 < cases.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"seed\": {}, \"identical\": {}, \
+             \"elapsed\": {}, \"ring_stalls\": {}, \"retries\": {}}}{comma}\n",
+            c.workload,
+            c.seed,
+            c.identical(),
+            c.a.elapsed,
+            c.a.ring_stalls,
+            c.a.retries
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write `BENCH_faults.json` under `dir` (created if needed). Returns
+/// the JSON path.
+pub fn write_report(
+    cases: &[CaseResult],
+    steps: usize,
+    dir: &std::path::Path,
+) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let json = dir.join("BENCH_faults.json");
+    std::fs::write(&json, to_json(cases, steps))?;
+    Ok(json)
+}
+
+/// Regenerate the fault-injection reproducibility report.
+pub fn run(o: &Opts) -> String {
+    report(o, &determinism_sweep(o.steps))
+}
+
+/// Render the full report from an already-computed determinism sweep
+/// (lets the `repro-faults` binary print the tables and write the JSON
+/// from one sweep).
+pub fn report(o: &Opts, cases: &[CaseResult]) -> String {
+    let mut out = String::new();
+
+    // Determinism: the same seed reproduces the exact same schedule
+    // and therefore bit-identical results; different seeds differ.
+    let mut t = Table::new(&[
+        "workload",
+        "seed",
+        "run A cycles",
+        "run B cycles",
+        "identical",
+        "ring stalls",
+        "retries",
+    ]);
+    for c in cases {
+        t.row(vec![
+            c.workload.to_string(),
+            c.seed.to_string(),
+            c.a.elapsed.to_string(),
+            c.b.elapsed.to_string(),
+            if c.identical() { "yes" } else { "NO" }.to_string(),
+            c.a.ring_stalls.to_string(),
+            c.a.retries.to_string(),
+        ]);
     }
     out.push_str(&emit(
         "repro-faults: seeded fault schedules are reproducible",
@@ -228,6 +306,25 @@ mod tests {
         let faulty = pic_shared(FaultPlan::standard(42), 1);
         assert_eq!(clean.ring_stalls, 0);
         assert!(faulty.elapsed > clean.elapsed);
+    }
+
+    #[test]
+    fn json_report_is_well_formed_and_lands_on_disk() {
+        let cases = vec![CaseResult {
+            workload: "PIC shared",
+            seed: 42,
+            a: pic_shared(FaultPlan::standard(42), 1),
+            b: pic_shared(FaultPlan::standard(42), 1),
+        }];
+        let j = to_json(&cases, 1);
+        assert!(j.contains("\"passed\": true"), "{j}");
+        assert!(j.contains("\"workload\": \"PIC shared\""), "{j}");
+        assert!(j.trim_end().ends_with('}'));
+        let dir = std::env::temp_dir().join("spp-faults-report-test");
+        let json = write_report(&cases, 1, &dir).unwrap();
+        assert!(json.ends_with("BENCH_faults.json"));
+        assert!(json.exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -17,15 +17,19 @@ pub fn run(_o: &Opts) -> String {
     for (n, hl, un) in &data.points {
         t.row(vec![n.to_string(), f(*hl, 1), f(*un, 1)]);
     }
+    // Missing thread counts render as "n/a" instead of panicking
+    // (collect always covers 1..=16, but a trimmed Fig2 from an
+    // ablation must not take the report down).
+    let stat = |v: Option<f64>| v.map_or_else(|| "n/a".to_string(), |x| format!("{x:.1} us"));
     let body = format!(
         "{}\npaper anchors: ~10 us per extra local pair, ~20 us per uniform pair,\n\
          ~50 us one-time penalty when a second hypernode joins.\n\
-         measured local pair slope (2->8): {:.1} us; uniform pair slope (2->16): {:.1} us;\n\
-         cross-node jump (8->10, high locality): {:.1} us",
+         measured local pair slope (2->8): {}; uniform pair slope (2->16): {};\n\
+         cross-node jump (8->10, high locality): {}",
         t.render(),
-        pair_slope(&data, 2, 8, true),
-        pair_slope(&data, 2, 16, false),
-        jump(&data)
+        stat(pair_slope(&data, 2, 8, true)),
+        stat(pair_slope(&data, 2, 16, false)),
+        stat(jump(&data))
     );
     emit("Figure 2: fork-join cost", &body)
 }
@@ -49,21 +53,23 @@ fn measure(n: usize, placement: &Placement) -> f64 {
     rt.fork_join(n, placement, |_| {}).elapsed_us()
 }
 
-fn pair_slope(d: &Fig2, from: usize, to: usize, high_locality: bool) -> f64 {
+/// Per-pair cost slope between two thread counts, or `None` if either
+/// count is absent from the data.
+pub fn pair_slope(d: &Fig2, from: usize, to: usize, high_locality: bool) -> Option<f64> {
     let get = |n: usize| {
-        let p = d.points.iter().find(|p| p.0 == n).unwrap();
-        if high_locality {
-            p.1
-        } else {
-            p.2
-        }
+        d.points
+            .iter()
+            .find(|p| p.0 == n)
+            .map(|p| if high_locality { p.1 } else { p.2 })
     };
-    (get(to) - get(from)) / ((to - from) as f64 / 2.0)
+    Some((get(to)? - get(from)?) / ((to - from) as f64 / 2.0))
 }
 
-fn jump(d: &Fig2) -> f64 {
-    let get = |n: usize| d.points.iter().find(|p| p.0 == n).unwrap().1;
-    get(10) - get(8)
+/// The 8→10 thread cross-hypernode activation jump (high locality), or
+/// `None` if either count is absent.
+pub fn jump(d: &Fig2) -> Option<f64> {
+    let get = |n: usize| d.points.iter().find(|p| p.0 == n).map(|p| p.1);
+    Some(get(10)? - get(8)?)
 }
 
 #[cfg(test)]
@@ -74,17 +80,27 @@ mod tests {
     fn fig2_shape_matches_paper() {
         let d = collect();
         // ~10 us per local pair.
-        let local = pair_slope(&d, 2, 8, true);
+        let local = pair_slope(&d, 2, 8, true).expect("counts 2 and 8 measured");
         assert!((7.0..=15.0).contains(&local), "local slope {local}");
         // ~20 us per uniform pair.
-        let uniform = pair_slope(&d, 2, 16, false);
+        let uniform = pair_slope(&d, 2, 16, false).expect("counts 2 and 16 measured");
         assert!((14.0..=28.0).contains(&uniform), "uniform slope {uniform}");
         // ~50 us activation when crossing hypernodes.
-        let j = jump(&d);
+        let j = jump(&d).expect("counts 8 and 10 measured");
         assert!((40.0..=80.0).contains(&j), "cross-node jump {j}");
         // Monotone in thread count for each placement.
         for w in d.points.windows(2) {
             assert!(w[1].1 >= w[0].1 - 1.0);
         }
+    }
+
+    #[test]
+    fn missing_thread_counts_yield_none_not_a_panic() {
+        let d = Fig2 {
+            points: vec![(2, 10.0, 20.0), (8, 40.0, 80.0)],
+        };
+        assert_eq!(pair_slope(&d, 2, 8, true), Some(10.0));
+        assert_eq!(pair_slope(&d, 2, 16, false), None);
+        assert_eq!(jump(&d), None, "count 10 is absent");
     }
 }

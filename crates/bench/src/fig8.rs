@@ -98,17 +98,17 @@ pub fn run(o: &Opts) -> String {
                 f(p.mflops / base, 2),
             ]);
         }
-        let cross = cross_node_degradation(&pts);
+        let cross = cross_node_degradation(&pts)
+            .map_or_else(|| "n/a".to_string(), |c| format!("{:.1}%", c * 100.0));
         out.push_str(&emit(
             &format!("Figure 8: N-body speedup, {name} particles"),
             &format!(
                 "{}\n1-processor rate: {:.1} MF/s (paper: 27.5); cross-hypernode\n\
-                 degradation at 8 procs: {:.1}% (paper: 2-7%).\n\
+                 degradation at 8 procs: {cross} (paper: 2-7%).\n\
                  paper anchor: 384 Mflop/s at 16 processors vs 120 Mflop/s for the\n\
                  vectorized C90 tree code (modelled C90: {:.0} MF/s).",
                 t.render(),
                 base,
-                cross * 100.0,
                 nbody::c90::run_c90(&NbodyProblem::with_n((*n).min(32 * 1024))).mflops,
             ),
         ));
@@ -120,19 +120,18 @@ pub fn run(o: &Opts) -> String {
     out
 }
 
-/// Relative slowdown of 8 procs on two nodes vs. 8 on one.
-pub fn cross_node_degradation(pts: &[Point]) -> f64 {
+/// Relative slowdown of 8 procs on two nodes vs. 8 on one, or `None`
+/// if either configuration is absent from the points.
+pub fn cross_node_degradation(pts: &[Point]) -> Option<f64> {
     let single = pts
         .iter()
         .find(|p| p.procs == 8 && p.single_node)
-        .unwrap()
-        .mflops;
+        .map(|p| p.mflops)?;
     let dual = pts
         .iter()
         .find(|p| p.procs == 8 && !p.single_node)
-        .unwrap()
-        .mflops;
-    single / dual - 1.0
+        .map(|p| p.mflops)?;
+    Some(single / dual - 1.0)
 }
 
 #[cfg(test)]
@@ -152,10 +151,21 @@ mod tests {
             p8.mflops / base
         );
         // Small cross-node degradation.
-        let d = cross_node_degradation(&pts);
+        let d = cross_node_degradation(&pts).expect("both 8-proc configurations measured");
         assert!((-0.05..=0.3).contains(&d), "degradation {d}");
         // 16 processors beat 8.
         let p16 = pts.iter().find(|p| p.procs == 16).unwrap();
         assert!(p16.mflops > p8.mflops);
+    }
+
+    #[test]
+    fn missing_configurations_yield_none_not_a_panic() {
+        let only_single = vec![Point {
+            procs: 8,
+            single_node: true,
+            mflops: 100.0,
+        }];
+        assert_eq!(cross_node_degradation(&only_single), None);
+        assert_eq!(cross_node_degradation(&[]), None);
     }
 }

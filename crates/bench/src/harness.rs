@@ -181,7 +181,7 @@ impl Summary {
 
 /// Render a caught panic payload (the `&str`/`String` forms `panic!`
 /// and `assert!` produce; anything else gets a generic label).
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -11,6 +11,7 @@
 pub mod backend;
 pub mod bus;
 pub mod cachestudy;
+pub mod chaos;
 pub mod faults;
 pub mod fig2;
 pub mod fig3;

@@ -22,6 +22,9 @@
 //! 5. **Counter conservation** — hits plus every miss class equals
 //!    accesses, and every access costs at least one cycle (per-CPU
 //!    clocks strictly increase).
+//! 6. **Dead-CPU exclusion** — a CPU taken down by a hard fault
+//!    ([`crate::HardFault::CpuFail`]) holds no valid lines and appears
+//!    in no directory sharer mask (degraded-mode invariant).
 //!
 //! Enable per-access checking with [`Machine::with_checker`] or the
 //! `SPP_CHECK=1` environment variable (any value but `0`); spp-core's
@@ -266,6 +269,35 @@ impl Machine {
             });
         }
 
+        // (6) Dead CPUs hold no valid lines and appear in no masks.
+        if self.dead_cpus != 0 {
+            for &cpu in &valid_cpus {
+                if self.is_cpu_dead(CpuId(cpu as u16)) {
+                    v.push(Violation {
+                        invariant: "dead-cpu",
+                        line: Some(line),
+                        detail: format!("dead cpu {cpu} still holds a valid copy"),
+                    });
+                }
+            }
+            for node in 0..self.cfg.hypernodes {
+                if let Some(e) = self.dirs[node].get(line) {
+                    for b in 0..cpn {
+                        let cpu = node * cpn + b;
+                        if e.sharers & (1 << b) != 0 && self.is_cpu_dead(CpuId(cpu as u16)) {
+                            v.push(Violation {
+                                invariant: "dead-cpu",
+                                line: Some(line),
+                                detail: format!(
+                                    "dead cpu {cpu} named in node {node}'s sharer mask"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
         // The remaining invariants need the line's home; a line no
         // region maps (possible only for corrupted state) is reported.
         let addr = line << self.line_shift;
@@ -451,6 +483,25 @@ mod tests {
         assert!(
             v.iter().any(|x| x.invariant == "sci-well-formed"),
             "expected an sci-well-formed violation, got {v:?}"
+        );
+    }
+
+    #[test]
+    fn dead_cpu_with_valid_copy_is_detected() {
+        use crate::fault::FaultPlan;
+        let mut m = Machine::new(MachineConfig::tiny(2))
+            .with_faults(FaultPlan::new(1).with_cpu_failure(3, 0))
+            .with_checker();
+        let r = m.alloc(MemClass::NearShared { node: NodeId(0) }, 4096);
+        m.read(CpuId(0), r.addr(0)); // fires the fault: CPU 3 is dead
+        let line = r.addr(0) >> m.line_shift;
+        // Sabotage: hand the dead CPU a copy behind the model's back.
+        m.caches[3].fill(line, LineState::Shared);
+        m.dirs[0].add_sharer(line, 3);
+        let v = m.check_all();
+        assert!(
+            v.iter().any(|x| x.invariant == "dead-cpu"),
+            "expected a dead-cpu violation, got {v:?}"
         );
     }
 

@@ -162,6 +162,17 @@ pub enum SimError {
         /// Spawn attempts made (including the first).
         attempts: u32,
     },
+    /// A checkpoint byte stream that is malformed or truncated.
+    SnapshotCorrupt {
+        /// What was wrong with the stream.
+        detail: String,
+    },
+    /// A checkpoint restored against a machine configuration or fault
+    /// plan that does not match the one it was captured under.
+    SnapshotMismatch {
+        /// What disagreed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -212,6 +223,8 @@ impl fmt::Display for SimError {
             SimError::SpawnFailed { cpu, attempts } => {
                 write!(f, "thread spawn on cpu {cpu} failed after {attempts} attempts")
             }
+            SimError::SnapshotCorrupt { detail } => write!(f, "snapshot corrupt: {detail}"),
+            SimError::SnapshotMismatch { detail } => write!(f, "snapshot mismatch: {detail}"),
         }
     }
 }

@@ -20,8 +20,75 @@
 //! schedule — and bit-identical simulation results — on every run
 //! (`repro-faults` demonstrates this for PIC and N-body). The plan
 //! never consults wall-clock time or OS randomness.
+//!
+//! Beyond the transient sites, a plan may schedule **hard failures**
+//! ([`HardFault`]): persistent, cycle-triggered losses of a CPU, an
+//! SCI ring segment, or half a node's global cache buffer capacity.
+//! These change the latency hierarchy itself rather than perturbing
+//! individual events; [`crate::Machine`] applies them when its
+//! cumulative access clock reaches each fault's trigger cycle, and the
+//! coherence checker validates the degraded invariants afterwards.
 
 use crate::latency::{us_to_cycles, Cycles};
+
+/// One scheduled persistent failure. Unlike the transient sites, a
+/// hard fault fires exactly once — when [`crate::Machine`]'s
+/// cumulative access clock first reaches `at_cycle` — and stays in
+/// effect for the rest of the run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HardFault {
+    /// CPU `cpu` goes dead: its cache is purged (dirty lines written
+    /// back), it can never cache a line again, and its accesses are
+    /// serviced memory-to-memory at degraded cost.
+    CpuFail {
+        /// Global CPU id that fails.
+        cpu: u16,
+        /// Machine clock (cumulative access cycles) at which it dies.
+        at_cycle: Cycles,
+    },
+    /// An SCI ring segment goes down: every subsequent coherence
+    /// transaction homed on ring `ring` pays `reroute_cycles` extra
+    /// (the rerouted-path penalty), counted in
+    /// [`crate::MemStats::link_reroutes`].
+    LinkFail {
+        /// The SCI ring (0..fus_per_node) that loses a segment.
+        ring: u8,
+        /// Machine clock at which the segment fails.
+        at_cycle: Cycles,
+        /// Extra cycles per rerouted ring transaction.
+        reroute_cycles: Cycles,
+    },
+    /// Node `node`'s global cache buffers drop to half capacity
+    /// (a bank failure): resident remote lines that no longer fit are
+    /// rolled out through the normal protocol.
+    GcbDegrade {
+        /// The hypernode whose GCBs degrade.
+        node: u8,
+        /// Machine clock at which the capacity halves.
+        at_cycle: Cycles,
+    },
+}
+
+impl HardFault {
+    /// The machine clock at which this fault fires.
+    pub fn at_cycle(&self) -> Cycles {
+        match self {
+            HardFault::CpuFail { at_cycle, .. }
+            | HardFault::LinkFail { at_cycle, .. }
+            | HardFault::GcbDegrade { at_cycle, .. } => *at_cycle,
+        }
+    }
+
+    /// Short stable label for reports (`"cpu-fail"`, `"link-fail"`,
+    /// `"gcb-degrade"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            HardFault::CpuFail { .. } => "cpu-fail",
+            HardFault::LinkFail { .. } => "link-fail",
+            HardFault::GcbDegrade { .. } => "gcb-degrade",
+        }
+    }
+}
 
 /// Fault-site indices into the per-site counters.
 const SITE_RING: usize = 0;
@@ -56,6 +123,9 @@ pub struct FaultPlan {
     /// backoff).
     pub spawn_fail_prob: f64,
     counters: [u64; 4],
+    /// Scheduled persistent failures, applied by the machine when its
+    /// access clock reaches each trigger cycle.
+    hard_faults: Vec<HardFault>,
 }
 
 impl FaultPlan {
@@ -70,6 +140,7 @@ impl FaultPlan {
             msg_dup_prob: 0.0,
             spawn_fail_prob: 0.0,
             counters: [0; 4],
+            hard_faults: Vec::new(),
         }
     }
 
@@ -104,6 +175,44 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule CPU `cpu` to die once the machine clock reaches
+    /// `at_cycle`.
+    pub fn with_cpu_failure(mut self, cpu: u16, at_cycle: Cycles) -> Self {
+        self.hard_faults.push(HardFault::CpuFail { cpu, at_cycle });
+        self
+    }
+
+    /// Schedule SCI ring `ring` to lose a segment at `at_cycle`;
+    /// rerouted traffic pays `reroute_cycles` extra per transaction.
+    pub fn with_link_failure(mut self, ring: u8, at_cycle: Cycles, reroute_cycles: Cycles) -> Self {
+        self.hard_faults.push(HardFault::LinkFail {
+            ring,
+            at_cycle,
+            reroute_cycles,
+        });
+        self
+    }
+
+    /// Schedule node `node`'s global cache buffers to halve in
+    /// capacity at `at_cycle`.
+    pub fn with_gcb_degrade(mut self, node: u8, at_cycle: Cycles) -> Self {
+        self.hard_faults
+            .push(HardFault::GcbDegrade { node, at_cycle });
+        self
+    }
+
+    /// Append an already-built hard fault (used by the chaos harness
+    /// to assemble plans from event lists).
+    pub fn with_hard_fault(mut self, fault: HardFault) -> Self {
+        self.hard_faults.push(fault);
+        self
+    }
+
+    /// The scheduled persistent failures, in insertion order.
+    pub fn hard_faults(&self) -> &[HardFault] {
+        &self.hard_faults
+    }
+
     /// The plan's seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -115,12 +224,20 @@ impl FaultPlan {
             || self.msg_drop_prob > 0.0
             || self.msg_dup_prob > 0.0
             || self.spawn_fail_prob > 0.0
+            || !self.hard_faults.is_empty()
     }
 
     /// Events drawn so far at each site (ring, drop, dup, spawn) —
     /// diagnostics for determinism tests.
     pub fn draws(&self) -> [u64; 4] {
         self.counters
+    }
+
+    /// Restore the per-site draw counters (checkpoint/restart support:
+    /// a resumed plan continues its decision streams where the
+    /// snapshot left off).
+    pub(crate) fn restore_counters(&mut self, counters: [u64; 4]) {
+        self.counters = counters;
     }
 
     /// splitmix64-style finalizer over (seed, site salt, event index):

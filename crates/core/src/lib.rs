@@ -50,8 +50,10 @@ pub mod linemap;
 pub mod machine;
 pub mod mem;
 pub mod port;
+pub mod snapshot;
 pub mod stats;
 pub mod traceport;
+pub mod watchdog;
 
 pub use array::SimArray;
 pub use cache::{Cache, LineState};
@@ -60,10 +62,12 @@ pub use config::{CpuId, FuId, MachineConfig, NodeId, RingId};
 pub use diagram::system_diagram;
 pub use error::{ConfigError, SimError};
 pub use fastport::FastPort;
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, HardFault};
 pub use latency::{cycles_to_us, us_to_cycles, Cycles, LatencyModel};
 pub use machine::Machine;
 pub use mem::{AddressSpace, MemClass, Region};
 pub use port::MemPort;
+pub use snapshot::Snapshot;
 pub use stats::MemStats;
 pub use traceport::{Trace, TracePort};
+pub use watchdog::{StallKind, Watchdog, WatchdogReport};

@@ -190,6 +190,13 @@ impl AddressSpace {
     pub fn num_regions(&self) -> usize {
         self.regions.len()
     }
+
+    /// All regions in allocation order (checkpoint support: replaying
+    /// the sequence through [`AddressSpace::try_alloc`] reproduces the
+    /// layout bit-identically).
+    pub(crate) fn regions(&self) -> &[Region] {
+        &self.regions
+    }
 }
 
 #[cfg(test)]

@@ -102,6 +102,15 @@ pub trait MemPort {
         total
     }
 
+    /// True if `cpu` has been taken offline by a hard fault (see
+    /// [`crate::HardFault::CpuFail`]). Backends without a hard-failure
+    /// model always answer `false`; the runtime watchdog consults this
+    /// to distinguish a dead participant from a slow one.
+    fn is_cpu_dead(&self, cpu: CpuId) -> bool {
+        let _ = cpu;
+        false
+    }
+
     /// The deterministic fault schedule, if this backend models one.
     /// The runtime and PVM layers draw spawn/message decisions here.
     fn fault_plan(&self) -> Option<&FaultPlan> {
@@ -153,6 +162,10 @@ impl MemPort for Machine {
 
     fn write_run(&mut self, cpu: CpuId, addr: u64, elem_bytes: u64, n: usize) -> Cycles {
         Machine::write_run(self, cpu, addr, elem_bytes, n)
+    }
+
+    fn is_cpu_dead(&self, cpu: CpuId) -> bool {
+        Machine::is_cpu_dead(self, cpu)
     }
 
     fn fault_plan(&self) -> Option<&FaultPlan> {

@@ -1,0 +1,705 @@
+//! Versioned, deterministic checkpoint/restart for the simulator.
+//!
+//! [`Snapshot::capture`] serializes a [`Machine`]'s complete mutable
+//! state — the address-space layout, every cache/GCB/directory/SCI
+//! entry, the [`crate::MemStats`] counters, the cumulative clock, the
+//! hard-fault progress, and the fault plan's draw counters — into a
+//! compact little-endian byte stream (the same encoding idiom as
+//! [`crate::TracePort`]'s traces). [`Snapshot::restore`] rebuilds a
+//! machine that continues **bit-identically**: a run snapshotted
+//! mid-stream and resumed produces exactly the cycles and stats of
+//! the uninterrupted run (asserted by this module's equivalence
+//! tests and `tests/checkpoint.rs`).
+//!
+//! The stream is versioned (magic `SPPSNAP1`) and fingerprints the
+//! machine geometry; restoring against a different configuration
+//! fails with a typed [`SimError::SnapshotMismatch`] instead of
+//! silently diverging. The *probability configuration* of the fault
+//! plan is deliberately not serialized: the caller supplies the same
+//! plan it started the run with (exactly as it supplies the same
+//! [`MachineConfig`]), and the snapshot restores the plan's
+//! *progress* — draw counters and which hard faults have fired. The
+//! supplied plan is validated against the captured seed and schedule
+//! length.
+
+use crate::cache::{Cache, LineState};
+use crate::config::MachineConfig;
+use crate::error::SimError;
+use crate::fault::FaultPlan;
+use crate::machine::Machine;
+use crate::mem::MemClass;
+use crate::stats::MemStats;
+
+const MAGIC: &[u8; 8] = b"SPPSNAP1";
+const VERSION: u16 = 1;
+
+/// A captured machine state (see the [module docs](self)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    bytes: Vec<u8>,
+}
+
+fn corrupt(detail: impl Into<String>) -> SimError {
+    SimError::SnapshotCorrupt {
+        detail: detail.into(),
+    }
+}
+
+fn mismatch(detail: impl Into<String>) -> SimError {
+    SimError::SnapshotMismatch {
+        detail: detail.into(),
+    }
+}
+
+fn w8(v: &mut Vec<u8>, x: u8) {
+    v.push(x);
+}
+
+fn w16(v: &mut Vec<u8>, x: u16) {
+    v.extend_from_slice(&x.to_le_bytes());
+}
+
+fn w32(v: &mut Vec<u8>, x: u32) {
+    v.extend_from_slice(&x.to_le_bytes());
+}
+
+fn w64(v: &mut Vec<u8>, x: u64) {
+    v.extend_from_slice(&x.to_le_bytes());
+}
+
+fn state_code(s: LineState) -> u8 {
+    match s {
+        LineState::Invalid => 0,
+        LineState::Shared => 1,
+        LineState::Modified => 2,
+    }
+}
+
+fn code_state(c: u8) -> Result<LineState, SimError> {
+    match c {
+        1 => Ok(LineState::Shared),
+        2 => Ok(LineState::Modified),
+        _ => Err(corrupt(format!("invalid line-state code {c}"))),
+    }
+}
+
+/// Little-endian stream reader over the snapshot bytes.
+struct Reader<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SimError> {
+        if self.pos + n > self.b.len() {
+            return Err(corrupt(format!(
+                "truncated stream: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.b.len() - self.pos
+            )));
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SimError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, SimError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, SimError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SimError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+fn write_mem_class(v: &mut Vec<u8>, class: MemClass) {
+    match class {
+        MemClass::ThreadPrivate { home } => {
+            w8(v, 0);
+            w16(v, home.0);
+        }
+        MemClass::NodePrivate { node } => {
+            w8(v, 1);
+            w8(v, node.0);
+        }
+        MemClass::NearShared { node } => {
+            w8(v, 2);
+            w8(v, node.0);
+        }
+        MemClass::FarShared => w8(v, 3),
+        MemClass::BlockShared { block_bytes } => {
+            w8(v, 4);
+            w64(v, block_bytes as u64);
+        }
+    }
+}
+
+fn read_mem_class(r: &mut Reader<'_>) -> Result<MemClass, SimError> {
+    Ok(match r.u8()? {
+        0 => MemClass::ThreadPrivate {
+            home: crate::config::FuId(r.u16()?),
+        },
+        1 => MemClass::NodePrivate {
+            node: crate::config::NodeId(r.u8()?),
+        },
+        2 => MemClass::NearShared {
+            node: crate::config::NodeId(r.u8()?),
+        },
+        3 => MemClass::FarShared,
+        4 => MemClass::BlockShared {
+            block_bytes: r.u64()? as usize,
+        },
+        t => return Err(corrupt(format!("invalid memory-class tag {t}"))),
+    })
+}
+
+fn write_cache(v: &mut Vec<u8>, c: &Cache) {
+    let entries: Vec<(u64, LineState)> = c.entries().collect();
+    w64(v, c.capacity() as u64);
+    w32(v, entries.len() as u32);
+    for (line, state) in entries {
+        w64(v, line);
+        w8(v, state_code(state));
+    }
+}
+
+fn read_cache_into(r: &mut Reader<'_>, c: &mut Cache) -> Result<(), SimError> {
+    let cap = r.u64()? as usize;
+    if !cap.is_power_of_two() {
+        return Err(corrupt(format!("cache capacity {cap} not a power of two")));
+    }
+    if cap != c.capacity() {
+        *c = Cache::new(cap);
+    }
+    let n = r.u32()?;
+    for _ in 0..n {
+        let line = r.u64()?;
+        let state = code_state(r.u8()?)?;
+        if c.fill(line, state).is_some() {
+            return Err(corrupt(format!(
+                "cache entries conflict on line {line:#x} (slot collision)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn stats_fields(s: &MemStats) -> [u64; 17] {
+    [
+        s.reads,
+        s.writes,
+        s.hits,
+        s.local_misses,
+        s.gcb_hits,
+        s.sci_fetches,
+        s.remote_dirty_fetches,
+        s.c2c_transfers,
+        s.upgrades,
+        s.invalidations,
+        s.sci_invalidations,
+        s.evictions,
+        s.writebacks,
+        s.gcb_rollouts,
+        s.uncached_ops,
+        s.ring_stalls,
+        s.link_reroutes,
+    ]
+}
+
+fn stats_from_fields(f: [u64; 17]) -> MemStats {
+    MemStats {
+        reads: f[0],
+        writes: f[1],
+        hits: f[2],
+        local_misses: f[3],
+        gcb_hits: f[4],
+        sci_fetches: f[5],
+        remote_dirty_fetches: f[6],
+        c2c_transfers: f[7],
+        upgrades: f[8],
+        invalidations: f[9],
+        sci_invalidations: f[10],
+        evictions: f[11],
+        writebacks: f[12],
+        gcb_rollouts: f[13],
+        uncached_ops: f[14],
+        ring_stalls: f[15],
+        link_reroutes: f[16],
+    }
+}
+
+impl Snapshot {
+    /// Capture the complete mutable state of `m`.
+    pub fn capture(m: &Machine) -> Snapshot {
+        let mut v = Vec::with_capacity(4096);
+        v.extend_from_slice(MAGIC);
+        w16(&mut v, VERSION);
+
+        // Geometry fingerprint.
+        let cfg = m.config();
+        w32(&mut v, cfg.hypernodes as u32);
+        w32(&mut v, cfg.fus_per_node as u32);
+        w32(&mut v, cfg.cpus_per_fu as u32);
+        w64(&mut v, cfg.cache_bytes as u64);
+        w64(&mut v, cfg.line_bytes as u64);
+        w64(&mut v, cfg.page_bytes as u64);
+        w64(&mut v, cfg.gcb_bytes as u64);
+
+        // Degraded-mode state and the clock that drives triggering.
+        w64(&mut v, m.clock);
+        w64(&mut v, (m.dead_cpus & u128::from(u64::MAX)) as u64);
+        w64(&mut v, (m.dead_cpus >> 64) as u64);
+        w8(&mut v, m.failed_rings);
+        w16(&mut v, m.degraded_gcbs);
+        w64(&mut v, m.hard_applied);
+
+        // Event counters.
+        for f in stats_fields(&m.stats) {
+            w64(&mut v, f);
+        }
+
+        // Address-space layout (replayed through try_alloc on restore).
+        let regions = m.space.regions();
+        w32(&mut v, regions.len() as u32);
+        for r in regions {
+            write_mem_class(&mut v, r.class);
+            w64(&mut v, r.base);
+            w64(&mut v, r.len);
+        }
+
+        // CPU caches and GCBs (capacity stored per cache: a degraded
+        // GCB is smaller than a fresh machine's).
+        w32(&mut v, m.caches.len() as u32);
+        for c in &m.caches {
+            write_cache(&mut v, c);
+        }
+        w32(&mut v, m.gcbs.len() as u32);
+        for g in &m.gcbs {
+            write_cache(&mut v, g);
+        }
+
+        // Node directories.
+        w32(&mut v, m.dirs.len() as u32);
+        for d in &m.dirs {
+            let lines: Vec<u64> = d.lines().collect();
+            w32(&mut v, lines.len() as u32);
+            for line in lines {
+                let e = d.get(line).expect("live directory line");
+                w64(&mut v, line);
+                w8(&mut v, e.sharers);
+                w8(&mut v, e.owner.map_or(0xff, |o| o));
+            }
+        }
+
+        // SCI reference trees (list order is protocol state).
+        let sci_lines: Vec<u64> = m.sci.lines().collect();
+        w32(&mut v, sci_lines.len() as u32);
+        for line in sci_lines {
+            let e = m.sci.get(line).expect("live SCI line");
+            w64(&mut v, line);
+            w8(&mut v, e.list.len() as u8);
+            for n in &e.list {
+                w8(&mut v, *n);
+            }
+            w8(&mut v, e.dirty.map_or(0xff, |d| d));
+        }
+
+        // Fault-plan progress (the plan's configuration is supplied by
+        // the caller on restore and validated against this).
+        match m.fault_plan() {
+            None => w8(&mut v, 0),
+            Some(p) => {
+                w8(&mut v, 1);
+                w64(&mut v, p.seed());
+                for c in p.draws() {
+                    w64(&mut v, c);
+                }
+                w32(&mut v, p.hard_faults().len() as u32);
+            }
+        }
+
+        Snapshot { bytes: v }
+    }
+
+    /// The raw byte stream (write it to disk, hash it, ship it).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consume the snapshot, returning the byte stream.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Wrap a byte stream, validating the magic and version header.
+    /// Full structural validation happens in [`Snapshot::restore`].
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Snapshot, SimError> {
+        if bytes.len() < MAGIC.len() + 2 {
+            return Err(corrupt("stream shorter than the header"));
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(corrupt("bad magic (not an SPP snapshot)"));
+        }
+        let ver = u16::from_le_bytes([bytes[8], bytes[9]]);
+        if ver != VERSION {
+            return Err(mismatch(format!(
+                "snapshot version {ver}, this build reads {VERSION}"
+            )));
+        }
+        Ok(Snapshot { bytes })
+    }
+
+    /// Rebuild a machine from this snapshot.
+    ///
+    /// `cfg` and `plan` must be the configuration and fault plan the
+    /// captured run started with; geometry and plan identity (seed,
+    /// schedule length) are validated. The restored machine continues
+    /// bit-identically to the captured one. The coherence checker is
+    /// re-armed by the usual rules (`SPP_CHECK`, tests) rather than
+    /// restored — enable it with [`Machine::with_checker`] if needed.
+    pub fn restore(
+        &self,
+        cfg: MachineConfig,
+        plan: Option<FaultPlan>,
+    ) -> Result<Machine, SimError> {
+        let mut r = Reader {
+            b: &self.bytes,
+            pos: MAGIC.len() + 2,
+        };
+        let mut m = Machine::try_new(cfg).map_err(SimError::Config)?;
+
+        // Geometry fingerprint.
+        let got = (
+            r.u32()? as usize,
+            r.u32()? as usize,
+            r.u32()? as usize,
+            r.u64()? as usize,
+            r.u64()? as usize,
+            r.u64()? as usize,
+            r.u64()? as usize,
+        );
+        let cfg = m.config();
+        let want = (
+            cfg.hypernodes,
+            cfg.fus_per_node,
+            cfg.cpus_per_fu,
+            cfg.cache_bytes,
+            cfg.line_bytes,
+            cfg.page_bytes,
+            cfg.gcb_bytes,
+        );
+        if got != want {
+            return Err(mismatch(format!(
+                "geometry {got:?} captured, {want:?} supplied"
+            )));
+        }
+
+        m.clock = r.u64()?;
+        m.dead_cpus = u128::from(r.u64()?) | (u128::from(r.u64()?) << 64);
+        m.failed_rings = r.u8()?;
+        m.degraded_gcbs = r.u16()?;
+        m.hard_applied = r.u64()?;
+
+        let mut fields = [0u64; 17];
+        for f in &mut fields {
+            *f = r.u64()?;
+        }
+        m.stats = stats_from_fields(fields);
+
+        // Replay the allocation sequence; the deterministic allocator
+        // must reproduce the captured layout exactly.
+        let nregions = r.u32()?;
+        for i in 0..nregions {
+            let class = read_mem_class(&mut r)?;
+            let base = r.u64()?;
+            let len = r.u64()?;
+            let region = m.space.try_alloc(class, len)?;
+            if region.base != base {
+                return Err(mismatch(format!(
+                    "region {i} replayed at {:#x}, captured at {base:#x}",
+                    region.base
+                )));
+            }
+        }
+
+        let ncaches = r.u32()? as usize;
+        if ncaches != m.caches.len() {
+            return Err(mismatch(format!(
+                "{ncaches} CPU caches captured, machine has {}",
+                m.caches.len()
+            )));
+        }
+        for c in &mut m.caches {
+            read_cache_into(&mut r, c)?;
+        }
+        let ngcbs = r.u32()? as usize;
+        if ngcbs != m.gcbs.len() {
+            return Err(mismatch(format!(
+                "{ngcbs} GCBs captured, machine has {}",
+                m.gcbs.len()
+            )));
+        }
+        for g in &mut m.gcbs {
+            read_cache_into(&mut r, g)?;
+        }
+
+        let ndirs = r.u32()? as usize;
+        if ndirs != m.dirs.len() {
+            return Err(mismatch(format!(
+                "{ndirs} directories captured, machine has {}",
+                m.dirs.len()
+            )));
+        }
+        for d in &mut m.dirs {
+            let nlines = r.u32()?;
+            for _ in 0..nlines {
+                let line = r.u64()?;
+                let sharers = r.u8()?;
+                let owner = r.u8()?;
+                if owner != 0xff {
+                    d.set_owner(line, owner);
+                }
+                for b in 0..8u8 {
+                    if sharers & (1 << b) != 0 && owner != b {
+                        d.add_sharer(line, b);
+                    }
+                }
+            }
+        }
+
+        let nsci = r.u32()?;
+        for _ in 0..nsci {
+            let line = r.u64()?;
+            let llen = r.u8()? as usize;
+            let mut list = Vec::with_capacity(llen);
+            for _ in 0..llen {
+                list.push(r.u8()?);
+            }
+            // add_sharer prepends: insert in reverse to rebuild the
+            // exact list order (it is protocol state — walks are
+            // priced serially along it).
+            for n in list.iter().rev() {
+                m.sci.add_sharer(line, *n);
+            }
+            let dirty = r.u8()?;
+            if dirty != 0xff {
+                m.sci.set_dirty(line, dirty);
+            }
+        }
+
+        // Fault-plan progress.
+        let has_plan = r.u8()? != 0;
+        match (has_plan, plan) {
+            (false, None) => {}
+            (false, Some(_)) => {
+                return Err(mismatch(
+                    "captured run had no fault plan, but one was supplied",
+                ));
+            }
+            (true, None) => {
+                return Err(mismatch(
+                    "captured run had a fault plan; supply the same plan to restore",
+                ));
+            }
+            (true, Some(mut p)) => {
+                let seed = r.u64()?;
+                let mut counters = [0u64; 4];
+                for c in &mut counters {
+                    *c = r.u64()?;
+                }
+                let nhard = r.u32()? as usize;
+                if p.seed() != seed {
+                    return Err(mismatch(format!(
+                        "fault plan seed {} supplied, {seed} captured",
+                        p.seed()
+                    )));
+                }
+                if p.hard_faults().len() != nhard {
+                    return Err(mismatch(format!(
+                        "{} hard faults supplied, {nhard} captured",
+                        p.hard_faults().len()
+                    )));
+                }
+                p.restore_counters(counters);
+                m.faults = Some(p);
+            }
+        }
+
+        Ok(m)
+    }
+}
+
+impl Machine {
+    /// Capture this machine's state (see [`Snapshot::capture`]).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::capture(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CpuId, NodeId};
+    use crate::latency::Cycles;
+
+    /// A mixed cross-node access stream; `range` selects the slice of
+    /// the stream to run so tests can split it around a checkpoint.
+    fn drive(m: &mut Machine, range: std::ops::Range<u64>) -> Cycles {
+        let far = if m.space.num_regions() == 0 {
+            m.alloc(MemClass::FarShared, 1 << 16)
+        } else {
+            *m.space.regions().first().unwrap()
+        };
+        let mut total = 0;
+        for i in range {
+            let cpu = CpuId((i * 5 % 16) as u16);
+            let a = far.addr((i * 104) % (1 << 16));
+            total += m.read(cpu, a);
+            if i % 3 == 0 {
+                total += m.write(cpu, a);
+            }
+            if i % 17 == 0 {
+                total += m.uncached_op(cpu, far.addr(0));
+            }
+        }
+        total
+    }
+
+    fn faulty_plan() -> FaultPlan {
+        FaultPlan::new(77)
+            .with_ring_stalls(0.3, 400)
+            .with_cpu_failure(5, 30_000)
+            .with_link_failure(2, 15_000, 600)
+            .with_gcb_degrade(1, 45_000)
+    }
+
+    #[test]
+    fn resume_is_bit_identical_to_straight_through() {
+        let straight = {
+            let mut m = Machine::spp1000(2).with_faults(faulty_plan());
+            let a = drive(&mut m, 0..600);
+            let b = drive(&mut m, 600..1200);
+            (a, b, m.stats, m.clock(), m.fault_plan().unwrap().draws())
+        };
+        let resumed = {
+            let mut m = Machine::spp1000(2).with_faults(faulty_plan());
+            let a = drive(&mut m, 0..600);
+            let snap = m.snapshot();
+            let snap = Snapshot::from_bytes(snap.into_bytes()).expect("header ok");
+            let mut m2 = snap
+                .restore(MachineConfig::spp1000(2), Some(faulty_plan()))
+                .expect("restore");
+            let b = drive(&mut m2, 600..1200);
+            (a, b, m2.stats, m2.clock(), m2.fault_plan().unwrap().draws())
+        };
+        assert_eq!(straight, resumed, "resume diverged from straight-through");
+    }
+
+    #[test]
+    fn restore_passes_the_coherence_checker() {
+        let mut m = Machine::spp1000(2).with_faults(faulty_plan());
+        drive(&mut m, 0..800);
+        let m2 = m
+            .snapshot()
+            .restore(MachineConfig::spp1000(2), Some(faulty_plan()))
+            .expect("restore");
+        assert!(m2.check_all().is_empty(), "restored state inconsistent");
+        assert_eq!(m2.stats, m.stats);
+        assert_eq!(m2.dead_cpus, m.dead_cpus);
+        assert_eq!(m2.failed_rings, m.failed_rings);
+        assert_eq!(m2.degraded_gcbs, m.degraded_gcbs);
+    }
+
+    #[test]
+    fn restore_without_faults_roundtrips() {
+        let mut m = Machine::spp1000(2);
+        drive(&mut m, 0..200);
+        let m2 = m
+            .snapshot()
+            .restore(MachineConfig::spp1000(2), None)
+            .expect("restore");
+        assert_eq!(m2.stats, m.stats);
+        assert_eq!(m2.clock(), m.clock());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut m = Machine::spp1000(2);
+        drive(&mut m, 0..10);
+        let mut bytes = m.snapshot().into_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Snapshot::from_bytes(bytes),
+            Err(SimError::SnapshotCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let mut m = Machine::spp1000(2);
+        drive(&mut m, 0..50);
+        let mut bytes = m.snapshot().into_bytes();
+        bytes.truncate(bytes.len() / 2);
+        let snap = Snapshot::from_bytes(bytes).expect("header intact");
+        assert!(matches!(
+            snap.restore(MachineConfig::spp1000(2), None),
+            Err(SimError::SnapshotCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_geometry_is_rejected() {
+        let mut m = Machine::spp1000(2);
+        drive(&mut m, 0..10);
+        let snap = m.snapshot();
+        assert!(matches!(
+            snap.restore(MachineConfig::spp1000(4), None),
+            Err(SimError::SnapshotMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_fault_plan_is_rejected() {
+        let mut m = Machine::spp1000(2).with_faults(faulty_plan());
+        drive(&mut m, 0..10);
+        let snap = m.snapshot();
+        assert!(matches!(
+            snap.restore(MachineConfig::spp1000(2), None),
+            Err(SimError::SnapshotMismatch { .. })
+        ));
+        let wrong_seed = FaultPlan::new(78);
+        assert!(matches!(
+            snap.restore(MachineConfig::spp1000(2), Some(wrong_seed)),
+            Err(SimError::SnapshotMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_after_hard_faults_preserves_degraded_state() {
+        let plan = FaultPlan::new(3)
+            .with_cpu_failure(2, 0)
+            .with_gcb_degrade(0, 0);
+        let mut m = Machine::spp1000(2).with_faults(plan.clone());
+        drive(&mut m, 0..100);
+        assert!(m.is_cpu_dead(CpuId(2)));
+        assert_eq!(m.degraded_nodes(), 1);
+        let m2 = m
+            .snapshot()
+            .restore(MachineConfig::spp1000(2), Some(plan))
+            .expect("restore");
+        assert!(m2.is_cpu_dead(CpuId(2)));
+        assert_eq!(m2.degraded_nodes(), 1);
+        assert!(!m2.hard_faults_pending());
+        // And the degraded machine keeps running identically.
+        let _ = NodeId(0);
+        assert!(m2.check_all().is_empty());
+    }
+}

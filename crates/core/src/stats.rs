@@ -38,6 +38,9 @@ pub struct MemStats {
     /// Injected SCI ring stalls (fault injection; see
     /// [`crate::FaultPlan`]). Zero unless a fault plan is installed.
     pub ring_stalls: u64,
+    /// SCI transactions rerouted around a hard link failure (see
+    /// [`crate::HardFault`]). Zero unless a link failure has fired.
+    pub link_reroutes: u64,
 }
 
 impl MemStats {
@@ -96,6 +99,7 @@ impl MemStats {
             gcb_rollouts: self.gcb_rollouts - earlier.gcb_rollouts,
             uncached_ops: self.uncached_ops - earlier.uncached_ops,
             ring_stalls: self.ring_stalls - earlier.ring_stalls,
+            link_reroutes: self.link_reroutes - earlier.link_reroutes,
         }
     }
 }
@@ -130,8 +134,12 @@ impl std::fmt::Display for MemStats {
             self.gcb_rollouts,
             self.uncached_ops
         )?;
-        if self.ring_stalls > 0 {
-            write!(f, "\nfaults: ring stalls {}", self.ring_stalls)?;
+        if self.ring_stalls > 0 || self.link_reroutes > 0 {
+            write!(
+                f,
+                "\nfaults: ring stalls {}  link reroutes {}",
+                self.ring_stalls, self.link_reroutes
+            )?;
         }
         Ok(())
     }

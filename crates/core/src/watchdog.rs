@@ -1,0 +1,197 @@
+//! Simulation watchdog: progress monitoring by *simulated-cycle*
+//! deadlines.
+//!
+//! The simulator is single-threaded and deterministic, so a "hang" is
+//! never a host-level deadlock — it is a protocol-level stall the
+//! model would faithfully reproduce forever: a barrier some
+//! participant can no longer reach (its CPU died), a receive whose
+//! matching send was dropped past the retry budget, or a retry loop
+//! that can never succeed. The watchdog turns those into structured
+//! diagnostics instead of wrong numbers or non-terminating sweeps.
+//!
+//! A [`Watchdog`] holds a deadline in simulated cycles. The runtime
+//! layers (barrier, fork/join, PVM) offer `*_watched` variants of
+//! their blocking operations that consult it and return a
+//! [`WatchdogReport`] — per-CPU clocks, the barrier arrival bitmap,
+//! in-flight PVM sequence numbers — when progress stalls past the
+//! deadline. The plain variants keep their historical behavior.
+
+use crate::latency::{cycles_to_us, Cycles};
+use std::fmt;
+
+/// What kind of progress stalled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallKind {
+    /// A barrier some participant will never arrive at (dead CPU) or
+    /// whose arrival spread exceeded the deadline.
+    Barrier,
+    /// A receive with no matching in-flight message, or whose message
+    /// arrives past the deadline.
+    Receive,
+    /// A retry loop (spawn, send) that exhausted its budget or can
+    /// never succeed under the installed fault plan.
+    RetryLoop,
+}
+
+impl StallKind {
+    /// Short stable label (`"barrier"`, `"receive"`, `"retry-loop"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            StallKind::Barrier => "barrier",
+            StallKind::Receive => "receive",
+            StallKind::RetryLoop => "retry-loop",
+        }
+    }
+}
+
+/// A progress deadline in simulated cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watchdog {
+    deadline: Cycles,
+}
+
+impl Watchdog {
+    /// A watchdog that trips when an operation's observed simulated
+    /// time exceeds `deadline` cycles.
+    pub fn new(deadline: Cycles) -> Self {
+        Watchdog { deadline }
+    }
+
+    /// The configured deadline in cycles.
+    pub fn deadline(&self) -> Cycles {
+        self.deadline
+    }
+
+    /// True if `observed` simulated cycles exceed the deadline.
+    pub fn expired(&self, observed: Cycles) -> bool {
+        observed > self.deadline
+    }
+
+    /// Start a diagnostic report for a stall of `kind` observed at
+    /// `observed` simulated cycles.
+    pub fn trip(
+        &self,
+        kind: StallKind,
+        observed: Cycles,
+        detail: impl Into<String>,
+    ) -> WatchdogReport {
+        WatchdogReport {
+            kind,
+            deadline: self.deadline,
+            observed,
+            cpu_clocks: Vec::new(),
+            arrival_bitmap: None,
+            in_flight: Vec::new(),
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Structured diagnostic dump produced when a watchdog trips.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogReport {
+    /// What stalled.
+    pub kind: StallKind,
+    /// The deadline that was exceeded, in simulated cycles.
+    pub deadline: Cycles,
+    /// The observed simulated time (or spread) that exceeded it.
+    pub observed: Cycles,
+    /// Per-CPU simulated clocks at trip time (`(cpu, cycles)`).
+    pub cpu_clocks: Vec<(u16, Cycles)>,
+    /// For barrier stalls: bit `i` set means participant `i` arrived.
+    pub arrival_bitmap: Option<u64>,
+    /// For receive stalls: in-flight messages as
+    /// `(from_task, tag, seq)`.
+    pub in_flight: Vec<(usize, u32, u64)>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl WatchdogReport {
+    /// Attach per-CPU clocks to the report (builder style).
+    pub fn with_cpu_clocks(mut self, clocks: Vec<(u16, Cycles)>) -> Self {
+        self.cpu_clocks = clocks;
+        self
+    }
+
+    /// Attach a barrier arrival bitmap to the report.
+    pub fn with_arrival_bitmap(mut self, bitmap: u64) -> Self {
+        self.arrival_bitmap = Some(bitmap);
+        self
+    }
+
+    /// Attach the in-flight message set to the report.
+    pub fn with_in_flight(mut self, msgs: Vec<(usize, u32, u64)>) -> Self {
+        self.in_flight = msgs;
+        self
+    }
+}
+
+impl fmt::Display for WatchdogReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "watchdog trip [{}]: {} (observed {} cycles ≈ {:.1} µs, deadline {})",
+            self.kind.label(),
+            self.detail,
+            self.observed,
+            cycles_to_us(self.observed),
+            self.deadline
+        )?;
+        if let Some(bm) = self.arrival_bitmap {
+            writeln!(f, "  arrivals: {bm:#018b}")?;
+        }
+        if !self.cpu_clocks.is_empty() {
+            write!(f, "  cpu clocks:")?;
+            for (cpu, clk) in &self.cpu_clocks {
+                write!(f, " {cpu}:{clk}")?;
+            }
+            writeln!(f)?;
+        }
+        if !self.in_flight.is_empty() {
+            write!(f, "  in-flight:")?;
+            for (from, tag, seq) in &self.in_flight {
+                write!(f, " (task {from}, tag {tag}, seq {seq})")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for WatchdogReport {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expiry_is_strict() {
+        let wd = Watchdog::new(1_000);
+        assert!(!wd.expired(1_000));
+        assert!(wd.expired(1_001));
+    }
+
+    #[test]
+    fn report_display_is_structured() {
+        let wd = Watchdog::new(500);
+        let rep = wd
+            .trip(StallKind::Barrier, 900, "cpu 3 never arrived")
+            .with_arrival_bitmap(0b0111)
+            .with_cpu_clocks(vec![(0, 100), (1, 120), (2, 90), (3, 0)])
+            .with_in_flight(vec![(2, 7, 41)]);
+        let s = rep.to_string();
+        assert!(s.contains("barrier"), "{s}");
+        assert!(s.contains("cpu 3 never arrived"), "{s}");
+        assert!(s.contains("0b0000000000000111"), "{s}");
+        assert!(s.contains("3:0"), "{s}");
+        assert!(s.contains("seq 41"), "{s}");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(StallKind::Barrier.label(), "barrier");
+        assert_eq!(StallKind::Receive.label(), "receive");
+        assert_eq!(StallKind::RetryLoop.label(), "retry-loop");
+    }
+}

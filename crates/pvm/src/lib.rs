@@ -28,7 +28,10 @@
 
 use std::collections::VecDeque;
 
-use spp_core::{us_to_cycles, CpuId, Cycles, Machine, MemClass, MemPort, NodeId, Region, SimError};
+use spp_core::{
+    us_to_cycles, CpuId, Cycles, Machine, MemClass, MemPort, NodeId, Region, SimError, StallKind,
+    Watchdog, WatchdogReport,
+};
 use spp_runtime::RuntimeCostModel;
 
 /// Software-path cost constants for the PVM layer, in cycles.
@@ -417,6 +420,96 @@ impl<P: MemPort> Pvm<P> {
         let task = &mut self.tasks[t];
         task.clock = task.clock.max(msg.arrival) + self.cost.recv_sw;
         Some(msg)
+    }
+
+    /// Build a receive-stall diagnostic: the receiver's inbox contents
+    /// as in-flight `(from, tag, seq)` triples plus every task clock.
+    fn receive_trip(
+        &self,
+        t: usize,
+        wd: &Watchdog,
+        observed: Cycles,
+        detail: String,
+    ) -> WatchdogReport {
+        wd.trip(StallKind::Receive, observed, detail)
+            .with_in_flight(
+                self.inboxes[t]
+                    .iter()
+                    .map(|m| (m.from, m.tag, m.seq))
+                    .collect(),
+            )
+            .with_cpu_clocks(self.tasks.iter().map(|s| (s.cpu.0, s.clock)).collect())
+    }
+
+    /// Watched variant of [`Pvm::recv`]: turns a receive that would
+    /// deadlock into a structured [`WatchdogReport`].
+    ///
+    /// In the serial simulation every send that will ever match has
+    /// already been issued when a receive runs, so "no matching
+    /// message" means the real machine would block forever — that trips
+    /// immediately, with the receiver's inbox dumped as in-flight
+    /// sequence numbers. A matching message whose arrival lies more
+    /// than the watchdog deadline past the receiver's clock trips too
+    /// (the receiver would spin past its progress budget).
+    pub fn recv_watched(
+        &mut self,
+        t: usize,
+        from: Option<usize>,
+        tag: Option<u32>,
+        wd: &Watchdog,
+    ) -> Result<Msg, WatchdogReport> {
+        let now = self.tasks[t].clock;
+        let arrival = self.inboxes[t]
+            .iter()
+            .filter(|m| from.is_none_or(|f| m.from == f) && tag.is_none_or(|g| m.tag == g))
+            .map(|m| m.arrival)
+            .min();
+        match arrival {
+            None => Err(self.receive_trip(
+                t,
+                wd,
+                now,
+                format!(
+                    "task {t} receive (from {from:?}, tag {tag:?}) has no matching \
+                     in-flight message and can never complete"
+                ),
+            )),
+            Some(arr) => {
+                let wait = arr.saturating_sub(now);
+                if wd.expired(wait) {
+                    Err(self.receive_trip(
+                        t,
+                        wd,
+                        wait,
+                        format!(
+                            "task {t} receive (from {from:?}, tag {tag:?}) would spin \
+                             {wait} cycles for its message"
+                        ),
+                    ))
+                } else {
+                    Ok(self.recv(t, from, tag).expect("matching message exists"))
+                }
+            }
+        }
+    }
+
+    /// Watched variant of [`Pvm::send`]: a send that exhausts its
+    /// retry budget (or is otherwise rejected) becomes a
+    /// [`StallKind::RetryLoop`] report instead of a panic, with the
+    /// typed [`SimError`] message as the detail.
+    pub fn send_watched(
+        &mut self,
+        from: usize,
+        to: usize,
+        bytes: usize,
+        tag: u32,
+        wd: &Watchdog,
+    ) -> Result<(), WatchdogReport> {
+        self.try_send(from, to, bytes, tag).map_err(|e| {
+            let observed = self.tasks.get(from).map(|t| t.clock).unwrap_or(0);
+            wd.trip(StallKind::RetryLoop, observed, e.to_string())
+                .with_cpu_clocks(self.tasks.iter().map(|s| (s.cpu.0, s.clock)).collect())
+        })
     }
 
     /// Message-fault counters for this session (all zero without an
@@ -899,6 +992,60 @@ mod tests {
             pvm.try_send(1, 1, 64, 0),
             Err(SimError::SelfSend { task: 1 })
         ));
+    }
+
+    #[test]
+    fn recv_watched_matches_plain_recv_when_message_exists() {
+        let wd = Watchdog::new(u64::MAX - 1);
+        let mut a = two_tasks_local();
+        let mut b = two_tasks_local();
+        a.send(0, 1, 128, 3);
+        b.send(0, 1, 128, 3);
+        let plain = a.recv(1, Some(0), Some(3)).unwrap();
+        let watched = b
+            .recv_watched(1, Some(0), Some(3), &wd)
+            .expect("matching message must not trip");
+        assert_eq!(plain, watched);
+        assert_eq!(a.clock(1), b.clock(1));
+    }
+
+    #[test]
+    fn recv_watched_trips_on_missing_message_with_inbox_dump() {
+        let mut pvm = two_tasks_local();
+        pvm.send(0, 1, 64, 7);
+        let rep = pvm
+            .recv_watched(1, Some(0), Some(9), &Watchdog::new(1_000_000))
+            .expect_err("no tag-9 message was ever sent");
+        assert_eq!(rep.kind, StallKind::Receive);
+        assert!(rep.to_string().contains("can never complete"), "{rep}");
+        // The queued tag-7 message shows up as in-flight state.
+        assert_eq!(rep.in_flight, vec![(0, 7, 0)]);
+        // The undelivered message is still there for a correct receive.
+        assert!(pvm.probe(1, Some(0), Some(7)));
+    }
+
+    #[test]
+    fn recv_watched_trips_when_the_wait_exceeds_the_deadline() {
+        let mut pvm = two_tasks_local();
+        pvm.flops(0, 1_000_000); // sender clock runs far ahead
+        pvm.send(0, 1, 64, 4);
+        let rep = pvm
+            .recv_watched(1, Some(0), Some(4), &Watchdog::new(100))
+            .expect_err("receiver would spin past its deadline");
+        assert_eq!(rep.kind, StallKind::Receive);
+        assert!(rep.observed > 100, "observed = {}", rep.observed);
+        assert!(rep.to_string().contains("would spin"), "{rep}");
+    }
+
+    #[test]
+    fn send_watched_reports_retry_livelock() {
+        let mut pvm = faulty_pair(3, 1.0, 0.0);
+        let rep = pvm
+            .send_watched(0, 1, 64, 9, &Watchdog::new(1_000_000))
+            .expect_err("certain drops must trip");
+        assert_eq!(rep.kind, StallKind::RetryLoop);
+        assert!(rep.to_string().contains("timed out"), "{rep}");
+        assert_eq!(rep.cpu_clocks.len(), 2);
     }
 
     #[test]

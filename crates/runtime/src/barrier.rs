@@ -10,7 +10,7 @@
 //! event by event against the machine model.
 
 use crate::cost::RuntimeCostModel;
-use spp_core::{CpuId, Cycles, MemClass, MemPort, NodeId};
+use spp_core::{CpuId, Cycles, MemClass, MemPort, NodeId, StallKind, Watchdog, WatchdogReport};
 
 /// A barrier with its simulated memory (semaphore + release flag).
 #[derive(Debug, Clone)]
@@ -171,6 +171,72 @@ impl SimBarrier {
             last_arrival,
         }
     }
+
+    /// Watched variant of [`SimBarrier::simulate`]: detects barriers
+    /// that can never complete instead of pricing a fiction.
+    ///
+    /// Trips with a [`WatchdogReport`] when
+    ///
+    /// * a participant's CPU is dead under the machine's hard-fault
+    ///   model (it will never arrive — the arrival bitmap marks who
+    ///   did), or
+    /// * the arrival spread (last minus first arrival) exceeds the
+    ///   watchdog deadline (a straggler livelock; the bitmap marks the
+    ///   threads that made the deadline).
+    ///
+    /// Otherwise behaves exactly like `simulate`.
+    pub fn simulate_watched<P: MemPort>(
+        &self,
+        m: &mut P,
+        cost: &RuntimeCostModel,
+        arrivals: &[(CpuId, Cycles)],
+        wd: &Watchdog,
+    ) -> Result<BarrierResult, WatchdogReport> {
+        assert!(!arrivals.is_empty(), "barrier with no participants");
+        let clocks: Vec<(u16, Cycles)> = arrivals.iter().map(|(c, t)| (c.0, *t)).collect();
+        let last = arrivals.iter().map(|a| a.1).max().unwrap();
+
+        let mut bitmap = 0u64;
+        let mut dead: Vec<u16> = Vec::new();
+        for (i, (cpu, _)) in arrivals.iter().enumerate() {
+            if m.is_cpu_dead(*cpu) {
+                dead.push(cpu.0);
+            } else if i < 64 {
+                bitmap |= 1 << i;
+            }
+        }
+        if !dead.is_empty() {
+            return Err(wd
+                .trip(
+                    StallKind::Barrier,
+                    last,
+                    format!("dead cpu(s) {dead:?} can never arrive at the barrier"),
+                )
+                .with_arrival_bitmap(bitmap)
+                .with_cpu_clocks(clocks));
+        }
+
+        let first = arrivals.iter().map(|a| a.1).min().unwrap();
+        let spread = last - first;
+        if wd.expired(spread) {
+            let mut on_time = 0u64;
+            for (i, (_, t)) in arrivals.iter().enumerate() {
+                if t - first <= wd.deadline() && i < 64 {
+                    on_time |= 1 << i;
+                }
+            }
+            return Err(wd
+                .trip(
+                    StallKind::Barrier,
+                    spread,
+                    "barrier arrival spread exceeded the deadline",
+                )
+                .with_arrival_bitmap(on_time)
+                .with_cpu_clocks(clocks));
+        }
+
+        Ok(self.simulate(m, cost, arrivals))
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +328,58 @@ mod tests {
         let r3 = b.simulate(&mut m, &cost, &a);
         assert_eq!(r2.lilo(), r3.lilo());
         let _ = r1;
+    }
+
+    #[test]
+    fn watched_barrier_matches_plain_when_healthy() {
+        let (mut m, b, cost) = setup(1);
+        let arr = spaced(&[0, 1, 2, 3]);
+        let plain = b.simulate(&mut m, &cost, &arr);
+        m.flush_all_caches();
+        let watched = b
+            .simulate_watched(&mut m, &cost, &arr, &Watchdog::new(1_000_000))
+            .expect("healthy barrier must not trip");
+        assert_eq!(watched.release, plain.release);
+        assert_eq!(watched.last_arrival, plain.last_arrival);
+    }
+
+    #[test]
+    fn watched_barrier_trips_on_dead_participant() {
+        use spp_core::FaultPlan;
+        let mut m = Machine::spp1000(1).with_faults(FaultPlan::new(3).with_cpu_failure(2, 0));
+        let b = SimBarrier::new(&mut m, NodeId(0));
+        let cost = RuntimeCostModel::spp1000();
+        // Fire the scheduled failure: the first access applies all due
+        // hard faults.
+        let scratch = m.alloc(spp_core::MemClass::NearShared { node: NodeId(0) }, 64);
+        let _ = m.read(CpuId(0), scratch.base);
+        assert!(m.is_cpu_dead(CpuId(2)));
+        let rep = b
+            .simulate_watched(
+                &mut m,
+                &cost,
+                &spaced(&[0, 1, 2, 3]),
+                &Watchdog::new(1_000_000),
+            )
+            .expect_err("dead participant must trip");
+        assert_eq!(rep.kind, spp_core::StallKind::Barrier);
+        // Participant index 2 (cpu 2) missing from the arrival bitmap.
+        assert_eq!(rep.arrival_bitmap, Some(0b1011));
+        assert!(rep.to_string().contains("dead cpu(s) [2]"), "{rep}");
+        assert_eq!(rep.cpu_clocks.len(), 4);
+    }
+
+    #[test]
+    fn watched_barrier_trips_on_arrival_spread() {
+        let (mut m, b, cost) = setup(1);
+        let arrivals = vec![(CpuId(0), 0), (CpuId(1), 100), (CpuId(2), 50_000)];
+        let rep = b
+            .simulate_watched(&mut m, &cost, &arrivals, &Watchdog::new(10_000))
+            .expect_err("straggler must trip");
+        assert_eq!(rep.kind, spp_core::StallKind::Barrier);
+        assert_eq!(rep.observed, 50_000);
+        // Threads 0 and 1 made the deadline; the straggler did not.
+        assert_eq!(rep.arrival_bitmap, Some(0b011));
     }
 
     #[test]

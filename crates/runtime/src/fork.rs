@@ -15,7 +15,10 @@ use crate::barrier::{BarrierResult, SimBarrier};
 use crate::cost::RuntimeCostModel;
 use crate::noise::OsNoise;
 use crate::team::{chunk_range, Placement, Team};
-use spp_core::{CpuId, Cycles, Machine, MemPort, NodeId, SimArray, SimError};
+use spp_core::{
+    CpuId, Cycles, Machine, MemPort, NodeId, SimArray, SimError, StallKind, Watchdog,
+    WatchdogReport,
+};
 
 /// Execution context handed to each simulated thread's body.
 ///
@@ -290,6 +293,21 @@ impl<P: MemPort> Runtime<P> {
         activated: &mut bool,
         retries: &mut u64,
     ) -> Cycles {
+        self.try_priced_spawn(cpu, same_node, activated, retries)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible core of [`Runtime::priced_spawn`]: returns
+    /// [`SimError::SpawnFailed`] instead of panicking when the retry
+    /// budget is exhausted, so watched fork paths can turn a livelocked
+    /// spawn loop into a [`WatchdogReport`].
+    fn try_priced_spawn(
+        &mut self,
+        cpu: CpuId,
+        same_node: bool,
+        activated: &mut bool,
+        retries: &mut u64,
+    ) -> Result<Cycles, SimError> {
         let mut t = 0;
         if !same_node && !*activated {
             t += self.cost.node_activation;
@@ -311,17 +329,14 @@ impl<P: MemPort> Runtime<P> {
                 .map(|f| f.spawn_fails())
                 .unwrap_or(false);
             if !failed {
-                return t;
+                return Ok(t);
             }
             *retries += 1;
             if attempts >= self.cost.spawn_max_attempts {
-                panic!(
-                    "{}",
-                    SimError::SpawnFailed {
-                        cpu: cpu.0,
-                        attempts
-                    }
-                );
+                return Err(SimError::SpawnFailed {
+                    cpu: cpu.0,
+                    attempts,
+                });
             }
             t += backoff;
             backoff *= 2;
@@ -345,7 +360,78 @@ impl<P: MemPort> Runtime<P> {
         team: &Team,
         mut body: impl FnMut(&mut ThreadCtx<P>),
     ) -> RegionReport {
+        match self.team_fork_join_impl(team, &mut body, None) {
+            Ok(r) => r,
+            Err(rep) => unreachable!("watchdog trip without a watchdog: {rep}"),
+        }
+    }
+
+    /// Watched variant of [`Runtime::fork_join`]: places the team and
+    /// delegates to [`Runtime::watched_team_fork_join`].
+    pub fn watched_fork_join(
+        &mut self,
+        n: usize,
+        placement: &Placement,
+        wd: &Watchdog,
+        body: impl FnMut(&mut ThreadCtx<P>),
+    ) -> Result<RegionReport, WatchdogReport> {
+        let team = Team::place(self.machine.config(), n, placement);
+        self.watched_team_fork_join(&team, wd, body)
+    }
+
+    /// Watched variant of [`Runtime::team_fork_join`]: detects regions
+    /// that can never complete instead of hanging or panicking.
+    ///
+    /// Trips with a [`WatchdogReport`] when
+    ///
+    /// * a team CPU is already dead under the machine's hard-fault
+    ///   model (its thread would never reach the join barrier),
+    /// * a spawn exhausts its retry budget (a livelocked retry loop —
+    ///   the report's detail carries the [`SimError::SpawnFailed`]
+    ///   message), or
+    /// * the join barrier trips (a CPU died mid-region, or the arrival
+    ///   spread exceeded the deadline — see
+    ///   [`SimBarrier::simulate_watched`]).
+    pub fn watched_team_fork_join(
+        &mut self,
+        team: &Team,
+        wd: &Watchdog,
+        mut body: impl FnMut(&mut ThreadCtx<P>),
+    ) -> Result<RegionReport, WatchdogReport> {
+        self.team_fork_join_impl(team, &mut body, Some(wd))
+    }
+
+    fn team_fork_join_impl(
+        &mut self,
+        team: &Team,
+        body: &mut dyn FnMut(&mut ThreadCtx<P>),
+        wd: Option<&Watchdog>,
+    ) -> Result<RegionReport, WatchdogReport> {
         let n = team.len();
+
+        // With a watchdog installed, refuse to fork onto dead CPUs:
+        // their threads would never arrive at the join barrier.
+        if let Some(w) = wd {
+            let mut alive = 0u64;
+            let mut dead: Vec<u16> = Vec::new();
+            for (i, cpu) in team.cpus().iter().enumerate() {
+                if self.machine.is_cpu_dead(*cpu) {
+                    dead.push(cpu.0);
+                } else if i < 64 {
+                    alive |= 1 << i;
+                }
+            }
+            if !dead.is_empty() {
+                return Err(w
+                    .trip(
+                        StallKind::Barrier,
+                        0,
+                        format!("team cpu(s) {dead:?} are dead; the join can never complete"),
+                    )
+                    .with_arrival_bitmap(alive)
+                    .with_cpu_clocks(team.cpus().iter().map(|c| (c.0, 0)).collect()));
+            }
+        }
         let parent_node = self.machine.config().node_of_cpu(team.cpu(0));
 
         // Fork: the parent issues spawns serially; the first spawn on
@@ -356,12 +442,23 @@ impl<P: MemPort> Runtime<P> {
         let mut spawn_retries = 0u64;
         for (tid, s) in start.iter_mut().enumerate().skip(1) {
             let node = self.machine.config().node_of_cpu(team.cpu(tid));
-            t += self.priced_spawn(
+            let spawn = self.try_priced_spawn(
                 team.cpu(tid),
                 node == parent_node,
                 &mut activated,
                 &mut spawn_retries,
             );
+            match spawn {
+                Ok(c) => t += c,
+                Err(e) => match wd {
+                    Some(w) => {
+                        return Err(w
+                            .trip(StallKind::RetryLoop, t, e.to_string())
+                            .with_cpu_clocks(team.cpus().iter().map(|c| (c.0, 0)).collect()))
+                    }
+                    None => panic!("{e}"),
+                },
+            }
             *s = t;
         }
         // The parent begins its own chunk after issuing all spawns.
@@ -408,19 +505,28 @@ impl<P: MemPort> Runtime<P> {
                 last_arrival: arrivals[0].1,
             }
         } else {
-            self.join_barrier
-                .simulate(&mut self.machine, &self.cost, &arrivals)
+            match wd {
+                Some(w) => self.join_barrier.simulate_watched(
+                    &mut self.machine,
+                    &self.cost,
+                    &arrivals,
+                    w,
+                )?,
+                None => self
+                    .join_barrier
+                    .simulate(&mut self.machine, &self.cost, &arrivals),
+            }
         };
         let elapsed = join.end() + self.cost.join_base;
         self.now += elapsed;
-        RegionReport {
+        Ok(RegionReport {
             elapsed,
             start,
             busy,
             join,
             flops,
             spawn_retries,
-        }
+        })
     }
 
     /// Spawn *asynchronous* threads (§3.2: "Asynchronous threads
@@ -782,6 +888,96 @@ mod tests {
         let m = Machine::spp1000(2).with_faults(FaultPlan::new(1).with_spawn_failures(1.0));
         let mut rt = Runtime::new(m);
         rt.fork_join(2, &Placement::HighLocality, |_| {});
+    }
+
+    #[test]
+    fn watched_region_matches_plain_when_healthy() {
+        let elapsed = |watched: bool| {
+            let mut rt = Runtime::spp1000(2);
+            if watched {
+                let r = rt
+                    .watched_fork_join(
+                        8,
+                        &Placement::HighLocality,
+                        &spp_core::Watchdog::new(u64::MAX - 1),
+                        |ctx| ctx.flops(1_000),
+                    )
+                    .expect("healthy region must not trip");
+                r.elapsed
+            } else {
+                rt.fork_join(8, &Placement::HighLocality, |ctx| ctx.flops(1_000))
+                    .elapsed
+            }
+        };
+        assert_eq!(elapsed(true), elapsed(false));
+    }
+
+    #[test]
+    fn watched_region_trips_on_pre_dead_team_cpu() {
+        use spp_core::{FaultPlan, Machine, MemClass, StallKind};
+        let m = Machine::spp1000(1).with_faults(FaultPlan::new(8).with_cpu_failure(2, 0));
+        let mut rt = Runtime::new(m);
+        // Fire the scheduled failure with one priming access.
+        let scratch = rt
+            .machine
+            .alloc(MemClass::NearShared { node: NodeId(0) }, 64);
+        let _ = rt.machine.read(CpuId(0), scratch.base);
+        let rep = rt
+            .watched_fork_join(
+                4,
+                &Placement::HighLocality,
+                &spp_core::Watchdog::new(1_000_000),
+                |_| {},
+            )
+            .expect_err("dead team cpu must trip");
+        assert_eq!(rep.kind, StallKind::Barrier);
+        assert_eq!(rep.arrival_bitmap, Some(0b1011));
+        assert!(rep.to_string().contains("dead"), "{rep}");
+    }
+
+    #[test]
+    fn watched_region_trips_when_a_cpu_dies_mid_region() {
+        use spp_core::{FaultPlan, Machine, MemClass, StallKind};
+        // The failure is scheduled at cycle 0 but nothing has touched
+        // memory yet, so the fork-time check passes; the first body
+        // access fires it and the join barrier reports the dead CPU.
+        let m = Machine::spp1000(1).with_faults(FaultPlan::new(8).with_cpu_failure(1, 0));
+        let mut rt = Runtime::new(m);
+        let arr = SimArray::<f64>::from_elem(
+            &mut rt.machine,
+            MemClass::NearShared { node: NodeId(0) },
+            64,
+            0.0,
+        );
+        let rep = rt
+            .watched_fork_join(
+                4,
+                &Placement::HighLocality,
+                &spp_core::Watchdog::new(u64::MAX - 1),
+                |ctx| {
+                    let _ = ctx.read(&arr, 0);
+                },
+            )
+            .expect_err("mid-region death must trip at the join");
+        assert_eq!(rep.kind, StallKind::Barrier);
+        assert!(rep.to_string().contains("dead cpu(s) [1]"), "{rep}");
+    }
+
+    #[test]
+    fn watched_region_reports_spawn_retry_livelock() {
+        use spp_core::{FaultPlan, Machine, StallKind};
+        let m = Machine::spp1000(2).with_faults(FaultPlan::new(1).with_spawn_failures(1.0));
+        let mut rt = Runtime::new(m);
+        let rep = rt
+            .watched_fork_join(
+                2,
+                &Placement::HighLocality,
+                &spp_core::Watchdog::new(1_000_000),
+                |_| {},
+            )
+            .expect_err("certain spawn failure must trip, not panic");
+        assert_eq!(rep.kind, StallKind::RetryLoop);
+        assert!(rep.to_string().contains("failed after"), "{rep}");
     }
 
     #[test]

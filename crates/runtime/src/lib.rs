@@ -40,4 +40,5 @@ pub use fork::{AsyncHandle, RegionReport, Runtime, ThreadCtx};
 pub use gate::{PrivateArrays, SimGate};
 pub use noise::OsNoise;
 pub use profile::{Profile, RegionStat};
+pub use spp_core::{StallKind, Watchdog, WatchdogReport};
 pub use team::{chunk_range, Placement, Team};

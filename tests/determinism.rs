@@ -96,3 +96,47 @@ fn pvm_sessions_are_deterministic() {
     };
     assert_eq!(run(), run());
 }
+
+/// A trace recorded under an active fault plan — transient ring
+/// stalls plus hard CPU/link/GCB failures firing mid-stream — replays
+/// bit-identically (cycles, MemStats, and degraded-mode state) into a
+/// fresh machine carrying the same plan.
+#[test]
+fn trace_replay_is_bit_identical_under_an_active_fault_plan() {
+    let plan = || {
+        FaultPlan::new(99)
+            .with_ring_stalls(0.2, 400)
+            .with_cpu_failure(3, 20_000)
+            .with_link_failure(0, 40_000, 700)
+            .with_gcb_degrade(1, 60_000)
+    };
+    let mut p = TracePort::new(Machine::spp1000(2).with_faults(plan()));
+    let r = p.alloc(MemClass::FarShared, 1 << 16);
+    for i in 0..1024u64 {
+        p.read(CpuId((i % 16) as u16), r.addr((i * 37) % (1 << 16)));
+        if i % 3 == 0 {
+            p.write(CpuId(((i + 5) % 16) as u16), r.addr((i * 53) % (1 << 16)));
+        }
+        if i % 7 == 0 {
+            p.uncached_op(CpuId((i % 16) as u16), r.addr((i * 11) % (1 << 16)));
+        }
+    }
+    // Runs from a dead CPU take the scalar fallback; runs from a live
+    // one take the batched fast path — both must replay exactly.
+    p.read_run(CpuId(3), r.addr(0), 8, 2048);
+    p.write_run(CpuId(9), r.addr(8192), 8, 1024);
+    let recorded = p.total_cycles();
+    let (m, trace) = p.into_parts();
+    assert!(m.is_cpu_dead(CpuId(3)), "cpu hard fault must have fired");
+    assert_ne!(m.failed_rings(), 0, "link hard fault must have fired");
+    assert_ne!(m.degraded_nodes(), 0, "gcb hard fault must have fired");
+    assert!(m.stats.ring_stalls > 0, "transient stalls must have fired");
+
+    let mut fresh = Machine::spp1000(2).with_faults(plan());
+    let replayed = trace.replay(&mut fresh);
+    assert_eq!(replayed, recorded, "replayed cycles diverged");
+    assert_eq!(fresh.stats, m.stats, "replayed MemStats diverged");
+    assert_eq!(fresh.dead_cpu_list(), m.dead_cpu_list());
+    assert_eq!(fresh.failed_rings(), m.failed_rings());
+    assert_eq!(fresh.degraded_nodes(), m.degraded_nodes());
+}

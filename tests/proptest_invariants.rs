@@ -138,6 +138,50 @@ proptest! {
         prop_assert_eq!((a, b, c), (x, y, z));
     }
 
+    /// The n-th decision at each fault site depends only on
+    /// (seed, site, n) — never on how draws at the other sites
+    /// interleave with it. This is what makes fault schedules survive
+    /// refactors that reorder unrelated instrumentation.
+    #[test]
+    fn fault_sites_are_interleaving_invariant(
+        seed in proptest::num::u64::ANY,
+        schedule in proptest::collection::vec(0u8..4, 1..300)
+    ) {
+        let plan = || {
+            FaultPlan::new(seed)
+                .with_ring_stalls(0.3, 100)
+                .with_message_faults(0.3, 0.3)
+                .with_spawn_failures(0.3)
+        };
+        let draw = |p: &mut FaultPlan, site: u8| match site {
+            0 => p.ring_stall().is_some(),
+            1 => p.drops_message(),
+            2 => p.duplicates_message(),
+            _ => p.spawn_fails(),
+        };
+        // Reference streams: each site drawn alone on a fresh plan.
+        let mut counts = [0usize; 4];
+        for &s in &schedule {
+            counts[s as usize] += 1;
+        }
+        let reference: Vec<Vec<bool>> = (0u8..4)
+            .map(|site| {
+                let mut p = plan();
+                (0..counts[site as usize]).map(|_| draw(&mut p, site)).collect()
+            })
+            .collect();
+        // One plan draws the whole interleaved schedule.
+        let mut p = plan();
+        let mut seen: Vec<Vec<bool>> = vec![Vec::new(); 4];
+        for &s in &schedule {
+            let d = draw(&mut p, s);
+            seen[s as usize].push(d);
+        }
+        for site in 0..4 {
+            prop_assert_eq!(&seen[site], &reference[site], "site {}", site);
+        }
+    }
+
     /// The barrier never releases a thread before the last arrival,
     /// and lilo >= lifo, for any arrival pattern.
     #[test]
