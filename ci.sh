@@ -28,4 +28,17 @@ test -s target/repro/BENCH_chaos.json
 grep -q '"passed": true' target/repro/BENCH_chaos.json
 echo "   target/repro/BENCH_chaos.json OK"
 
+echo "== repro-trace smoke run (1 step, tracing + reconciliation gates)"
+cargo run --release -q -p spp-bench --bin repro-trace -- --steps 1 >/dev/null
+test -s target/repro/BENCH_trace.json
+grep -q '"passed": true' target/repro/BENCH_trace.json
+echo "   target/repro/BENCH_trace.json OK"
+
+echo "== trace determinism (two runs, byte-identical timeline)"
+cp target/repro/trace_timeline.json target/repro/trace_timeline.first.json
+cargo run --release -q -p spp-bench --bin repro-trace -- --steps 1 >/dev/null
+cmp target/repro/trace_timeline.first.json target/repro/trace_timeline.json
+rm -f target/repro/trace_timeline.first.json
+echo "   trace_timeline.json byte-identical across runs"
+
 echo "CI OK"

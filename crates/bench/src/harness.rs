@@ -78,6 +78,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             name: "backend",
             runner: crate::backend::run,
         },
+        Experiment {
+            name: "trace",
+            runner: crate::trace::run,
+        },
     ]
 }
 

@@ -25,6 +25,7 @@ pub mod scale;
 pub mod sensitivity;
 pub mod table1;
 pub mod table2;
+pub mod trace;
 
 /// Which memory-port backend prices the backend-sensitive sweeps
 /// (see [`backend`]). The figure/table experiments always use the

@@ -52,6 +52,7 @@ pub mod mem;
 pub mod port;
 pub mod snapshot;
 pub mod stats;
+pub mod trace;
 pub mod traceport;
 pub mod watchdog;
 
@@ -69,5 +70,6 @@ pub use mem::{AddressSpace, MemClass, Region};
 pub use port::MemPort;
 pub use snapshot::Snapshot;
 pub use stats::MemStats;
+pub use trace::{MissKind, NullSink, RingSink, TraceEvent, TraceRecord, TraceSink};
 pub use traceport::{Trace, TracePort};
 pub use watchdog::{StallKind, Watchdog, WatchdogReport};

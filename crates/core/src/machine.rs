@@ -23,6 +23,7 @@ use crate::fault::{FaultPlan, HardFault};
 use crate::latency::Cycles;
 use crate::mem::{AddressSpace, MemClass, Region};
 use crate::stats::MemStats;
+use crate::trace::{MissKind, RingSink, TraceEvent, TraceRecord, TraceSink, NO_CPU};
 
 /// The simulated SPP-1000.
 #[derive(Debug, Clone)]
@@ -40,10 +41,20 @@ pub struct Machine {
     pub(crate) sci: SciDirectory,
     /// Event counters.
     pub stats: MemStats,
+    /// Per-CPU event counters: each access's [`MemStats`] delta is
+    /// also charged to the issuing CPU, so `cpu_stats` sums to
+    /// `stats` for as long as both started from zero together
+    /// (restoring a snapshot restarts the breakdown at zero; the
+    /// global counters are part of the snapshot, the breakdown is
+    /// observability-only).
+    pub(crate) cpu_stats: Vec<MemStats>,
     pub(crate) line_shift: u32,
     /// Per-access invariant checker (see [`crate::check`]); boxed to
     /// keep the common no-checker machine small.
     checker: Option<Box<CoherenceChecker>>,
+    /// Structured event sink (see [`crate::trace`]); `None` means
+    /// tracing is off and every event site is a single branch.
+    tracer: Option<Box<dyn TraceSink>>,
     /// Deterministic fault schedule, if installed.
     pub(crate) faults: Option<FaultPlan>,
     /// Cumulative cycles charged across all accesses: the machine's
@@ -96,9 +107,11 @@ impl Machine {
             gcbs,
             sci: SciDirectory::new(),
             stats: MemStats::default(),
+            cpu_stats: vec![MemStats::default(); cfg.num_cpus()],
             line_shift,
             cfg,
             checker: None,
+            tracer: None,
             faults: None,
             clock: 0,
             dead_cpus: 0,
@@ -134,6 +147,76 @@ impl Machine {
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
         self
+    }
+
+    /// Mount a bounded event ring (capacity
+    /// [`RingSink::DEFAULT_CAPACITY`]) and start tracing. Tracing
+    /// never changes simulated cycles or [`MemStats`]; it only
+    /// records.
+    pub fn with_tracing(self) -> Self {
+        self.with_trace_sink(Box::new(RingSink::new(RingSink::DEFAULT_CAPACITY)))
+    }
+
+    /// Mount an arbitrary [`TraceSink`] (replacing any previous one).
+    pub fn with_trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.tracer = Some(sink);
+        self
+    }
+
+    /// The mounted trace sink, if tracing is on.
+    pub fn tracer(&self) -> Option<&dyn TraceSink> {
+        self.tracer.as_deref()
+    }
+
+    /// Mutable access to the mounted trace sink (e.g. to
+    /// [`TraceSink::clear`] between bracketed regions).
+    pub fn tracer_mut(&mut self) -> Option<&mut (dyn TraceSink + 'static)> {
+        self.tracer.as_deref_mut()
+    }
+
+    /// True when a trace sink is mounted.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Snapshot of the retained trace records, oldest first (empty
+    /// when tracing is off).
+    pub fn trace_events(&self) -> Vec<TraceRecord> {
+        self.tracer
+            .as_deref()
+            .map(|t| t.events())
+            .unwrap_or_default()
+    }
+
+    /// Per-CPU counter breakdown for one CPU.
+    pub fn cpu_stats(&self, cpu: CpuId) -> &MemStats {
+        &self.cpu_stats[cpu.0 as usize]
+    }
+
+    /// The whole per-CPU breakdown, indexed by global CPU id.
+    pub fn per_cpu_stats(&self) -> &[MemStats] {
+        &self.cpu_stats
+    }
+
+    /// Per-hypernode rollup: the merged counters of the node's CPUs.
+    pub fn node_stats(&self, node: NodeId) -> MemStats {
+        let per = self.cfg.cpus_per_node();
+        let base = node.0 as usize * per;
+        let mut s = MemStats::default();
+        for c in base..(base + per).min(self.cpu_stats.len()) {
+            s.merge(&self.cpu_stats[c]);
+        }
+        s
+    }
+
+    /// Zero the global counters *and* the per-CPU breakdown together
+    /// (resetting `stats` alone would let the breakdown drift from
+    /// the machine-global totals).
+    pub fn reset_all_stats(&mut self) {
+        self.stats.reset();
+        for s in &mut self.cpu_stats {
+            s.reset();
+        }
     }
 
     /// The installed checker, if any.
@@ -204,6 +287,7 @@ impl Machine {
     /// A cached read of the line containing `addr` by `cpu`. Returns
     /// the access latency in cycles.
     pub fn read(&mut self, cpu: CpuId, addr: u64) -> Cycles {
+        let before = self.stats;
         self.apply_due_hard_faults();
         self.stats.reads += 1;
         let line = self.line_of(addr);
@@ -218,6 +302,7 @@ impl Machine {
         cost += self.inject_ring_stall(sci_before);
         cost += self.inject_link_reroute(addr, sci_before);
         self.clock += cost;
+        self.account(cpu, &before);
         self.after_access(cpu, line, cost);
         cost
     }
@@ -225,6 +310,7 @@ impl Machine {
     /// A cached write to the line containing `addr` by `cpu`. Returns
     /// the access latency in cycles.
     pub fn write(&mut self, cpu: CpuId, addr: u64) -> Cycles {
+        let before = self.stats;
         self.apply_due_hard_faults();
         self.stats.writes += 1;
         let line = self.line_of(addr);
@@ -240,6 +326,7 @@ impl Machine {
                 self.stats.hits += 1;
                 let cost = self.invalidate_others(cpu, addr, line);
                 self.stats.upgrades += 1;
+                self.emit(cpu, TraceEvent::Upgrade { line });
                 let my_node = self.cfg.node_of_cpu(cpu);
                 let in_node = self.cfg.cpu_index_in_node(cpu) as u8;
                 self.caches[cpu.0 as usize].set_state(line, LineState::Modified);
@@ -252,6 +339,7 @@ impl Machine {
                 let fetch = self.read_miss(cpu, addr, line);
                 let inv = self.invalidate_others(cpu, addr, line);
                 self.stats.upgrades += 1;
+                self.emit(cpu, TraceEvent::Upgrade { line });
                 // A dead CPU's drained store is serviced by the node
                 // controller (write-through): it never takes
                 // ownership, so the line ends up Shared at node level
@@ -269,8 +357,45 @@ impl Machine {
         cost += self.inject_ring_stall(sci_before);
         cost += self.inject_link_reroute(addr, sci_before);
         self.clock += cost;
+        self.account(cpu, &before);
         self.after_access(cpu, line, cost);
         cost
+    }
+
+    /// Charge the global-counter delta since `before` to `cpu`'s
+    /// breakdown. Runs on every access; ~30 integer ops, independent
+    /// of tracing.
+    #[inline]
+    fn account(&mut self, cpu: CpuId, before: &MemStats) {
+        let delta = self.stats.since(before);
+        self.cpu_stats[cpu.0 as usize].merge(&delta);
+    }
+
+    /// Record a trace event stamped with the machine clock and
+    /// `cpu`'s hypernode; a single branch when tracing is off.
+    #[inline]
+    fn emit(&mut self, cpu: CpuId, event: TraceEvent) {
+        if self.tracer.is_some() {
+            self.emit_cold(cpu, event);
+        }
+    }
+
+    #[cold]
+    fn emit_cold(&mut self, cpu: CpuId, event: TraceEvent) {
+        let node = if cpu.0 == NO_CPU {
+            crate::trace::NO_NODE
+        } else {
+            self.cfg.node_of_cpu(cpu).0
+        };
+        let rec = TraceRecord {
+            at: self.clock,
+            cpu: cpu.0,
+            node,
+            event,
+        };
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.record(rec);
+        }
     }
 
     /// Draw one ring-stall decision from the fault plan, counting it.
@@ -363,6 +488,22 @@ impl Machine {
 
     /// Apply one hard fault to the machine state.
     fn apply_hard_fault(&mut self, fault: HardFault) {
+        if self.tracer.is_some() {
+            let (cpu, node) = match fault {
+                HardFault::CpuFail { cpu, .. } => (cpu, self.cfg.node_of_cpu(CpuId(cpu)).0),
+                HardFault::LinkFail { .. } => (NO_CPU, crate::trace::NO_NODE),
+                HardFault::GcbDegrade { node, .. } => (NO_CPU, node),
+            };
+            let rec = TraceRecord {
+                at: self.clock,
+                cpu,
+                node,
+                event: TraceEvent::Fault(fault),
+            };
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.record(rec);
+            }
+        }
         match fault {
             HardFault::CpuFail { cpu, .. } => self.kill_cpu(CpuId(cpu)),
             HardFault::LinkFail { ring, .. } => {
@@ -487,6 +628,7 @@ impl Machine {
     /// Bypasses all caches; cost depends only on where the semaphore
     /// lives.
     pub fn uncached_op(&mut self, cpu: CpuId, addr: u64) -> Cycles {
+        let before = self.stats;
         self.apply_due_hard_faults();
         self.stats.uncached_ops += 1;
         let (hnode, hfu) = self.space.home_of(addr);
@@ -501,6 +643,7 @@ impl Machine {
             local + extra + self.ring_stall_draw() + self.reroute_penalty(self.cfg.ring_of_fu(hfu))
         };
         self.clock += cost;
+        self.account(cpu, &before);
         cost
     }
 
@@ -538,6 +681,9 @@ impl Machine {
             if rem > 0 {
                 self.stats.reads += rem as u64;
                 self.stats.hits += rem as u64;
+                let per = &mut self.cpu_stats[cpu.0 as usize];
+                per.reads += rem as u64;
+                per.hits += rem as u64;
                 total += rem as u64 * hit;
                 self.clock += rem as u64 * hit;
                 if self.checker.is_some() {
@@ -576,6 +722,9 @@ impl Machine {
             if rem > 0 {
                 self.stats.writes += rem as u64;
                 self.stats.hits += rem as u64;
+                let per = &mut self.cpu_stats[cpu.0 as usize];
+                per.writes += rem as u64;
+                per.hits += rem as u64;
                 total += rem as u64 * hit;
                 self.clock += rem as u64 * hit;
                 if self.checker.is_some() {
@@ -608,6 +757,13 @@ impl Machine {
             // Cache-to-cache transfer through the node directory.
             cost = lat.local_miss + lat.c2c_extra;
             self.stats.c2c_transfers += 1;
+            self.emit(
+                cpu,
+                TraceEvent::Miss {
+                    kind: MissKind::C2c,
+                    line,
+                },
+            );
             let owner_cpu = my_node.0 as usize * self.cfg.cpus_per_node() + owner_in_node as usize;
             self.caches[owner_cpu].set_state(line, LineState::Shared);
             self.dirs[my_node.0 as usize].clear_owner(line);
@@ -620,11 +776,25 @@ impl Machine {
                 cost = lat.local_miss + lat.sci_fetch(hops);
                 self.stats.remote_dirty_fetches += 1;
                 self.stats.sci_fetches += 1;
+                self.emit(
+                    cpu,
+                    TraceEvent::Miss {
+                        kind: MissKind::Sci,
+                        line,
+                    },
+                );
                 self.downgrade_node(NodeId(d), hfu, line);
                 self.sci.clear_dirty(line);
             } else {
                 cost = lat.local_miss;
                 self.stats.local_misses += 1;
+                self.emit(
+                    cpu,
+                    TraceEvent::Miss {
+                        kind: MissKind::Local,
+                        line,
+                    },
+                );
             }
         } else {
             // Remote line: go through the global cache buffer on the
@@ -636,11 +806,25 @@ impl Machine {
                     // GCB hit: serviced within the hypernode (§2.6).
                     cost = lat.local_miss;
                     self.stats.gcb_hits += 1;
+                    self.emit(
+                        cpu,
+                        TraceEvent::Miss {
+                            kind: MissKind::Gcb,
+                            line,
+                        },
+                    );
                 }
                 LineState::Invalid => {
                     let hops = self.cfg.ring_round_trip_hops(my_node, hnode);
                     cost = lat.local_miss + lat.sci_fetch(hops);
                     self.stats.sci_fetches += 1;
+                    self.emit(
+                        cpu,
+                        TraceEvent::Miss {
+                            kind: MissKind::Sci,
+                            line,
+                        },
+                    );
                     // Dirty elsewhere? Home forwards to the owner.
                     if let Some(d) = self
                         .sci
@@ -713,6 +897,7 @@ impl Machine {
                 // the home directory.
                 cost += self.invalidate_in_node(hnode, line, None, &lat);
             }
+            let mut walked = 0u8;
             for n in e.list {
                 if n == my_node.0 {
                     continue; // our own GCB copy stays (we own the line now)
@@ -720,7 +905,17 @@ impl Machine {
                 let hops = self.cfg.ring_round_trip_hops(hnode, NodeId(n));
                 cost += lat.sci_invalidate_one(hops);
                 self.stats.sci_invalidations += 1;
+                walked += 1;
                 self.invalidate_node_copy(NodeId(n), hfu, line, &lat, &mut cost);
+            }
+            if walked > 0 {
+                self.emit(
+                    cpu,
+                    TraceEvent::SciInvalWalk {
+                        line,
+                        nodes: walked,
+                    },
+                );
             }
             // If we are remote, we remain the sole sharing node.
             if hnode != my_node {
@@ -852,6 +1047,17 @@ impl Machine {
     fn gcb_rollout(&mut self, node: NodeId, ring: RingId, victim: Evicted) -> Cycles {
         let lat = self.cfg.latency.clone();
         self.stats.gcb_rollouts += 1;
+        if self.tracer.is_some() {
+            let rec = TraceRecord {
+                at: self.clock,
+                cpu: NO_CPU,
+                node: node.0,
+                event: TraceEvent::GcbRollout { line: victim.line },
+            };
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.record(rec);
+            }
+        }
         let mut cost = lat.sci_list_op;
         if let Some(e) = self.dirs[node.0 as usize].take(victim.line) {
             for b in 0..self.cfg.cpus_per_node() as u8 {
@@ -1604,5 +1810,104 @@ mod tests {
             m.clock()
         };
         assert_eq!(clock(false), clock(true));
+    }
+
+    /// A small cross-node workload that exercises misses, upgrades,
+    /// SCI walks and semaphores on `m`.
+    fn mixed_workload(m: &mut Machine) {
+        let r = m.alloc(MemClass::FarShared, 64 * 1024);
+        let sem = m.alloc(MemClass::NearShared { node: NodeId(0) }, 64);
+        for i in 0..256u64 {
+            let cpu = CpuId((i % 16) as u16);
+            m.read(cpu, r.addr(i * 32));
+            if i % 3 == 0 {
+                m.write(cpu, r.addr(i * 32));
+            }
+            if i % 17 == 0 {
+                m.uncached_op(cpu, sem.addr(0));
+            }
+        }
+        m.read_run(CpuId(1), r.addr(0), 8, 512);
+        m.write_run(CpuId(9), r.addr(4096), 8, 512);
+    }
+
+    #[test]
+    fn per_cpu_stats_sum_to_global() {
+        let mut m = m2();
+        mixed_workload(&mut m);
+        let mut sum = MemStats::default();
+        for s in m.per_cpu_stats() {
+            sum.merge(s);
+        }
+        assert_eq!(sum, m.stats, "per-CPU breakdown must sum to global");
+        // And the per-node rollup is the same partition at node grain.
+        let mut nodes = MemStats::default();
+        for n in 0..m.config().hypernodes {
+            nodes.merge(&m.node_stats(NodeId(n as u8)));
+        }
+        assert_eq!(nodes, m.stats);
+    }
+
+    #[test]
+    fn miss_partition_holds_on_a_real_workload() {
+        let mut m = m2();
+        mixed_workload(&mut m);
+        assert!(m.stats.misses() > 0);
+        assert!(m.stats.miss_partition_check(), "{}", m.stats);
+        for (c, s) in m.per_cpu_stats().iter().enumerate() {
+            assert!(s.miss_partition_check(), "cpu {c}: {s}");
+        }
+    }
+
+    #[test]
+    fn tracing_does_not_change_cycles_or_stats() {
+        let mut plain = m2();
+        mixed_workload(&mut plain);
+        let mut traced = m2().with_tracing();
+        mixed_workload(&mut traced);
+        assert_eq!(plain.clock(), traced.clock());
+        assert_eq!(plain.stats, traced.stats);
+        assert!(!plain.tracing_enabled());
+        assert!(traced.tracing_enabled());
+        assert!(!traced.trace_events().is_empty());
+    }
+
+    #[test]
+    fn trace_counts_reconcile_with_memstats() {
+        let mut m = m2().with_tracing();
+        mixed_workload(&mut m);
+        let counts = m.tracer().unwrap().counts();
+        assert_eq!(counts[0], m.stats.local_misses, "miss-local");
+        assert_eq!(counts[1], m.stats.gcb_hits, "miss-gcb");
+        assert_eq!(counts[2], m.stats.sci_fetches, "miss-sci");
+        assert_eq!(counts[3], m.stats.c2c_transfers, "miss-c2c");
+        assert_eq!(counts[4], m.stats.upgrades, "upgrade");
+        assert_eq!(counts[6], m.stats.gcb_rollouts, "gcb-rollout");
+    }
+
+    #[test]
+    fn trace_stream_is_deterministic() {
+        let run = || {
+            let mut m = m2().with_tracing();
+            mixed_workload(&mut m);
+            crate::trace::perfetto_json(&m.trace_events())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reset_all_stats_keeps_breakdown_in_sync() {
+        let mut m = m2();
+        mixed_workload(&mut m);
+        m.reset_all_stats();
+        assert_eq!(m.stats, MemStats::default());
+        for s in m.per_cpu_stats() {
+            assert_eq!(*s, MemStats::default());
+        }
+        // Bracketing with since() across the reset is safe (saturating).
+        let before = m.stats;
+        mixed_workload(&mut m);
+        let delta = m.stats.since(&before);
+        assert_eq!(delta, m.stats);
     }
 }

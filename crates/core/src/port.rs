@@ -38,6 +38,7 @@ use crate::latency::Cycles;
 use crate::machine::Machine;
 use crate::mem::{MemClass, Region};
 use crate::stats::MemStats;
+use crate::trace::TraceRecord;
 
 /// A memory system that allocates simulated addresses and prices
 /// accesses in cycles. See the [module docs](self) for the contract.
@@ -121,6 +122,19 @@ pub trait MemPort {
     fn faults_mut(&mut self) -> Option<&mut FaultPlan> {
         None
     }
+
+    /// True when this backend has a trace sink mounted. Layers above
+    /// the machine (runtime, PVM) guard their event construction on
+    /// this so tracing off costs them a single branch per sync point.
+    fn tracing(&self) -> bool {
+        false
+    }
+
+    /// Deliver one externally-stamped trace record (see
+    /// [`crate::trace`]); dropped by backends without a sink.
+    fn trace(&mut self, rec: TraceRecord) {
+        let _ = rec;
+    }
 }
 
 impl MemPort for Machine {
@@ -174,5 +188,15 @@ impl MemPort for Machine {
 
     fn faults_mut(&mut self) -> Option<&mut FaultPlan> {
         Machine::faults_mut(self)
+    }
+
+    fn tracing(&self) -> bool {
+        Machine::tracing_enabled(self)
+    }
+
+    fn trace(&mut self, rec: TraceRecord) {
+        if let Some(t) = self.tracer_mut() {
+            t.record(rec);
+        }
     }
 }

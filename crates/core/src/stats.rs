@@ -80,27 +80,67 @@ impl MemStats {
     }
 
     /// Per-field difference (`self - earlier`); use to bracket a
-    /// region of interest.
+    /// region of interest. Saturating: if counters were [`reset`]
+    /// between the two snapshots the delta clamps to zero instead of
+    /// panicking in debug builds (or wrapping in release).
+    ///
+    /// [`reset`]: MemStats::reset
     pub fn since(&self, earlier: &MemStats) -> MemStats {
         MemStats {
-            reads: self.reads - earlier.reads,
-            writes: self.writes - earlier.writes,
-            hits: self.hits - earlier.hits,
-            local_misses: self.local_misses - earlier.local_misses,
-            gcb_hits: self.gcb_hits - earlier.gcb_hits,
-            sci_fetches: self.sci_fetches - earlier.sci_fetches,
-            remote_dirty_fetches: self.remote_dirty_fetches - earlier.remote_dirty_fetches,
-            c2c_transfers: self.c2c_transfers - earlier.c2c_transfers,
-            upgrades: self.upgrades - earlier.upgrades,
-            invalidations: self.invalidations - earlier.invalidations,
-            sci_invalidations: self.sci_invalidations - earlier.sci_invalidations,
-            evictions: self.evictions - earlier.evictions,
-            writebacks: self.writebacks - earlier.writebacks,
-            gcb_rollouts: self.gcb_rollouts - earlier.gcb_rollouts,
-            uncached_ops: self.uncached_ops - earlier.uncached_ops,
-            ring_stalls: self.ring_stalls - earlier.ring_stalls,
-            link_reroutes: self.link_reroutes - earlier.link_reroutes,
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            hits: self.hits.saturating_sub(earlier.hits),
+            local_misses: self.local_misses.saturating_sub(earlier.local_misses),
+            gcb_hits: self.gcb_hits.saturating_sub(earlier.gcb_hits),
+            sci_fetches: self.sci_fetches.saturating_sub(earlier.sci_fetches),
+            remote_dirty_fetches: self
+                .remote_dirty_fetches
+                .saturating_sub(earlier.remote_dirty_fetches),
+            c2c_transfers: self.c2c_transfers.saturating_sub(earlier.c2c_transfers),
+            upgrades: self.upgrades.saturating_sub(earlier.upgrades),
+            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+            sci_invalidations: self
+                .sci_invalidations
+                .saturating_sub(earlier.sci_invalidations),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            writebacks: self.writebacks.saturating_sub(earlier.writebacks),
+            gcb_rollouts: self.gcb_rollouts.saturating_sub(earlier.gcb_rollouts),
+            uncached_ops: self.uncached_ops.saturating_sub(earlier.uncached_ops),
+            ring_stalls: self.ring_stalls.saturating_sub(earlier.ring_stalls),
+            link_reroutes: self.link_reroutes.saturating_sub(earlier.link_reroutes),
         }
+    }
+
+    /// Per-field accumulation (`self += other`); the merge the
+    /// per-hypernode rollups use.
+    pub fn merge(&mut self, other: &MemStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.hits += other.hits;
+        self.local_misses += other.local_misses;
+        self.gcb_hits += other.gcb_hits;
+        self.sci_fetches += other.sci_fetches;
+        self.remote_dirty_fetches += other.remote_dirty_fetches;
+        self.c2c_transfers += other.c2c_transfers;
+        self.upgrades += other.upgrades;
+        self.invalidations += other.invalidations;
+        self.sci_invalidations += other.sci_invalidations;
+        self.evictions += other.evictions;
+        self.writebacks += other.writebacks;
+        self.gcb_rollouts += other.gcb_rollouts;
+        self.uncached_ops += other.uncached_ops;
+        self.ring_stalls += other.ring_stalls;
+        self.link_reroutes += other.link_reroutes;
+    }
+
+    /// Check that the miss-kind counters partition [`MemStats::misses`]
+    /// exactly: every miss is serviced by exactly one of local memory,
+    /// the GCB, an SCI fetch, or an intra-node cache-to-cache transfer
+    /// (`remote_dirty_fetches` annotates SCI fetches rather than
+    /// forming a fifth kind). Holds for any bracketed delta of a
+    /// cycle-accurate machine's counters.
+    pub fn miss_partition_check(&self) -> bool {
+        self.local_misses + self.gcb_hits + self.sci_fetches + self.c2c_transfers == self.misses()
     }
 }
 
@@ -170,6 +210,62 @@ mod tests {
         assert_eq!(d.reads, 15);
         assert_eq!(d.hits, 12);
         assert_eq!(d.misses(), 3);
+    }
+
+    #[test]
+    fn since_saturates_across_a_reset() {
+        let mut s = MemStats {
+            reads: 100,
+            writes: 40,
+            hits: 120,
+            ..Default::default()
+        };
+        let bracket = s; // snapshot taken before...
+        s.reset(); // ...someone resets between the brackets
+        s.reads = 5;
+        let d = s.since(&bracket);
+        assert_eq!(d.reads, 0, "clamped, not wrapped");
+        assert_eq!(d.writes, 0);
+        assert_eq!(d.hits, 0);
+    }
+
+    #[test]
+    fn merge_accumulates_fieldwise() {
+        let mut a = MemStats {
+            reads: 10,
+            sci_fetches: 2,
+            ..Default::default()
+        };
+        let b = MemStats {
+            reads: 5,
+            writes: 7,
+            sci_fetches: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.reads, 15);
+        assert_eq!(a.writes, 7);
+        assert_eq!(a.sci_fetches, 3);
+    }
+
+    #[test]
+    fn miss_partition_check_accepts_partitioned_counters() {
+        let s = MemStats {
+            reads: 100,
+            hits: 90,
+            local_misses: 4,
+            gcb_hits: 2,
+            sci_fetches: 3,
+            c2c_transfers: 1,
+            remote_dirty_fetches: 2, // annotates sci fetches; not a kind
+            ..Default::default()
+        };
+        assert!(s.miss_partition_check());
+        let bad = MemStats {
+            local_misses: 5,
+            ..s
+        };
+        assert!(!bad.miss_partition_check());
     }
 
     #[test]

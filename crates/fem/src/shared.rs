@@ -186,6 +186,25 @@ impl SharedFem {
         team: &Team,
         cfl: f64,
     ) -> (Cycles, u64) {
+        self.step_profiled(rt, team, cfl, None)
+    }
+
+    /// One step, optionally recording each phase in a CXpa-style
+    /// [`spp_runtime::Profile`].
+    pub fn step_profiled<P: MemPort>(
+        &mut self,
+        rt: &mut Runtime<P>,
+        team: &Team,
+        cfl: f64,
+        mut prof: Option<&mut spp_runtime::Profile>,
+    ) -> (Cycles, u64) {
+        let track = |prof: &mut Option<&mut spp_runtime::Profile>,
+                     name: &str,
+                     rep: &spp_runtime::RegionReport| {
+            if let Some(p) = prof.as_deref_mut() {
+                p.record(name, rep);
+            }
+        };
         let n = self.mesh.num_points();
         let ne = self.mesh.num_elements();
         let nt = team.len();
@@ -207,6 +226,7 @@ impl SharedFem {
                 let r = ctx.chunk(n);
                 ctx.fill_run(res, 4 * r.start..4 * r.end, 0.0);
             });
+            track(&mut prof, "clear", &rep);
             elapsed += rep.elapsed;
         }
 
@@ -251,6 +271,7 @@ impl SharedFem {
                     }
                 }
             });
+            track(&mut prof, "element", &rep);
             elapsed += rep.elapsed;
         }
 
@@ -311,6 +332,7 @@ impl SharedFem {
                 let tid = ctx.tid;
                 ctx.write(partial, tid, local_max);
             });
+            track(&mut prof, "point", &rep);
             elapsed += rep.elapsed;
             self.res_clean = true;
         }
@@ -329,6 +351,7 @@ impl SharedFem {
                     }
                 }
             });
+            track(&mut prof, "reduce", &rep);
             elapsed += rep.elapsed;
             self.max_speed = global;
         }
@@ -403,6 +426,19 @@ mod tests {
         let team = Team::place(rt.machine.config(), threads, &Placement::HighLocality);
         let f = SharedFem::new(&mut rt, Mesh::tiny(), coding, &team);
         (rt, f, team)
+    }
+
+    #[test]
+    fn profiled_step_records_every_phase() {
+        let (mut rt, mut f, team) = sim(4, Coding::ScatterAdd);
+        let mut prof = spp_runtime::Profile::new();
+        let (elapsed, _) = f.step_profiled(&mut rt, &team, 0.3, Some(&mut prof));
+        let names: Vec<&str> = prof.regions().iter().map(|r| r.name.as_str()).collect();
+        // The dedicated clear runs only on the first scatter-add step.
+        for want in ["clear", "element", "point", "reduce"] {
+            assert!(names.contains(&want), "missing {want} in {names:?}");
+        }
+        assert_eq!(prof.total_elapsed(), elapsed, "profile covers the step");
     }
 
     #[test]

@@ -130,6 +130,25 @@ impl SharedNbody {
     /// One leapfrog timestep: rebuild, summarize, forces, push.
     /// Returns (elapsed cycles, flops, interactions).
     pub fn step<P: MemPort>(&mut self, rt: &mut Runtime<P>, team: &Team) -> (Cycles, u64, u64) {
+        self.step_profiled(rt, team, None)
+    }
+
+    /// One timestep, optionally recording each phase in a CXpa-style
+    /// [`spp_runtime::Profile`]. Repeated per-level regions (topology,
+    /// summarize) merge into one stat apiece.
+    pub fn step_profiled<P: MemPort>(
+        &mut self,
+        rt: &mut Runtime<P>,
+        team: &Team,
+        mut prof: Option<&mut spp_runtime::Profile>,
+    ) -> (Cycles, u64, u64) {
+        let track = |prof: &mut Option<&mut spp_runtime::Profile>,
+                     name: &str,
+                     rep: &spp_runtime::RegionReport| {
+            if let Some(p) = prof.as_deref_mut() {
+                p.record(name, rep);
+            }
+        };
         let mut elapsed = 0u64;
         let mut flops = 0u64;
         let n = self.len();
@@ -155,6 +174,7 @@ impl SharedNbody {
                 ctx.flops(6);
             }
         });
+        track(&mut prof, "morton", &rep);
         elapsed += rep.elapsed;
         flops += rep.flops;
 
@@ -179,6 +199,7 @@ impl SharedNbody {
                 ctx.write(keys, dest, key_snapshot[i]);
             }
         });
+        track(&mut prof, "sort", &rep);
         elapsed += rep.elapsed;
         flops += rep.flops;
 
@@ -191,6 +212,7 @@ impl SharedNbody {
                 let r = ctx.chunk(e - s);
                 tree.fill_topology(ctx, nodes, keys, s + r.start..s + r.end);
             });
+            track(&mut prof, "topology", &rep);
             elapsed += rep.elapsed;
             flops += rep.flops;
         }
@@ -209,6 +231,7 @@ impl SharedNbody {
                 let r = ctx.chunk(e - s);
                 tree.summarize(ctx, s + r.start..s + r.end, &pos);
             });
+            track(&mut prof, "summarize", &rep);
             elapsed += rep.elapsed;
             flops += rep.flops;
         }
@@ -244,6 +267,7 @@ impl SharedNbody {
                     ctx.write(az, i, a[2]);
                 }
             });
+            track(&mut prof, "forces", &rep);
             elapsed += rep.elapsed;
             flops += rep.flops;
         }
@@ -267,6 +291,7 @@ impl SharedNbody {
                 ctx.flops(12);
             }
         });
+        track(&mut prof, "push", &rep);
         elapsed += rep.elapsed;
         flops += rep.flops;
 
@@ -305,6 +330,18 @@ mod tests {
         let team = Team::place(rt.machine.config(), threads, &Placement::HighLocality);
         let nb = SharedNbody::new(&mut rt, NbodyProblem::with_n(n), &team);
         (rt, nb, team)
+    }
+
+    #[test]
+    fn profiled_step_records_every_phase() {
+        let (mut rt, mut nb, team) = sim(4, 512);
+        let mut prof = spp_runtime::Profile::new();
+        let (elapsed, _, _) = nb.step_profiled(&mut rt, &team, Some(&mut prof));
+        let names: Vec<&str> = prof.regions().iter().map(|r| r.name.as_str()).collect();
+        for want in ["morton", "sort", "topology", "summarize", "forces", "push"] {
+            assert!(names.contains(&want), "missing {want} in {names:?}");
+        }
+        assert_eq!(prof.total_elapsed(), elapsed, "profile covers the step");
     }
 
     #[test]

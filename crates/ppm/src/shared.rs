@@ -150,6 +150,24 @@ impl SharedPpm {
 
     /// One directionally split timestep. Returns (elapsed, flops).
     pub fn step<P: MemPort>(&mut self, rt: &mut Runtime<P>, team: &Team) -> (Cycles, u64) {
+        self.step_profiled(rt, team, None)
+    }
+
+    /// One timestep, optionally recording each phase in a CXpa-style
+    /// [`spp_runtime::Profile`].
+    pub fn step_profiled<P: MemPort>(
+        &mut self,
+        rt: &mut Runtime<P>,
+        team: &Team,
+        mut prof: Option<&mut spp_runtime::Profile>,
+    ) -> (Cycles, u64) {
+        let track = |prof: &mut Option<&mut spp_runtime::Profile>,
+                     name: &str,
+                     rep: &spp_runtime::RegionReport| {
+            if let Some(p) = prof.as_deref_mut() {
+                p.record(name, rep);
+            }
+        };
         let mut elapsed = 0u64;
         let mut flops = 0u64;
         let tiles = self.problem.num_tiles();
@@ -207,20 +225,23 @@ impl SharedPpm {
                     }
                 }
             });
+            track(&mut prof, "ghost", &rep);
             elapsed += rep.elapsed;
             flops += rep.flops;
         }
 
         // Phase 2: x sweeps over rows 1..gh-1, updating a 3-deep row
         // margin redundantly so the y sweep needs no second exchange.
-        let (ela, fl) = self.sweep_phase(rt, team, true, dtdx);
-        elapsed += ela;
-        flops += fl;
+        let rep = self.sweep_phase(rt, team, true, dtdx);
+        track(&mut prof, "xsweep", &rep);
+        elapsed += rep.elapsed;
+        flops += rep.flops;
 
         // Phase 3: y sweeps over interior columns.
-        let (ela, fl) = self.sweep_phase(rt, team, false, dtdx);
-        elapsed += ela;
-        flops += fl;
+        let rep = self.sweep_phase(rt, team, false, dtdx);
+        track(&mut prof, "ysweep", &rep);
+        elapsed += rep.elapsed;
+        flops += rep.flops;
 
         // Phase 4: global CFL reduction (thread 0 reads per-tile
         // speeds).
@@ -237,6 +258,7 @@ impl SharedPpm {
                     }
                 }
             });
+            track(&mut prof, "reduce", &rep);
             elapsed += rep.elapsed;
             flops += rep.flops;
             self.dtdx = self.problem.cfl / global.max(1e-12);
@@ -252,7 +274,7 @@ impl SharedPpm {
         team: &Team,
         xdir: bool,
         dtdx: f64,
-    ) -> (Cycles, u64) {
+    ) -> spp_runtime::RegionReport {
         let tiles = self.problem.num_tiles();
         let (w, h) = self.problem.tile_shape();
         let (gw, gh) = (self.gw, self.gh);
@@ -346,7 +368,7 @@ impl SharedPpm {
                 }
             }
         });
-        (rep.elapsed, rep.flops)
+        rep
     }
 
     /// Run `steps` timesteps.
@@ -441,6 +463,19 @@ mod tests {
         let team = Team::place(rt.machine.config(), threads, &Placement::HighLocality);
         let s = SharedPpm::new(&mut rt, p, &team);
         (rt, s, team)
+    }
+
+    #[test]
+    fn profiled_step_records_every_phase() {
+        let p = PpmProblem::tiny();
+        let (mut rt, mut s, team) = sim(4, p);
+        let mut prof = spp_runtime::Profile::new();
+        let (elapsed, _) = s.step_profiled(&mut rt, &team, Some(&mut prof));
+        let names: Vec<&str> = prof.regions().iter().map(|r| r.name.as_str()).collect();
+        for want in ["ghost", "xsweep", "ysweep", "reduce"] {
+            assert!(names.contains(&want), "missing {want} in {names:?}");
+        }
+        assert_eq!(prof.total_elapsed(), elapsed, "profile covers the step");
     }
 
     #[test]

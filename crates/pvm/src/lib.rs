@@ -28,6 +28,7 @@
 
 use std::collections::VecDeque;
 
+use spp_core::trace::{record, TraceEvent, NO_CPU, NO_NODE};
 use spp_core::{
     us_to_cycles, CpuId, Cycles, Machine, MemClass, MemPort, NodeId, Region, SimError, StallKind,
     Watchdog, WatchdogReport,
@@ -367,6 +368,16 @@ impl<P: MemPort> Pvm<P> {
             }
             self.faults.retries += 1;
             self.tasks[from].clock += self.cost.retry_timeout;
+            let retried_at = self.tasks[from].clock;
+            self.emit(
+                retried_at,
+                from,
+                TraceEvent::PvmRetry {
+                    from: from as u16,
+                    to: to as u16,
+                    tag,
+                },
+            );
         }
         let arrival = self.tasks[from].clock;
         let seq = self.tasks[from].next_seq;
@@ -387,6 +398,16 @@ impl<P: MemPort> Pvm<P> {
             self.faults.dups_injected += 1;
             self.inboxes[to].push_back(msg);
         }
+        self.emit(
+            arrival,
+            from,
+            TraceEvent::PvmSend {
+                from: from as u16,
+                to: to as u16,
+                bytes: bytes as u64,
+                tag,
+            },
+        );
         Ok(())
     }
 
@@ -419,7 +440,37 @@ impl<P: MemPort> Pvm<P> {
         }
         let task = &mut self.tasks[t];
         task.clock = task.clock.max(msg.arrival) + self.cost.recv_sw;
+        let done = task.clock;
+        self.emit(
+            done,
+            t,
+            TraceEvent::PvmRecv {
+                from: msg.from as u16,
+                to: t as u16,
+                bytes: msg.bytes as u64,
+                tag: msg.tag,
+            },
+        );
         Some(msg)
+    }
+
+    /// Emit one trace record stamped with task `t`'s CPU and
+    /// hypernode (no-op unless the backend has a sink mounted).
+    fn emit(&mut self, at: Cycles, t: usize, event: TraceEvent) {
+        if self.machine.tracing() {
+            let cpu = self.tasks[t].cpu;
+            let node = self.machine.config().node_of_cpu(cpu);
+            self.machine.trace(record(at, cpu.0, node.0, event));
+        }
+    }
+
+    /// Emit a system-level watchdog event (not attributable to one
+    /// CPU: the stall is a property of the whole protocol episode).
+    fn emit_watchdog(&mut self, at: Cycles, kind: StallKind) {
+        if self.machine.tracing() {
+            self.machine
+                .trace(record(at, NO_CPU, NO_NODE, TraceEvent::Watchdog { kind }));
+        }
     }
 
     /// Build a receive-stall diagnostic: the receiver's inbox contents
@@ -465,18 +516,22 @@ impl<P: MemPort> Pvm<P> {
             .map(|m| m.arrival)
             .min();
         match arrival {
-            None => Err(self.receive_trip(
-                t,
-                wd,
-                now,
-                format!(
-                    "task {t} receive (from {from:?}, tag {tag:?}) has no matching \
-                     in-flight message and can never complete"
-                ),
-            )),
+            None => {
+                self.emit_watchdog(now, StallKind::Receive);
+                Err(self.receive_trip(
+                    t,
+                    wd,
+                    now,
+                    format!(
+                        "task {t} receive (from {from:?}, tag {tag:?}) has no matching \
+                         in-flight message and can never complete"
+                    ),
+                ))
+            }
             Some(arr) => {
                 let wait = arr.saturating_sub(now);
                 if wd.expired(wait) {
+                    self.emit_watchdog(now, StallKind::Receive);
                     Err(self.receive_trip(
                         t,
                         wd,
@@ -507,6 +562,7 @@ impl<P: MemPort> Pvm<P> {
     ) -> Result<(), WatchdogReport> {
         self.try_send(from, to, bytes, tag).map_err(|e| {
             let observed = self.tasks.get(from).map(|t| t.clock).unwrap_or(0);
+            self.emit_watchdog(observed, StallKind::RetryLoop);
             wd.trip(StallKind::RetryLoop, observed, e.to_string())
                 .with_cpu_clocks(self.tasks.iter().map(|s| (s.cpu.0, s.clock)).collect())
         })
@@ -657,6 +713,60 @@ mod tests {
 
     fn two_tasks_global() -> Pvm {
         Pvm::spp1000(2, &[CpuId(0), CpuId(8)])
+    }
+
+    #[test]
+    fn traced_session_emits_send_recv_events_with_task_stamps() {
+        let mut pvm = Pvm::new(Machine::spp1000(2).with_tracing(), &[CpuId(0), CpuId(8)]);
+        pvm.send(0, 1, 1024, 7);
+        let msg = pvm.recv(1, Some(0), Some(7)).unwrap();
+        let events = pvm.machine.trace_events();
+        let send = events
+            .iter()
+            .find(|r| matches!(r.event, TraceEvent::PvmSend { .. }))
+            .expect("send event");
+        assert_eq!((send.cpu, send.node), (0, 0), "stamped with sender");
+        assert_eq!(send.at, msg.arrival, "stamped at inbox arrival");
+        let recv = events
+            .iter()
+            .find(|r| matches!(r.event, TraceEvent::PvmRecv { .. }))
+            .expect("recv event");
+        assert_eq!((recv.cpu, recv.node), (8, 1), "stamped with receiver");
+        assert_eq!(recv.at, pvm.clock(1), "stamped after the recv path");
+        match recv.event {
+            TraceEvent::PvmRecv {
+                from,
+                to,
+                bytes,
+                tag,
+            } => assert_eq!((from, to, bytes, tag), (0, 1, 1024, 7)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn traced_receive_stall_emits_a_watchdog_event() {
+        let mut pvm = Pvm::new(Machine::spp1000(1).with_tracing(), &[CpuId(0), CpuId(1)]);
+        pvm.recv_watched(1, Some(0), None, &Watchdog::new(1_000))
+            .expect_err("no message was ever sent");
+        assert!(pvm.machine.trace_events().iter().any(|r| matches!(
+            r.event,
+            TraceEvent::Watchdog {
+                kind: StallKind::Receive
+            }
+        )));
+    }
+
+    #[test]
+    fn tracing_does_not_change_pvm_clocks() {
+        let run = |traced: bool| {
+            let m = Machine::spp1000(2);
+            let m = if traced { m.with_tracing() } else { m };
+            let mut pvm = Pvm::new(m, &[CpuId(0), CpuId(8)]);
+            let rt = pvm.round_trip(0, 1, 4096, 3);
+            (rt, pvm.clock(0), pvm.clock(1))
+        };
+        assert_eq!(run(false), run(true));
     }
 
     // Paper anchor (§4.3, Figure 4): intra-hypernode PVM round trips

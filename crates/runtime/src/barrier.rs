@@ -10,6 +10,7 @@
 //! event by event against the machine model.
 
 use crate::cost::RuntimeCostModel;
+use spp_core::trace::{record, TraceEvent, NO_CPU, NO_NODE};
 use spp_core::{CpuId, Cycles, MemClass, MemPort, NodeId, StallKind, Watchdog, WatchdogReport};
 
 /// A barrier with its simulated memory (semaphore + release flag).
@@ -91,8 +92,14 @@ impl SimBarrier {
         if arrivals.len() == 1 {
             let (cpu, t) = arrivals[0];
             let dec = m.uncached_op(cpu, self.sem_addr);
+            let resumed = t + self.enter_sw + dec + self.flag_write_base;
+            if m.tracing() {
+                let node = m.config().node_of_cpu(cpu).0;
+                m.trace(record(t, cpu.0, node, TraceEvent::BarrierArrive));
+                m.trace(record(resumed, cpu.0, node, TraceEvent::BarrierRelease));
+            }
             return BarrierResult {
-                release: vec![t + self.enter_sw + dec + self.flag_write_base],
+                release: vec![resumed],
                 last_arrival,
             };
         }
@@ -166,6 +173,14 @@ impl SimBarrier {
             release[i] = write_done + (k as u64 + 1) * cost.hot_line_service + fetch;
         }
 
+        if m.tracing() {
+            for (i, (cpu, t)) in arrivals.iter().enumerate() {
+                let node = m.config().node_of_cpu(*cpu).0;
+                m.trace(record(*t, cpu.0, node, TraceEvent::BarrierArrive));
+                m.trace(record(release[i], cpu.0, node, TraceEvent::BarrierRelease));
+            }
+        }
+
         BarrierResult {
             release,
             last_arrival,
@@ -206,6 +221,16 @@ impl SimBarrier {
             }
         }
         if !dead.is_empty() {
+            if m.tracing() {
+                m.trace(record(
+                    last,
+                    NO_CPU,
+                    NO_NODE,
+                    TraceEvent::Watchdog {
+                        kind: StallKind::Barrier,
+                    },
+                ));
+            }
             return Err(wd
                 .trip(
                     StallKind::Barrier,
@@ -224,6 +249,16 @@ impl SimBarrier {
                 if t - first <= wd.deadline() && i < 64 {
                     on_time |= 1 << i;
                 }
+            }
+            if m.tracing() {
+                m.trace(record(
+                    last,
+                    NO_CPU,
+                    NO_NODE,
+                    TraceEvent::Watchdog {
+                        kind: StallKind::Barrier,
+                    },
+                ));
             }
             return Err(wd
                 .trip(

@@ -15,6 +15,7 @@ use crate::barrier::{BarrierResult, SimBarrier};
 use crate::cost::RuntimeCostModel;
 use crate::noise::OsNoise;
 use crate::team::{chunk_range, Placement, Team};
+use spp_core::trace::{record, TraceEvent, NO_CPU, NO_NODE};
 use spp_core::{
     CpuId, Cycles, Machine, MemPort, NodeId, SimArray, SimError, StallKind, Watchdog,
     WatchdogReport,
@@ -422,6 +423,16 @@ impl<P: MemPort> Runtime<P> {
                 }
             }
             if !dead.is_empty() {
+                if self.machine.tracing() {
+                    self.machine.trace(record(
+                        self.now,
+                        NO_CPU,
+                        NO_NODE,
+                        TraceEvent::Watchdog {
+                            kind: StallKind::Barrier,
+                        },
+                    ));
+                }
                 return Err(w
                     .trip(
                         StallKind::Barrier,
@@ -452,9 +463,19 @@ impl<P: MemPort> Runtime<P> {
                 Ok(c) => t += c,
                 Err(e) => match wd {
                     Some(w) => {
+                        if self.machine.tracing() {
+                            self.machine.trace(record(
+                                self.now + t,
+                                NO_CPU,
+                                NO_NODE,
+                                TraceEvent::Watchdog {
+                                    kind: StallKind::RetryLoop,
+                                },
+                            ));
+                        }
                         return Err(w
                             .trip(StallKind::RetryLoop, t, e.to_string())
-                            .with_cpu_clocks(team.cpus().iter().map(|c| (c.0, 0)).collect()))
+                            .with_cpu_clocks(team.cpus().iter().map(|c| (c.0, 0)).collect()));
                     }
                     None => panic!("{e}"),
                 },
@@ -518,6 +539,18 @@ impl<P: MemPort> Runtime<P> {
             }
         };
         let elapsed = join.end() + self.cost.join_base;
+        if self.machine.tracing() {
+            let parent = team.cpu(0);
+            self.machine.trace(record(
+                self.now,
+                parent.0,
+                parent_node.0,
+                TraceEvent::ForkSpan {
+                    threads: n as u16,
+                    dur: elapsed,
+                },
+            ));
+        }
         self.now += elapsed;
         Ok(RegionReport {
             elapsed,
@@ -978,6 +1011,74 @@ mod tests {
             .expect_err("certain spawn failure must trip, not panic");
         assert_eq!(rep.kind, StallKind::RetryLoop);
         assert!(rep.to_string().contains("failed after"), "{rep}");
+    }
+
+    #[test]
+    fn traced_region_emits_fork_span_and_barrier_events() {
+        use spp_core::{Machine, TraceEvent};
+        let mut rt = Runtime::new(Machine::spp1000(1).with_tracing());
+        let rep = rt.fork_join(4, &Placement::HighLocality, |ctx| ctx.flops(1_000));
+        let events = rt.machine.trace_events();
+        let spans: Vec<_> = events
+            .iter()
+            .filter_map(|r| match r.event {
+                TraceEvent::ForkSpan { threads, dur } => Some((r.at, threads, dur)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0], (0, 4, rep.elapsed), "span covers the region");
+        let arrives = events
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::BarrierArrive))
+            .count();
+        let releases = events
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::BarrierRelease))
+            .count();
+        assert_eq!(arrives, 4, "one arrival per team member");
+        assert_eq!(releases, 4, "one release per team member");
+    }
+
+    #[test]
+    fn tracing_does_not_change_region_timing() {
+        use spp_core::Machine;
+        let run = |traced: bool| {
+            let m = Machine::spp1000(2);
+            let m = if traced { m.with_tracing() } else { m };
+            let mut rt = Runtime::new(m);
+            let mut totals = Vec::new();
+            for _ in 0..3 {
+                let rep = rt.fork_join(8, &Placement::Uniform, |ctx| ctx.flops(500));
+                totals.push((rep.elapsed, rep.busy.clone(), rep.start.clone()));
+            }
+            (totals, *rt.machine.stats())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn watched_trip_emits_a_watchdog_event() {
+        use spp_core::{FaultPlan, Machine, StallKind, TraceEvent};
+        let m = Machine::spp1000(2)
+            .with_faults(FaultPlan::new(1).with_spawn_failures(1.0))
+            .with_tracing();
+        let mut rt = Runtime::new(m);
+        let rep = rt
+            .watched_fork_join(
+                2,
+                &Placement::HighLocality,
+                &spp_core::Watchdog::new(1_000_000),
+                |_| {},
+            )
+            .expect_err("certain spawn failure must trip");
+        assert_eq!(rep.kind, StallKind::RetryLoop);
+        assert!(rt.machine.trace_events().iter().any(|r| matches!(
+            r.event,
+            TraceEvent::Watchdog {
+                kind: StallKind::RetryLoop
+            }
+        )));
     }
 
     #[test]
