@@ -34,6 +34,13 @@ test -s target/repro/BENCH_trace.json
 grep -q '"passed": true' target/repro/BENCH_trace.json
 echo "   target/repro/BENCH_trace.json OK"
 
+echo "== repro-race smoke run (1 step, detector + schedule fuzzing + racy control)"
+cargo run --release -q -p spp-bench --bin repro-race -- --steps 1 >/dev/null
+test -s target/repro/BENCH_race.json
+grep -q '"passed": true' target/repro/BENCH_race.json
+test -s target/repro/race_repro.json
+echo "   target/repro/BENCH_race.json OK"
+
 echo "== trace determinism (two runs, byte-identical timeline)"
 cp target/repro/trace_timeline.json target/repro/trace_timeline.first.json
 cargo run --release -q -p spp-bench --bin repro-trace -- --steps 1 >/dev/null

@@ -229,16 +229,14 @@ pub fn run_cell(
     }
 }
 
-/// Greedy delta-debugging shrinker: drop one event at a time, keeping
+/// Greedy delta-debugging shrinker: drop one item at a time, keeping
 /// each removal that preserves the failure, until no single removal
 /// does. `fails` must be deterministic (the campaign's cells are).
 /// The input must itself fail; the result is a locally-minimal failing
-/// subset in the original order.
-pub fn shrink_events(
-    events: &[ChaosEvent],
-    mut fails: impl FnMut(&[ChaosEvent]) -> bool,
-) -> Vec<ChaosEvent> {
-    let mut cur = events.to_vec();
+/// subset in the original order. Shared with the race campaign, which
+/// shrinks schedule transpositions instead of fault events.
+pub fn shrink<T: Clone>(items: &[T], mut fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut cur = items.to_vec();
     let mut changed = true;
     while changed {
         changed = false;
@@ -255,6 +253,15 @@ pub fn shrink_events(
         }
     }
     cur
+}
+
+/// [`shrink`] specialised to fault-event lists (the chaos campaign's
+/// historical entry point).
+pub fn shrink_events(
+    events: &[ChaosEvent],
+    fails: impl FnMut(&[ChaosEvent]) -> bool,
+) -> Vec<ChaosEvent> {
+    shrink(events, fails)
 }
 
 /// One grid cell (what to run).

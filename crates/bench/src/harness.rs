@@ -82,6 +82,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             name: "trace",
             runner: crate::trace::run,
         },
+        Experiment {
+            name: "race",
+            runner: crate::race::run,
+        },
     ]
 }
 

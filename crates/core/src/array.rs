@@ -61,6 +61,21 @@ impl<T: Copy> SimArray<T> {
         self.region
     }
 
+    /// Name this array for the race detector (see [`crate::race`]),
+    /// refining the default `alloc@...` registration with a real label
+    /// and element size so findings read `rho[42]` instead of a raw
+    /// address. No-op when no detector is mounted.
+    pub fn set_label<P: MemPort>(&self, m: &mut P, label: &str) {
+        if m.racing() {
+            m.race(crate::race::RaceEvent::Register {
+                base: self.region.base,
+                len: self.region.len,
+                elem_bytes: self.elem_bytes,
+                label: label.to_string(),
+            });
+        }
+    }
+
     /// Priced read of element `i` as `cpu`.
     #[inline]
     pub fn read<P: MemPort>(&self, m: &mut P, cpu: CpuId, i: usize) -> (T, Cycles) {

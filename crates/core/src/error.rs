@@ -173,6 +173,24 @@ pub enum SimError {
         /// What disagreed.
         detail: String,
     },
+    /// A barrier simulated with no participants at all.
+    EmptyBarrier,
+    /// A barrier simulated with a participant count different from
+    /// the team size it was built for.
+    BarrierParticipants {
+        /// The team size the barrier expects.
+        expected: usize,
+        /// Participants actually supplied.
+        got: usize,
+    },
+    /// A thread entered a critical section it already holds (gates do
+    /// not nest on themselves; on real hardware this deadlocks).
+    GateReentered {
+        /// Gate semaphore address (identity of the critical section).
+        gate: u64,
+        /// The re-entering thread.
+        tid: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -225,6 +243,14 @@ impl fmt::Display for SimError {
             }
             SimError::SnapshotCorrupt { detail } => write!(f, "snapshot corrupt: {detail}"),
             SimError::SnapshotMismatch { detail } => write!(f, "snapshot mismatch: {detail}"),
+            SimError::EmptyBarrier => write!(f, "barrier with no participants"),
+            SimError::BarrierParticipants { expected, got } => write!(
+                f,
+                "barrier expects {expected} participants (the team size), got {got}"
+            ),
+            SimError::GateReentered { gate, tid } => {
+                write!(f, "gate {gate:#x} re-entered by thread {tid} (self-deadlock)")
+            }
         }
     }
 }
@@ -289,6 +315,20 @@ mod tests {
         assert!(SimError::NoTasks
             .to_string()
             .contains("PVM needs at least one task"));
+        // The barrier's historical `assert!` message, verbatim.
+        assert_eq!(
+            SimError::EmptyBarrier.to_string(),
+            "barrier with no participants"
+        );
+        assert!(SimError::BarrierParticipants {
+            expected: 8,
+            got: 3
+        }
+        .to_string()
+        .contains("expects 8 participants"));
+        assert!(SimError::GateReentered { gate: 0x40, tid: 2 }
+            .to_string()
+            .contains("re-entered"));
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod linemap;
 pub mod machine;
 pub mod mem;
 pub mod port;
+pub mod race;
 pub mod snapshot;
 pub mod stats;
 pub mod trace;
@@ -68,6 +69,7 @@ pub use latency::{cycles_to_us, us_to_cycles, Cycles, LatencyModel};
 pub use machine::Machine;
 pub use mem::{AddressSpace, MemClass, Region};
 pub use port::MemPort;
+pub use race::{RaceEvent, RaceFinding, RaceKind, RaceReport, RaceSink, SharingWarning};
 pub use snapshot::Snapshot;
 pub use stats::MemStats;
 pub use trace::{MissKind, NullSink, RingSink, TraceEvent, TraceRecord, TraceSink};

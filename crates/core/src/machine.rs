@@ -22,6 +22,7 @@ use crate::error::{ConfigError, SimError};
 use crate::fault::{FaultPlan, HardFault};
 use crate::latency::Cycles;
 use crate::mem::{AddressSpace, MemClass, Region};
+use crate::race::{RaceReport, RaceSink};
 use crate::stats::MemStats;
 use crate::trace::{MissKind, RingSink, TraceEvent, TraceRecord, TraceSink, NO_CPU};
 
@@ -55,6 +56,9 @@ pub struct Machine {
     /// Structured event sink (see [`crate::trace`]); `None` means
     /// tracing is off and every event site is a single branch.
     tracer: Option<Box<dyn TraceSink>>,
+    /// Happens-before race detector (see [`crate::race`]); `None`
+    /// means detection is off and every hook is a single branch.
+    racer: Option<Box<RaceSink>>,
     /// Deterministic fault schedule, if installed.
     pub(crate) faults: Option<FaultPlan>,
     /// Cumulative cycles charged across all accesses: the machine's
@@ -112,6 +116,7 @@ impl Machine {
             cfg,
             checker: None,
             tracer: None,
+            racer: None,
             faults: None,
             clock: 0,
             dead_cpus: 0,
@@ -188,6 +193,38 @@ impl Machine {
             .unwrap_or_default()
     }
 
+    /// Mount the happens-before race detector (see [`crate::race`]).
+    /// Detection never changes simulated cycles or [`MemStats`]; it
+    /// only records and analyzes.
+    pub fn with_race_detection(mut self) -> Self {
+        self.racer.get_or_insert_with(|| Box::new(RaceSink::new()));
+        self
+    }
+
+    /// True when the race detector is mounted.
+    pub fn race_detection_enabled(&self) -> bool {
+        self.racer.is_some()
+    }
+
+    /// The mounted race detector, if any.
+    pub fn race_sink(&self) -> Option<&RaceSink> {
+        self.racer.as_deref()
+    }
+
+    /// Mutable access to the mounted race detector.
+    pub fn race_sink_mut(&mut self) -> Option<&mut RaceSink> {
+        self.racer.as_deref_mut()
+    }
+
+    /// The detector's accumulated findings (empty report when
+    /// detection is off).
+    pub fn race_report(&self) -> RaceReport {
+        self.racer
+            .as_deref()
+            .map(|r| r.report().clone())
+            .unwrap_or_default()
+    }
+
     /// Per-CPU counter breakdown for one CPU.
     pub fn cpu_stats(&self, cpu: CpuId) -> &MemStats {
         &self.cpu_stats[cpu.0 as usize]
@@ -253,7 +290,15 @@ impl Machine {
 
     /// Fallible variant of [`Machine::alloc`].
     pub fn try_alloc(&mut self, class: MemClass, bytes: u64) -> Result<Region, SimError> {
-        self.space.try_alloc(class, bytes)
+        let r = self.space.try_alloc(class, bytes)?;
+        // Auto-register each allocation so race findings resolve to at
+        // least a stable range; `SimArray::set_label` refines these
+        // with real names and element sizes.
+        if let Some(sink) = self.racer.as_deref_mut() {
+            let n = r.base;
+            sink.register(r.base, r.len, 1, format!("alloc@{n:#x}"));
+        }
+        Ok(r)
     }
 
     /// Home (node, FU) of an address.
@@ -304,6 +349,9 @@ impl Machine {
         self.clock += cost;
         self.account(cpu, &before);
         self.after_access(cpu, line, cost);
+        if let Some(r) = self.racer.as_deref_mut() {
+            r.record_access(addr, false, self.clock);
+        }
         cost
     }
 
@@ -359,6 +407,9 @@ impl Machine {
         self.clock += cost;
         self.account(cpu, &before);
         self.after_access(cpu, line, cost);
+        if let Some(r) = self.racer.as_deref_mut() {
+            r.record_access(addr, true, self.clock);
+        }
         cost
     }
 
@@ -661,7 +712,10 @@ impl Machine {
     /// in the scalar path.
     pub fn read_run(&mut self, cpu: CpuId, addr: u64, elem_bytes: u64, n: usize) -> Cycles {
         debug_assert!(elem_bytes > 0, "read_run with zero stride");
-        if self.degraded_path(cpu) {
+        // Degraded CPUs need per-access fault application; the race
+        // detector needs every element's record. Both take the scalar
+        // loop, which the run-equivalence invariant makes bit-identical.
+        if self.degraded_path(cpu) || self.racer.is_some() {
             let mut total = 0;
             for i in 0..n {
                 total += self.read(cpu, addr + i as u64 * elem_bytes);
@@ -703,7 +757,9 @@ impl Machine {
     /// write hits).
     pub fn write_run(&mut self, cpu: CpuId, addr: u64, elem_bytes: u64, n: usize) -> Cycles {
         debug_assert!(elem_bytes > 0, "write_run with zero stride");
-        if self.degraded_path(cpu) {
+        // Same scalar fallback as read_run: per-element records for
+        // the race detector, bit-identical by run equivalence.
+        if self.degraded_path(cpu) || self.racer.is_some() {
             let mut total = 0;
             for i in 0..n {
                 total += self.write(cpu, addr + i as u64 * elem_bytes);
@@ -1870,6 +1926,46 @@ mod tests {
         assert!(!plain.tracing_enabled());
         assert!(traced.tracing_enabled());
         assert!(!traced.trace_events().is_empty());
+    }
+
+    #[test]
+    fn race_detection_does_not_change_cycles_or_stats() {
+        let mut plain = m2();
+        mixed_workload(&mut plain);
+        let mut raced = m2().with_race_detection();
+        mixed_workload(&mut raced);
+        assert_eq!(plain.clock(), raced.clock());
+        assert_eq!(plain.stats, raced.stats);
+        assert!(!plain.race_detection_enabled());
+        assert!(raced.race_detection_enabled());
+    }
+
+    #[test]
+    fn race_detector_flags_a_planted_cross_cpu_conflict() {
+        use crate::race::RaceEvent as Ev;
+        let mut m = m2().with_race_detection();
+        let r = m.alloc(MemClass::FarShared, 256);
+        let ev = |m: &mut Machine, e: Ev| m.race_sink_mut().unwrap().handle(e);
+        ev(
+            &mut m,
+            Ev::Register {
+                base: r.base,
+                len: r.len,
+                elem_bytes: 8,
+                label: "planted".into(),
+            },
+        );
+        ev(&mut m, Ev::RegionBegin);
+        ev(&mut m, Ev::BodyBegin { tid: 0, cpu: 0 });
+        m.write(CpuId(0), r.base + 8);
+        ev(&mut m, Ev::BodyEnd);
+        ev(&mut m, Ev::BodyBegin { tid: 1, cpu: 4 });
+        m.write(CpuId(4), r.base + 8);
+        ev(&mut m, Ev::BodyEnd);
+        ev(&mut m, Ev::RegionEnd);
+        let report = m.race_report();
+        assert_eq!(report.total_races, 1, "{report}");
+        assert!(report.races[0].to_string().contains("planted[1]"));
     }
 
     #[test]

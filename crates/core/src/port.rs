@@ -37,6 +37,7 @@ use crate::fault::FaultPlan;
 use crate::latency::Cycles;
 use crate::machine::Machine;
 use crate::mem::{MemClass, Region};
+use crate::race::RaceEvent;
 use crate::stats::MemStats;
 use crate::trace::TraceRecord;
 
@@ -135,6 +136,20 @@ pub trait MemPort {
     fn trace(&mut self, rec: TraceRecord) {
         let _ = rec;
     }
+
+    /// True when this backend has a race detector mounted (see
+    /// [`crate::race`]). The runtime guards its segment-boundary
+    /// event construction on this, so detection off costs one branch
+    /// per sync point — the same contract as [`MemPort::tracing`].
+    fn racing(&self) -> bool {
+        false
+    }
+
+    /// Deliver one segment-boundary event to the race detector;
+    /// dropped by backends without one.
+    fn race(&mut self, ev: RaceEvent) {
+        let _ = ev;
+    }
 }
 
 impl MemPort for Machine {
@@ -197,6 +212,16 @@ impl MemPort for Machine {
     fn trace(&mut self, rec: TraceRecord) {
         if let Some(t) = self.tracer_mut() {
             t.record(rec);
+        }
+    }
+
+    fn racing(&self) -> bool {
+        Machine::race_detection_enabled(self)
+    }
+
+    fn race(&mut self, ev: RaceEvent) {
+        if let Some(r) = self.race_sink_mut() {
+            r.handle(ev);
         }
     }
 }

@@ -1,0 +1,736 @@
+//! Happens-before race detection for the simulated runtime.
+//!
+//! The simulator replays parallel regions as a sequential trace
+//! interleaving (DESIGN.md §2), so a data race in an application
+//! kernel can never corrupt anything at run time — it silently
+//! becomes "whatever order the replay happened to use". This module
+//! makes those latent races *visible*: a [`RaceSink`] mounted on the
+//! [`crate::Machine`] records every priced read and write together
+//! with the logical **segment** it happened in, and at the end of
+//! each parallel region a happens-before pass flags unordered
+//! conflicting accesses.
+//!
+//! ## Segment model
+//!
+//! Segments are delimited by the runtime's structured synchronization
+//! points, which the fork-join layer reports as [`RaceEvent`]s:
+//!
+//! * `RegionBegin` / `RegionEnd` — fork and join. The join barrier
+//!   orders *everything* in the region before everything after it, so
+//!   analysis is per-region and cross-region pairs are never races.
+//! * `BodyBegin { tid, .. }` / `BodyEnd` — one simulated thread's
+//!   body (or one phase of it). Accesses outside a body (barrier
+//!   flags, protocol traffic) belong to the runtime, not the
+//!   application, and are not recorded.
+//! * `PhaseBarrier` — an in-region barrier every thread crosses. It
+//!   bumps a region-wide phase counter: with structured fork-join
+//!   teams the general vector clock degenerates to the pair
+//!   *(region, phase)* — two accesses are ordered iff they are in
+//!   different phases (or the same thread), which is exactly what a
+//!   vector-clock comparison would conclude for this topology.
+//! * `GateEnter { gate }` / `GateExit` — a critical section. Two
+//!   accesses both made under the *same* gate are mutually exclusive
+//!   (not a race, though the order is still schedule-dependent);
+//!   a gated access still races with an ungated one.
+//!
+//! A **race** is two accesses to the same element from different
+//! threads in the same phase, at least one a write, not both under
+//! one gate. Accesses to *different* elements of the same cache line
+//! from different threads (one writing) are reported as line-
+//! granularity **false-sharing warnings** — correct but slow, the
+//! coherence pathology §5 of the paper keeps running into.
+//!
+//! ## Contract
+//!
+//! Same deal as [`crate::trace`]: recording never changes simulated
+//! cycles or [`crate::MemStats`], and with no sink mounted every hook
+//! site is a single branch on an `Option`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::latency::Cycles;
+
+/// A segment-boundary event delivered to the mounted [`RaceSink`] by
+/// the runtime layer (via [`crate::MemPort::race`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RaceEvent {
+    /// Name an address range so findings resolve to `array[index]`
+    /// instead of raw addresses (see `SimArray::set_label`).
+    Register {
+        /// First simulated address of the range.
+        base: u64,
+        /// Length in bytes.
+        len: u64,
+        /// Element size for index resolution.
+        elem_bytes: u64,
+        /// Human-readable array name.
+        label: String,
+    },
+    /// A parallel region forked.
+    RegionBegin,
+    /// A simulated thread's body (or one phase of it) starts.
+    BodyBegin {
+        /// Thread index within the team.
+        tid: u32,
+        /// The CPU the thread runs on.
+        cpu: u16,
+    },
+    /// The current thread body ends.
+    BodyEnd,
+    /// An in-region barrier every thread crosses; orders all earlier
+    /// accesses in the region before all later ones.
+    PhaseBarrier,
+    /// The current thread entered the critical section guarded by the
+    /// semaphore at `gate`.
+    GateEnter {
+        /// Gate semaphore address (identity of the critical section).
+        gate: u64,
+    },
+    /// The current thread left the innermost critical section.
+    GateExit {
+        /// Gate semaphore address.
+        gate: u64,
+    },
+    /// Subsequent accesses by the current thread target the logical
+    /// *back buffer* of a double-buffered structure whose pricing
+    /// deliberately aliases both buffers onto one address range (the
+    /// N-body permutation sort does this — the priced traffic of the
+    /// real two-buffer sort is the same, so the model saves the second
+    /// allocation). Back-buffer accesses conflict with other
+    /// back-buffer accesses at the same element, not with front-buffer
+    /// ones.
+    AliasBegin,
+    /// Back to the default (front-buffer) address space.
+    AliasEnd,
+    /// The region joined: analyze and fold findings into the report.
+    RegionEnd,
+}
+
+/// What kind of conflict a [`RaceFinding`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaceKind {
+    /// Two unordered writes.
+    WriteWrite,
+    /// An unordered read/write pair.
+    ReadWrite,
+}
+
+impl fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RaceKind::WriteWrite => write!(f, "write-write"),
+            RaceKind::ReadWrite => write!(f, "read-write"),
+        }
+    }
+}
+
+/// One detected race: an unordered conflicting access pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaceFinding {
+    /// Resolved array name (or `@0x…` when the range is unnamed).
+    pub array: String,
+    /// Element index within the array.
+    pub index: u64,
+    /// Simulated address of the element.
+    pub addr: u64,
+    /// Cache line number.
+    pub line: u64,
+    /// Phase within the region (0 before any in-region barrier).
+    pub phase: u32,
+    /// Conflict kind.
+    pub kind: RaceKind,
+    /// One side: (tid, machine-clock cycle stamp of its first
+    /// conflicting access).
+    pub first: (u32, Cycles),
+    /// The other side, same shape.
+    pub second: (u32, Cycles),
+}
+
+impl fmt::Display for RaceFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} race on {}[{}] (addr {:#x}, phase {}): tid {} @cycle {} vs tid {} @cycle {}",
+            self.kind,
+            self.array,
+            self.index,
+            self.addr,
+            self.phase,
+            self.first.0,
+            self.first.1,
+            self.second.0,
+            self.second.1
+        )
+    }
+}
+
+/// A line-granularity false-sharing warning: different threads touch
+/// different elements of one cache line in the same phase, at least
+/// one writing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharingWarning {
+    /// Resolved array name of the first element seen on the line.
+    pub array: String,
+    /// Cache line number.
+    pub line: u64,
+    /// Phase within the region.
+    pub phase: u32,
+    /// The threads mixing on the line (sorted, deduped).
+    pub tids: Vec<u32>,
+}
+
+impl fmt::Display for SharingWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "false sharing on line {:#x} ({}) phase {}: tids {:?}",
+            self.line, self.array, self.phase, self.tids
+        )
+    }
+}
+
+/// Accumulated findings across all analyzed regions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RaceReport {
+    /// Detected races, oldest first (capped at
+    /// [`RaceReport::MAX_STORED`]; `total_races` keeps counting).
+    pub races: Vec<RaceFinding>,
+    /// Total races detected, including any beyond the cap.
+    pub total_races: u64,
+    /// False-sharing warnings (same cap discipline).
+    pub warnings: Vec<SharingWarning>,
+    /// Total warnings, including any beyond the cap.
+    pub total_warnings: u64,
+    /// Parallel regions analyzed.
+    pub regions: u64,
+    /// Application accesses recorded.
+    pub accesses: u64,
+}
+
+impl RaceReport {
+    /// How many findings of each kind are stored verbatim.
+    pub const MAX_STORED: usize = 64;
+
+    /// True when no races were detected (warnings don't count — false
+    /// sharing is slow, not wrong).
+    pub fn is_clean(&self) -> bool {
+        self.total_races == 0
+    }
+
+    /// One-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} region(s), {} access(es): {} race(s), {} false-sharing warning(s)",
+            self.regions, self.accesses, self.total_races, self.total_warnings
+        )
+    }
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.summary())?;
+        for r in &self.races {
+            writeln!(f, "  {r}")?;
+        }
+        for w in &self.warnings {
+            writeln!(f, "  {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-(addr, tid, phase, gate) access summary within one region.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    read_at: Option<Cycles>,
+    wrote_at: Option<Cycles>,
+}
+
+/// The segment key one [`Cell`] is indexed by: (address, thread,
+/// phase, innermost gate).
+type CellKey = (u64, u32, u32, Option<u64>);
+
+/// The detector: collects access records between `RegionBegin` and
+/// `RegionEnd`, runs the happens-before pass at each `RegionEnd`, and
+/// accumulates a [`RaceReport`]. Mounted on the machine with
+/// `Machine::with_race_detection`.
+#[derive(Debug, Clone, Default)]
+pub struct RaceSink {
+    /// Sorted (base, len, elem_bytes, label) reverse map.
+    names: Vec<(u64, u64, u64, String)>,
+    /// Whether a thread body is executing (accesses outside bodies
+    /// are runtime protocol traffic and are not application state).
+    armed: bool,
+    /// Whether the current thread is inside an [`RaceEvent::AliasBegin`]
+    /// window (accesses land in the back-buffer address space).
+    alias: bool,
+    tid: u32,
+    phase: u32,
+    gates: Vec<u64>,
+    /// Current region's access table.
+    cells: HashMap<CellKey, Cell>,
+    report: RaceReport,
+}
+
+impl RaceSink {
+    /// A fresh detector.
+    pub fn new() -> Self {
+        RaceSink::default()
+    }
+
+    /// The accumulated findings.
+    pub fn report(&self) -> &RaceReport {
+        &self.report
+    }
+
+    /// Name an address range for finding resolution. A later
+    /// registration overlapping an earlier one replaces it (labels
+    /// refine the automatic per-allocation entries).
+    pub fn register(&mut self, base: u64, len: u64, elem_bytes: u64, label: String) {
+        self.names
+            .retain(|(b, l, _, _)| *b + *l <= base || base + len <= *b);
+        let at = self.names.partition_point(|(b, _, _, _)| *b < base);
+        self.names.insert(at, (base, len, elem_bytes, label));
+    }
+
+    /// Resolve an address to `(label, element index)`.
+    fn resolve(&self, addr: u64) -> (String, u64) {
+        let addr = addr & !ALIAS_BIT;
+        let i = self.names.partition_point(|(b, _, _, _)| *b <= addr);
+        if i > 0 {
+            let (base, len, elem, label) = &self.names[i - 1];
+            if addr < base + len {
+                return (label.clone(), (addr - base) / (*elem).max(1));
+            }
+        }
+        (format!("@{addr:#x}"), 0)
+    }
+
+    /// Deliver a segment-boundary event.
+    pub fn handle(&mut self, ev: RaceEvent) {
+        match ev {
+            RaceEvent::Register {
+                base,
+                len,
+                elem_bytes,
+                label,
+            } => self.register(base, len, elem_bytes, label),
+            RaceEvent::RegionBegin => {
+                self.cells.clear();
+                self.phase = 0;
+                self.armed = false;
+                self.alias = false;
+                self.gates.clear();
+            }
+            RaceEvent::BodyBegin { tid, .. } => {
+                self.armed = true;
+                self.alias = false;
+                self.tid = tid;
+                self.gates.clear();
+            }
+            RaceEvent::BodyEnd => {
+                self.armed = false;
+                self.alias = false;
+                self.gates.clear();
+            }
+            RaceEvent::AliasBegin => self.alias = true,
+            RaceEvent::AliasEnd => self.alias = false,
+            RaceEvent::PhaseBarrier => self.phase += 1,
+            RaceEvent::GateEnter { gate } => self.gates.push(gate),
+            RaceEvent::GateExit { .. } => {
+                self.gates.pop();
+            }
+            RaceEvent::RegionEnd => self.analyze_region(),
+        }
+    }
+
+    /// Record one priced application access (called by the machine's
+    /// read/write paths when a body is executing).
+    pub fn record_access(&mut self, addr: u64, is_write: bool, at: Cycles) {
+        if !self.armed {
+            return;
+        }
+        self.report.accesses += 1;
+        let addr = if self.alias { addr | ALIAS_BIT } else { addr };
+        let key = (addr, self.tid, self.phase, self.gates.last().copied());
+        let cell = self.cells.entry(key).or_insert(Cell {
+            read_at: None,
+            wrote_at: None,
+        });
+        if is_write {
+            cell.wrote_at.get_or_insert(at);
+        } else {
+            cell.read_at.get_or_insert(at);
+        }
+    }
+
+    /// True when a region is mid-flight and a body is executing.
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// The happens-before pass over one region's table.
+    fn analyze_region(&mut self) {
+        self.report.regions += 1;
+        // Deterministic analysis order regardless of hash iteration.
+        let mut entries: Vec<(CellKey, Cell)> = self.cells.drain().collect();
+        entries.sort_by_key(|((addr, tid, phase, gate), _)| (*addr, *phase, *tid, *gate));
+
+        // Group by address: element-level races.
+        let mut racy_lines: Vec<(u64, u32)> = Vec::new();
+        let mut i = 0;
+        while i < entries.len() {
+            let addr = entries[i].0 .0;
+            let mut j = i;
+            while j < entries.len() && entries[j].0 .0 == addr {
+                j += 1;
+            }
+            self.races_at(&entries[i..j], &mut racy_lines);
+            i = j;
+        }
+
+        // Group by line: false-sharing warnings (skip lines that
+        // already carry an element-level race in that phase).
+        let line_of = |addr: u64| addr >> LINE_SHIFT;
+        let mut by_line: HashMap<(u64, u32), Vec<&(CellKey, Cell)>> = HashMap::new();
+        for e in &entries {
+            by_line
+                .entry((line_of(e.0 .0), e.0 .2))
+                .or_default()
+                .push(e);
+        }
+        let mut keys: Vec<(u64, u32)> = by_line.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            if racy_lines.contains(&key) {
+                continue;
+            }
+            let group = &by_line[&key];
+            let mut tids: Vec<u32> = group.iter().map(|e| e.0 .1).collect();
+            tids.sort_unstable();
+            tids.dedup();
+            let wrote = group.iter().any(|(_, c)| c.wrote_at.is_some());
+            let addrs: Vec<u64> = {
+                let mut a: Vec<u64> = group.iter().map(|e| e.0 .0).collect();
+                a.sort_unstable();
+                a.dedup();
+                a
+            };
+            // A real cross-thread mix: at least two threads, at least
+            // two elements, somebody writing, and no thread pair on a
+            // *common* element (that would be a race, handled above).
+            if tids.len() >= 2 && addrs.len() >= 2 && wrote {
+                let cross = group.iter().any(|(ka, ca)| {
+                    ca.wrote_at.is_some()
+                        && group.iter().any(|(kb, _)| kb.1 != ka.1 && kb.0 != ka.0)
+                });
+                if cross {
+                    self.report.total_warnings += 1;
+                    if self.report.warnings.len() < RaceReport::MAX_STORED {
+                        let (array, _) = self.resolve(addrs[0]);
+                        self.report.warnings.push(SharingWarning {
+                            array,
+                            line: key.0 & !(ALIAS_BIT >> LINE_SHIFT),
+                            phase: key.1,
+                            tids,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Element-level pass over all entries for one address.
+    fn races_at(&mut self, entries: &[(CellKey, Cell)], racy_lines: &mut Vec<(u64, u32)>) {
+        for (a, ((addr, tid_a, phase_a, gate_a), ca)) in entries.iter().enumerate() {
+            for ((_, tid_b, phase_b, gate_b), cb) in entries.iter().skip(a + 1) {
+                if tid_a == tid_b || phase_a != phase_b {
+                    continue;
+                }
+                // Both under the same gate: mutually exclusive.
+                if let (Some(ga), Some(gb)) = (gate_a, gate_b) {
+                    if ga == gb {
+                        continue;
+                    }
+                }
+                let kind = match (ca.wrote_at, cb.wrote_at) {
+                    (Some(_), Some(_)) => RaceKind::WriteWrite,
+                    (Some(_), None) | (None, Some(_)) => RaceKind::ReadWrite,
+                    (None, None) => continue,
+                };
+                self.report.total_races += 1;
+                let line = addr >> LINE_SHIFT;
+                if !racy_lines.contains(&(line, *phase_a)) {
+                    racy_lines.push((line, *phase_a));
+                }
+                if self.report.races.len() < RaceReport::MAX_STORED {
+                    let (array, index) = self.resolve(*addr);
+                    let stamp = |c: &Cell| c.wrote_at.or(c.read_at).unwrap_or(0);
+                    self.report.races.push(RaceFinding {
+                        array,
+                        index,
+                        addr: *addr & !ALIAS_BIT,
+                        line: (*addr & !ALIAS_BIT) >> LINE_SHIFT,
+                        phase: *phase_a,
+                        kind,
+                        first: (*tid_a, stamp(ca)),
+                        second: (*tid_b, stamp(cb)),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The SPP-1000's 32 B line, as a shift. The detector reports
+/// line-granularity findings against the paper's fixed geometry; the
+/// machine's own pricing still honours whatever `line_bytes` its
+/// configuration carries.
+const LINE_SHIFT: u32 = 5;
+
+/// High bit distinguishing the back-buffer address space opened by
+/// [`RaceEvent::AliasBegin`]. Simulated addresses never use it.
+const ALIAS_BIT: u64 = 1 << 63;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sink_with_region() -> RaceSink {
+        let mut s = RaceSink::new();
+        s.register(0x1000, 0x800, 8, "a".into());
+        s.handle(RaceEvent::RegionBegin);
+        s
+    }
+
+    fn body(s: &mut RaceSink, tid: u32, accesses: &[(u64, bool)]) {
+        s.handle(RaceEvent::BodyBegin {
+            tid,
+            cpu: tid as u16,
+        });
+        for (i, (addr, w)) in accesses.iter().enumerate() {
+            s.record_access(*addr, *w, i as u64);
+        }
+        s.handle(RaceEvent::BodyEnd);
+    }
+
+    #[test]
+    fn disjoint_writes_are_clean() {
+        let mut s = sink_with_region();
+        body(&mut s, 0, &[(0x1000, true), (0x1008, true)]);
+        body(&mut s, 1, &[(0x1400, true), (0x1408, true)]);
+        s.handle(RaceEvent::RegionEnd);
+        assert!(s.report().is_clean(), "{}", s.report());
+        assert_eq!(s.report().accesses, 4);
+        assert_eq!(s.report().regions, 1);
+    }
+
+    #[test]
+    fn write_write_conflict_is_flagged_and_resolved() {
+        let mut s = sink_with_region();
+        body(&mut s, 0, &[(0x1010, true)]);
+        body(&mut s, 1, &[(0x1010, true)]);
+        s.handle(RaceEvent::RegionEnd);
+        let r = s.report();
+        assert_eq!(r.total_races, 1);
+        let f = &r.races[0];
+        assert_eq!(f.kind, RaceKind::WriteWrite);
+        assert_eq!(f.array, "a");
+        assert_eq!(f.index, 2);
+        assert_eq!((f.first.0, f.second.0), (0, 1));
+    }
+
+    #[test]
+    fn read_write_conflict_is_flagged() {
+        let mut s = sink_with_region();
+        body(&mut s, 0, &[(0x1000, false)]);
+        body(&mut s, 2, &[(0x1000, true)]);
+        s.handle(RaceEvent::RegionEnd);
+        assert_eq!(s.report().total_races, 1);
+        assert_eq!(s.report().races[0].kind, RaceKind::ReadWrite);
+    }
+
+    #[test]
+    fn shared_reads_are_not_races() {
+        let mut s = sink_with_region();
+        body(&mut s, 0, &[(0x1000, false)]);
+        body(&mut s, 1, &[(0x1000, false)]);
+        s.handle(RaceEvent::RegionEnd);
+        assert!(s.report().is_clean());
+    }
+
+    #[test]
+    fn phase_barrier_orders_accesses() {
+        let mut s = sink_with_region();
+        body(&mut s, 0, &[(0x1000, true)]);
+        s.handle(RaceEvent::PhaseBarrier);
+        body(&mut s, 1, &[(0x1000, true)]);
+        s.handle(RaceEvent::RegionEnd);
+        assert!(s.report().is_clean(), "{}", s.report());
+    }
+
+    #[test]
+    fn join_orders_across_regions() {
+        let mut s = sink_with_region();
+        body(&mut s, 0, &[(0x1000, true)]);
+        s.handle(RaceEvent::RegionEnd);
+        s.handle(RaceEvent::RegionBegin);
+        body(&mut s, 1, &[(0x1000, true)]);
+        s.handle(RaceEvent::RegionEnd);
+        assert!(s.report().is_clean(), "{}", s.report());
+        assert_eq!(s.report().regions, 2);
+    }
+
+    #[test]
+    fn common_gate_is_mutual_exclusion_but_mixed_gating_races() {
+        let mut s = sink_with_region();
+        s.handle(RaceEvent::BodyBegin { tid: 0, cpu: 0 });
+        s.handle(RaceEvent::GateEnter { gate: 0x9000 });
+        s.record_access(0x1000, true, 1);
+        s.handle(RaceEvent::GateExit { gate: 0x9000 });
+        s.handle(RaceEvent::BodyEnd);
+        s.handle(RaceEvent::BodyBegin { tid: 1, cpu: 1 });
+        s.handle(RaceEvent::GateEnter { gate: 0x9000 });
+        s.record_access(0x1000, true, 2);
+        s.handle(RaceEvent::GateExit { gate: 0x9000 });
+        s.handle(RaceEvent::BodyEnd);
+        s.handle(RaceEvent::RegionEnd);
+        assert!(s.report().is_clean(), "same gate: {}", s.report());
+
+        // Same pattern, but tid 1 skips the gate: race.
+        s.handle(RaceEvent::RegionBegin);
+        s.handle(RaceEvent::BodyBegin { tid: 0, cpu: 0 });
+        s.handle(RaceEvent::GateEnter { gate: 0x9000 });
+        s.record_access(0x1000, true, 1);
+        s.handle(RaceEvent::GateExit { gate: 0x9000 });
+        s.handle(RaceEvent::BodyEnd);
+        body(&mut s, 1, &[(0x1000, true)]);
+        s.handle(RaceEvent::RegionEnd);
+        assert_eq!(s.report().total_races, 1);
+    }
+
+    #[test]
+    fn false_sharing_warns_without_a_race() {
+        let mut s = sink_with_region();
+        // Same 32 B line (0x1000..0x1020), different elements.
+        body(&mut s, 0, &[(0x1000, true)]);
+        body(&mut s, 1, &[(0x1008, false)]);
+        s.handle(RaceEvent::RegionEnd);
+        let r = s.report();
+        assert!(r.is_clean());
+        assert_eq!(r.total_warnings, 1);
+        assert_eq!(r.warnings[0].tids, vec![0, 1]);
+    }
+
+    #[test]
+    fn racy_line_suppresses_the_duplicate_warning() {
+        let mut s = sink_with_region();
+        body(&mut s, 0, &[(0x1000, true), (0x1008, true)]);
+        body(&mut s, 1, &[(0x1000, true)]);
+        s.handle(RaceEvent::RegionEnd);
+        let r = s.report();
+        assert_eq!(r.total_races, 1);
+        assert_eq!(r.total_warnings, 0, "{r}");
+    }
+
+    #[test]
+    fn accesses_outside_bodies_are_ignored() {
+        let mut s = sink_with_region();
+        s.record_access(0x1000, true, 0);
+        body(&mut s, 1, &[(0x1000, true)]);
+        s.record_access(0x1000, true, 9);
+        s.handle(RaceEvent::RegionEnd);
+        assert!(s.report().is_clean());
+        assert_eq!(s.report().accesses, 1);
+    }
+
+    #[test]
+    fn unnamed_addresses_resolve_to_hex() {
+        let mut s = RaceSink::new();
+        s.handle(RaceEvent::RegionBegin);
+        body(&mut s, 0, &[(0x7777, true)]);
+        body(&mut s, 1, &[(0x7777, true)]);
+        s.handle(RaceEvent::RegionEnd);
+        assert!(s.report().races[0].array.starts_with("@0x"));
+    }
+
+    #[test]
+    fn report_caps_stored_findings_but_counts_all() {
+        let mut s = sink_with_region();
+        let a: Vec<(u64, bool)> = (0..100).map(|i| (0x1000 + 8 * i, true)).collect();
+        body(&mut s, 0, &a);
+        body(&mut s, 1, &a);
+        s.handle(RaceEvent::RegionEnd);
+        let r = s.report();
+        assert_eq!(r.total_races, 100);
+        assert_eq!(r.races.len(), RaceReport::MAX_STORED);
+        assert!(r.summary().contains("100 race(s)"));
+    }
+
+    #[test]
+    fn back_buffer_writes_do_not_race_with_front_reads() {
+        let mut s = sink_with_region();
+        // The double-buffered permutation-sort shape: tid 0 reads
+        // element 2 (front) while tid 1 writes the same priced address
+        // inside an alias window (back buffer).
+        body(&mut s, 0, &[(0x1010, false)]);
+        s.handle(RaceEvent::BodyBegin { tid: 1, cpu: 1 });
+        s.handle(RaceEvent::AliasBegin);
+        s.record_access(0x1010, true, 5);
+        s.handle(RaceEvent::AliasEnd);
+        s.handle(RaceEvent::BodyEnd);
+        s.handle(RaceEvent::RegionEnd);
+        assert!(s.report().is_clean(), "{}", s.report());
+    }
+
+    #[test]
+    fn back_buffer_conflicts_still_race_and_resolve_cleanly() {
+        let mut s = sink_with_region();
+        for tid in 0..2 {
+            s.handle(RaceEvent::BodyBegin {
+                tid,
+                cpu: tid as u16,
+            });
+            s.handle(RaceEvent::AliasBegin);
+            s.record_access(0x1010, true, tid as u64);
+            s.handle(RaceEvent::AliasEnd);
+            s.handle(RaceEvent::BodyEnd);
+        }
+        s.handle(RaceEvent::RegionEnd);
+        let r = s.report();
+        assert_eq!(r.total_races, 1);
+        // Findings report the true priced address, not the alias.
+        assert_eq!(r.races[0].array, "a");
+        assert_eq!(r.races[0].index, 2);
+        assert_eq!(r.races[0].addr, 0x1010);
+    }
+
+    #[test]
+    fn alias_window_closes_at_body_end() {
+        let mut s = sink_with_region();
+        s.handle(RaceEvent::BodyBegin { tid: 0, cpu: 0 });
+        s.handle(RaceEvent::AliasBegin);
+        s.record_access(0x1010, true, 1);
+        s.handle(RaceEvent::BodyEnd); // alias window left open
+        body(&mut s, 1, &[(0x1010, true)]);
+        s.handle(RaceEvent::RegionEnd);
+        // tid 1's write is front-buffer: no conflict with the aliased
+        // write, proving the window did not leak across bodies.
+        assert!(s.report().is_clean(), "{}", s.report());
+    }
+
+    #[test]
+    fn relabeling_replaces_overlapping_ranges() {
+        let mut s = RaceSink::new();
+        s.register(0x1000, 0x100, 1, "auto".into());
+        s.register(0x1000, 0x100, 8, "rho".into());
+        s.handle(RaceEvent::RegionBegin);
+        body(&mut s, 0, &[(0x1008, true)]);
+        body(&mut s, 1, &[(0x1008, true)]);
+        s.handle(RaceEvent::RegionEnd);
+        let f = &s.report().races[0];
+        assert_eq!(f.array, "rho");
+        assert_eq!(f.index, 1);
+    }
+}

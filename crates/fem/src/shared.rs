@@ -14,7 +14,7 @@
 use crate::host::{self, flops};
 use crate::mesh::Mesh;
 use spp_core::{Cycles, MemPort, SimArray};
-use spp_runtime::{Runtime, Team};
+use spp_runtime::{Runtime, Team, ThreadCtx};
 
 /// Extra cycles per divide/sqrt (PA-7100 FDIV/FSQRT latency beyond the
 /// counted flop).
@@ -85,6 +85,12 @@ pub struct SharedFem {
     adj: SimArray<u32>,
     // Per-thread partial maxima for the timestep reduction.
     partial_speed: SimArray<f64>,
+    /// Element coloring for the scatter-add coding: elements within
+    /// one color share no vertex, so each color's scatter-adds are
+    /// write-disjoint across threads; colors run as barrier-separated
+    /// phases of one region. The uncolored element loop raced on
+    /// shared vertices (the race detector flags it).
+    colors: Vec<Vec<usize>>,
     /// Current timestep (deferred CFL: the reduction is fused into the
     /// previous step's point-update loop, as the paper's "tightest
     /// serial coding" does).
@@ -135,7 +141,7 @@ impl SharedFem {
             u.extend_from_slice(&[s0.rho[i], s0.mu[i], s0.mv[i], s0.e[i]]);
         }
         let bn: Vec<f64> = mesh.bnormal.iter().flatten().copied().collect();
-        SharedFem {
+        let sim = SharedFem {
             xy: SimArray::new(m, pc, xy),
             tri: SimArray::new(m, ec, tri_flat),
             area2: SimArray::new(m, ec, mesh.area2.clone()),
@@ -162,9 +168,14 @@ impl SharedFem {
                     .fold(0.0, f64::max)
             },
             res_clean: false,
+            colors: color_elements(&mesh),
             coding,
             mesh,
-        }
+        };
+        sim.res.set_label(m, "res");
+        sim.u.set_label(m, "u");
+        sim.eres.set_label(m, "eres");
+        sim
     }
 
     /// Host view of the current state (validation).
@@ -236,41 +247,38 @@ impl SharedFem {
             let uarr = &self.u;
             let res = &mut self.res;
             let eres = &mut self.eres;
-            let coding = self.coding;
-            let rep = rt.team_fork_join(team, |ctx| {
-                for el in ctx.chunk(ne) {
-                    // Gather connectivity and vertex records (one line
-                    // per point for coordinates, one for state).
-                    let v: [usize; 3] = std::array::from_fn(|i| ctx.read(tri, 3 * el + i) as usize);
-                    let x: [f64; 3] = std::array::from_fn(|i| ctx.read(xy, 2 * v[i]));
-                    let y: [f64; 3] = std::array::from_fn(|i| ctx.read(xy, 2 * v[i] + 1));
-                    let u: [[f64; 4]; 3] = std::array::from_fn(|i| {
-                        std::array::from_fn(|k| ctx.read(uarr, 4 * v[i] + k))
-                    });
-                    let a2 = ctx.read(area2, el);
-                    let contrib = residual_kernel(x, y, u, a2, alpha);
-                    ctx.flops(flops::ELEMENT);
-                    ctx.cycles(
-                        flops::ELEMENT_DIVSQRT * DIVSQRT_EXTRA_CYCLES + ELEMENT_OVERHEAD_CYCLES,
-                    );
-                    match coding {
-                        Coding::ScatterAdd => {
+            let rep = match self.coding {
+                // Scatter-add runs the coloring as barrier-separated
+                // phases: within a color no two elements share a
+                // vertex, so the `res` read-modify-writes are disjoint
+                // across threads, and the barriers order the colors.
+                Coding::ScatterAdd => {
+                    let colors = &self.colors;
+                    rt.team_fork_join_phases(team, colors.len(), |ctx, phase| {
+                        let group = &colors[phase];
+                        let r = ctx.chunk(group.len());
+                        for &el in &group[r] {
+                            let (v, contrib) =
+                                element_contrib(ctx, tri, xy, area2, uarr, el, alpha);
                             for (i, c) in contrib.iter().enumerate() {
                                 for (k, val) in c.iter().enumerate() {
                                     ctx.update(res, 4 * v[i] + k, |old| old + val);
                                 }
                             }
                         }
-                        Coding::Gather => {
-                            for (i, c) in contrib.iter().enumerate() {
-                                for (k, val) in c.iter().enumerate() {
-                                    ctx.write(eres, 12 * el + 4 * i + k, *val);
-                                }
+                    })
+                }
+                Coding::Gather => rt.team_fork_join(team, |ctx| {
+                    for el in ctx.chunk(ne) {
+                        let (_, contrib) = element_contrib(ctx, tri, xy, area2, uarr, el, alpha);
+                        for (i, c) in contrib.iter().enumerate() {
+                            for (k, val) in c.iter().enumerate() {
+                                ctx.write(eres, 12 * el + 4 * i + k, *val);
                             }
                         }
                     }
-                }
-            });
+                }),
+            };
             track(&mut prof, "element", &rep);
             elapsed += rep.elapsed;
         }
@@ -378,6 +386,52 @@ impl SharedFem {
         }
         out
     }
+}
+
+/// Gather one element's connectivity and vertex records (one line per
+/// point for coordinates, one for state) and evaluate the residual
+/// kernel, charging the element's flops and overhead.
+#[inline]
+fn element_contrib<P: MemPort>(
+    ctx: &mut ThreadCtx<'_, P>,
+    tri: &SimArray<u32>,
+    xy: &SimArray<f64>,
+    area2: &SimArray<f64>,
+    uarr: &SimArray<f64>,
+    el: usize,
+    alpha: f64,
+) -> ([usize; 3], [[f64; 4]; 3]) {
+    let v: [usize; 3] = std::array::from_fn(|i| ctx.read(tri, 3 * el + i) as usize);
+    let x: [f64; 3] = std::array::from_fn(|i| ctx.read(xy, 2 * v[i]));
+    let y: [f64; 3] = std::array::from_fn(|i| ctx.read(xy, 2 * v[i] + 1));
+    let u: [[f64; 4]; 3] =
+        std::array::from_fn(|i| std::array::from_fn(|k| ctx.read(uarr, 4 * v[i] + k)));
+    let a2 = ctx.read(area2, el);
+    let contrib = residual_kernel(x, y, u, a2, alpha);
+    ctx.flops(flops::ELEMENT);
+    ctx.cycles(flops::ELEMENT_DIVSQRT * DIVSQRT_EXTRA_CYCLES + ELEMENT_OVERHEAD_CYCLES);
+    (v, contrib)
+}
+
+/// Greedy element coloring: assign each element the lowest color not
+/// already used by an element sharing one of its vertices. Bounded by
+/// the maximum vertex degree (+1), far below the 128-color mask.
+fn color_elements(mesh: &Mesh) -> Vec<Vec<usize>> {
+    let mut vertex_used: Vec<u128> = vec![0; mesh.num_points()];
+    let mut colors: Vec<Vec<usize>> = Vec::new();
+    for (e, t) in mesh.tri.iter().enumerate() {
+        let used = t.iter().fold(0u128, |m, &v| m | vertex_used[v as usize]);
+        assert!(used != u128::MAX, "element {e}: more than 128 colors");
+        let c = (!used).trailing_zeros() as usize;
+        if c >= colors.len() {
+            colors.push(Vec::new());
+        }
+        colors[c].push(e);
+        for &v in t {
+            vertex_used[v as usize] |= 1 << c;
+        }
+    }
+    colors
 }
 
 #[inline]
@@ -511,6 +565,25 @@ mod tests {
         let r8 = f8.run(&mut rt8, &team8, 0.3, 1);
         let s = r1.elapsed as f64 / r8.elapsed as f64;
         assert!(s > 4.0, "8-thread speedup = {s}");
+    }
+
+    #[test]
+    fn coloring_partitions_elements_without_shared_vertices() {
+        let mesh = crate::mesh::structured(12, 9);
+        let colors = color_elements(&mesh);
+        let mut seen = vec![false; mesh.num_elements()];
+        for group in &colors {
+            let mut verts = std::collections::HashSet::new();
+            for &e in group {
+                assert!(!seen[e], "element {e} colored twice");
+                seen[e] = true;
+                for &v in &mesh.tri[e] {
+                    assert!(verts.insert(v), "color shares vertex {v}");
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "coloring must cover every element");
+        assert!(colors.len() < 32, "{} colors is unreasonable", colors.len());
     }
 
     #[test]

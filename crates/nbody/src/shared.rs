@@ -86,7 +86,7 @@ impl SharedNbody {
         } else {
             team.shared_class(m.config(), node_cap as u64 * 8)
         };
-        SharedNbody {
+        let sim = SharedNbody {
             bx: SimArray::new(m, pc, b.x),
             by: SimArray::new(m, pc, b.y),
             bz: SimArray::new(m, pc, b.z),
@@ -101,7 +101,13 @@ impl SharedNbody {
             tree: SimTree::new(m, nc, node_cap, n),
             stacks: PrivateArrays::new(m, team, STACK_CAP, 0u32),
             problem,
-        }
+        };
+        sim.keys.set_label(m, "keys");
+        sim.tree.order.set_label(m, "order");
+        sim.ax.set_label(m, "ax");
+        sim.ay.set_label(m, "ay");
+        sim.az.set_label(m, "az");
+        sim
     }
 
     /// Particle count.
@@ -181,7 +187,8 @@ impl SharedNbody {
         // Phase 2: parallel counting-scatter sort. Destinations come
         // from the host sort; values from the pre-scatter snapshot (a
         // real parallel sort double-buffers — priced traffic is the
-        // same).
+        // same, so the model aliases both buffers onto one range and
+        // tells the race detector via the back-buffer annotation).
         let inv_rank = {
             let mut inv = vec![0u32; n];
             for (rank, &orig) in host_tree.order.iter().enumerate() {
@@ -195,8 +202,10 @@ impl SharedNbody {
             for i in ctx.chunk(n) {
                 let _ = ctx.read(keys, i);
                 let dest = inv_rank[i] as usize;
-                ctx.write(order, dest, i as u32);
-                ctx.write(keys, dest, key_snapshot[i]);
+                ctx.back_buffer(|ctx| {
+                    ctx.write(order, dest, i as u32);
+                    ctx.write(keys, dest, key_snapshot[i]);
+                });
             }
         });
         track(&mut prof, "sort", &rep);

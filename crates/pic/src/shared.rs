@@ -11,7 +11,7 @@ use crate::host::{self, flops};
 use crate::problem::{load_particles, PicProblem};
 use spp_core::{Cycles, MemPort, SimArray};
 use spp_kernels::{sim_fft_pencil, Complex, Pencil};
-use spp_runtime::{Runtime, Team};
+use spp_runtime::{PrivateArrays, Runtime, Team};
 
 /// PIC state in simulated shared memory.
 pub struct SharedPic {
@@ -29,6 +29,18 @@ pub struct SharedPic {
     pey: SimArray<f64>,
     pez: SimArray<f64>,
     rho: SimArray<f64>,
+    /// One private charge grid per thread: the CIC scatter deposits
+    /// into these, then a reduction phase folds them into `rho`. The
+    /// old direct `rho[g] += w` scatter was an unsynchronized
+    /// cross-thread read-modify-write — the race detector flags it.
+    partial_rho: PrivateArrays<f64>,
+    /// Per-thread `[lo, hi)` cell span each partial grid touched this
+    /// step (host bookkeeping, recomputed every deposit). Particles
+    /// are loaded in cell order, so a thread's index chunk covers a
+    /// compact cell range and the reduction only reads the partials
+    /// whose span covers a cell — without this the fold costs
+    /// `cells × threads` reads and kills scaling on big teams.
+    partial_span: Vec<(usize, usize)>,
     work: SimArray<Complex>,
     phi: SimArray<f64>,
     ex: SimArray<f64>,
@@ -96,7 +108,7 @@ impl SharedPic {
         let gc = team.shared_class(m.config(), cells as u64 * 8);
         let wc = team.shared_class(m.config(), cells as u64 * 16);
         let mean_rho = parts.total_charge() / cells as f64;
-        SharedPic {
+        let sim = SharedPic {
             px: SimArray::new(m, pc, parts.x),
             py: SimArray::new(m, pc, parts.y),
             pz: SimArray::new(m, pc, parts.z),
@@ -108,6 +120,8 @@ impl SharedPic {
             pey: SimArray::new(m, pc, parts.ey),
             pez: SimArray::new(m, pc, parts.ez),
             rho: SimArray::from_elem(m, gc, cells, 0.0),
+            partial_rho: PrivateArrays::new(m, team, cells, 0.0),
+            partial_span: vec![(usize::MAX, 0); team.len()],
             work: SimArray::from_elem(m, wc, cells, Complex::ZERO),
             phi: SimArray::from_elem(m, gc, cells, 0.0),
             ex: SimArray::from_elem(m, gc, cells, 0.0),
@@ -115,7 +129,11 @@ impl SharedPic {
             ez: SimArray::from_elem(m, gc, cells, 0.0),
             mean_rho,
             problem,
-        }
+        };
+        sim.rho.set_label(m, "rho");
+        sim.phi.set_label(m, "phi");
+        sim.work.set_label(m, "work");
+        sim
     }
 
     /// Number of particles.
@@ -142,35 +160,70 @@ impl SharedPic {
         let cells = p.cells();
         let npart = self.num_particles();
 
-        // Phase 1: zero the charge grid.
-        let rho = &mut self.rho;
-        let r = rt.team_fork_join(team, |ctx| {
-            let rng = ctx.chunk(cells);
-            ctx.fill_run(rho, rng, 0.0);
-        });
-        rep.track(&mut prof, "zero_rho", r);
-
-        // Phase 2: CIC charge scatter.
+        // Phases 1+2: privatized CIC charge scatter. Each thread
+        // deposits its particles into its own partial grid, then —
+        // after an in-region barrier — the team folds the partials into
+        // `rho`, each thread owning a disjoint chunk of cells. The old
+        // direct `rho[g] += w` scatter was an unsynchronized cross-
+        // thread read-modify-write (a real data race on hardware; the
+        // race detector flags it), and its result depended on the
+        // replay schedule. The reduction sums partials in thread order,
+        // so the result is schedule-independent, and with one thread it
+        // is bit-identical to the old sequential deposit.
+        //
+        // Partials hold an all-zero invariant between steps (zeroed at
+        // construction, re-zeroed as the fold consumes them), so no
+        // separate zeroing pass is needed, and the fold skips partials
+        // whose touched span does not cover the cell — both passes
+        // scale with 1/threads instead of costing `cells` per thread.
         let (px, py, pz, pq) = (&self.px, &self.py, &self.pz, &self.pq);
         let rho = &mut self.rho;
-        let r = rt.team_fork_join(team, |ctx| {
-            for i in ctx.chunk(npart) {
-                let x = ctx.read(px, i);
-                let y = ctx.read(py, i);
-                let z = ctx.read(pz, i);
-                let q = ctx.read(pq, i);
-                let (xi, wx) = host::cic_axis(x, p.nx);
-                let (yi, wy) = host::cic_axis(y, p.ny);
-                let (zi, wz) = host::cic_axis(z, p.nz);
-                ctx.flops(flops::DEPOSIT_PER_PARTICLE);
-                for dz in 0..2 {
-                    for dy in 0..2 {
-                        for dx in 0..2 {
-                            let g = host::idx(&p, xi[dx], yi[dy], zi[dz]);
-                            let w = q * wx[dx] * wy[dy] * wz[dz];
-                            ctx.update(rho, g, |r| r + w);
+        let partials = &mut self.partial_rho;
+        let span = &mut self.partial_span;
+        let nt = partials.copies();
+        let r = rt.team_fork_join_phases(team, 2, |ctx, phase| {
+            if phase == 0 {
+                let tid = ctx.tid;
+                span[tid] = (usize::MAX, 0);
+                for i in ctx.chunk(npart) {
+                    let x = ctx.read(px, i);
+                    let y = ctx.read(py, i);
+                    let z = ctx.read(pz, i);
+                    let q = ctx.read(pq, i);
+                    let (xi, wx) = host::cic_axis(x, p.nx);
+                    let (yi, wy) = host::cic_axis(y, p.ny);
+                    let (zi, wz) = host::cic_axis(z, p.nz);
+                    ctx.flops(flops::DEPOSIT_PER_PARTICLE);
+                    for dz in 0..2 {
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let g = host::idx(&p, xi[dx], yi[dy], zi[dz]);
+                                let w = q * wx[dx] * wy[dy] * wz[dz];
+                                span[tid] = (span[tid].0.min(g), span[tid].1.max(g + 1));
+                                ctx.update(partials.mine_mut(tid), g, |r| r + w);
+                            }
                         }
                     }
+                }
+            } else {
+                // Reduction adds are parallelization overhead, like
+                // PPM's redundant margin work: time is priced through
+                // the reads, but no useful-flop credit (keeps flops
+                // independent of team size). Consuming a nonzero
+                // partial cell zeroes it, restoring the invariant for
+                // the next step's deposit.
+                for g in ctx.chunk(cells) {
+                    let mut sum = 0.0;
+                    for (t, &(lo, hi)) in span.iter().enumerate().take(nt) {
+                        if lo <= g && g < hi {
+                            let v = ctx.read(partials.mine(t), g);
+                            sum += v;
+                            if v != 0.0 {
+                                ctx.write(partials.mine_mut(t), g, 0.0);
+                            }
+                        }
+                    }
+                    ctx.write(rho, g, sum);
                 }
             }
         });

@@ -236,6 +236,57 @@ pub mod prelude {
     pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy};
 }
 
+/// Negative-control kernels for the simulator's race detector and
+/// schedule-permutation fuzzer.
+///
+/// A detector that never fires and a fuzzer that never diverges are
+/// indistinguishable from broken ones; this module provides a kernel
+/// that is *known* racy, so the campaign in `spp-bench` (and ci.sh)
+/// can assert the tooling actually catches something.
+pub mod racy {
+    use spp_core::{MemPort, SimArray};
+    use spp_runtime::{Placement, Runtime, Team};
+
+    /// Deliberately racy parallel sum: every thread read-modify-writes
+    /// one shared accumulator with no gate, no in-region barrier, and
+    /// no per-thread partials. On real hardware this loses updates;
+    /// under the sequential replay it "works", but the accumulation
+    /// order follows the replay schedule, so the race detector must
+    /// flag the conflicting accesses and a schedule permutation must
+    /// change the floating-point result (addition does not
+    /// reassociate).
+    pub fn racy_sum<P: MemPort>(rt: &mut Runtime<P>, nthreads: usize, values: &[f64]) -> f64 {
+        let team = Team::place(rt.machine.config(), nthreads, &Placement::HighLocality);
+        let class = team.shared_class(rt.machine.config(), 64);
+        let mut acc = SimArray::from_elem(&mut rt.machine, class, 1, 0.0f64);
+        acc.set_label(&mut rt.machine, "racy_acc");
+        let n = values.len();
+        rt.team_fork_join(&team, |ctx| {
+            for i in ctx.chunk(n) {
+                ctx.update(&mut acc, 0, |a| a + values[i]);
+            }
+        });
+        acc.host()[0]
+    }
+
+    /// Mixed-magnitude values whose sum depends visibly on
+    /// accumulation order: magnitudes span 2^-30..2^30 with a dense
+    /// exponent spread, so reassociating the additions (any schedule
+    /// permutation of [`racy_sum`], even a single swap on a 2-thread
+    /// team) changes the rounding. A small discrete magnitude set is
+    /// NOT enough — block-reordered folds of values drawn from a few
+    /// fixed scales frequently round to identical bits.
+    pub fn adversarial_values(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = crate::TestRng::new(seed);
+        (0..n)
+            .map(|_| {
+                let exp = rng.unit_f64() * 60.0 - 30.0;
+                (rng.unit_f64() - 0.5) * exp.exp2()
+            })
+            .collect()
+    }
+}
+
 /// FNV-1a over the test's identifying string: the per-test seed base,
 /// so each property gets an independent, stable stream.
 pub fn seed_for(name: &str) -> u64 {
@@ -349,5 +400,37 @@ mod tests {
         let any = crate::num::u64::ANY;
         let saw_high = (0..64).any(|_| crate::Strategy::generate(&any, &mut rng) > u64::MAX / 2);
         assert!(saw_high);
+    }
+
+    #[test]
+    fn racy_sum_is_flagged_by_the_detector() {
+        use spp_core::Machine;
+        use spp_runtime::Runtime;
+        let mut rt = Runtime::new(Machine::spp1000(1).with_race_detection());
+        let values = crate::racy::adversarial_values(64, 1);
+        crate::racy::racy_sum(&mut rt, 4, &values);
+        let report = rt.machine.race_report();
+        assert!(report.total_races > 0, "negative control not flagged");
+        assert!(
+            report.races.iter().any(|r| r.array == "racy_acc"),
+            "findings resolve to the accumulator: {report}"
+        );
+    }
+
+    #[test]
+    fn racy_sum_diverges_under_a_permuted_schedule() {
+        use spp_runtime::{Runtime, SchedulePolicy};
+        let values = crate::racy::adversarial_values(256, 2);
+        let identity = crate::racy::racy_sum(&mut Runtime::spp1000(1), 8, &values);
+        let reversed = crate::racy::racy_sum(
+            &mut Runtime::spp1000(1).with_schedule(SchedulePolicy::Reversed),
+            8,
+            &values,
+        );
+        assert_ne!(
+            identity.to_bits(),
+            reversed.to_bits(),
+            "schedule permutation must change the racy sum"
+        );
     }
 }

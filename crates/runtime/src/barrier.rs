@@ -11,7 +11,9 @@
 
 use crate::cost::RuntimeCostModel;
 use spp_core::trace::{record, TraceEvent, NO_CPU, NO_NODE};
-use spp_core::{CpuId, Cycles, MemClass, MemPort, NodeId, StallKind, Watchdog, WatchdogReport};
+use spp_core::{
+    CpuId, Cycles, MemClass, MemPort, NodeId, SimError, StallKind, Watchdog, WatchdogReport,
+};
 
 /// A barrier with its simulated memory (semaphore + release flag).
 #[derive(Debug, Clone)]
@@ -26,6 +28,11 @@ pub struct SimBarrier {
     /// the CCMC, so the writer sees a fixed cost; remote hypernodes
     /// are walked serially via SCI and priced per node).
     flag_write_base: Cycles,
+    /// When set, the participant count every episode must supply (the
+    /// team size the barrier was built for). On real hardware a
+    /// mismatched count deadlocks or releases early; here it is a
+    /// typed [`SimError::BarrierParticipants`].
+    expected: Option<usize>,
 }
 
 /// Timing of one simulated barrier episode. All times are absolute
@@ -74,19 +81,72 @@ impl SimBarrier {
             flag_addr: flag.base,
             enter_sw: 25,
             flag_write_base: 100,
+            expected: None,
         }
+    }
+
+    /// Pin the participant count to `n` (the team size). Episodes with
+    /// any other count then fail with
+    /// [`SimError::BarrierParticipants`] instead of silently pricing a
+    /// protocol the hardware would deadlock on.
+    pub fn with_expected(mut self, n: usize) -> Self {
+        self.expected = Some(n);
+        self
+    }
+
+    /// Validate an episode's participant list against the typed-error
+    /// contract: no participants at all is [`SimError::EmptyBarrier`];
+    /// a count that disagrees with [`SimBarrier::with_expected`] is
+    /// [`SimError::BarrierParticipants`].
+    fn check(&self, arrivals: &[(CpuId, Cycles)]) -> Result<(), SimError> {
+        if arrivals.is_empty() {
+            return Err(SimError::EmptyBarrier);
+        }
+        if let Some(expected) = self.expected {
+            if arrivals.len() != expected {
+                return Err(SimError::BarrierParticipants {
+                    expected,
+                    got: arrivals.len(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Simulate one barrier episode: `arrivals[i] = (cpu, time)` is
     /// when thread `i` reaches the barrier. Returns per-thread
-    /// resumption times.
+    /// resumption times. Panics on a malformed episode with the
+    /// [`SimError`] message; see [`SimBarrier::try_simulate`] for the
+    /// fallible variant.
     pub fn simulate<P: MemPort>(
         &self,
         m: &mut P,
         cost: &RuntimeCostModel,
         arrivals: &[(CpuId, Cycles)],
     ) -> BarrierResult {
-        assert!(!arrivals.is_empty(), "barrier with no participants");
+        self.try_simulate(m, cost, arrivals)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`SimBarrier::simulate`]: returns
+    /// [`SimError::EmptyBarrier`] or [`SimError::BarrierParticipants`]
+    /// instead of panicking on a malformed episode.
+    pub fn try_simulate<P: MemPort>(
+        &self,
+        m: &mut P,
+        cost: &RuntimeCostModel,
+        arrivals: &[(CpuId, Cycles)],
+    ) -> Result<BarrierResult, SimError> {
+        self.check(arrivals)?;
+        Ok(self.simulate_inner(m, cost, arrivals))
+    }
+
+    fn simulate_inner<P: MemPort>(
+        &self,
+        m: &mut P,
+        cost: &RuntimeCostModel,
+        arrivals: &[(CpuId, Cycles)],
+    ) -> BarrierResult {
         let last_arrival = arrivals.iter().map(|a| a.1).max().unwrap();
 
         if arrivals.len() == 1 {
@@ -207,7 +267,7 @@ impl SimBarrier {
         arrivals: &[(CpuId, Cycles)],
         wd: &Watchdog,
     ) -> Result<BarrierResult, WatchdogReport> {
-        assert!(!arrivals.is_empty(), "barrier with no participants");
+        self.check(arrivals).unwrap_or_else(|e| panic!("{e}"));
         let clocks: Vec<(u16, Cycles)> = arrivals.iter().map(|(c, t)| (c.0, *t)).collect();
         let last = arrivals.iter().map(|a| a.1).max().unwrap();
 
@@ -270,7 +330,7 @@ impl SimBarrier {
                 .with_cpu_clocks(clocks));
         }
 
-        Ok(self.simulate(m, cost, arrivals))
+        Ok(self.simulate_inner(m, cost, arrivals))
     }
 }
 
@@ -415,6 +475,51 @@ mod tests {
         assert_eq!(rep.observed, 50_000);
         // Threads 0 and 1 made the deadline; the straggler did not.
         assert_eq!(rep.arrival_bitmap, Some(0b011));
+    }
+
+    #[test]
+    fn empty_episode_is_a_typed_error() {
+        let (mut m, b, cost) = setup(1);
+        assert_eq!(
+            b.try_simulate(&mut m, &cost, &[]).unwrap_err(),
+            SimError::EmptyBarrier
+        );
+    }
+
+    #[test]
+    fn wrong_participant_count_is_a_typed_error() {
+        let (mut m, b, cost) = setup(1);
+        let b = b.with_expected(4);
+        let err = b
+            .try_simulate(&mut m, &cost, &spaced(&[0, 1, 2]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::BarrierParticipants {
+                expected: 4,
+                got: 3
+            }
+        );
+        // The full team passes and prices normally.
+        let r = b
+            .try_simulate(&mut m, &cost, &spaced(&[0, 1, 2, 3]))
+            .unwrap();
+        assert_eq!(r.release.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "barrier with no participants")]
+    fn panicking_wrapper_preserves_the_historical_message() {
+        let (mut m, b, cost) = setup(1);
+        b.simulate(&mut m, &cost, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 8 participants")]
+    fn watched_variant_also_rejects_wrong_counts() {
+        let (mut m, b, cost) = setup(1);
+        let b = b.with_expected(8);
+        let _ = b.simulate_watched(&mut m, &cost, &spaced(&[0, 1]), &Watchdog::new(1_000_000));
     }
 
     #[test]

@@ -17,9 +17,83 @@ use crate::noise::OsNoise;
 use crate::team::{chunk_range, Placement, Team};
 use spp_core::trace::{record, TraceEvent, NO_CPU, NO_NODE};
 use spp_core::{
-    CpuId, Cycles, Machine, MemPort, NodeId, SimArray, SimError, StallKind, Watchdog,
+    CpuId, Cycles, Machine, MemPort, NodeId, RaceEvent, SimArray, SimError, StallKind, Watchdog,
     WatchdogReport,
 };
+
+/// The order in which a region's thread bodies are replayed.
+///
+/// The simulator executes bodies *sequentially* (deterministic trace
+/// interleaving, DESIGN.md §2), and a correct data-parallel program's
+/// results must not depend on that order. This policy makes the order
+/// pluggable so the schedule-permutation fuzzer (`repro-race` in
+/// spp-bench) can sweep it: [`SchedulePolicy::Identity`] — the default
+/// — replays tids in `0..n` order and is bit-identical to the
+/// historical behavior; the other variants permute the replay while
+/// leaving every per-thread cost model untouched.
+///
+/// Caveat: under an *active fault plan*, permuting the replay order
+/// legitimately changes outcomes — soft-fault draws (e.g. ring
+/// stalls) come from one per-site stream shared by all CPUs, so
+/// reordering accesses reassigns which of them stall. Schedule
+/// fuzzing is therefore only meaningful on fault-free machines.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// tid order `0..n` — the historical, calibrated order.
+    #[default]
+    Identity,
+    /// Reverse tid order `n-1..=0`.
+    Reversed,
+    /// A seeded Fisher-Yates shuffle of the tid order (splitmix64).
+    Shuffled {
+        /// The shuffle seed; equal seeds give equal orders.
+        seed: u64,
+    },
+    /// An explicit replay order, e.g. from a shrunk fuzzer artifact.
+    /// Used verbatim when it is a permutation of `0..n`; teams of any
+    /// other size fall back to identity order.
+    Explicit(Vec<usize>),
+}
+
+impl SchedulePolicy {
+    /// The replay order for a team of `n` bodies — always a
+    /// permutation of `0..n`.
+    pub fn order(&self, n: usize) -> Vec<usize> {
+        match self {
+            SchedulePolicy::Identity => (0..n).collect(),
+            SchedulePolicy::Reversed => (0..n).rev().collect(),
+            SchedulePolicy::Shuffled { seed } => {
+                let mut order: Vec<usize> = (0..n).collect();
+                let mut state = *seed;
+                let mut next = move || {
+                    // splitmix64: the repo's standard seedable stream.
+                    state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                    z ^ (z >> 31)
+                };
+                for i in (1..n).rev() {
+                    let j = (next() % (i as u64 + 1)) as usize;
+                    order.swap(i, j);
+                }
+                order
+            }
+            SchedulePolicy::Explicit(o) => {
+                if o.len() == n {
+                    let mut seen = vec![false; n];
+                    let valid = o
+                        .iter()
+                        .all(|&t| t < n && !std::mem::replace(&mut seen[t], true));
+                    if valid {
+                        return o.clone();
+                    }
+                }
+                (0..n).collect()
+            }
+        }
+    }
+}
 
 /// Execution context handed to each simulated thread's body.
 ///
@@ -39,6 +113,10 @@ pub struct ThreadCtx<'a, P: MemPort = Machine> {
     clock: Cycles,
     flops: u64,
     batching: bool,
+    /// Semaphore addresses of the gates this thread currently holds
+    /// (innermost last) — [`crate::SimGate`] uses it to reject
+    /// self-deadlocking re-entry with a typed error.
+    pub(crate) gates: Vec<u64>,
 }
 
 impl<'a, P: MemPort> ThreadCtx<'a, P> {
@@ -149,6 +227,24 @@ impl<'a, P: MemPort> ThreadCtx<'a, P> {
         self.machine
     }
 
+    /// Run `body` with its accesses marked as targeting the logical
+    /// *back buffer* of a double-buffered structure whose pricing
+    /// aliases both buffers onto one address range (the N-body
+    /// permutation sort prices its scatter this way). The annotation
+    /// only informs a mounted race detector — with detection off it is
+    /// a single dead branch and cycles/stats are untouched.
+    pub fn back_buffer<R>(&mut self, body: impl FnOnce(&mut Self) -> R) -> R {
+        let racing = self.machine.racing();
+        if racing {
+            self.machine.race(RaceEvent::AliasBegin);
+        }
+        let r = body(self);
+        if racing {
+            self.machine.race(RaceEvent::AliasEnd);
+        }
+        r
+    }
+
     /// The runtime cost model in force.
     pub fn cost_model(&self) -> &RuntimeCostModel {
         self.cost
@@ -168,6 +264,7 @@ impl<'a, P: MemPort> ThreadCtx<'a, P> {
             clock: 0,
             flops: 0,
             batching: true,
+            gates: Vec::new(),
         }
     }
 }
@@ -244,7 +341,15 @@ pub struct Runtime<P: MemPort = Machine> {
     /// Cycle totals are identical either way; the scalar mode exists
     /// so cross-validation tests can prove it.
     pub batching: bool,
+    /// Replay order for thread bodies within each region. The default
+    /// [`SchedulePolicy::Identity`] is bit-identical to the historical
+    /// behavior; other policies drive the schedule-permutation fuzzer.
+    pub schedule: SchedulePolicy,
     regions: u64,
+    /// Barrier used between the phases of
+    /// [`Runtime::team_fork_join_phases`]; allocated on first use so
+    /// non-phased workloads see no extra simulated allocations.
+    phase_barrier: Option<SimBarrier>,
 }
 
 impl Runtime {
@@ -265,8 +370,16 @@ impl<P: MemPort> Runtime<P> {
             now: 0,
             noise: None,
             batching: true,
+            schedule: SchedulePolicy::Identity,
             regions: 0,
+            phase_barrier: None,
         }
+    }
+
+    /// Set the replay order for subsequent regions' thread bodies.
+    pub fn with_schedule(mut self, schedule: SchedulePolicy) -> Self {
+        self.schedule = schedule;
+        self
     }
 
     /// Enable the OS-multitasking noise model for subsequent regions.
@@ -485,24 +598,45 @@ impl<P: MemPort> Runtime<P> {
         // The parent begins its own chunk after issuing all spawns.
         start[0] = t;
 
-        // Execute bodies sequentially, one per simulated thread.
+        // Execute bodies sequentially, one per simulated thread, in
+        // the schedule policy's replay order (identity by default —
+        // a correct program's results don't depend on the order, and
+        // the race fuzzer sweeps it to prove that).
         let mut busy = vec![0u64; n];
         let mut flops = 0u64;
-        for (tid, b) in busy.iter_mut().enumerate() {
+        let racing = self.machine.racing();
+        if racing {
+            self.machine.race(RaceEvent::RegionBegin);
+        }
+        for tid in self.schedule.order(n) {
+            let cpu = team.cpu(tid);
+            if racing {
+                self.machine.race(RaceEvent::BodyBegin {
+                    tid: tid as u32,
+                    cpu: cpu.0,
+                });
+            }
             let mut ctx = ThreadCtx {
                 tid,
                 nthreads: n,
-                cpu: team.cpu(tid),
+                cpu,
                 rank: team.chunk_rank(tid),
                 machine: &mut self.machine,
                 cost: &self.cost,
                 clock: 0,
                 flops: 0,
                 batching: self.batching,
+                gates: Vec::new(),
             };
             body(&mut ctx);
-            *b = ctx.clock;
+            busy[tid] = ctx.clock;
             flops += ctx.flops;
+            if racing {
+                self.machine.race(RaceEvent::BodyEnd);
+            }
+        }
+        if racing {
+            self.machine.race(RaceEvent::RegionEnd);
         }
 
         // Optional multitasking interference (§6): the OS steals
@@ -562,6 +696,161 @@ impl<P: MemPort> Runtime<P> {
         })
     }
 
+    /// Run a *phased* (bulk-synchronous) parallel region: `nphases`
+    /// phases over an existing team, with a full in-region barrier
+    /// simulation between consecutive phases. The body receives the
+    /// phase index; per-thread clocks carry across phases, and after
+    /// each barrier a thread resumes at its simulated release time.
+    ///
+    /// Apps use this to *order* work that would otherwise conflict —
+    /// colored FEM assembly runs one color per phase, PIC separates
+    /// private charge deposit from the cross-thread reduction — and
+    /// the race detector honors the ordering through its phase
+    /// counter (accesses in different phases never race).
+    pub fn team_fork_join_phases(
+        &mut self,
+        team: &Team,
+        nphases: usize,
+        mut body: impl FnMut(&mut ThreadCtx<P>, usize),
+    ) -> RegionReport {
+        let n = team.len();
+        let parent_node = self.machine.config().node_of_cpu(team.cpu(0));
+
+        // Fork: identical to team_fork_join.
+        let mut t = self.cost.fork_base;
+        let mut start = vec![0u64; n];
+        let mut activated = false;
+        let mut spawn_retries = 0u64;
+        for (tid, s) in start.iter_mut().enumerate().skip(1) {
+            let node = self.machine.config().node_of_cpu(team.cpu(tid));
+            t += self.priced_spawn(
+                team.cpu(tid),
+                node == parent_node,
+                &mut activated,
+                &mut spawn_retries,
+            );
+            *s = t;
+        }
+        start[0] = t;
+
+        let mut busy = vec![0u64; n];
+        let mut flops = 0u64;
+        let racing = self.machine.racing();
+        if racing {
+            self.machine.race(RaceEvent::RegionBegin);
+        }
+        for phase in 0..nphases {
+            if phase > 0 {
+                if n > 1 {
+                    // In-region barrier: arrivals at each thread's
+                    // current finish time; it resumes at its release.
+                    let arrivals: Vec<(CpuId, Cycles)> = (0..n)
+                        .map(|tid| (team.cpu(tid), start[tid] + busy[tid]))
+                        .collect();
+                    if self.phase_barrier.is_none() {
+                        self.phase_barrier = Some(SimBarrier::new(&mut self.machine, parent_node));
+                    }
+                    let pb = self.phase_barrier.take().unwrap();
+                    let res = pb.simulate(&mut self.machine, &self.cost, &arrivals);
+                    self.phase_barrier = Some(pb);
+                    for tid in 0..n {
+                        busy[tid] = res.release[tid] - start[tid];
+                    }
+                }
+                if racing {
+                    self.machine.race(RaceEvent::PhaseBarrier);
+                }
+            }
+            for tid in self.schedule.order(n) {
+                let cpu = team.cpu(tid);
+                if racing {
+                    self.machine.race(RaceEvent::BodyBegin {
+                        tid: tid as u32,
+                        cpu: cpu.0,
+                    });
+                }
+                let mut ctx = ThreadCtx {
+                    tid,
+                    nthreads: n,
+                    cpu,
+                    rank: team.chunk_rank(tid),
+                    machine: &mut self.machine,
+                    cost: &self.cost,
+                    clock: busy[tid],
+                    flops: 0,
+                    batching: self.batching,
+                    gates: Vec::new(),
+                };
+                body(&mut ctx, phase);
+                busy[tid] = ctx.clock;
+                flops += ctx.flops;
+                if racing {
+                    self.machine.race(RaceEvent::BodyEnd);
+                }
+            }
+        }
+        if racing {
+            self.machine.race(RaceEvent::RegionEnd);
+        }
+
+        self.regions += 1;
+        if let Some(noise) = &self.noise {
+            let full = n == self.machine.config().num_cpus();
+            for (tid, b) in busy.iter_mut().enumerate() {
+                *b += noise.stolen(self.regions, tid, n, *b, full);
+            }
+        }
+
+        let arrivals: Vec<(CpuId, Cycles)> = (0..n)
+            .map(|tid| (team.cpu(tid), start[tid] + busy[tid]))
+            .collect();
+        let join = if n == 1 {
+            BarrierResult {
+                release: vec![arrivals[0].1],
+                last_arrival: arrivals[0].1,
+            }
+        } else {
+            self.join_barrier
+                .simulate(&mut self.machine, &self.cost, &arrivals)
+        };
+        let elapsed = join.end() + self.cost.join_base;
+        if self.machine.tracing() {
+            let parent = team.cpu(0);
+            self.machine.trace(record(
+                self.now,
+                parent.0,
+                parent_node.0,
+                TraceEvent::ForkSpan {
+                    threads: n as u16,
+                    dur: elapsed,
+                },
+            ));
+        }
+        self.now += elapsed;
+        RegionReport {
+            elapsed,
+            start,
+            busy,
+            join,
+            flops,
+            spawn_retries,
+        }
+    }
+
+    /// Place a team and run a phased region over it — the
+    /// [`Runtime::fork_join`] convenience for
+    /// [`Runtime::team_fork_join_phases`].
+    pub fn fork_join_phases(
+        &mut self,
+        n: usize,
+        placement: &Placement,
+        nphases: usize,
+        body: impl FnMut(&mut ThreadCtx<P>, usize),
+    ) -> RegionReport {
+        let team = Team::place(self.machine.config(), n, placement);
+        self.team_fork_join_phases(&team, nphases, body)
+    }
+
     /// Spawn *asynchronous* threads (§3.2: "Asynchronous threads
     /// continue execution independent of one another; the parent
     /// thread continues to execute without waiting for its children to
@@ -577,14 +866,20 @@ impl<P: MemPort> Runtime<P> {
         let n = team.len();
         let parent_node = self.machine.config().node_of_cpu(team.cpu(0));
         // Children are tids 0..n of the handle; the parent is not part
-        // of the team here.
+        // of the team here. Spawns are priced first (they happen in
+        // issue order regardless of replay order), then the bodies are
+        // replayed in the schedule policy's order. With identity
+        // scheduling this split is bit-identical to the historical
+        // interleaved loop: spawn draws and body accesses come from
+        // different per-site fault streams.
         let mut t = self.cost.fork_base;
+        let mut spawn_done = vec![0u64; n];
         let mut finish = vec![0u64; n];
         let mut busy = vec![0u64; n];
         let mut activated = false;
         let mut flops = 0u64;
         let mut spawn_retries = 0u64;
-        for tid in 0..n {
+        for (tid, s) in spawn_done.iter_mut().enumerate() {
             let node = self.machine.config().node_of_cpu(team.cpu(tid));
             t += self.priced_spawn(
                 team.cpu(tid),
@@ -592,21 +887,42 @@ impl<P: MemPort> Runtime<P> {
                 &mut activated,
                 &mut spawn_retries,
             );
+            *s = t;
+        }
+        let racing = self.machine.racing();
+        if racing {
+            self.machine.race(RaceEvent::RegionBegin);
+        }
+        for tid in self.schedule.order(n) {
+            let cpu = team.cpu(tid);
+            if racing {
+                self.machine.race(RaceEvent::BodyBegin {
+                    tid: tid as u32,
+                    cpu: cpu.0,
+                });
+            }
             let mut ctx = ThreadCtx {
                 tid,
                 nthreads: n,
-                cpu: team.cpu(tid),
+                cpu,
                 rank: team.chunk_rank(tid),
                 machine: &mut self.machine,
                 cost: &self.cost,
                 clock: 0,
                 flops: 0,
                 batching: self.batching,
+                gates: Vec::new(),
             };
             body(&mut ctx);
             busy[tid] = ctx.clock;
             flops += ctx.flops;
-            finish[tid] = t + ctx.clock;
+            finish[tid] = spawn_done[tid] + ctx.clock;
+            if racing {
+                self.machine.race(RaceEvent::BodyEnd);
+            }
+        }
+        if racing {
+            self.machine.race(RaceEvent::RegionEnd);
         }
         self.regions += 1;
         if let Some(noise) = &self.noise {
@@ -652,6 +968,7 @@ impl<P: MemPort> Runtime<P> {
             clock: 0,
             flops: 0,
             batching: self.batching,
+            gates: Vec::new(),
         };
         body(&mut ctx);
         let busy = ctx.clock;
@@ -1079,6 +1396,241 @@ mod tests {
                 kind: StallKind::RetryLoop
             }
         )));
+    }
+
+    #[test]
+    fn schedule_orders_are_valid_permutations() {
+        for n in [0usize, 1, 2, 7, 16] {
+            for policy in [
+                SchedulePolicy::Identity,
+                SchedulePolicy::Reversed,
+                SchedulePolicy::Shuffled { seed: 42 },
+                SchedulePolicy::Explicit((0..n).rev().collect()),
+            ] {
+                let mut o = policy.order(n);
+                o.sort_unstable();
+                assert_eq!(o, (0..n).collect::<Vec<_>>(), "{policy:?} n={n}");
+            }
+        }
+        assert_eq!(SchedulePolicy::Identity.order(4), vec![0, 1, 2, 3]);
+        assert_eq!(SchedulePolicy::Reversed.order(4), vec![3, 2, 1, 0]);
+        assert_eq!(
+            SchedulePolicy::Shuffled { seed: 7 }.order(16),
+            SchedulePolicy::Shuffled { seed: 7 }.order(16),
+            "same seed, same order"
+        );
+        assert_ne!(
+            SchedulePolicy::Shuffled { seed: 7 }.order(16),
+            SchedulePolicy::Shuffled { seed: 8 }.order(16),
+            "different seeds should disagree on 16 elements"
+        );
+        // A malformed explicit order falls back to identity.
+        assert_eq!(
+            SchedulePolicy::Explicit(vec![0, 0, 1]).order(3),
+            vec![0, 1, 2]
+        );
+        assert_eq!(SchedulePolicy::Explicit(vec![1, 0]).order(3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn identity_schedule_is_bit_identical_to_default() {
+        let run = |rt: &mut Runtime| {
+            let mut arr =
+                SimArray::<f64>::from_elem(&mut rt.machine, MemClass::FarShared, 512, 0.0);
+            let rep = rt.fork_join(8, &Placement::Uniform, |ctx| {
+                for i in ctx.chunk(512) {
+                    ctx.update(&mut arr, i, |v| v + 1.0);
+                }
+            });
+            (rep.elapsed, rep.busy.clone(), *rt.machine.stats())
+        };
+        let mut plain = Runtime::spp1000(2);
+        let mut identity = Runtime::spp1000(2).with_schedule(SchedulePolicy::Identity);
+        assert_eq!(run(&mut plain), run(&mut identity));
+    }
+
+    #[test]
+    fn permuted_schedules_agree_on_disjoint_work() {
+        // Chunked (owner-computes) work must be schedule-invariant:
+        // same data, same flops, same per-thread busy times.
+        let run = |policy: SchedulePolicy| {
+            let mut rt = Runtime::spp1000(2).with_schedule(policy);
+            let mut arr =
+                SimArray::<f64>::from_elem(&mut rt.machine, MemClass::FarShared, 512, 0.0);
+            let rep = rt.fork_join(8, &Placement::Uniform, |ctx| {
+                for i in ctx.chunk(512) {
+                    ctx.write(&mut arr, i, i as f64);
+                }
+                ctx.flops(100);
+            });
+            (rep.busy.clone(), rep.flops, arr.into_host())
+        };
+        let base = run(SchedulePolicy::Identity);
+        assert_eq!(base, run(SchedulePolicy::Reversed));
+        assert_eq!(base, run(SchedulePolicy::Shuffled { seed: 3 }));
+    }
+
+    #[test]
+    fn phased_region_orders_cross_thread_reads() {
+        // Phase 0: every thread writes its own slot. Phase 1: every
+        // thread reads its neighbor's slot — only safe because the
+        // inter-phase barrier orders the two.
+        let mut rt = Runtime::spp1000(1);
+        let team = Team::place(rt.machine.config(), 4, &Placement::HighLocality);
+        let mut arr = SimArray::<f64>::from_elem(
+            &mut rt.machine,
+            MemClass::NearShared { node: NodeId(0) },
+            4,
+            0.0,
+        );
+        let mut seen = vec![0.0; 4];
+        let rep = rt.team_fork_join_phases(&team, 2, |ctx, phase| {
+            if phase == 0 {
+                ctx.write(&mut arr, ctx.tid, ctx.tid as f64 + 1.0);
+            } else {
+                seen[ctx.tid] = ctx.read(&arr, (ctx.tid + 1) % 4);
+            }
+        });
+        assert_eq!(seen, vec![2.0, 3.0, 4.0, 1.0]);
+        assert!(rep.elapsed > 0);
+        assert_eq!(rep.busy.len(), 4);
+    }
+
+    #[test]
+    fn phase_barrier_costs_time() {
+        let elapsed = |phases: usize| {
+            let mut rt = Runtime::spp1000(1);
+            let team = Team::place(rt.machine.config(), 8, &Placement::HighLocality);
+            rt.team_fork_join_phases(&team, phases, |ctx, _| ctx.flops(100))
+                .elapsed
+        };
+        // Two phases do twice the compute plus one barrier.
+        assert!(elapsed(2) > 2 * 100 / 2, "sanity");
+        assert!(
+            elapsed(2) > elapsed(1) + 100,
+            "the inter-phase barrier must cost real cycles"
+        );
+    }
+
+    #[test]
+    fn single_phase_region_matches_team_fork_join() {
+        let run = |phased: bool| {
+            let mut rt = Runtime::spp1000(2);
+            let team = Team::place(rt.machine.config(), 8, &Placement::Uniform);
+            let rep = if phased {
+                rt.team_fork_join_phases(&team, 1, |ctx, _| ctx.flops(500))
+            } else {
+                rt.team_fork_join(&team, |ctx| ctx.flops(500))
+            };
+            (
+                rep.elapsed,
+                rep.busy.clone(),
+                rep.start.clone(),
+                *rt.machine.stats(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn phased_clocks_carry_across_phases() {
+        let mut rt = Runtime::spp1000(1);
+        let team = Team::place(rt.machine.config(), 2, &Placement::HighLocality);
+        let mut clocks = Vec::new();
+        rt.team_fork_join_phases(&team, 2, |ctx, phase| {
+            ctx.flops(100);
+            clocks.push((phase, ctx.tid, ctx.clock()));
+        });
+        // Phase-1 clocks include phase-0 work plus the barrier.
+        let p0: Vec<_> = clocks.iter().filter(|c| c.0 == 0).collect();
+        let p1: Vec<_> = clocks.iter().filter(|c| c.0 == 1).collect();
+        for (a, b) in p0.iter().zip(&p1) {
+            assert!(b.2 > a.2 + 100, "{clocks:?}");
+        }
+    }
+
+    #[test]
+    fn race_detection_flags_nothing_on_disjoint_regions() {
+        use spp_core::Machine;
+        let mut rt = Runtime::new(Machine::spp1000(1).with_race_detection());
+        let mut arr = SimArray::<f64>::from_elem(
+            &mut rt.machine,
+            MemClass::NearShared { node: NodeId(0) },
+            256,
+            0.0,
+        );
+        arr.set_label(&mut rt.machine, "arr");
+        rt.fork_join(4, &Placement::HighLocality, |ctx| {
+            for i in ctx.chunk(256) {
+                ctx.update(&mut arr, i, |v| v + 1.0);
+            }
+        });
+        let report = rt.machine.race_report();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.regions, 1);
+        assert!(report.accesses > 0);
+    }
+
+    #[test]
+    fn race_detection_flags_a_real_conflict() {
+        use spp_core::Machine;
+        let mut rt = Runtime::new(Machine::spp1000(1).with_race_detection());
+        let mut shared = SimArray::<f64>::from_elem(
+            &mut rt.machine,
+            MemClass::NearShared { node: NodeId(0) },
+            1,
+            0.0,
+        );
+        shared.set_label(&mut rt.machine, "acc");
+        rt.fork_join(4, &Placement::HighLocality, |ctx| {
+            // Every thread read-modify-writes element 0 unguarded.
+            ctx.update(&mut shared, 0, |v| v + 1.0);
+        });
+        let report = rt.machine.race_report();
+        assert!(!report.is_clean());
+        assert!(report.total_races > 0, "{report}");
+        assert!(report.races[0].to_string().contains("acc[0]"), "{report}");
+    }
+
+    #[test]
+    fn gated_updates_do_not_race() {
+        use spp_core::Machine;
+        let mut rt = Runtime::new(Machine::spp1000(1).with_race_detection());
+        let mut gate = crate::gate::SimGate::new(&mut rt.machine, NodeId(0));
+        let mut shared = SimArray::<f64>::from_elem(
+            &mut rt.machine,
+            MemClass::NearShared { node: NodeId(0) },
+            1,
+            0.0,
+        );
+        rt.fork_join(4, &Placement::HighLocality, |ctx| {
+            gate.critical(ctx, |ctx| ctx.update(&mut shared, 0, |v| v + 1.0));
+        });
+        let report = rt.machine.race_report();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(shared.host()[0], 4.0);
+    }
+
+    #[test]
+    fn phased_writes_then_reads_do_not_race() {
+        use spp_core::Machine;
+        let mut rt = Runtime::new(Machine::spp1000(1).with_race_detection());
+        let team = Team::place(rt.machine.config(), 4, &Placement::HighLocality);
+        let mut arr = SimArray::<f64>::from_elem(
+            &mut rt.machine,
+            MemClass::NearShared { node: NodeId(0) },
+            4,
+            0.0,
+        );
+        rt.team_fork_join_phases(&team, 2, |ctx, phase| {
+            if phase == 0 {
+                ctx.write(&mut arr, ctx.tid, 1.0);
+            } else {
+                let _ = ctx.read(&arr, (ctx.tid + 1) % 4);
+            }
+        });
+        let report = rt.machine.race_report();
+        assert!(report.is_clean(), "{report}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! each entering thread's own clock.
 
 use crate::fork::ThreadCtx;
-use spp_core::{Cycles, MemClass, MemPort, NodeId, SimArray};
+use spp_core::{Cycles, MemClass, MemPort, NodeId, RaceEvent, SimArray, SimError};
 
 /// A simulated gate / critical section.
 #[derive(Debug, Clone)]
@@ -35,12 +35,33 @@ impl SimGate {
 
     /// Execute `body` inside the gate as `ctx`'s thread: the thread
     /// waits for the gate, pays the semaphore costs, runs the body,
-    /// and releases.
+    /// and releases. Panics with [`SimError::GateReentered`] if the
+    /// thread already holds this gate (on hardware that deadlocks);
+    /// see [`SimGate::try_critical`] for the fallible variant.
     pub fn critical<P: MemPort, R>(
         &mut self,
         ctx: &mut ThreadCtx<'_, P>,
         body: impl FnOnce(&mut ThreadCtx<'_, P>) -> R,
     ) -> R {
+        self.try_critical(ctx, body)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`SimGate::critical`]: returns
+    /// [`SimError::GateReentered`] — instead of pricing a protocol the
+    /// hardware would self-deadlock on — when `ctx`'s thread is
+    /// already inside this gate.
+    pub fn try_critical<P: MemPort, R>(
+        &mut self,
+        ctx: &mut ThreadCtx<'_, P>,
+        body: impl FnOnce(&mut ThreadCtx<'_, P>) -> R,
+    ) -> Result<R, SimError> {
+        if ctx.gates.contains(&self.sem_addr) {
+            return Err(SimError::GateReentered {
+                gate: self.sem_addr,
+                tid: ctx.tid,
+            });
+        }
         let overhead = ctx_gate_overhead(ctx);
         let cpu = ctx.cpu;
         let acquire = ctx.machine().uncached_op(cpu, self.sem_addr);
@@ -48,11 +69,25 @@ impl SimGate {
         let start = ctx.clock().max(self.free_at) + acquire + overhead / 2;
         let wait = start - ctx.clock();
         ctx.cycles(wait);
+        ctx.gates.push(self.sem_addr);
+        if ctx.machine().racing() {
+            let ev = RaceEvent::GateEnter {
+                gate: self.sem_addr,
+            };
+            ctx.machine().race(ev);
+        }
         let r = body(ctx);
+        if ctx.machine().racing() {
+            let ev = RaceEvent::GateExit {
+                gate: self.sem_addr,
+            };
+            ctx.machine().race(ev);
+        }
+        ctx.gates.pop();
         let release = ctx.machine().uncached_op(cpu, self.sem_addr);
         ctx.cycles(release + overhead / 2);
         self.free_at = ctx.clock();
-        r
+        Ok(r)
     }
 }
 
@@ -140,6 +175,57 @@ mod tests {
             fresh = ctx.clock();
         });
         assert!(fresh <= busy_contended);
+    }
+
+    #[test]
+    fn gate_reentry_is_a_typed_error() {
+        let mut rt = Runtime::spp1000(1);
+        let mut gate = SimGate::new(&mut rt.machine, NodeId(0));
+        let mut errs = Vec::new();
+        rt.fork_join(2, &Placement::HighLocality, |ctx| {
+            // A gate taken inside itself must be refused, and the
+            // refusal must not poison the outer critical section.
+            let mut inner = gate.clone();
+            let err = gate
+                .try_critical(ctx, |ctx| inner.try_critical(ctx, |_| ()).unwrap_err())
+                .unwrap();
+            errs.push((ctx.tid, err));
+        });
+        assert_eq!(errs.len(), 2);
+        for (tid, err) in errs {
+            assert!(
+                matches!(err, SimError::GateReentered { tid: t, .. } if t == tid),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_gates_still_nest() {
+        let mut rt = Runtime::spp1000(1);
+        let mut outer = SimGate::new(&mut rt.machine, NodeId(0));
+        let mut inner = SimGate::new(&mut rt.machine, NodeId(0));
+        let mut ran = 0;
+        rt.fork_join(2, &Placement::HighLocality, |ctx| {
+            outer.critical(ctx, |ctx| {
+                inner.critical(ctx, |_| {});
+            });
+            ran += 1;
+        });
+        assert_eq!(ran, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-entered")]
+    fn panicking_wrapper_reports_reentry() {
+        let mut rt = Runtime::spp1000(1);
+        let mut gate = SimGate::new(&mut rt.machine, NodeId(0));
+        rt.fork_join(1, &Placement::HighLocality, |ctx| {
+            let mut inner = gate.clone();
+            gate.critical(ctx, |ctx| {
+                inner.critical(ctx, |_| {});
+            });
+        });
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod team;
 
 pub use barrier::{BarrierResult, SimBarrier};
 pub use cost::RuntimeCostModel;
-pub use fork::{AsyncHandle, RegionReport, Runtime, ThreadCtx};
+pub use fork::{AsyncHandle, RegionReport, Runtime, SchedulePolicy, ThreadCtx};
 pub use gate::{PrivateArrays, SimGate};
 pub use noise::OsNoise;
 pub use profile::{Profile, RegionStat};

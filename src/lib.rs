@@ -50,5 +50,5 @@ pub mod prelude {
     };
     pub use spp_kernels::{Complex, Rng64};
     pub use spp_pvm::Pvm;
-    pub use spp_runtime::{Placement, Runtime, SimBarrier, Team, ThreadCtx};
+    pub use spp_runtime::{Placement, Runtime, SchedulePolicy, SimBarrier, Team, ThreadCtx};
 }

@@ -1,0 +1,142 @@
+//! Property tests for the race detector and schedule-permutation
+//! fuzzer: the four applications report zero races under arbitrary
+//! schedule seeds and team sizes, and the identity `SchedulePolicy`
+//! (the default) is cycle- and stats-bit-identical to the
+//! pre-SchedulePolicy baselines (fig2 fork/join goldens and a fig8
+//! N-body golden captured before the seam was introduced).
+
+use proptest::prelude::*;
+use spp1000::prelude::*;
+
+/// The fig2 fork/join overhead table, captured before the schedule
+/// seam landed: (threads, elapsed cycles) of an empty region after one
+/// warm-up region. Any drift here means the identity policy is no
+/// longer the historical, calibrated replay order.
+const FIG2_HIGH_LOCALITY: [(usize, u64); 6] = [
+    (1, 1500),
+    (2, 2465),
+    (4, 3740),
+    (8, 6340),
+    (10, 13810),
+    (16, 20710),
+];
+const FIG2_UNIFORM: [(usize, u64); 6] = [
+    (1, 1500),
+    (2, 8455),
+    (4, 10105),
+    (8, 13510),
+    (10, 15310),
+    (16, 20710),
+];
+
+#[test]
+fn identity_schedule_keeps_fig2_fork_join_goldens() {
+    for (placement, golden) in [
+        (Placement::HighLocality, FIG2_HIGH_LOCALITY),
+        (Placement::Uniform, FIG2_UNIFORM),
+    ] {
+        for (n, want) in golden {
+            let mut rt = Runtime::spp1000(2).with_schedule(SchedulePolicy::Identity);
+            rt.fork_join(n, &placement, |_| {});
+            let got = rt.fork_join(n, &placement, |_| {}).elapsed;
+            assert_eq!(got, want, "{placement:?} n={n}");
+        }
+    }
+}
+
+/// The fig8 N-body configuration (1024 bodies, 8 CPUs across 2
+/// hypernodes, one warm-up step + one measured step), captured before
+/// the schedule seam and the race-detector seam landed. The identity
+/// policy with detection off must reproduce every number bit-for-bit.
+#[test]
+fn identity_schedule_keeps_the_fig8_nbody_golden() {
+    let mut rt = Runtime::spp1000(2).with_schedule(SchedulePolicy::Identity);
+    let team = Team::place(rt.machine.config(), 8, &Placement::Uniform);
+    let mut sim = nbody::SharedNbody::new(&mut rt, nbody::NbodyProblem::with_n(1024), &team);
+    sim.step(&mut rt, &team);
+    let r = sim.run(&mut rt, &team, 1);
+    let s = rt.machine.stats;
+    assert_eq!(r.elapsed, 5_385_045, "elapsed cycles drifted");
+    assert_eq!(r.flops, 11_211_258, "useful flops drifted");
+    assert_eq!(s.reads, 7_773_632, "issued reads drifted");
+    assert_eq!(s.writes, 441_849, "issued writes drifted");
+    assert_eq!(s.hits, 8_189_104, "cache hits drifted");
+    assert_eq!(s.upgrades, 6_098, "write upgrades drifted");
+    assert_eq!(s.sci_fetches, 4_026, "SCI fetches drifted");
+    assert_eq!(s.c2c_transfers, 2_129, "cache-to-cache transfers drifted");
+}
+
+fn detecting_runtime(nodes: usize, seed: u64) -> Runtime<Machine> {
+    Runtime::new(Machine::spp1000(nodes).with_race_detection())
+        .with_schedule(SchedulePolicy::Shuffled { seed })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// PIC stays race-free for any schedule seed and team size.
+    #[test]
+    fn pic_reports_zero_races(seed in proptest::num::u64::ANY, n in 1usize..9) {
+        let mut rt = detecting_runtime(2, seed);
+        let team = Team::place(rt.machine.config(), n, &Placement::Uniform);
+        let mut sim = pic::SharedPic::new(&mut rt, pic::PicProblem::tiny(), &team);
+        sim.step(&mut rt, &team);
+        let report = rt.machine.race_report();
+        prop_assert!(report.is_clean(), "races under seed {seed}, {n} threads:\n{report}");
+    }
+
+    /// The N-body tree code stays race-free for any schedule seed and
+    /// team size (the sort's aliased back buffer must not be flagged).
+    #[test]
+    fn nbody_reports_zero_races(seed in proptest::num::u64::ANY, n in 1usize..9) {
+        let mut rt = detecting_runtime(2, seed);
+        let team = Team::place(rt.machine.config(), n, &Placement::Uniform);
+        let mut sim =
+            nbody::SharedNbody::new(&mut rt, nbody::NbodyProblem::with_n(256), &team);
+        sim.step(&mut rt, &team);
+        let report = rt.machine.race_report();
+        prop_assert!(report.is_clean(), "races under seed {seed}, {n} threads:\n{report}");
+    }
+
+    /// FEM's colored scatter-add stays race-free for any schedule seed
+    /// and team size.
+    #[test]
+    fn fem_reports_zero_races(seed in proptest::num::u64::ANY, n in 1usize..9) {
+        let mut rt = detecting_runtime(2, seed);
+        let team = Team::place(rt.machine.config(), n, &Placement::HighLocality);
+        let mut sim = fem::SharedFem::new(
+            &mut rt,
+            fem::structured(12, 9),
+            fem::Coding::ScatterAdd,
+            &team,
+        );
+        sim.step(&mut rt, &team, 0.3);
+        let report = rt.machine.race_report();
+        prop_assert!(report.is_clean(), "races under seed {seed}, {n} threads:\n{report}");
+    }
+
+    /// PPM's owner-computes sweeps stay race-free for any schedule
+    /// seed and team size.
+    #[test]
+    fn ppm_reports_zero_races(seed in proptest::num::u64::ANY, n in 1usize..9) {
+        let mut rt = detecting_runtime(2, seed);
+        let team = Team::place(rt.machine.config(), n, &Placement::HighLocality);
+        let mut sim = ppm::SharedPpm::new(&mut rt, ppm::PpmProblem::tiny(), &team);
+        sim.step(&mut rt, &team);
+        let report = rt.machine.race_report();
+        prop_assert!(report.is_clean(), "races under seed {seed}, {n} threads:\n{report}");
+    }
+
+    /// Explicitly setting the identity policy is indistinguishable
+    /// from the default runtime for any team size: same cycles, same
+    /// counters.
+    #[test]
+    fn identity_policy_matches_the_default_runtime(n in 1usize..17) {
+        let mut a = Runtime::spp1000(2);
+        let mut b = Runtime::spp1000(2).with_schedule(SchedulePolicy::Identity);
+        let ea = a.fork_join(n, &Placement::Uniform, |_| {}).elapsed;
+        let eb = b.fork_join(n, &Placement::Uniform, |_| {}).elapsed;
+        prop_assert_eq!(ea, eb);
+        prop_assert_eq!(a.machine.stats, b.machine.stats);
+    }
+}
