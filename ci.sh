@@ -48,4 +48,31 @@ cmp target/repro/trace_timeline.first.json target/repro/trace_timeline.json
 rm -f target/repro/trace_timeline.first.json
 echo "   trace_timeline.json byte-identical across runs"
 
+echo "== scenario specs validate (every spec under scenarios/)"
+cargo run --release -q -p spp-bench --bin spp-scenario -- \
+  validate scenarios/experiments scenarios/matrix scenarios/ci >/dev/null
+echo "   all specs parse and validate"
+
+echo "== scenario fleet smoke (contained panic + hang + golden mismatch)"
+# The ci matrix deliberately includes a panicking cell, a hanging
+# cell, and a wrong-golden cell; the fleet must contain and classify
+# all three (their specs declare those outcomes, so exit code is 0)
+# and still write the report.
+SPP_REPRO_DIR=target/repro cargo run --release -q -p spp-bench --bin spp-scenario -- \
+  run --workers 4 scenarios/ci >/dev/null
+test -s target/repro/BENCH_scenarios.json
+grep -q '"all_as_expected": true' target/repro/BENCH_scenarios.json
+grep -q '"name": "ci-panic", "status": "fail"' target/repro/BENCH_scenarios.json
+grep -q '"name": "ci-hang", "status": "timeout"' target/repro/BENCH_scenarios.json
+grep -q '"name": "ci-golden-mismatch", "status": "golden-mismatch"' target/repro/BENCH_scenarios.json
+echo "   panic/hang/golden-mismatch each contained and classified"
+
+echo "== scenario report determinism (two runs, byte-identical JSON)"
+cp target/repro/BENCH_scenarios.json target/repro/BENCH_scenarios.first.json
+SPP_REPRO_DIR=target/repro cargo run --release -q -p spp-bench --bin spp-scenario -- \
+  run --workers 2 scenarios/ci >/dev/null
+cmp target/repro/BENCH_scenarios.first.json target/repro/BENCH_scenarios.json
+rm -f target/repro/BENCH_scenarios.first.json
+echo "   BENCH_scenarios.json byte-identical across runs and worker counts"
+
 echo "CI OK"

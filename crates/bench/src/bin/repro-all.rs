@@ -1,23 +1,27 @@
 //! Regenerates every table and figure in sequence (the data recorded
 //! in EXPERIMENTS.md). Each experiment runs under `catch_unwind`: a
-//! panicking experiment is reported and the sweep continues, with a
-//! PASS/FAIL summary at the end and a nonzero exit if anything failed.
-//! The summary is also written under `target/repro/` (override with
-//! `SPP_REPRO_DIR`) as `summary.txt` plus a machine-readable
-//! `BENCH_repro.json` with host wall-clock per experiment.
+//! panicking experiment is reported with its error text and the sweep
+//! continues, with a PASS/FAIL summary at the end and a nonzero exit
+//! if anything failed. `summary.txt` and `BENCH_repro.json` (under
+//! `target/repro/`, override with `SPP_REPRO_DIR`) are rewritten
+//! after every experiment, so even a sweep killed hard leaves a
+//! report covering every row that ran — failed rows carry their
+//! panic message in an `error` field.
 //! Usage: `repro-all [--full] [--steps N] [--backend cycle|fast]`.
 fn main() {
     let opts = spp_bench::Opts::from_args();
     let t0 = std::time::Instant::now();
-    let summary = spp_bench::harness::run_all(&opts);
+    let dir = spp_bench::repro_dir();
+    let summary = spp_bench::harness::run_experiments_reporting(
+        &spp_bench::harness::all_experiments(),
+        &opts,
+        Some(&dir),
+    );
     print!("{}", summary.render());
-    let dir = std::env::var_os("SPP_REPRO_DIR")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| std::path::PathBuf::from("target/repro"));
-    match summary.write_reports(&opts, &dir) {
-        Ok(json) => println!("[reports written to {}]", json.display()),
-        Err(e) => eprintln!("[could not write reports under {}: {e}]", dir.display()),
-    }
+    println!(
+        "[reports written to {}]",
+        dir.join("BENCH_repro.json").display()
+    );
     println!(
         "[repro-all completed in {:.1} s of host time]",
         t0.elapsed().as_secs_f64()

@@ -1,7 +1,6 @@
-//! Regenerates the backend-validation experiment (analytic vs
-//! cycle-accurate tolerance plus the E11 trace replay). Usage:
-//! `repro-backend [--steps N] [--backend cycle|fast]`.
+//! Regenerates the paper's backend data as a one-cell supervised
+//! scenario fleet (crash-contained, PASS/FAIL classified).
+//! Usage: `repro-backend [--full] [--steps N] [--backend cycle|fast]`.
 fn main() {
-    let opts = spp_bench::Opts::from_args();
-    spp_bench::backend::run(&opts);
+    std::process::exit(spp_bench::scenario_cli::run_single("backend"));
 }

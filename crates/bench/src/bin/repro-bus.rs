@@ -1,6 +1,6 @@
-//! Bus-SMP saturation analysis (the paper's introductory contrast).
-//! Usage: `repro-bus [--steps N]`.
+//! Regenerates the paper's bus data as a one-cell supervised
+//! scenario fleet (crash-contained, PASS/FAIL classified).
+//! Usage: `repro-bus [--full] [--steps N] [--backend cycle|fast]`.
 fn main() {
-    let opts = spp_bench::Opts::from_args();
-    spp_bench::bus::run(&opts);
+    std::process::exit(spp_bench::scenario_cli::run_single("bus"));
 }

@@ -1,5 +1,6 @@
-//! Cache-geometry study (§7 future work). Usage: `repro-cache`.
+//! Regenerates the paper's cache data as a one-cell supervised
+//! scenario fleet (crash-contained, PASS/FAIL classified).
+//! Usage: `repro-cache [--full] [--steps N] [--backend cycle|fast]`.
 fn main() {
-    let opts = spp_bench::Opts::from_args();
-    spp_bench::cachestudy::run(&opts);
+    std::process::exit(spp_bench::scenario_cli::run_single("cache"));
 }

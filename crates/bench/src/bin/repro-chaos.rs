@@ -1,35 +1,11 @@
-//! Degraded-mode chaos campaign: sweeps seeds × fault intensities ×
-//! failure sites over the PIC, N-body, and FEM applications, each cell
-//! under the coherence checker and a simulated-cycle watchdog, and
-//! shrinks any failing cell's fault-event list to a minimal
-//! reproducer. Writes `BENCH_chaos.json` under `target/repro/`
-//! (override with `SPP_REPRO_DIR`); exits nonzero if any cell failed.
+//! Degraded-mode chaos campaign, run as a one-cell supervised
+//! scenario fleet: seeds × fault intensities × failure sites over the
+//! PIC, N-body, and FEM applications, each cell under the coherence
+//! checker and a simulated-cycle watchdog, with failing cells shrunk
+//! to minimal reproducers. The experiment writes `BENCH_chaos.json`
+//! under `target/repro/` (override with `SPP_REPRO_DIR`); a failing
+//! cell is a contained FAIL and a nonzero exit.
 //! Usage: `repro-chaos [--full] [--steps N]`.
 fn main() {
-    let opts = spp_bench::Opts::from_args();
-    let t0 = std::time::Instant::now();
-    let campaign = spp_bench::chaos::campaign(&opts);
-    print!(
-        "{}",
-        spp_bench::emit(
-            "repro-chaos: degraded-mode chaos campaign",
-            &campaign.render()
-        )
-    );
-    let dir = std::env::var_os("SPP_REPRO_DIR")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| std::path::PathBuf::from("target/repro"));
-    match campaign.write_report(&dir) {
-        Ok(json) => println!("[report written to {}]", json.display()),
-        Err(e) => eprintln!("[could not write report under {}: {e}]", dir.display()),
-    }
-    println!(
-        "[repro-chaos: {} cells, passed: {}, {:.1} s of host time]",
-        campaign.results.len(),
-        campaign.passed(),
-        t0.elapsed().as_secs_f64()
-    );
-    if !campaign.passed() {
-        std::process::exit(1);
-    }
+    std::process::exit(spp_bench::scenario_cli::run_single("chaos"));
 }

@@ -1,20 +1,10 @@
-//! Fault-injection reproducibility report: seeded fault schedules are
-//! bit-identical run to run and retry overhead scales with the fault
-//! rate. Writes `BENCH_faults.json` under `target/repro/` (override
-//! with `SPP_REPRO_DIR`); exits nonzero if any case was not
-//! bit-identical. Usage: `repro-faults [--full] [--steps N]`.
+//! Fault-injection reproducibility report, run as a one-cell
+//! supervised scenario fleet: seeded fault schedules are bit-identical
+//! run to run and retry overhead scales with the fault rate. The
+//! experiment writes `BENCH_faults.json` under `target/repro/`
+//! (override with `SPP_REPRO_DIR`); a non-reproducible case is a
+//! contained FAIL and a nonzero exit.
+//! Usage: `repro-faults [--full] [--steps N]`.
 fn main() {
-    let opts = spp_bench::Opts::from_args();
-    let cases = spp_bench::faults::determinism_sweep(opts.steps);
-    spp_bench::faults::report(&opts, &cases);
-    let dir = std::env::var_os("SPP_REPRO_DIR")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| std::path::PathBuf::from("target/repro"));
-    match spp_bench::faults::write_report(&cases, opts.steps, &dir) {
-        Ok(json) => println!("[report written to {}]", json.display()),
-        Err(e) => eprintln!("[could not write report under {}: {e}]", dir.display()),
-    }
-    if !cases.iter().all(|c| c.identical()) {
-        std::process::exit(1);
-    }
+    std::process::exit(spp_bench::scenario_cli::run_single("faults"));
 }

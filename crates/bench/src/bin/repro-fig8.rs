@@ -1,5 +1,6 @@
-//! Regenerates the paper's fig8 data. Usage: `repro-fig8 [--full] [--steps N]`.
+//! Regenerates the paper's fig8 data as a one-cell supervised
+//! scenario fleet (crash-contained, PASS/FAIL classified).
+//! Usage: `repro-fig8 [--full] [--steps N] [--backend cycle|fast]`.
 fn main() {
-    let opts = spp_bench::Opts::from_args();
-    spp_bench::fig8::run(&opts);
+    std::process::exit(spp_bench::scenario_cli::run_single("fig8"));
 }

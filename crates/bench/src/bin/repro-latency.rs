@@ -1,5 +1,6 @@
-//! Regenerates the paper's latency data. Usage: `repro-latency [--full] [--steps N]`.
+//! Regenerates the paper's latency data as a one-cell supervised
+//! scenario fleet (crash-contained, PASS/FAIL classified).
+//! Usage: `repro-latency [--full] [--steps N] [--backend cycle|fast]`.
 fn main() {
-    let opts = spp_bench::Opts::from_args();
-    spp_bench::latency::run(&opts);
+    std::process::exit(spp_bench::scenario_cli::run_single("latency"));
 }

@@ -1,35 +1,11 @@
-//! Race campaign: runs all four applications under the happens-before
-//! race detector (zero races required) and fuzzes the fork/join
-//! replay order across seeded schedules (final state, results, and
-//! memory counters must be permutation-invariant), plus the racy
-//! negative-control kernel (must be flagged, must diverge, is shrunk
-//! to a ≤ 2-thread minimal reproducer). Writes `BENCH_race.json` and
-//! `race_repro.json` under `target/repro/` (override with
-//! `SPP_REPRO_DIR`); exits nonzero if any cell failed.
+//! Race campaign, run as a one-cell supervised scenario fleet: all
+//! four applications under the happens-before race detector (zero
+//! races required) plus schedule-permutation fuzzing and the racy
+//! negative control (flagged, divergent, shrunk). The experiment
+//! writes `BENCH_race.json` and `race_repro.json` under
+//! `target/repro/` (override with `SPP_REPRO_DIR`); a failing cell is
+//! a contained FAIL and a nonzero exit.
 //! Usage: `repro-race [--full] [--steps N]`.
 fn main() {
-    let opts = spp_bench::Opts::from_args();
-    let t0 = std::time::Instant::now();
-    let campaign = spp_bench::race::campaign(&opts);
-    print!(
-        "{}",
-        spp_bench::emit(
-            "repro-race: race detection + schedule-permutation fuzzing",
-            &campaign.render()
-        )
-    );
-    let dir = spp_bench::race::repro_dir();
-    match campaign.write_report(&dir) {
-        Ok(json) => println!("[report written to {}]", json.display()),
-        Err(e) => eprintln!("[could not write report under {}: {e}]", dir.display()),
-    }
-    println!(
-        "[repro-race: {} apps + control, passed: {}, {:.1} s of host time]",
-        campaign.apps.len(),
-        campaign.passed(),
-        t0.elapsed().as_secs_f64()
-    );
-    if !campaign.passed() {
-        std::process::exit(1);
-    }
+    std::process::exit(spp_bench::scenario_cli::run_single("race"));
 }

@@ -1,6 +1,6 @@
-//! Scale-out prediction to the full 128-processor configuration (the
-//! paper's stated next step). Usage: `repro-scale [--steps N]`.
+//! Regenerates the paper's scale data as a one-cell supervised
+//! scenario fleet (crash-contained, PASS/FAIL classified).
+//! Usage: `repro-scale [--full] [--steps N] [--backend cycle|fast]`.
 fn main() {
-    let opts = spp_bench::Opts::from_args();
-    spp_bench::scale::run(&opts);
+    std::process::exit(spp_bench::scenario_cli::run_single("scale"));
 }

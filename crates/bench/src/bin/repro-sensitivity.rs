@@ -1,5 +1,6 @@
-//! Latency-constant sensitivity analysis. Usage: `repro-sensitivity`.
+//! Regenerates the paper's sensitivity data as a one-cell supervised
+//! scenario fleet (crash-contained, PASS/FAIL classified).
+//! Usage: `repro-sensitivity [--full] [--steps N] [--backend cycle|fast]`.
 fn main() {
-    let opts = spp_bench::Opts::from_args();
-    spp_bench::sensitivity::run(&opts);
+    std::process::exit(spp_bench::scenario_cli::run_single("sensitivity"));
 }

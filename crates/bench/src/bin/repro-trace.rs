@@ -1,23 +1,11 @@
-//! Observability report: runs small traced PIC and N-body workloads,
-//! checks that the same seed produces a byte-identical event stream,
-//! that trace event counts reconcile with the `MemStats` counters, and
-//! that tracing never changes simulated cycles. Writes
-//! `BENCH_trace.json` plus Perfetto timelines (`trace_timeline.json`,
-//! loadable in ui.perfetto.dev) under `target/repro/` (override with
-//! `SPP_REPRO_DIR`); exits nonzero if any invariant failed. Usage:
-//! `repro-trace [--full] [--steps N]`.
+//! Observability report, run as a one-cell supervised scenario
+//! fleet: traced PIC and N-body workloads with byte-identical seeded
+//! event streams, counter reconciliation, and zero-cycle overhead.
+//! The experiment writes `BENCH_trace.json` plus Perfetto timelines
+//! (`trace_timeline.json`, loadable in ui.perfetto.dev) under
+//! `target/repro/` (override with `SPP_REPRO_DIR`); a failed
+//! invariant is a contained FAIL and a nonzero exit.
+//! Usage: `repro-trace [--full] [--steps N]`.
 fn main() {
-    let opts = spp_bench::Opts::from_args();
-    let rep = spp_bench::trace::study(opts.steps);
-    spp_bench::trace::report(&opts, &rep);
-    let dir = std::env::var_os("SPP_REPRO_DIR")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| std::path::PathBuf::from("target/repro"));
-    match spp_bench::trace::write_report(&rep, opts.steps, &dir) {
-        Ok(json) => println!("[report written to {}]", json.display()),
-        Err(e) => eprintln!("[could not write report under {}: {e}]", dir.display()),
-    }
-    if !rep.passed() {
-        std::process::exit(1);
-    }
+    std::process::exit(spp_bench::scenario_cli::run_single("trace"));
 }

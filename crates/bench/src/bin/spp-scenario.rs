@@ -1,0 +1,14 @@
+//! The supervised scenario fleet CLI.
+//!
+//! `spp-scenario validate <specs...>` parses and validates TOML
+//! scenario specs; `spp-scenario run [--workers N] [--max-timeout S]
+//! <specs...>` executes the matrix under the supervised fleet —
+//! panicking cells are contained, hanging cells time out, golden
+//! divergence becomes a structured diff — and always writes
+//! `BENCH_scenarios.json` + `scenarios_summary.txt` under
+//! `target/repro/` (override with `SPP_REPRO_DIR`). Exit code 0 iff
+//! every cell's outcome matched its spec's declared `expect`.
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(spp_bench::scenario_cli::fleet_main(&args));
+}

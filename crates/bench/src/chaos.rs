@@ -21,107 +21,17 @@ use spp_core::{Cycles, FaultPlan, Machine, StallKind, Watchdog};
 use spp_runtime::{Placement, Runtime, Team};
 
 /// One injectable fault event of the campaign grid — the unit the
-/// shrinker removes when minimizing a failing plan.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum ChaosEvent {
-    /// Transient SCI ring stalls at `prob`, `stall` cycles each.
-    RingStalls {
-        /// Per-crossing stall probability.
-        prob: f64,
-        /// Extra cycles per stalled transaction.
-        stall: Cycles,
-    },
-    /// Transient PVM message faults (drops retried, dups discarded).
-    MsgFaults {
-        /// Per-send drop probability.
-        drop: f64,
-        /// Per-delivery duplication probability.
-        dup: f64,
-    },
-    /// Transient thread-spawn failures (retried with backoff).
-    SpawnFail {
-        /// Per-attempt failure probability.
-        prob: f64,
-    },
-    /// Hard failure: CPU `cpu` dies at machine clock `at_cycle`.
-    CpuFail {
-        /// Global CPU id.
-        cpu: u16,
-        /// Trigger clock in cumulative access cycles.
-        at_cycle: Cycles,
-    },
-    /// Hard failure: SCI ring `ring` loses a segment at `at_cycle`.
-    LinkFail {
-        /// The ring (0..fus_per_node).
-        ring: u8,
-        /// Trigger clock.
-        at_cycle: Cycles,
-        /// Extra cycles per rerouted transaction.
-        reroute_cycles: Cycles,
-    },
-    /// Hard failure: node `node`'s GCBs halve in capacity at
-    /// `at_cycle`.
-    GcbDegrade {
-        /// The hypernode.
-        node: u8,
-        /// Trigger clock.
-        at_cycle: Cycles,
-    },
-}
-
-impl ChaosEvent {
-    /// Short stable label for tables and JSON.
-    pub fn label(&self) -> &'static str {
-        match self {
-            ChaosEvent::RingStalls { .. } => "ring-stalls",
-            ChaosEvent::MsgFaults { .. } => "msg-faults",
-            ChaosEvent::SpawnFail { .. } => "spawn-fail",
-            ChaosEvent::CpuFail { .. } => "cpu-fail",
-            ChaosEvent::LinkFail { .. } => "link-fail",
-            ChaosEvent::GcbDegrade { .. } => "gcb-degrade",
-        }
-    }
-
-    /// Full description with parameters (JSON-safe: no quotes or
-    /// backslashes).
-    pub fn desc(&self) -> String {
-        match self {
-            ChaosEvent::RingStalls { prob, stall } => format!("ring-stalls(p={prob}, {stall}cy)"),
-            ChaosEvent::MsgFaults { drop, dup } => format!("msg-faults(drop={drop}, dup={dup})"),
-            ChaosEvent::SpawnFail { prob } => format!("spawn-fail(p={prob})"),
-            ChaosEvent::CpuFail { cpu, at_cycle } => format!("cpu-fail(cpu={cpu}@{at_cycle})"),
-            ChaosEvent::LinkFail {
-                ring,
-                at_cycle,
-                reroute_cycles,
-            } => format!("link-fail(ring={ring}@{at_cycle}, +{reroute_cycles}cy)"),
-            ChaosEvent::GcbDegrade { node, at_cycle } => {
-                format!("gcb-degrade(node={node}@{at_cycle})")
-            }
-        }
-    }
-
-    /// Fold this event into a fault plan.
-    pub fn apply(&self, plan: FaultPlan) -> FaultPlan {
-        match *self {
-            ChaosEvent::RingStalls { prob, stall } => plan.with_ring_stalls(prob, stall),
-            ChaosEvent::MsgFaults { drop, dup } => plan.with_message_faults(drop, dup),
-            ChaosEvent::SpawnFail { prob } => plan.with_spawn_failures(prob),
-            ChaosEvent::CpuFail { cpu, at_cycle } => plan.with_cpu_failure(cpu, at_cycle),
-            ChaosEvent::LinkFail {
-                ring,
-                at_cycle,
-                reroute_cycles,
-            } => plan.with_link_failure(ring, at_cycle, reroute_cycles),
-            ChaosEvent::GcbDegrade { node, at_cycle } => plan.with_gcb_degrade(node, at_cycle),
-        }
-    }
-}
+/// shrinker removes when minimizing a failing plan. Now the shared
+/// [`spp_core::FaultEvent`] (the scenario engine's spec files and the
+/// `repro-faults` sweep build plans from the same type); the old
+/// `ChaosEvent` name is kept as an alias.
+pub type ChaosEvent = spp_core::FaultEvent;
 
 /// Assemble a seeded fault plan from an event list (the campaign's
 /// plan constructor, also what the shrinker re-runs subsets through).
+/// Delegates to the shared [`FaultPlan::from_events`] constructor.
 pub fn build_plan(seed: u64, events: &[ChaosEvent]) -> FaultPlan {
-    events.iter().fold(FaultPlan::new(seed), |p, e| e.apply(p))
+    FaultPlan::from_events(seed, events)
 }
 
 /// The applications the campaign sweeps.
@@ -369,6 +279,10 @@ impl Campaign {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!(
+            "  \"schema_version\": {},\n  \"experiment\": \"chaos\",\n",
+            crate::BENCH_SCHEMA_VERSION
+        ));
+        out.push_str(&format!(
             "  \"full\": {},\n  \"steps\": {},\n  \"cells\": {},\n  \"passed\": {},\n",
             self.full,
             self.steps,
@@ -560,21 +474,30 @@ pub fn campaign(o: &Opts) -> Campaign {
     run_campaign(&default_grid(o.full), o.steps, o.full)
 }
 
-/// Regenerate the chaos-campaign report.
+/// Regenerate the chaos-campaign report. Writes `BENCH_chaos.json`
+/// so a `repro-all` or scenario-engine sweep leaves the same artifact
+/// as the standalone binary, then panics when the campaign fails so
+/// the harness records a FAIL.
 pub fn run(o: &Opts) -> String {
     let c = campaign(o);
-    emit(
+    let report = match c.write_report(&crate::repro_dir()) {
+        Ok(json) => format!("[report written to {}]", json.display()),
+        Err(e) => format!("[could not write report: {e}]"),
+    };
+    let text = emit(
         "repro-chaos: degraded-mode chaos campaign",
         &format!(
             "{}\nEvery cell runs a real application under transient + hard faults\n\
              with the coherence checker armed and a {}x-clean cycle budget; a\n\
              failing cell's event list is delta-debugged to a minimal reproducer.\n\
-             campaign passed: {}",
+             campaign passed: {}\n{report}",
             c.render(),
             50,
             c.passed()
         ),
-    )
+    );
+    assert!(c.passed(), "chaos campaign failed:\n{}", c.render());
+    text
 }
 
 #[cfg(test)]

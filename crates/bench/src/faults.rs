@@ -140,6 +140,10 @@ pub fn determinism_sweep(steps: usize) -> Vec<CaseResult> {
 pub fn to_json(cases: &[CaseResult], steps: usize) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
+        "  \"schema_version\": {},\n  \"experiment\": \"faults\",\n",
+        crate::BENCH_SCHEMA_VERSION
+    ));
+    out.push_str(&format!(
         "  \"steps\": {},\n  \"passed\": {},\n  \"cases\": [\n",
         steps,
         cases.iter().all(|c| c.identical())
@@ -174,9 +178,22 @@ pub fn write_report(
     Ok(json)
 }
 
-/// Regenerate the fault-injection reproducibility report.
+/// Regenerate the fault-injection reproducibility report. Writes
+/// `BENCH_faults.json` so a `repro-all` or scenario-engine sweep
+/// leaves the same artifact as the standalone binary, then panics if
+/// any case was not bit-identical so the harness records a FAIL.
 pub fn run(o: &Opts) -> String {
-    report(o, &determinism_sweep(o.steps))
+    let cases = determinism_sweep(o.steps);
+    let mut text = report(o, &cases);
+    match write_report(&cases, o.steps, &crate::repro_dir()) {
+        Ok(json) => text.push_str(&format!("[report written to {}]\n", json.display())),
+        Err(e) => text.push_str(&format!("[could not write report: {e}]\n")),
+    }
+    assert!(
+        cases.iter().all(|c| c.identical()),
+        "fault determinism sweep found a non-reproducible case"
+    );
+    text
 }
 
 /// Render the full report from an already-computed determinism sweep

@@ -148,6 +148,10 @@ impl Summary {
     pub fn to_json(&self, opts: &Opts) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!(
+            "  \"schema_version\": {},\n  \"experiment\": \"repro\",\n",
+            crate::BENCH_SCHEMA_VERSION
+        ));
+        out.push_str(&format!(
             "  \"backend\": \"{}\",\n  \"full\": {},\n  \"steps\": {},\n",
             opts.backend.name(),
             opts.full,
@@ -160,8 +164,17 @@ impl Summary {
         ));
         for (i, o) in self.outcomes.iter().enumerate() {
             let comma = if i + 1 < self.outcomes.len() { "," } else { "" };
+            let error = match &o.result {
+                Ok(()) => String::new(),
+                Err(msg) => format!(
+                    ", \"error\": \"{}\"",
+                    msg.replace('\\', "\\\\")
+                        .replace('"', "\\\"")
+                        .replace('\n', " ")
+                ),
+            };
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"host_secs\": {:.3}, \"pass\": {}}}{comma}\n",
+                "    {{\"name\": \"{}\", \"host_secs\": {:.3}, \"pass\": {}{error}}}{comma}\n",
                 o.name,
                 o.host_secs,
                 o.result.is_ok()
@@ -201,26 +214,45 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// Run `experiments` in order, isolating each behind `catch_unwind` so
 /// a panicking experiment cannot take the rest of the sweep down.
+///
+/// When `report_dir` is given, `summary.txt` and `BENCH_repro.json`
+/// are rewritten after *every* experiment, so a sweep killed hard
+/// (OOM, SIGKILL, power) still leaves a report covering every row
+/// that ran — including the error text of any row that panicked.
+pub fn run_experiments_reporting(
+    experiments: &[Experiment],
+    opts: &Opts,
+    report_dir: Option<&std::path::Path>,
+) -> Summary {
+    let mut summary = Summary {
+        outcomes: Vec::new(),
+    };
+    for e in experiments {
+        let t0 = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            (e.runner)(opts);
+        }))
+        .map_err(panic_message);
+        if let Err(msg) = &result {
+            eprintln!("[{} FAILED: {msg}]", e.name);
+        }
+        summary.outcomes.push(Outcome {
+            name: e.name,
+            result,
+            host_secs: t0.elapsed().as_secs_f64(),
+        });
+        if let Some(dir) = report_dir {
+            if let Err(err) = summary.write_reports(opts, dir) {
+                eprintln!("[could not write reports under {}: {err}]", dir.display());
+            }
+        }
+    }
+    summary
+}
+
+/// [`run_experiments_reporting`] without incremental reports.
 pub fn run_experiments(experiments: &[Experiment], opts: &Opts) -> Summary {
-    let outcomes = experiments
-        .iter()
-        .map(|e| {
-            let t0 = Instant::now();
-            let result = catch_unwind(AssertUnwindSafe(|| {
-                (e.runner)(opts);
-            }))
-            .map_err(panic_message);
-            if let Err(msg) = &result {
-                eprintln!("[{} FAILED: {msg}]", e.name);
-            }
-            Outcome {
-                name: e.name,
-                result,
-                host_secs: t0.elapsed().as_secs_f64(),
-            }
-        })
-        .collect();
-    Summary { outcomes }
+    run_experiments_reporting(experiments, opts, None)
 }
 
 /// Run the full canonical sweep.
@@ -293,11 +325,40 @@ mod tests {
         ];
         let summary = run_experiments(&exps, &Opts::default());
         let j = summary.to_json(&Opts::default());
+        assert!(j.contains("\"schema_version\": 1"));
+        assert!(j.contains("\"experiment\": \"repro\""));
         assert!(j.contains("\"backend\": \"cycle\""));
         assert!(j.contains("\"name\": \"only\", \"host_secs\""));
         assert!(j.contains("\"pass\": false"));
         assert!(j.contains("\"passed\": false"));
+        assert!(
+            j.contains("\"error\": \"injected failure for the harness test\""),
+            "failed rows must carry their error text: {j}"
+        );
         assert!(j.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn incremental_reports_survive_a_failing_row() {
+        let exps = [
+            Experiment {
+                name: "first",
+                runner: ok_run,
+            },
+            Experiment {
+                name: "broken",
+                runner: panicking_run,
+            },
+        ];
+        let dir = std::env::temp_dir().join("spp-repro-incremental-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let summary = run_experiments_reporting(&exps, &Opts::default(), Some(&dir));
+        assert!(!summary.all_passed());
+        let j = std::fs::read_to_string(dir.join("BENCH_repro.json")).unwrap();
+        assert!(j.contains("\"name\": \"first\""));
+        assert!(j.contains("\"name\": \"broken\""));
+        assert!(j.contains("\"error\": \"injected failure"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

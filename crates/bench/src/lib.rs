@@ -23,10 +23,24 @@ pub mod harness;
 pub mod latency;
 pub mod race;
 pub mod scale;
+pub mod scenario_cli;
 pub mod sensitivity;
 pub mod table1;
 pub mod table2;
 pub mod trace;
+
+/// Schema version stamped into every `BENCH_*.json` this crate emits
+/// (`repro`, `faults`, `chaos`, `trace`, `race`); bump on breaking
+/// layout changes so downstream tooling can dispatch.
+pub const BENCH_SCHEMA_VERSION: i64 = 1;
+
+/// The report directory every experiment writes its `BENCH_*.json`
+/// under: `target/repro`, overridable with `SPP_REPRO_DIR`.
+pub fn repro_dir() -> std::path::PathBuf {
+    std::env::var_os("SPP_REPRO_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/repro"))
+}
 
 /// Which memory-port backend prices the backend-sensitive sweeps
 /// (see [`backend`]). The figure/table experiments always use the

@@ -674,6 +674,10 @@ impl Campaign {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str(&format!(
+            "  \"schema_version\": {},\n  \"experiment\": \"race\",\n",
+            crate::BENCH_SCHEMA_VERSION
+        ));
+        out.push_str(&format!(
             "  \"full\": {},\n  \"steps\": {},\n  \"passed\": {},\n",
             self.full,
             self.steps,
@@ -773,11 +777,10 @@ pub fn campaign(o: &Opts) -> Campaign {
     }
 }
 
-/// The report directory (`target/repro`, or `SPP_REPRO_DIR`).
+/// The report directory (`target/repro`, or `SPP_REPRO_DIR`); now the
+/// crate-wide [`crate::repro_dir`], kept here for compatibility.
 pub fn repro_dir() -> std::path::PathBuf {
-    std::env::var_os("SPP_REPRO_DIR")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| std::path::PathBuf::from("target/repro"))
+    crate::repro_dir()
 }
 
 /// Experiment entry point (`repro-race`, and the `race` row of

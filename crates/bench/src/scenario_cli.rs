@@ -1,0 +1,300 @@
+//! Glue between the experiment harness and the scenario engine.
+//!
+//! [`registry`] exposes every legacy experiment to `spp-scenario`'s
+//! fleet runner, so a TOML spec with `kind = "experiment"` dispatches
+//! to exactly the same `run(&Opts)` function the old `repro-*`
+//! binaries called — ported specs are bit-identical to the binaries
+//! by construction. [`run_single`] is what those binaries now are: a
+//! one-cell supervised fleet. [`fleet_main`] is the `spp-scenario`
+//! binary: validate and run whole spec matrices.
+
+use crate::{Backend, Opts};
+use spp_scenario::{run_fleet, ExperimentOpts, FleetConfig, Registry, ScenarioKind, ScenarioSpec};
+use std::path::{Path, PathBuf};
+
+fn opts_from(e: &ExperimentOpts) -> Opts {
+    Opts {
+        full: e.full,
+        steps: e.steps,
+        backend: match e.backend.as_str() {
+            "fast" => Backend::Fast,
+            _ => Backend::Cycle,
+        },
+    }
+}
+
+macro_rules! experiment_adapters {
+    ($(($id:literal, $adapter:ident, $runner:path)),* $(,)?) => {
+        $(
+            fn $adapter(e: &ExperimentOpts) -> String {
+                $runner(&opts_from(e))
+            }
+        )*
+
+        /// Every legacy experiment, registered under its `repro-*`
+        /// name, in the canonical `repro-all` order.
+        pub fn registry() -> Registry {
+            let mut r = Registry::new();
+            $( r.register($id, $adapter); )*
+            r
+        }
+    };
+}
+
+experiment_adapters!(
+    ("latency", adapt_latency, crate::latency::run),
+    ("fig2", adapt_fig2, crate::fig2::run),
+    ("fig3", adapt_fig3, crate::fig3::run),
+    ("fig4", adapt_fig4, crate::fig4::run),
+    ("table1", adapt_table1, crate::table1::run),
+    ("table2", adapt_table2, crate::table2::run),
+    ("fig7", adapt_fig7, crate::fig7::run),
+    ("fig6", adapt_fig6, crate::fig6::run),
+    ("fig8", adapt_fig8, crate::fig8::run),
+    ("scale", adapt_scale, crate::scale::run),
+    ("cache", adapt_cache, crate::cachestudy::run),
+    ("sensitivity", adapt_sensitivity, crate::sensitivity::run),
+    ("bus", adapt_bus, crate::bus::run),
+    ("faults", adapt_faults, crate::faults::run),
+    ("chaos", adapt_chaos, crate::chaos::run),
+    ("backend", adapt_backend, crate::backend::run),
+    ("trace", adapt_trace, crate::trace::run),
+    ("race", adapt_race, crate::race::run),
+);
+
+/// Entry point of every `repro-*` binary: run one experiment as a
+/// one-cell supervised fleet. Parses the historical
+/// `[--full] [--steps N] [--backend cycle|fast]` command line, so the
+/// binaries keep their interface while the engine supplies crash
+/// containment and reporting. Returns the process exit code.
+pub fn run_single(id: &str) -> i32 {
+    let opts = Opts::from_args();
+    let mut spec = ScenarioSpec::experiment(&format!("repro-{id}"), id);
+    if let ScenarioKind::Experiment(ref mut e) = spec.kind {
+        e.full = opts.full;
+        e.steps = opts.steps;
+        e.backend = opts.backend.name().to_string();
+    }
+    let report = run_fleet(
+        &[spec],
+        &registry(),
+        &FleetConfig {
+            workers: 1,
+            ..FleetConfig::default()
+        },
+    );
+    print!("{}", report.render());
+    i32::from(!report.all_as_expected())
+}
+
+/// Collect spec files from path arguments: a `.toml` file is taken
+/// as-is, a directory contributes its immediate `*.toml` children in
+/// sorted order (deterministic fleet order).
+pub fn collect_spec_paths(args: &[String]) -> Result<Vec<PathBuf>, String> {
+    let mut paths = Vec::new();
+    for a in args {
+        let p = Path::new(a);
+        if p.is_dir() {
+            let mut children: Vec<PathBuf> = std::fs::read_dir(p)
+                .map_err(|e| format!("{a}: {e}"))?
+                .filter_map(|entry| entry.ok().map(|d| d.path()))
+                .filter(|c| c.extension().is_some_and(|x| x == "toml"))
+                .collect();
+            children.sort();
+            if children.is_empty() {
+                return Err(format!("{a}: no .toml specs in directory"));
+            }
+            paths.extend(children);
+        } else if p.is_file() {
+            paths.push(p.to_path_buf());
+        } else {
+            return Err(format!("{a}: no such file or directory"));
+        }
+    }
+    if paths.is_empty() {
+        return Err("no scenario specs given".to_string());
+    }
+    Ok(paths)
+}
+
+/// Load and validate every spec, rejecting duplicate names (the
+/// report and quarantine key).
+pub fn load_specs(paths: &[PathBuf]) -> Result<Vec<ScenarioSpec>, String> {
+    let mut specs = Vec::new();
+    for p in paths {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        let spec =
+            ScenarioSpec::from_toml_str(&text).map_err(|e| format!("{}: {e}", p.display()))?;
+        if specs.iter().any(|s: &ScenarioSpec| s.name == spec.name) {
+            return Err(format!(
+                "{}: duplicate scenario name {:?}",
+                p.display(),
+                spec.name
+            ));
+        }
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+const FLEET_USAGE: &str = "usage: spp-scenario <command> [options] <spec.toml|dir>...\n\
+     \x20 validate             parse + validate specs, print the matrix, run nothing\n\
+     \x20 run                  execute the matrix under the supervised fleet\n\
+     \x20   --workers N        host worker threads (default 4)\n\
+     \x20   --max-timeout S    cap every spec's timeout at S seconds\n\
+     \x20 reports land under target/repro (override with SPP_REPRO_DIR):\n\
+     \x20 BENCH_scenarios.json + scenarios_summary.txt, always written,\n\
+     \x20 even when cells panic, hang, or diverge";
+
+/// The `spp-scenario` binary: `validate` or `run` a spec matrix.
+/// Returns the process exit code — for `run`, zero iff every cell's
+/// outcome matched its spec's declared `expect`.
+pub fn fleet_main(args: &[String]) -> i32 {
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{FLEET_USAGE}");
+        return 2;
+    };
+
+    let mut workers = 4usize;
+    let mut max_timeout: Option<f64> = None;
+    let mut paths_args: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => workers = n,
+                _ => {
+                    eprintln!("error: --workers needs a positive integer\n{FLEET_USAGE}");
+                    return 2;
+                }
+            },
+            "--max-timeout" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) if s > 0.0 => max_timeout = Some(s),
+                _ => {
+                    eprintln!("error: --max-timeout needs a positive number\n{FLEET_USAGE}");
+                    return 2;
+                }
+            },
+            other => paths_args.push(other.to_string()),
+        }
+    }
+
+    let specs = match collect_spec_paths(&paths_args).and_then(|p| load_specs(&p)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}\n{FLEET_USAGE}");
+            return 2;
+        }
+    };
+
+    match cmd.as_str() {
+        "validate" => {
+            for s in &specs {
+                let kind = match &s.kind {
+                    ScenarioKind::Experiment(e) => format!("experiment:{}", e.id),
+                    ScenarioKind::Workload(w) => format!("workload:{}", w.app.label()),
+                    ScenarioKind::Builtin(b) => format!("builtin:{}", b.label()),
+                };
+                println!(
+                    "ok  {:<28} {:<22} expect={}",
+                    s.name,
+                    kind,
+                    s.expect.label()
+                );
+            }
+            println!("{} specs valid", specs.len());
+            0
+        }
+        "run" => {
+            let dir = crate::repro_dir();
+            let cfg = FleetConfig {
+                workers,
+                checkpoint_dir: Some(dir.join("checkpoints")),
+                max_timeout_secs: max_timeout,
+            };
+            let report = run_fleet(&specs, &registry(), &cfg);
+            print!("{}", report.render());
+            if let Err(e) = std::fs::create_dir_all(&dir)
+                .and_then(|()| std::fs::write(dir.join("BENCH_scenarios.json"), report.to_json()))
+                .and_then(|()| std::fs::write(dir.join("scenarios_summary.txt"), report.render()))
+            {
+                eprintln!("[could not write reports under {}: {e}]", dir.display());
+            } else {
+                println!(
+                    "[reports written to {}]",
+                    dir.join("BENCH_scenarios.json").display()
+                );
+            }
+            i32::from(!report.all_as_expected())
+        }
+        other => {
+            eprintln!("error: unknown command {other:?}\n{FLEET_USAGE}");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("spp-scenario-cli-{tag}"));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn the_registry_covers_every_canonical_experiment_plus_chaos() {
+        let reg = registry();
+        let mut expected: Vec<&str> = crate::harness::all_experiments()
+            .iter()
+            .map(|e| e.name)
+            .collect();
+        expected.push("chaos");
+        for name in expected {
+            assert!(reg.get(name).is_some(), "{name} missing from the registry");
+        }
+    }
+
+    #[test]
+    fn spec_collection_is_sorted_and_rejects_duplicates() {
+        let d = tempdir("collect");
+        std::fs::write(
+            d.join("b.toml"),
+            "schema = 1\n[scenario]\nname = \"b\"\nkind = \"builtin\"\n[builtin]\nop = \"noop\"\n",
+        )
+        .unwrap();
+        std::fs::write(
+            d.join("a.toml"),
+            "schema = 1\n[scenario]\nname = \"a\"\nkind = \"builtin\"\n[builtin]\nop = \"noop\"\n",
+        )
+        .unwrap();
+        let paths = collect_spec_paths(&[d.to_string_lossy().into_owned()]).unwrap();
+        assert!(paths[0].ends_with("a.toml"));
+        assert!(paths[1].ends_with("b.toml"));
+        let specs = load_specs(&paths).unwrap();
+        assert_eq!(specs[0].name, "a");
+
+        std::fs::write(
+            d.join("c.toml"),
+            "schema = 1\n[scenario]\nname = \"a\"\nkind = \"builtin\"\n[builtin]\nop = \"noop\"\n",
+        )
+        .unwrap();
+        let paths = collect_spec_paths(&[d.to_string_lossy().into_owned()]).unwrap();
+        let err = load_specs(&paths).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn missing_paths_and_empty_dirs_are_errors() {
+        assert!(collect_spec_paths(&["/no/such/path".into()]).is_err());
+        let d = tempdir("empty");
+        assert!(collect_spec_paths(&[d.to_string_lossy().into_owned()])
+            .unwrap_err()
+            .contains("no .toml"));
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

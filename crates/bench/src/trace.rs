@@ -237,6 +237,10 @@ pub fn study(steps: usize) -> TraceReport {
 pub fn to_json(rep: &TraceReport, steps: usize) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
+        "  \"schema_version\": {},\n  \"experiment\": \"trace\",\n",
+        crate::BENCH_SCHEMA_VERSION
+    ));
+    out.push_str(&format!(
         "  \"steps\": {},\n  \"passed\": {},\n  \"deterministic\": {},\n",
         steps,
         rep.passed(),
@@ -302,9 +306,19 @@ pub fn write_report(
     Ok(json)
 }
 
-/// Regenerate the observability report.
+/// Regenerate the observability report. Writes `BENCH_trace.json`
+/// plus the Perfetto timelines so a `repro-all` or scenario-engine
+/// sweep leaves the same artifacts as the standalone binary, then
+/// panics if any invariant failed so the harness records a FAIL.
 pub fn run(o: &Opts) -> String {
-    report(o, &study(o.steps))
+    let rep = study(o.steps);
+    let mut text = report(o, &rep);
+    match write_report(&rep, o.steps, &crate::repro_dir()) {
+        Ok(json) => text.push_str(&format!("[report written to {}]\n", json.display())),
+        Err(e) => text.push_str(&format!("[could not write report: {e}]\n")),
+    }
+    assert!(rep.passed(), "trace observability invariants failed");
+    text
 }
 
 /// Render the report from an already-computed study (lets the

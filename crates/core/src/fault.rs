@@ -90,6 +90,108 @@ impl HardFault {
     }
 }
 
+/// One composable fault-plan ingredient: a transient fault class or a
+/// scheduled hard failure. An event list plus a seed fully determines
+/// a [`FaultPlan`] (see [`FaultPlan::from_events`]) — the shared
+/// vocabulary of the chaos campaign, the fault-reproducibility sweep,
+/// and the declarative scenario specs, and the unit their shrinkers
+/// and spec parsers all operate on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// Transient SCI ring stalls at `prob`, `stall` cycles each.
+    RingStalls {
+        /// Per-crossing stall probability.
+        prob: f64,
+        /// Extra cycles per stalled transaction.
+        stall: Cycles,
+    },
+    /// Transient PVM message faults (drops retried, dups discarded).
+    MsgFaults {
+        /// Per-send drop probability.
+        drop: f64,
+        /// Per-delivery duplication probability.
+        dup: f64,
+    },
+    /// Transient thread-spawn failures (retried with backoff).
+    SpawnFail {
+        /// Per-attempt failure probability.
+        prob: f64,
+    },
+    /// Hard failure: CPU `cpu` dies at machine clock `at_cycle`.
+    CpuFail {
+        /// Global CPU id.
+        cpu: u16,
+        /// Trigger clock in cumulative access cycles.
+        at_cycle: Cycles,
+    },
+    /// Hard failure: SCI ring `ring` loses a segment at `at_cycle`.
+    LinkFail {
+        /// The ring (0..fus_per_node).
+        ring: u8,
+        /// Trigger clock.
+        at_cycle: Cycles,
+        /// Extra cycles per rerouted transaction.
+        reroute_cycles: Cycles,
+    },
+    /// Hard failure: node `node`'s GCBs halve in capacity at
+    /// `at_cycle`.
+    GcbDegrade {
+        /// The hypernode.
+        node: u8,
+        /// Trigger clock.
+        at_cycle: Cycles,
+    },
+}
+
+impl FaultEvent {
+    /// Short stable label for tables and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultEvent::RingStalls { .. } => "ring-stalls",
+            FaultEvent::MsgFaults { .. } => "msg-faults",
+            FaultEvent::SpawnFail { .. } => "spawn-fail",
+            FaultEvent::CpuFail { .. } => "cpu-fail",
+            FaultEvent::LinkFail { .. } => "link-fail",
+            FaultEvent::GcbDegrade { .. } => "gcb-degrade",
+        }
+    }
+
+    /// Full description with parameters (JSON-safe: no quotes or
+    /// backslashes).
+    pub fn desc(&self) -> String {
+        match self {
+            FaultEvent::RingStalls { prob, stall } => format!("ring-stalls(p={prob}, {stall}cy)"),
+            FaultEvent::MsgFaults { drop, dup } => format!("msg-faults(drop={drop}, dup={dup})"),
+            FaultEvent::SpawnFail { prob } => format!("spawn-fail(p={prob})"),
+            FaultEvent::CpuFail { cpu, at_cycle } => format!("cpu-fail(cpu={cpu}@{at_cycle})"),
+            FaultEvent::LinkFail {
+                ring,
+                at_cycle,
+                reroute_cycles,
+            } => format!("link-fail(ring={ring}@{at_cycle}, +{reroute_cycles}cy)"),
+            FaultEvent::GcbDegrade { node, at_cycle } => {
+                format!("gcb-degrade(node={node}@{at_cycle})")
+            }
+        }
+    }
+
+    /// Fold this event into a fault plan.
+    pub fn apply(&self, plan: FaultPlan) -> FaultPlan {
+        match *self {
+            FaultEvent::RingStalls { prob, stall } => plan.with_ring_stalls(prob, stall),
+            FaultEvent::MsgFaults { drop, dup } => plan.with_message_faults(drop, dup),
+            FaultEvent::SpawnFail { prob } => plan.with_spawn_failures(prob),
+            FaultEvent::CpuFail { cpu, at_cycle } => plan.with_cpu_failure(cpu, at_cycle),
+            FaultEvent::LinkFail {
+                ring,
+                at_cycle,
+                reroute_cycles,
+            } => plan.with_link_failure(ring, at_cycle, reroute_cycles),
+            FaultEvent::GcbDegrade { node, at_cycle } => plan.with_gcb_degrade(node, at_cycle),
+        }
+    }
+}
+
 /// Fault-site indices into the per-site counters.
 const SITE_RING: usize = 0;
 const SITE_DROP: usize = 1;
@@ -142,6 +244,14 @@ impl FaultPlan {
             counters: [0; 4],
             hard_faults: Vec::new(),
         }
+    }
+
+    /// Assemble a seeded plan from an event list — the one shared
+    /// constructor behind the chaos campaign, the fault sweep, and the
+    /// scenario specs (equivalent to folding [`FaultEvent::apply`]
+    /// over `events` starting from [`FaultPlan::new`]).
+    pub fn from_events(seed: u64, events: &[FaultEvent]) -> Self {
+        events.iter().fold(Self::new(seed), |p, e| e.apply(p))
     }
 
     /// A plan exercising every fault class at modest rates — the
@@ -330,6 +440,59 @@ mod tests {
         let mut p = FaultPlan::new(1).with_message_faults(0.25, 0.0);
         let drops = (0..4000).filter(|_| p.drops_message()).count();
         assert!((800..=1200).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    fn from_events_matches_the_builder_chain() {
+        let events = [
+            FaultEvent::RingStalls {
+                prob: 0.02,
+                stall: 500,
+            },
+            FaultEvent::MsgFaults {
+                drop: 0.05,
+                dup: 0.02,
+            },
+            FaultEvent::SpawnFail { prob: 0.05 },
+            FaultEvent::CpuFail {
+                cpu: 2,
+                at_cycle: 400_000,
+            },
+            FaultEvent::LinkFail {
+                ring: 1,
+                at_cycle: 200_000,
+                reroute_cycles: 600,
+            },
+            FaultEvent::GcbDegrade {
+                node: 1,
+                at_cycle: 300_000,
+            },
+        ];
+        let from_events = FaultPlan::from_events(42, &events);
+        let chained = FaultPlan::new(42)
+            .with_ring_stalls(0.02, 500)
+            .with_message_faults(0.05, 0.02)
+            .with_spawn_failures(0.05)
+            .with_cpu_failure(2, 400_000)
+            .with_link_failure(1, 200_000, 600)
+            .with_gcb_degrade(1, 300_000);
+        assert_eq!(from_events, chained);
+        assert_eq!(from_events.hard_faults().len(), 3);
+    }
+
+    #[test]
+    fn event_labels_and_descriptions_are_stable() {
+        let e = FaultEvent::CpuFail {
+            cpu: 3,
+            at_cycle: 1_000,
+        };
+        assert_eq!(e.label(), "cpu-fail");
+        assert_eq!(e.desc(), "cpu-fail(cpu=3@1000)");
+        let e = FaultEvent::RingStalls {
+            prob: 0.5,
+            stall: 10,
+        };
+        assert_eq!(e.desc(), "ring-stalls(p=0.5, 10cy)");
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub use config::{CpuId, FuId, MachineConfig, NodeId, RingId};
 pub use diagram::system_diagram;
 pub use error::{ConfigError, SimError};
 pub use fastport::FastPort;
-pub use fault::{FaultPlan, HardFault};
+pub use fault::{FaultEvent, FaultPlan, HardFault};
 pub use latency::{cycles_to_us, us_to_cycles, Cycles, LatencyModel};
 pub use machine::Machine;
 pub use mem::{AddressSpace, MemClass, Region};
@@ -74,4 +74,6 @@ pub use snapshot::Snapshot;
 pub use stats::MemStats;
 pub use trace::{MissKind, NullSink, RingSink, TraceEvent, TraceRecord, TraceSink};
 pub use traceport::{Trace, TracePort};
-pub use watchdog::{StallKind, Watchdog, WatchdogReport};
+pub use watchdog::{
+    panic_message, CancelToken, HostSupervisor, StallKind, Supervised, Watchdog, WatchdogReport,
+};

@@ -176,6 +176,12 @@ fn read_cache_into(r: &mut Reader<'_>, c: &mut Cache) -> Result<(), SimError> {
     if !cap.is_power_of_two() {
         return Err(corrupt(format!("cache capacity {cap} not a power of two")));
     }
+    // Bound the rebuild: a corrupted capacity field must become a typed
+    // error, not a gigantic `Cache::new` allocation. 2^24 lines is far
+    // beyond any machine this simulator models.
+    if cap > 1 << 24 {
+        return Err(corrupt(format!("cache capacity {cap} implausibly large")));
+    }
     if cap != c.capacity() {
         *c = Cache::new(cap);
     }
@@ -357,6 +363,21 @@ impl Snapshot {
         Ok(Snapshot { bytes })
     }
 
+    /// Write the snapshot stream to `path` (checkpoint file). The
+    /// parent directory must exist.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, &self.bytes)
+    }
+
+    /// Read a snapshot stream back from `path`, validating the header
+    /// (see [`Snapshot::from_bytes`]). I/O errors are reported as
+    /// [`SimError::SnapshotCorrupt`] with the path in the detail.
+    pub fn load(path: &std::path::Path) -> Result<Snapshot, SimError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| corrupt(format!("cannot read {}: {e}", path.display())))?;
+        Snapshot::from_bytes(bytes)
+    }
+
     /// Rebuild a machine from this snapshot.
     ///
     /// `cfg` and `plan` must be the configuration and fault plan the
@@ -464,6 +485,14 @@ impl Snapshot {
                 let line = r.u64()?;
                 let sharers = r.u8()?;
                 let owner = r.u8()?;
+                // The sharer mask is 8 bits wide, so a valid owner is
+                // 0..8; anything else is stream corruption (and would
+                // overflow the `1 << owner` shift inside `set_owner`).
+                if owner != 0xff && owner >= 8 {
+                    return Err(corrupt(format!(
+                        "directory owner {owner} out of range (node has 8 CPUs)"
+                    )));
+                }
                 if owner != 0xff {
                     d.set_owner(line, owner);
                 }
@@ -476,12 +505,19 @@ impl Snapshot {
         }
 
         let nsci = r.u32()?;
+        let nnodes = m.config().hypernodes as u8;
         for _ in 0..nsci {
             let line = r.u64()?;
             let llen = r.u8()? as usize;
             let mut list = Vec::with_capacity(llen);
             for _ in 0..llen {
-                list.push(r.u8()?);
+                let n = r.u8()?;
+                if n >= nnodes {
+                    return Err(corrupt(format!(
+                        "SCI sharer node {n} out of range ({nnodes} hypernodes)"
+                    )));
+                }
+                list.push(n);
             }
             // add_sharer prepends: insert in reverse to rebuild the
             // exact list order (it is protocol state — walks are
@@ -490,6 +526,11 @@ impl Snapshot {
                 m.sci.add_sharer(line, *n);
             }
             let dirty = r.u8()?;
+            if dirty != 0xff && dirty >= nnodes {
+                return Err(corrupt(format!(
+                    "SCI dirty node {dirty} out of range ({nnodes} hypernodes)"
+                )));
+            }
             if dirty != 0xff {
                 m.sci.set_dirty(line, dirty);
             }

@@ -18,6 +18,9 @@
 
 use crate::latency::{cycles_to_us, Cycles};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 /// What kind of progress stalled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,6 +164,134 @@ impl fmt::Display for WatchdogReport {
 
 impl std::error::Error for WatchdogReport {}
 
+/// Render a caught panic payload (the `&str`/`String` forms `panic!`
+/// and `assert!` produce; anything else gets a generic label).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Cloneable cooperative-cancellation flag shared between a
+/// [`HostSupervisor`] and the work it supervises. Long step loops
+/// poll [`CancelToken::is_cancelled`] between steps and bail out
+/// promptly once the supervisor gives up on them; code that never
+/// polls is simply left detached after a timeout.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation (idempotent).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// How a [`HostSupervisor`]-supervised unit of work ended.
+#[derive(Debug)]
+pub enum Supervised<T> {
+    /// The work returned normally.
+    Finished(T),
+    /// The work panicked; the payload is rendered via
+    /// [`panic_message`].
+    Panicked(String),
+    /// The work neither returned nor panicked within the timeout. The
+    /// cancel token was set and the worker thread left detached — a
+    /// cooperative worker exits soon after; a truly hung one keeps its
+    /// thread but can no longer affect the supervisor.
+    TimedOut {
+        /// How long the supervisor waited.
+        waited: Duration,
+    },
+}
+
+impl<T> Supervised<T> {
+    /// Short stable label (`"finished"`, `"panicked"`, `"timed-out"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Supervised::Finished(_) => "finished",
+            Supervised::Panicked(_) => "panicked",
+            Supervised::TimedOut { .. } => "timed-out",
+        }
+    }
+}
+
+/// The simulated-cycle [`Watchdog`] promoted to the host level: a
+/// per-scenario *wall-clock* supervisor with a configurable timeout.
+///
+/// Where [`Watchdog`] turns protocol-level stalls inside one
+/// deterministic simulation into structured reports, `HostSupervisor`
+/// protects a *fleet* of simulations from each other: each scenario
+/// runs on its own crash-isolated host thread (`catch_unwind`), and a
+/// scenario that panics or wedges is contained, classified, and
+/// reported without taking the fleet down.
+#[derive(Debug, Clone, Copy)]
+pub struct HostSupervisor {
+    timeout: Duration,
+}
+
+impl HostSupervisor {
+    /// A supervisor that gives up on work after `timeout` of wall
+    /// clock.
+    pub fn new(timeout: Duration) -> Self {
+        HostSupervisor { timeout }
+    }
+
+    /// The configured wall-clock timeout.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Run `f` on a dedicated thread and wait up to the timeout for it
+    /// to finish. Panics are caught and rendered; on timeout the
+    /// `cancel` token is set and the thread is detached (see
+    /// [`Supervised::TimedOut`]).
+    pub fn supervise<T: Send + 'static>(
+        &self,
+        cancel: &CancelToken,
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> Supervised<T> {
+        let (tx, rx) = mpsc::channel();
+        let handle = std::thread::spawn(move || {
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            // The receiver may have timed out and gone away; a failed
+            // send just drops the late result.
+            let _ = tx.send(out.map_err(panic_message));
+        });
+        let started = Instant::now();
+        match rx.recv_timeout(self.timeout) {
+            Ok(Ok(v)) => {
+                let _ = handle.join();
+                Supervised::Finished(v)
+            }
+            Ok(Err(msg)) => {
+                let _ = handle.join();
+                Supervised::Panicked(msg)
+            }
+            Err(_) => {
+                cancel.cancel();
+                Supervised::TimedOut {
+                    waited: started.elapsed(),
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,5 +324,52 @@ mod tests {
         assert_eq!(StallKind::Barrier.label(), "barrier");
         assert_eq!(StallKind::Receive.label(), "receive");
         assert_eq!(StallKind::RetryLoop.label(), "retry-loop");
+    }
+
+    #[test]
+    fn supervisor_passes_results_through() {
+        let sup = HostSupervisor::new(Duration::from_secs(5));
+        match sup.supervise(&CancelToken::new(), || 41 + 1) {
+            Supervised::Finished(v) => assert_eq!(v, 42),
+            other => panic!("expected Finished, got {}", other.label()),
+        }
+    }
+
+    #[test]
+    fn supervisor_contains_panics() {
+        let sup = HostSupervisor::new(Duration::from_secs(5));
+        match sup.supervise::<()>(&CancelToken::new(), || panic!("boom in the cell")) {
+            Supervised::Panicked(msg) => assert!(msg.contains("boom in the cell"), "{msg}"),
+            other => panic!("expected Panicked, got {}", other.label()),
+        }
+    }
+
+    #[test]
+    fn supervisor_times_out_and_cancels_cooperative_hangs() {
+        let sup = HostSupervisor::new(Duration::from_millis(50));
+        let cancel = CancelToken::new();
+        let seen = cancel.clone();
+        let out = sup.supervise(&cancel, move || {
+            // A cooperative hang: spins until cancelled.
+            while !seen.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        match out {
+            Supervised::TimedOut { waited } => {
+                assert!(waited >= Duration::from_millis(50));
+                assert!(cancel.is_cancelled());
+            }
+            other => panic!("expected TimedOut, got {}", other.label()),
+        }
+    }
+
+    #[test]
+    fn cancel_token_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!u.is_cancelled());
+        t.cancel();
+        assert!(u.is_cancelled());
     }
 }

@@ -1,0 +1,628 @@
+//! The supervised fleet runner.
+//!
+//! [`run_fleet`] executes a matrix of [`ScenarioSpec`]s across host
+//! worker threads. Supervision is the point:
+//!
+//! * every cell runs under a [`HostSupervisor`] — a panic is caught
+//!   and classified, a wall-clock overrun cancels the cell's
+//!   [`CancelToken`] and detaches it;
+//! * failed or timed-out cells are retried with exponential backoff,
+//!   up to the spec's `retries`; cells that exhaust their retries are
+//!   **quarantined** so the report calls out repeat offenders;
+//! * kernel-stream cells that died mid-run resume from their latest
+//!   SPPSNAP1 checkpoint on retry instead of starting over;
+//! * golden expectations are gated bit-exactly, producing structured
+//!   mismatch reports (field, expected, got) rather than panics;
+//! * the fleet always finishes: `BENCH_scenarios.json` and the
+//!   PASS/FAIL summary are produced even when every cell dies.
+//!
+//! The JSON report is deterministic — results are emitted in spec
+//! order and host wall-clock times are kept out of it — so CI can
+//! diff two runs byte-for-byte.
+
+use crate::spec::{Expectation, GoldenSpec, ScenarioKind, ScenarioSpec};
+use crate::workload::{run_builtin, run_workload, CheckpointPaths, WorkloadOutcome};
+use spp_core::{CancelToken, HostSupervisor, MemStats, Supervised};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Report schema of `BENCH_scenarios.json`.
+pub const REPORT_SCHEMA: i64 = 1;
+
+/// A registered experiment runner: the legacy harness experiments are
+/// injected by the caller (the bench crate) so the engine does not
+/// depend on them.
+pub type ExperimentFn = fn(&ExperimentOpts) -> String;
+
+/// The knobs an experiment-kind scenario forwards to its runner
+/// (mirrors the bench harness `Opts` without depending on it).
+#[derive(Debug, Clone)]
+pub struct ExperimentOpts {
+    /// Paper-size workloads.
+    pub full: bool,
+    /// Measured steps per configuration.
+    pub steps: usize,
+    /// Port backend (`"cycle"` or `"fast"`).
+    pub backend: String,
+}
+
+/// The experiment registry: ordered `(id, runner)` pairs.
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<(String, ExperimentFn)>,
+}
+
+impl Registry {
+    /// An empty registry (workload/builtin-only fleets).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `id`, replacing any previous binding.
+    pub fn register(&mut self, id: &str, f: ExperimentFn) {
+        self.entries.retain(|(n, _)| n != id);
+        self.entries.push((id.to_string(), f));
+    }
+
+    /// Look up `id`.
+    pub fn get(&self, id: &str) -> Option<ExperimentFn> {
+        self.entries.iter().find(|(n, _)| n == id).map(|(_, f)| *f)
+    }
+
+    /// Registered ids, in registration order.
+    pub fn ids(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+/// How a cell's final attempt ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Status {
+    /// Completed and matched its golden expectations (if any).
+    Pass,
+    /// Panicked or returned an error.
+    Fail {
+        /// The panic payload or error string.
+        error: String,
+    },
+    /// Exceeded its wall-clock budget.
+    Timeout,
+    /// Completed but diverged from its golden expectations.
+    GoldenMismatch {
+        /// Structured `(field, expected, got)` rows.
+        diffs: Vec<(String, u64, u64)>,
+    },
+}
+
+impl Status {
+    /// Stable label used in reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Status::Pass => "pass",
+            Status::Fail { .. } => "fail",
+            Status::Timeout => "timeout",
+            Status::GoldenMismatch { .. } => "golden-mismatch",
+        }
+    }
+
+    /// The expectation this status fulfils.
+    fn as_expectation(&self) -> Expectation {
+        match self {
+            Status::Pass => Expectation::Pass,
+            Status::Fail { .. } => Expectation::Fail,
+            Status::Timeout => Expectation::Timeout,
+            Status::GoldenMismatch { .. } => Expectation::GoldenMismatch,
+        }
+    }
+}
+
+/// The full record of one scenario's execution.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub name: String,
+    /// Final status.
+    pub status: Status,
+    /// Attempts made (1 = no retries needed).
+    pub attempts: u32,
+    /// True when the cell exhausted its retries and was quarantined.
+    pub quarantined: bool,
+    /// True when the final status matches the spec's declared
+    /// expectation — the fleet's pass criterion.
+    pub as_expected: bool,
+    /// Deterministic observables of the last completed run (workload
+    /// cells only).
+    pub outcome: Option<WorkloadOutcome>,
+    /// True when some attempt resumed from a checkpoint.
+    pub resumed: bool,
+    /// Host seconds for the cell (all attempts; reported in the text
+    /// summary only, never in the JSON).
+    pub host_secs: f64,
+}
+
+/// The whole fleet's report.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Per-scenario results, in spec order.
+    pub results: Vec<ScenarioResult>,
+}
+
+/// Fleet-level configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Host worker threads executing cells (min 1).
+    pub workers: usize,
+    /// Directory for checkpoints (kernel-stream resume); `None`
+    /// disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Cap applied on top of each spec's own timeout, seconds
+    /// (`None` = spec timeouts used as-is).
+    pub max_timeout_secs: Option<f64>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            workers: 4,
+            checkpoint_dir: None,
+            max_timeout_secs: None,
+        }
+    }
+}
+
+fn golden_diffs(golden: &GoldenSpec, out: &WorkloadOutcome) -> Vec<(String, u64, u64)> {
+    let got = |name: &str| -> u64 {
+        let s: &MemStats = &out.stats;
+        match name {
+            "cycles" => out.cycles,
+            "reads" => s.reads,
+            "writes" => s.writes,
+            "hits" => s.hits,
+            "sci_fetches" => s.sci_fetches,
+            "ring_stalls" => s.ring_stalls,
+            "uncached_ops" => s.uncached_ops,
+            _ => unreachable!("unknown golden field {name}"),
+        }
+    };
+    golden
+        .fields()
+        .into_iter()
+        .filter_map(|(name, want)| {
+            let have = got(name);
+            (have != want).then(|| (name.to_string(), want, have))
+        })
+        .collect()
+}
+
+/// Execute one attempt of one scenario under supervision.
+fn run_attempt(
+    spec: &ScenarioSpec,
+    registry: &Registry,
+    ckpt: Option<&CheckpointPaths>,
+    timeout: Duration,
+) -> (Status, Option<WorkloadOutcome>) {
+    let cancel = CancelToken::new();
+    let supervisor = HostSupervisor::new(timeout);
+
+    // Clone what the worker closure needs; specs are cheap.
+    let spec2 = spec.clone();
+    let ckpt2 = ckpt.cloned();
+    let exp = match &spec.kind {
+        ScenarioKind::Experiment(e) => {
+            let Some(f) = registry.get(&e.id) else {
+                return (
+                    Status::Fail {
+                        error: format!("no experiment {:?} in the registry", e.id),
+                    },
+                    None,
+                );
+            };
+            Some((
+                f,
+                ExperimentOpts {
+                    full: e.full,
+                    steps: e.steps,
+                    backend: e.backend.clone(),
+                },
+            ))
+        }
+        _ => None,
+    };
+
+    let cancel2 = cancel.clone();
+    let supervised = supervisor.supervise(
+        &cancel,
+        move || -> Result<Option<WorkloadOutcome>, String> {
+            match &spec2.kind {
+                ScenarioKind::Workload(w) => run_workload(w, &cancel2, ckpt2.as_ref()).map(Some),
+                ScenarioKind::Builtin(op) => run_builtin(op, &cancel2).map(|_| None),
+                ScenarioKind::Experiment(_) => {
+                    let (f, opts) = exp.expect("experiment runner resolved above");
+                    f(&opts);
+                    Ok(None)
+                }
+            }
+        },
+    );
+
+    match supervised {
+        Supervised::Finished(Ok(outcome)) => {
+            if let Some(out) = outcome {
+                let diffs = golden_diffs(&spec.golden, &out);
+                if diffs.is_empty() {
+                    (Status::Pass, Some(out))
+                } else {
+                    (Status::GoldenMismatch { diffs }, Some(out))
+                }
+            } else {
+                (Status::Pass, None)
+            }
+        }
+        Supervised::Finished(Err(e)) => (Status::Fail { error: e }, None),
+        Supervised::Panicked(msg) => (Status::Fail { error: msg }, None),
+        Supervised::TimedOut { .. } => (Status::Timeout, None),
+    }
+}
+
+/// Run the whole matrix. Always returns a complete report — a
+/// panicking, hanging, or diverging cell is contained and classified,
+/// never allowed to abort the fleet.
+pub fn run_fleet(specs: &[ScenarioSpec], registry: &Registry, cfg: &FleetConfig) -> FleetReport {
+    let n = specs.len();
+    let slots: Vec<Mutex<Option<ScenarioResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = cfg.workers.max(1).min(n.max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = run_cell(&specs[i], registry, cfg);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+
+    FleetReport {
+        results: slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("every cell ran"))
+            .collect(),
+    }
+}
+
+/// Run one cell: attempts, backoff, checkpoint resume, quarantine.
+fn run_cell(spec: &ScenarioSpec, registry: &Registry, cfg: &FleetConfig) -> ScenarioResult {
+    let t0 = std::time::Instant::now();
+    let mut timeout_secs = spec.timeout_secs;
+    if let Some(cap) = cfg.max_timeout_secs {
+        timeout_secs = timeout_secs.min(cap);
+    }
+    let timeout = Duration::from_secs_f64(timeout_secs);
+
+    let wants_checkpoint = matches!(
+        &spec.kind,
+        ScenarioKind::Workload(w) if w.checkpoint_every > 0
+    );
+    let ckpt = match (&cfg.checkpoint_dir, wants_checkpoint) {
+        (Some(dir), true) => {
+            let _ = std::fs::create_dir_all(dir);
+            let paths = CheckpointPaths::new(dir, &spec.name);
+            // A stale checkpoint from a previous fleet must not seed
+            // attempt 1.
+            paths.remove();
+            Some(paths)
+        }
+        _ => None,
+    };
+
+    let mut attempts = 0;
+    let mut resumed = false;
+    let mut last = (
+        Status::Fail {
+            error: "scenario never attempted".into(),
+        },
+        None,
+    );
+    while attempts <= spec.retries {
+        if attempts > 0 {
+            let backoff = spec.backoff_ms.saturating_mul(1 << (attempts - 1).min(16));
+            std::thread::sleep(Duration::from_millis(backoff));
+        }
+        attempts += 1;
+        last = run_attempt(spec, registry, ckpt.as_ref(), timeout);
+        if let Some(out) = &last.1 {
+            if out.resumed_from.is_some() {
+                resumed = true;
+            }
+        }
+        match &last.0 {
+            // Pass and golden-mismatch are both *completed* runs —
+            // deterministic cells won't golden-diverge differently on
+            // retry, so only failures and timeouts retry.
+            Status::Pass | Status::GoldenMismatch { .. } => break,
+            Status::Fail { .. } | Status::Timeout => {}
+        }
+    }
+    if let Some(c) = &ckpt {
+        c.remove();
+    }
+
+    let (status, outcome) = last;
+    let exhausted =
+        attempts > spec.retries && matches!(status, Status::Fail { .. } | Status::Timeout);
+    ScenarioResult {
+        as_expected: status.as_expectation() == spec.expect,
+        quarantined: exhausted && spec.retries > 0,
+        name: spec.name.clone(),
+        status,
+        attempts,
+        resumed,
+        outcome,
+        host_secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+impl FleetReport {
+    /// True when every cell's final status matches its declared
+    /// expectation — the fleet's (and CI's) pass criterion.
+    pub fn all_as_expected(&self) -> bool {
+        self.results.iter().all(|r| r.as_expected)
+    }
+
+    /// Counts by final status label, plus quarantines:
+    /// `(pass, fail, timeout, golden_mismatch, quarantined)`.
+    pub fn counts(&self) -> (usize, usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0, 0);
+        for r in &self.results {
+            match r.status {
+                Status::Pass => c.0 += 1,
+                Status::Fail { .. } => c.1 += 1,
+                Status::Timeout => c.2 += 1,
+                Status::GoldenMismatch { .. } => c.3 += 1,
+            }
+            if r.quarantined {
+                c.4 += 1;
+            }
+        }
+        c
+    }
+
+    /// Human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "{:<28} {:>16} {:>9} {:>6} {:>8}  notes\n",
+            "scenario", "status", "attempts", "ok?", "secs"
+        ));
+        for r in &self.results {
+            let mut notes = Vec::new();
+            if r.quarantined {
+                notes.push("QUARANTINED".to_string());
+            }
+            if r.resumed {
+                notes.push("resumed-from-checkpoint".to_string());
+            }
+            match &r.status {
+                Status::Fail { error } => {
+                    let mut e = error.replace('\n', " ");
+                    if e.len() > 60 {
+                        e.truncate(60);
+                        e.push('…');
+                    }
+                    notes.push(e);
+                }
+                Status::GoldenMismatch { diffs } => {
+                    for (f, want, got) in diffs {
+                        notes.push(format!("{f}: want {want}, got {got}"));
+                    }
+                }
+                _ => {}
+            }
+            s.push_str(&format!(
+                "{:<28} {:>16} {:>9} {:>6} {:>8.2}  {}\n",
+                r.name,
+                r.status.label(),
+                r.attempts,
+                if r.as_expected { "yes" } else { "NO" },
+                r.host_secs,
+                notes.join("; ")
+            ));
+        }
+        let (p, f, t, g, q) = self.counts();
+        s.push_str(&format!(
+            "\n{} scenarios: {p} pass, {f} fail, {t} timeout, {g} golden-mismatch, {q} quarantined — {}\n",
+            self.results.len(),
+            if self.all_as_expected() {
+                "ALL AS EXPECTED"
+            } else {
+                "UNEXPECTED OUTCOMES"
+            }
+        ));
+        s
+    }
+
+    /// Deterministic JSON for `BENCH_scenarios.json`: spec order, no
+    /// host wall-clock, stable field order — two identical fleets
+    /// produce byte-identical files.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
+        }
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema_version\": {REPORT_SCHEMA},\n"));
+        s.push_str("  \"experiment\": \"scenarios\",\n");
+        let (p, f, t, g, q) = self.counts();
+        s.push_str(&format!(
+            "  \"summary\": {{\"total\": {}, \"pass\": {p}, \"fail\": {f}, \"timeout\": {t}, \"golden_mismatch\": {g}, \"quarantined\": {q}, \"all_as_expected\": {}}},\n",
+            self.results.len(),
+            self.all_as_expected()
+        ));
+        s.push_str("  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            s.push_str("    {");
+            s.push_str(&format!("\"name\": \"{}\", ", esc(&r.name)));
+            s.push_str(&format!("\"status\": \"{}\", ", r.status.label()));
+            s.push_str(&format!("\"attempts\": {}, ", r.attempts));
+            s.push_str(&format!("\"as_expected\": {}, ", r.as_expected));
+            s.push_str(&format!("\"quarantined\": {}, ", r.quarantined));
+            s.push_str(&format!("\"resumed\": {}", r.resumed));
+            match &r.status {
+                Status::Fail { error } => {
+                    s.push_str(&format!(", \"error\": \"{}\"", esc(error)));
+                }
+                Status::GoldenMismatch { diffs } => {
+                    s.push_str(", \"golden_diffs\": [");
+                    for (j, (field, want, got)) in diffs.iter().enumerate() {
+                        if j > 0 {
+                            s.push_str(", ");
+                        }
+                        s.push_str(&format!(
+                            "{{\"field\": \"{field}\", \"expected\": {want}, \"got\": {got}}}"
+                        ));
+                    }
+                    s.push(']');
+                }
+                _ => {}
+            }
+            if let Some(out) = &r.outcome {
+                s.push_str(&format!(
+                    ", \"cycles\": {}, \"reads\": {}, \"writes\": {}, \"hits\": {}, \"sci_fetches\": {}, \"ring_stalls\": {}, \"uncached_ops\": {}",
+                    out.cycles,
+                    out.stats.reads,
+                    out.stats.writes,
+                    out.stats.hits,
+                    out.stats.sci_fetches,
+                    out.stats.ring_stalls,
+                    out.stats.uncached_ops,
+                ));
+            }
+            s.push('}');
+            if i + 1 < self.results.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{BuiltinOp, ScenarioSpec, WorkloadApp};
+
+    fn quick(mut spec: ScenarioSpec, timeout: f64) -> ScenarioSpec {
+        spec.timeout_secs = timeout;
+        spec
+    }
+
+    #[test]
+    fn a_panicking_cell_is_contained_and_classified() {
+        let specs = vec![
+            {
+                let mut s = ScenarioSpec::builtin(
+                    "boom",
+                    BuiltinOp::Panic {
+                        message: "deliberate".into(),
+                    },
+                );
+                s.expect = Expectation::Fail;
+                s
+            },
+            ScenarioSpec::builtin("fine", BuiltinOp::Noop),
+        ];
+        let report = run_fleet(&specs, &Registry::new(), &FleetConfig::default());
+        assert_eq!(report.results.len(), 2);
+        let boom = &report.results[0];
+        assert!(matches!(&boom.status, Status::Fail { error } if error.contains("deliberate")));
+        assert!(boom.as_expected);
+        assert!(report.results[1].as_expected);
+        assert!(report.all_as_expected());
+    }
+
+    #[test]
+    fn a_hanging_cell_times_out_without_stalling_the_fleet() {
+        let mut hang = quick(ScenarioSpec::builtin("hang", BuiltinOp::Hang), 0.2);
+        hang.expect = Expectation::Timeout;
+        let specs = vec![hang, ScenarioSpec::builtin("ok", BuiltinOp::Noop)];
+        let report = run_fleet(&specs, &Registry::new(), &FleetConfig::default());
+        assert_eq!(report.results[0].status, Status::Timeout);
+        assert!(report.all_as_expected());
+    }
+
+    #[test]
+    fn golden_mismatch_is_a_structured_diff_not_a_panic() {
+        let mut s = ScenarioSpec::workload("tiny-kernel", WorkloadApp::KernelStream { elems: 64 });
+        s.golden.cycles = Some(1); // wrong on purpose
+        s.expect = Expectation::GoldenMismatch;
+        let report = run_fleet(&[s], &Registry::new(), &FleetConfig::default());
+        let r = &report.results[0];
+        let Status::GoldenMismatch { diffs } = &r.status else {
+            panic!("expected golden mismatch, got {:?}", r.status);
+        };
+        assert_eq!(diffs[0].0, "cycles");
+        assert_eq!(diffs[0].1, 1);
+        assert!(diffs[0].2 > 1);
+        assert!(r.as_expected);
+    }
+
+    #[test]
+    fn retries_exhausted_means_quarantine() {
+        let mut s = ScenarioSpec::builtin(
+            "flaky",
+            BuiltinOp::Panic {
+                message: "always".into(),
+            },
+        );
+        s.retries = 2;
+        s.backoff_ms = 1;
+        s.expect = Expectation::Fail;
+        let report = run_fleet(&[s], &Registry::new(), &FleetConfig::default());
+        let r = &report.results[0];
+        assert_eq!(r.attempts, 3);
+        assert!(r.quarantined);
+        assert!(r.as_expected);
+        let (_, _, _, _, q) = report.counts();
+        assert_eq!(q, 1);
+    }
+
+    #[test]
+    fn json_is_deterministic_across_runs() {
+        let specs = vec![
+            ScenarioSpec::workload("k64", WorkloadApp::KernelStream { elems: 64 }),
+            ScenarioSpec::builtin("nop", BuiltinOp::Noop),
+        ];
+        let a = run_fleet(&specs, &Registry::new(), &FleetConfig::default()).to_json();
+        let b = run_fleet(&specs, &Registry::new(), &FleetConfig::default()).to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema_version\": 1"));
+    }
+
+    #[test]
+    fn experiment_cells_go_through_the_registry() {
+        fn fake(_o: &ExperimentOpts) -> String {
+            "ran".into()
+        }
+        let mut reg = Registry::new();
+        reg.register("fake", fake);
+        let spec = ScenarioSpec::experiment("fake-cell", "fake");
+        let report = run_fleet(&[spec], &reg, &FleetConfig::default());
+        assert_eq!(report.results[0].status, Status::Pass);
+
+        let missing = ScenarioSpec::experiment("ghost", "not-there");
+        let report = run_fleet(&[missing], &reg, &FleetConfig::default());
+        assert!(
+            matches!(&report.results[0].status, Status::Fail { error } if error.contains("registry"))
+        );
+    }
+}

@@ -1,0 +1,575 @@
+//! A minimal TOML reader/writer for scenario specs.
+//!
+//! The build environment has no registry access, so the spec format
+//! is parsed by this small in-tree implementation instead of the
+//! crates.io `toml` crate. It covers the subset the scenario files
+//! use — and `to_toml` emits exactly that subset, so parse →
+//! serialize → parse round-trips (property-tested in the crate's
+//! round-trip suite):
+//!
+//! * `[table]` and nested `[table.subtable]` headers
+//! * `[[array-of-tables]]` headers
+//! * `key = value` with bare keys
+//! * basic strings with `\"`, `\\`, `\n`, `\t` escapes
+//! * integers (optional sign and `_` separators), floats, booleans
+//! * single-line arrays of scalars
+//! * `#` comments and blank lines
+//!
+//! Not supported (rejected with a parse error, never misread):
+//! dotted keys, inline tables, multi-line strings and arrays,
+//! literal/raw strings, dates.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A basic string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A single-line array of scalars (or, internally, of tables for
+    /// `[[...]]` sections).
+    Array(Vec<Value>),
+    /// A table of key → value.
+    Table(Table),
+}
+
+/// A TOML table (sorted for deterministic serialization).
+pub type Table = BTreeMap<String, Value>;
+
+/// A parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TomlError {
+    /// 1-based source line of the problem.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TOML parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, TomlError> {
+    Err(TomlError {
+        line,
+        message: message.into(),
+    })
+}
+
+impl Value {
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers coerce, as TOML readers
+    /// conventionally allow for numeric options).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as a table, if it is one.
+    pub fn as_table(&self) -> Option<&Table> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Strip a trailing comment, honoring string quoting.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn is_bare_key(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Split a `[a.b.c]` header path into components.
+fn parse_path(path: &str, line: usize) -> Result<Vec<String>, TomlError> {
+    let parts: Vec<&str> = path.split('.').map(str::trim).collect();
+    if parts.iter().any(|p| !is_bare_key(p)) {
+        return err(line, format!("bad table path {path:?}"));
+    }
+    Ok(parts.iter().map(|p| p.to_string()).collect())
+}
+
+/// Walk (creating as needed) to the table at `path`. The final
+/// component may address an array-of-tables, in which case the walk
+/// continues in its last element.
+fn descend<'a>(
+    root: &'a mut Table,
+    path: &[String],
+    line: usize,
+) -> Result<&'a mut Table, TomlError> {
+    let mut cur = root;
+    for comp in path {
+        let entry = cur
+            .entry(comp.clone())
+            .or_insert_with(|| Value::Table(Table::new()));
+        cur = match entry {
+            Value::Table(t) => t,
+            Value::Array(a) => match a.last_mut() {
+                Some(Value::Table(t)) => t,
+                _ => return err(line, format!("{comp:?} is not a table")),
+            },
+            _ => return err(line, format!("{comp:?} is not a table")),
+        };
+    }
+    Ok(cur)
+}
+
+fn parse_string(s: &str, line: usize) -> Result<(String, usize), TomlError> {
+    // s starts at the opening quote; returns (content, bytes consumed).
+    let bytes = s.as_bytes();
+    debug_assert_eq!(bytes[0], b'"');
+    let mut out = String::new();
+    let mut i = 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Ok((out, i + 1)),
+            b'\\' => {
+                i += 1;
+                match bytes.get(i) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(c) => return err(line, format!("unsupported escape \\{}", *c as char)),
+                    None => return err(line, "dangling escape at end of string"),
+                }
+                i += 1;
+            }
+            _ => {
+                // Multi-byte UTF-8: copy the full character.
+                let c = s[i..].chars().next().unwrap();
+                out.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+    err(line, "unterminated string")
+}
+
+fn parse_scalar(s: &str, line: usize) -> Result<Value, TomlError> {
+    let s = s.trim();
+    if s == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Value::Bool(false));
+    }
+    let numeric = s.replace('_', "");
+    if numeric.contains('.') || numeric.contains(['e', 'E']) {
+        if let Ok(x) = numeric.parse::<f64>() {
+            return Ok(Value::Float(x));
+        }
+    }
+    if let Ok(i) = numeric.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    err(line, format!("cannot parse value {s:?}"))
+}
+
+fn parse_value(s: &str, line: usize) -> Result<Value, TomlError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return err(line, "missing value");
+    }
+    if s.starts_with('"') {
+        let (content, used) = parse_string(s, line)?;
+        if !s[used..].trim().is_empty() {
+            return err(
+                line,
+                format!("trailing characters after string: {:?}", &s[used..]),
+            );
+        }
+        return Ok(Value::Str(content));
+    }
+    if let Some(inner) = s.strip_prefix('[') {
+        let inner = inner.strip_suffix(']').ok_or_else(|| TomlError {
+            line,
+            message: "unterminated array (multi-line arrays are not supported)".into(),
+        })?;
+        let mut items = Vec::new();
+        for piece in split_array_items(inner, line)? {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            items.push(parse_value(piece, line)?);
+        }
+        return Ok(Value::Array(items));
+    }
+    if s == "{" || s.starts_with('{') {
+        return err(line, "inline tables are not supported");
+    }
+    parse_scalar(s, line)
+}
+
+/// Split array contents on commas, respecting strings and nesting.
+fn split_array_items(s: &str, line: usize) -> Result<Vec<&str>, TomlError> {
+    let mut items = Vec::new();
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => {
+                depth = depth.checked_sub(1).ok_or_else(|| TomlError {
+                    line,
+                    message: "unbalanced brackets in array".into(),
+                })?;
+            }
+            ',' if !in_str && depth == 0 => {
+                items.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_str || depth != 0 {
+        return err(line, "unbalanced quotes or brackets in array");
+    }
+    items.push(&s[start..]);
+    Ok(items)
+}
+
+/// Parse a TOML document into its root table.
+pub fn parse(text: &str) -> Result<Table, TomlError> {
+    let mut root = Table::new();
+    let mut current_path: Vec<String> = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(inner) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            let path = parse_path(inner, lineno)?;
+            let (last, parents) = path.split_last().unwrap();
+            let parent = descend(&mut root, parents, lineno)?;
+            let entry = parent
+                .entry(last.clone())
+                .or_insert_with(|| Value::Array(Vec::new()));
+            match entry {
+                Value::Array(a) => a.push(Value::Table(Table::new())),
+                _ => return err(lineno, format!("{last:?} is not an array of tables")),
+            }
+            current_path = path;
+            continue;
+        }
+        if let Some(inner) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            let path = parse_path(inner, lineno)?;
+            // Materialize the table (errors if a scalar sits there).
+            descend(&mut root, &path, lineno)?;
+            current_path = path;
+            continue;
+        }
+        let Some(eq) = find_unquoted_eq(line) else {
+            return err(lineno, format!("expected `key = value`, got {line:?}"));
+        };
+        let (key, value) = (line[..eq].trim(), &line[eq + 1..]);
+        let key = if key.starts_with('"') {
+            let (content, used) = parse_string(key, lineno)?;
+            if !key[used..].trim().is_empty() {
+                return err(lineno, "trailing characters after quoted key");
+            }
+            content
+        } else {
+            if !is_bare_key(key) {
+                return err(
+                    lineno,
+                    format!("bad key {key:?} (dotted keys are not supported)"),
+                );
+            }
+            key.to_string()
+        };
+        let value = parse_value(value, lineno)?;
+        let table = descend(&mut root, &current_path.clone(), lineno)?;
+        if table.insert(key.clone(), value).is_some() {
+            return err(lineno, format!("duplicate key {key:?}"));
+        }
+    }
+    Ok(root)
+}
+
+fn find_unquoted_eq(line: &str) -> Option<usize> {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '=' if !in_str => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn scalar_to_toml(v: &Value) -> String {
+    match v {
+        Value::Str(s) => escape(s),
+        Value::Int(i) => i.to_string(),
+        // {:?} is the shortest representation that round-trips, and
+        // always contains a `.` or an exponent, so it re-parses as a
+        // float.
+        Value::Float(x) => format!("{x:?}"),
+        Value::Bool(b) => b.to_string(),
+        Value::Array(items) => {
+            let inner: Vec<String> = items.iter().map(scalar_to_toml).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Value::Table(_) => unreachable!("tables are serialized via headers"),
+    }
+}
+
+fn is_table_array(v: &Value) -> bool {
+    matches!(v, Value::Array(a) if a.iter().all(|x| matches!(x, Value::Table(_))) && !a.is_empty())
+}
+
+fn emit_table(out: &mut String, path: &[String], table: &Table) {
+    // Scalars and scalar arrays first, then subtables, then arrays of
+    // tables — each with a full-path header.
+    for (k, v) in table {
+        if matches!(v, Value::Table(_)) || is_table_array(v) {
+            continue;
+        }
+        out.push_str(&format!("{k} = {}\n", scalar_to_toml(v)));
+    }
+    for (k, v) in table {
+        if let Value::Table(t) = v {
+            let mut sub = path.to_vec();
+            sub.push(k.clone());
+            out.push_str(&format!("\n[{}]\n", sub.join(".")));
+            emit_table(out, &sub, t);
+        }
+    }
+    for (k, v) in table {
+        if is_table_array(v) {
+            let Value::Array(a) = v else { unreachable!() };
+            let mut sub = path.to_vec();
+            sub.push(k.clone());
+            for item in a {
+                let Value::Table(t) = item else {
+                    unreachable!()
+                };
+                out.push_str(&format!("\n[[{}]]\n", sub.join(".")));
+                emit_table(out, &sub, t);
+            }
+        }
+    }
+}
+
+/// Serialize a root table back to TOML (the canonical subset this
+/// module parses; keys come out sorted, so serialization is
+/// deterministic).
+pub fn to_toml(root: &Table) -> String {
+    let mut out = String::new();
+    emit_table(&mut out, &[], root);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_scenario_shape() {
+        let text = r#"
+# a scenario
+schema = 1
+
+[scenario]
+name = "pic-uniform"
+kind = "workload"   # trailing comment
+timeout_secs = 12.5
+retries = 2
+
+[workload]
+app = "pic"
+mesh = [8, 8, 8]
+
+[faults]
+seed = 7
+
+[[faults.events]]
+kind = "ring-stalls"
+prob = 0.01
+stall_cycles = 500
+
+[[faults.events]]
+kind = "cpu-fail"
+cpu = 2
+at_cycle = 400000
+"#;
+        let t = parse(text).unwrap();
+        assert_eq!(t["schema"].as_int(), Some(1));
+        let sc = t["scenario"].as_table().unwrap();
+        assert_eq!(sc["name"].as_str(), Some("pic-uniform"));
+        assert_eq!(sc["timeout_secs"].as_float(), Some(12.5));
+        let wl = t["workload"].as_table().unwrap();
+        let mesh: Vec<i64> = wl["mesh"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(mesh, vec![8, 8, 8]);
+        let events = t["faults"].as_table().unwrap()["events"]
+            .as_array()
+            .unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[1].as_table().unwrap()["kind"].as_str(),
+            Some("cpu-fail")
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes_and_hashes() {
+        let t = parse(r#"msg = "a \"quoted\" # not a comment\n""#).unwrap();
+        assert_eq!(t["msg"].as_str(), Some("a \"quoted\" # not a comment\n"));
+    }
+
+    #[test]
+    fn rejects_what_it_does_not_support() {
+        assert!(parse("a.b = 1").is_err(), "dotted keys");
+        assert!(parse("a = { b = 1 }").is_err(), "inline tables");
+        assert!(parse("a = [1,\n2]").is_err(), "multi-line arrays");
+        assert!(parse("a = 1\na = 2").is_err(), "duplicate keys");
+        assert!(parse("a = ").is_err(), "missing value");
+        assert!(parse("just text").is_err(), "bare text");
+        assert!(parse("a = \"unterminated").is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("ok = 1\nbroken").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn round_trips_through_to_toml() {
+        let text = r#"
+schema = 1
+[scenario]
+name = "x"
+ratio = 0.25
+big = 1e300
+flags = [true, false]
+names = ["a", "b c"]
+[scenario.sub]
+k = -4
+[[rows]]
+v = 1
+[[rows]]
+v = 2
+"#;
+        let t = parse(text).unwrap();
+        let emitted = to_toml(&t);
+        let t2 = parse(&emitted).unwrap();
+        assert_eq!(t, t2, "serialized form:\n{emitted}");
+    }
+
+    #[test]
+    fn integers_allow_underscores_and_signs() {
+        let t = parse("a = 1_200_000\nb = -3\nc = +5").unwrap();
+        assert_eq!(t["a"].as_int(), Some(1_200_000));
+        assert_eq!(t["b"].as_int(), Some(-3));
+        assert_eq!(t["c"].as_int(), Some(5));
+    }
+}

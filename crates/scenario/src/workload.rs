@@ -1,0 +1,394 @@
+//! Workload runners: turn a [`WorkloadSpec`] into an assembled
+//! simulation and run it to completion.
+//!
+//! Every runner is a pure function of its spec (plus an optional
+//! checkpoint to resume from), returning the final simulated cycles
+//! and memory-system counters — the quantities the golden gate
+//! compares bit-exactly. Runners poll the supervisor's
+//! [`CancelToken`] between steps so a timed-out cell winds down
+//! instead of leaking a busy thread.
+
+use crate::spec::{BuiltinOp, PlacementPolicy, SchedulePolicySpec, WorkloadApp, WorkloadSpec};
+use fem::{Coding, SharedFem};
+use nbody::{NbodyProblem, SharedNbody};
+use pic::pvm::PvmPic;
+use pic::{PicProblem, SharedPic};
+use ppm::{PpmProblem, SharedPpm};
+use spp_core::{
+    CancelToken, CpuId, FaultPlan, Machine, MachineConfig, MemClass, MemStats, RingSink, Snapshot,
+};
+use spp_pvm::Pvm;
+use spp_runtime::{Placement, Runtime, SchedulePolicy, Team};
+use std::path::{Path, PathBuf};
+
+/// The deterministic observables of one workload run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadOutcome {
+    /// Elapsed simulated cycles over the measured steps.
+    pub cycles: u64,
+    /// Final memory-system counters of the simulated machine.
+    pub stats: MemStats,
+    /// Steps actually executed in this process (fewer than
+    /// `spec.steps` after a resume).
+    pub steps_run: usize,
+    /// Step index this run resumed from, if it restored a checkpoint.
+    pub resumed_from: Option<usize>,
+    /// Checkpoints written during this run.
+    pub checkpoints_written: usize,
+}
+
+/// The checkpoint pair for a scenario: the SPPSNAP1 machine image and
+/// a tiny sidecar carrying the host-side loop state (step counter and
+/// accumulated cycles), which the machine snapshot intentionally does
+/// not cover.
+#[derive(Debug, Clone)]
+pub struct CheckpointPaths {
+    /// SPPSNAP1 snapshot file.
+    pub snap: PathBuf,
+    /// Sidecar (`<step> <cycles> <region base>` as text).
+    pub side: PathBuf,
+}
+
+impl CheckpointPaths {
+    /// The conventional pair under `dir` for scenario `name`.
+    pub fn new(dir: &Path, name: &str) -> Self {
+        CheckpointPaths {
+            snap: dir.join(format!("{name}.snap")),
+            side: dir.join(format!("{name}.step")),
+        }
+    }
+
+    /// True when both halves exist.
+    pub fn exists(&self) -> bool {
+        self.snap.is_file() && self.side.is_file()
+    }
+
+    /// Remove both halves (ignoring missing files).
+    pub fn remove(&self) {
+        let _ = std::fs::remove_file(&self.snap);
+        let _ = std::fs::remove_file(&self.side);
+    }
+}
+
+fn placement(p: PlacementPolicy) -> Placement {
+    match p {
+        PlacementPolicy::Uniform => Placement::Uniform,
+        PlacementPolicy::HighLocality => Placement::HighLocality,
+    }
+}
+
+fn schedule(s: SchedulePolicySpec) -> SchedulePolicy {
+    match s {
+        SchedulePolicySpec::Identity => SchedulePolicy::Identity,
+        SchedulePolicySpec::Reversed => SchedulePolicy::Reversed,
+        SchedulePolicySpec::Shuffled { seed } => SchedulePolicy::Shuffled { seed },
+    }
+}
+
+fn build_machine(spec: &WorkloadSpec) -> Machine {
+    let mut m = Machine::spp1000(spec.hypernodes);
+    if !spec.faults.is_empty() {
+        m = m.with_faults(FaultPlan::from_events(spec.fault_seed, &spec.faults));
+    }
+    if spec.trace {
+        m = m.with_trace_sink(Box::new(RingSink::new(spec.trace_capacity)));
+    }
+    m
+}
+
+fn cancelled<T>() -> Result<T, String> {
+    Err("cancelled by supervisor".to_string())
+}
+
+/// Run a workload spec to completion.
+///
+/// `ckpt` enables checkpoint/resume for the kernel-stream workload:
+/// when the pair exists the run resumes from it, and when
+/// `spec.checkpoint_every > 0` the run rewrites it every N steps.
+/// Other workloads ignore `ckpt` (spec validation already rejects
+/// `checkpoint_every` on them).
+pub fn run_workload(
+    spec: &WorkloadSpec,
+    cancel: &CancelToken,
+    ckpt: Option<&CheckpointPaths>,
+) -> Result<WorkloadOutcome, String> {
+    match spec.app {
+        WorkloadApp::KernelStream { elems } => kernel_stream(spec, elems, cancel, ckpt),
+        WorkloadApp::PicPvm { mesh } => pic_pvm(spec, mesh, cancel),
+        _ => shared_app(spec, cancel),
+    }
+}
+
+/// Run a builtin cell. `panic` panics (by design — the supervisor
+/// must contain it), `hang` sleeps until cancelled, `noop` returns.
+pub fn run_builtin(op: &BuiltinOp, cancel: &CancelToken) -> Result<(), String> {
+    match op {
+        BuiltinOp::Panic { message } => panic!("{message}"),
+        BuiltinOp::Hang => {
+            while !cancel.is_cancelled() {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            cancelled()
+        }
+        BuiltinOp::Noop => Ok(()),
+    }
+}
+
+fn shared_app(spec: &WorkloadSpec, cancel: &CancelToken) -> Result<WorkloadOutcome, String> {
+    let mut rt = Runtime::new(build_machine(spec)).with_schedule(schedule(spec.schedule));
+    let team = Team::try_place(
+        rt.machine.config(),
+        spec.threads,
+        &placement(spec.placement),
+    )
+    .map_err(|e| e.to_string())?;
+
+    let mut cycles: u64 = 0;
+    match spec.app {
+        WorkloadApp::Pic { mesh } => {
+            let mut app = SharedPic::new(
+                &mut rt,
+                PicProblem::with_mesh(mesh.0, mesh.1, mesh.2),
+                &team,
+            );
+            app.step(&mut rt, &team); // warm-up
+            for _ in 0..spec.steps {
+                if cancel.is_cancelled() {
+                    return cancelled();
+                }
+                cycles += app.step(&mut rt, &team).elapsed;
+            }
+        }
+        WorkloadApp::Nbody { bodies } => {
+            let mut app = SharedNbody::new(&mut rt, NbodyProblem::with_n(bodies), &team);
+            app.step(&mut rt, &team);
+            for _ in 0..spec.steps {
+                if cancel.is_cancelled() {
+                    return cancelled();
+                }
+                cycles += app.step(&mut rt, &team).0;
+            }
+        }
+        WorkloadApp::Fem { nx, ny } => {
+            let mut app =
+                SharedFem::new(&mut rt, fem::structured(nx, ny), Coding::ScatterAdd, &team);
+            app.step(&mut rt, &team, 0.2);
+            for _ in 0..spec.steps {
+                if cancel.is_cancelled() {
+                    return cancelled();
+                }
+                cycles += app.step(&mut rt, &team, 0.2).0;
+            }
+        }
+        WorkloadApp::Ppm => {
+            let mut app = SharedPpm::new(&mut rt, PpmProblem::tiny(), &team);
+            app.step(&mut rt, &team);
+            for _ in 0..spec.steps {
+                if cancel.is_cancelled() {
+                    return cancelled();
+                }
+                cycles += app.step(&mut rt, &team).0;
+            }
+        }
+        WorkloadApp::PicPvm { .. } | WorkloadApp::KernelStream { .. } => unreachable!(),
+    }
+
+    Ok(WorkloadOutcome {
+        cycles,
+        stats: rt.machine.stats,
+        steps_run: spec.steps,
+        resumed_from: None,
+        checkpoints_written: 0,
+    })
+}
+
+fn pic_pvm(
+    spec: &WorkloadSpec,
+    mesh: (usize, usize, usize),
+    cancel: &CancelToken,
+) -> Result<WorkloadOutcome, String> {
+    let machine = build_machine(spec);
+    let team = Team::try_place(machine.config(), spec.threads, &placement(spec.placement))
+        .map_err(|e| e.to_string())?;
+    let cpus: Vec<CpuId> = team.cpus().to_vec();
+    let mut pvm = Pvm::new(machine, &cpus);
+    let mut app = PvmPic::new(&mut pvm, PicProblem::with_mesh(mesh.0, mesh.1, mesh.2));
+    app.step(&mut pvm); // warm-up
+    let mut cycles = 0;
+    for _ in 0..spec.steps {
+        if cancel.is_cancelled() {
+            return cancelled();
+        }
+        cycles += app.step(&mut pvm).0;
+    }
+    Ok(WorkloadOutcome {
+        cycles,
+        stats: pvm.machine.stats,
+        steps_run: spec.steps,
+        resumed_from: None,
+        checkpoints_written: 0,
+    })
+}
+
+/// The kernel-stream workload: a seeded strided read-modify-write
+/// sweep over a far-shared array, round-robined across the team's
+/// CPUs. Its entire state is (machine, step counter, cycle
+/// accumulator), so an SPPSNAP1 checkpoint plus the tiny sidecar is a
+/// complete resume point and resumed runs are bit-identical to
+/// uninterrupted ones (asserted in `tests/supervision.rs`).
+fn kernel_stream(
+    spec: &WorkloadSpec,
+    elems: usize,
+    cancel: &CancelToken,
+    ckpt: Option<&CheckpointPaths>,
+) -> Result<WorkloadOutcome, String> {
+    let cfg = MachineConfig::spp1000(spec.hypernodes);
+    let team = Team::try_place(&cfg, spec.threads, &placement(spec.placement))
+        .map_err(|e| e.to_string())?;
+    let plan =
+        (!spec.faults.is_empty()).then(|| FaultPlan::from_events(spec.fault_seed, &spec.faults));
+
+    let mut start_step = 0usize;
+    let mut cycles: u64 = 0;
+    let mut resumed_from = None;
+    let mut machine;
+    let base;
+    match ckpt.filter(|c| c.exists()) {
+        Some(c) => {
+            // Restore replays the allocation sequence, so the region
+            // already exists in the restored machine; its base comes
+            // from the sidecar rather than a second alloc.
+            let snap = Snapshot::load(&c.snap).map_err(|e| e.to_string())?;
+            machine = snap.restore(cfg, plan).map_err(|e| e.to_string())?;
+            let side = std::fs::read_to_string(&c.side)
+                .map_err(|e| format!("checkpoint sidecar {}: {e}", c.side.display()))?;
+            let mut it = side.split_whitespace();
+            let mut parse = || {
+                it.next()
+                    .and_then(|x| x.parse::<u64>().ok())
+                    .ok_or_else(|| format!("malformed checkpoint sidecar {}", c.side.display()))
+            };
+            start_step = parse()? as usize;
+            cycles = parse()?;
+            base = parse()?;
+            resumed_from = Some(start_step);
+        }
+        None => {
+            machine = build_machine(spec);
+            base = machine.alloc(MemClass::FarShared, (elems * 8) as u64).base;
+        }
+    }
+
+    let cpus = team.cpus();
+    let mut checkpoints_written = 0;
+    for step in start_step..spec.steps {
+        if cancel.is_cancelled() {
+            return cancelled();
+        }
+        // A deterministic strided sweep: each element is read and
+        // rewritten by a CPU chosen by (step, index), so lines
+        // migrate between caches and the coherence machinery earns
+        // its keep.
+        for i in 0..elems {
+            let cpu = cpus[(i + step) % cpus.len()];
+            let addr = base + (i as u64) * 8;
+            cycles += machine.read(cpu, addr);
+            cycles += machine.write(cpu, addr);
+        }
+        if let Some(c) = ckpt {
+            if spec.checkpoint_every > 0 && (step + 1) % spec.checkpoint_every == 0 {
+                Snapshot::capture(&machine)
+                    .save(&c.snap)
+                    .map_err(|e| format!("checkpoint {}: {e}", c.snap.display()))?;
+                std::fs::write(&c.side, format!("{} {} {}\n", step + 1, cycles, base))
+                    .map_err(|e| format!("checkpoint sidecar {}: {e}", c.side.display()))?;
+                checkpoints_written += 1;
+            }
+        }
+    }
+
+    Ok(WorkloadOutcome {
+        cycles,
+        stats: machine.stats,
+        steps_run: spec.steps - start_step,
+        resumed_from,
+        checkpoints_written,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ScenarioKind, ScenarioSpec};
+
+    fn kernel_spec(steps: usize, checkpoint_every: usize) -> WorkloadSpec {
+        let mut s = ScenarioSpec::workload("k", WorkloadApp::KernelStream { elems: 256 });
+        let ScenarioKind::Workload(ref mut w) = s.kind else {
+            unreachable!()
+        };
+        w.steps = steps;
+        w.checkpoint_every = checkpoint_every;
+        w.threads = 4;
+        w.clone()
+    }
+
+    #[test]
+    fn kernel_stream_is_deterministic() {
+        let spec = kernel_spec(3, 0);
+        let cancel = CancelToken::new();
+        let a = run_workload(&spec, &cancel, None).unwrap();
+        let b = run_workload(&spec, &cancel, None).unwrap();
+        assert_eq!(a, b);
+        assert!(a.cycles > 0);
+        assert!(a.stats.reads > 0);
+    }
+
+    #[test]
+    fn kernel_stream_resume_is_bit_identical() {
+        let dir = std::env::temp_dir().join("spp-scenario-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths = CheckpointPaths::new(&dir, "resume-test");
+        paths.remove();
+
+        let spec = kernel_spec(4, 2);
+        let cancel = CancelToken::new();
+        let uninterrupted = run_workload(&spec, &cancel, None).unwrap();
+
+        // First run: stop after the step-2 checkpoint by cancelling
+        // via a truncated spec.
+        let mut half = spec.clone();
+        half.steps = 2;
+        let first = run_workload(&half, &cancel, Some(&paths)).unwrap();
+        assert_eq!(first.checkpoints_written, 1);
+        assert!(paths.exists());
+
+        // Second run resumes from the checkpoint and finishes.
+        let resumed = run_workload(&spec, &cancel, Some(&paths)).unwrap();
+        assert_eq!(resumed.resumed_from, Some(2));
+        assert_eq!(resumed.steps_run, 2);
+        assert_eq!(resumed.cycles, uninterrupted.cycles);
+        assert_eq!(resumed.stats, uninterrupted.stats);
+        paths.remove();
+    }
+
+    #[test]
+    fn builtin_noop_passes_and_hang_honours_cancel() {
+        let cancel = CancelToken::new();
+        assert!(run_builtin(&BuiltinOp::Noop, &cancel).is_ok());
+        cancel.cancel();
+        let r = run_builtin(&BuiltinOp::Hang, &cancel);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn cancelled_shared_app_returns_early() {
+        let spec = match ScenarioSpec::workload("p", WorkloadApp::Ppm).kind {
+            ScenarioKind::Workload(w) => w,
+            _ => unreachable!(),
+        };
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let r = run_workload(&spec, &cancel, None);
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Corrupt- and truncated-snapshot fuzzing.
+//!
+//! The resume path of the scenario engine feeds `SPPSNAP1` streams it
+//! found on disk back into [`Snapshot::restore`]. A half-written or
+//! bit-rotted checkpoint must therefore surface as a typed
+//! [`SimError::SnapshotCorrupt`] / [`SimError::SnapshotMismatch`] —
+//! never a panic, never a silent success that diverges, and never an
+//! absurd allocation. These tests take a genuine snapshot of a driven
+//! machine and attack it with every truncation length and a large
+//! sample of single-byte corruptions.
+
+use proptest::TestRng;
+use spp_core::{CpuId, FaultPlan, Machine, MachineConfig, MemClass, SimError, Snapshot};
+
+/// A machine with populated caches, directories, SCI state, stats,
+/// and fault-plan progress — so the snapshot exercises every section
+/// of the encoding.
+fn driven_machine() -> Machine {
+    let mut m = Machine::spp1000(2).with_faults(plan());
+    let far = m.alloc(MemClass::FarShared, 1 << 14);
+    let near = m.alloc(
+        MemClass::NearShared {
+            node: spp_core::NodeId(1),
+        },
+        1 << 12,
+    );
+    for i in 0..400u64 {
+        let cpu = CpuId((i * 5 % 16) as u16);
+        let a = far.addr((i * 104) % (1 << 14));
+        m.read(cpu, a);
+        if i % 3 == 0 {
+            m.write(cpu, a);
+        }
+        if i % 7 == 0 {
+            m.read(cpu, near.addr((i * 40) % (1 << 12)));
+        }
+    }
+    m
+}
+
+fn plan() -> FaultPlan {
+    FaultPlan::new(99)
+        .with_ring_stalls(0.2, 300)
+        .with_cpu_failure(3, 20_000)
+}
+
+/// Restoring must return a `Result`, never unwind. Returns whether
+/// the restore succeeded (a flipped byte in a don't-care position or
+/// a value field may still restore cleanly — that is acceptable; an
+/// unwind or abort is not).
+fn restore_is_contained(bytes: Vec<u8>) -> bool {
+    let attempt = std::panic::catch_unwind(|| {
+        Snapshot::from_bytes(bytes)
+            .and_then(|s| s.restore(MachineConfig::spp1000(2), Some(plan())))
+            .map(|_| ())
+    });
+    match attempt {
+        Ok(result) => result.is_ok(),
+        Err(_) => panic!("snapshot restore panicked instead of returning a typed error"),
+    }
+}
+
+#[test]
+fn every_truncation_length_yields_a_typed_error() {
+    let full = Snapshot::capture(&driven_machine()).into_bytes();
+    // Exhaustive over the header and fixed-layout prefix, strided
+    // through the long repetitive body (every cut there lands in the
+    // middle of one of the same few record shapes), exhaustive again
+    // over the tail where the fault-plan epilogue lives. Each probe
+    // rebuilds a machine, so full exhaustion would dominate the suite
+    // for no extra coverage.
+    let n = full.len();
+    let lens = (0..n.min(512))
+        .chain((512..n.saturating_sub(128)).step_by(97))
+        .chain(n.saturating_sub(128)..n);
+    for len in lens {
+        let outcome = Snapshot::from_bytes(full[..len].to_vec())
+            .and_then(|s| s.restore(MachineConfig::spp1000(2), Some(plan())));
+        match outcome {
+            Err(SimError::SnapshotCorrupt { .. } | SimError::SnapshotMismatch { .. }) => {}
+            Err(other) => panic!("truncation at {len} gave unexpected error {other}"),
+            Ok(_) => panic!("truncation at {len} restored successfully"),
+        }
+    }
+}
+
+#[test]
+fn single_byte_flips_never_panic_or_hang() {
+    let full = Snapshot::capture(&driven_machine()).into_bytes();
+    let mut rng = TestRng::new(proptest::seed_for("snapshot_fuzz::byte_flips"));
+    // Every offset in the header and geometry sections, then a random
+    // sample across the whole stream (exhaustive over all offsets ×
+    // all bits would be slow; the sampled set still covers thousands
+    // of positions and is deterministic).
+    let mut offsets: Vec<usize> = (0..full.len().min(128)).collect();
+    for _ in 0..800 {
+        offsets.push(rng.below(full.len() as u64) as usize);
+    }
+    for off in offsets {
+        let bit = 1u8 << rng.below(8);
+        let mut bytes = full.clone();
+        bytes[off] ^= bit;
+        restore_is_contained(bytes);
+    }
+}
+
+#[test]
+fn random_garbage_and_resized_streams_are_contained() {
+    let full = Snapshot::capture(&driven_machine()).into_bytes();
+    let mut rng = TestRng::new(proptest::seed_for("snapshot_fuzz::garbage"));
+    for case in 0..80 {
+        let mut bytes = full.clone();
+        match case % 4 {
+            // Garbage tail: truncate then extend with random bytes.
+            0 => {
+                let cut = rng.below(bytes.len() as u64) as usize;
+                bytes.truncate(cut);
+                for _ in 0..rng.below(64) {
+                    bytes.push(rng.below(256) as u8);
+                }
+            }
+            // A burst of corrupted bytes mid-stream.
+            1 => {
+                let start = rng.below(bytes.len() as u64) as usize;
+                let burst = (rng.below(32) + 1) as usize;
+                for b in bytes.iter_mut().skip(start).take(burst) {
+                    *b = rng.below(256) as u8;
+                }
+            }
+            // Pure noise with a valid header (worst case for the body
+            // parser).
+            2 => {
+                let keep = 10.min(bytes.len());
+                bytes.truncate(keep);
+                for _ in 0..rng.below(512) {
+                    bytes.push(rng.below(256) as u8);
+                }
+            }
+            // Duplicated chunk (shifts every later field).
+            _ => {
+                let at = rng.below(bytes.len() as u64) as usize;
+                let chunk: Vec<u8> = bytes.iter().skip(at).take(16).copied().collect();
+                let mut out = bytes[..at].to_vec();
+                out.extend_from_slice(&chunk);
+                out.extend_from_slice(&bytes[at..]);
+                bytes = out;
+            }
+        }
+        restore_is_contained(bytes);
+    }
+}
+
+#[test]
+fn wrong_magic_and_wrong_version_are_typed() {
+    let full = Snapshot::capture(&driven_machine()).into_bytes();
+
+    let mut wrong_magic = full.clone();
+    wrong_magic[0] = b'X';
+    assert!(matches!(
+        Snapshot::from_bytes(wrong_magic),
+        Err(SimError::SnapshotCorrupt { .. })
+    ));
+
+    let mut wrong_version = full;
+    wrong_version[8] = 0xEE;
+    assert!(matches!(
+        Snapshot::from_bytes(wrong_version),
+        Err(SimError::SnapshotMismatch { .. })
+    ));
+}
+
+#[test]
+fn wrong_geometry_and_wrong_plan_are_mismatches_not_panics() {
+    let snap = Snapshot::capture(&driven_machine());
+
+    // Different topology than captured.
+    assert!(matches!(
+        snap.restore(MachineConfig::spp1000(4), Some(plan())),
+        Err(SimError::SnapshotMismatch { .. })
+    ));
+    // Missing fault plan.
+    assert!(matches!(
+        snap.restore(MachineConfig::spp1000(2), None),
+        Err(SimError::SnapshotMismatch { .. })
+    ));
+    // Wrong-seed fault plan.
+    assert!(matches!(
+        snap.restore(MachineConfig::spp1000(2), Some(FaultPlan::new(1))),
+        Err(SimError::SnapshotMismatch { .. })
+    ));
+}
