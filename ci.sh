@@ -48,6 +48,27 @@ cmp target/repro/trace_timeline.first.json target/repro/trace_timeline.json
 rm -f target/repro/trace_timeline.first.json
 echo "   trace_timeline.json byte-identical across runs"
 
+echo "== repro-protocol smoke (DASH+SCI / MESI / Dragon x topology, 1 step)"
+cargo run --release -q -p spp-bench --bin repro-protocol -- --steps 1 >/dev/null
+test -s target/repro/BENCH_protocol.json
+grep -q '"experiment": "protocol"' target/repro/BENCH_protocol.json
+grep -q '"protocol": "dragon"' target/repro/BENCH_protocol.json
+echo "   target/repro/BENCH_protocol.json OK"
+
+echo "== protocol report determinism (two runs, byte-identical JSON)"
+cp target/repro/BENCH_protocol.json target/repro/BENCH_protocol.first.json
+cargo run --release -q -p spp-bench --bin repro-protocol -- --steps 1 >/dev/null
+cmp target/repro/BENCH_protocol.first.json target/repro/BENCH_protocol.json
+rm -f target/repro/BENCH_protocol.first.json
+echo "   BENCH_protocol.json byte-identical across runs"
+
+echo "== protocol scenario matrix (one golden-pinned cell per protocol)"
+SPP_REPRO_DIR=target/repro/protocol-matrix cargo run --release -q -p spp-bench --bin spp-scenario -- \
+  run --workers 3 scenarios/matrix/nbody-dashsci-32.toml \
+  scenarios/matrix/kernel-mesi-32.toml scenarios/matrix/fem-dragon-8.toml >/dev/null
+grep -q '"all_as_expected": true' target/repro/protocol-matrix/BENCH_scenarios.json
+echo "   all three protocols match their golden counters"
+
 echo "== scenario specs validate (every spec under scenarios/)"
 cargo run --release -q -p spp-bench --bin spp-scenario -- \
   validate scenarios/experiments scenarios/matrix scenarios/ci >/dev/null

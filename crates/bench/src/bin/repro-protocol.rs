@@ -1,0 +1,8 @@
+//! Coherence-protocol comparison (DASH+SCI vs MESI vs Dragon) across
+//! topologies up to 1024 CPUs, as a one-cell supervised scenario
+//! fleet (crash-contained, PASS/FAIL classified). Writes
+//! `BENCH_protocol.json` under `target/repro/`.
+//! Usage: `repro-protocol [--full] [--steps N]`.
+fn main() {
+    std::process::exit(spp_bench::scenario_cli::run_single("protocol"));
+}

@@ -70,7 +70,7 @@ pub struct CellStats {
     /// Bitmask of severed rings at the end of the run.
     pub failed_rings: u8,
     /// Bitmask of GCB-degraded nodes at the end of the run.
-    pub degraded_nodes: u16,
+    pub degraded_nodes: u128,
 }
 
 fn workload_run(w: Workload, plan: FaultPlan, steps: usize) -> CellStats {

@@ -86,6 +86,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             name: "race",
             runner: crate::race::run,
         },
+        Experiment {
+            name: "protocol",
+            runner: crate::protocol::run,
+        },
     ]
 }
 

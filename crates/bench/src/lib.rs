@@ -21,6 +21,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod harness;
 pub mod latency;
+pub mod protocol;
 pub mod race;
 pub mod scale;
 pub mod scenario_cli;

@@ -60,6 +60,7 @@ experiment_adapters!(
     ("backend", adapt_backend, crate::backend::run),
     ("trace", adapt_trace, crate::trace::run),
     ("race", adapt_race, crate::race::run),
+    ("protocol", adapt_protocol, crate::protocol::run),
 );
 
 /// Entry point of every `repro-*` binary: run one experiment as a
@@ -117,24 +118,49 @@ pub fn collect_spec_paths(args: &[String]) -> Result<Vec<PathBuf>, String> {
     Ok(paths)
 }
 
-/// Load and validate every spec, rejecting duplicate names (the
-/// report and quarantine key).
-pub fn load_specs(paths: &[PathBuf]) -> Result<Vec<ScenarioSpec>, String> {
-    let mut specs = Vec::new();
+/// Load every spec, collecting **all** failures — unreadable files,
+/// parse/validation errors, duplicate names — instead of stopping at
+/// the first, so one `validate` pass reports every broken spec in a
+/// directory. Valid specs come back in path order alongside the
+/// per-path error messages.
+pub fn load_specs_collecting(paths: &[PathBuf]) -> (Vec<ScenarioSpec>, Vec<String>) {
+    let mut specs: Vec<ScenarioSpec> = Vec::new();
+    let mut errors = Vec::new();
     for p in paths {
-        let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
-        let spec =
-            ScenarioSpec::from_toml_str(&text).map_err(|e| format!("{}: {e}", p.display()))?;
-        if specs.iter().any(|s: &ScenarioSpec| s.name == spec.name) {
-            return Err(format!(
-                "{}: duplicate scenario name {:?}",
-                p.display(),
-                spec.name
-            ));
+        let text = match std::fs::read_to_string(p) {
+            Ok(t) => t,
+            Err(e) => {
+                errors.push(format!("{}: {e}", p.display()));
+                continue;
+            }
+        };
+        match ScenarioSpec::from_toml_str(&text) {
+            Ok(spec) => {
+                if specs.iter().any(|s| s.name == spec.name) {
+                    errors.push(format!(
+                        "{}: duplicate scenario name {:?}",
+                        p.display(),
+                        spec.name
+                    ));
+                } else {
+                    specs.push(spec);
+                }
+            }
+            Err(e) => errors.push(format!("{}: {e}", p.display())),
         }
-        specs.push(spec);
     }
-    Ok(specs)
+    (specs, errors)
+}
+
+/// Load and validate every spec, rejecting duplicate names (the
+/// report and quarantine key). Fail-fast face of
+/// [`load_specs_collecting`]: the first collected error, if any.
+pub fn load_specs(paths: &[PathBuf]) -> Result<Vec<ScenarioSpec>, String> {
+    let (specs, errors) = load_specs_collecting(paths);
+    match errors.into_iter().next() {
+        None => Ok(specs),
+        Some(e) => Err(e),
+    }
 }
 
 const FLEET_USAGE: &str = "usage: spp-scenario <command> [options] <spec.toml|dir>...\n\
@@ -179,8 +205,8 @@ pub fn fleet_main(args: &[String]) -> i32 {
         }
     }
 
-    let specs = match collect_spec_paths(&paths_args).and_then(|p| load_specs(&p)) {
-        Ok(s) => s,
+    let paths = match collect_spec_paths(&paths_args) {
+        Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}\n{FLEET_USAGE}");
             return 2;
@@ -189,6 +215,9 @@ pub fn fleet_main(args: &[String]) -> i32 {
 
     match cmd.as_str() {
         "validate" => {
+            // Collect every broken spec before exiting nonzero, so one
+            // pass over a directory reports the whole damage.
+            let (specs, errors) = load_specs_collecting(&paths);
             for s in &specs {
                 let kind = match &s.kind {
                     ScenarioKind::Experiment(e) => format!("experiment:{}", e.id),
@@ -202,10 +231,25 @@ pub fn fleet_main(args: &[String]) -> i32 {
                     s.expect.label()
                 );
             }
-            println!("{} specs valid", specs.len());
-            0
+            for e in &errors {
+                eprintln!("err {e}");
+            }
+            if errors.is_empty() {
+                println!("{} specs valid", specs.len());
+                0
+            } else {
+                println!("{} specs valid, {} invalid", specs.len(), errors.len());
+                2
+            }
         }
         "run" => {
+            let specs = match load_specs(&paths) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}\n{FLEET_USAGE}");
+                    return 2;
+                }
+            };
             let dir = crate::repro_dir();
             let cfg = FleetConfig {
                 workers,
@@ -285,6 +329,32 @@ mod tests {
         let paths = collect_spec_paths(&[d.to_string_lossy().into_owned()]).unwrap();
         let err = load_specs(&paths).unwrap_err();
         assert!(err.contains("duplicate"), "{err}");
+        let _ = std::fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn validate_collects_every_broken_spec_before_failing() {
+        let d = tempdir("collect-all");
+        std::fs::write(
+            d.join("a-good.toml"),
+            "schema = 1\n[scenario]\nname = \"good\"\nkind = \"builtin\"\n[builtin]\nop = \"noop\"\n",
+        )
+        .unwrap();
+        std::fs::write(d.join("b-bad.toml"), "schema = 1\nthis is not toml [").unwrap();
+        std::fs::write(
+            d.join("c-bad.toml"),
+            "schema = 1\n[scenario]\nname = \"x\"\nkind = \"magic\"\n",
+        )
+        .unwrap();
+        let paths = collect_spec_paths(&[d.to_string_lossy().into_owned()]).unwrap();
+        let (specs, errors) = load_specs_collecting(&paths);
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].name, "good");
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert!(errors[0].contains("b-bad.toml"), "{errors:?}");
+        assert!(errors[1].contains("c-bad.toml"), "{errors:?}");
+        // The fail-fast face surfaces the first of the same errors.
+        assert_eq!(load_specs(&paths).unwrap_err(), errors[0]);
         let _ = std::fs::remove_dir_all(&d);
     }
 

@@ -1,11 +1,29 @@
 //! Per-CPU external data cache model: direct-mapped, 1 MB, 32-byte
-//! lines (paper §2.2), with MSI line states.
+//! lines (paper §2.2).
 //!
 //! The PA-7100's caches are physically external SRAM; the SPP-1000's
 //! CCMC keeps them coherent. We model the data cache only — the paper
 //! folds instruction fetch into its "one data access and one
 //! instruction fetch per cycle" throughput statement, which we absorb
 //! into the per-flop compute cost.
+//!
+//! Line states cover all three pluggable protocols: the DASH+SCI
+//! stack uses the MSI subset, the snooping MESI backend adds
+//! [`LineState::Exclusive`], and the update-based Dragon backend adds
+//! [`LineState::OwnedShared`] (its `Sm` state).
+//!
+//! Storage is *sparse*: a [`LineMap`] keyed by the direct-mapped slot
+//! index holds only the touched lines, so a 128-hypernode ×
+//! 1024-CPU machine allocates memory proportional to its working
+//! set, not to aggregate cache capacity. The sparse form is
+//! observationally identical to the historical dense tag/state
+//! arrays: an invalidated slot behaves exactly like a removed one
+//! (lookup misses, a refill is not an eviction, `entries` skips it),
+//! and [`Cache::entries`] reports lines in ascending slot order — the
+//! dense iteration order every downstream consumer (checker sweep,
+//! snapshot capture, GCB degrade) was built on.
+
+use crate::linemap::LineMap;
 
 /// Coherence state of a cached line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,6 +34,22 @@ pub enum LineState {
     Shared,
     /// Present, writable, this cache holds the only valid copy.
     Modified,
+    /// Present, clean, sole cached copy system-wide (MESI `E`): a
+    /// write promotes it to [`LineState::Modified`] silently.
+    Exclusive,
+    /// Present, dirty, shared with other caches (Dragon `Sm`): this
+    /// cache owns the line and supplies/updates the other copies.
+    OwnedShared,
+}
+
+impl LineState {
+    /// True when the line holds a dirty copy that must be written
+    /// back on displacement ([`LineState::Modified`] or
+    /// [`LineState::OwnedShared`]).
+    #[inline]
+    pub fn is_dirty(&self) -> bool {
+        matches!(self, LineState::Modified | LineState::OwnedShared)
+    }
 }
 
 /// What a lookup found, and which victim (if any) a fill would evict.
@@ -27,41 +61,37 @@ pub struct Evicted {
     pub state: LineState,
 }
 
-/// A direct-mapped cache: parallel tag/state arrays indexed by
-/// `line_addr % num_lines`.
+/// A direct-mapped cache: a sparse slot → `(line, state)` map indexed
+/// by `line_addr % num_lines`.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    tags: Vec<u64>,
-    states: Vec<LineState>,
+    lines: LineMap<(u64, LineState)>,
+    num_lines: usize,
     mask: u64,
 }
-
-const NO_TAG: u64 = u64::MAX;
 
 impl Cache {
     /// Create a cache of `num_lines` lines (must be a power of two).
     pub fn new(num_lines: usize) -> Self {
         assert!(num_lines.is_power_of_two(), "cache lines must be 2^k");
         Cache {
-            tags: vec![NO_TAG; num_lines],
-            states: vec![LineState::Invalid; num_lines],
+            lines: LineMap::new(),
+            num_lines,
             mask: num_lines as u64 - 1,
         }
     }
 
     #[inline]
-    fn idx(&self, line: u64) -> usize {
-        (line & self.mask) as usize
+    fn idx(&self, line: u64) -> u64 {
+        line & self.mask
     }
 
     /// State of `line` in this cache.
     #[inline]
     pub fn lookup(&self, line: u64) -> LineState {
-        let i = self.idx(line);
-        if self.tags[i] == line {
-            self.states[i]
-        } else {
-            LineState::Invalid
+        match self.lines.get(self.idx(line)) {
+            Some((tag, state)) if *tag == line => *state,
+            _ => LineState::Invalid,
         }
     }
 
@@ -71,19 +101,14 @@ impl Cache {
     pub fn fill(&mut self, line: u64, state: LineState) -> Option<Evicted> {
         debug_assert_ne!(state, LineState::Invalid);
         let i = self.idx(line);
-        let victim = if self.tags[i] != NO_TAG
-            && self.tags[i] != line
-            && self.states[i] != LineState::Invalid
-        {
-            Some(Evicted {
-                line: self.tags[i],
-                state: self.states[i],
-            })
-        } else {
-            None
+        let victim = match self.lines.get(i) {
+            Some((tag, s)) if *tag != line => Some(Evicted {
+                line: *tag,
+                state: *s,
+            }),
+            _ => None,
         };
-        self.tags[i] = line;
-        self.states[i] = state;
+        self.lines.insert(i, (line, state));
         victim
     }
 
@@ -91,14 +116,12 @@ impl Cache {
     /// changing any state (used by cost peeking).
     #[inline]
     pub fn peek_victim(&self, line: u64) -> Option<Evicted> {
-        let i = self.idx(line);
-        if self.tags[i] != NO_TAG && self.tags[i] != line && self.states[i] != LineState::Invalid {
-            Some(Evicted {
-                line: self.tags[i],
-                state: self.states[i],
-            })
-        } else {
-            None
+        match self.lines.get(self.idx(line)) {
+            Some((tag, s)) if *tag != line => Some(Evicted {
+                line: *tag,
+                state: *s,
+            }),
+            _ => None,
         }
     }
 
@@ -106,51 +129,50 @@ impl Cache {
     /// a write upgrade, Modified -> Shared on a downgrade).
     #[inline]
     pub fn set_state(&mut self, line: u64, state: LineState) {
+        debug_assert_ne!(state, LineState::Invalid, "use invalidate instead");
         let i = self.idx(line);
-        debug_assert_eq!(self.tags[i], line, "set_state on non-resident line");
-        self.states[i] = state;
+        match self.lines.get_mut(i) {
+            Some(entry) if entry.0 == line => entry.1 = state,
+            _ => debug_assert!(false, "set_state on non-resident line"),
+        }
     }
 
     /// Invalidate `line` if resident; returns its prior state.
     #[inline]
     pub fn invalidate(&mut self, line: u64) -> LineState {
         let i = self.idx(line);
-        if self.tags[i] == line {
-            let s = self.states[i];
-            self.states[i] = LineState::Invalid;
-            s
-        } else {
-            LineState::Invalid
+        match self.lines.get(i) {
+            Some((tag, _)) if *tag == line => {
+                self.lines.remove(i).map_or(LineState::Invalid, |(_, s)| s)
+            }
+            _ => LineState::Invalid,
         }
     }
 
     /// Drop every line (used between benchmark repetitions).
     pub fn flush(&mut self) {
-        self.tags.iter_mut().for_each(|t| *t = NO_TAG);
-        self.states.iter_mut().for_each(|s| *s = LineState::Invalid);
+        self.lines.clear();
     }
 
-    /// Number of currently valid lines (O(n); diagnostics only).
+    /// Number of currently valid lines (O(1); also the touched-line
+    /// footprint the sparse representation actually allocates for).
     pub fn valid_lines(&self) -> usize {
-        self.states
-            .iter()
-            .filter(|s| **s != LineState::Invalid)
-            .count()
+        self.lines.len()
     }
 
     /// Total line slots.
     pub fn capacity(&self) -> usize {
-        self.tags.len()
+        self.num_lines
     }
 
-    /// Iterate over the valid `(line, state)` pairs (O(n); used by the
-    /// coherence checker's full-state sweep).
+    /// Iterate over the valid `(line, state)` pairs in ascending slot
+    /// order — the historical dense-array order the checker sweep,
+    /// snapshot capture, and GCB degrade path rely on for determinism.
     pub fn entries(&self) -> impl Iterator<Item = (u64, LineState)> + '_ {
-        self.tags
-            .iter()
-            .zip(self.states.iter())
-            .filter(|(t, s)| **t != NO_TAG && **s != LineState::Invalid)
-            .map(|(t, s)| (*t, *s))
+        let mut v: Vec<(u64, (u64, LineState))> =
+            self.lines.iter().map(|(slot, e)| (slot, *e)).collect();
+        v.sort_unstable_by_key(|(slot, _)| *slot);
+        v.into_iter().map(|(_, (line, state))| (line, state))
     }
 }
 
@@ -223,5 +245,42 @@ mod tests {
         for l in 0..16 {
             assert_eq!(c.lookup(l), LineState::Shared);
         }
+    }
+
+    #[test]
+    fn entries_are_slot_sorted() {
+        let mut c = Cache::new(64);
+        for l in [37, 5, 61, 12, 40] {
+            c.fill(l, LineState::Shared);
+        }
+        let slots: Vec<u64> = c.entries().map(|(l, _)| l % 64).collect();
+        let mut sorted = slots.clone();
+        sorted.sort_unstable();
+        assert_eq!(slots, sorted, "entries must come out in slot order");
+        assert_eq!(c.entries().count(), 5);
+    }
+
+    #[test]
+    fn mesi_and_dragon_states_behave_like_valid_lines() {
+        let mut c = Cache::new(8);
+        c.fill(1, LineState::Exclusive);
+        assert_eq!(c.lookup(1), LineState::Exclusive);
+        assert!(!LineState::Exclusive.is_dirty());
+        c.set_state(1, LineState::OwnedShared);
+        assert!(LineState::OwnedShared.is_dirty());
+        // An Sm victim is dirty, so a conflicting fill reports it.
+        let ev = c.fill(9, LineState::Shared).expect("conflict eviction");
+        assert_eq!(ev.state, LineState::OwnedShared);
+    }
+
+    #[test]
+    fn sparse_footprint_tracks_touched_lines_only() {
+        let mut c = Cache::new(1 << 15); // 32768 slots, as spp1000
+        assert_eq!(c.valid_lines(), 0);
+        for l in 0..100u64 {
+            c.fill(l, LineState::Shared);
+        }
+        assert_eq!(c.valid_lines(), 100);
+        assert_eq!(c.capacity(), 1 << 15);
     }
 }

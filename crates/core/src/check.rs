@@ -26,6 +26,18 @@
 //!    ([`crate::HardFault::CpuFail`]) holds no valid lines and appears
 //!    in no directory sharer mask (degraded-mode invariant).
 //!
+//! The line-local checks are parameterized by the machine's
+//! [`crate::ProtocolKind`]: invariants (2)–(4) are DASH+SCI-specific
+//! and under the snooping backends (MESI, Dragon) are replaced by
+//! *snoop-filter agreement* — the filter's holder set for each line
+//! equals the exact set of CPUs caching it valid — plus the
+//! single-writer rule restated over the snooping states (`M`/`E`
+//! exclusive, at most one `Sm` owner). Each protocol also rejects the
+//! states foreign to it (`E`/`Sm` under DASH+SCI, `Sm` under MESI,
+//! any DASH directory/SCI residue under either snooping backend) as
+//! `"protocol-state"` violations. Invariants (5) and (6) hold under
+//! every protocol.
+//!
 //! Enable per-access checking with [`Machine::with_checker`] or the
 //! `SPP_CHECK=1` environment variable (any value but `0`); spp-core's
 //! own unit tests enable it unconditionally. A violation panics by
@@ -149,6 +161,7 @@ impl Machine {
             lines.extend(d.lines());
         }
         lines.extend(self.sci.lines());
+        lines.extend(self.snoop.lines());
         let mut v = Vec::new();
         for line in lines {
             self.check_line(line, &mut v);
@@ -180,8 +193,19 @@ impl Machine {
         }
     }
 
-    /// Check the line-local invariants (1)–(4) for one line.
+    /// Check the line-local invariants for one line, as the machine's
+    /// protocol defines them (see the module docs).
     fn check_line(&self, line: u64, v: &mut Vec<Violation>) {
+        match self.protocol {
+            crate::ProtocolKind::DashSci => self.check_line_dash(line, v),
+            crate::ProtocolKind::Mesi | crate::ProtocolKind::Dragon => {
+                self.check_line_snoop(line, v)
+            }
+        }
+    }
+
+    /// Line-local invariants (1)–(4) under DASH+SCI.
+    fn check_line_dash(&self, line: u64, v: &mut Vec<Violation>) {
         let cpn = self.cfg.cpus_per_node();
         let mut modified_cpus: Vec<usize> = Vec::new();
         let mut valid_cpus: Vec<usize> = Vec::new();
@@ -203,6 +227,17 @@ impl Machine {
                         cache_owner = Some(b as u8);
                         valid_cpus.push(cpu);
                         modified_cpus.push(cpu);
+                    }
+                    s @ (LineState::Exclusive | LineState::OwnedShared) => {
+                        v.push(Violation {
+                            invariant: "protocol-state",
+                            line: Some(line),
+                            detail: format!(
+                                "cpu {cpu} holds MESI/Dragon state {s:?} under DASH+SCI"
+                            ),
+                        });
+                        mask |= 1 << b;
+                        valid_cpus.push(cpu);
                     }
                 }
             }
@@ -270,7 +305,7 @@ impl Machine {
         }
 
         // (6) Dead CPUs hold no valid lines and appear in no masks.
-        if self.dead_cpus != 0 {
+        if self.dead_cpus.iter().any(|w| *w != 0) {
             for &cpu in &valid_cpus {
                 if self.is_cpu_dead(CpuId(cpu as u16)) {
                     v.push(Violation {
@@ -405,6 +440,107 @@ impl Machine {
                         detail: format!(
                             "sharing list {set:?} disagrees with GCB holders {gcb_nodes:?}"
                         ),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Line-local invariants under the snooping backends (MESI and
+    /// Dragon): single writer over the snooping states, snoop-filter
+    /// agreement, no DASH/SCI residue, and dead-CPU exclusion.
+    fn check_line_snoop(&self, line: u64, v: &mut Vec<Violation>) {
+        let mut valid_cpus: Vec<usize> = Vec::new();
+        let mut owners: Vec<usize> = Vec::new();
+        let mut exclusive_cpus: Vec<usize> = Vec::new();
+        for cpu in 0..self.cfg.num_cpus() {
+            let s = self.caches[cpu].lookup(line);
+            if s == LineState::Invalid {
+                continue;
+            }
+            valid_cpus.push(cpu);
+            match s {
+                LineState::Modified | LineState::Exclusive => {
+                    owners.push(cpu);
+                    exclusive_cpus.push(cpu);
+                }
+                LineState::OwnedShared => {
+                    owners.push(cpu);
+                    if self.protocol == crate::ProtocolKind::Mesi {
+                        v.push(Violation {
+                            invariant: "protocol-state",
+                            line: Some(line),
+                            detail: format!("cpu {cpu} holds Dragon state Sm under MESI"),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // (1) Single writer: at most one owning copy, and an M/E copy
+        // coexists with no other valid copy.
+        if owners.len() > 1 {
+            v.push(Violation {
+                invariant: "single-writer",
+                line: Some(line),
+                detail: format!("CPUs {owners:?} all own the line"),
+            });
+        }
+        if let (Some(&e), true) = (exclusive_cpus.first(), valid_cpus.len() > 1) {
+            v.push(Violation {
+                invariant: "single-writer",
+                line: Some(line),
+                detail: format!(
+                    "cpu {e} holds the line exclusively while CPUs {valid_cpus:?} hold copies"
+                ),
+            });
+        }
+
+        // Snoop-filter agreement: the filter's holders are exactly the
+        // CPUs caching the line valid.
+        let mut holders: Vec<usize> = self
+            .snoop
+            .holders(line)
+            .iter()
+            .map(|c| *c as usize)
+            .collect();
+        holders.sort_unstable();
+        if holders != valid_cpus {
+            v.push(Violation {
+                invariant: "snoop-filter-agreement",
+                line: Some(line),
+                detail: format!("filter holders {holders:?} != caching CPUs {valid_cpus:?}"),
+            });
+        }
+
+        // The DASH directories, GCBs and SCI lists sit idle under the
+        // snooping backends; any entry for this line is residue.
+        for node in 0..self.cfg.hypernodes {
+            if self.dirs[node].get(line).is_some() {
+                v.push(Violation {
+                    invariant: "protocol-state",
+                    line: Some(line),
+                    detail: format!("node {node} has DASH directory residue under snooping"),
+                });
+            }
+        }
+        if self.sci.get(line).is_some() {
+            v.push(Violation {
+                invariant: "protocol-state",
+                line: Some(line),
+                detail: "SCI sharing-list residue under snooping".into(),
+            });
+        }
+
+        // (6) Dead CPUs hold no valid lines.
+        if self.dead_cpus.iter().any(|w| *w != 0) {
+            for &cpu in &valid_cpus {
+                if self.is_cpu_dead(CpuId(cpu as u16)) {
+                    v.push(Violation {
+                        invariant: "dead-cpu",
+                        line: Some(line),
+                        detail: format!("dead cpu {cpu} still holds a valid copy"),
                     });
                 }
             }

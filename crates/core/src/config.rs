@@ -9,9 +9,19 @@
 //!   port is I/O).
 //! * **System** — up to 16 hypernodes joined by four parallel SCI
 //!   rings; FU *i* of every hypernode sits on ring *i*.
+//!
+//! The simulator accepts topologies beyond the paper's hardware: up
+//! to [`MAX_HYPERNODES`] hypernodes (1024 CPUs), the SPP-2000 /
+//! Exemplar X-class scale the ROADMAP's protocol sweeps target.
+//! Sparse directory and cache state keeps those machines cheap to
+//! build (allocation is proportional to touched lines).
 
 use crate::error::ConfigError;
 use crate::latency::LatencyModel;
+
+/// Largest hypernode count the simulator models (128 hypernodes ×
+/// 8 CPUs = 1024 CPUs). The paper's hardware tops out at 16.
+pub const MAX_HYPERNODES: usize = 128;
 
 /// Identifies one CPU globally (0-based, dense).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -33,7 +43,7 @@ pub struct RingId(pub u8);
 /// configuration of the paper's testbed (2 hypernodes, 16 CPUs).
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
-    /// Number of hypernodes (1..=16).
+    /// Number of hypernodes (1..=[`MAX_HYPERNODES`]).
     pub hypernodes: usize,
     /// Functional units per hypernode (4 on the SPP-1000).
     pub fus_per_node: usize,
@@ -61,9 +71,9 @@ impl MachineConfig {
 
     /// Fallible variant of [`MachineConfig::spp1000`]: returns
     /// [`ConfigError::Hypernodes`] instead of panicking on a count
-    /// outside 1..=16.
+    /// outside 1..=[`MAX_HYPERNODES`].
     pub fn try_spp1000(hypernodes: usize) -> Result<Self, ConfigError> {
-        if !(1..=16).contains(&hypernodes) {
+        if !(1..=MAX_HYPERNODES).contains(&hypernodes) {
             return Err(ConfigError::Hypernodes { got: hypernodes });
         }
         Ok(MachineConfig {
@@ -79,11 +89,12 @@ impl MachineConfig {
     }
 
     /// Check that this configuration describes a machine the simulator
-    /// can model: 1..=16 hypernodes, nonzero power-of-two geometry, and
-    /// cache lines that fit in a page. [`crate::Machine::try_new`]
-    /// calls this before building any state.
+    /// can model: 1..=[`MAX_HYPERNODES`] hypernodes, nonzero
+    /// power-of-two geometry, and cache lines that fit in a page.
+    /// [`crate::Machine::try_new`] calls this before building any
+    /// state.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if !(1..=16).contains(&self.hypernodes) {
+        if !(1..=MAX_HYPERNODES).contains(&self.hypernodes) {
             return Err(ConfigError::Hypernodes {
                 got: self.hypernodes,
             });
@@ -271,9 +282,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "1..=16")]
+    #[should_panic(expected = "1..=128")]
     fn rejects_oversize_system() {
-        MachineConfig::spp1000(17);
+        MachineConfig::spp1000(MAX_HYPERNODES + 1);
+    }
+
+    #[test]
+    fn extended_topologies_up_to_1024_cpus() {
+        let c = MachineConfig::spp1000(MAX_HYPERNODES);
+        assert_eq!(c.num_cpus(), 1024);
+        assert_eq!(c.num_fus(), 512);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.ring_round_trip_hops(NodeId(0), NodeId(127)), 128);
     }
 
     #[test]

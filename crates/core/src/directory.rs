@@ -42,7 +42,7 @@ impl Directory {
     /// Create an empty directory.
     pub fn new() -> Self {
         Directory {
-            map: LineMap::with_capacity(1 << 12),
+            map: LineMap::new(),
         }
     }
 
@@ -128,7 +128,7 @@ impl SciDirectory {
     /// Create an empty SCI directory.
     pub fn new() -> Self {
         SciDirectory {
-            map: LineMap::with_capacity(1 << 12),
+            map: LineMap::new(),
         }
     }
 

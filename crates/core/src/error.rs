@@ -24,7 +24,8 @@ use std::fmt;
 /// A [`crate::MachineConfig`] that cannot describe an SPP-1000.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
-    /// Hypernode count outside the architecture's 1..=16 range.
+    /// Hypernode count outside the simulator's
+    /// 1..=[`crate::config::MAX_HYPERNODES`] range.
     Hypernodes {
         /// The rejected count.
         got: usize,
@@ -54,7 +55,10 @@ impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConfigError::Hypernodes { got } => {
-                write!(f, "SPP-1000 supports 1..=16 hypernodes, got {got}")
+                write!(
+                    f,
+                    "the simulator supports 1..=128 hypernodes (SPP-1000 hardware: 16), got {got}"
+                )
             }
             ConfigError::NotPowerOfTwo { field, got } => {
                 write!(f, "{field} must be a power of two, got {got}")
@@ -279,9 +283,9 @@ mod tests {
         // The `try_*` wrappers panic with these Displays; the repo's
         // `#[should_panic(expected = ...)]` tests match substrings of
         // the original assert messages, which must therefore survive.
-        assert!(ConfigError::Hypernodes { got: 17 }
+        assert!(ConfigError::Hypernodes { got: 129 }
             .to_string()
-            .contains("1..=16"));
+            .contains("1..=128"));
         assert!(SimError::EmptyTeam
             .to_string()
             .contains("a team needs at least one thread"));

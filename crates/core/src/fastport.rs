@@ -117,15 +117,16 @@ impl MemPort for FastPort {
         self.stats.reads += 1;
         let line = self.line_of(addr);
         match self.caches[cpu.0 as usize].lookup(line) {
-            LineState::Shared | LineState::Modified => {
-                self.stats.hits += 1;
-                self.cfg.latency.cache_hit
-            }
             LineState::Invalid => {
                 let mut cost = self.miss_cost(cpu, addr);
                 let victim = self.caches[cpu.0 as usize].fill(line, LineState::Shared);
                 cost += self.evict(victim);
                 cost
+            }
+            // Shared | Modified (this backend installs nothing else).
+            _ => {
+                self.stats.hits += 1;
+                self.cfg.latency.cache_hit
             }
         }
     }
@@ -134,10 +135,6 @@ impl MemPort for FastPort {
         self.stats.writes += 1;
         let line = self.line_of(addr);
         match self.caches[cpu.0 as usize].lookup(line) {
-            LineState::Modified => {
-                self.stats.hits += 1;
-                self.cfg.latency.cache_hit
-            }
             LineState::Shared => {
                 self.stats.hits += 1;
                 self.stats.upgrades += 1;
@@ -150,6 +147,11 @@ impl MemPort for FastPort {
                 let victim = self.caches[cpu.0 as usize].fill(line, LineState::Modified);
                 cost += self.evict(victim);
                 cost
+            }
+            // Modified (this backend installs nothing else).
+            _ => {
+                self.stats.hits += 1;
+                self.cfg.latency.cache_hit
             }
         }
     }

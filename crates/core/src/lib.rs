@@ -50,6 +50,7 @@ pub mod linemap;
 pub mod machine;
 pub mod mem;
 pub mod port;
+pub mod protocol;
 pub mod race;
 pub mod snapshot;
 pub mod stats;
@@ -69,11 +70,13 @@ pub use latency::{cycles_to_us, us_to_cycles, Cycles, LatencyModel};
 pub use machine::Machine;
 pub use mem::{AddressSpace, MemClass, Region};
 pub use port::MemPort;
+pub use protocol::{CoherenceProtocol, DashSci, Dragon, Mesi, ProtocolKind};
 pub use race::{RaceEvent, RaceFinding, RaceKind, RaceReport, RaceSink, SharingWarning};
 pub use snapshot::Snapshot;
 pub use stats::MemStats;
 pub use trace::{MissKind, NullSink, RingSink, TraceEvent, TraceRecord, TraceSink};
 pub use traceport::{Trace, TracePort};
 pub use watchdog::{
-    panic_message, CancelToken, HostSupervisor, StallKind, Supervised, Watchdog, WatchdogReport,
+    panic_message, retry_backoff, CancelToken, HostSupervisor, StallKind, Supervised, Watchdog,
+    WatchdogReport,
 };

@@ -22,6 +22,7 @@ use crate::error::{ConfigError, SimError};
 use crate::fault::{FaultPlan, HardFault};
 use crate::latency::Cycles;
 use crate::mem::{AddressSpace, MemClass, Region};
+use crate::protocol::{CoherenceProtocol, DashSci, Dragon, Mesi, ProtocolKind, SnoopFilter};
 use crate::race::{RaceReport, RaceSink};
 use crate::stats::MemStats;
 use crate::trace::{MissKind, RingSink, TraceEvent, TraceRecord, TraceSink, NO_CPU};
@@ -40,6 +41,11 @@ pub struct Machine {
     pub(crate) gcbs: Vec<Cache>,
     /// SCI distributed reference trees.
     pub(crate) sci: SciDirectory,
+    /// Which coherence protocol prices accesses (see [`crate::protocol`]).
+    pub(crate) protocol: ProtocolKind,
+    /// Sparse line → holder tracking for the snooping backends; empty
+    /// under DASH+SCI.
+    pub(crate) snoop: SnoopFilter,
     /// Event counters.
     pub stats: MemStats,
     /// Per-CPU event counters: each access's [`MemStats`] delta is
@@ -65,15 +71,16 @@ pub struct Machine {
     /// notion of simulated time, driving hard-fault triggering and
     /// watchdog deadlines.
     pub(crate) clock: Cycles,
-    /// Bitmask of CPUs taken down by a fired [`HardFault::CpuFail`]
-    /// (bit index = global `CpuId`).
-    pub(crate) dead_cpus: u128,
+    /// Bitmask of CPUs taken down by a fired [`HardFault::CpuFail`],
+    /// packed 64 CPUs per word (word `cpu / 64`, bit `cpu % 64`) so
+    /// 1024-CPU topologies fit.
+    pub(crate) dead_cpus: Vec<u64>,
     /// Bitmask of rings severed by a fired [`HardFault::LinkFail`]
     /// (bit index = `RingId`).
     pub(crate) failed_rings: u8,
     /// Bitmask of nodes whose GCBs were halved by
-    /// [`HardFault::GcbDegrade`] (bit index = `NodeId`).
-    pub(crate) degraded_gcbs: u16,
+    /// [`HardFault::GcbDegrade`] (bit index = `NodeId`; 128 nodes).
+    pub(crate) degraded_gcbs: u128,
     /// Which entries of the plan's hard-fault schedule have fired
     /// (bit index into [`FaultPlan::hard_faults`]).
     pub(crate) hard_applied: u64,
@@ -110,16 +117,18 @@ impl Machine {
             dirs,
             gcbs,
             sci: SciDirectory::new(),
+            protocol: ProtocolKind::default(),
+            snoop: SnoopFilter::new(),
             stats: MemStats::default(),
             cpu_stats: vec![MemStats::default(); cfg.num_cpus()],
             line_shift,
+            dead_cpus: vec![0u64; cfg.num_cpus().div_ceil(64)],
             cfg,
             checker: None,
             tracer: None,
             racer: None,
             faults: None,
             clock: 0,
-            dead_cpus: 0,
             failed_rings: 0,
             degraded_gcbs: 0,
             hard_applied: 0,
@@ -136,6 +145,44 @@ impl Machine {
     /// The paper's testbed: two hypernodes, 16 CPUs.
     pub fn spp1000(hypernodes: usize) -> Self {
         Self::new(MachineConfig::spp1000(hypernodes))
+    }
+
+    /// Select the coherence protocol (default:
+    /// [`ProtocolKind::DashSci`]). Must be called before any traffic —
+    /// coherence state laid down by one protocol is meaningless to
+    /// another.
+    pub fn with_protocol(mut self, kind: ProtocolKind) -> Self {
+        debug_assert_eq!(
+            self.clock, 0,
+            "select the protocol before issuing any accesses"
+        );
+        self.protocol = kind;
+        self
+    }
+
+    /// The protocol this machine prices accesses with.
+    pub fn protocol(&self) -> ProtocolKind {
+        self.protocol
+    }
+
+    /// Total live coherence-tracking entries: per-hypernode DASH
+    /// directory lines, SCI distributed-list lines, and snoop-filter
+    /// lines. Every one of these structures is a sparse map, so this
+    /// count — and the memory behind it — is proportional to the
+    /// lines actually touched, not to the address space or the
+    /// topology (the property that lets a 128-hypernode, 1024-CPU
+    /// machine run small workloads in small host memory).
+    pub fn coherence_footprint(&self) -> usize {
+        self.dirs.iter().map(Directory::live_lines).sum::<usize>()
+            + self.sci.live_lines()
+            + self.snoop.live_lines()
+    }
+
+    /// Total valid lines across every per-CPU cache (each cache is a
+    /// sparse map too; together with [`Machine::coherence_footprint`]
+    /// this bounds the machine's line-tracking memory).
+    pub fn cached_lines(&self) -> usize {
+        self.caches.iter().map(Cache::valid_lines).sum()
     }
 
     /// Enable the per-access coherence checker (idempotent).
@@ -317,6 +364,7 @@ impl Machine {
         }
         self.dirs = (0..self.cfg.hypernodes).map(|_| Directory::new()).collect();
         self.sci = SciDirectory::new();
+        self.snoop.clear();
     }
 
     #[inline]
@@ -337,12 +385,10 @@ impl Machine {
         self.stats.reads += 1;
         let line = self.line_of(addr);
         let sci_before = self.stats.sci_fetches + self.stats.sci_invalidations;
-        let mut cost = match self.caches[cpu.0 as usize].lookup(line) {
-            LineState::Shared | LineState::Modified => {
-                self.stats.hits += 1;
-                self.cfg.latency.cache_hit
-            }
-            LineState::Invalid => self.read_miss(cpu, addr, line),
+        let mut cost = match self.protocol {
+            ProtocolKind::DashSci => DashSci::read_access(self, cpu, addr, line),
+            ProtocolKind::Mesi => Mesi::read_access(self, cpu, addr, line),
+            ProtocolKind::Dragon => Dragon::read_access(self, cpu, addr, line),
         };
         cost += self.inject_ring_stall(sci_before);
         cost += self.inject_link_reroute(addr, sci_before);
@@ -363,44 +409,10 @@ impl Machine {
         self.stats.writes += 1;
         let line = self.line_of(addr);
         let sci_before = self.stats.sci_fetches + self.stats.sci_invalidations;
-        let mut cost = match self.caches[cpu.0 as usize].lookup(line) {
-            LineState::Modified => {
-                self.stats.hits += 1;
-                self.cfg.latency.cache_hit
-            }
-            LineState::Shared => {
-                // Write upgrade: the data is present (a hit), but
-                // exclusivity must be obtained.
-                self.stats.hits += 1;
-                let cost = self.invalidate_others(cpu, addr, line);
-                self.stats.upgrades += 1;
-                self.emit(cpu, TraceEvent::Upgrade { line });
-                let my_node = self.cfg.node_of_cpu(cpu);
-                let in_node = self.cfg.cpu_index_in_node(cpu) as u8;
-                self.caches[cpu.0 as usize].set_state(line, LineState::Modified);
-                self.dirs[my_node.0 as usize].set_owner(line, in_node);
-                self.mark_dirty_if_remote(cpu, addr, line);
-                self.cfg.latency.cache_hit + self.cfg.latency.dir_op + cost
-            }
-            LineState::Invalid => {
-                // Read-exclusive: fetch + invalidate + own.
-                let fetch = self.read_miss(cpu, addr, line);
-                let inv = self.invalidate_others(cpu, addr, line);
-                self.stats.upgrades += 1;
-                self.emit(cpu, TraceEvent::Upgrade { line });
-                // A dead CPU's drained store is serviced by the node
-                // controller (write-through): it never takes
-                // ownership, so the line ends up Shared at node level
-                // with no CPU copy.
-                if !self.is_cpu_dead(cpu) {
-                    let my_node = self.cfg.node_of_cpu(cpu);
-                    let in_node = self.cfg.cpu_index_in_node(cpu) as u8;
-                    self.caches[cpu.0 as usize].set_state(line, LineState::Modified);
-                    self.dirs[my_node.0 as usize].set_owner(line, in_node);
-                    self.mark_dirty_if_remote(cpu, addr, line);
-                }
-                fetch + inv
-            }
+        let mut cost = match self.protocol {
+            ProtocolKind::DashSci => DashSci::write_access(self, cpu, addr, line),
+            ProtocolKind::Mesi => Mesi::write_access(self, cpu, addr, line),
+            ProtocolKind::Dragon => Dragon::write_access(self, cpu, addr, line),
         };
         cost += self.inject_ring_stall(sci_before);
         cost += self.inject_link_reroute(addr, sci_before);
@@ -425,7 +437,7 @@ impl Machine {
     /// Record a trace event stamped with the machine clock and
     /// `cpu`'s hypernode; a single branch when tracing is off.
     #[inline]
-    fn emit(&mut self, cpu: CpuId, event: TraceEvent) {
+    pub(crate) fn emit(&mut self, cpu: CpuId, event: TraceEvent) {
         if self.tracer.is_some() {
             self.emit_cold(cpu, event);
         }
@@ -573,15 +585,16 @@ impl Machine {
         if cpu.0 as usize >= self.cfg.num_cpus() || self.is_cpu_dead(cpu) {
             return;
         }
-        self.dead_cpus |= 1u128 << cpu.0;
+        self.dead_cpus[cpu.0 as usize >> 6] |= 1u64 << (cpu.0 & 63);
         let node = self.cfg.node_of_cpu(cpu);
         let in_node = self.cfg.cpu_index_in_node(cpu) as u8;
         let entries: Vec<(u64, LineState)> = self.caches[cpu.0 as usize].entries().collect();
         for (line, state) in entries {
             self.caches[cpu.0 as usize].invalidate(line);
             self.dirs[node.0 as usize].remove_sharer(line, in_node);
+            self.snoop.remove(line, cpu.0);
             self.stats.evictions += 1;
-            if state == LineState::Modified {
+            if state.is_dirty() {
                 // Remote-homed dirty lines keep their Modified GCB
                 // copy (inclusion), so the SCI dirty marker stays
                 // backed; home-local dirty data lands in memory.
@@ -596,10 +609,10 @@ impl Machine {
     /// the rollout cost charged lazily to stats only (the degrade
     /// event is asynchronous to any access).
     fn degrade_node_gcbs(&mut self, node: NodeId) {
-        if node.0 as usize >= self.cfg.hypernodes || self.degraded_gcbs & (1 << node.0) != 0 {
+        if node.0 as usize >= self.cfg.hypernodes || self.degraded_gcbs & (1u128 << node.0) != 0 {
             return;
         }
-        self.degraded_gcbs |= 1 << node.0;
+        self.degraded_gcbs |= 1u128 << node.0;
         for r in 0..self.cfg.fus_per_node {
             let ring = RingId(r as u8);
             let g = self.gcb_index(node, ring);
@@ -617,7 +630,7 @@ impl Machine {
     /// True if `cpu` has been taken down by a fired
     /// [`HardFault::CpuFail`].
     pub fn is_cpu_dead(&self, cpu: CpuId) -> bool {
-        self.dead_cpus & (1u128 << cpu.0) != 0
+        self.dead_cpus[cpu.0 as usize >> 6] & (1u64 << (cpu.0 & 63)) != 0
     }
 
     /// The CPUs currently dead, in ascending id order.
@@ -641,8 +654,8 @@ impl Machine {
     }
 
     /// Nodes whose GCBs have been degraded to half capacity
-    /// (bit = node id).
-    pub fn degraded_nodes(&self) -> u16 {
+    /// (bit = node id; `u128` covers the full 128-hypernode range).
+    pub fn degraded_nodes(&self) -> u128 {
         self.degraded_gcbs
     }
 
@@ -722,6 +735,9 @@ impl Machine {
             }
             return total;
         }
+        // Read hits leave coherence state untouched under every
+        // protocol, so the rest-are-hits batching below is valid for
+        // DASH+SCI, MESI and Dragon alike.
         let hit = self.cfg.latency.cache_hit;
         let mut total = 0;
         let mut i = 0usize;
@@ -758,8 +774,12 @@ impl Machine {
     pub fn write_run(&mut self, cpu: CpuId, addr: u64, elem_bytes: u64, n: usize) -> Cycles {
         debug_assert!(elem_bytes > 0, "write_run with zero stride");
         // Same scalar fallback as read_run: per-element records for
-        // the race detector, bit-identical by run equivalence.
-        if self.degraded_path(cpu) || self.racer.is_some() {
+        // the race detector, bit-identical by run equivalence. Dragon
+        // always takes the scalar loop: a write to a line with other
+        // holders stays a broadcasting hit (never Modified), so the
+        // rest-are-plain-hits assumption does not hold there.
+        if self.degraded_path(cpu) || self.racer.is_some() || self.protocol == ProtocolKind::Dragon
+        {
             let mut total = 0;
             for i in 0..n {
                 total += self.write(cpu, addr + i as u64 * elem_bytes);
@@ -794,9 +814,9 @@ impl Machine {
         total
     }
 
-    /// Service a read miss: find the data, maintain coherence state,
-    /// fill the cache. Installs the line Shared.
-    fn read_miss(&mut self, cpu: CpuId, addr: u64, line: u64) -> Cycles {
+    /// Service a read miss under DASH+SCI: find the data, maintain
+    /// coherence state, fill the cache. Installs the line Shared.
+    pub(crate) fn read_miss(&mut self, cpu: CpuId, addr: u64, line: u64) -> Cycles {
         let lat = self.cfg.latency.clone();
         let my_node = self.cfg.node_of_cpu(cpu);
         let in_node = self.cfg.cpu_index_in_node(cpu) as u8;
@@ -858,8 +878,10 @@ impl Machine {
             let ring = self.cfg.ring_of_fu(hfu);
             let g = self.gcb_index(my_node, ring);
             match self.gcbs[g].lookup(line) {
-                LineState::Shared | LineState::Modified => {
-                    // GCB hit: serviced within the hypernode (§2.6).
+                // Shared | Modified (GCBs never hold the MESI/Dragon
+                // states): GCB hit, serviced within the hypernode
+                // (§2.6).
+                s if s != LineState::Invalid => {
                     cost = lat.local_miss;
                     self.stats.gcb_hits += 1;
                     self.emit(
@@ -870,7 +892,7 @@ impl Machine {
                         },
                     );
                 }
-                LineState::Invalid => {
+                _ => {
                     let hops = self.cfg.ring_round_trip_hops(my_node, hnode);
                     cost = lat.local_miss + lat.sci_fetch(hops);
                     self.stats.sci_fetches += 1;
@@ -931,9 +953,10 @@ impl Machine {
         cost
     }
 
-    /// Invalidate every copy of `line` other than `cpu`'s, pricing the
-    /// serial walk the writer observes.
-    fn invalidate_others(&mut self, cpu: CpuId, addr: u64, line: u64) -> Cycles {
+    /// Invalidate every copy of `line` other than `cpu`'s via the
+    /// DASH directories and SCI lists, pricing the serial walk the
+    /// writer observes.
+    pub(crate) fn invalidate_others(&mut self, cpu: CpuId, addr: u64, line: u64) -> Cycles {
         let lat = self.cfg.latency.clone();
         let my_node = self.cfg.node_of_cpu(cpu);
         let in_node = self.cfg.cpu_index_in_node(cpu) as u8;
@@ -1056,7 +1079,7 @@ impl Machine {
 
     /// If `cpu` just took ownership of a line homed remotely, record
     /// the dirty copy in its node's GCB and the SCI tree.
-    fn mark_dirty_if_remote(&mut self, cpu: CpuId, addr: u64, line: u64) {
+    pub(crate) fn mark_dirty_if_remote(&mut self, cpu: CpuId, addr: u64, line: u64) {
         let my_node = self.cfg.node_of_cpu(cpu);
         let (hnode, hfu) = self.space.home_of(addr);
         if hnode != my_node {
@@ -1146,72 +1169,15 @@ impl Machine {
     /// consume, so they are excluded.
     pub fn peek_read_cost(&self, cpu: CpuId, addr: u64) -> Cycles {
         let line = self.line_of(addr);
-        let lat = &self.cfg.latency;
-        match self.caches[cpu.0 as usize].lookup(line) {
-            LineState::Shared | LineState::Modified => return lat.cache_hit,
-            LineState::Invalid => {}
+        match self.protocol {
+            ProtocolKind::DashSci => DashSci::peek_read(self, cpu, addr, line),
+            ProtocolKind::Mesi => Mesi::peek_read(self, cpu, addr, line),
+            ProtocolKind::Dragon => Dragon::peek_read(self, cpu, addr, line),
         }
-        let my_node = self.cfg.node_of_cpu(cpu);
-        let in_node = self.cfg.cpu_index_in_node(cpu) as u8;
-        let (hnode, hfu) = self.space.home_of(addr);
-        let mut cost;
-
-        let local_owner = self.dirs[my_node.0 as usize]
-            .get(line)
-            .and_then(|e| e.owner)
-            .filter(|o| *o != in_node);
-
-        if local_owner.is_some() {
-            cost = lat.local_miss + lat.c2c_extra;
-        } else if hnode == my_node {
-            if let Some(d) = self.sci.dirty_node(line).filter(|d| *d != my_node.0) {
-                let hops = self.cfg.ring_round_trip_hops(my_node, NodeId(d));
-                cost = lat.local_miss + lat.sci_fetch(hops);
-            } else {
-                cost = lat.local_miss;
-            }
-        } else {
-            let ring = self.cfg.ring_of_fu(hfu);
-            let g = self.gcb_index(my_node, ring);
-            match self.gcbs[g].lookup(line) {
-                LineState::Shared | LineState::Modified => {
-                    cost = lat.local_miss;
-                }
-                LineState::Invalid => {
-                    let hops = self.cfg.ring_round_trip_hops(my_node, hnode);
-                    cost = lat.local_miss + lat.sci_fetch(hops);
-                    if let Some(d) = self
-                        .sci
-                        .dirty_node(line)
-                        .filter(|d| *d != my_node.0 && *d != hnode.0)
-                    {
-                        cost += lat.sci_list_op
-                            + self.cfg.ring_round_trip_hops(hnode, NodeId(d)) * lat.ring_hop / 2;
-                    }
-                    if self.dirs[hnode.0 as usize]
-                        .get(line)
-                        .and_then(|e| e.owner)
-                        .is_some()
-                    {
-                        cost += lat.c2c_extra;
-                    }
-                    if let Some(victim) = self.gcbs[g].peek_victim(line) {
-                        cost += self.peek_gcb_rollout_cost(my_node, victim);
-                    }
-                }
-            }
-        }
-
-        if let Some(victim) = self.caches[cpu.0 as usize].peek_victim(line) {
-            if victim.state == LineState::Modified {
-                cost += lat.writeback;
-            }
-        }
-        cost
     }
 
     /// Non-mutating twin of [`Machine::gcb_rollout`]'s cost accounting.
-    fn peek_gcb_rollout_cost(&self, node: NodeId, victim: Evicted) -> Cycles {
+    pub(crate) fn peek_gcb_rollout_cost(&self, node: NodeId, victim: Evicted) -> Cycles {
         let lat = &self.cfg.latency;
         let mut cost = lat.sci_list_op;
         if let Some(e) = self.dirs[node.0 as usize].get(victim.line) {

@@ -1,0 +1,729 @@
+//! Pluggable cache-coherence protocols behind one seam.
+//!
+//! [`Machine::read`] / [`Machine::write`] wrap every access in the
+//! protocol-independent machinery — hard-fault triggering, access
+//! counters, ring-stall/reroute injection, the clock, the per-access
+//! checker and tracer — and dispatch the coherence decision itself
+//! (hit classification, miss service, state transitions, pricing) to
+//! the machine's selected [`ProtocolKind`]:
+//!
+//! * [`DashSci`] — the SPP-1000's real stack: DASH-style intra-node
+//!   directories, per-(node, ring) global cache buffers, and SCI
+//!   linked-list sharing between hypernodes (paper §2.4–2.6). The
+//!   default, and bit-identical — cycles and [`crate::MemStats`] —
+//!   to the historical hardwired access paths it was extracted from.
+//! * [`Mesi`] — a bus-snooping invalidation protocol with the
+//!   Exclusive optimization: misses broadcast to every cache, a dirty
+//!   peer supplies data cache-to-cache, and a write to a Shared line
+//!   invalidates the other holders. The counterfactual the paper's
+//!   §2.4 comparison with bus-based SMPs gestures at.
+//! * [`Dragon`] — a write-update protocol: a write to a shared line
+//!   broadcasts the new data to the other holders instead of
+//!   invalidating them, leaving the writer in the owned-shared `Sm`
+//!   state ([`LineState::OwnedShared`]).
+//!
+//! MESI and Dragon model a flat snooping interconnect spanning the
+//! whole machine. Holders are tracked sparsely by a `SnoopFilter`
+//! (a line → holder-list map), so a 128-hypernode, 1024-CPU machine
+//! allocates memory proportional to its touched lines, never to CPU
+//! count × capacity. Remote-homed memory still pays the SCI distance
+//! of the latency model (`sci_fetch` over the home's ring hops), so
+//! NUMA topology effects survive the protocol swap; the hypernode
+//! GCBs and DASH directories sit idle under both snooping backends
+//! and their counters stay zero. Conversely [`crate::MemStats::snoops`]
+//! and [`crate::MemStats::updates`] stay zero under DASH+SCI, and the
+//! miss-partition invariant (`local + gcb + sci + c2c == misses`)
+//! holds under every backend.
+
+use crate::cache::{Evicted, LineState};
+use crate::config::CpuId;
+use crate::latency::Cycles;
+use crate::linemap::LineMap;
+use crate::machine::Machine;
+use crate::trace::{MissKind, TraceEvent};
+
+/// Which coherence protocol a [`Machine`] runs (see the
+/// [module docs](self)). Select one with [`Machine::with_protocol`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// DASH-style directories + SCI rings (the SPP-1000 hardware).
+    #[default]
+    DashSci,
+    /// Bus-snooping MESI invalidation protocol.
+    Mesi,
+    /// Dragon write-update protocol.
+    Dragon,
+}
+
+impl ProtocolKind {
+    /// All protocols, in tag order (sweep order for experiments).
+    pub const ALL: [ProtocolKind; 3] = [
+        ProtocolKind::DashSci,
+        ProtocolKind::Mesi,
+        ProtocolKind::Dragon,
+    ];
+
+    /// Stable lowercase label (scenario TOML, reports, CLI).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtocolKind::DashSci => "dash-sci",
+            ProtocolKind::Mesi => "mesi",
+            ProtocolKind::Dragon => "dragon",
+        }
+    }
+
+    /// Parse a [`ProtocolKind::label`] back; `None` for unknown names.
+    pub fn from_label(s: &str) -> Option<ProtocolKind> {
+        match s {
+            "dash-sci" => Some(ProtocolKind::DashSci),
+            "mesi" => Some(ProtocolKind::Mesi),
+            "dragon" => Some(ProtocolKind::Dragon),
+            _ => None,
+        }
+    }
+
+    /// Stable one-byte tag (snapshot streams).
+    pub fn tag(&self) -> u8 {
+        match self {
+            ProtocolKind::DashSci => 0,
+            ProtocolKind::Mesi => 1,
+            ProtocolKind::Dragon => 2,
+        }
+    }
+
+    /// Parse a [`ProtocolKind::tag`] back; `None` for unknown tags.
+    pub fn from_tag(t: u8) -> Option<ProtocolKind> {
+        match t {
+            0 => Some(ProtocolKind::DashSci),
+            1 => Some(ProtocolKind::Mesi),
+            2 => Some(ProtocolKind::Dragon),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The seam every backend implements. The machine's access wrappers
+/// call exactly one of these per cached access, with the line address
+/// already computed; implementations mutate coherence state, bump the
+/// relevant [`crate::MemStats`] counters (hit or exactly one miss
+/// class per access — the conservation invariant), and return the
+/// cycles the issuing CPU observes.
+pub trait CoherenceProtocol {
+    /// Service a cached read of `line` (containing `addr`) by `cpu`.
+    fn read_access(m: &mut Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles;
+    /// Service a cached write to `line` by `cpu`.
+    fn write_access(m: &mut Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles;
+    /// Price a read of `line` against the current state without
+    /// mutating anything (the twin of [`Machine::peek_read_cost`]).
+    fn peek_read(m: &Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles;
+}
+
+/// Sparse holder tracking for the snooping backends: which CPUs hold
+/// each line, so a "bus broadcast" touches the actual holders instead
+/// of scanning every cache. Empty under DASH+SCI (the directories and
+/// SCI lists carry that information there).
+#[derive(Debug, Clone)]
+pub(crate) struct SnoopFilter {
+    holders: LineMap<Vec<u16>>,
+}
+
+impl SnoopFilter {
+    /// An empty filter.
+    pub(crate) fn new() -> Self {
+        SnoopFilter {
+            holders: LineMap::new(),
+        }
+    }
+
+    /// Record that `cpu` now holds `line` (idempotent).
+    pub(crate) fn add(&mut self, line: u64, cpu: u16) {
+        let v = self.holders.entry_or_insert_with(line, Vec::new);
+        if !v.contains(&cpu) {
+            v.push(cpu);
+        }
+    }
+
+    /// Drop `cpu` from `line`'s holder list; empty lists are removed.
+    pub(crate) fn remove(&mut self, line: u64, cpu: u16) {
+        let empty = match self.holders.get_mut(line) {
+            Some(v) => {
+                v.retain(|c| *c != cpu);
+                v.is_empty()
+            }
+            None => false,
+        };
+        if empty {
+            self.holders.remove(line);
+        }
+    }
+
+    /// The holders of `line` other than `cpu` (the caches a broadcast
+    /// from `cpu` reaches).
+    pub(crate) fn others(&self, line: u64, cpu: u16) -> Vec<u16> {
+        self.holders
+            .get(line)
+            .map(|v| v.iter().copied().filter(|c| *c != cpu).collect())
+            .unwrap_or_default()
+    }
+
+    /// All holders of `line`.
+    pub(crate) fn holders(&self, line: u64) -> &[u16] {
+        self.holders.get(line).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of lines with at least one holder (the touched-line
+    /// footprint the sparse representation pays for).
+    pub(crate) fn live_lines(&self) -> usize {
+        self.holders.len()
+    }
+
+    /// Iterate over the lines with holders (checker sweep).
+    pub(crate) fn lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.holders.iter().map(|(l, _)| l)
+    }
+
+    /// Drop everything (cache flush between benchmark repetitions).
+    pub(crate) fn clear(&mut self) {
+        self.holders.clear();
+    }
+}
+
+/// The SPP-1000's DASH + SCI stack (see the [module docs](self)).
+///
+/// The implementation bodies live in [`crate::machine`]'s historical
+/// `read_miss` / `invalidate_others` helpers; this backend is the
+/// extraction of the pre-seam hardwired dispatch, verbatim, and is
+/// pinned bit-identical by the fig2/fig8 goldens and the
+/// scalar/batched cross-validation suite.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DashSci;
+
+impl CoherenceProtocol for DashSci {
+    fn read_access(m: &mut Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles {
+        match m.caches[cpu.0 as usize].lookup(line) {
+            LineState::Invalid => m.read_miss(cpu, addr, line),
+            // Shared | Modified; the MESI/Dragon states cannot occur
+            // under DASH+SCI and would be owning hits regardless.
+            _ => {
+                m.stats.hits += 1;
+                m.cfg.latency.cache_hit
+            }
+        }
+    }
+
+    fn write_access(m: &mut Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles {
+        match m.caches[cpu.0 as usize].lookup(line) {
+            LineState::Shared => {
+                // Write upgrade: the data is present (a hit), but
+                // exclusivity must be obtained.
+                m.stats.hits += 1;
+                let cost = m.invalidate_others(cpu, addr, line);
+                m.stats.upgrades += 1;
+                m.emit(cpu, TraceEvent::Upgrade { line });
+                let my_node = m.cfg.node_of_cpu(cpu);
+                let in_node = m.cfg.cpu_index_in_node(cpu) as u8;
+                m.caches[cpu.0 as usize].set_state(line, LineState::Modified);
+                m.dirs[my_node.0 as usize].set_owner(line, in_node);
+                m.mark_dirty_if_remote(cpu, addr, line);
+                m.cfg.latency.cache_hit + m.cfg.latency.dir_op + cost
+            }
+            LineState::Invalid => {
+                // Read-exclusive: fetch + invalidate + own.
+                let fetch = m.read_miss(cpu, addr, line);
+                let inv = m.invalidate_others(cpu, addr, line);
+                m.stats.upgrades += 1;
+                m.emit(cpu, TraceEvent::Upgrade { line });
+                // A dead CPU's drained store is serviced by the node
+                // controller (write-through): it never takes
+                // ownership, so the line ends up Shared at node level
+                // with no CPU copy.
+                if !m.is_cpu_dead(cpu) {
+                    let my_node = m.cfg.node_of_cpu(cpu);
+                    let in_node = m.cfg.cpu_index_in_node(cpu) as u8;
+                    m.caches[cpu.0 as usize].set_state(line, LineState::Modified);
+                    m.dirs[my_node.0 as usize].set_owner(line, in_node);
+                    m.mark_dirty_if_remote(cpu, addr, line);
+                }
+                fetch + inv
+            }
+            // Modified; E/Sm cannot occur under DASH+SCI.
+            _ => {
+                m.stats.hits += 1;
+                m.cfg.latency.cache_hit
+            }
+        }
+    }
+
+    fn peek_read(m: &Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles {
+        let lat = &m.cfg.latency;
+        match m.caches[cpu.0 as usize].lookup(line) {
+            LineState::Invalid => {}
+            _ => return lat.cache_hit,
+        }
+        let my_node = m.cfg.node_of_cpu(cpu);
+        let in_node = m.cfg.cpu_index_in_node(cpu) as u8;
+        let (hnode, hfu) = m.space.home_of(addr);
+        let mut cost;
+
+        let local_owner = m.dirs[my_node.0 as usize]
+            .get(line)
+            .and_then(|e| e.owner)
+            .filter(|o| *o != in_node);
+
+        if local_owner.is_some() {
+            cost = lat.local_miss + lat.c2c_extra;
+        } else if hnode == my_node {
+            if let Some(d) = m.sci.dirty_node(line).filter(|d| *d != my_node.0) {
+                let hops = m
+                    .cfg
+                    .ring_round_trip_hops(my_node, crate::config::NodeId(d));
+                cost = lat.local_miss + lat.sci_fetch(hops);
+            } else {
+                cost = lat.local_miss;
+            }
+        } else {
+            let ring = m.cfg.ring_of_fu(hfu);
+            let g = m.gcb_index(my_node, ring);
+            match m.gcbs[g].lookup(line) {
+                LineState::Invalid => {
+                    let hops = m.cfg.ring_round_trip_hops(my_node, hnode);
+                    cost = lat.local_miss + lat.sci_fetch(hops);
+                    if let Some(d) = m
+                        .sci
+                        .dirty_node(line)
+                        .filter(|d| *d != my_node.0 && *d != hnode.0)
+                    {
+                        cost += lat.sci_list_op
+                            + m.cfg.ring_round_trip_hops(hnode, crate::config::NodeId(d))
+                                * lat.ring_hop
+                                / 2;
+                    }
+                    if m.dirs[hnode.0 as usize]
+                        .get(line)
+                        .and_then(|e| e.owner)
+                        .is_some()
+                    {
+                        cost += lat.c2c_extra;
+                    }
+                    if let Some(victim) = m.gcbs[g].peek_victim(line) {
+                        cost += m.peek_gcb_rollout_cost(my_node, victim);
+                    }
+                }
+                _ => {
+                    cost = lat.local_miss;
+                }
+            }
+        }
+
+        if let Some(victim) = m.caches[cpu.0 as usize].peek_victim(line) {
+            if victim.state == LineState::Modified {
+                cost += lat.writeback;
+            }
+        }
+        cost
+    }
+}
+
+/// A CPU cache eviction under the snooping backends: drop the victim
+/// from the holder filter; dirty victims (`M` or `Sm`) write back.
+fn snoop_evict(m: &mut Machine, cpu: CpuId, victim: Evicted) -> Cycles {
+    m.stats.evictions += 1;
+    m.snoop.remove(victim.line, cpu.0);
+    if victim.state.is_dirty() {
+        m.stats.writebacks += 1;
+        m.cfg.latency.writeback
+    } else {
+        0
+    }
+}
+
+/// The read-miss pricing both snooping backends share: a dirty peer
+/// supplies cache-to-cache, otherwise memory supplies at home-local
+/// or SCI-remote cost; a displaced dirty victim writes back. Pure —
+/// the peek twin of the mutating miss paths.
+fn snoop_peek_read(m: &Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles {
+    let lat = &m.cfg.latency;
+    if m.caches[cpu.0 as usize].lookup(line) != LineState::Invalid {
+        return lat.cache_hit;
+    }
+    let others = m.snoop.others(line, cpu.0);
+    let dirty = others
+        .iter()
+        .any(|&c| m.caches[c as usize].lookup(line).is_dirty());
+    let mut cost = if dirty {
+        lat.local_miss + lat.c2c_extra
+    } else {
+        let my_node = m.cfg.node_of_cpu(cpu);
+        let (hnode, _) = m.space.home_of(addr);
+        if hnode == my_node {
+            lat.local_miss
+        } else {
+            lat.local_miss + lat.sci_fetch(m.cfg.ring_round_trip_hops(my_node, hnode))
+        }
+    };
+    if let Some(victim) = m.caches[cpu.0 as usize].peek_victim(line) {
+        if victim.state.is_dirty() {
+            cost += lat.writeback;
+        }
+    }
+    cost
+}
+
+/// Bus-snooping MESI (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mesi;
+
+impl Mesi {
+    /// Service a miss: broadcast a snoop, take data from a dirty peer
+    /// or from memory, transition the other holders (`for_write`
+    /// invalidates them; a read demotes `M`/`E` to `S`), and install
+    /// the line — `M` for writes, `E` when this is the sole copy, `S`
+    /// otherwise.
+    fn miss_fetch(m: &mut Machine, cpu: CpuId, addr: u64, line: u64, for_write: bool) -> Cycles {
+        let lat = m.cfg.latency.clone();
+        m.stats.snoops += 1;
+        m.emit(cpu, TraceEvent::Snoop { line });
+        let others = m.snoop.others(line, cpu.0);
+        let dirty = others
+            .iter()
+            .copied()
+            .find(|&c| m.caches[c as usize].lookup(line).is_dirty());
+        let mut cost;
+        if let Some(owner) = dirty {
+            // Dirty peer supplies cache-to-cache (and writes back).
+            cost = lat.local_miss + lat.c2c_extra;
+            m.stats.c2c_transfers += 1;
+            m.emit(
+                cpu,
+                TraceEvent::Miss {
+                    kind: MissKind::C2c,
+                    line,
+                },
+            );
+            if !for_write {
+                m.caches[owner as usize].set_state(line, LineState::Shared);
+            }
+        } else {
+            let my_node = m.cfg.node_of_cpu(cpu);
+            let (hnode, _) = m.space.home_of(addr);
+            if hnode == my_node {
+                cost = lat.local_miss;
+                m.stats.local_misses += 1;
+                m.emit(
+                    cpu,
+                    TraceEvent::Miss {
+                        kind: MissKind::Local,
+                        line,
+                    },
+                );
+            } else {
+                let hops = m.cfg.ring_round_trip_hops(my_node, hnode);
+                cost = lat.local_miss + lat.sci_fetch(hops);
+                m.stats.sci_fetches += 1;
+                m.emit(
+                    cpu,
+                    TraceEvent::Miss {
+                        kind: MissKind::Sci,
+                        line,
+                    },
+                );
+            }
+        }
+        if for_write {
+            for &h in &others {
+                m.caches[h as usize].invalidate(line);
+                m.snoop.remove(line, h);
+                m.stats.invalidations += 1;
+                cost += lat.inv_local;
+            }
+        } else {
+            for &h in &others {
+                if m.caches[h as usize].lookup(line) == LineState::Exclusive {
+                    m.caches[h as usize].set_state(line, LineState::Shared);
+                }
+            }
+        }
+        // A dead CPU's drained request is serviced but never refills
+        // the dead cache (as under DASH+SCI).
+        if m.is_cpu_dead(cpu) {
+            return cost;
+        }
+        let state = if for_write {
+            LineState::Modified
+        } else if others.is_empty() {
+            LineState::Exclusive
+        } else {
+            LineState::Shared
+        };
+        if let Some(victim) = m.caches[cpu.0 as usize].fill(line, state) {
+            cost += snoop_evict(m, cpu, victim);
+        }
+        m.snoop.add(line, cpu.0);
+        cost
+    }
+}
+
+impl CoherenceProtocol for Mesi {
+    fn read_access(m: &mut Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles {
+        match m.caches[cpu.0 as usize].lookup(line) {
+            LineState::Invalid => Self::miss_fetch(m, cpu, addr, line, false),
+            _ => {
+                m.stats.hits += 1;
+                m.cfg.latency.cache_hit
+            }
+        }
+    }
+
+    fn write_access(m: &mut Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles {
+        let lat = m.cfg.latency.clone();
+        match m.caches[cpu.0 as usize].lookup(line) {
+            LineState::Exclusive => {
+                // The MESI payoff: sole clean copy upgrades silently.
+                m.stats.hits += 1;
+                m.caches[cpu.0 as usize].set_state(line, LineState::Modified);
+                lat.cache_hit
+            }
+            LineState::Shared => {
+                // Upgrade: data present (a hit), broadcast invalidates
+                // the other holders.
+                m.stats.hits += 1;
+                m.stats.snoops += 1;
+                m.emit(cpu, TraceEvent::Snoop { line });
+                let mut cost = lat.cache_hit + lat.dir_op;
+                for h in m.snoop.others(line, cpu.0) {
+                    m.caches[h as usize].invalidate(line);
+                    m.snoop.remove(line, h);
+                    m.stats.invalidations += 1;
+                    cost += lat.inv_local;
+                }
+                m.stats.upgrades += 1;
+                m.emit(cpu, TraceEvent::Upgrade { line });
+                m.caches[cpu.0 as usize].set_state(line, LineState::Modified);
+                cost
+            }
+            LineState::Invalid => {
+                let cost = Self::miss_fetch(m, cpu, addr, line, true);
+                m.stats.upgrades += 1;
+                m.emit(cpu, TraceEvent::Upgrade { line });
+                cost
+            }
+            // Modified (Sm cannot occur under MESI).
+            _ => {
+                m.stats.hits += 1;
+                lat.cache_hit
+            }
+        }
+    }
+
+    fn peek_read(m: &Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles {
+        snoop_peek_read(m, cpu, addr, line)
+    }
+}
+
+/// Write-update Dragon (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dragon;
+
+impl Dragon {
+    /// Broadcast the written word to the other holders; the previous
+    /// owner (if any) demotes to plain Shared — the writer owns the
+    /// line after the update.
+    fn update_others(m: &mut Machine, cpu: CpuId, line: u64, others: &[u16]) -> Cycles {
+        let lat = m.cfg.latency.clone();
+        m.stats.updates += 1;
+        m.emit(
+            cpu,
+            TraceEvent::Update {
+                line,
+                sharers: u8::try_from(others.len()).unwrap_or(u8::MAX),
+            },
+        );
+        let mut cost = lat.dir_op;
+        for &h in others {
+            let s = m.caches[h as usize].lookup(line);
+            if s.is_dirty() || s == LineState::Exclusive {
+                m.caches[h as usize].set_state(line, LineState::Shared);
+            }
+            cost += lat.inv_local;
+        }
+        cost
+    }
+
+    /// Fetch a missing line: dirty peer supplies (an `M` supplier
+    /// moves to `Sm`), otherwise memory at home-local or SCI cost.
+    fn fetch(m: &mut Machine, cpu: CpuId, addr: u64, line: u64, others: &[u16]) -> Cycles {
+        let lat = m.cfg.latency.clone();
+        let dirty = others
+            .iter()
+            .copied()
+            .find(|&c| m.caches[c as usize].lookup(line).is_dirty());
+        let cost;
+        if let Some(owner) = dirty {
+            cost = lat.local_miss + lat.c2c_extra;
+            m.stats.c2c_transfers += 1;
+            m.emit(
+                cpu,
+                TraceEvent::Miss {
+                    kind: MissKind::C2c,
+                    line,
+                },
+            );
+            if m.caches[owner as usize].lookup(line) == LineState::Modified {
+                m.caches[owner as usize].set_state(line, LineState::OwnedShared);
+            }
+        } else {
+            let my_node = m.cfg.node_of_cpu(cpu);
+            let (hnode, _) = m.space.home_of(addr);
+            if hnode == my_node {
+                cost = lat.local_miss;
+                m.stats.local_misses += 1;
+                m.emit(
+                    cpu,
+                    TraceEvent::Miss {
+                        kind: MissKind::Local,
+                        line,
+                    },
+                );
+            } else {
+                let hops = m.cfg.ring_round_trip_hops(my_node, hnode);
+                cost = lat.local_miss + lat.sci_fetch(hops);
+                m.stats.sci_fetches += 1;
+                m.emit(
+                    cpu,
+                    TraceEvent::Miss {
+                        kind: MissKind::Sci,
+                        line,
+                    },
+                );
+            }
+            for &h in others {
+                if m.caches[h as usize].lookup(line) == LineState::Exclusive {
+                    m.caches[h as usize].set_state(line, LineState::Shared);
+                }
+            }
+        }
+        cost
+    }
+}
+
+impl CoherenceProtocol for Dragon {
+    fn read_access(m: &mut Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles {
+        match m.caches[cpu.0 as usize].lookup(line) {
+            LineState::Invalid => {
+                let others = m.snoop.others(line, cpu.0);
+                let mut cost = Self::fetch(m, cpu, addr, line, &others);
+                if m.is_cpu_dead(cpu) {
+                    return cost;
+                }
+                let state = if others.is_empty() {
+                    LineState::Exclusive
+                } else {
+                    LineState::Shared
+                };
+                if let Some(victim) = m.caches[cpu.0 as usize].fill(line, state) {
+                    cost += snoop_evict(m, cpu, victim);
+                }
+                m.snoop.add(line, cpu.0);
+                cost
+            }
+            _ => {
+                m.stats.hits += 1;
+                m.cfg.latency.cache_hit
+            }
+        }
+    }
+
+    fn write_access(m: &mut Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles {
+        let lat = m.cfg.latency.clone();
+        match m.caches[cpu.0 as usize].lookup(line) {
+            LineState::Modified => {
+                m.stats.hits += 1;
+                lat.cache_hit
+            }
+            LineState::Exclusive => {
+                m.stats.hits += 1;
+                m.caches[cpu.0 as usize].set_state(line, LineState::Modified);
+                lat.cache_hit
+            }
+            LineState::Shared | LineState::OwnedShared => {
+                // The Dragon signature: a write to a shared line is a
+                // hit that broadcasts the new data instead of
+                // invalidating; the writer becomes the owner (`Sm`).
+                m.stats.hits += 1;
+                let others = m.snoop.others(line, cpu.0);
+                if others.is_empty() {
+                    m.caches[cpu.0 as usize].set_state(line, LineState::Modified);
+                    lat.cache_hit
+                } else {
+                    let cost = lat.cache_hit + Self::update_others(m, cpu, line, &others);
+                    m.caches[cpu.0 as usize].set_state(line, LineState::OwnedShared);
+                    cost
+                }
+            }
+            LineState::Invalid => {
+                let others = m.snoop.others(line, cpu.0);
+                let mut cost = Self::fetch(m, cpu, addr, line, &others);
+                // The bus write reaches surviving holders even when
+                // the issuing CPU is dead (drained write-through).
+                if !others.is_empty() {
+                    cost += Self::update_others(m, cpu, line, &others);
+                }
+                if m.is_cpu_dead(cpu) {
+                    return cost;
+                }
+                let state = if others.is_empty() {
+                    LineState::Modified
+                } else {
+                    LineState::OwnedShared
+                };
+                if let Some(victim) = m.caches[cpu.0 as usize].fill(line, state) {
+                    cost += snoop_evict(m, cpu, victim);
+                }
+                m.snoop.add(line, cpu.0);
+                cost
+            }
+        }
+    }
+
+    fn peek_read(m: &Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles {
+        snoop_peek_read(m, cpu, addr, line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_tags_round_trip() {
+        for p in ProtocolKind::ALL {
+            assert_eq!(ProtocolKind::from_label(p.label()), Some(p));
+            assert_eq!(ProtocolKind::from_tag(p.tag()), Some(p));
+            assert_eq!(p.to_string(), p.label());
+        }
+        assert_eq!(ProtocolKind::from_label("moesi"), None);
+        assert_eq!(ProtocolKind::from_tag(3), None);
+        assert_eq!(ProtocolKind::default(), ProtocolKind::DashSci);
+    }
+
+    #[test]
+    fn snoop_filter_tracks_holders_sparsely() {
+        let mut f = SnoopFilter::new();
+        f.add(10, 3);
+        f.add(10, 7);
+        f.add(10, 3); // idempotent
+        assert_eq!(f.holders(10), &[3, 7]);
+        assert_eq!(f.others(10, 3), vec![7]);
+        assert_eq!(f.live_lines(), 1);
+        f.remove(10, 3);
+        f.remove(10, 7);
+        assert_eq!(f.live_lines(), 0);
+        assert!(f.holders(10).is_empty());
+    }
+}

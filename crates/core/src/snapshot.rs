@@ -12,9 +12,18 @@
 //! tests and `tests/checkpoint.rs`).
 //!
 //! The stream is versioned (magic `SPPSNAP1`) and fingerprints the
-//! machine geometry; restoring against a different configuration
-//! fails with a typed [`SimError::SnapshotMismatch`] instead of
-//! silently diverging. The *probability configuration* of the fault
+//! machine geometry **and coherence protocol**: a one-byte
+//! [`crate::ProtocolKind`] tag follows the geometry, the stream
+//! carries a per-protocol state section (the DASH directories, GCBs
+//! and SCI lists under DASH+SCI; a snoop-filter line count under MESI
+//! and Dragon, whose holder sets are an invariant-determined function
+//! of the cache contents and are rebuilt from them), and restoring
+//! against a different configuration fails with a typed
+//! [`SimError::SnapshotMismatch`] instead of silently diverging.
+//! [`Snapshot::restore`] adopts the captured protocol (the stream is
+//! self-describing); [`Snapshot::restore_expecting`] additionally
+//! rejects a protocol tag different from the caller's expectation
+//! with the same typed error. The *probability configuration* of the fault
 //! plan is deliberately not serialized: the caller supplies the same
 //! plan it started the run with (exactly as it supplies the same
 //! [`MachineConfig`]), and the snapshot restores the plan's
@@ -28,10 +37,15 @@ use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::machine::Machine;
 use crate::mem::MemClass;
+use crate::protocol::ProtocolKind;
 use crate::stats::MemStats;
 
 const MAGIC: &[u8; 8] = b"SPPSNAP1";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
+
+/// Byte offset of the protocol tag: magic (8) + version (2) +
+/// geometry fingerprint (3×u32 + 4×u64 = 44).
+const PROTOCOL_OFFSET: usize = 54;
 
 /// A captured machine state (see the [module docs](self)).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +86,8 @@ fn state_code(s: LineState) -> u8 {
         LineState::Invalid => 0,
         LineState::Shared => 1,
         LineState::Modified => 2,
+        LineState::Exclusive => 3,
+        LineState::OwnedShared => 4,
     }
 }
 
@@ -79,6 +95,8 @@ fn code_state(c: u8) -> Result<LineState, SimError> {
     match c {
         1 => Ok(LineState::Shared),
         2 => Ok(LineState::Modified),
+        3 => Ok(LineState::Exclusive),
+        4 => Ok(LineState::OwnedShared),
         _ => Err(corrupt(format!("invalid line-state code {c}"))),
     }
 }
@@ -198,7 +216,7 @@ fn read_cache_into(r: &mut Reader<'_>, c: &mut Cache) -> Result<(), SimError> {
     Ok(())
 }
 
-fn stats_fields(s: &MemStats) -> [u64; 17] {
+fn stats_fields(s: &MemStats) -> [u64; 19] {
     [
         s.reads,
         s.writes,
@@ -217,10 +235,12 @@ fn stats_fields(s: &MemStats) -> [u64; 17] {
         s.uncached_ops,
         s.ring_stalls,
         s.link_reroutes,
+        s.snoops,
+        s.updates,
     ]
 }
 
-fn stats_from_fields(f: [u64; 17]) -> MemStats {
+fn stats_from_fields(f: [u64; 19]) -> MemStats {
     MemStats {
         reads: f[0],
         writes: f[1],
@@ -239,6 +259,8 @@ fn stats_from_fields(f: [u64; 17]) -> MemStats {
         uncached_ops: f[14],
         ring_stalls: f[15],
         link_reroutes: f[16],
+        snoops: f[17],
+        updates: f[18],
     }
 }
 
@@ -259,12 +281,19 @@ impl Snapshot {
         w64(&mut v, cfg.page_bytes as u64);
         w64(&mut v, cfg.gcb_bytes as u64);
 
+        // Coherence protocol (offset `PROTOCOL_OFFSET`; the stream's
+        // state sections are protocol-specific).
+        w8(&mut v, m.protocol.tag());
+
         // Degraded-mode state and the clock that drives triggering.
         w64(&mut v, m.clock);
-        w64(&mut v, (m.dead_cpus & u128::from(u64::MAX)) as u64);
-        w64(&mut v, (m.dead_cpus >> 64) as u64);
+        w32(&mut v, m.dead_cpus.len() as u32);
+        for word in &m.dead_cpus {
+            w64(&mut v, *word);
+        }
         w8(&mut v, m.failed_rings);
-        w16(&mut v, m.degraded_gcbs);
+        w64(&mut v, (m.degraded_gcbs & u128::from(u64::MAX)) as u64);
+        w64(&mut v, (m.degraded_gcbs >> 64) as u64);
         w64(&mut v, m.hard_applied);
 
         // Event counters.
@@ -316,6 +345,18 @@ impl Snapshot {
                 w8(&mut v, *n);
             }
             w8(&mut v, e.dirty.map_or(0xff, |d| d));
+        }
+
+        // Per-protocol state section. The snooping backends' filter is
+        // an invariant-determined function of the cache contents
+        // (holders of a line == CPUs caching it valid), so only its
+        // live-line count is stored, as a restore-time cross-check;
+        // the filter itself is rebuilt from the caches.
+        match m.protocol {
+            ProtocolKind::DashSci => {}
+            ProtocolKind::Mesi | ProtocolKind::Dragon => {
+                w32(&mut v, m.snoop.live_lines() as u32);
+            }
         }
 
         // Fault-plan progress (the plan's configuration is supplied by
@@ -423,13 +464,26 @@ impl Snapshot {
             )));
         }
 
+        let tag = r.u8()?;
+        m.protocol = ProtocolKind::from_tag(tag)
+            .ok_or_else(|| corrupt(format!("unknown protocol tag {tag}")))?;
+
         m.clock = r.u64()?;
-        m.dead_cpus = u128::from(r.u64()?) | (u128::from(r.u64()?) << 64);
+        let ndead = r.u32()? as usize;
+        if ndead != m.dead_cpus.len() {
+            return Err(mismatch(format!(
+                "{ndead} dead-CPU words captured, machine has {}",
+                m.dead_cpus.len()
+            )));
+        }
+        for word in &mut m.dead_cpus {
+            *word = r.u64()?;
+        }
         m.failed_rings = r.u8()?;
-        m.degraded_gcbs = r.u16()?;
+        m.degraded_gcbs = u128::from(r.u64()?) | (u128::from(r.u64()?) << 64);
         m.hard_applied = r.u64()?;
 
-        let mut fields = [0u64; 17];
+        let mut fields = [0u64; 19];
         for f in &mut fields {
             *f = r.u64()?;
         }
@@ -536,6 +590,26 @@ impl Snapshot {
             }
         }
 
+        // Per-protocol state section: rebuild the snooping backends'
+        // holder filter from the restored caches (holders of a line
+        // are exactly the CPUs caching it valid — a checked protocol
+        // invariant) and cross-check the captured live-line count.
+        if matches!(m.protocol, ProtocolKind::Mesi | ProtocolKind::Dragon) {
+            let captured_lines = r.u32()? as usize;
+            for cpu in 0..m.caches.len() {
+                let entries: Vec<u64> = m.caches[cpu].entries().map(|(l, _)| l).collect();
+                for line in entries {
+                    m.snoop.add(line, cpu as u16);
+                }
+            }
+            if m.snoop.live_lines() != captured_lines {
+                return Err(corrupt(format!(
+                    "snoop filter rebuilt with {} live lines, {captured_lines} captured",
+                    m.snoop.live_lines()
+                )));
+            }
+        }
+
         // Fault-plan progress.
         let has_plan = r.u8()? != 0;
         match (has_plan, plan) {
@@ -575,6 +649,36 @@ impl Snapshot {
         }
 
         Ok(m)
+    }
+
+    /// The coherence protocol this snapshot was captured under.
+    pub fn protocol(&self) -> Result<ProtocolKind, SimError> {
+        let tag = *self
+            .bytes
+            .get(PROTOCOL_OFFSET)
+            .ok_or_else(|| corrupt("stream shorter than the protocol tag"))?;
+        ProtocolKind::from_tag(tag).ok_or_else(|| corrupt(format!("unknown protocol tag {tag}")))
+    }
+
+    /// [`Snapshot::restore`], additionally requiring the captured
+    /// protocol to be `expect`. A checkpoint taken under one protocol
+    /// is meaningless to another; callers that know which protocol
+    /// they are resuming (e.g. a scenario spec's `[protocol]` table)
+    /// use this to get a typed [`SimError::SnapshotMismatch`] instead
+    /// of silently adopting the captured protocol.
+    pub fn restore_expecting(
+        &self,
+        cfg: MachineConfig,
+        plan: Option<FaultPlan>,
+        expect: ProtocolKind,
+    ) -> Result<Machine, SimError> {
+        let got = self.protocol()?;
+        if got != expect {
+            return Err(mismatch(format!(
+                "snapshot captured under protocol {got}, restore expected {expect}"
+            )));
+        }
+        self.restore(cfg, plan)
     }
 }
 
@@ -742,5 +846,82 @@ mod tests {
         // And the degraded machine keeps running identically.
         let _ = NodeId(0);
         assert!(m2.check_all().is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trips_under_every_protocol() {
+        for kind in ProtocolKind::ALL {
+            let mut m = Machine::spp1000(2).with_protocol(kind);
+            drive(&mut m, 0..400);
+            let snap = m.snapshot();
+            assert_eq!(snap.protocol().unwrap(), kind);
+            let m2 = snap
+                .restore(MachineConfig::spp1000(2), None)
+                .expect("restore");
+            assert_eq!(m2.protocol(), kind);
+            assert_eq!(m2.stats, m.stats);
+            assert_eq!(m2.clock(), m.clock());
+            assert!(m2.check_all().is_empty(), "{kind}: restored inconsistent");
+            // Capturing the restored machine and restoring *that* is a
+            // fixed point (byte layouts may reorder map entries, but
+            // the state they decode to must not drift).
+            let m3 = m2
+                .snapshot()
+                .restore(MachineConfig::spp1000(2), None)
+                .expect("second restore");
+            assert_eq!(m3.protocol(), kind);
+            assert_eq!(m3.stats, m.stats);
+            assert_eq!(m3.clock(), m.clock());
+            assert!(m3.check_all().is_empty());
+        }
+    }
+
+    #[test]
+    fn snooping_resume_is_bit_identical_to_straight_through() {
+        for kind in [ProtocolKind::Mesi, ProtocolKind::Dragon] {
+            let straight = {
+                let mut m = Machine::spp1000(2).with_protocol(kind);
+                let a = drive(&mut m, 0..500);
+                let b = drive(&mut m, 500..1000);
+                (a, b, m.stats, m.clock())
+            };
+            let resumed = {
+                let mut m = Machine::spp1000(2).with_protocol(kind);
+                let a = drive(&mut m, 0..500);
+                let mut m2 = m
+                    .snapshot()
+                    .restore_expecting(MachineConfig::spp1000(2), None, kind)
+                    .expect("restore");
+                let b = drive(&mut m2, 500..1000);
+                (a, b, m2.stats, m2.clock())
+            };
+            assert_eq!(straight, resumed, "{kind}: resume diverged");
+        }
+    }
+
+    #[test]
+    fn restore_with_wrong_protocol_tag_is_a_typed_mismatch() {
+        let mut m = Machine::spp1000(2).with_protocol(ProtocolKind::Mesi);
+        drive(&mut m, 0..50);
+        let snap = m.snapshot();
+        let err = snap
+            .restore_expecting(MachineConfig::spp1000(2), None, ProtocolKind::DashSci)
+            .unwrap_err();
+        match err {
+            SimError::SnapshotMismatch { detail } => {
+                assert!(
+                    detail.contains("mesi") && detail.contains("dash-sci"),
+                    "{detail}"
+                );
+            }
+            other => panic!("expected SnapshotMismatch, got {other:?}"),
+        }
+        // Self-describing restore still works on the same bytes.
+        assert_eq!(
+            snap.restore(MachineConfig::spp1000(2), None)
+                .expect("restore")
+                .protocol(),
+            ProtocolKind::Mesi
+        );
     }
 }

@@ -41,6 +41,12 @@ pub struct MemStats {
     /// SCI transactions rerouted around a hard link failure (see
     /// [`crate::HardFault`]). Zero unless a link failure has fired.
     pub link_reroutes: u64,
+    /// Bus snoop transactions broadcast by the snooping MESI
+    /// protocol. Zero under DASH+SCI and Dragon.
+    pub snoops: u64,
+    /// Write-update broadcasts issued by the Dragon protocol. Zero
+    /// under DASH+SCI and MESI.
+    pub updates: u64,
 }
 
 impl MemStats {
@@ -108,6 +114,8 @@ impl MemStats {
             uncached_ops: self.uncached_ops.saturating_sub(earlier.uncached_ops),
             ring_stalls: self.ring_stalls.saturating_sub(earlier.ring_stalls),
             link_reroutes: self.link_reroutes.saturating_sub(earlier.link_reroutes),
+            snoops: self.snoops.saturating_sub(earlier.snoops),
+            updates: self.updates.saturating_sub(earlier.updates),
         }
     }
 
@@ -131,6 +139,8 @@ impl MemStats {
         self.uncached_ops += other.uncached_ops;
         self.ring_stalls += other.ring_stalls;
         self.link_reroutes += other.link_reroutes;
+        self.snoops += other.snoops;
+        self.updates += other.updates;
     }
 
     /// Check that the miss-kind counters partition [`MemStats::misses`]
@@ -179,6 +189,13 @@ impl std::fmt::Display for MemStats {
                 f,
                 "\nfaults: ring stalls {}  link reroutes {}",
                 self.ring_stalls, self.link_reroutes
+            )?;
+        }
+        if self.snoops > 0 || self.updates > 0 {
+            write!(
+                f,
+                "\nprotocol traffic: snoops {}  updates {}",
+                self.snoops, self.updates
             )?;
         }
         Ok(())

@@ -157,11 +157,25 @@ pub enum TraceEvent {
         /// What stalled.
         kind: StallKind,
     },
+    /// A snoop transaction broadcast by the MESI backend (one per
+    /// miss or upgrade that had to interrogate the other caches).
+    Snoop {
+        /// Cache line index.
+        line: u64,
+    },
+    /// A write-update broadcast by the Dragon backend (one per write
+    /// to a line with remote sharers).
+    Update {
+        /// Cache line index.
+        line: u64,
+        /// Caches whose copy was refreshed.
+        sharers: u8,
+    },
 }
 
 /// Number of distinct event-kind slots in [`TraceSink::counts`]
 /// (misses occupy one slot per [`MissKind`]).
-pub const N_EVENT_KINDS: usize = 15;
+pub const N_EVENT_KINDS: usize = 17;
 
 impl TraceEvent {
     /// Dense kind index into a `[u64; N_EVENT_KINDS]` count array.
@@ -194,6 +208,8 @@ impl TraceEvent {
             TraceEvent::PvmRetry { .. } => 12,
             TraceEvent::Fault(_) => 13,
             TraceEvent::Watchdog { .. } => 14,
+            TraceEvent::Snoop { .. } => 15,
+            TraceEvent::Update { .. } => 16,
         }
     }
 
@@ -215,6 +231,8 @@ impl TraceEvent {
             "pvm-retry",
             "hard-fault",
             "watchdog",
+            "snoop",
+            "update",
         ];
         LABELS[index]
     }
@@ -392,6 +410,10 @@ fn json_args(ev: &TraceEvent) -> String {
         }
         TraceEvent::Fault(h) => format!("{{\"fault\":\"{}\"}}", h.label()),
         TraceEvent::Watchdog { kind } => format!("{{\"stall\":\"{}\"}}", kind.label()),
+        TraceEvent::Snoop { line } => format!("{{\"line\":{line}}}"),
+        TraceEvent::Update { line, sharers } => {
+            format!("{{\"line\":{line},\"sharers\":{sharers}}}")
+        }
     }
 }
 
@@ -446,7 +468,7 @@ pub fn memstats_json(s: &MemStats) -> String {
          \"c2c_transfers\": {}, \"upgrades\": {}, \"invalidations\": {}, \
          \"sci_invalidations\": {}, \"evictions\": {}, \"writebacks\": {}, \
          \"gcb_rollouts\": {}, \"uncached_ops\": {}, \"ring_stalls\": {}, \
-         \"link_reroutes\": {}}}",
+         \"link_reroutes\": {}, \"snoops\": {}, \"updates\": {}}}",
         s.reads,
         s.writes,
         s.hits,
@@ -463,7 +485,9 @@ pub fn memstats_json(s: &MemStats) -> String {
         s.gcb_rollouts,
         s.uncached_ops,
         s.ring_stalls,
-        s.link_reroutes
+        s.link_reroutes,
+        s.snoops,
+        s.updates
     )
 }
 

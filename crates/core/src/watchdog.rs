@@ -176,6 +176,18 @@ pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Exponential retry backoff: `base << retry`, with the exponent
+/// clamped at 16 and the product saturating, so pathological retry
+/// counts can neither overflow nor wrap. `retry` is zero-based: the
+/// wait *after* the first failed attempt is `retry_backoff(base, 0) ==
+/// base`, after the second `2 * base`, and so on. Shared by every
+/// retry loop in the workspace (host-level scenario retries in
+/// milliseconds, simulated spawn retries in cycles) so the doubling
+/// discipline cannot drift between layers.
+pub fn retry_backoff(base: u64, retry: u32) -> u64 {
+    base.saturating_mul(1u64 << retry.min(16))
+}
+
 /// Cloneable cooperative-cancellation flag shared between a
 /// [`HostSupervisor`] and the work it supervises. Long step loops
 /// poll [`CancelToken::is_cancelled`] between steps and bail out
@@ -362,6 +374,17 @@ mod tests {
             }
             other => panic!("expected TimedOut, got {}", other.label()),
         }
+    }
+
+    #[test]
+    fn retry_backoff_doubles_then_saturates() {
+        assert_eq!(retry_backoff(100, 0), 100);
+        assert_eq!(retry_backoff(100, 1), 200);
+        assert_eq!(retry_backoff(100, 3), 800);
+        // Exponent clamps at 16...
+        assert_eq!(retry_backoff(100, 40), 100 << 16);
+        // ...and the product saturates instead of wrapping.
+        assert_eq!(retry_backoff(u64::MAX / 2, 4), u64::MAX);
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Properties of the pluggable-protocol seam.
+//!
+//! The DASH+SCI logic was extracted from `Machine::read`/`write` into
+//! a `CoherenceProtocol` backend; the fixed-config golden tests pin
+//! its absolute numbers, and these properties pin the rest of the
+//! contract over *arbitrary* seeds, topologies, and team sizes:
+//!
+//! * the seam's default dispatch and an explicit
+//!   `with_protocol(DashSci)` are the same machine, cycle- and
+//!   counter-bit-identical;
+//! * the batched `read_run`/`write_run` paths equal their scalar
+//!   loops under every protocol (MESI batches writes like DASH;
+//!   Dragon's shared-write broadcast forces its write path scalar —
+//!   either way the observable numbers must agree);
+//! * every protocol is deterministic, passes the coherence checker,
+//!   and keeps the miss partition exact;
+//! * `peek_read_cost` predicts the next read's charge exactly on a
+//!   fault-free machine, under every protocol.
+
+use proptest::prelude::*;
+use proptest::TestRng;
+use spp_core::{CpuId, Machine, MemClass, MemStats, ProtocolKind};
+
+/// A random mixed access stream: (cpu, line-aligned offset, is_write).
+fn stream(rng: &mut TestRng, cpus: u64, ops: usize) -> Vec<(u16, u64, bool)> {
+    (0..ops)
+        .map(|_| {
+            (
+                rng.below(cpus) as u16,
+                rng.below(1 << 11) * 8,
+                rng.below(3) == 0,
+            )
+        })
+        .collect()
+}
+
+/// Drive a stream through the scalar entry points; returns total
+/// cycles charged.
+fn drive(m: &mut Machine, base: u64, ops: &[(u16, u64, bool)]) -> u64 {
+    let mut t = 0;
+    for &(cpu, off, w) in ops {
+        t += if w {
+            m.write(CpuId(cpu), base + off)
+        } else {
+            m.read(CpuId(cpu), base + off)
+        };
+    }
+    t
+}
+
+fn machine(kind: ProtocolKind, hypernodes: usize) -> (Machine, u64) {
+    let mut m = Machine::spp1000(hypernodes).with_protocol(kind);
+    let base = m.alloc(MemClass::FarShared, 1 << 14).base;
+    (m, base)
+}
+
+fn observables(m: &Machine) -> (u64, MemStats) {
+    (m.clock(), m.stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn default_dispatch_is_dash_sci_bit_for_bit(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::new(seed);
+        let h = [1, 2, 4][rng.below(3) as usize];
+        let ops = stream(&mut rng, 8 * h as u64, 250);
+
+        let mut dflt = Machine::spp1000(h);
+        let dbase = dflt.alloc(MemClass::FarShared, 1 << 14).base;
+        let (mut explicit, ebase) = machine(ProtocolKind::DashSci, h);
+
+        let a = drive(&mut dflt, dbase, &ops);
+        let b = drive(&mut explicit, ebase, &ops);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(observables(&dflt), observables(&explicit));
+        prop_assert_eq!(dflt.protocol(), ProtocolKind::DashSci);
+    }
+
+    #[test]
+    fn batched_runs_equal_scalar_loops_under_every_protocol(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::new(seed);
+        let h = [1, 2][rng.below(2) as usize];
+        // Run-shaped traffic: (cpu, start, stride, count) chunks.
+        let runs: Vec<(u16, u64, u64, u64)> = (0..12)
+            .map(|_| {
+                (
+                    rng.below(8 * h as u64) as u16,
+                    rng.below(1 << 10) * 8,
+                    8 << rng.below(3),
+                    1 + rng.below(48),
+                )
+            })
+            .collect();
+
+        for kind in ProtocolKind::ALL {
+            let (mut scalar, sb) = machine(kind, h);
+            let (mut batched, bb) = machine(kind, h);
+            let mut ts = 0;
+            let mut tb = 0;
+            for (i, &(cpu, start, stride, count)) in runs.iter().enumerate() {
+                let write = i % 2 == 1;
+                for k in 0..count {
+                    let a = sb + (start + k * stride) % (1 << 14);
+                    ts += if write {
+                        scalar.write(CpuId(cpu), a)
+                    } else {
+                        scalar.read(CpuId(cpu), a)
+                    };
+                }
+                // read_run/write_run demand in-bounds contiguous runs;
+                // wrap-around chunks get the same scalar treatment on
+                // both machines.
+                if start + (count - 1) * stride < (1 << 14) {
+                    tb += if write {
+                        batched.write_run(CpuId(cpu), bb + start, stride, count as usize)
+                    } else {
+                        batched.read_run(CpuId(cpu), bb + start, stride, count as usize)
+                    };
+                } else {
+                    for k in 0..count {
+                        let a = bb + (start + k * stride) % (1 << 14);
+                        tb += if write {
+                            batched.write(CpuId(cpu), a)
+                        } else {
+                            batched.read(CpuId(cpu), a)
+                        };
+                    }
+                }
+            }
+            prop_assert_eq!(ts, tb, "{} cycles diverged", kind);
+            prop_assert_eq!(observables(&scalar), observables(&batched));
+        }
+    }
+
+    #[test]
+    fn every_protocol_is_deterministic_and_checker_clean(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::new(seed);
+        let h = [1, 2, 4][rng.below(3) as usize];
+        let ops = stream(&mut rng, 8 * h as u64, 250);
+
+        for kind in ProtocolKind::ALL {
+            let (mut a, ab) = machine(kind, h);
+            let (mut b, bb) = machine(kind, h);
+            let ta = drive(&mut a, ab, &ops);
+            let tb = drive(&mut b, bb, &ops);
+            prop_assert_eq!(ta, tb, "{} non-deterministic", kind);
+            prop_assert_eq!(observables(&a), observables(&b));
+            prop_assert!(a.check_all().is_empty(), "{} checker violations", kind);
+            prop_assert!(a.stats.miss_partition_check(), "{} miss partition broken", kind);
+        }
+    }
+
+    #[test]
+    fn peek_read_cost_predicts_the_read_exactly(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::new(seed);
+        let h = [1, 2][rng.below(2) as usize];
+        let ops = stream(&mut rng, 8 * h as u64, 150);
+
+        for kind in ProtocolKind::ALL {
+            let (mut m, base) = machine(kind, h);
+            for &(cpu, off, w) in &ops {
+                let a = base + off;
+                if w {
+                    m.write(CpuId(cpu), a);
+                } else {
+                    let peek = m.peek_read_cost(CpuId(cpu), a);
+                    let paid = m.read(CpuId(cpu), a);
+                    prop_assert_eq!(peek, paid, "{} peek diverged at {:#x}", kind, a);
+                }
+            }
+        }
+    }
+}

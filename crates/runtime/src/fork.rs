@@ -432,7 +432,6 @@ impl<P: MemPort> Runtime<P> {
         } else {
             self.cost.spawn_remote
         };
-        let mut backoff = self.cost.spawn_retry_backoff;
         let mut attempts = 0u32;
         loop {
             attempts += 1;
@@ -452,8 +451,7 @@ impl<P: MemPort> Runtime<P> {
                     attempts,
                 });
             }
-            t += backoff;
-            backoff *= 2;
+            t += spp_core::retry_backoff(self.cost.spawn_retry_backoff, attempts - 1);
         }
     }
 

@@ -331,7 +331,7 @@ fn run_cell(spec: &ScenarioSpec, registry: &Registry, cfg: &FleetConfig) -> Scen
     );
     while attempts <= spec.retries {
         if attempts > 0 {
-            let backoff = spec.backoff_ms.saturating_mul(1 << (attempts - 1).min(16));
+            let backoff = spp_core::retry_backoff(spec.backoff_ms, attempts - 1);
             std::thread::sleep(Duration::from_millis(backoff));
         }
         attempts += 1;

@@ -9,7 +9,7 @@
 //! property-tested in `tests/roundtrip.rs`).
 
 use crate::toml::{self, Table, Value};
-use spp_core::FaultEvent;
+use spp_core::{FaultEvent, ProtocolKind};
 use std::fmt;
 
 /// The spec schema this build reads and writes.
@@ -143,6 +143,9 @@ pub struct WorkloadSpec {
     pub steps: usize,
     /// Hypernode count of the simulated machine.
     pub hypernodes: usize,
+    /// Coherence protocol the machine runs
+    /// (`dash-sci` when the spec has no `[protocol]` table).
+    pub protocol: ProtocolKind,
     /// Team size (threads or PVM tasks).
     pub threads: usize,
     /// Thread placement.
@@ -292,6 +295,7 @@ impl ScenarioSpec {
                 app,
                 steps: 1,
                 hypernodes: 2,
+                protocol: ProtocolKind::DashSci,
                 threads: 8,
                 placement: PlacementPolicy::Uniform,
                 schedule: SchedulePolicySpec::Identity,
@@ -581,6 +585,19 @@ impl ScenarioSpec {
                     .flatten()
                     .unwrap_or(2);
 
+                let protocol = match get_table(root, "protocol")? {
+                    None => ProtocolKind::DashSci,
+                    Some(p) => {
+                        let pname = get_str(p, "name")?
+                            .ok_or_else(|| SpecError("[protocol] needs a name".into()))?;
+                        ProtocolKind::from_label(&pname).ok_or_else(|| {
+                            SpecError(format!(
+                                "unknown protocol {pname:?} (valid: dash-sci, mesi, dragon)"
+                            ))
+                        })?
+                    }
+                };
+
                 let pl = get_table(root, "placement")?;
                 let threads = pl
                     .map(|t| get_usize(t, "threads"))
@@ -658,6 +675,7 @@ impl ScenarioSpec {
                     app,
                     steps: get_usize(sc, "steps")?.unwrap_or(1).max(1),
                     hypernodes,
+                    protocol,
                     threads,
                     placement,
                     schedule,
@@ -709,8 +727,8 @@ impl ScenarioSpec {
                 if w.threads == 0 {
                     return serr("placement threads must be at least 1");
                 }
-                if w.hypernodes == 0 || w.hypernodes > 16 {
-                    return serr("topology hypernodes must be in 1..=16");
+                if w.hypernodes == 0 || w.hypernodes > 128 {
+                    return serr("topology hypernodes must be in 1..=128");
                 }
                 if w.checkpoint_every > 0 && !matches!(w.app, WorkloadApp::KernelStream { .. }) {
                     return serr(format!(
@@ -807,6 +825,14 @@ impl ScenarioSpec {
                 let mut topo = Table::new();
                 topo.insert("hypernodes".into(), Value::Int(w.hypernodes as i64));
                 root.insert("topology".into(), Value::Table(topo));
+
+                // The default protocol stays implicit so pre-protocol
+                // specs round-trip byte-identically.
+                if w.protocol != ProtocolKind::DashSci {
+                    let mut pt = Table::new();
+                    pt.insert("name".into(), Value::Str(w.protocol.label().into()));
+                    root.insert("protocol".into(), Value::Table(pt));
+                }
 
                 let mut pl = Table::new();
                 pl.insert("threads".into(), Value::Int(w.threads as i64));
@@ -1032,6 +1058,56 @@ reads = 1000
         )
         .unwrap_err();
         assert!(e.to_string().contains("meteor"), "{e}");
+    }
+
+    #[test]
+    fn protocol_table_selects_backend_and_round_trips() {
+        let text = "schema = 1\n[scenario]\nname = \"w\"\nkind = \"workload\"\n\
+                    [workload]\napp = \"nbody\"\n[topology]\nhypernodes = 32\n\
+                    [protocol]\nname = \"dragon\"\n";
+        let s = ScenarioSpec::from_toml_str(text).unwrap();
+        let ScenarioKind::Workload(w) = &s.kind else {
+            panic!()
+        };
+        assert_eq!(w.protocol, ProtocolKind::Dragon);
+        assert_eq!(w.hypernodes, 32);
+        let canonical = s.to_toml_string();
+        assert!(canonical.contains("[protocol]"), "{canonical}");
+        assert_eq!(ScenarioSpec::from_toml_str(&canonical).unwrap(), s);
+    }
+
+    #[test]
+    fn default_protocol_stays_implicit_in_canonical_form() {
+        let s = ScenarioSpec::from_toml_str(FULL_WORKLOAD).unwrap();
+        let ScenarioKind::Workload(w) = &s.kind else {
+            panic!()
+        };
+        assert_eq!(w.protocol, ProtocolKind::DashSci);
+        assert!(!s.to_toml_string().contains("[protocol]"));
+    }
+
+    #[test]
+    fn unknown_protocol_name_is_rejected_with_valid_labels() {
+        let e = ScenarioSpec::from_toml_str(
+            "schema = 1\n[scenario]\nname = \"w\"\nkind = \"workload\"\n\
+             [workload]\napp = \"nbody\"\n[protocol]\nname = \"moesi\"\n",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("moesi"), "{e}");
+        assert!(e.to_string().contains("dash-sci"), "{e}");
+    }
+
+    #[test]
+    fn hypernodes_bound_extends_to_128() {
+        let at = |n: usize| {
+            ScenarioSpec::from_toml_str(&format!(
+                "schema = 1\n[scenario]\nname = \"w\"\nkind = \"workload\"\n\
+                 [workload]\napp = \"nbody\"\n[topology]\nhypernodes = {n}\n"
+            ))
+        };
+        assert!(at(128).is_ok());
+        let e = at(129).unwrap_err();
+        assert!(e.to_string().contains("1..=128"), "{e}");
     }
 
     #[test]

@@ -41,6 +41,14 @@ pub struct WorkloadOutcome {
 /// a tiny sidecar carrying the host-side loop state (step counter and
 /// accumulated cycles), which the machine snapshot intentionally does
 /// not cover.
+///
+/// The sidecar's third field is the workload array's **region base
+/// address**: restoring a snapshot replays the machine's allocation
+/// sequence, so the region already exists in the restored machine and
+/// must *not* be allocated a second time — the resume path reads the
+/// base from the sidecar instead of calling `alloc` again. A sidecar
+/// without its snapshot (or vice versa) is treated as no checkpoint
+/// at all; always gate resume on [`CheckpointPaths::exists`].
 #[derive(Debug, Clone)]
 pub struct CheckpointPaths {
     /// SPPSNAP1 snapshot file.
@@ -59,6 +67,7 @@ impl CheckpointPaths {
     }
 
     /// True when both halves exist.
+    #[must_use]
     pub fn exists(&self) -> bool {
         self.snap.is_file() && self.side.is_file()
     }
@@ -86,7 +95,7 @@ fn schedule(s: SchedulePolicySpec) -> SchedulePolicy {
 }
 
 fn build_machine(spec: &WorkloadSpec) -> Machine {
-    let mut m = Machine::spp1000(spec.hypernodes);
+    let mut m = Machine::spp1000(spec.hypernodes).with_protocol(spec.protocol);
     if !spec.faults.is_empty() {
         m = m.with_faults(FaultPlan::from_events(spec.fault_seed, &spec.faults));
     }
@@ -259,7 +268,9 @@ fn kernel_stream(
             // already exists in the restored machine; its base comes
             // from the sidecar rather than a second alloc.
             let snap = Snapshot::load(&c.snap).map_err(|e| e.to_string())?;
-            machine = snap.restore(cfg, plan).map_err(|e| e.to_string())?;
+            machine = snap
+                .restore_expecting(cfg, plan, spec.protocol)
+                .map_err(|e| e.to_string())?;
             let side = std::fs::read_to_string(&c.side)
                 .map_err(|e| format!("checkpoint sidecar {}: {e}", c.side.display()))?;
             let mut it = side.split_whitespace();

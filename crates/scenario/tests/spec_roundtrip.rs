@@ -78,8 +78,13 @@ fn arbitrary_spec(rng: &mut TestRng) -> ScenarioSpec {
             let mut s = ScenarioSpec::workload(&name, app);
             if let ScenarioKind::Workload(ref mut w) = s.kind {
                 w.steps = 1 + rng.below(8) as usize;
-                w.hypernodes = 1 + rng.below(16) as usize;
+                w.hypernodes = 1 + rng.below(128) as usize;
                 w.threads = 1 + rng.below(32) as usize;
+                w.protocol = match rng.below(3) {
+                    0 => spp_core::ProtocolKind::DashSci,
+                    1 => spp_core::ProtocolKind::Mesi,
+                    _ => spp_core::ProtocolKind::Dragon,
+                };
                 w.placement = if rng.below(2) == 0 {
                     PlacementPolicy::Uniform
                 } else {
