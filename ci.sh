@@ -62,6 +62,33 @@ cmp target/repro/BENCH_protocol.first.json target/repro/BENCH_protocol.json
 rm -f target/repro/BENCH_protocol.first.json
 echo "   BENCH_protocol.json byte-identical across runs"
 
+echo "== repro-recovery smoke (protocol x transient fault kind, bit-identical recovery)"
+cargo run --release -q -p spp-bench --bin repro-recovery -- --steps 1 >/dev/null
+test -s target/repro/BENCH_recovery.json
+grep -q '"experiment": "recovery"' target/repro/BENCH_recovery.json
+grep -q '"passed": true' target/repro/BENCH_recovery.json
+! grep -q '"recoveries": 0[,}]' target/repro/BENCH_recovery.json
+echo "   target/repro/BENCH_recovery.json OK (every cell recovered)"
+
+echo "== recovery report determinism (two runs, byte-identical JSON)"
+cp target/repro/BENCH_recovery.json target/repro/BENCH_recovery.first.json
+cargo run --release -q -p spp-bench --bin repro-recovery -- --steps 1 >/dev/null
+cmp target/repro/BENCH_recovery.first.json target/repro/BENCH_recovery.json
+rm -f target/repro/BENCH_recovery.first.json
+echo "   BENCH_recovery.json byte-identical across runs"
+
+echo "== recovery scenario matrix (one golden-pinned rollback cell per protocol)"
+# Each cell seeds transients that always exhaust the scrub budget
+# (persistence 1.0), forcing checkpoint rollback-and-replay; the
+# golden counters are the fault-free numbers, so recovery must be
+# bit-identical and zero-cost, and every cell must actually roll back.
+SPP_REPRO_DIR=target/repro/recovery-matrix cargo run --release -q -p spp-bench --bin spp-scenario -- \
+  run --workers 3 scenarios/matrix/kernel-recover-dashsci.toml \
+  scenarios/matrix/kernel-recover-mesi.toml scenarios/matrix/kernel-recover-dragon.toml >/dev/null
+grep -q '"all_as_expected": true' target/repro/recovery-matrix/BENCH_scenarios.json
+test "$(grep -c '"rollbacks": [1-9]' target/repro/recovery-matrix/BENCH_scenarios.json)" -eq 3
+echo "   all three protocols rolled back and matched their fault-free goldens"
+
 echo "== protocol scenario matrix (one golden-pinned cell per protocol)"
 SPP_REPRO_DIR=target/repro/protocol-matrix cargo run --release -q -p spp-bench --bin spp-scenario -- \
   run --workers 3 scenarios/matrix/nbody-dashsci-32.toml \

@@ -1,0 +1,10 @@
+//! Transient coherence-fault recovery campaign: sweep
+//! protocol × fault kind × intensity over the PIC, N-body, and FEM
+//! applications and enforce that every seeded transient is detected,
+//! scrubbed, and finishes bit-identical to the fault-free run, as a
+//! one-cell supervised scenario fleet (crash-contained, PASS/FAIL
+//! classified). Writes `BENCH_recovery.json` under `target/repro/`.
+//! Usage: `repro-recovery [--full] [--steps N]`.
+fn main() {
+    std::process::exit(spp_bench::scenario_cli::run_single("recovery"));
+}

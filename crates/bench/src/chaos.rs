@@ -17,7 +17,7 @@ use crate::{emit, Opts, Table};
 use fem::{Coding, SharedFem};
 use nbody::{NbodyProblem, SharedNbody};
 use pic::{PicProblem, SharedPic};
-use spp_core::{Cycles, FaultPlan, Machine, StallKind, Watchdog};
+use spp_core::{Cycles, FaultPlan, Machine, ProtocolKind, StallKind, Watchdog};
 use spp_runtime::{Placement, Runtime, Team};
 
 /// One injectable fault event of the campaign grid — the unit the
@@ -73,8 +73,8 @@ pub struct CellStats {
     pub degraded_nodes: u128,
 }
 
-fn workload_run(w: Workload, plan: FaultPlan, steps: usize) -> CellStats {
-    let mut rt = Runtime::new(Machine::spp1000(2).with_faults(plan));
+fn workload_run(w: Workload, proto: ProtocolKind, plan: FaultPlan, steps: usize) -> CellStats {
+    let mut rt = Runtime::new(Machine::spp1000(2).with_protocol(proto).with_faults(plan));
     let elapsed = match w {
         Workload::Pic => {
             let team = Team::place(rt.machine.config(), 8, &Placement::Uniform);
@@ -114,13 +114,14 @@ fn workload_run(w: Workload, plan: FaultPlan, steps: usize) -> CellStats {
 /// left to crawl forever).
 pub fn run_cell(
     w: Workload,
+    proto: ProtocolKind,
     seed: u64,
     events: &[ChaosEvent],
     steps: usize,
     budget: &Watchdog,
 ) -> Result<CellStats, String> {
     let plan = build_plan(seed, events);
-    let out = catch_unwind(AssertUnwindSafe(|| workload_run(w, plan, steps)));
+    let out = catch_unwind(AssertUnwindSafe(|| workload_run(w, proto, plan, steps)));
     match out {
         Err(p) => Err(panic_message(p)),
         Ok(stats) => {
@@ -179,6 +180,8 @@ pub fn shrink_events(
 pub struct Cell {
     /// The application.
     pub workload: Workload,
+    /// The coherence protocol the simulated machine runs.
+    pub protocol: ProtocolKind,
     /// Fault-plan seed.
     pub seed: u64,
     /// Fault events layered onto the plan.
@@ -228,6 +231,10 @@ impl Campaign {
             "rings", "gcb",
         ]);
         for r in &self.results {
+            let wl = match r.cell.protocol {
+                ProtocolKind::DashSci => r.cell.workload.label().to_string(),
+                p => format!("{}:{}", r.cell.workload.label(), p.label()),
+            };
             let events = r
                 .cell
                 .events
@@ -237,7 +244,7 @@ impl Campaign {
                 .join("+");
             match (&r.stats, &r.failure) {
                 (Some(s), None) => t.row(vec![
-                    r.cell.workload.label().to_string(),
+                    wl.clone(),
                     r.cell.seed.to_string(),
                     events,
                     "pass".to_string(),
@@ -255,7 +262,7 @@ impl Campaign {
                         .map(|ev| ev.iter().map(|e| e.desc()).collect::<Vec<_>>().join(" + "))
                         .unwrap_or_default();
                     t.row(vec![
-                        r.cell.workload.label().to_string(),
+                        wl,
                         r.cell.seed.to_string(),
                         events,
                         format!("FAIL [{shrunk}] {msg}"),
@@ -292,6 +299,12 @@ impl Campaign {
         out.push_str("  \"grid\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             let comma = if i + 1 < self.results.len() { "," } else { "" };
+            // Only non-default backends carry a protocol field, so the
+            // historical DASH+SCI rows keep their exact bytes.
+            let proto = match r.cell.protocol {
+                ProtocolKind::DashSci => String::new(),
+                p => format!("\"protocol\": \"{}\", ", p.label()),
+            };
             let events = r
                 .cell
                 .events
@@ -301,7 +314,7 @@ impl Campaign {
                 .join(", ");
             match &r.stats {
                 Some(s) => out.push_str(&format!(
-                    "    {{\"workload\": \"{}\", \"seed\": {}, \"events\": [{events}], \
+                    "    {{\"workload\": \"{}\", {proto}\"seed\": {}, \"events\": [{events}], \
                      \"pass\": true, \"elapsed\": {}, \"ring_stalls\": {}, \
                      \"link_reroutes\": {}, \"dead_cpus\": {}, \"failed_rings\": {}, \
                      \"degraded_nodes\": {}}}{comma}\n",
@@ -333,7 +346,7 @@ impl Campaign {
                         })
                         .unwrap_or_default();
                     out.push_str(&format!(
-                        "    {{\"workload\": \"{}\", \"seed\": {}, \"events\": [{events}], \
+                        "    {{\"workload\": \"{}\", {proto}\"seed\": {}, \"events\": [{events}], \
                          \"pass\": false, \"failure\": \"{msg}\", \
                          \"reproducer\": [{shrunk}]}}{comma}\n",
                         r.cell.workload.label(),
@@ -409,9 +422,29 @@ pub fn default_grid(full: bool) -> Vec<Cell> {
             for events in intensities() {
                 cells.push(Cell {
                     workload: w,
+                    protocol: ProtocolKind::DashSci,
                     seed,
                     events,
                 });
+            }
+        }
+    }
+    // The alternative backends ride along after the historical
+    // DASH+SCI rows (appending keeps those rows byte-stable in
+    // BENCH_chaos.json) with a reduced seed set so the smoke grid
+    // stays fast.
+    let alt_seeds: &[u64] = if full { &[11, 23] } else { &[11] };
+    for proto in [ProtocolKind::Mesi, ProtocolKind::Dragon] {
+        for w in [Workload::Pic, Workload::Nbody, Workload::Fem] {
+            for &seed in alt_seeds {
+                for events in intensities() {
+                    cells.push(Cell {
+                        workload: w,
+                        protocol: proto,
+                        seed,
+                        events,
+                    });
+                }
             }
         }
     }
@@ -424,13 +457,14 @@ pub fn default_grid(full: bool) -> Vec<Cell> {
 /// Failing cells are shrunk to minimal reproducers before returning.
 pub fn run_campaign(cells: &[Cell], steps: usize, full: bool) -> Campaign {
     const BUDGET_FACTOR: u64 = 50;
-    let mut clean: Vec<(Workload, Cycles)> = Vec::new();
-    let budget_for = |w: Workload, clean: &mut Vec<(Workload, Cycles)>| -> Watchdog {
-        let base = match clean.iter().find(|(cw, _)| *cw == w) {
+    type CleanKey = (Workload, ProtocolKind);
+    let mut clean: Vec<(CleanKey, Cycles)> = Vec::new();
+    let budget_for = |key: CleanKey, clean: &mut Vec<(CleanKey, Cycles)>| -> Watchdog {
+        let base = match clean.iter().find(|(ck, _)| *ck == key) {
             Some((_, c)) => *c,
             None => {
-                let c = workload_run(w, FaultPlan::new(0), steps).elapsed;
-                clean.push((w, c));
+                let c = workload_run(key.0, key.1, FaultPlan::new(0), steps).elapsed;
+                clean.push((key, c));
                 c
             }
         };
@@ -439,8 +473,15 @@ pub fn run_campaign(cells: &[Cell], steps: usize, full: bool) -> Campaign {
     let results = cells
         .iter()
         .map(|cell| {
-            let budget = budget_for(cell.workload, &mut clean);
-            match run_cell(cell.workload, cell.seed, &cell.events, steps, &budget) {
+            let budget = budget_for((cell.workload, cell.protocol), &mut clean);
+            match run_cell(
+                cell.workload,
+                cell.protocol,
+                cell.seed,
+                &cell.events,
+                steps,
+                &budget,
+            ) {
                 Ok(stats) => CellResult {
                     cell: cell.clone(),
                     stats: Some(stats),
@@ -449,7 +490,8 @@ pub fn run_campaign(cells: &[Cell], steps: usize, full: bool) -> Campaign {
                 },
                 Err(msg) => {
                     let shrunk = shrink_events(&cell.events, |ev| {
-                        run_cell(cell.workload, cell.seed, ev, steps, &budget).is_err()
+                        run_cell(cell.workload, cell.protocol, cell.seed, ev, steps, &budget)
+                            .is_err()
                     });
                     CellResult {
                         cell: cell.clone(),
@@ -530,7 +572,7 @@ mod tests {
     fn healthy_cells_pass_under_checker_and_budget() {
         let wd = Watchdog::new(u64::MAX - 1);
         for w in [Workload::Pic, Workload::Fem] {
-            let s = run_cell(w, 11, &short_events(), 1, &wd)
+            let s = run_cell(w, ProtocolKind::DashSci, 11, &short_events(), 1, &wd)
                 .unwrap_or_else(|e| panic!("{} cell failed: {e}", w.label()));
             assert!(s.elapsed > 0);
             assert_eq!(s.dead_cpus, 1, "{}: cpu 2 must have died", w.label());
@@ -542,16 +584,39 @@ mod tests {
     #[test]
     fn cells_are_deterministic() {
         let wd = Watchdog::new(u64::MAX - 1);
-        let a = run_cell(Workload::Nbody, 23, &short_events(), 1, &wd).unwrap();
-        let b = run_cell(Workload::Nbody, 23, &short_events(), 1, &wd).unwrap();
+        let a = run_cell(
+            Workload::Nbody,
+            ProtocolKind::DashSci,
+            23,
+            &short_events(),
+            1,
+            &wd,
+        )
+        .unwrap();
+        let b = run_cell(
+            Workload::Nbody,
+            ProtocolKind::DashSci,
+            23,
+            &short_events(),
+            1,
+            &wd,
+        )
+        .unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn budget_overrun_is_reported_as_a_watchdog_trip() {
         // A 1-cycle budget: any real run exceeds it.
-        let err = run_cell(Workload::Pic, 11, &[], 1, &Watchdog::new(1))
-            .expect_err("1-cycle budget must trip");
+        let err = run_cell(
+            Workload::Pic,
+            ProtocolKind::DashSci,
+            11,
+            &[],
+            1,
+            &Watchdog::new(1),
+        )
+        .expect_err("1-cycle budget must trip");
         assert!(err.contains("watchdog trip [retry-loop]"), "{err}");
         assert!(err.contains("simulated-cycle budget"), "{err}");
     }
@@ -602,9 +667,56 @@ mod tests {
     }
 
     #[test]
+    fn grid_appends_protocol_cells_after_the_historical_rows() {
+        let grid = default_grid(false);
+        // The historical DASH+SCI prefix is untouched: 3 workloads ×
+        // 2 seeds × 2 intensities, all on the default backend.
+        assert_eq!(grid.len(), 24);
+        assert!(grid[..12]
+            .iter()
+            .all(|c| c.protocol == ProtocolKind::DashSci));
+        assert!(grid[12..]
+            .iter()
+            .all(|c| c.protocol != ProtocolKind::DashSci));
+        for proto in [ProtocolKind::Mesi, ProtocolKind::Dragon] {
+            assert_eq!(grid.iter().filter(|c| c.protocol == proto).count(), 6);
+        }
+    }
+
+    #[test]
+    fn protocol_cells_run_and_tag_their_json_rows() {
+        let cells = vec![
+            Cell {
+                workload: Workload::Pic,
+                protocol: ProtocolKind::DashSci,
+                seed: 11,
+                events: short_events(),
+            },
+            Cell {
+                workload: Workload::Pic,
+                protocol: ProtocolKind::Mesi,
+                seed: 11,
+                events: short_events(),
+            },
+        ];
+        let c = run_campaign(&cells, 1, false);
+        assert!(c.passed(), "{}", c.render());
+        let j = c.to_json();
+        // The default-backend row keeps its historical shape…
+        assert!(j.contains("{\"workload\": \"pic\", \"seed\": 11"), "{j}");
+        // …and the alternative backend is tagged.
+        assert!(
+            j.contains("{\"workload\": \"pic\", \"protocol\": \"mesi\", \"seed\": 11"),
+            "{j}"
+        );
+        assert!(c.render().contains("pic:mesi"), "{}", c.render());
+    }
+
+    #[test]
     fn json_report_is_well_formed() {
         let cells = vec![Cell {
             workload: Workload::Pic,
+            protocol: ProtocolKind::DashSci,
             seed: 11,
             events: short_events(),
         }];
@@ -626,13 +738,29 @@ mod tests {
         // run_cell directly and assemble the result by hand.
         let cell = Cell {
             workload: Workload::Pic,
+            protocol: ProtocolKind::DashSci,
             seed: 11,
             events: short_events(),
         };
-        let failure = run_cell(cell.workload, cell.seed, &cell.events, 1, &Watchdog::new(1))
-            .expect_err("must trip");
+        let failure = run_cell(
+            cell.workload,
+            cell.protocol,
+            cell.seed,
+            &cell.events,
+            1,
+            &Watchdog::new(1),
+        )
+        .expect_err("must trip");
         let shrunk = shrink_events(&cell.events, |ev| {
-            run_cell(cell.workload, cell.seed, ev, 1, &Watchdog::new(1)).is_err()
+            run_cell(
+                cell.workload,
+                cell.protocol,
+                cell.seed,
+                ev,
+                1,
+                &Watchdog::new(1),
+            )
+            .is_err()
         });
         // Every subset trips a 1-cycle budget, so the greedy pass
         // shrinks all the way to the empty list.

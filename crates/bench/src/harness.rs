@@ -90,6 +90,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             name: "protocol",
             runner: crate::protocol::run,
         },
+        Experiment {
+            name: "recovery",
+            runner: crate::recovery::run,
+        },
     ]
 }
 

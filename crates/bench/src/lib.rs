@@ -23,6 +23,7 @@ pub mod harness;
 pub mod latency;
 pub mod protocol;
 pub mod race;
+pub mod recovery;
 pub mod scale;
 pub mod scenario_cli;
 pub mod sensitivity;

@@ -61,6 +61,7 @@ experiment_adapters!(
     ("trace", adapt_trace, crate::trace::run),
     ("race", adapt_race, crate::race::run),
     ("protocol", adapt_protocol, crate::protocol::run),
+    ("recovery", adapt_recovery, crate::recovery::run),
 );
 
 /// Entry point of every `repro-*` binary: run one experiment as a

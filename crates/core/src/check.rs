@@ -63,6 +63,22 @@ pub struct Violation {
     pub detail: String,
 }
 
+impl Violation {
+    /// True if this violation is *recoverable*: a line-local metadata
+    /// disagreement the machine's scrub-and-retry path can repair by
+    /// restoring the line's coherence footprint (transient-fault
+    /// recovery). Clock, counter, and dead-CPU violations are not —
+    /// they mean simulation history is already wrong, not just one
+    /// line's state.
+    pub fn recoverable(&self) -> bool {
+        self.line.is_some()
+            && !matches!(
+                self.invariant,
+                "clock-monotonicity" | "stats-conservation" | "dead-cpu"
+            )
+    }
+}
+
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.line {
@@ -172,7 +188,7 @@ impl Machine {
 
     /// Conservation of the event counters: every cached access is a
     /// hit or exactly one class of miss.
-    fn check_stats(&self, v: &mut Vec<Violation>) {
+    pub(crate) fn check_stats(&self, v: &mut Vec<Violation>) {
         let s = &self.stats;
         let serviced = s.hits + s.local_misses + s.gcb_hits + s.sci_fetches + s.c2c_transfers;
         if serviced != s.accesses() {
@@ -194,8 +210,9 @@ impl Machine {
     }
 
     /// Check the line-local invariants for one line, as the machine's
-    /// protocol defines them (see the module docs).
-    fn check_line(&self, line: u64, v: &mut Vec<Violation>) {
+    /// protocol defines them (see the module docs). Also the detection
+    /// audit of the transient-fault recovery path in `machine.rs`.
+    pub(crate) fn check_line(&self, line: u64, v: &mut Vec<Violation>) {
         match self.protocol {
             crate::ProtocolKind::DashSci => self.check_line_dash(line, v),
             crate::ProtocolKind::Mesi | crate::ProtocolKind::Dragon => {
@@ -663,5 +680,33 @@ mod tests {
         };
         let s = v.to_string();
         assert!(s.contains("single-writer") && s.contains("0x40"));
+    }
+
+    #[test]
+    fn recoverability_splits_line_local_from_history_violations() {
+        let line_local = |invariant| Violation {
+            invariant,
+            line: Some(0x40),
+            detail: String::new(),
+        };
+        for inv in [
+            "single-writer",
+            "dir-cache-agreement",
+            "gcb-inclusion",
+            "sci-well-formed",
+            "snoop-filter-agreement",
+            "protocol-state",
+        ] {
+            assert!(line_local(inv).recoverable(), "{inv}");
+        }
+        for inv in ["clock-monotonicity", "dead-cpu"] {
+            assert!(!line_local(inv).recoverable(), "{inv}");
+        }
+        let global = Violation {
+            invariant: "stats-conservation",
+            line: None,
+            detail: String::new(),
+        };
+        assert!(!global.recoverable());
     }
 }

@@ -195,6 +195,18 @@ pub enum SimError {
         /// The re-entering thread.
         tid: usize,
     },
+    /// A transient coherence fault persisted through the machine's
+    /// entire scrub-and-retry budget. The access never returns wrong
+    /// data — the caller escalates (checkpoint rollback-and-replay,
+    /// or abort).
+    RecoveryExhausted {
+        /// The CPU whose access hit the unrecoverable transient.
+        cpu: u16,
+        /// The corrupted cache line index.
+        line: u64,
+        /// Scrub attempts spent before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -255,6 +267,15 @@ impl fmt::Display for SimError {
             SimError::GateReentered { gate, tid } => {
                 write!(f, "gate {gate:#x} re-entered by thread {tid} (self-deadlock)")
             }
+            SimError::RecoveryExhausted {
+                cpu,
+                line,
+                attempts,
+            } => write!(
+                f,
+                "transient coherence fault on line {line:#x} (cpu {cpu}) persisted \
+                 through {attempts} scrub attempts; escalate to checkpoint rollback"
+            ),
         }
     }
 }
@@ -333,6 +354,16 @@ mod tests {
         assert!(SimError::GateReentered { gate: 0x40, tid: 2 }
             .to_string()
             .contains("re-entered"));
+        let s = SimError::RecoveryExhausted {
+            cpu: 3,
+            line: 0x40,
+            attempts: 8,
+        }
+        .to_string();
+        assert!(
+            s.contains("persisted") && s.contains("8 scrub attempts"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -12,6 +12,14 @@
 //!   timeout and discards duplicate deliveries by sequence number.
 //! * **Failed thread spawns** — consulted by the runtime's fork paths,
 //!   which retry with exponential backoff.
+//! * **Transient coherence faults** — dropped, duplicated, or delayed
+//!   invalidations, lost Dragon update broadcasts, stale directory
+//!   acks, and single-line state corruption, injected through the
+//!   protocol seam after each access. [`crate::Machine`] detects the
+//!   resulting invariant violations with the coherence checker's
+//!   per-protocol invariant sets and repairs them with a bounded
+//!   scrub-and-retry loop (see `DESIGN.md` §4i); whether a corruption
+//!   *persists* across a scrub attempt is its own decision stream.
 //!
 //! Each site draws from its own counter-indexed stream: whether the
 //! *n*-th event at a site faults is a pure function of `(seed, site,
@@ -141,6 +149,53 @@ pub enum FaultEvent {
         /// Trigger clock.
         at_cycle: Cycles,
     },
+    /// Transient coherence fault: an invalidation is dropped in
+    /// flight, leaving a stale valid copy behind (detected and
+    /// scrubbed by the machine's recovery path).
+    InvalDrop {
+        /// Per-access injection probability.
+        prob: f64,
+    },
+    /// Transient coherence fault: an invalidation is duplicated, the
+    /// twin tearing down a copy the metadata still records.
+    InvalDup {
+        /// Per-access injection probability.
+        prob: f64,
+    },
+    /// Transient coherence fault: an invalidation is delayed past the
+    /// access, a stale buffered copy surviving alongside the writer.
+    InvalDelay {
+        /// Per-access injection probability.
+        prob: f64,
+    },
+    /// Transient coherence fault: a Dragon write-update broadcast is
+    /// lost, a sharer's copy vanishing while the holder filter still
+    /// lists it (Dragon backend only).
+    UpdateLoss {
+        /// Per-access injection probability.
+        prob: f64,
+    },
+    /// Transient coherence fault: a directory ack arrives stale,
+    /// recording a sharer that no longer holds the line (DASH+SCI
+    /// backend only).
+    AckStale {
+        /// Per-access injection probability.
+        prob: f64,
+    },
+    /// Transient coherence fault: a single line's cache state is
+    /// corrupted (bit-flip class — e.g. a Shared copy reads back
+    /// Modified).
+    LineCorrupt {
+        /// Per-access injection probability.
+        prob: f64,
+    },
+    /// How likely an injected transient is to *persist* across one
+    /// scrub attempt (0 = every fault heals on the first retry; near
+    /// 1 escalates to checkpoint rollback).
+    TransientPersist {
+        /// Per-scrub persistence probability.
+        prob: f64,
+    },
 }
 
 impl FaultEvent {
@@ -153,6 +208,13 @@ impl FaultEvent {
             FaultEvent::CpuFail { .. } => "cpu-fail",
             FaultEvent::LinkFail { .. } => "link-fail",
             FaultEvent::GcbDegrade { .. } => "gcb-degrade",
+            FaultEvent::InvalDrop { .. } => "inval-drop",
+            FaultEvent::InvalDup { .. } => "inval-dup",
+            FaultEvent::InvalDelay { .. } => "inval-delay",
+            FaultEvent::UpdateLoss { .. } => "update-loss",
+            FaultEvent::AckStale { .. } => "ack-stale",
+            FaultEvent::LineCorrupt { .. } => "line-corrupt",
+            FaultEvent::TransientPersist { .. } => "transient-persist",
         }
     }
 
@@ -172,6 +234,13 @@ impl FaultEvent {
             FaultEvent::GcbDegrade { node, at_cycle } => {
                 format!("gcb-degrade(node={node}@{at_cycle})")
             }
+            FaultEvent::InvalDrop { prob } => format!("inval-drop(p={prob})"),
+            FaultEvent::InvalDup { prob } => format!("inval-dup(p={prob})"),
+            FaultEvent::InvalDelay { prob } => format!("inval-delay(p={prob})"),
+            FaultEvent::UpdateLoss { prob } => format!("update-loss(p={prob})"),
+            FaultEvent::AckStale { prob } => format!("ack-stale(p={prob})"),
+            FaultEvent::LineCorrupt { prob } => format!("line-corrupt(p={prob})"),
+            FaultEvent::TransientPersist { prob } => format!("transient-persist(p={prob})"),
         }
     }
 
@@ -188,23 +257,49 @@ impl FaultEvent {
                 reroute_cycles,
             } => plan.with_link_failure(ring, at_cycle, reroute_cycles),
             FaultEvent::GcbDegrade { node, at_cycle } => plan.with_gcb_degrade(node, at_cycle),
+            FaultEvent::InvalDrop { prob } => plan.with_inval_drops(prob),
+            FaultEvent::InvalDup { prob } => plan.with_inval_dups(prob),
+            FaultEvent::InvalDelay { prob } => plan.with_inval_delays(prob),
+            FaultEvent::UpdateLoss { prob } => plan.with_update_loss(prob),
+            FaultEvent::AckStale { prob } => plan.with_ack_stale(prob),
+            FaultEvent::LineCorrupt { prob } => plan.with_line_corruption(prob),
+            FaultEvent::TransientPersist { prob } => plan.with_transient_persistence(prob),
         }
     }
 }
+
+/// Number of independent fault-decision streams (sites). Grows only
+/// by appending: existing sites keep their indices and salts forever,
+/// so adding a stream can never perturb another site's n-th decision.
+pub const N_FAULT_SITES: usize = 11;
 
 /// Fault-site indices into the per-site counters.
 const SITE_RING: usize = 0;
 const SITE_DROP: usize = 1;
 const SITE_DUP: usize = 2;
 const SITE_SPAWN: usize = 3;
+const SITE_TDROP: usize = 4;
+const SITE_TDUP: usize = 5;
+const SITE_TDELAY: usize = 6;
+const SITE_TUPD: usize = 7;
+const SITE_TACK: usize = 8;
+const SITE_TCORR: usize = 9;
+const SITE_TPERSIST: usize = 10;
 
-/// Per-site salts keep the four decision streams independent even for
+/// Per-site salts keep the decision streams independent even for
 /// equal counters.
-const SALTS: [u64; 4] = [
+const SALTS: [u64; N_FAULT_SITES] = [
     0x5249_4E47_u64, // "RING"
     0x4452_4F50_u64, // "DROP"
     0x4455_505F_u64, // "DUP_"
     0x5350_574E_u64, // "SPWN"
+    0x5444_5250_u64, // "TDRP"
+    0x5444_5550_u64, // "TDUP"
+    0x5444_4C59_u64, // "TDLY"
+    0x5455_5044_u64, // "TUPD"
+    0x5441_434B_u64, // "TACK"
+    0x5443_4F52_u64, // "TCOR"
+    0x5450_4552_u64, // "TPER"
 ];
 
 /// A seeded, deterministic schedule of transient faults.
@@ -224,7 +319,22 @@ pub struct FaultPlan {
     /// Probability that a thread spawn fails (runtime retries with
     /// backoff).
     pub spawn_fail_prob: f64,
-    counters: [u64; 4],
+    /// Probability that an access's invalidation is dropped in flight.
+    pub inval_drop_prob: f64,
+    /// Probability that an access's invalidation is duplicated.
+    pub inval_dup_prob: f64,
+    /// Probability that an access's invalidation is delayed past it.
+    pub inval_delay_prob: f64,
+    /// Probability that a Dragon update broadcast is lost.
+    pub update_loss_prob: f64,
+    /// Probability that a directory ack arrives stale.
+    pub ack_stale_prob: f64,
+    /// Probability that an access corrupts a single line's state.
+    pub line_corrupt_prob: f64,
+    /// Probability that an injected transient survives one scrub
+    /// attempt (drives the detect-and-retry loop toward rollback).
+    pub transient_persist_prob: f64,
+    counters: [u64; N_FAULT_SITES],
     /// Scheduled persistent failures, applied by the machine when its
     /// access clock reaches each trigger cycle.
     hard_faults: Vec<HardFault>,
@@ -241,7 +351,14 @@ impl FaultPlan {
             msg_drop_prob: 0.0,
             msg_dup_prob: 0.0,
             spawn_fail_prob: 0.0,
-            counters: [0; 4],
+            inval_drop_prob: 0.0,
+            inval_dup_prob: 0.0,
+            inval_delay_prob: 0.0,
+            update_loss_prob: 0.0,
+            ack_stale_prob: 0.0,
+            line_corrupt_prob: 0.0,
+            transient_persist_prob: 0.0,
+            counters: [0; N_FAULT_SITES],
             hard_faults: Vec::new(),
         }
     }
@@ -282,6 +399,49 @@ impl FaultPlan {
     /// Enable spawn failures with probability `prob` per spawn attempt.
     pub fn with_spawn_failures(mut self, prob: f64) -> Self {
         self.spawn_fail_prob = prob;
+        self
+    }
+
+    /// Enable dropped-invalidation transients at `prob` per access.
+    pub fn with_inval_drops(mut self, prob: f64) -> Self {
+        self.inval_drop_prob = prob;
+        self
+    }
+
+    /// Enable duplicated-invalidation transients at `prob` per access.
+    pub fn with_inval_dups(mut self, prob: f64) -> Self {
+        self.inval_dup_prob = prob;
+        self
+    }
+
+    /// Enable delayed-invalidation transients at `prob` per access.
+    pub fn with_inval_delays(mut self, prob: f64) -> Self {
+        self.inval_delay_prob = prob;
+        self
+    }
+
+    /// Enable lost Dragon update broadcasts at `prob` per access.
+    pub fn with_update_loss(mut self, prob: f64) -> Self {
+        self.update_loss_prob = prob;
+        self
+    }
+
+    /// Enable stale directory acks at `prob` per access.
+    pub fn with_ack_stale(mut self, prob: f64) -> Self {
+        self.ack_stale_prob = prob;
+        self
+    }
+
+    /// Enable single-line state corruption at `prob` per access.
+    pub fn with_line_corruption(mut self, prob: f64) -> Self {
+        self.line_corrupt_prob = prob;
+        self
+    }
+
+    /// Set the probability that an injected transient persists across
+    /// one scrub attempt (default 0: the first retry always heals).
+    pub fn with_transient_persistence(mut self, prob: f64) -> Self {
+        self.transient_persist_prob = prob;
         self
     }
 
@@ -334,19 +494,45 @@ impl FaultPlan {
             || self.msg_drop_prob > 0.0
             || self.msg_dup_prob > 0.0
             || self.spawn_fail_prob > 0.0
+            || self.transients_active()
             || !self.hard_faults.is_empty()
     }
 
-    /// Events drawn so far at each site (ring, drop, dup, spawn) —
-    /// diagnostics for determinism tests.
-    pub fn draws(&self) -> [u64; 4] {
+    /// True if any transient *coherence* fault class is enabled (the
+    /// machine's protocol seam only pays for injection when so).
+    pub fn transients_active(&self) -> bool {
+        self.inval_drop_prob > 0.0
+            || self.inval_dup_prob > 0.0
+            || self.inval_delay_prob > 0.0
+            || self.update_loss_prob > 0.0
+            || self.ack_stale_prob > 0.0
+            || self.line_corrupt_prob > 0.0
+    }
+
+    /// Events drawn so far at each site — diagnostics for determinism
+    /// tests and the checkpoint-rollback replay path. Sites 0..4 are
+    /// the historical streams (ring, drop, dup, spawn); 4..10 the
+    /// transient-coherence streams (inval drop/dup/delay, update loss,
+    /// stale ack, line corruption); 10 the scrub-persistence stream.
+    pub fn draws(&self) -> [u64; N_FAULT_SITES] {
         self.counters
+    }
+
+    /// Advance each site's draw counter to at least the given value —
+    /// never backwards. Rollback-and-replay uses this after restoring
+    /// a checkpoint: replayed accesses then draw *later* decisions, so
+    /// the transient that forced the rollback cannot re-fire
+    /// identically forever.
+    pub fn advance_draws(&mut self, floor: [u64; N_FAULT_SITES]) {
+        for (c, f) in self.counters.iter_mut().zip(floor) {
+            *c = (*c).max(f);
+        }
     }
 
     /// Restore the per-site draw counters (checkpoint/restart support:
     /// a resumed plan continues its decision streams where the
     /// snapshot left off).
-    pub(crate) fn restore_counters(&mut self, counters: [u64; 4]) {
+    pub(crate) fn restore_counters(&mut self, counters: [u64; N_FAULT_SITES]) {
         self.counters = counters;
     }
 
@@ -392,6 +578,41 @@ impl FaultPlan {
     /// Does the next thread spawn attempt fail?
     pub fn spawn_fails(&mut self) -> bool {
         self.decide(SITE_SPAWN, self.spawn_fail_prob)
+    }
+
+    /// Is the next access's invalidation dropped in flight?
+    pub fn inval_dropped(&mut self) -> bool {
+        self.decide(SITE_TDROP, self.inval_drop_prob)
+    }
+
+    /// Is the next access's invalidation duplicated?
+    pub fn inval_duplicated(&mut self) -> bool {
+        self.decide(SITE_TDUP, self.inval_dup_prob)
+    }
+
+    /// Is the next access's invalidation delayed past it?
+    pub fn inval_delayed(&mut self) -> bool {
+        self.decide(SITE_TDELAY, self.inval_delay_prob)
+    }
+
+    /// Is the next Dragon update broadcast lost?
+    pub fn update_lost(&mut self) -> bool {
+        self.decide(SITE_TUPD, self.update_loss_prob)
+    }
+
+    /// Does the next directory ack arrive stale?
+    pub fn ack_stales(&mut self) -> bool {
+        self.decide(SITE_TACK, self.ack_stale_prob)
+    }
+
+    /// Does the next access corrupt a line's state?
+    pub fn line_corrupts(&mut self) -> bool {
+        self.decide(SITE_TCORR, self.line_corrupt_prob)
+    }
+
+    /// Does an injected transient persist across this scrub attempt?
+    pub fn transient_persists(&mut self) -> bool {
+        self.decide(SITE_TPERSIST, self.transient_persist_prob)
     }
 }
 
@@ -503,7 +724,124 @@ mod tests {
             assert!(p.ring_stall().is_none());
             assert!(!p.drops_message());
             assert!(!p.spawn_fails());
+            assert!(!p.inval_dropped());
+            assert!(!p.update_lost());
+            assert!(!p.line_corrupts());
+            assert!(!p.transient_persists());
         }
-        assert_eq!(p.draws(), [0; 4]);
+        assert_eq!(p.draws(), [0; N_FAULT_SITES]);
+    }
+
+    #[test]
+    fn transient_streams_do_not_perturb_historical_sites() {
+        // A plan that additionally draws every transient stream must
+        // reproduce the exact ring/drop/dup/spawn decisions of a plan
+        // that never touches them: the new sites are appended, salted
+        // streams — not interleaved into the old ones.
+        let transients = |p: FaultPlan| {
+            p.with_inval_drops(0.3)
+                .with_inval_dups(0.3)
+                .with_inval_delays(0.3)
+                .with_update_loss(0.3)
+                .with_ack_stale(0.3)
+                .with_line_corruption(0.3)
+                .with_transient_persistence(0.3)
+        };
+        let mut a = FaultPlan::standard(7);
+        let mut b = transients(FaultPlan::standard(7));
+        let old_a: Vec<_> = (0..80)
+            .map(|_| {
+                (
+                    a.ring_stall().is_some(),
+                    a.drops_message(),
+                    a.duplicates_message(),
+                    a.spawn_fails(),
+                )
+            })
+            .collect();
+        let old_b: Vec<_> = (0..80)
+            .map(|_| {
+                b.inval_dropped();
+                b.inval_duplicated();
+                b.inval_delayed();
+                b.update_lost();
+                b.ack_stales();
+                b.line_corrupts();
+                b.transient_persists();
+                (
+                    b.ring_stall().is_some(),
+                    b.drops_message(),
+                    b.duplicates_message(),
+                    b.spawn_fails(),
+                )
+            })
+            .collect();
+        assert_eq!(old_a, old_b);
+        assert_eq!(a.draws()[..4], b.draws()[..4]);
+    }
+
+    #[test]
+    fn transient_event_labels_and_descriptions_are_stable() {
+        let cases = [
+            (
+                FaultEvent::InvalDrop { prob: 0.1 },
+                "inval-drop",
+                "inval-drop(p=0.1)",
+            ),
+            (
+                FaultEvent::InvalDup { prob: 0.1 },
+                "inval-dup",
+                "inval-dup(p=0.1)",
+            ),
+            (
+                FaultEvent::InvalDelay { prob: 0.1 },
+                "inval-delay",
+                "inval-delay(p=0.1)",
+            ),
+            (
+                FaultEvent::UpdateLoss { prob: 0.1 },
+                "update-loss",
+                "update-loss(p=0.1)",
+            ),
+            (
+                FaultEvent::AckStale { prob: 0.1 },
+                "ack-stale",
+                "ack-stale(p=0.1)",
+            ),
+            (
+                FaultEvent::LineCorrupt { prob: 0.1 },
+                "line-corrupt",
+                "line-corrupt(p=0.1)",
+            ),
+            (
+                FaultEvent::TransientPersist { prob: 0.9 },
+                "transient-persist",
+                "transient-persist(p=0.9)",
+            ),
+        ];
+        for (e, label, desc) in cases {
+            assert_eq!(e.label(), label);
+            assert_eq!(e.desc(), desc);
+            let plan = FaultPlan::from_events(5, &[e]);
+            assert_eq!(plan, e.apply(FaultPlan::new(5)));
+        }
+        let active = FaultPlan::new(1).with_ack_stale(0.2);
+        assert!(active.is_active() && active.transients_active());
+        let persist_only = FaultPlan::new(1).with_transient_persistence(0.9);
+        assert!(!persist_only.transients_active());
+    }
+
+    #[test]
+    fn advance_draws_is_a_monotone_floor() {
+        let mut p = FaultPlan::new(3).with_line_corruption(1.0);
+        for _ in 0..5 {
+            p.line_corrupts();
+        }
+        let mut floor = [0; N_FAULT_SITES];
+        floor[9] = 3; // behind: must not move backwards
+        floor[10] = 7; // ahead: must jump forward
+        p.advance_draws(floor);
+        assert_eq!(p.draws()[9], 5);
+        assert_eq!(p.draws()[10], 7);
     }
 }

@@ -65,7 +65,7 @@ pub use config::{CpuId, FuId, MachineConfig, NodeId, RingId};
 pub use diagram::system_diagram;
 pub use error::{ConfigError, SimError};
 pub use fastport::FastPort;
-pub use fault::{FaultEvent, FaultPlan, HardFault};
+pub use fault::{FaultEvent, FaultPlan, HardFault, N_FAULT_SITES};
 pub use latency::{cycles_to_us, us_to_cycles, Cycles, LatencyModel};
 pub use machine::Machine;
 pub use mem::{AddressSpace, MemClass, Region};

@@ -84,7 +84,60 @@ pub struct Machine {
     /// Which entries of the plan's hard-fault schedule have fired
     /// (bit index into [`FaultPlan::hard_faults`]).
     pub(crate) hard_applied: u64,
+    /// Set when a transient coherence fault persisted through the
+    /// whole scrub budget. [`Machine::read`]/[`Machine::write`] panic
+    /// on it; [`Machine::try_read`]/[`Machine::try_write`] return it
+    /// as a typed error so callers can roll back to a checkpoint.
+    pending_recovery_failure: Option<SimError>,
 }
+
+/// The full coherence footprint of one line, captured before a
+/// transient fault is injected: every valid CPU-cache copy, each
+/// hypernode directory's entry, and the snoop filter's holder list
+/// (in order — list order is protocol state). The scrub path restores
+/// exactly this; the injected corruptions mutate nothing else.
+#[derive(Debug, Clone)]
+struct LineImage {
+    /// `(cpu, state)` for every CPU caching the line valid.
+    cache: Vec<(usize, LineState)>,
+    /// Per-node directory entry: `(sharer mask, owner)`.
+    dirs: Vec<Option<(u8, Option<u8>)>>,
+    /// Snoop-filter holders, in filter order.
+    snoop: Vec<u16>,
+}
+
+/// The transient coherence-fault kinds the protocol seam can inject
+/// (each drawing from its own [`FaultPlan`] decision stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TransientKind {
+    InvalDrop,
+    InvalDup,
+    InvalDelay,
+    UpdateLoss,
+    AckStale,
+    LineCorrupt,
+}
+
+impl TransientKind {
+    /// The kind's [`FaultPlan`] decision-stream (site) index, as
+    /// reported in [`TraceEvent::TransientFault`].
+    fn site(self) -> u8 {
+        match self {
+            TransientKind::InvalDrop => 4,
+            TransientKind::InvalDup => 5,
+            TransientKind::InvalDelay => 6,
+            TransientKind::UpdateLoss => 7,
+            TransientKind::AckStale => 8,
+            TransientKind::LineCorrupt => 9,
+        }
+    }
+}
+
+/// Scrub-attempt budget for one injected transient, spent in
+/// [`crate::retry_backoff`] units (1 + 2 + 4 + ... per attempt): 255
+/// units buys exactly 8 doubling attempts before the machine gives up
+/// and escalates to [`SimError::RecoveryExhausted`].
+const SCRUB_BUDGET: u64 = 255;
 
 impl Machine {
     /// Build a machine from a configuration.
@@ -132,6 +185,7 @@ impl Machine {
             failed_rings: 0,
             degraded_gcbs: 0,
             hard_applied: 0,
+            pending_recovery_failure: None,
         };
         let enable = std::env::var("SPP_CHECK")
             .map(|v| v != "0")
@@ -379,7 +433,34 @@ impl Machine {
 
     /// A cached read of the line containing `addr` by `cpu`. Returns
     /// the access latency in cycles.
+    ///
+    /// Panics if a transient coherence fault persisted through the
+    /// whole scrub budget (the state is already restored, so nothing
+    /// wrong is ever returned); [`Machine::try_read`] surfaces that
+    /// case as a typed error instead.
     pub fn read(&mut self, cpu: CpuId, addr: u64) -> Cycles {
+        let cost = self.read_impl(cpu, addr);
+        if let Some(e) = self.pending_recovery_failure.take() {
+            panic!("{e}");
+        }
+        cost
+    }
+
+    /// Fallible twin of [`Machine::read`]: returns
+    /// [`SimError::RecoveryExhausted`] instead of panicking when a
+    /// transient coherence fault survives every scrub attempt. The
+    /// machine state is already restored to the pre-fault footprint
+    /// when this returns `Err` — the caller escalates (typically
+    /// checkpoint rollback-and-replay) rather than consuming data.
+    pub fn try_read(&mut self, cpu: CpuId, addr: u64) -> Result<Cycles, SimError> {
+        let cost = self.read_impl(cpu, addr);
+        match self.pending_recovery_failure.take() {
+            Some(e) => Err(e),
+            None => Ok(cost),
+        }
+    }
+
+    fn read_impl(&mut self, cpu: CpuId, addr: u64) -> Cycles {
         let before = self.stats;
         self.apply_due_hard_faults();
         self.stats.reads += 1;
@@ -403,7 +484,29 @@ impl Machine {
 
     /// A cached write to the line containing `addr` by `cpu`. Returns
     /// the access latency in cycles.
+    ///
+    /// Panics if a transient coherence fault persisted through the
+    /// whole scrub budget, exactly like [`Machine::read`];
+    /// [`Machine::try_write`] is the typed-error twin.
     pub fn write(&mut self, cpu: CpuId, addr: u64) -> Cycles {
+        let cost = self.write_impl(cpu, addr);
+        if let Some(e) = self.pending_recovery_failure.take() {
+            panic!("{e}");
+        }
+        cost
+    }
+
+    /// Fallible twin of [`Machine::write`]; see [`Machine::try_read`]
+    /// for the recovery-escalation contract.
+    pub fn try_write(&mut self, cpu: CpuId, addr: u64) -> Result<Cycles, SimError> {
+        let cost = self.write_impl(cpu, addr);
+        match self.pending_recovery_failure.take() {
+            Some(e) => Err(e),
+            None => Ok(cost),
+        }
+    }
+
+    fn write_impl(&mut self, cpu: CpuId, addr: u64) -> Cycles {
         let before = self.stats;
         self.apply_due_hard_faults();
         self.stats.writes += 1;
@@ -688,6 +791,401 @@ impl Machine {
         }
     }
 
+    /// True when the installed fault plan can inject transient
+    /// coherence faults. Drives the scalar fallback in the batched
+    /// runs: every element must pass through the protocol seam so the
+    /// per-site decision streams advance exactly as in the scalar
+    /// loop.
+    fn transients_active(&self) -> bool {
+        self.faults
+            .as_ref()
+            .map(|f| f.transients_active())
+            .unwrap_or(false)
+    }
+
+    /// The transient coherence-fault seam, called by every protocol
+    /// backend at the end of [`CoherenceProtocol::read_access`] /
+    /// [`CoherenceProtocol::write_access`]. Draws the per-kind
+    /// decision streams, injects at most one corruption into the
+    /// accessed line's footprint, detects it with the line-local
+    /// invariant audit, and repairs it with a bounded scrub loop.
+    ///
+    /// Recovery is free in simulated time: the access's cycle cost
+    /// and the machine clock are never touched, only the
+    /// [`MemStats::recoveries`]/[`MemStats::recovery_retries`]
+    /// counters move — which is what makes a recovered run
+    /// bit-identical to the fault-free run
+    /// ([`MemStats::eq_modulo_recovery`]).
+    pub(crate) fn inject_transient(&mut self, cpu: CpuId, addr: u64, line: u64) {
+        if !self.transients_active() || self.is_cpu_dead(cpu) {
+            // Dead CPUs' drained accesses carry no new coherence
+            // traffic for a transient to land on.
+            return;
+        }
+        self.inject_transient_cold(cpu, addr, line);
+    }
+
+    #[cold]
+    fn inject_transient_cold(&mut self, cpu: CpuId, addr: u64, line: u64) {
+        // Draw every enabled, protocol-applicable stream in fixed
+        // site order; the first that fires picks the fault kind.
+        // Unconditional draws keep each site's counter advancing at
+        // the same per-access rate no matter which kind lands.
+        let dragon = self.protocol == ProtocolKind::Dragon;
+        let dashsci = self.protocol == ProtocolKind::DashSci;
+        let Some(p) = self.faults.as_mut() else {
+            return;
+        };
+        let hits = [
+            p.inval_dropped(),
+            p.inval_duplicated(),
+            p.inval_delayed(),
+            if dragon { p.update_lost() } else { false },
+            if dashsci { p.ack_stales() } else { false },
+            p.line_corrupts(),
+        ];
+        const KINDS: [TransientKind; 6] = [
+            TransientKind::InvalDrop,
+            TransientKind::InvalDup,
+            TransientKind::InvalDelay,
+            TransientKind::UpdateLoss,
+            TransientKind::AckStale,
+            TransientKind::LineCorrupt,
+        ];
+        let Some(kind) = KINDS
+            .iter()
+            .zip(hits)
+            .find(|(_, hit)| *hit)
+            .map(|(k, _)| *k)
+        else {
+            return;
+        };
+        let image = self.capture_line_image(line);
+        if !self.apply_transient_corruption(kind, cpu, addr, line) {
+            // No victim candidate (e.g. no second holder to lose an
+            // update): the fault lands on nothing.
+            return;
+        }
+        let mut found = Vec::new();
+        self.check_line(line, &mut found);
+        if found.is_empty() || found.iter().any(|v| !v.recoverable()) {
+            // Masked (or mis-modelled) corruption: never leave wrong
+            // data behind — put the footprint back and move on.
+            self.restore_line_image(line, &image);
+            return;
+        }
+        self.emit(
+            cpu,
+            TraceEvent::TransientFault {
+                line,
+                site: kind.site(),
+            },
+        );
+        // Bounded detect-and-retry: each scrub restores the captured
+        // footprint (a directory-directed re-fetch of the line); a
+        // persisting transient reasserts the same corruption until
+        // the doubling retry_backoff budget is spent.
+        let mut attempts: u32 = 0;
+        let mut spent: u64 = 0;
+        loop {
+            attempts += 1;
+            self.stats.recovery_retries += 1;
+            spent = spent.saturating_add(crate::retry_backoff(1, attempts - 1));
+            self.restore_line_image(line, &image);
+            let persists = self
+                .faults
+                .as_mut()
+                .map(|f| f.transient_persists())
+                .unwrap_or(false);
+            if !persists {
+                break;
+            }
+            if spent >= SCRUB_BUDGET {
+                // Exhausted. State is restored (the access returns
+                // correct data or nothing), but the line cannot be
+                // trusted going forward: escalate.
+                self.pending_recovery_failure = Some(SimError::RecoveryExhausted {
+                    cpu: cpu.0,
+                    line,
+                    attempts,
+                });
+                return;
+            }
+            self.apply_transient_corruption(kind, cpu, addr, line);
+        }
+        self.stats.recoveries += 1;
+        self.emit(cpu, TraceEvent::Recovery { line, attempts });
+        debug_assert!(
+            {
+                let mut v = Vec::new();
+                self.check_line(line, &mut v);
+                v.is_empty()
+            },
+            "scrub left line {line:#x} in violation"
+        );
+    }
+
+    /// Capture the full coherence footprint of `line` (see
+    /// [`LineImage`]).
+    fn capture_line_image(&self, line: u64) -> LineImage {
+        let cache = (0..self.cfg.num_cpus())
+            .filter_map(|c| {
+                let s = self.caches[c].lookup(line);
+                (s != LineState::Invalid).then_some((c, s))
+            })
+            .collect();
+        let dirs = self
+            .dirs
+            .iter()
+            .map(|d| d.get(line).map(|e| (e.sharers, e.owner)))
+            .collect();
+        let snoop = self.snoop.holders(line).to_vec();
+        LineImage { cache, dirs, snoop }
+    }
+
+    /// Restore `line`'s coherence footprint to `img`, touching
+    /// nothing else. The injected corruptions only mutate existing
+    /// entries or this line's own slots, so the refill below can
+    /// never displace an unrelated line.
+    fn restore_line_image(&mut self, line: u64, img: &LineImage) {
+        for c in 0..self.cfg.num_cpus() {
+            let cur = self.caches[c].lookup(line);
+            let want = img.cache.iter().find(|(cpu, _)| *cpu == c).map(|(_, s)| *s);
+            match (cur, want) {
+                (LineState::Invalid, Some(s)) => {
+                    let evicted = self.caches[c].fill(line, s);
+                    debug_assert!(
+                        evicted.is_none(),
+                        "scrub refill displaced an unrelated line"
+                    );
+                }
+                (_, Some(s)) if cur != s => self.caches[c].set_state(line, s),
+                (_, None) if cur != LineState::Invalid => {
+                    self.caches[c].invalidate(line);
+                }
+                _ => {}
+            }
+        }
+        for (n, want) in img.dirs.iter().enumerate() {
+            self.dirs[n].take(line);
+            if let Some((sharers, owner)) = want {
+                if let Some(o) = owner {
+                    self.dirs[n].set_owner(line, *o);
+                }
+                for b in 0..8u8 {
+                    if sharers & (1 << b) != 0 && Some(b) != *owner {
+                        self.dirs[n].add_sharer(line, b);
+                    }
+                }
+            }
+        }
+        let cur: Vec<u16> = self.snoop.holders(line).to_vec();
+        for c in cur {
+            self.snoop.remove(line, c);
+        }
+        for c in &img.snoop {
+            self.snoop.add(line, *c);
+        }
+    }
+
+    /// Apply `kind`'s corruption to `line`'s footprint, picking a
+    /// deterministic victim from the current state (lowest-index
+    /// candidate, preferring one that is not the accessor). Returns
+    /// false when no candidate exists, in which case nothing was
+    /// mutated. Re-invoked with identical state (after a scrub
+    /// restore), this reproduces the exact same mutation.
+    fn apply_transient_corruption(
+        &mut self,
+        kind: TransientKind,
+        cpu: CpuId,
+        addr: u64,
+        line: u64,
+    ) -> bool {
+        let accessor = cpu.0 as usize;
+        let holders: Vec<usize> = (0..self.cfg.num_cpus())
+            .filter(|&c| self.caches[c].lookup(line) != LineState::Invalid)
+            .collect();
+        let other_holder = holders.iter().copied().find(|&c| c != accessor);
+        match kind {
+            TransientKind::InvalDrop => {
+                // A dropped invalidation leaves a stale copy alive in
+                // a cache the metadata believes clean of it.
+                let victim = (0..self.cfg.num_cpus()).find(|&c| {
+                    c != accessor
+                        && !self.is_cpu_dead(CpuId(c as u16))
+                        && self.caches[c].lookup(line) == LineState::Invalid
+                        && self.caches[c].peek_victim(line).is_none()
+                });
+                let Some(v) = victim else { return false };
+                self.caches[v].fill(line, LineState::Shared);
+                true
+            }
+            TransientKind::InvalDup => {
+                // A duplicated invalidation tears down a copy the
+                // metadata still records.
+                let Some(v) = other_holder.or_else(|| holders.first().copied()) else {
+                    return false;
+                };
+                self.caches[v].invalidate(line);
+                true
+            }
+            TransientKind::InvalDelay => {
+                // A delayed invalidation's stale record lingers in
+                // the metadata for a CPU that no longer holds it.
+                let victim = (0..self.cfg.num_cpus()).find(|&c| {
+                    c != accessor
+                        && !self.is_cpu_dead(CpuId(c as u16))
+                        && self.caches[c].lookup(line) == LineState::Invalid
+                });
+                let Some(v) = victim else { return false };
+                self.phantom_metadata(line, v);
+                true
+            }
+            TransientKind::UpdateLoss => {
+                // Dragon only: an update broadcast never reached one
+                // sharer, whose copy drops out of the coherent set
+                // while the filter still lists it.
+                let Some(v) = other_holder else { return false };
+                self.caches[v].invalidate(line);
+                true
+            }
+            TransientKind::AckStale => {
+                // DASH+SCI only: the home directory records a sharer
+                // from a stale invalidation ack.
+                let hnode = self.space.home_of(addr).0;
+                let cpn = self.cfg.cpus_per_node();
+                let base = hnode.0 as usize * cpn;
+                let victim = (base..base + cpn).find(|&c| {
+                    c != accessor
+                        && !self.is_cpu_dead(CpuId(c as u16))
+                        && self.caches[c].lookup(line) == LineState::Invalid
+                });
+                let Some(v) = victim else { return false };
+                self.phantom_metadata(line, v);
+                true
+            }
+            TransientKind::LineCorrupt => {
+                // Single-event upset in a tag/state array: flip a
+                // Shared copy to Modified when that breaks the
+                // single-writer invariant, otherwise knock the sole
+                // holder out of the metadata.
+                if holders.len() >= 2 {
+                    let shared = holders
+                        .iter()
+                        .copied()
+                        .find(|&c| {
+                            c != accessor && self.caches[c].lookup(line) == LineState::Shared
+                        })
+                        .or_else(|| {
+                            holders
+                                .iter()
+                                .copied()
+                                .find(|&c| self.caches[c].lookup(line) == LineState::Shared)
+                        });
+                    if let Some(v) = shared {
+                        self.caches[v].set_state(line, LineState::Modified);
+                        return true;
+                    }
+                }
+                let Some(&v) = holders.first() else {
+                    return false;
+                };
+                self.drop_metadata(line, v);
+                true
+            }
+        }
+    }
+
+    /// Record `cpu` in `line`'s coherence metadata (directory sharer
+    /// bit under DASH+SCI, snoop-filter holder otherwise) without
+    /// giving it a cache copy.
+    fn phantom_metadata(&mut self, line: u64, cpu: usize) {
+        if self.protocol == ProtocolKind::DashSci {
+            let node = self.cfg.node_of_cpu(CpuId(cpu as u16));
+            let b = self.cfg.cpu_index_in_node(CpuId(cpu as u16)) as u8;
+            self.dirs[node.0 as usize].add_sharer(line, b);
+        } else {
+            self.snoop.add(line, cpu as u16);
+        }
+    }
+
+    /// Erase `cpu` from `line`'s coherence metadata while its cache
+    /// copy survives.
+    fn drop_metadata(&mut self, line: u64, cpu: usize) {
+        if self.protocol == ProtocolKind::DashSci {
+            let node = self.cfg.node_of_cpu(CpuId(cpu as u16));
+            let b = self.cfg.cpu_index_in_node(CpuId(cpu as u16)) as u8;
+            self.dirs[node.0 as usize].remove_sharer(line, b);
+        } else {
+            self.snoop.remove(line, cpu as u16);
+        }
+    }
+
+    /// A canonical FNV-1a digest of the machine's complete coherence
+    /// state: every cache's valid lines, each hypernode directory,
+    /// the SCI reference trees, the GCBs, and the snoop filter. Two
+    /// machines with bit-identical coherence state digest equal; the
+    /// `repro-recovery` experiment uses this to prove a recovered run
+    /// converged to the fault-free run's exact final state.
+    pub fn coherence_digest(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn put(h: &mut u64, x: u64) {
+            *h ^= x;
+            *h = h.wrapping_mul(PRIME);
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        put(&mut h, self.protocol.tag() as u64);
+        for (c, cache) in self.caches.iter().enumerate() {
+            let mut lines: Vec<(u64, LineState)> = cache.entries().collect();
+            lines.sort_unstable_by_key(|(l, _)| *l);
+            for (l, s) in lines {
+                put(&mut h, c as u64);
+                put(&mut h, l);
+                put(&mut h, s as u64);
+            }
+        }
+        for (g, gcb) in self.gcbs.iter().enumerate() {
+            let mut lines: Vec<(u64, LineState)> = gcb.entries().collect();
+            lines.sort_unstable_by_key(|(l, _)| *l);
+            for (l, s) in lines {
+                put(&mut h, g as u64);
+                put(&mut h, l);
+                put(&mut h, s as u64);
+            }
+        }
+        for (n, d) in self.dirs.iter().enumerate() {
+            let mut lines: Vec<u64> = d.lines().collect();
+            lines.sort_unstable();
+            for l in lines {
+                let e = d.get(l).unwrap_or_default();
+                put(&mut h, n as u64);
+                put(&mut h, l);
+                put(&mut h, e.sharers as u64);
+                put(&mut h, e.owner.map(|o| o as u64 + 1).unwrap_or(0));
+            }
+        }
+        let mut sci_lines: Vec<u64> = self.sci.lines().collect();
+        sci_lines.sort_unstable();
+        for l in sci_lines {
+            put(&mut h, l);
+            if let Some(e) = self.sci.get(l) {
+                for n in &e.list {
+                    put(&mut h, *n as u64 + 1);
+                }
+                put(&mut h, e.dirty.map(|d| d as u64 + 1).unwrap_or(0));
+            }
+        }
+        let mut snoop_lines: Vec<u64> = self.snoop.lines().collect();
+        snoop_lines.sort_unstable();
+        for l in snoop_lines {
+            put(&mut h, l);
+            for c in self.snoop.holders(l) {
+                put(&mut h, *c as u64 + 1);
+            }
+        }
+        h
+    }
+
     /// An uncached atomic operation (counting semaphores, §4.2).
     /// Bypasses all caches; cost depends only on where the semaphore
     /// lives.
@@ -726,9 +1224,11 @@ impl Machine {
     pub fn read_run(&mut self, cpu: CpuId, addr: u64, elem_bytes: u64, n: usize) -> Cycles {
         debug_assert!(elem_bytes > 0, "read_run with zero stride");
         // Degraded CPUs need per-access fault application; the race
-        // detector needs every element's record. Both take the scalar
-        // loop, which the run-equivalence invariant makes bit-identical.
-        if self.degraded_path(cpu) || self.racer.is_some() {
+        // detector needs every element's record; transient injection
+        // draws a decision per element through the protocol seam. All
+        // take the scalar loop, which the run-equivalence invariant
+        // makes bit-identical.
+        if self.degraded_path(cpu) || self.racer.is_some() || self.transients_active() {
             let mut total = 0;
             for i in 0..n {
                 total += self.read(cpu, addr + i as u64 * elem_bytes);
@@ -778,7 +1278,10 @@ impl Machine {
         // always takes the scalar loop: a write to a line with other
         // holders stays a broadcasting hit (never Modified), so the
         // rest-are-plain-hits assumption does not hold there.
-        if self.degraded_path(cpu) || self.racer.is_some() || self.protocol == ProtocolKind::Dragon
+        if self.degraded_path(cpu)
+            || self.racer.is_some()
+            || self.transients_active()
+            || self.protocol == ProtocolKind::Dragon
         {
             let mut total = 0;
             for i in 0..n {
@@ -1971,5 +2474,172 @@ mod tests {
         mixed_workload(&mut m);
         let delta = m.stats.since(&before);
         assert_eq!(delta, m.stats);
+    }
+
+    /// A sharing-heavy cross-node stream: several CPUs from both
+    /// hypernodes read and write the same lines, so every transient
+    /// kind finds holders, directory entries and filter lists to
+    /// corrupt.
+    fn shared_traffic(m: &mut Machine) -> Cycles {
+        let r = m.alloc(MemClass::FarShared, 64 * 4096);
+        let mut total = 0;
+        for p in 0..48u64 {
+            let a = r.addr(p * 4096);
+            total += m.read(CpuId(0), a);
+            total += m.read(CpuId(3), a);
+            total += m.read(CpuId(9), a);
+            total += m.write(CpuId((p % 16) as u16), a);
+            total += m.read(CpuId(5), a);
+        }
+        total
+    }
+
+    /// A transient fault kind: scenario label, prob builder, and the
+    /// protocols it applies to.
+    type TransientKind = (
+        &'static str,
+        fn(FaultPlan, f64) -> FaultPlan,
+        &'static [ProtocolKind],
+    );
+
+    /// Every transient fault kind.
+    fn transient_kinds() -> [TransientKind; 6] {
+        use crate::protocol::ProtocolKind::*;
+        const ALL3: &[ProtocolKind] = &[DashSci, Mesi, Dragon];
+        [
+            ("inval-drop", |p, x| p.with_inval_drops(x), ALL3),
+            ("inval-dup", |p, x| p.with_inval_dups(x), ALL3),
+            ("inval-delay", |p, x| p.with_inval_delays(x), ALL3),
+            ("update-loss", |p, x| p.with_update_loss(x), &[Dragon]),
+            ("ack-stale", |p, x| p.with_ack_stale(x), &[DashSci]),
+            ("line-corrupt", |p, x| p.with_line_corruption(x), ALL3),
+        ]
+    }
+
+    #[test]
+    fn recovered_runs_are_bit_identical_to_fault_free() {
+        for proto in ProtocolKind::ALL {
+            let baseline = {
+                let mut m = Machine::spp1000(2).with_protocol(proto);
+                let t = shared_traffic(&mut m);
+                (t, m.clock(), m.coherence_digest(), m.stats)
+            };
+            for (label, build, applies) in transient_kinds() {
+                let plan = build(FaultPlan::new(41), 0.2);
+                let mut m = Machine::spp1000(2).with_protocol(proto).with_faults(plan);
+                let t = shared_traffic(&mut m);
+                assert_eq!(t, baseline.0, "{proto:?}/{label}: cycles diverged");
+                assert_eq!(m.clock(), baseline.1, "{proto:?}/{label}: clock diverged");
+                assert_eq!(
+                    m.coherence_digest(),
+                    baseline.2,
+                    "{proto:?}/{label}: final coherence state diverged"
+                );
+                assert!(
+                    m.stats.eq_modulo_recovery(&baseline.3),
+                    "{proto:?}/{label}: stats diverged beyond recovery counters"
+                );
+                assert!(m.check_all().is_empty(), "{proto:?}/{label}: audit failed");
+                if applies.contains(&proto) {
+                    assert!(
+                        m.stats.recoveries > 0,
+                        "{proto:?}/{label}: no transient ever landed"
+                    );
+                    assert!(m.stats.recovery_retries >= m.stats.recoveries);
+                } else {
+                    assert_eq!(
+                        m.stats.recoveries, 0,
+                        "{proto:?}/{label}: kind fired on a protocol it cannot affect"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhausted_scrubs_escalate_to_a_typed_error() {
+        for proto in ProtocolKind::ALL {
+            let plan = FaultPlan::new(9)
+                .with_inval_dups(1.0)
+                .with_transient_persistence(1.0);
+            let mut m = Machine::spp1000(2).with_protocol(proto).with_faults(plan);
+            let r = m.alloc(MemClass::FarShared, 1 << 14);
+            // The first access fills the issuer's cache and the
+            // injected duplicate invalidation immediately tears it
+            // down; with full persistence every scrub fails.
+            let err = m.try_read(CpuId(0), r.addr(0));
+            let Err(SimError::RecoveryExhausted { cpu, attempts, .. }) = err else {
+                panic!("{proto:?}: expected RecoveryExhausted, got {err:?}");
+            };
+            assert_eq!(cpu, 0);
+            assert_eq!(attempts, 8, "doubling backoff budget buys 8 attempts");
+            // Escalation restored the footprint first: the machine is
+            // clean and usable (e.g. for checkpoint rollback).
+            assert!(m.check_all().is_empty(), "{proto:?}: dirty state escaped");
+            assert_eq!(m.stats.recoveries, 0);
+            assert_eq!(m.stats.recovery_retries, 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scrub attempts")]
+    fn plain_read_panics_when_recovery_is_exhausted() {
+        let plan = FaultPlan::new(9)
+            .with_inval_dups(1.0)
+            .with_transient_persistence(1.0);
+        let mut m = Machine::spp1000(2).with_faults(plan);
+        let r = m.alloc(MemClass::FarShared, 4096);
+        m.read(CpuId(0), r.addr(0));
+    }
+
+    #[test]
+    fn batched_runs_fall_back_under_transient_injection() {
+        let run = |batched: bool| {
+            let plan = FaultPlan::new(21)
+                .with_inval_drops(0.1)
+                .with_inval_delays(0.1)
+                .with_line_corruption(0.1);
+            let mut m = Machine::spp1000(2).with_faults(plan);
+            let t = run_workload(&mut m, batched);
+            (t, m.stats, m.fault_plan().unwrap().draws())
+        };
+        assert_eq!(
+            run(false),
+            run(true),
+            "transient draws must advance per element"
+        );
+    }
+
+    #[test]
+    fn recovery_trace_events_reconcile_with_memstats() {
+        let plan = FaultPlan::new(33)
+            .with_inval_dups(0.3)
+            .with_inval_delays(0.2);
+        let mut m = Machine::spp1000(2).with_faults(plan).with_tracing();
+        shared_traffic(&mut m);
+        assert!(m.stats.recoveries > 0, "no transient landed");
+        let counts = m.tracer().unwrap().counts();
+        // One transient-fault event per detected injection; one
+        // recovery event per successful scrub (no escalations here).
+        assert_eq!(counts[17], m.stats.recoveries, "transient-fault");
+        assert_eq!(counts[18], m.stats.recoveries, "recovery");
+    }
+
+    #[test]
+    fn try_read_and_try_write_match_the_panicking_twins_when_clean() {
+        let mut a = Machine::spp1000(2);
+        let mut b = Machine::spp1000(2);
+        let ra = a.alloc(MemClass::FarShared, 8192);
+        let rb = b.alloc(MemClass::FarShared, 8192);
+        for i in 0..16u64 {
+            let x = a.read(CpuId(1), ra.addr(i * 512));
+            let y = b.try_read(CpuId(1), rb.addr(i * 512)).unwrap();
+            assert_eq!(x, y);
+            let x = a.write(CpuId(2), ra.addr(i * 512));
+            let y = b.try_write(CpuId(2), rb.addr(i * 512)).unwrap();
+            assert_eq!(x, y);
+        }
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.coherence_digest(), b.coherence_digest());
     }
 }

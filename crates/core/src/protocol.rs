@@ -206,7 +206,7 @@ pub struct DashSci;
 
 impl CoherenceProtocol for DashSci {
     fn read_access(m: &mut Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles {
-        match m.caches[cpu.0 as usize].lookup(line) {
+        let cost = match m.caches[cpu.0 as usize].lookup(line) {
             LineState::Invalid => m.read_miss(cpu, addr, line),
             // Shared | Modified; the MESI/Dragon states cannot occur
             // under DASH+SCI and would be owning hits regardless.
@@ -214,11 +214,13 @@ impl CoherenceProtocol for DashSci {
                 m.stats.hits += 1;
                 m.cfg.latency.cache_hit
             }
-        }
+        };
+        m.inject_transient(cpu, addr, line);
+        cost
     }
 
     fn write_access(m: &mut Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles {
-        match m.caches[cpu.0 as usize].lookup(line) {
+        let cost = match m.caches[cpu.0 as usize].lookup(line) {
             LineState::Shared => {
                 // Write upgrade: the data is present (a hit), but
                 // exclusivity must be obtained.
@@ -257,7 +259,9 @@ impl CoherenceProtocol for DashSci {
                 m.stats.hits += 1;
                 m.cfg.latency.cache_hit
             }
-        }
+        };
+        m.inject_transient(cpu, addr, line);
+        cost
     }
 
     fn peek_read(m: &Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles {
@@ -471,18 +475,20 @@ impl Mesi {
 
 impl CoherenceProtocol for Mesi {
     fn read_access(m: &mut Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles {
-        match m.caches[cpu.0 as usize].lookup(line) {
+        let cost = match m.caches[cpu.0 as usize].lookup(line) {
             LineState::Invalid => Self::miss_fetch(m, cpu, addr, line, false),
             _ => {
                 m.stats.hits += 1;
                 m.cfg.latency.cache_hit
             }
-        }
+        };
+        m.inject_transient(cpu, addr, line);
+        cost
     }
 
     fn write_access(m: &mut Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles {
         let lat = m.cfg.latency.clone();
-        match m.caches[cpu.0 as usize].lookup(line) {
+        let cost = match m.caches[cpu.0 as usize].lookup(line) {
             LineState::Exclusive => {
                 // The MESI payoff: sole clean copy upgrades silently.
                 m.stats.hits += 1;
@@ -518,7 +524,9 @@ impl CoherenceProtocol for Mesi {
                 m.stats.hits += 1;
                 lat.cache_hit
             }
-        }
+        };
+        m.inject_transient(cpu, addr, line);
+        cost
     }
 
     fn peek_read(m: &Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles {
@@ -614,10 +622,12 @@ impl Dragon {
 
 impl CoherenceProtocol for Dragon {
     fn read_access(m: &mut Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles {
-        match m.caches[cpu.0 as usize].lookup(line) {
+        let cost = match m.caches[cpu.0 as usize].lookup(line) {
             LineState::Invalid => {
                 let others = m.snoop.others(line, cpu.0);
                 let mut cost = Self::fetch(m, cpu, addr, line, &others);
+                // A dead CPU's drained request never refills its
+                // cache (and the transient seam skips dead issuers).
                 if m.is_cpu_dead(cpu) {
                     return cost;
                 }
@@ -636,12 +646,14 @@ impl CoherenceProtocol for Dragon {
                 m.stats.hits += 1;
                 m.cfg.latency.cache_hit
             }
-        }
+        };
+        m.inject_transient(cpu, addr, line);
+        cost
     }
 
     fn write_access(m: &mut Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles {
         let lat = m.cfg.latency.clone();
-        match m.caches[cpu.0 as usize].lookup(line) {
+        let cost = match m.caches[cpu.0 as usize].lookup(line) {
             LineState::Modified => {
                 m.stats.hits += 1;
                 lat.cache_hit
@@ -688,7 +700,9 @@ impl CoherenceProtocol for Dragon {
                 m.snoop.add(line, cpu.0);
                 cost
             }
-        }
+        };
+        m.inject_transient(cpu, addr, line);
+        cost
     }
 
     fn peek_read(m: &Machine, cpu: CpuId, addr: u64, line: u64) -> Cycles {

@@ -41,7 +41,7 @@ use crate::protocol::ProtocolKind;
 use crate::stats::MemStats;
 
 const MAGIC: &[u8; 8] = b"SPPSNAP1";
-const VERSION: u16 = 2;
+const VERSION: u16 = 3;
 
 /// Byte offset of the protocol tag: magic (8) + version (2) +
 /// geometry fingerprint (3×u32 + 4×u64 = 44).
@@ -126,15 +126,23 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, SimError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        // take(2) already length-checked the slice, so the array
+        // conversion cannot fail.
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("take(2) returns 2 bytes"),
+        ))
     }
 
     fn u32(&mut self) -> Result<u32, SimError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("take(4) returns 4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, SimError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("take(8) returns 8 bytes"),
+        ))
     }
 }
 
@@ -216,7 +224,7 @@ fn read_cache_into(r: &mut Reader<'_>, c: &mut Cache) -> Result<(), SimError> {
     Ok(())
 }
 
-fn stats_fields(s: &MemStats) -> [u64; 19] {
+fn stats_fields(s: &MemStats) -> [u64; 21] {
     [
         s.reads,
         s.writes,
@@ -237,10 +245,12 @@ fn stats_fields(s: &MemStats) -> [u64; 19] {
         s.link_reroutes,
         s.snoops,
         s.updates,
+        s.recoveries,
+        s.recovery_retries,
     ]
 }
 
-fn stats_from_fields(f: [u64; 19]) -> MemStats {
+fn stats_from_fields(f: [u64; 21]) -> MemStats {
     MemStats {
         reads: f[0],
         writes: f[1],
@@ -261,6 +271,8 @@ fn stats_from_fields(f: [u64; 19]) -> MemStats {
         link_reroutes: f[16],
         snoops: f[17],
         updates: f[18],
+        recoveries: f[19],
+        recovery_retries: f[20],
     }
 }
 
@@ -483,7 +495,7 @@ impl Snapshot {
         m.degraded_gcbs = u128::from(r.u64()?) | (u128::from(r.u64()?) << 64);
         m.hard_applied = r.u64()?;
 
-        let mut fields = [0u64; 19];
+        let mut fields = [0u64; 21];
         for f in &mut fields {
             *f = r.u64()?;
         }
@@ -626,7 +638,7 @@ impl Snapshot {
             }
             (true, Some(mut p)) => {
                 let seed = r.u64()?;
-                let mut counters = [0u64; 4];
+                let mut counters = [0u64; crate::fault::N_FAULT_SITES];
                 for c in &mut counters {
                     *c = r.u64()?;
                 }
@@ -923,5 +935,224 @@ mod tests {
                 .protocol(),
             ProtocolKind::Mesi
         );
+    }
+
+    #[test]
+    fn rollback_preserves_fired_and_pending_hard_faults_under_each_protocol() {
+        for proto in ProtocolKind::ALL {
+            // Probe the clean clock so the link failure can be pinned
+            // strictly between the capture point and the end of the
+            // run: fired-before-capture (cpu) and pending-at-capture
+            // (link) states must both survive the rollback.
+            let probe = {
+                let mut m = Machine::spp1000(2).with_protocol(proto);
+                let _ = drive(&mut m, 0..700);
+                let mid = m.clock();
+                let _ = drive(&mut m, 700..1400);
+                (mid, m.clock())
+            };
+            let link_at = (probe.0 + probe.1) / 2;
+            let plan = || {
+                FaultPlan::new(5)
+                    .with_cpu_failure(3, probe.0 / 4)
+                    .with_link_failure(1, link_at, 700)
+                    .with_inval_dups(0.05)
+            };
+            let straight = {
+                let mut m = Machine::spp1000(2).with_protocol(proto).with_faults(plan());
+                let a = drive(&mut m, 0..700);
+                let b = drive(&mut m, 700..1400);
+                (
+                    a,
+                    b,
+                    m.stats,
+                    m.clock(),
+                    m.fault_plan().unwrap().draws(),
+                    m.failed_rings(),
+                )
+            };
+            let resumed = {
+                let mut m = Machine::spp1000(2).with_protocol(proto).with_faults(plan());
+                let a = drive(&mut m, 0..700);
+                assert!(
+                    m.is_cpu_dead(CpuId(3)),
+                    "{proto}: cpu-fail fired pre-capture"
+                );
+                assert!(m.hard_faults_pending(), "{proto}: link-fail still pending");
+                let mut m2 = m
+                    .snapshot()
+                    .restore_expecting(MachineConfig::spp1000(2), Some(plan()), proto)
+                    .expect("restore");
+                assert!(m2.is_cpu_dead(CpuId(3)), "{proto}: fired fault lost");
+                assert!(
+                    m2.hard_faults_pending(),
+                    "{proto}: pending fault must survive rollback unfired"
+                );
+                // Restore must not re-fire the dead CPU's purge: its
+                // eviction/writeback charges appear exactly once.
+                assert_eq!(m2.stats.evictions, m.stats.evictions);
+                assert_eq!(m2.stats.writebacks, m.stats.writebacks);
+                let b = drive(&mut m2, 700..1400);
+                (
+                    a,
+                    b,
+                    m2.stats,
+                    m2.clock(),
+                    m2.fault_plan().unwrap().draws(),
+                    m2.failed_rings(),
+                )
+            };
+            assert_eq!(straight, resumed, "{proto}: rollback replay diverged");
+            assert_ne!(straight.5, 0, "{proto}: link-fail never fired post-capture");
+        }
+    }
+
+    #[test]
+    fn transient_draw_counters_survive_the_snapshot_round_trip() {
+        let plan = || {
+            FaultPlan::new(23)
+                .with_inval_drops(0.2)
+                .with_inval_delays(0.2)
+                .with_line_corruption(0.1)
+        };
+        let straight = {
+            let mut m = Machine::spp1000(2).with_faults(plan());
+            let a = drive(&mut m, 0..500);
+            let b = drive(&mut m, 500..1000);
+            (a, b, m.stats, m.clock(), m.fault_plan().unwrap().draws())
+        };
+        let resumed = {
+            let mut m = Machine::spp1000(2).with_faults(plan());
+            let a = drive(&mut m, 0..500);
+            assert!(m.stats.recoveries > 0, "no transient landed pre-capture");
+            let mut m2 = m
+                .snapshot()
+                .restore(MachineConfig::spp1000(2), Some(plan()))
+                .expect("restore");
+            assert_eq!(
+                m2.fault_plan().unwrap().draws(),
+                m.fault_plan().unwrap().draws(),
+                "per-site draw counters lost in the round trip"
+            );
+            assert_eq!(m2.stats.recoveries, m.stats.recoveries);
+            assert_eq!(m2.stats.recovery_retries, m.stats.recovery_retries);
+            let b = drive(&mut m2, 500..1000);
+            (a, b, m2.stats, m2.clock(), m2.fault_plan().unwrap().draws())
+        };
+        assert_eq!(straight, resumed, "transient resume diverged");
+        // The new sites really drew through the snapshot boundary.
+        let draws = straight.4;
+        assert!(draws[4] > 0 && draws[6] > 0 && draws[9] > 0, "{draws:?}");
+    }
+
+    /// Fallible twin of [`drive`]: surfaces `RecoveryExhausted` with
+    /// the step it happened on instead of panicking.
+    fn try_drive(m: &mut Machine, range: std::ops::Range<u64>) -> Result<(), (u64, SimError)> {
+        let far = if m.space.num_regions() == 0 {
+            m.alloc(MemClass::FarShared, 1 << 16)
+        } else {
+            *m.space.regions().first().unwrap()
+        };
+        for i in range {
+            let cpu = CpuId((i * 5 % 16) as u16);
+            let a = far.addr((i * 104) % (1 << 16));
+            m.try_read(cpu, a).map_err(|e| (i, e))?;
+            if i % 3 == 0 {
+                m.try_write(cpu, a).map_err(|e| (i, e))?;
+            }
+            if i % 17 == 0 {
+                m.uncached_op(cpu, far.addr(0));
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn rollback_and_replay_converges_bit_identically_after_escalations() {
+        for proto in ProtocolKind::ALL {
+            let clean = {
+                let mut m = Machine::spp1000(2).with_protocol(proto);
+                drive(&mut m, 0..360);
+                (m.clock(), m.coherence_digest(), m.stats)
+            };
+            // Fully persistent transients: every detected injection
+            // exhausts its scrub budget and escalates, so recovery
+            // can only complete via checkpoint rollback-and-replay
+            // with the draw floor advanced past the poisoned window.
+            let plan = || {
+                FaultPlan::new(11)
+                    .with_inval_dups(0.01)
+                    .with_transient_persistence(1.0)
+            };
+            let mut m = Machine::spp1000(2).with_protocol(proto).with_faults(plan());
+            let mut snap = m.snapshot();
+            let mut step = 0u64;
+            let mut rollbacks = 0u32;
+            while step < 360 {
+                let next = (step + 60).min(360);
+                match try_drive(&mut m, step..next) {
+                    Ok(()) => {
+                        step = next;
+                        snap = m.snapshot();
+                    }
+                    Err((_, SimError::RecoveryExhausted { .. })) => {
+                        rollbacks += 1;
+                        assert!(rollbacks < 200, "{proto}: replay never converges");
+                        let floor = m.fault_plan().unwrap().draws();
+                        m = snap
+                            .clone()
+                            .restore_expecting(MachineConfig::spp1000(2), Some(plan()), proto)
+                            .expect("rollback restore");
+                        // Replaying the exact same draws would hit the
+                        // exact same escalation: skip past them.
+                        m.faults_mut().unwrap().advance_draws(floor);
+                    }
+                    Err((i, e)) => panic!("{proto}: step {i}: unexpected error {e}"),
+                }
+            }
+            assert!(rollbacks > 0, "{proto}: no escalation ever happened");
+            assert_eq!(m.clock(), clean.0, "{proto}: clock diverged");
+            assert_eq!(
+                m.coherence_digest(),
+                clean.1,
+                "{proto}: recovered state diverged from fault-free"
+            );
+            assert!(
+                m.stats.eq_modulo_recovery(&clean.2),
+                "{proto}: stats diverged beyond recovery counters"
+            );
+            assert!(m.check_all().is_empty());
+        }
+    }
+
+    #[test]
+    fn wrong_tag_and_truncation_are_typed_errors_under_recovery_plans() {
+        let plan = || FaultPlan::new(7).with_inval_dups(0.2).with_update_loss(0.1);
+        let mut m = Machine::spp1000(2)
+            .with_protocol(ProtocolKind::Dragon)
+            .with_faults(plan());
+        drive(&mut m, 0..200);
+        assert!(m.stats.recoveries > 0, "no transient landed");
+        let snap = m.snapshot();
+        assert!(matches!(
+            snap.restore_expecting(MachineConfig::spp1000(2), Some(plan()), ProtocolKind::Mesi),
+            Err(SimError::SnapshotMismatch { .. })
+        ));
+        let mut bytes = snap.clone().into_bytes();
+        bytes.truncate(bytes.len() - 24);
+        let truncated = Snapshot::from_bytes(bytes).expect("header intact");
+        assert!(matches!(
+            truncated.restore(MachineConfig::spp1000(2), Some(plan())),
+            Err(SimError::SnapshotCorrupt { .. })
+        ));
+        // The untouched stream still restores, recovery counters intact.
+        let m2 = snap
+            .restore_expecting(
+                MachineConfig::spp1000(2),
+                Some(plan()),
+                ProtocolKind::Dragon,
+            )
+            .expect("restore");
+        assert_eq!(m2.stats.recoveries, m.stats.recoveries);
     }
 }

@@ -47,6 +47,14 @@ pub struct MemStats {
     /// Write-update broadcasts issued by the Dragon protocol. Zero
     /// under DASH+SCI and MESI.
     pub updates: u64,
+    /// Transient coherence faults detected and repaired by the
+    /// machine's scrub-and-retry path. Zero unless a fault plan with
+    /// transient coherence faults is installed.
+    pub recoveries: u64,
+    /// Scrub attempts spent repairing transient coherence faults
+    /// (>= `recoveries`; the excess counts faults that persisted
+    /// across scrubs).
+    pub recovery_retries: u64,
 }
 
 impl MemStats {
@@ -116,6 +124,10 @@ impl MemStats {
             link_reroutes: self.link_reroutes.saturating_sub(earlier.link_reroutes),
             snoops: self.snoops.saturating_sub(earlier.snoops),
             updates: self.updates.saturating_sub(earlier.updates),
+            recoveries: self.recoveries.saturating_sub(earlier.recoveries),
+            recovery_retries: self
+                .recovery_retries
+                .saturating_sub(earlier.recovery_retries),
         }
     }
 
@@ -141,6 +153,22 @@ impl MemStats {
         self.link_reroutes += other.link_reroutes;
         self.snoops += other.snoops;
         self.updates += other.updates;
+        self.recoveries += other.recoveries;
+        self.recovery_retries += other.recovery_retries;
+    }
+
+    /// Equality modulo the recovery counters. A run that injected and
+    /// repaired transient coherence faults must end with every *other*
+    /// counter bit-identical to the fault-free run — the recovery
+    /// bit-identity invariant `repro-recovery` and the recovering
+    /// scenario goldens enforce.
+    pub fn eq_modulo_recovery(&self, other: &MemStats) -> bool {
+        let scrub = |s: &MemStats| MemStats {
+            recoveries: 0,
+            recovery_retries: 0,
+            ..*s
+        };
+        scrub(self) == scrub(other)
     }
 
     /// Check that the miss-kind counters partition [`MemStats::misses`]
@@ -196,6 +224,13 @@ impl std::fmt::Display for MemStats {
                 f,
                 "\nprotocol traffic: snoops {}  updates {}",
                 self.snoops, self.updates
+            )?;
+        }
+        if self.recoveries > 0 || self.recovery_retries > 0 {
+            write!(
+                f,
+                "\nrecovery: recovered {}  scrub retries {}",
+                self.recoveries, self.recovery_retries
             )?;
         }
         Ok(())
@@ -298,6 +333,28 @@ mod tests {
         };
         assert_eq!(s.misses(), 10);
         assert!((s.global_miss_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq_modulo_recovery_ignores_only_the_recovery_counters() {
+        let base = MemStats {
+            reads: 10,
+            hits: 9,
+            local_misses: 1,
+            ..Default::default()
+        };
+        let recovered = MemStats {
+            recoveries: 3,
+            recovery_retries: 5,
+            ..base
+        };
+        assert_ne!(base, recovered);
+        assert!(base.eq_modulo_recovery(&recovered));
+        let diverged = MemStats {
+            hits: 8,
+            ..recovered
+        };
+        assert!(!base.eq_modulo_recovery(&diverged));
     }
 
     #[test]

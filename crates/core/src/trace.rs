@@ -171,11 +171,28 @@ pub enum TraceEvent {
         /// Caches whose copy was refreshed.
         sharers: u8,
     },
+    /// A transient coherence fault was injected on a line (one per
+    /// injection; `site` is the [`crate::FaultPlan`] decision-stream
+    /// index of the fault kind).
+    TransientFault {
+        /// The corrupted cache line index.
+        line: u64,
+        /// Fault-site index (4..10; see `spp_core::fault`).
+        site: u8,
+    },
+    /// The scrub-and-retry path repaired a transient coherence fault
+    /// (one per recovery; `attempts` counts the scrubs it took).
+    Recovery {
+        /// The repaired cache line index.
+        line: u64,
+        /// Scrub attempts spent (>= 1).
+        attempts: u32,
+    },
 }
 
 /// Number of distinct event-kind slots in [`TraceSink::counts`]
 /// (misses occupy one slot per [`MissKind`]).
-pub const N_EVENT_KINDS: usize = 17;
+pub const N_EVENT_KINDS: usize = 19;
 
 impl TraceEvent {
     /// Dense kind index into a `[u64; N_EVENT_KINDS]` count array.
@@ -210,6 +227,8 @@ impl TraceEvent {
             TraceEvent::Watchdog { .. } => 14,
             TraceEvent::Snoop { .. } => 15,
             TraceEvent::Update { .. } => 16,
+            TraceEvent::TransientFault { .. } => 17,
+            TraceEvent::Recovery { .. } => 18,
         }
     }
 
@@ -233,6 +252,8 @@ impl TraceEvent {
             "watchdog",
             "snoop",
             "update",
+            "transient-fault",
+            "recovery",
         ];
         LABELS[index]
     }
@@ -414,6 +435,12 @@ fn json_args(ev: &TraceEvent) -> String {
         TraceEvent::Update { line, sharers } => {
             format!("{{\"line\":{line},\"sharers\":{sharers}}}")
         }
+        TraceEvent::TransientFault { line, site } => {
+            format!("{{\"line\":{line},\"site\":{site}}}")
+        }
+        TraceEvent::Recovery { line, attempts } => {
+            format!("{{\"line\":{line},\"attempts\":{attempts}}}")
+        }
     }
 }
 
@@ -468,7 +495,8 @@ pub fn memstats_json(s: &MemStats) -> String {
          \"c2c_transfers\": {}, \"upgrades\": {}, \"invalidations\": {}, \
          \"sci_invalidations\": {}, \"evictions\": {}, \"writebacks\": {}, \
          \"gcb_rollouts\": {}, \"uncached_ops\": {}, \"ring_stalls\": {}, \
-         \"link_reroutes\": {}, \"snoops\": {}, \"updates\": {}}}",
+         \"link_reroutes\": {}, \"snoops\": {}, \"updates\": {}, \
+         \"recoveries\": {}, \"recovery_retries\": {}}}",
         s.reads,
         s.writes,
         s.hits,
@@ -487,7 +515,9 @@ pub fn memstats_json(s: &MemStats) -> String {
         s.ring_stalls,
         s.link_reroutes,
         s.snoops,
-        s.updates
+        s.updates,
+        s.recoveries,
+        s.recovery_retries
     )
 }
 

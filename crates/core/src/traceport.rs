@@ -133,17 +133,29 @@ impl Trace {
         let mut p = 0usize;
         let mut total: Cycles = 0;
         let u16_at = |p: &mut usize| {
-            let v = u16::from_le_bytes(b[*p..*p + 2].try_into().unwrap());
+            let v = u16::from_le_bytes(
+                b[*p..*p + 2]
+                    .try_into()
+                    .expect("record framing guarantees 2 bytes"),
+            );
             *p += 2;
             v
         };
         let u32_at = |p: &mut usize| {
-            let v = u32::from_le_bytes(b[*p..*p + 4].try_into().unwrap());
+            let v = u32::from_le_bytes(
+                b[*p..*p + 4]
+                    .try_into()
+                    .expect("record framing guarantees 4 bytes"),
+            );
             *p += 4;
             v
         };
         let u64_at = |p: &mut usize| {
-            let v = u64::from_le_bytes(b[*p..*p + 8].try_into().unwrap());
+            let v = u64::from_le_bytes(
+                b[*p..*p + 8]
+                    .try_into()
+                    .expect("record framing guarantees 8 bytes"),
+            );
             *p += 8;
             v
         };

@@ -1,0 +1,172 @@
+//! Properties of the transient-fault recovery path.
+//!
+//! Two contracts over *arbitrary* seeds, probabilities, and access
+//! streams:
+//!
+//! * **stream independence** — the seven transient fault streams are
+//!   counter-indexed sites of their own, so enabling them must never
+//!   perturb an existing site's n-th decision: a plan with legacy
+//!   chaos events plus transients draws the legacy sites exactly as
+//!   often as the legacy-only plan, and (because recovery is
+//!   bit-identical and charges zero cycles) the two runs agree on
+//!   every observable except the recovery counters;
+//! * **no silent wrong data** — any mix of injected transients either
+//!   ends in full recovery (run completes bit-identical to the
+//!   fault-free twin) or in the typed `RecoveryExhausted` escalation;
+//!   in both cases the machine passes the coherence checker, so a
+//!   corrupted line is never left behind for a later access to read.
+
+use proptest::prelude::*;
+use proptest::TestRng;
+use spp_core::{CpuId, FaultPlan, Machine, MemClass, ProtocolKind, SimError};
+
+/// A random mixed access stream: (cpu, line-aligned offset, is_write).
+fn stream(rng: &mut TestRng, cpus: u64, ops: usize) -> Vec<(u16, u64, bool)> {
+    (0..ops)
+        .map(|_| {
+            (
+                rng.below(cpus) as u16,
+                rng.below(1 << 11) * 8,
+                rng.below(3) == 0,
+            )
+        })
+        .collect()
+}
+
+fn machine(kind: ProtocolKind, plan: Option<FaultPlan>) -> (Machine, u64) {
+    let mut m = Machine::spp1000(2).with_protocol(kind);
+    if let Some(p) = plan {
+        m = m.with_faults(p);
+    }
+    let base = m.alloc(MemClass::FarShared, 1 << 14).base;
+    (m, base)
+}
+
+/// Layer every transient stream applicable to `kind` onto `plan` with
+/// probabilities drawn from `rng` (up to ~0.3 each). `persist` is the
+/// per-scrub persistence probability; at 0.1 escalation is
+/// vanishingly rare (needs the full scrub budget of consecutive
+/// persists), while values near 1.0 force it.
+fn with_random_transients(
+    mut plan: FaultPlan,
+    kind: ProtocolKind,
+    rng: &mut TestRng,
+    persist: f64,
+) -> FaultPlan {
+    let p = |rng: &mut TestRng| rng.below(30) as f64 / 100.0;
+    plan = plan
+        .with_inval_drops(p(rng))
+        .with_inval_dups(p(rng))
+        .with_inval_delays(p(rng))
+        .with_line_corruption(p(rng));
+    plan = match kind {
+        ProtocolKind::Dragon => plan.with_update_loss(p(rng)),
+        ProtocolKind::DashSci => plan.with_ack_stale(p(rng)),
+        ProtocolKind::Mesi => plan,
+    };
+    plan.with_transient_persistence(persist)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transient_streams_never_perturb_existing_sites(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::new(seed);
+        let kind = ProtocolKind::ALL[rng.below(3) as usize];
+        let ops = stream(&mut rng, 16, 300);
+        // Legacy soft-chaos plan: ring stalls + message drop/dup draw
+        // the three pre-existing per-access sites.
+        let legacy = FaultPlan::new(rng.below(1 << 20))
+            .with_ring_stalls(0.1, 40)
+            .with_message_faults(0.05, 0.05);
+        let both = with_random_transients(legacy.clone(), kind, &mut rng, 0.1);
+
+        let (mut a, ab) = machine(kind, Some(legacy));
+        let (mut b, bb) = machine(kind, Some(both));
+        let mut ta = 0;
+        let mut tb = 0;
+        for &(cpu, off, w) in &ops {
+            let (cpu, aa, ba) = (CpuId(cpu), ab + off, bb + off);
+            if w {
+                ta += a.write(cpu, aa);
+                tb += b.write(cpu, ba);
+            } else {
+                ta += a.read(cpu, aa);
+                tb += b.read(cpu, ba);
+            }
+        }
+
+        // The legacy sites (0..4: ring-stall, msg-drop, msg-dup,
+        // spawn-fail) drew identically often — the transient streams
+        // (4..) consumed only their own counters.
+        let da = a.fault_plan().unwrap().draws();
+        let db = b.fault_plan().unwrap().draws();
+        prop_assert_eq!(&da[..4], &db[..4], "{} legacy draws perturbed", kind);
+        prop_assert_eq!(&da[4..], [0u64; 7], "legacy plan drew transient sites");
+
+        // And because recovery is bit-identical at zero cost, every
+        // observable except the recovery counters agrees.
+        prop_assert_eq!(ta, tb, "{} cycles diverged", kind);
+        prop_assert_eq!(a.clock(), b.clock());
+        prop_assert!(a.stats.eq_modulo_recovery(&b.stats), "{} stats diverged", kind);
+        prop_assert_eq!(a.coherence_digest(), b.coherence_digest());
+    }
+
+    #[test]
+    fn transients_end_in_recovery_or_a_typed_error_never_silent(seed in 0u64..u64::MAX) {
+        let mut rng = TestRng::new(seed);
+        let kind = ProtocolKind::ALL[rng.below(3) as usize];
+        let ops = stream(&mut rng, 16, 300);
+        let persist = rng.below(101) as f64 / 100.0;
+        let plan = with_random_transients(FaultPlan::new(rng.below(1 << 20)), kind, &mut rng, persist);
+
+        let (mut clean, cb) = machine(kind, None);
+        let (mut faulty, fb) = machine(kind, Some(plan));
+        let mut outcome: Result<(), SimError> = Ok(());
+        let mut tc = 0;
+        let mut tf = 0;
+        for &(cpu, off, w) in &ops {
+            let (cpu, ca, fa) = (CpuId(cpu), cb + off, fb + off);
+            tc += if w { clean.write(cpu, ca) } else { clean.read(cpu, ca) };
+            let r = if w {
+                faulty.try_write(cpu, fa)
+            } else {
+                faulty.try_read(cpu, fa)
+            };
+            match r {
+                Ok(c) => tf += c,
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            }
+        }
+
+        match outcome {
+            // Every injected transient was scrubbed: the run must be
+            // bit-identical to the fault-free twin.
+            Ok(()) => {
+                prop_assert_eq!(tc, tf, "{} recovered run diverged", kind);
+                prop_assert_eq!(clean.clock(), faulty.clock());
+                prop_assert!(clean.stats.eq_modulo_recovery(&faulty.stats));
+                prop_assert_eq!(clean.coherence_digest(), faulty.coherence_digest());
+            }
+            // Scrub budget exhausted: the only legal failure is the
+            // typed escalation, and it must carry the access context.
+            Err(SimError::RecoveryExhausted { attempts, .. }) => {
+                prop_assert!(attempts > 0);
+            }
+            Err(other) => prop_assert!(false, "untyped failure: {}", other),
+        }
+
+        // Either way no corrupted line survives for a later access to
+        // read silently: the checker stays clean.
+        prop_assert!(
+            faulty.check_all().is_empty(),
+            "{} checker violations after {:?}",
+            kind,
+            faulty.check_all()
+        );
+    }
+}

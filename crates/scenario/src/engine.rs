@@ -408,6 +408,11 @@ impl FleetReport {
             if r.resumed {
                 notes.push("resumed-from-checkpoint".to_string());
             }
+            if let Some(out) = &r.outcome {
+                if out.rollbacks > 0 {
+                    notes.push(format!("rolled-back-{}x", out.rollbacks));
+                }
+            }
             match &r.status {
                 Status::Fail { error } => {
                     let mut e = error.replace('\n', " ");
@@ -504,6 +509,14 @@ impl FleetReport {
                     out.stats.ring_stalls,
                     out.stats.uncached_ops,
                 ));
+                // Appended only when nonzero so pre-recovery reports
+                // stay byte-identical.
+                if out.stats.recoveries > 0 || out.rollbacks > 0 {
+                    s.push_str(&format!(
+                        ", \"recoveries\": {}, \"rollbacks\": {}",
+                        out.stats.recoveries, out.rollbacks
+                    ));
+                }
             }
             s.push('}');
             if i + 1 < self.results.len() {

@@ -163,6 +163,11 @@ pub struct WorkloadSpec {
     /// Write an SPPSNAP1 checkpoint every N steps (0 = off; only the
     /// kernel-stream workload supports it).
     pub checkpoint_every: usize,
+    /// In-run checkpoint rollbacks allowed when a transient coherence
+    /// fault exhausts its scrub budget (`[recovery] rollbacks = N`;
+    /// 0 = escalation fails the cell). Requires `checkpoint_every`,
+    /// which sets the rollback granularity.
+    pub rollbacks: u32,
 }
 
 /// Deliberately misbehaving builtin cells.
@@ -304,6 +309,7 @@ impl ScenarioSpec {
                 trace: false,
                 trace_capacity: 1 << 16,
                 checkpoint_every: 0,
+                rollbacks: 0,
             }),
             timeout_secs: 300.0,
             retries: 0,
@@ -473,6 +479,27 @@ fn parse_fault_event(t: &Table) -> Result<FaultEvent, SpecError> {
         "gcb-degrade" => FaultEvent::GcbDegrade {
             node: need_u64("node")? as u8,
             at_cycle: need_u64("at_cycle")?,
+        },
+        "inval-drop" => FaultEvent::InvalDrop {
+            prob: need_f64("prob")?,
+        },
+        "inval-dup" => FaultEvent::InvalDup {
+            prob: need_f64("prob")?,
+        },
+        "inval-delay" => FaultEvent::InvalDelay {
+            prob: need_f64("prob")?,
+        },
+        "update-loss" => FaultEvent::UpdateLoss {
+            prob: need_f64("prob")?,
+        },
+        "ack-stale" => FaultEvent::AckStale {
+            prob: need_f64("prob")?,
+        },
+        "line-corrupt" => FaultEvent::LineCorrupt {
+            prob: need_f64("prob")?,
+        },
+        "transient-persist" => FaultEvent::TransientPersist {
+            prob: need_f64("prob")?,
         },
         other => return serr(format!("unknown fault event kind {other:?}")),
     })
@@ -671,6 +698,12 @@ impl ScenarioSpec {
                     .flatten()
                     .unwrap_or(1 << 16);
 
+                let rollbacks = get_table(root, "recovery")?
+                    .map(|t| get_u64(t, "rollbacks"))
+                    .transpose()?
+                    .flatten()
+                    .unwrap_or(0) as u32;
+
                 ScenarioKind::Workload(WorkloadSpec {
                     app,
                     steps: get_usize(sc, "steps")?.unwrap_or(1).max(1),
@@ -684,6 +717,7 @@ impl ScenarioSpec {
                     trace,
                     trace_capacity,
                     checkpoint_every: get_usize(sc, "checkpoint_every")?.unwrap_or(0),
+                    rollbacks,
                 })
             }
             "builtin" => {
@@ -738,6 +772,19 @@ impl ScenarioSpec {
                 }
                 if matches!(w.app, WorkloadApp::KernelStream { elems: 0 }) {
                     return serr("kernel-stream elems must be at least 1");
+                }
+                if w.rollbacks > 0 && !matches!(w.app, WorkloadApp::KernelStream { .. }) {
+                    return serr(format!(
+                        "[recovery] rollbacks is only supported by the kernel-stream \
+                         workload, not {}",
+                        w.app.label()
+                    ));
+                }
+                if w.rollbacks > 0 && w.checkpoint_every == 0 {
+                    return serr(
+                        "[recovery] rollbacks needs checkpoint_every > 0 \
+                         (checkpoints set the rollback granularity)",
+                    );
                 }
             }
             ScenarioKind::Experiment(e) => {
@@ -883,6 +930,12 @@ impl ScenarioSpec {
                     tt.insert("capacity".into(), Value::Int(w.trace_capacity as i64));
                     root.insert("trace".into(), Value::Table(tt));
                 }
+
+                if w.rollbacks > 0 {
+                    let mut rt = Table::new();
+                    rt.insert("rollbacks".into(), Value::Int(w.rollbacks as i64));
+                    root.insert("recovery".into(), Value::Table(rt));
+                }
             }
         }
         root.insert("scenario".into(), Value::Table(sc));
@@ -930,6 +983,16 @@ fn fault_event_table(e: &FaultEvent) -> Table {
         FaultEvent::GcbDegrade { node, at_cycle } => {
             t.insert("node".into(), Value::Int(node as i64));
             t.insert("at_cycle".into(), Value::Int(at_cycle as i64));
+        }
+        // All transient coherence-fault kinds carry one probability.
+        FaultEvent::InvalDrop { prob }
+        | FaultEvent::InvalDup { prob }
+        | FaultEvent::InvalDelay { prob }
+        | FaultEvent::UpdateLoss { prob }
+        | FaultEvent::AckStale { prob }
+        | FaultEvent::LineCorrupt { prob }
+        | FaultEvent::TransientPersist { prob } => {
+            t.insert("prob".into(), Value::Float(prob));
         }
     }
     t
@@ -1108,6 +1171,50 @@ reads = 1000
         assert!(at(128).is_ok());
         let e = at(129).unwrap_err();
         assert!(e.to_string().contains("1..=128"), "{e}");
+    }
+
+    #[test]
+    fn recovery_table_parses_validates_and_round_trips() {
+        let text = "schema = 1\n[scenario]\nname = \"k\"\nkind = \"workload\"\n\
+                    steps = 8\ncheckpoint_every = 2\n\
+                    [workload]\napp = \"kernel-stream\"\nelems = 64\n\
+                    [faults]\nseed = 3\n\
+                    [[faults.events]]\nkind = \"inval-dup\"\nprob = 0.01\n\
+                    [[faults.events]]\nkind = \"transient-persist\"\nprob = 1.0\n\
+                    [recovery]\nrollbacks = 4\n";
+        let s = ScenarioSpec::from_toml_str(text).unwrap();
+        let ScenarioKind::Workload(w) = &s.kind else {
+            panic!()
+        };
+        assert_eq!(w.rollbacks, 4);
+        assert_eq!(w.faults.len(), 2);
+        assert_eq!(w.faults[0].label(), "inval-dup");
+        let canonical = s.to_toml_string();
+        assert!(canonical.contains("[recovery]"), "{canonical}");
+        assert_eq!(ScenarioSpec::from_toml_str(&canonical).unwrap(), s);
+
+        // No budget → no table in canonical form.
+        let ScenarioKind::Workload(w) = &ScenarioSpec::from_toml_str(FULL_WORKLOAD).unwrap().kind
+        else {
+            panic!()
+        };
+        assert_eq!(w.rollbacks, 0);
+
+        // Rollbacks demand a kernel-stream workload…
+        let e = ScenarioSpec::from_toml_str(
+            "schema = 1\n[scenario]\nname = \"x\"\nkind = \"workload\"\n\
+             [workload]\napp = \"pic\"\n[recovery]\nrollbacks = 1\n",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("kernel-stream"), "{e}");
+        // …and a checkpoint cadence to roll back to.
+        let e = ScenarioSpec::from_toml_str(
+            "schema = 1\n[scenario]\nname = \"x\"\nkind = \"workload\"\n\
+             [workload]\napp = \"kernel-stream\"\nelems = 8\n\
+             [recovery]\nrollbacks = 1\n",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("checkpoint_every"), "{e}");
     }
 
     #[test]

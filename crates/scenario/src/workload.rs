@@ -15,7 +15,8 @@ use pic::pvm::PvmPic;
 use pic::{PicProblem, SharedPic};
 use ppm::{PpmProblem, SharedPpm};
 use spp_core::{
-    CancelToken, CpuId, FaultPlan, Machine, MachineConfig, MemClass, MemStats, RingSink, Snapshot,
+    CancelToken, CpuId, FaultPlan, Machine, MachineConfig, MemClass, MemStats, RingSink, SimError,
+    Snapshot,
 };
 use spp_pvm::Pvm;
 use spp_runtime::{Placement, Runtime, SchedulePolicy, Team};
@@ -35,6 +36,9 @@ pub struct WorkloadOutcome {
     pub resumed_from: Option<usize>,
     /// Checkpoints written during this run.
     pub checkpoints_written: usize,
+    /// Checkpoint rollbacks performed in-run after a transient
+    /// coherence fault exhausted its scrub budget.
+    pub rollbacks: u32,
 }
 
 /// The checkpoint pair for a scenario: the SPPSNAP1 machine image and
@@ -208,6 +212,7 @@ fn shared_app(spec: &WorkloadSpec, cancel: &CancelToken) -> Result<WorkloadOutco
         steps_run: spec.steps,
         resumed_from: None,
         checkpoints_written: 0,
+        rollbacks: 0,
     })
 }
 
@@ -236,6 +241,7 @@ fn pic_pvm(
         steps_run: spec.steps,
         resumed_from: None,
         checkpoints_written: 0,
+        rollbacks: 0,
     })
 }
 
@@ -269,7 +275,7 @@ fn kernel_stream(
             // from the sidecar rather than a second alloc.
             let snap = Snapshot::load(&c.snap).map_err(|e| e.to_string())?;
             machine = snap
-                .restore_expecting(cfg, plan, spec.protocol)
+                .restore_expecting(cfg.clone(), plan.clone(), spec.protocol)
                 .map_err(|e| e.to_string())?;
             let side = std::fs::read_to_string(&c.side)
                 .map_err(|e| format!("checkpoint sidecar {}: {e}", c.side.display()))?;
@@ -292,7 +298,15 @@ fn kernel_stream(
 
     let cpus = team.cpus();
     let mut checkpoints_written = 0;
-    for step in start_step..spec.steps {
+    // In-memory rollback point for transient-fault escalations: the
+    // latest checkpoint snapshot plus the host-side loop state it
+    // corresponds to. Seeded from the start of the run so the first
+    // checkpoint interval is covered too.
+    let mut rollback_point =
+        (spec.rollbacks > 0).then(|| (Snapshot::capture(&machine), start_step, cycles));
+    let mut rollbacks: u32 = 0;
+    let mut step = start_step;
+    'steps: while step < spec.steps {
         if cancel.is_cancelled() {
             return cancelled();
         }
@@ -303,15 +317,56 @@ fn kernel_stream(
         for i in 0..elems {
             let cpu = cpus[(i + step) % cpus.len()];
             let addr = base + (i as u64) * 8;
-            cycles += machine.read(cpu, addr);
-            cycles += machine.write(cpu, addr);
+            let access = machine
+                .try_read(cpu, addr)
+                .and_then(|r| machine.try_write(cpu, addr).map(|w| r + w));
+            match access {
+                Ok(c) => cycles += c,
+                Err(e @ SimError::RecoveryExhausted { .. }) => {
+                    // Detect-and-retry inside the machine gave up on
+                    // this line; escalate to checkpoint rollback.
+                    let Some((snap, rb_step, rb_cycles)) = &rollback_point else {
+                        return Err(format!("{e} (no [recovery] rollback budget)"));
+                    };
+                    if rollbacks >= spec.rollbacks {
+                        return Err(format!(
+                            "{e} (rollback budget of {} exhausted)",
+                            spec.rollbacks
+                        ));
+                    }
+                    rollbacks += 1;
+                    // Replaying the same draw positions would re-fire
+                    // the exact same escalation: advance the restored
+                    // plan's per-site counters past every decision
+                    // the failed attempt consumed.
+                    let floor = machine
+                        .fault_plan()
+                        .expect("escalation implies a fault plan")
+                        .draws();
+                    machine = snap
+                        .restore_expecting(cfg.clone(), plan.clone(), spec.protocol)
+                        .map_err(|e| format!("rollback restore: {e}"))?;
+                    machine
+                        .faults_mut()
+                        .expect("restored machine keeps its plan")
+                        .advance_draws(floor);
+                    cycles = *rb_cycles;
+                    step = *rb_step;
+                    continue 'steps;
+                }
+                Err(e) => return Err(e.to_string()),
+            }
         }
-        if let Some(c) = ckpt {
-            if spec.checkpoint_every > 0 && (step + 1) % spec.checkpoint_every == 0 {
+        step += 1;
+        if spec.checkpoint_every > 0 && step.is_multiple_of(spec.checkpoint_every) {
+            if let Some(rb) = rollback_point.as_mut() {
+                *rb = (Snapshot::capture(&machine), step, cycles);
+            }
+            if let Some(c) = ckpt {
                 Snapshot::capture(&machine)
                     .save(&c.snap)
                     .map_err(|e| format!("checkpoint {}: {e}", c.snap.display()))?;
-                std::fs::write(&c.side, format!("{} {} {}\n", step + 1, cycles, base))
+                std::fs::write(&c.side, format!("{} {} {}\n", step, cycles, base))
                     .map_err(|e| format!("checkpoint sidecar {}: {e}", c.side.display()))?;
                 checkpoints_written += 1;
             }
@@ -324,6 +379,7 @@ fn kernel_stream(
         steps_run: spec.steps - start_step,
         resumed_from,
         checkpoints_written,
+        rollbacks,
     })
 }
 
@@ -380,6 +436,60 @@ mod tests {
         assert_eq!(resumed.cycles, uninterrupted.cycles);
         assert_eq!(resumed.stats, uninterrupted.stats);
         paths.remove();
+    }
+
+    /// A kernel-stream spec whose transient faults always persist, so
+    /// every detected injection exhausts its scrub budget and the only
+    /// way to finish is checkpoint rollback-and-replay.
+    fn recovering_spec(rollbacks: u32) -> WorkloadSpec {
+        use spp_core::FaultEvent;
+        let mut w = kernel_spec(4, 2);
+        w.app = WorkloadApp::KernelStream { elems: 64 };
+        w.fault_seed = 61;
+        w.faults = vec![
+            FaultEvent::InvalDup { prob: 0.002 },
+            FaultEvent::TransientPersist { prob: 1.0 },
+        ];
+        w.rollbacks = rollbacks;
+        w
+    }
+
+    #[test]
+    fn rollback_recovers_bit_identically_to_the_fault_free_run() {
+        let cancel = CancelToken::new();
+        let mut clean = recovering_spec(50);
+        clean.faults.clear();
+        clean.fault_seed = 0;
+        clean.rollbacks = 0;
+        let baseline = run_workload(&clean, &cancel, None).unwrap();
+
+        let recovered = run_workload(&recovering_spec(50), &cancel, None).unwrap();
+        assert!(recovered.rollbacks > 0, "no escalation ever happened");
+        assert_eq!(recovered.cycles, baseline.cycles);
+        assert!(
+            recovered.stats.eq_modulo_recovery(&baseline.stats),
+            "recovered stats diverged beyond recovery counters"
+        );
+        // Deterministic end to end: same spec, same rollbacks.
+        let again = run_workload(&recovering_spec(50), &cancel, None).unwrap();
+        assert_eq!(recovered, again);
+    }
+
+    #[test]
+    fn exhausted_rollback_budget_is_a_typed_cell_failure() {
+        let cancel = CancelToken::new();
+        let err = run_workload(&recovering_spec(0), &cancel, None).unwrap_err();
+        assert!(err.contains("scrub attempts"), "{err}");
+        assert!(err.contains("no [recovery] rollback budget"), "{err}");
+
+        let mut one_shot = recovering_spec(1);
+        // Guarantee more than one escalation: every access detects.
+        let Some(spp_core::FaultEvent::InvalDup { prob }) = one_shot.faults.first_mut() else {
+            unreachable!()
+        };
+        *prob = 1.0;
+        let err = run_workload(&one_shot, &cancel, None).unwrap_err();
+        assert!(err.contains("rollback budget of 1 exhausted"), "{err}");
     }
 
     #[test]
