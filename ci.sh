@@ -48,6 +48,23 @@ cmp target/repro/trace_timeline.first.json target/repro/trace_timeline.json
 rm -f target/repro/trace_timeline.first.json
 echo "   trace_timeline.json byte-identical across runs"
 
+echo "== repro-insight smoke (attribution campaign, 4 apps x 3 protocols, 1 step)"
+cargo run --release -q -p spp-bench --bin repro-insight -- --steps 1 >/dev/null
+test -s target/repro/BENCH_insight.json
+grep -q '"passed": true' target/repro/BENCH_insight.json
+# Every one of the 12 cells must carry a passing partition check.
+test "$(grep -c '"heat_partition_check": true' target/repro/BENCH_insight.json)" -eq 12
+! grep -q '"heat_partition_check": false' target/repro/BENCH_insight.json
+! grep -q '"attribution_transparent": false' target/repro/BENCH_insight.json
+echo "   target/repro/BENCH_insight.json OK (every cell partitions, attribution transparent)"
+
+echo "== insight report determinism (two runs, byte-identical JSON)"
+cp target/repro/BENCH_insight.json target/repro/BENCH_insight.first.json
+cargo run --release -q -p spp-bench --bin repro-insight -- --steps 1 >/dev/null
+cmp target/repro/BENCH_insight.first.json target/repro/BENCH_insight.json
+rm -f target/repro/BENCH_insight.first.json
+echo "   BENCH_insight.json byte-identical across runs"
+
 echo "== repro-protocol smoke (DASH+SCI / MESI / Dragon x topology, 1 step)"
 cargo run --release -q -p spp-bench --bin repro-protocol -- --steps 1 >/dev/null
 test -s target/repro/BENCH_protocol.json
@@ -113,7 +130,11 @@ grep -q '"all_as_expected": true' target/repro/BENCH_scenarios.json
 grep -q '"name": "ci-panic", "status": "fail"' target/repro/BENCH_scenarios.json
 grep -q '"name": "ci-hang", "status": "timeout"' target/repro/BENCH_scenarios.json
 grep -q '"name": "ci-golden-mismatch", "status": "golden-mismatch"' target/repro/BENCH_scenarios.json
-echo "   panic/hang/golden-mismatch each contained and classified"
+# The live telemetry stream covers every cell (start + end at least).
+test -s target/repro/scenarios_heartbeat.jsonl
+grep -q '"event": "start"' target/repro/scenarios_heartbeat.jsonl
+grep -q '"event": "end"' target/repro/scenarios_heartbeat.jsonl
+echo "   panic/hang/golden-mismatch each contained and classified; heartbeats streamed"
 
 echo "== scenario report determinism (two runs, byte-identical JSON)"
 cp target/repro/BENCH_scenarios.json target/repro/BENCH_scenarios.first.json

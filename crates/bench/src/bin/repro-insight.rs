@@ -1,0 +1,12 @@
+//! Cycle-attribution campaign, run as a one-cell supervised scenario
+//! fleet: all four applications × all three coherence protocols with
+//! the heatmap and race detector mounted. Checks that attributed
+//! cycles partition the machine totals bit-exactly and that
+//! attribution never changes the simulation, then writes the
+//! integers-only `BENCH_insight.json` under `target/repro/`
+//! (override with `SPP_REPRO_DIR`); a failed invariant is a
+//! contained FAIL and a nonzero exit.
+//! Usage: `repro-insight [--full] [--steps N]`.
+fn main() {
+    std::process::exit(spp_bench::scenario_cli::run_single("insight"));
+}

@@ -94,6 +94,10 @@ pub fn all_experiments() -> Vec<Experiment> {
             name: "recovery",
             runner: crate::recovery::run,
         },
+        Experiment {
+            name: "insight",
+            runner: crate::insight::run,
+        },
     ]
 }
 

@@ -62,6 +62,7 @@ experiment_adapters!(
     ("race", adapt_race, crate::race::run),
     ("protocol", adapt_protocol, crate::protocol::run),
     ("recovery", adapt_recovery, crate::recovery::run),
+    ("insight", adapt_insight, crate::insight::run),
 );
 
 /// Entry point of every `repro-*` binary: run one experiment as a
@@ -252,10 +253,14 @@ pub fn fleet_main(args: &[String]) -> i32 {
                 }
             };
             let dir = crate::repro_dir();
+            // Live telemetry: the fleet streams per-cell lifecycle
+            // heartbeats as it runs, so `tail -f` shows progress long
+            // before the deterministic reports land.
             let cfg = FleetConfig {
                 workers,
                 checkpoint_dir: Some(dir.join("checkpoints")),
                 max_timeout_secs: max_timeout,
+                heartbeat_path: Some(dir.join("scenarios_heartbeat.jsonl")),
             };
             let report = run_fleet(&specs, &registry(), &cfg);
             print!("{}", report.render());

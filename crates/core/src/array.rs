@@ -61,11 +61,14 @@ impl<T: Copy> SimArray<T> {
         self.region
     }
 
-    /// Name this array for the race detector (see [`crate::race`]),
-    /// refining the default `alloc@...` registration with a real label
-    /// and element size so findings read `rho[42]` instead of a raw
-    /// address. No-op when no detector is mounted.
+    /// Name this array for observability: registers the label in the
+    /// backend's region registry (heatmap/report region names, see
+    /// [`crate::heat`]) and, when a race detector is mounted, refines
+    /// its default `alloc@...` registration with the real label and
+    /// element size so findings read `rho[42]` instead of a raw
+    /// address.
     pub fn set_label<P: MemPort>(&self, m: &mut P, label: &str) {
+        m.label_region(self.region.base, label);
         if m.racing() {
             m.race(crate::race::RaceEvent::Register {
                 base: self.region.base,

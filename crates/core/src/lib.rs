@@ -45,6 +45,7 @@ pub mod directory;
 pub mod error;
 pub mod fastport;
 pub mod fault;
+pub mod heat;
 pub mod latency;
 pub mod linemap;
 pub mod machine;
@@ -66,6 +67,10 @@ pub use diagram::system_diagram;
 pub use error::{ConfigError, SimError};
 pub use fastport::FastPort;
 pub use fault::{FaultEvent, FaultPlan, HardFault, N_FAULT_SITES};
+pub use heat::{
+    heat_by_region, heat_report, insight_json, HeatCell, HeatMap, RegionHeat, ServiceLevel,
+    N_SERVICE_LEVELS,
+};
 pub use latency::{cycles_to_us, us_to_cycles, Cycles, LatencyModel};
 pub use machine::Machine;
 pub use mem::{AddressSpace, MemClass, Region};

@@ -65,6 +65,10 @@ pub struct Machine {
     /// Happens-before race detector (see [`crate::race`]); `None`
     /// means detection is off and every hook is a single branch.
     racer: Option<Box<RaceSink>>,
+    /// Per-line cycle-attribution heatmap (see [`crate::heat`]);
+    /// `None` means attribution is off and every access site is a
+    /// single branch.
+    heat: Option<Box<crate::heat::HeatMap>>,
     /// Deterministic fault schedule, if installed.
     pub(crate) faults: Option<FaultPlan>,
     /// Cumulative cycles charged across all accesses: the machine's
@@ -180,6 +184,7 @@ impl Machine {
             checker: None,
             tracer: None,
             racer: None,
+            heat: None,
             faults: None,
             clock: 0,
             failed_rings: 0,
@@ -324,6 +329,43 @@ impl Machine {
             .as_deref()
             .map(|r| r.report().clone())
             .unwrap_or_default()
+    }
+
+    /// Mount the cycle-attribution heatmap (see [`crate::heat`]).
+    /// Attribution starts from the machine's current clock and
+    /// counters, and never changes simulated cycles or [`MemStats`].
+    pub fn with_heatmap(mut self) -> Self {
+        let clock = self.clock;
+        let stats = self.stats;
+        self.heat
+            .get_or_insert_with(|| Box::new(crate::heat::HeatMap::new(clock, stats)));
+        self
+    }
+
+    /// True when the attribution heatmap is mounted.
+    pub fn heatmap_enabled(&self) -> bool {
+        self.heat.is_some()
+    }
+
+    /// The mounted heatmap, if any.
+    pub fn heatmap(&self) -> Option<&crate::heat::HeatMap> {
+        self.heat.as_deref()
+    }
+
+    /// The heatmap's partition invariant: attributed cycles sum
+    /// exactly to the clock advance since mount, and every attributed
+    /// counter to the global [`MemStats`] delta it decomposes. Always
+    /// true with no heatmap mounted.
+    pub fn heat_partition_check(&self) -> bool {
+        self.heat
+            .as_deref()
+            .is_none_or(|h| h.partition_check(self.clock, &self.stats))
+    }
+
+    /// Label the region based at `base` for observability (heatmap and
+    /// report region names). No-op for an unknown base.
+    pub fn label_region(&mut self, base: u64, label: &str) {
+        self.space.set_region_name(base, label);
     }
 
     /// Per-CPU counter breakdown for one CPU.
@@ -475,6 +517,9 @@ impl Machine {
         cost += self.inject_link_reroute(addr, sci_before);
         self.clock += cost;
         self.account(cpu, &before);
+        if self.heat.is_some() {
+            self.heat_note(addr, cost, &before);
+        }
         self.after_access(cpu, line, cost);
         if let Some(r) = self.racer.as_deref_mut() {
             r.record_access(addr, false, self.clock);
@@ -521,6 +566,9 @@ impl Machine {
         cost += self.inject_link_reroute(addr, sci_before);
         self.clock += cost;
         self.account(cpu, &before);
+        if self.heat.is_some() {
+            self.heat_note(addr, cost, &before);
+        }
         self.after_access(cpu, line, cost);
         if let Some(r) = self.racer.as_deref_mut() {
             r.record_access(addr, true, self.clock);
@@ -535,6 +583,17 @@ impl Machine {
     fn account(&mut self, cpu: CpuId, before: &MemStats) {
         let delta = self.stats.since(before);
         self.cpu_stats[cpu.0 as usize].merge(&delta);
+    }
+
+    /// Attribute one priced access to the heatmap; only called when a
+    /// heatmap is mounted.
+    #[cold]
+    fn heat_note(&mut self, addr: u64, cost: Cycles, before: &MemStats) {
+        let delta = self.stats.since(before);
+        let line = self.line_of(addr);
+        if let Some(h) = self.heat.as_deref_mut() {
+            h.note(line, cost, &delta);
+        }
     }
 
     /// Record a trace event stamped with the machine clock and
@@ -1206,6 +1265,9 @@ impl Machine {
         };
         self.clock += cost;
         self.account(cpu, &before);
+        if self.heat.is_some() {
+            self.heat_note(addr, cost, &before);
+        }
         cost
     }
 
@@ -1225,10 +1287,14 @@ impl Machine {
         debug_assert!(elem_bytes > 0, "read_run with zero stride");
         // Degraded CPUs need per-access fault application; the race
         // detector needs every element's record; transient injection
-        // draws a decision per element through the protocol seam. All
-        // take the scalar loop, which the run-equivalence invariant
-        // makes bit-identical.
-        if self.degraded_path(cpu) || self.racer.is_some() || self.transients_active() {
+        // draws a decision per element through the protocol seam; the
+        // heatmap attributes per access. All take the scalar loop,
+        // which the run-equivalence invariant makes bit-identical.
+        if self.degraded_path(cpu)
+            || self.racer.is_some()
+            || self.heat.is_some()
+            || self.transients_active()
+        {
             let mut total = 0;
             for i in 0..n {
                 total += self.read(cpu, addr + i as u64 * elem_bytes);
@@ -1274,12 +1340,14 @@ impl Machine {
     pub fn write_run(&mut self, cpu: CpuId, addr: u64, elem_bytes: u64, n: usize) -> Cycles {
         debug_assert!(elem_bytes > 0, "write_run with zero stride");
         // Same scalar fallback as read_run: per-element records for
-        // the race detector, bit-identical by run equivalence. Dragon
-        // always takes the scalar loop: a write to a line with other
-        // holders stays a broadcasting hit (never Modified), so the
+        // the race detector and per-access attribution for the
+        // heatmap, bit-identical by run equivalence. Dragon always
+        // takes the scalar loop: a write to a line with other holders
+        // stays a broadcasting hit (never Modified), so the
         // rest-are-plain-hits assumption does not hold there.
         if self.degraded_path(cpu)
             || self.racer.is_some()
+            || self.heat.is_some()
             || self.transients_active()
             || self.protocol == ProtocolKind::Dragon
         {
@@ -2410,6 +2478,65 @@ mod tests {
     }
 
     #[test]
+    fn heatmap_does_not_change_cycles_or_stats() {
+        let mut plain = m2();
+        mixed_workload(&mut plain);
+        let mut heated = m2().with_heatmap();
+        mixed_workload(&mut heated);
+        assert_eq!(plain.clock(), heated.clock());
+        assert_eq!(plain.stats, heated.stats);
+        assert!(!plain.heatmap_enabled());
+        assert!(heated.heatmap_enabled());
+    }
+
+    #[test]
+    fn heat_partition_holds_on_a_real_workload() {
+        let mut m = m2().with_heatmap();
+        mixed_workload(&mut m);
+        assert!(m.heat_partition_check(), "attribution must partition");
+        let h = m.heatmap().unwrap();
+        assert!(h.touched_lines() > 0);
+        assert_eq!(h.totals().total_cycles(), m.clock());
+        let hottest = h.hottest(5);
+        assert!(!hottest.is_empty());
+        // Remote traffic exists, so some line must be attributed
+        // beyond the local level.
+        assert!(hottest
+            .iter()
+            .any(|(_, c)| c.dominant_level() != crate::heat::ServiceLevel::Hit));
+    }
+
+    #[test]
+    fn heatmap_mounted_mid_run_partitions_the_suffix() {
+        let mut m = m2();
+        mixed_workload(&mut m);
+        let mid = m.clock();
+        assert!(mid > 0);
+        m = m.with_heatmap();
+        mixed_workload(&mut m);
+        assert!(m.heat_partition_check());
+        let h = m.heatmap().unwrap();
+        assert_eq!(h.start_clock(), mid);
+        assert_eq!(h.totals().total_cycles(), m.clock() - mid);
+    }
+
+    #[test]
+    fn region_labels_flow_into_heat_reports() {
+        let mut m = m2().with_heatmap();
+        let r = m.alloc(MemClass::FarShared, 4096);
+        m.label_region(r.base, "grid");
+        for i in 0..32 {
+            m.read(CpuId((i % 16) as u16), r.addr(i as u64 * 64));
+        }
+        assert_eq!(m.address_space().region_name(r.addr(100)), Some("grid"));
+        let report = crate::heat::heat_report(&m, 4);
+        assert!(report.contains("grid"), "{report}");
+        let json = crate::heat::insight_json(&m, 4);
+        assert!(json.contains("\"name\": \"grid\""), "{json}");
+        assert!(json.contains("\"heat_partition_check\": true"), "{json}");
+    }
+
+    #[test]
     fn race_detector_flags_a_planted_cross_cpu_conflict() {
         use crate::race::RaceEvent as Ev;
         let mut m = m2().with_race_detection();
@@ -2458,6 +2585,30 @@ mod tests {
             crate::trace::perfetto_json(&m.trace_events())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn perfetto_export_is_byte_stable_per_protocol() {
+        for proto in [
+            ProtocolKind::DashSci,
+            ProtocolKind::Mesi,
+            ProtocolKind::Dragon,
+        ] {
+            let run = || {
+                let mut m = m2().with_protocol(proto).with_tracing();
+                mixed_workload(&mut m);
+                let evs = m.trace_events();
+                (
+                    crate::trace::perfetto_json(&evs),
+                    crate::trace::perfetto_json_with_counters(&evs),
+                )
+            };
+            let (a1, a2) = run();
+            let (b1, b2) = run();
+            assert_eq!(a1, b1, "{proto:?} perfetto_json not byte-stable");
+            assert_eq!(a2, b2, "{proto:?} counter export not byte-stable");
+            assert!(!a1.is_empty() && !a2.is_empty());
+        }
     }
 
     #[test]

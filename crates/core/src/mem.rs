@@ -70,6 +70,10 @@ impl Region {
 #[derive(Debug, Clone)]
 pub struct AddressSpace {
     regions: Vec<Region>,
+    /// Observability-only labels, parallel to `regions`. Names never
+    /// influence placement, snapshots, or digests, and are lost on
+    /// snapshot restore (replay goes through `try_alloc`).
+    names: Vec<Option<String>>,
     cursor: u64,
     page: u64,
     fus_per_node: usize,
@@ -81,6 +85,7 @@ impl AddressSpace {
     pub fn new(cfg: &MachineConfig) -> Self {
         AddressSpace {
             regions: Vec::new(),
+            names: Vec::new(),
             // Start above 0 so address 0 stays invalid, and keep
             // allocations page-aligned.
             cursor: cfg.page_bytes as u64,
@@ -121,18 +126,53 @@ impl AddressSpace {
         self.cursor += padded + self.page;
         let r = Region { base, len, class };
         self.regions.push(r);
+        self.names.push(None);
         Ok(r)
     }
 
     /// Find the region containing `addr`.
     pub fn region_of(&self, addr: u64) -> Option<&Region> {
+        self.region_index_of(addr).map(|i| &self.regions[i])
+    }
+
+    /// Index (allocation order) of the region containing `addr`.
+    pub fn region_index_of(&self, addr: u64) -> Option<usize> {
         // Regions are allocated in ascending order; binary search.
         let i = self.regions.partition_point(|r| r.base <= addr);
         if i == 0 {
             return None;
         }
         let r = &self.regions[i - 1];
-        (addr < r.base + r.len.max(1).div_ceil(self.page) * self.page).then_some(r)
+        (addr < r.base + r.len.max(1).div_ceil(self.page) * self.page).then_some(i - 1)
+    }
+
+    /// Label the region whose base address is `base` (no-op for an
+    /// address that is not a region base). Labels exist purely for
+    /// observability — reports, heatmaps, traces.
+    pub fn set_region_name(&mut self, base: u64, name: &str) {
+        if let Some(i) = self.region_index_of(base) {
+            if self.regions[i].base == base {
+                self.names[i] = Some(name.to_string());
+            }
+        }
+    }
+
+    /// The label of the region containing `addr`, if any was set.
+    pub fn region_name(&self, addr: u64) -> Option<&str> {
+        self.region_index_of(addr)
+            .and_then(|i| self.names[i].as_deref())
+    }
+
+    /// The label of region `index` (allocation order), if any was set.
+    pub fn region_name_at(&self, index: usize) -> Option<&str> {
+        self.names.get(index).and_then(|n| n.as_deref())
+    }
+
+    /// Base address of region `index` (allocation order).
+    ///
+    /// Panics if `index` is out of range.
+    pub fn region_base_at(&self, index: usize) -> u64 {
+        self.regions[index].base
     }
 
     /// The home (hypernode, FU) of `addr`: the memory bank that

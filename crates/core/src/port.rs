@@ -150,6 +150,13 @@ pub trait MemPort {
     fn race(&mut self, ev: RaceEvent) {
         let _ = ev;
     }
+
+    /// Label the region based at `base` for observability (heatmap
+    /// and report region names); dropped by backends without a region
+    /// registry.
+    fn label_region(&mut self, base: u64, label: &str) {
+        let _ = (base, label);
+    }
 }
 
 impl MemPort for Machine {
@@ -223,5 +230,9 @@ impl MemPort for Machine {
         if let Some(r) = self.race_sink_mut() {
             r.handle(ev);
         }
+    }
+
+    fn label_region(&mut self, base: u64, label: &str) {
+        Machine::label_region(self, base, label)
     }
 }

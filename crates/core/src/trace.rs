@@ -188,11 +188,27 @@ pub enum TraceEvent {
         /// Scrub attempts spent (>= 1).
         attempts: u32,
     },
+    /// The stamped CPU was the straggler of a barrier interval: the
+    /// last arrival, holding every other thread for `stall` cycles in
+    /// total (see `spp_runtime::interval`).
+    Straggler {
+        /// Sum of the other threads' wait for this straggler.
+        stall: Cycles,
+    },
+    /// A liveness heartbeat from a supervised fleet cell (see the
+    /// scenario engine): `seq` increments per beat, `progress` is the
+    /// watchdog clock's simulated-cycle progress at the beat.
+    Heartbeat {
+        /// Beat sequence number within the cell.
+        seq: u32,
+        /// Simulated cycles of progress at the beat.
+        progress: Cycles,
+    },
 }
 
 /// Number of distinct event-kind slots in [`TraceSink::counts`]
 /// (misses occupy one slot per [`MissKind`]).
-pub const N_EVENT_KINDS: usize = 19;
+pub const N_EVENT_KINDS: usize = 21;
 
 impl TraceEvent {
     /// Dense kind index into a `[u64; N_EVENT_KINDS]` count array.
@@ -229,6 +245,8 @@ impl TraceEvent {
             TraceEvent::Update { .. } => 16,
             TraceEvent::TransientFault { .. } => 17,
             TraceEvent::Recovery { .. } => 18,
+            TraceEvent::Straggler { .. } => 19,
+            TraceEvent::Heartbeat { .. } => 20,
         }
     }
 
@@ -254,6 +272,8 @@ impl TraceEvent {
             "update",
             "transient-fault",
             "recovery",
+            "straggler",
+            "heartbeat",
         ];
         LABELS[index]
     }
@@ -441,7 +461,37 @@ fn json_args(ev: &TraceEvent) -> String {
         TraceEvent::Recovery { line, attempts } => {
             format!("{{\"line\":{line},\"attempts\":{attempts}}}")
         }
+        TraceEvent::Straggler { stall } => format!("{{\"stall_cycles\":{stall}}}"),
+        TraceEvent::Heartbeat { seq, progress } => {
+            format!("{{\"seq\":{seq},\"progress\":{progress}}}")
+        }
     }
+}
+
+/// Escape a string for embedding inside a JSON string literal:
+/// quotes, backslashes, and every control or non-ASCII character
+/// become escape sequences (`\uXXXX` with UTF-16 surrogate pairs for
+/// astral code points), so exporter output stays well-formed and
+/// byte-stable no matter what labels callers pick.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (' '..='\u{7e}').contains(&c) => out.push(c),
+            c => {
+                let mut units = [0u16; 2];
+                for u in c.encode_utf16(&mut units) {
+                    out.push_str(&format!("\\u{:04x}", u));
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Export records as Chrome/Perfetto `trace_event` JSON (load the
@@ -458,7 +508,9 @@ pub fn perfetto_json(records: &[TraceRecord]) -> String {
         if i > 0 {
             out.push_str(",\n");
         }
-        let name = r.event.label();
+        // All built-in labels are plain ASCII, so escaping changes no
+        // bytes for them — it exists for externally supplied names.
+        let name = json_escape(r.event.label());
         let args = json_args(&r.event);
         match r.event {
             TraceEvent::ForkSpan { dur, .. } => {
@@ -486,39 +538,129 @@ pub fn perfetto_json(records: &[TraceRecord]) -> String {
     out
 }
 
+/// Like [`perfetto_json`], with Perfetto counter (`"C"`) tracks
+/// riding the same timeline: cumulative miss-mix counters (one track
+/// per [`MissKind`]) plus upgrades, emitted at every record whose
+/// event moves them. Counter events live on pid 255 (machine level)
+/// so they render as machine-wide tracks above the per-node rows. A
+/// single pass, byte-deterministic for a deterministic record stream.
+pub fn perfetto_json_with_counters(records: &[TraceRecord]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut miss = [0u64; 4];
+    let mut upgrades = 0u64;
+    let mut first = true;
+    let mut push = |out: &mut String, s: String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&s);
+    };
+    for r in records {
+        let name = json_escape(r.event.label());
+        let args = json_args(&r.event);
+        match r.event {
+            TraceEvent::ForkSpan { dur, .. } => {
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                         \"pid\":{},\"tid\":{},\"args\":{args}}}",
+                        ts_us(r.at),
+                        ts_us(dur),
+                        r.node,
+                        r.cpu
+                    ),
+                );
+            }
+            _ => {
+                push(
+                    &mut out,
+                    format!(
+                        "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+                         \"pid\":{},\"tid\":{},\"args\":{args}}}",
+                        ts_us(r.at),
+                        r.node,
+                        r.cpu
+                    ),
+                );
+            }
+        }
+        let counter = match r.event {
+            TraceEvent::Miss { kind, .. } => {
+                let i = match kind {
+                    MissKind::Local => 0,
+                    MissKind::Gcb => 1,
+                    MissKind::Sci => 2,
+                    MissKind::C2c => 3,
+                };
+                miss[i] += 1;
+                Some((format!("miss-{}", kind.label()), miss[i]))
+            }
+            TraceEvent::Upgrade { .. } => {
+                upgrades += 1;
+                Some(("upgrades".to_string(), upgrades))
+            }
+            _ => None,
+        };
+        if let Some((track, value)) = counter {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"{track}\",\"ph\":\"C\",\"ts\":{},\"pid\":255,\
+                     \"args\":{{\"count\":{value}}}}}",
+                    ts_us(r.at)
+                ),
+            );
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// The single source of truth mapping every [`MemStats`] field to its
+/// exported name, in struct-declaration order. Exporters iterate this
+/// table, and the `exporters_cover_every_memstats_field` test fails
+/// whenever a field is added to the struct without a row here — the
+/// audit that keeps [`memstats_json`] and [`spp_top`] complete.
+#[allow(clippy::type_complexity)]
+pub const MEMSTATS_FIELDS: [(&str, fn(&MemStats) -> u64); 21] = [
+    ("reads", |s| s.reads),
+    ("writes", |s| s.writes),
+    ("hits", |s| s.hits),
+    ("local_misses", |s| s.local_misses),
+    ("gcb_hits", |s| s.gcb_hits),
+    ("sci_fetches", |s| s.sci_fetches),
+    ("remote_dirty_fetches", |s| s.remote_dirty_fetches),
+    ("c2c_transfers", |s| s.c2c_transfers),
+    ("upgrades", |s| s.upgrades),
+    ("invalidations", |s| s.invalidations),
+    ("sci_invalidations", |s| s.sci_invalidations),
+    ("evictions", |s| s.evictions),
+    ("writebacks", |s| s.writebacks),
+    ("gcb_rollouts", |s| s.gcb_rollouts),
+    ("uncached_ops", |s| s.uncached_ops),
+    ("ring_stalls", |s| s.ring_stalls),
+    ("link_reroutes", |s| s.link_reroutes),
+    ("snoops", |s| s.snoops),
+    ("updates", |s| s.updates),
+    ("recoveries", |s| s.recoveries),
+    ("recovery_retries", |s| s.recovery_retries),
+];
+
 /// One `MemStats` as a flat JSON object (hand-rolled: the workspace
-/// has no serde).
+/// has no serde). Fields come from [`MEMSTATS_FIELDS`], so the output
+/// always covers the whole struct.
 pub fn memstats_json(s: &MemStats) -> String {
-    format!(
-        "{{\"reads\": {}, \"writes\": {}, \"hits\": {}, \"local_misses\": {}, \
-         \"gcb_hits\": {}, \"sci_fetches\": {}, \"remote_dirty_fetches\": {}, \
-         \"c2c_transfers\": {}, \"upgrades\": {}, \"invalidations\": {}, \
-         \"sci_invalidations\": {}, \"evictions\": {}, \"writebacks\": {}, \
-         \"gcb_rollouts\": {}, \"uncached_ops\": {}, \"ring_stalls\": {}, \
-         \"link_reroutes\": {}, \"snoops\": {}, \"updates\": {}, \
-         \"recoveries\": {}, \"recovery_retries\": {}}}",
-        s.reads,
-        s.writes,
-        s.hits,
-        s.local_misses,
-        s.gcb_hits,
-        s.sci_fetches,
-        s.remote_dirty_fetches,
-        s.c2c_transfers,
-        s.upgrades,
-        s.invalidations,
-        s.sci_invalidations,
-        s.evictions,
-        s.writebacks,
-        s.gcb_rollouts,
-        s.uncached_ops,
-        s.ring_stalls,
-        s.link_reroutes,
-        s.snoops,
-        s.updates,
-        s.recoveries,
-        s.recovery_retries
-    )
+    let mut out = String::from("{");
+    for (i, (name, get)) in MEMSTATS_FIELDS.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": {}", name, get(s)));
+    }
+    out.push('}');
+    out
 }
 
 /// Flat metrics snapshot of a machine as JSON: clock, global stats,
@@ -607,6 +749,11 @@ pub fn spp_top(m: &Machine) -> String {
         }
         row(format!("cpu {c}"), s);
     }
+    out.push_str("counters:");
+    for (name, get) in MEMSTATS_FIELDS.iter() {
+        out.push_str(&format!(" {}={}", name, get(&m.stats)));
+    }
+    out.push('\n');
     if let Some(t) = m.tracer() {
         out.push_str("events:");
         for (i, c) in t.counts().iter().enumerate() {
@@ -699,6 +846,183 @@ mod tests {
         assert_eq!(ts_us(0), "0.00");
         assert_eq!(ts_us(150), "1.50");
         assert_eq!(ts_us(12_345), "123.45");
+    }
+
+    #[test]
+    fn ring_counts_stay_exact_when_the_kind_mix_changes_mid_run() {
+        let mut ring = RingSink::new(8);
+        // Phase 1: misses and upgrades well past capacity.
+        for i in 0..20 {
+            ring.record(rec(
+                i,
+                TraceEvent::Miss {
+                    kind: MissKind::Sci,
+                    line: i,
+                },
+            ));
+            ring.record(rec(i, TraceEvent::Upgrade { line: i }));
+        }
+        // Phase 2: the mix changes — new insight/telemetry kinds.
+        for i in 0..15 {
+            ring.record(rec(100 + i, TraceEvent::Straggler { stall: 10 * i }));
+            ring.record(rec(
+                100 + i,
+                TraceEvent::Heartbeat {
+                    seq: i as u32,
+                    progress: i,
+                },
+            ));
+        }
+        let c = ring.counts();
+        assert_eq!(c[2], 20, "sci misses exact past capacity");
+        assert_eq!(c[4], 20, "upgrades exact past capacity");
+        assert_eq!(c[19], 15, "stragglers exact");
+        assert_eq!(c[20], 15, "heartbeats exact");
+        assert_eq!(ring.len(), 8);
+        assert_eq!(ring.dropped(), 70 - 8);
+        // The retained window is the newest records only.
+        assert!(ring.events().iter().all(|r| matches!(
+            r.event,
+            TraceEvent::Straggler { .. } | TraceEvent::Heartbeat { .. }
+        )));
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_controls_and_non_ascii() {
+        assert_eq!(json_escape("plain-ascii_42"), "plain-ascii_42");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("café"), "caf\\u00e9");
+        // Astral code point: UTF-16 surrogate pair.
+        assert_eq!(json_escape("𝕏"), "\\ud835\\udd4f");
+    }
+
+    #[test]
+    fn exporters_cover_every_memstats_field() {
+        // Exhaustive destructuring: adding a MemStats field without
+        // updating this test (and MEMSTATS_FIELDS) fails to compile.
+        let s = MemStats {
+            reads: 1,
+            writes: 2,
+            hits: 3,
+            local_misses: 4,
+            gcb_hits: 5,
+            sci_fetches: 6,
+            remote_dirty_fetches: 7,
+            c2c_transfers: 8,
+            upgrades: 9,
+            invalidations: 10,
+            sci_invalidations: 11,
+            evictions: 12,
+            writebacks: 13,
+            gcb_rollouts: 14,
+            uncached_ops: 15,
+            ring_stalls: 16,
+            link_reroutes: 17,
+            snoops: 18,
+            updates: 19,
+            recoveries: 20,
+            recovery_retries: 21,
+        };
+        let MemStats {
+            reads,
+            writes,
+            hits,
+            local_misses,
+            gcb_hits,
+            sci_fetches,
+            remote_dirty_fetches,
+            c2c_transfers,
+            upgrades,
+            invalidations,
+            sci_invalidations,
+            evictions,
+            writebacks,
+            gcb_rollouts,
+            uncached_ops,
+            ring_stalls,
+            link_reroutes,
+            snoops,
+            updates,
+            recoveries,
+            recovery_retries,
+        } = s;
+        let values = [
+            reads,
+            writes,
+            hits,
+            local_misses,
+            gcb_hits,
+            sci_fetches,
+            remote_dirty_fetches,
+            c2c_transfers,
+            upgrades,
+            invalidations,
+            sci_invalidations,
+            evictions,
+            writebacks,
+            gcb_rollouts,
+            uncached_ops,
+            ring_stalls,
+            link_reroutes,
+            snoops,
+            updates,
+            recoveries,
+            recovery_retries,
+        ];
+        assert_eq!(
+            values.len(),
+            MEMSTATS_FIELDS.len(),
+            "MEMSTATS_FIELDS must cover every MemStats field"
+        );
+        // The table's accessors read the fields in declaration order.
+        for ((name, get), v) in MEMSTATS_FIELDS.iter().zip(values.iter()) {
+            assert_eq!(get(&s), *v, "accessor for {name} reads the wrong field");
+        }
+        // And both exporters surface every field by name.
+        let json = memstats_json(&s);
+        let m = Machine::spp1000(1);
+        let top = spp_top(&m);
+        for (name, _) in MEMSTATS_FIELDS.iter() {
+            assert!(
+                json.contains(&format!("\"{name}\": ")),
+                "{name} not in json"
+            );
+            assert!(top.contains(&format!(" {name}=")), "{name} not in spp_top");
+        }
+    }
+
+    #[test]
+    fn counter_tracks_ride_the_timeline() {
+        let records = vec![
+            rec(
+                10,
+                TraceEvent::Miss {
+                    kind: MissKind::Sci,
+                    line: 1,
+                },
+            ),
+            rec(20, TraceEvent::Upgrade { line: 1 }),
+            rec(
+                30,
+                TraceEvent::Miss {
+                    kind: MissKind::Sci,
+                    line: 2,
+                },
+            ),
+            rec(40, TraceEvent::BarrierArrive),
+        ];
+        let a = perfetto_json_with_counters(&records);
+        let b = perfetto_json_with_counters(&records);
+        assert_eq!(a, b, "byte-deterministic");
+        assert!(a.contains("\"ph\":\"C\""));
+        assert!(a.contains("\"name\":\"miss-sci\",\"ph\":\"C\""));
+        assert!(a.contains("\"count\":2"), "cumulative counter: {a}");
+        assert!(a.contains("\"name\":\"upgrades\",\"ph\":\"C\""));
+        // The plain instant events are still all present.
+        assert_eq!(a.matches("\"ph\":\"i\"").count(), 4);
     }
 
     #[test]

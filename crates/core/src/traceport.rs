@@ -331,6 +331,13 @@ impl MemPort for TracePort {
     fn faults_mut(&mut self) -> Option<&mut FaultPlan> {
         self.inner.faults_mut()
     }
+
+    // Labels are observability-only: pass them through to the inner
+    // machine's registry, but keep them out of the recorded op stream
+    // (replay reproduces cycles and stats, not report strings).
+    fn label_region(&mut self, base: u64, label: &str) {
+        self.inner.label_region(base, label)
+    }
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@
 
 use crate::latency::{cycles_to_us, Cycles};
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
@@ -193,8 +193,20 @@ pub fn retry_backoff(base: u64, retry: u32) -> u64 {
 /// poll [`CancelToken::is_cancelled`] between steps and bail out
 /// promptly once the supervisor gives up on them; code that never
 /// polls is simply left detached after a timeout.
+///
+/// The token also carries the *watchdog clock made host-visible*: the
+/// supervised simulation publishes its simulated-cycle clock with
+/// [`CancelToken::note_progress`] at the same loop boundaries where it
+/// polls for cancellation, and telemetry on the supervisor side reads
+/// it back with [`CancelToken::progress`]. A timed-out cell therefore
+/// reports *where* (in simulated time) it wedged, not just that it
+/// did. The clock is advisory — it never influences simulation
+/// results.
 #[derive(Debug, Clone, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    clock: Arc<AtomicU64>,
+}
 
 impl CancelToken {
     /// A fresh, un-cancelled token.
@@ -204,12 +216,25 @@ impl CancelToken {
 
     /// Request cancellation (idempotent).
     pub fn cancel(&self) {
-        self.0.store(true, Ordering::Relaxed);
+        self.flag.store(true, Ordering::Relaxed);
     }
 
     /// Has cancellation been requested?
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Relaxed)
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Publish the simulation's current clock for host-side telemetry.
+    pub fn note_progress(&self, cycles: Cycles) {
+        self.clock.store(cycles, Ordering::Relaxed);
+    }
+
+    /// The last simulated clock published via [`note_progress`]
+    /// (zero if the work never reported).
+    ///
+    /// [`note_progress`]: CancelToken::note_progress
+    pub fn progress(&self) -> Cycles {
+        self.clock.load(Ordering::Relaxed)
     }
 }
 
@@ -394,5 +419,14 @@ mod tests {
         assert!(!u.is_cancelled());
         t.cancel();
         assert!(u.is_cancelled());
+    }
+
+    #[test]
+    fn progress_clock_is_shared_and_starts_at_zero() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert_eq!(u.progress(), 0);
+        t.note_progress(123_456);
+        assert_eq!(u.progress(), 123_456);
     }
 }

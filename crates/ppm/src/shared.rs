@@ -111,6 +111,11 @@ impl SharedPpm {
             owner: assign_owners(tiles, team, m.config()),
             problem,
         };
+        s.rho.set_label(m, "rho");
+        s.mu.set_label(m, "mu");
+        s.mv.set_label(m, "mv");
+        s.e.set_label(m, "e");
+        s.speeds.set_label(m, "speeds");
         // Host-side initialization of tile interiors.
         let p = s.problem.clone();
         let mut max_speed = 0.0f64;

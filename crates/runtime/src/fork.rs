@@ -17,8 +17,8 @@ use crate::noise::OsNoise;
 use crate::team::{chunk_range, Placement, Team};
 use spp_core::trace::{record, TraceEvent, NO_CPU, NO_NODE};
 use spp_core::{
-    CpuId, Cycles, Machine, MemPort, NodeId, RaceEvent, SimArray, SimError, StallKind, Watchdog,
-    WatchdogReport,
+    CpuId, Cycles, Machine, MemPort, MemStats, NodeId, RaceEvent, SimArray, SimError, StallKind,
+    Watchdog, WatchdogReport,
 };
 
 /// The order in which a region's thread bodies are replayed.
@@ -991,6 +991,247 @@ impl<P: MemPort> Runtime<P> {
     }
 }
 
+impl Runtime<Machine> {
+    /// [`Runtime::team_fork_join_phases`] with barrier-interval
+    /// critical-path profiling (see [`crate::interval`]): runs the
+    /// phased region bit-identically to the unprofiled path — same
+    /// cycles, same [`spp_core::MemStats`], same [`RegionReport`] —
+    /// while snapshotting each thread's busy time and per-CPU counter
+    /// deltas around every phase, and returns one
+    /// [`IntervalReport`](crate::interval::IntervalReport) per barrier
+    /// interval. Requires the cycle-accurate [`Machine`] backend for
+    /// its per-CPU counter breakdown. When tracing is mounted, each
+    /// interval also emits a [`TraceEvent::Straggler`] stamped at the
+    /// straggler's arrival.
+    pub fn team_fork_join_phases_profiled(
+        &mut self,
+        team: &Team,
+        nphases: usize,
+        mut body: impl FnMut(&mut ThreadCtx<Machine>, usize),
+    ) -> (RegionReport, Vec<crate::interval::IntervalReport>) {
+        use crate::interval::IntervalReport;
+        let n = team.len();
+        let parent_node = self.machine.config().node_of_cpu(team.cpu(0));
+        let cpus: Vec<u16> = (0..n).map(|tid| team.cpu(tid).0).collect();
+
+        // Fork: identical to team_fork_join_phases.
+        let mut t = self.cost.fork_base;
+        let mut start = vec![0u64; n];
+        let mut activated = false;
+        let mut spawn_retries = 0u64;
+        for (tid, s) in start.iter_mut().enumerate().skip(1) {
+            let node = self.machine.config().node_of_cpu(team.cpu(tid));
+            t += self.priced_spawn(
+                team.cpu(tid),
+                node == parent_node,
+                &mut activated,
+                &mut spawn_retries,
+            );
+            *s = t;
+        }
+        start[0] = t;
+
+        let mut busy = vec![0u64; n];
+        let mut flops = 0u64;
+        let racing = self.machine.racing();
+        if racing {
+            self.machine.race(RaceEvent::RegionBegin);
+        }
+
+        let mut intervals: Vec<IntervalReport> = Vec::with_capacity(nphases);
+        // Busy values at the start of the open interval, plus the
+        // per-CPU counter deltas over its bodies — held until the
+        // closing barrier's release times are known.
+        let mut open: Option<(Vec<Cycles>, Vec<MemStats>)> = None;
+        for phase in 0..nphases {
+            if phase > 0 {
+                if n > 1 {
+                    let arrivals: Vec<(CpuId, Cycles)> = (0..n)
+                        .map(|tid| (team.cpu(tid), start[tid] + busy[tid]))
+                        .collect();
+                    if self.phase_barrier.is_none() {
+                        self.phase_barrier = Some(SimBarrier::new(&mut self.machine, parent_node));
+                    }
+                    let pb = self.phase_barrier.take().unwrap();
+                    let res = pb.simulate(&mut self.machine, &self.cost, &arrivals);
+                    self.phase_barrier = Some(pb);
+                    if let Some((entry, deltas)) = open.take() {
+                        self.close_interval(
+                            &mut intervals,
+                            phase - 1,
+                            &cpus,
+                            &start,
+                            &busy,
+                            &entry,
+                            res.release.clone(),
+                            &deltas,
+                        );
+                    }
+                    for tid in 0..n {
+                        busy[tid] = res.release[tid] - start[tid];
+                    }
+                } else if let Some((entry, deltas)) = open.take() {
+                    // Single thread: no barrier; release == arrival.
+                    let release = vec![start[0] + busy[0]];
+                    self.close_interval(
+                        &mut intervals,
+                        phase - 1,
+                        &cpus,
+                        &start,
+                        &busy,
+                        &entry,
+                        release,
+                        &deltas,
+                    );
+                }
+                if racing {
+                    self.machine.race(RaceEvent::PhaseBarrier);
+                }
+            }
+            let before: Vec<MemStats> = (0..n)
+                .map(|tid| *self.machine.cpu_stats(team.cpu(tid)))
+                .collect();
+            let entry = busy.clone();
+            for tid in self.schedule.order(n) {
+                let cpu = team.cpu(tid);
+                if racing {
+                    self.machine.race(RaceEvent::BodyBegin {
+                        tid: tid as u32,
+                        cpu: cpu.0,
+                    });
+                }
+                let mut ctx = ThreadCtx {
+                    tid,
+                    nthreads: n,
+                    cpu,
+                    rank: team.chunk_rank(tid),
+                    machine: &mut self.machine,
+                    cost: &self.cost,
+                    clock: busy[tid],
+                    flops: 0,
+                    batching: self.batching,
+                    gates: Vec::new(),
+                };
+                body(&mut ctx, phase);
+                busy[tid] = ctx.clock;
+                flops += ctx.flops;
+                if racing {
+                    self.machine.race(RaceEvent::BodyEnd);
+                }
+            }
+            let deltas: Vec<MemStats> = (0..n)
+                .map(|tid| self.machine.cpu_stats(team.cpu(tid)).since(&before[tid]))
+                .collect();
+            open = Some((entry, deltas));
+        }
+        if racing {
+            self.machine.race(RaceEvent::RegionEnd);
+        }
+
+        self.regions += 1;
+        if let Some(noise) = &self.noise {
+            let full = n == self.machine.config().num_cpus();
+            for (tid, b) in busy.iter_mut().enumerate() {
+                *b += noise.stolen(self.regions, tid, n, *b, full);
+            }
+        }
+
+        let arrivals: Vec<(CpuId, Cycles)> = (0..n)
+            .map(|tid| (team.cpu(tid), start[tid] + busy[tid]))
+            .collect();
+        let join = if n == 1 {
+            BarrierResult {
+                release: vec![arrivals[0].1],
+                last_arrival: arrivals[0].1,
+            }
+        } else {
+            self.join_barrier
+                .simulate(&mut self.machine, &self.cost, &arrivals)
+        };
+        // The final interval closes at the join barrier. Noise steal
+        // (applied above to total busy) lands in this interval, so the
+        // per-interval busy columns always sum back to the report.
+        if let Some((entry, deltas)) = open.take() {
+            self.close_interval(
+                &mut intervals,
+                nphases - 1,
+                &cpus,
+                &start,
+                &busy,
+                &entry,
+                join.release.clone(),
+                &deltas,
+            );
+        }
+        let elapsed = join.end() + self.cost.join_base;
+        if self.machine.tracing() {
+            let parent = team.cpu(0);
+            self.machine.trace(record(
+                self.now,
+                parent.0,
+                parent_node.0,
+                TraceEvent::ForkSpan {
+                    threads: n as u16,
+                    dur: elapsed,
+                },
+            ));
+        }
+        self.now += elapsed;
+        (
+            RegionReport {
+                elapsed,
+                start,
+                busy,
+                join,
+                flops,
+                spawn_retries,
+            },
+            intervals,
+        )
+    }
+
+    /// Finalize one barrier interval from its captured entry state and
+    /// the closing barrier's release times; emits the straggler trace
+    /// event when tracing is mounted.
+    #[allow(clippy::too_many_arguments)]
+    fn close_interval(
+        &mut self,
+        intervals: &mut Vec<crate::interval::IntervalReport>,
+        index: usize,
+        cpus: &[u16],
+        start: &[Cycles],
+        busy: &[Cycles],
+        entry: &[Cycles],
+        release: Vec<Cycles>,
+        deltas: &[MemStats],
+    ) {
+        let n = cpus.len();
+        let iv_busy: Vec<Cycles> = (0..n).map(|tid| busy[tid] - entry[tid]).collect();
+        let arrival: Vec<Cycles> = (0..n).map(|tid| start[tid] + busy[tid]).collect();
+        let iv = crate::interval::IntervalReport::from_timings(
+            index,
+            cpus.to_vec(),
+            iv_busy,
+            arrival,
+            release,
+            deltas,
+        );
+        if self.machine.tracing() {
+            let cpu = iv.straggler_cpu();
+            let node = self.machine.config().node_of_cpu(CpuId(cpu));
+            self.machine.trace(record(
+                self.now + iv.critical_arrival(),
+                cpu,
+                node.0,
+                TraceEvent::Straggler {
+                    stall: iv.straggler_held,
+                },
+            ));
+        }
+        intervals.push(iv);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1528,6 +1769,88 @@ mod tests {
             )
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn profiled_phases_are_bit_identical_to_plain_phases() {
+        let body = |ctx: &mut ThreadCtx<Machine>, phase: usize| {
+            ctx.flops(200 * (ctx.tid as u64 + 1) + 50 * phase as u64);
+        };
+        let mut plain = Runtime::spp1000(2);
+        let team = Team::place(plain.machine.config(), 8, &Placement::Uniform);
+        let rep_p = plain.team_fork_join_phases(&team, 3, body);
+
+        let mut prof = Runtime::spp1000(2);
+        let team2 = Team::place(prof.machine.config(), 8, &Placement::Uniform);
+        let (rep_q, intervals) = prof.team_fork_join_phases_profiled(&team2, 3, body);
+
+        assert_eq!(plain.machine.clock(), prof.machine.clock());
+        assert_eq!(plain.machine.stats, prof.machine.stats);
+        assert_eq!(rep_p.elapsed, rep_q.elapsed);
+        assert_eq!(rep_p.busy, rep_q.busy);
+        assert_eq!(rep_p.start, rep_q.start);
+        assert_eq!(rep_p.join.release, rep_q.join.release);
+        assert_eq!(intervals.len(), 3);
+    }
+
+    #[test]
+    fn interval_decomposition_reconciles_with_the_region_report() {
+        let mut rt = Runtime::spp1000(2);
+        let team = Team::place(rt.machine.config(), 8, &Placement::Uniform);
+        let mut arr =
+            SimArray::<f64>::from_elem(&mut rt.machine, spp_core::MemClass::FarShared, 4096, 0.0);
+        let (rep, intervals) = rt.team_fork_join_phases_profiled(&team, 3, |ctx, phase| {
+            // Unbalanced: higher tids touch more remote lines.
+            let n = 64 * (ctx.tid + 1) + 16 * phase;
+            for i in 0..n {
+                arr.write(ctx.machine, ctx.cpu, (ctx.tid * 512 + i) % 4096, 1.0);
+                ctx.clock += 1;
+            }
+        });
+        assert_eq!(intervals.len(), 3);
+        let n = team.len();
+        for tid in 0..n {
+            // Total busy = per-interval body time plus every
+            // inter-phase barrier wait (the join wait is not busy).
+            let body: Cycles = intervals.iter().map(|iv| iv.busy[tid]).sum();
+            let waits: Cycles = intervals[..intervals.len() - 1]
+                .iter()
+                .map(|iv| iv.stall[tid])
+                .sum();
+            assert_eq!(rep.busy[tid], body + waits, "tid {tid}");
+        }
+        let last = intervals.last().unwrap();
+        assert_eq!(last.critical_arrival(), rep.join.last_arrival);
+        for iv in &intervals {
+            // The straggler is the interval's last arrival, and other
+            // threads' waits are consistent with it.
+            let max = *iv.arrival.iter().max().unwrap();
+            assert_eq!(iv.arrival[iv.straggler], max);
+            // Remote-heavy traffic: dominant level must be a miss.
+            assert_ne!(iv.dominant, spp_core::heat::ServiceLevel::Hit);
+        }
+        // Interval 0 has no release skew yet, so the unbalanced body
+        // makes the top tid the straggler there.
+        assert_eq!(intervals[0].straggler, n - 1);
+        let table = crate::interval::intervals_report(&intervals);
+        assert_eq!(table.lines().count(), 1 + intervals.len());
+    }
+
+    #[test]
+    fn profiled_phases_emit_straggler_events_when_tracing() {
+        let mut rt = Runtime::new(Machine::spp1000(1).with_tracing());
+        let team = Team::place(rt.machine.config(), 4, &Placement::HighLocality);
+        let (_, intervals) = rt.team_fork_join_phases_profiled(&team, 2, |ctx, _| {
+            ctx.flops(100 * (ctx.tid as u64 + 1))
+        });
+        let stragglers: Vec<_> = rt
+            .machine
+            .trace_events()
+            .into_iter()
+            .filter(|r| matches!(r.event, TraceEvent::Straggler { .. }))
+            .collect();
+        assert_eq!(stragglers.len(), intervals.len());
+        assert_eq!(stragglers[0].cpu, intervals[0].straggler_cpu());
     }
 
     #[test]

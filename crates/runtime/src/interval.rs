@@ -1,0 +1,195 @@
+//! Barrier-interval critical-path analysis.
+//!
+//! The paper's fig. 6/fig. 8 discussion is an Amdahl argument: each
+//! barrier-to-barrier interval of a phased region is only as fast as
+//! its *straggler*, and the interesting question is always which CPU
+//! that was and which service level of the memory hierarchy it was
+//! stuck in. This module reproduces that decomposition:
+//! `Runtime::team_fork_join_phases_profiled` runs a phased region
+//! bit-identically to the unprofiled path while snapshotting each
+//! thread's busy time and per-CPU [`MemStats`] around every phase, and
+//! yields one [`IntervalReport`] per barrier interval — per-thread
+//! busy/stall split, the straggler, and the straggler's dominant
+//! service level ([`ServiceLevel::dominant_miss`] of its counter
+//! delta over the interval).
+//!
+//! Profiling only *reads* machine state (the per-CPU counter
+//! breakdown), so a profiled run's cycles, [`MemStats`] and
+//! [`crate::RegionReport`] are bit-identical to the plain
+//! [`crate::Runtime::team_fork_join_phases`] run — the same
+//! transparency contract as tracing and the heatmap.
+
+use spp_core::heat::ServiceLevel;
+use spp_core::stats::MemStats;
+use spp_core::Cycles;
+
+/// Busy/stall decomposition of one barrier interval (the work between
+/// two consecutive barrier releases) of a phased region.
+#[derive(Debug, Clone)]
+pub struct IntervalReport {
+    /// Interval index == phase index within the region.
+    pub index: usize,
+    /// Global CPU id of each thread (indexed by tid).
+    pub cpus: Vec<u16>,
+    /// Cycles each thread spent executing its body this interval.
+    pub busy: Vec<Cycles>,
+    /// Cycles each thread waited at the barrier ending the interval
+    /// (release − arrival).
+    pub stall: Vec<Cycles>,
+    /// Each thread's arrival time at the closing barrier (region
+    /// clock: spawn skew + accumulated busy).
+    pub arrival: Vec<Cycles>,
+    /// Each thread's release time from the closing barrier.
+    pub release: Vec<Cycles>,
+    /// tid of the straggler: the last arrival (ties go to the lowest
+    /// tid, matching the barrier's deterministic ordering).
+    pub straggler: usize,
+    /// Cycles the straggler held the rest of the team:
+    /// Σ over other threads of (straggler arrival − their arrival).
+    pub straggler_held: Cycles,
+    /// The straggler's dominant miss service level over the interval
+    /// ([`ServiceLevel::Hit`] when its body missed nowhere).
+    pub dominant: ServiceLevel,
+}
+
+impl IntervalReport {
+    /// Assemble one interval from its raw timings and the per-thread
+    /// counter deltas over the interval's bodies.
+    pub fn from_timings(
+        index: usize,
+        cpus: Vec<u16>,
+        busy: Vec<Cycles>,
+        arrival: Vec<Cycles>,
+        release: Vec<Cycles>,
+        deltas: &[MemStats],
+    ) -> Self {
+        debug_assert_eq!(cpus.len(), busy.len());
+        debug_assert_eq!(busy.len(), arrival.len());
+        debug_assert_eq!(arrival.len(), release.len());
+        debug_assert_eq!(release.len(), deltas.len());
+        let mut straggler = 0usize;
+        for (tid, a) in arrival.iter().enumerate() {
+            if *a > arrival[straggler] {
+                straggler = tid;
+            }
+        }
+        let held = arrival
+            .iter()
+            .map(|a| arrival[straggler] - a)
+            .sum::<Cycles>();
+        let stall = release
+            .iter()
+            .zip(arrival.iter())
+            .map(|(r, a)| r.saturating_sub(*a))
+            .collect();
+        IntervalReport {
+            index,
+            cpus,
+            busy,
+            stall,
+            arrival,
+            release,
+            straggler,
+            straggler_held: held,
+            dominant: ServiceLevel::dominant_miss(&deltas[straggler]),
+        }
+    }
+
+    /// Global CPU id of the straggler.
+    pub fn straggler_cpu(&self) -> u16 {
+        self.cpus[self.straggler]
+    }
+
+    /// The straggler's arrival: the interval's critical-path length
+    /// in region time.
+    pub fn critical_arrival(&self) -> Cycles {
+        self.arrival[self.straggler]
+    }
+
+    /// Total cycles the team spent waiting at the closing barrier.
+    pub fn total_stall(&self) -> Cycles {
+        self.stall.iter().sum()
+    }
+
+    /// Total cycles the team spent in bodies this interval.
+    pub fn total_busy(&self) -> Cycles {
+        self.busy.iter().sum()
+    }
+}
+
+/// Human-readable per-interval critical-path table: one row per
+/// barrier interval with the straggler, its dominant service level,
+/// and the team's busy/stall split. Deterministic for a deterministic
+/// run.
+pub fn intervals_report(intervals: &[IntervalReport]) -> String {
+    let mut out =
+        String::from("interval straggler  cpu dominant     busy(sum)    stall(sum)      held\n");
+    for iv in intervals {
+        out.push_str(&format!(
+            "{:>8} {:>9} {:>4} {:<8} {:>13} {:>13} {:>9}\n",
+            iv.index,
+            iv.straggler,
+            iv.straggler_cpu(),
+            iv.dominant.label(),
+            iv.total_busy(),
+            iv.total_stall(),
+            iv.straggler_held,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straggler_stall_and_dominant_level_are_derived_correctly() {
+        let deltas = vec![
+            MemStats {
+                local_misses: 1,
+                ..Default::default()
+            },
+            MemStats {
+                sci_fetches: 9,
+                local_misses: 2,
+                ..Default::default()
+            },
+            MemStats::default(),
+        ];
+        let iv = IntervalReport::from_timings(
+            3,
+            vec![0, 4, 8],
+            vec![100, 300, 50],
+            vec![120, 320, 70],
+            vec![330, 330, 335],
+            &deltas,
+        );
+        assert_eq!(iv.straggler, 1);
+        assert_eq!(iv.straggler_cpu(), 4);
+        assert_eq!(iv.dominant, ServiceLevel::Sci);
+        assert_eq!(iv.stall, vec![210, 10, 265]);
+        // The middle term is the straggler's zero distance to itself.
+        #[allow(clippy::identity_op)]
+        let held = (320 - 120) + (320 - 320) + (320 - 70);
+        assert_eq!(iv.straggler_held, held);
+        assert_eq!(iv.critical_arrival(), 320);
+        let table = intervals_report(&[iv]);
+        assert!(table.contains("sci"), "{table}");
+    }
+
+    #[test]
+    fn straggler_ties_break_to_the_lowest_tid() {
+        let deltas = vec![MemStats::default(); 2];
+        let iv = IntervalReport::from_timings(
+            0,
+            vec![0, 1],
+            vec![10, 10],
+            vec![10, 10],
+            vec![15, 15],
+            &deltas,
+        );
+        assert_eq!(iv.straggler, 0);
+        assert_eq!(iv.dominant, ServiceLevel::Hit);
+    }
+}

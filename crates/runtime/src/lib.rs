@@ -30,6 +30,7 @@ pub mod barrier;
 pub mod cost;
 pub mod fork;
 pub mod gate;
+pub mod interval;
 pub mod noise;
 pub mod profile;
 pub mod team;
@@ -38,6 +39,7 @@ pub use barrier::{BarrierResult, SimBarrier};
 pub use cost::RuntimeCostModel;
 pub use fork::{AsyncHandle, RegionReport, Runtime, SchedulePolicy, ThreadCtx};
 pub use gate::{PrivateArrays, SimGate};
+pub use interval::{intervals_report, IntervalReport};
 pub use noise::OsNoise;
 pub use profile::{Profile, RegionStat};
 pub use spp_core::{StallKind, Watchdog, WatchdogReport};

@@ -23,10 +23,11 @@
 use crate::spec::{Expectation, GoldenSpec, ScenarioKind, ScenarioSpec};
 use crate::workload::{run_builtin, run_workload, CheckpointPaths, WorkloadOutcome};
 use spp_core::{CancelToken, HostSupervisor, MemStats, Supervised};
-use std::path::PathBuf;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Report schema of `BENCH_scenarios.json`.
 pub const REPORT_SCHEMA: i64 = 1;
@@ -160,6 +161,12 @@ pub struct FleetConfig {
     /// Cap applied on top of each spec's own timeout, seconds
     /// (`None` = spec timeouts used as-is).
     pub max_timeout_secs: Option<f64>,
+    /// When set, the fleet appends one JSON line per cell lifecycle
+    /// event (`start`, `retry`, `end`) to this file as it runs, so
+    /// long fleets are observable live, not just post-mortem. The
+    /// stream carries host wall-clock times and therefore never feeds
+    /// `BENCH_scenarios.json`.
+    pub heartbeat_path: Option<PathBuf>,
 }
 
 impl Default for FleetConfig {
@@ -168,8 +175,70 @@ impl Default for FleetConfig {
             workers: 4,
             checkpoint_dir: None,
             max_timeout_secs: None,
+            heartbeat_path: None,
         }
     }
+}
+
+/// Shared JSONL telemetry sink: one fleet-wide file, one line per
+/// event, each line written whole under a mutex so concurrent worker
+/// threads never interleave bytes mid-line. IO failures are swallowed
+/// — telemetry must never fail a cell.
+struct HeartbeatLog {
+    file: Mutex<std::fs::File>,
+    t0: Instant,
+}
+
+impl HeartbeatLog {
+    fn create(path: &Path) -> Option<HeartbeatLog> {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let file = std::fs::File::create(path).ok()?;
+        Some(HeartbeatLog {
+            file: Mutex::new(file),
+            t0: Instant::now(),
+        })
+    }
+
+    /// Emit one heartbeat. `progress` is the cell's simulated clock as
+    /// last published through its [`CancelToken`] — the watchdog clock
+    /// made host-visible — and `wall_ms` is derived from the fleet's
+    /// start so events from different cells share one timeline.
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &self,
+        cell: &str,
+        event: &str,
+        state: &str,
+        attempt: u32,
+        retries: u32,
+        progress: u64,
+        quarantined: Option<bool>,
+    ) {
+        let wall_ms = self.t0.elapsed().as_millis();
+        let mut line = format!(
+            "{{\"cell\": \"{}\", \"event\": \"{event}\", \"state\": \"{state}\", \
+             \"attempt\": {attempt}, \"retries\": {retries}, \
+             \"progress_cycles\": {progress}, \"wall_ms\": {wall_ms}",
+            esc(cell)
+        );
+        if let Some(q) = quarantined {
+            line.push_str(&format!(", \"quarantined\": {q}"));
+        }
+        line.push('}');
+        if let Ok(mut f) = self.file.lock() {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+}
+
+/// Minimal JSON string escaping shared by the report and the
+/// heartbeat stream.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 fn golden_diffs(golden: &GoldenSpec, out: &WorkloadOutcome) -> Vec<(String, u64, u64)> {
@@ -202,8 +271,8 @@ fn run_attempt(
     registry: &Registry,
     ckpt: Option<&CheckpointPaths>,
     timeout: Duration,
+    cancel: &CancelToken,
 ) -> (Status, Option<WorkloadOutcome>) {
-    let cancel = CancelToken::new();
     let supervisor = HostSupervisor::new(timeout);
 
     // Clone what the worker closure needs; specs are cheap.
@@ -233,7 +302,7 @@ fn run_attempt(
 
     let cancel2 = cancel.clone();
     let supervised = supervisor.supervise(
-        &cancel,
+        cancel,
         move || -> Result<Option<WorkloadOutcome>, String> {
             match &spec2.kind {
                 ScenarioKind::Workload(w) => run_workload(w, &cancel2, ckpt2.as_ref()).map(Some),
@@ -274,6 +343,7 @@ pub fn run_fleet(specs: &[ScenarioSpec], registry: &Registry, cfg: &FleetConfig)
     let slots: Vec<Mutex<Option<ScenarioResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let workers = cfg.workers.max(1).min(n.max(1));
+    let heartbeat = cfg.heartbeat_path.as_deref().and_then(HeartbeatLog::create);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -282,7 +352,7 @@ pub fn run_fleet(specs: &[ScenarioSpec], registry: &Registry, cfg: &FleetConfig)
                 if i >= n {
                     break;
                 }
-                let result = run_cell(&specs[i], registry, cfg);
+                let result = run_cell(&specs[i], registry, cfg, heartbeat.as_ref());
                 *slots[i].lock().unwrap() = Some(result);
             });
         }
@@ -297,7 +367,12 @@ pub fn run_fleet(specs: &[ScenarioSpec], registry: &Registry, cfg: &FleetConfig)
 }
 
 /// Run one cell: attempts, backoff, checkpoint resume, quarantine.
-fn run_cell(spec: &ScenarioSpec, registry: &Registry, cfg: &FleetConfig) -> ScenarioResult {
+fn run_cell(
+    spec: &ScenarioSpec,
+    registry: &Registry,
+    cfg: &FleetConfig,
+    heartbeat: Option<&HeartbeatLog>,
+) -> ScenarioResult {
     let t0 = std::time::Instant::now();
     let mut timeout_secs = spec.timeout_secs;
     if let Some(cap) = cfg.max_timeout_secs {
@@ -323,19 +398,28 @@ fn run_cell(spec: &ScenarioSpec, registry: &Registry, cfg: &FleetConfig) -> Scen
 
     let mut attempts = 0;
     let mut resumed = false;
+    let mut progress = 0u64;
     let mut last = (
         Status::Fail {
             error: "scenario never attempted".into(),
         },
         None,
     );
+    if let Some(hb) = heartbeat {
+        hb.emit(&spec.name, "start", "running", 1, 0, 0, None);
+    }
     while attempts <= spec.retries {
         if attempts > 0 {
             let backoff = spp_core::retry_backoff(spec.backoff_ms, attempts - 1);
             std::thread::sleep(Duration::from_millis(backoff));
         }
         attempts += 1;
-        last = run_attempt(spec, registry, ckpt.as_ref(), timeout);
+        // A fresh token per attempt: a cancelled token from a
+        // timed-out attempt must not abort the retry. Its progress
+        // clock survives the attempt for telemetry.
+        let cancel = CancelToken::new();
+        last = run_attempt(spec, registry, ckpt.as_ref(), timeout, &cancel);
+        progress = cancel.progress();
         if let Some(out) = &last.1 {
             if out.resumed_from.is_some() {
                 resumed = true;
@@ -346,7 +430,21 @@ fn run_cell(spec: &ScenarioSpec, registry: &Registry, cfg: &FleetConfig) -> Scen
             // deterministic cells won't golden-diverge differently on
             // retry, so only failures and timeouts retry.
             Status::Pass | Status::GoldenMismatch { .. } => break,
-            Status::Fail { .. } | Status::Timeout => {}
+            Status::Fail { .. } | Status::Timeout => {
+                if attempts <= spec.retries {
+                    if let Some(hb) = heartbeat {
+                        hb.emit(
+                            &spec.name,
+                            "retry",
+                            last.0.label(),
+                            attempts,
+                            attempts - 1,
+                            progress,
+                            None,
+                        );
+                    }
+                }
+            }
         }
     }
     if let Some(c) = &ckpt {
@@ -356,9 +454,21 @@ fn run_cell(spec: &ScenarioSpec, registry: &Registry, cfg: &FleetConfig) -> Scen
     let (status, outcome) = last;
     let exhausted =
         attempts > spec.retries && matches!(status, Status::Fail { .. } | Status::Timeout);
+    let quarantined = exhausted && spec.retries > 0;
+    if let Some(hb) = heartbeat {
+        hb.emit(
+            &spec.name,
+            "end",
+            status.label(),
+            attempts,
+            attempts - 1,
+            progress,
+            Some(quarantined),
+        );
+    }
     ScenarioResult {
         as_expected: status.as_expectation() == spec.expect,
-        quarantined: exhausted && spec.retries > 0,
+        quarantined,
         name: spec.name.clone(),
         status,
         attempts,
@@ -397,8 +507,8 @@ impl FleetReport {
     pub fn render(&self) -> String {
         let mut s = String::new();
         s.push_str(&format!(
-            "{:<28} {:>16} {:>9} {:>6} {:>8}  notes\n",
-            "scenario", "status", "attempts", "ok?", "secs"
+            "{:<28} {:>16} {:>9} {:>8} {:>6} {:>8}  notes\n",
+            "scenario", "status", "attempts", "retries", "ok?", "secs"
         ));
         for r in &self.results {
             let mut notes = Vec::new();
@@ -430,10 +540,11 @@ impl FleetReport {
                 _ => {}
             }
             s.push_str(&format!(
-                "{:<28} {:>16} {:>9} {:>6} {:>8.2}  {}\n",
+                "{:<28} {:>16} {:>9} {:>8} {:>6} {:>8.2}  {}\n",
                 r.name,
                 r.status.label(),
                 r.attempts,
+                r.attempts.saturating_sub(1),
                 if r.as_expected { "yes" } else { "NO" },
                 r.host_secs,
                 notes.join("; ")
@@ -456,11 +567,6 @@ impl FleetReport {
     /// host wall-clock, stable field order — two identical fleets
     /// produce byte-identical files.
     pub fn to_json(&self) -> String {
-        fn esc(s: &str) -> String {
-            s.replace('\\', "\\\\")
-                .replace('"', "\\\"")
-                .replace('\n', "\\n")
-        }
         let mut s = String::new();
         s.push_str("{\n");
         s.push_str(&format!("  \"schema_version\": {REPORT_SCHEMA},\n"));
@@ -619,6 +725,144 @@ mod tests {
         let b = run_fleet(&specs, &Registry::new(), &FleetConfig::default()).to_json();
         assert_eq!(a, b);
         assert!(a.contains("\"schema_version\": 1"));
+    }
+
+    #[test]
+    fn heartbeats_cover_every_cell_and_leave_the_json_untouched() {
+        let dir = std::env::temp_dir().join("spp-scenario-heartbeat-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let hb_path = dir.join("heartbeat.jsonl");
+
+        let mut flaky = ScenarioSpec::builtin(
+            "flaky",
+            BuiltinOp::Panic {
+                message: "always".into(),
+            },
+        );
+        flaky.retries = 2;
+        flaky.backoff_ms = 1;
+        flaky.expect = Expectation::Fail;
+        let specs = vec![
+            flaky,
+            ScenarioSpec::workload("k64", WorkloadApp::KernelStream { elems: 64 }),
+            ScenarioSpec::builtin("nop", BuiltinOp::Noop),
+        ];
+
+        let silent = run_fleet(&specs, &Registry::new(), &FleetConfig::default()).to_json();
+        let cfg = FleetConfig {
+            heartbeat_path: Some(hb_path.clone()),
+            ..FleetConfig::default()
+        };
+        let observed = run_fleet(&specs, &Registry::new(), &cfg);
+        // Telemetry never perturbs the deterministic report.
+        assert_eq!(observed.to_json(), silent);
+
+        let stream = std::fs::read_to_string(&hb_path).unwrap();
+        let lines: Vec<&str> = stream.lines().collect();
+        for l in &lines {
+            assert!(l.starts_with("{\"cell\": \""), "unparseable line: {l}");
+            assert!(l.ends_with('}'), "unparseable line: {l}");
+            for field in [
+                "\"event\": ",
+                "\"state\": ",
+                "\"retries\": ",
+                "\"progress_cycles\": ",
+                "\"wall_ms\": ",
+            ] {
+                assert!(l.contains(field), "line missing {field}: {l}");
+            }
+        }
+        let of = |cell: &str, event: &str| -> Vec<&&str> {
+            lines
+                .iter()
+                .filter(|l| {
+                    l.contains(&format!("\"cell\": \"{cell}\""))
+                        && l.contains(&format!("\"event\": \"{event}\""))
+                })
+                .collect()
+        };
+        // Every cell starts and ends, including the quarantined one.
+        for cell in ["flaky", "k64", "nop"] {
+            assert_eq!(of(cell, "start").len(), 1, "{stream}");
+            assert_eq!(of(cell, "end").len(), 1, "{stream}");
+        }
+        // Two retries show up as two retry heartbeats, and the end
+        // event records the quarantine.
+        assert_eq!(of("flaky", "retry").len(), 2, "{stream}");
+        let end = of("flaky", "end")[0];
+        assert!(end.contains("\"state\": \"fail\""), "{end}");
+        assert!(end.contains("\"retries\": 2"), "{end}");
+        assert!(end.contains("\"quarantined\": true"), "{end}");
+        // The workload published its simulated clock on the way out.
+        let kend = of("k64", "end")[0];
+        assert!(!kend.contains("\"progress_cycles\": 0,"), "{kend}");
+        std::fs::remove_file(&hb_path).unwrap();
+    }
+
+    #[test]
+    fn summary_has_host_columns_the_json_never_sees() {
+        let mut s = ScenarioSpec::builtin(
+            "flaky",
+            BuiltinOp::Panic {
+                message: "always".into(),
+            },
+        );
+        s.retries = 1;
+        s.backoff_ms = 1;
+        s.expect = Expectation::Fail;
+        let report = run_fleet(&[s], &Registry::new(), &FleetConfig::default());
+        let text = report.render();
+        assert!(text.contains("retries"), "{text}");
+        assert!(text.contains("secs"), "{text}");
+        // One retry consumed, rendered in its own column.
+        let row = text.lines().nth(1).unwrap();
+        assert!(row.contains("flaky"), "{row}");
+        let cols: Vec<&str> = row.split_whitespace().collect();
+        assert_eq!(cols[2], "2", "attempts column: {row}");
+        assert_eq!(cols[3], "1", "retries column: {row}");
+        // Host wall-clock stays out of the byte-stable JSON.
+        let json = report.to_json();
+        assert!(!json.contains("secs"), "{json}");
+        assert!(!json.contains("wall_ms"), "{json}");
+    }
+
+    #[test]
+    fn report_json_bytes_are_pinned() {
+        let report = FleetReport {
+            results: vec![
+                ScenarioResult {
+                    name: "alpha".into(),
+                    status: Status::Pass,
+                    attempts: 1,
+                    quarantined: false,
+                    as_expected: true,
+                    outcome: None,
+                    resumed: false,
+                    host_secs: 12.5,
+                },
+                ScenarioResult {
+                    name: "beta".into(),
+                    status: Status::Fail {
+                        error: "boom".into(),
+                    },
+                    attempts: 3,
+                    quarantined: true,
+                    as_expected: false,
+                    outcome: None,
+                    resumed: false,
+                    host_secs: 0.25,
+                },
+            ],
+        };
+        let expected = "{\n\
+            \x20 \"schema_version\": 1,\n\
+            \x20 \"experiment\": \"scenarios\",\n\
+            \x20 \"summary\": {\"total\": 2, \"pass\": 1, \"fail\": 1, \"timeout\": 0, \"golden_mismatch\": 0, \"quarantined\": 1, \"all_as_expected\": false},\n\
+            \x20 \"results\": [\n\
+            \x20   {\"name\": \"alpha\", \"status\": \"pass\", \"attempts\": 1, \"as_expected\": true, \"quarantined\": false, \"resumed\": false},\n\
+            \x20   {\"name\": \"beta\", \"status\": \"fail\", \"attempts\": 3, \"as_expected\": false, \"quarantined\": true, \"resumed\": false, \"error\": \"boom\"}\n\
+            \x20 ]\n}\n";
+        assert_eq!(report.to_json(), expected);
     }
 
     #[test]

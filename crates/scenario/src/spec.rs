@@ -160,6 +160,10 @@ pub struct WorkloadSpec {
     pub trace: bool,
     /// Ring-sink capacity when tracing.
     pub trace_capacity: usize,
+    /// Mount the cycle-attribution heatmap (`[insight] enabled =
+    /// true`). Attribution never changes cycles or counters; the
+    /// runner asserts `heat_partition_check` at workload end.
+    pub insight: bool,
     /// Write an SPPSNAP1 checkpoint every N steps (0 = off; only the
     /// kernel-stream workload supports it).
     pub checkpoint_every: usize,
@@ -308,6 +312,7 @@ impl ScenarioSpec {
                 faults: Vec::new(),
                 trace: false,
                 trace_capacity: 1 << 16,
+                insight: false,
                 checkpoint_every: 0,
                 rollbacks: 0,
             }),
@@ -698,6 +703,12 @@ impl ScenarioSpec {
                     .flatten()
                     .unwrap_or(1 << 16);
 
+                let insight = get_table(root, "insight")?
+                    .map(|t| get_bool(t, "enabled"))
+                    .transpose()?
+                    .flatten()
+                    .unwrap_or(false);
+
                 let rollbacks = get_table(root, "recovery")?
                     .map(|t| get_u64(t, "rollbacks"))
                     .transpose()?
@@ -716,6 +727,7 @@ impl ScenarioSpec {
                     faults,
                     trace,
                     trace_capacity,
+                    insight,
                     checkpoint_every: get_usize(sc, "checkpoint_every")?.unwrap_or(0),
                     rollbacks,
                 })
@@ -931,6 +943,12 @@ impl ScenarioSpec {
                     root.insert("trace".into(), Value::Table(tt));
                 }
 
+                if w.insight {
+                    let mut it = Table::new();
+                    it.insert("enabled".into(), Value::Bool(true));
+                    root.insert("insight".into(), Value::Table(it));
+                }
+
                 if w.rollbacks > 0 {
                     let mut rt = Table::new();
                     rt.insert("rollbacks".into(), Value::Int(w.rollbacks as i64));
@@ -1071,6 +1089,29 @@ reads = 1000
         let text = s.to_toml_string();
         let s2 = ScenarioSpec::from_toml_str(&text).unwrap();
         assert_eq!(s, s2, "canonical form:\n{text}");
+    }
+
+    #[test]
+    fn insight_table_round_trips_and_stays_out_of_plain_specs() {
+        // insight defaults off and an off spec serializes without the table,
+        // so pre-existing spec files keep their exact bytes.
+        let plain = ScenarioSpec::from_toml_str(FULL_WORKLOAD).unwrap();
+        let ScenarioKind::Workload(ref w) = plain.kind else {
+            panic!("expected workload kind");
+        };
+        assert!(!w.insight);
+        assert!(!plain.to_toml_string().contains("[insight]"));
+
+        let text = format!("{FULL_WORKLOAD}\n[insight]\nenabled = true\n");
+        let s = ScenarioSpec::from_toml_str(&text).unwrap();
+        let ScenarioKind::Workload(ref w) = s.kind else {
+            panic!("expected workload kind");
+        };
+        assert!(w.insight);
+        let canon = s.to_toml_string();
+        assert!(canon.contains("[insight]"), "{canon}");
+        let s2 = ScenarioSpec::from_toml_str(&canon).unwrap();
+        assert_eq!(s, s2, "canonical form:\n{canon}");
     }
 
     #[test]

@@ -106,7 +106,25 @@ fn build_machine(spec: &WorkloadSpec) -> Machine {
     if spec.trace {
         m = m.with_trace_sink(Box::new(RingSink::new(spec.trace_capacity)));
     }
+    if spec.insight {
+        m = m.with_heatmap();
+    }
     m
+}
+
+/// Enforce the attribution partition invariant at workload end: when
+/// `[insight]` mounted a heatmap, its cycles and counters must sum
+/// bit-exactly to the machine's. A violation is a cell failure, not a
+/// silent report artifact.
+fn check_insight(spec: &WorkloadSpec, m: &Machine) -> Result<(), String> {
+    if spec.insight && !m.heat_partition_check() {
+        return Err(
+            "heat_partition_check failed: attributed cycles/counters do not sum \
+                    to the machine totals"
+                .to_string(),
+        );
+    }
+    Ok(())
 }
 
 fn cancelled<T>() -> Result<T, String> {
@@ -166,6 +184,7 @@ fn shared_app(spec: &WorkloadSpec, cancel: &CancelToken) -> Result<WorkloadOutco
             );
             app.step(&mut rt, &team); // warm-up
             for _ in 0..spec.steps {
+                cancel.note_progress(rt.machine.clock());
                 if cancel.is_cancelled() {
                     return cancelled();
                 }
@@ -176,6 +195,7 @@ fn shared_app(spec: &WorkloadSpec, cancel: &CancelToken) -> Result<WorkloadOutco
             let mut app = SharedNbody::new(&mut rt, NbodyProblem::with_n(bodies), &team);
             app.step(&mut rt, &team);
             for _ in 0..spec.steps {
+                cancel.note_progress(rt.machine.clock());
                 if cancel.is_cancelled() {
                     return cancelled();
                 }
@@ -187,6 +207,7 @@ fn shared_app(spec: &WorkloadSpec, cancel: &CancelToken) -> Result<WorkloadOutco
                 SharedFem::new(&mut rt, fem::structured(nx, ny), Coding::ScatterAdd, &team);
             app.step(&mut rt, &team, 0.2);
             for _ in 0..spec.steps {
+                cancel.note_progress(rt.machine.clock());
                 if cancel.is_cancelled() {
                     return cancelled();
                 }
@@ -197,6 +218,7 @@ fn shared_app(spec: &WorkloadSpec, cancel: &CancelToken) -> Result<WorkloadOutco
             let mut app = SharedPpm::new(&mut rt, PpmProblem::tiny(), &team);
             app.step(&mut rt, &team);
             for _ in 0..spec.steps {
+                cancel.note_progress(rt.machine.clock());
                 if cancel.is_cancelled() {
                     return cancelled();
                 }
@@ -206,6 +228,8 @@ fn shared_app(spec: &WorkloadSpec, cancel: &CancelToken) -> Result<WorkloadOutco
         WorkloadApp::PicPvm { .. } | WorkloadApp::KernelStream { .. } => unreachable!(),
     }
 
+    cancel.note_progress(rt.machine.clock());
+    check_insight(spec, &rt.machine)?;
     Ok(WorkloadOutcome {
         cycles,
         stats: rt.machine.stats,
@@ -230,11 +254,14 @@ fn pic_pvm(
     app.step(&mut pvm); // warm-up
     let mut cycles = 0;
     for _ in 0..spec.steps {
+        cancel.note_progress(pvm.machine.clock());
         if cancel.is_cancelled() {
             return cancelled();
         }
         cycles += app.step(&mut pvm).0;
     }
+    cancel.note_progress(pvm.machine.clock());
+    check_insight(spec, &pvm.machine)?;
     Ok(WorkloadOutcome {
         cycles,
         stats: pvm.machine.stats,
@@ -307,6 +334,7 @@ fn kernel_stream(
     let mut rollbacks: u32 = 0;
     let mut step = start_step;
     'steps: while step < spec.steps {
+        cancel.note_progress(machine.clock());
         if cancel.is_cancelled() {
             return cancelled();
         }
@@ -373,6 +401,8 @@ fn kernel_stream(
         }
     }
 
+    cancel.note_progress(machine.clock());
+    check_insight(spec, &machine)?;
     Ok(WorkloadOutcome {
         cycles,
         stats: machine.stats,
@@ -490,6 +520,19 @@ mod tests {
         *prob = 1.0;
         let err = run_workload(&one_shot, &cancel, None).unwrap_err();
         assert!(err.contains("rollback budget of 1 exhausted"), "{err}");
+    }
+
+    #[test]
+    fn insight_runs_pass_the_partition_check_and_stay_bit_identical() {
+        let cancel = CancelToken::new();
+        let plain = kernel_spec(3, 0);
+        let mut attributed = plain.clone();
+        attributed.insight = true;
+
+        let off = run_workload(&plain, &cancel, None).unwrap();
+        let on = run_workload(&attributed, &cancel, None).unwrap();
+        // Attribution observes the run; it must not perturb it.
+        assert_eq!(off, on);
     }
 
     #[test]
